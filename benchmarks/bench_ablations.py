@@ -1,0 +1,47 @@
+"""Ablation benchmarks for the design choices DESIGN.md §5 lists."""
+
+from conftest import run_once
+
+
+def test_ablation_kernighan_lin(benchmark, rows_by):
+    result = run_once(benchmark, "ablation-kl")
+    by = rows_by(result, "slo_ms")
+    # under a satisfiable SLO, KL never needs more cores than round-robin
+    for slo in (40.0, 60.0):
+        assert by[(slo,)]["kl_cores"] <= by[(slo,)]["rr_cores"]
+    # and somewhere the saving is strict
+    assert any(by[(s,)]["kl_cores"] < by[(s,)]["rr_cores"]
+               for s in (30.0, 40.0, 60.0))
+    print("\n" + result.to_table())
+
+
+def test_ablation_search_strategies(benchmark):
+    result = run_once(benchmark, "ablation-search")
+    # both searches produce equivalently-sized plans
+    assert all(result.column("same_cores"))
+    print("\n" + result.to_table())
+
+
+def test_ablation_wrap_packing(benchmark, rows_by):
+    result = run_once(benchmark, "ablation-packing")
+    # packing never uses more sandboxes than one-process-per-wrap
+    for row in result.rows:
+        assert row["packed_wraps"] <= row["sparse_wraps"]
+    print("\n" + result.to_table())
+
+
+def test_ablation_gil_handoff(benchmark):
+    result = run_once(benchmark, "ablation-handoff")
+    # the CFS pick tracks the runtime at least as well as FIFO
+    for row in result.rows:
+        assert row["cfs_err_pct"] <= row["fifo_err_pct"] + 1.0
+        assert row["cfs_err_pct"] < 15.0
+    print("\n" + result.to_table())
+
+
+def test_ablation_longest_first_dispatch(benchmark):
+    result = run_once(benchmark, "ablation-longest-first")
+    for row in result.rows:
+        # starting the long functions first never hurts the makespan
+        assert row["longest_first_ms"] <= row["fifo_ms"] + 1.0
+    print("\n" + result.to_table())

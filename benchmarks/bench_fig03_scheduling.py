@@ -1,0 +1,16 @@
+"""Figure 3 benchmark: one-to-one scheduling overhead on FINRA."""
+
+from conftest import run_once
+
+
+def test_fig03_scheduling_overhead(benchmark, rows_by):
+    result = run_once(benchmark, "fig03")
+    by = rows_by(result, "system", "parallelism")
+    # ASF's overhead dwarfs OpenFaaS's at every width
+    for n in (5, 25, 50):
+        assert by[("asf", n)]["overhead_ms"] > by[("openfaas", n)]["overhead_ms"]
+    # overhead grows with parallelism and dominates at 50 (paper: 95%/59%)
+    assert by[("asf", 50)]["overhead_pct"] > 70.0
+    assert by[("openfaas", 50)]["overhead_pct"] > 40.0
+    assert by[("asf", 50)]["overhead_ms"] > by[("asf", 5)]["overhead_ms"] * 4
+    print("\n" + result.to_table())

@@ -1,0 +1,19 @@
+"""Figure 4 benchmark: storage transfer latency vs payload size."""
+
+from conftest import run_once
+
+
+def test_fig04_transfer_latency(benchmark, rows_by):
+    result = run_once(benchmark, "fig04")
+    by = rows_by(result, "size")
+    # the S3 floor: ~52 ms even for one byte
+    assert 45.0 <= by[("1B",)]["asf_s3_ms"] <= 60.0
+    # 1 GB lands in the tens of seconds (paper: ~25 s)
+    assert 20_000 <= by[("1GB",)]["asf_s3_ms"] <= 30_000
+    # MinIO local spans ~10 ms to ~10 s
+    assert by[("1B",)]["openfaas_minio_ms"] <= 15.0
+    assert 8_000 <= by[("1GB",)]["openfaas_minio_ms"] <= 12_000
+    # local always beats the cloud store
+    for size in ("1B", "1KB", "1MB", "1GB"):
+        assert by[(size,)]["openfaas_minio_ms"] < by[(size,)]["asf_s3_ms"]
+    print("\n" + result.to_table())

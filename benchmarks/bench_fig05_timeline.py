@@ -1,0 +1,23 @@
+"""Figure 5 benchmark: process vs thread execution timelines on FINRA-5."""
+
+from conftest import run_once
+
+from repro.calibration import PROCESS_FORK_BLOCK_MS, PROCESS_STARTUP_MS
+
+
+def test_fig05_timelines(benchmark, rows_by):
+    result = run_once(benchmark, "fig05")
+    by = rows_by(result, "mode", "function")
+    # process mode: fork-block wait grows with the fork index (Obs. 2)
+    waits = [by[("process", f"validate-{i}")]["block_wait_ms"]
+             for i in range(5)]
+    assert all(b > a - 1e-6 for a, b in zip(waits, waits[1:]))
+    assert waits[-1] >= 4 * PROCESS_FORK_BLOCK_MS * 0.8
+    # process mode pays an interpreter startup ~7.5 ms per function
+    for i in range(5):
+        assert (by[("process", f"validate-{i}")]["startup_ms"]
+                >= PROCESS_STARTUP_MS * 0.8)
+    # thread mode: startup two orders of magnitude cheaper
+    for i in range(5):
+        assert by[("thread", f"validate-{i}")]["startup_ms"] <= 1.0
+    print("\n" + result.to_table())

@@ -1,0 +1,20 @@
+"""Figure 6 benchmark: deployment-model latency comparison on FINRA."""
+
+from conftest import run_once
+
+
+def test_fig06_deployment_models(benchmark, rows_by):
+    result = run_once(benchmark, "fig06", quick=False)
+    by = rows_by(result, "parallelism")
+    # Observation 3 at low parallelism: thread mode beats process mode
+    assert by[(5,)]["faastlane_t_ms"] < by[(5,)]["faastlane_ms"]
+    # ... and collapses at high parallelism (paper: 77% slower than OpenFaaS)
+    assert by[(50,)]["faastlane_t_ms"] > by[(50,)]["faastlane_ms"]
+    assert by[(50,)]["faastlane_t_ms"] > by[(50,)]["openfaas_ms"]
+    # Chiron is lowest in every configuration (paper: 15.9-74.1% reduction)
+    for n in (5, 25, 50):
+        row = by[(n,)]
+        others = [row["openfaas_ms"], row["faastlane_ms"],
+                  row["faastlane_t_ms"], row["faastlane_plus_ms"]]
+        assert row["chiron_ms"] <= min(others) * 1.02
+    print("\n" + result.to_table())

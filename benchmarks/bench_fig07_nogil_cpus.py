@@ -1,0 +1,20 @@
+"""Figure 7 benchmark: true-parallel latency vs CPU count."""
+
+from conftest import run_once
+
+
+def test_fig07_cpu_sharing_penalty(benchmark, rows_by):
+    result = run_once(benchmark, "fig07")
+    by = rows_by(result, "cpus")
+    # dropping 4 -> 3 CPUs costs little (paper: ~11.7%)
+    assert by[(3,)]["penalty_vs_4cpu_pct"] <= 15.0
+    # but 1 CPU forces near-serial CPU work: a large penalty
+    assert by[(1,)]["penalty_vs_4cpu_pct"] >= 40.0
+    # monotone: fewer CPUs never helps
+    lats = [by[(c,)]["python_pool_ms"] for c in (4, 3, 2, 1)]
+    assert all(b >= a - 1e-6 for a, b in zip(lats, lats[1:]))
+    # Java threads show the same fluid behaviour
+    for c in (4, 3, 2, 1):
+        assert abs(by[(c,)]["java_threads_ms"]
+                   - by[(c,)]["python_pool_ms"]) < 10.0
+    print("\n" + result.to_table())

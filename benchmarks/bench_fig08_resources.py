@@ -1,0 +1,20 @@
+"""Figure 8 benchmark: memory and CPU cost of FINRA deployments."""
+
+from conftest import run_once
+
+
+def test_fig08_resource_costs(benchmark, rows_by):
+    result = run_once(benchmark, "fig08", quick=False)
+    by = rows_by(result, "parallelism", "system")
+    for n in (5, 25, 50):
+        openfaas = by[(n, "openfaas")]
+        faastlane = by[(n, "faastlane")]
+        chiron = by[(n, "chiron")]
+        # memory: one-to-one duplicates runtimes (paper: -85.5% Faastlane)
+        assert faastlane["memory_mb"] < openfaas["memory_mb"] * 0.35
+        # chiron trims further (paper: -8.3% vs Faastlane)
+        assert chiron["memory_mb"] <= faastlane["memory_mb"] * 1.05
+        # CPU: chiron far below both (paper: -82.7% vs Faastlane)
+        assert chiron["cpu_cores"] <= faastlane["cpu_cores"] * 0.5
+        assert openfaas["cpu_cores"] >= faastlane["cpu_cores"]
+    print("\n" + result.to_table())

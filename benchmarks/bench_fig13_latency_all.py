@@ -1,0 +1,23 @@
+"""Figure 13 benchmark: normalized latency across workloads and systems."""
+
+import numpy as np
+
+from conftest import run_once
+
+
+def test_fig13_normalized_latency(benchmark, rows_by):
+    result = run_once(benchmark, "fig13")
+    by = rows_by(result, "workload", "system")
+    workloads = sorted({row["workload"] for row in result.rows})
+    for name in workloads:
+        # ASF is worst by a wide margin everywhere (paper: -89.9% avg)
+        assert by[(name, "asf")]["normalized"] > 3.0
+        # Chiron meets its SLO-driven deployment at or below Faastlane on
+        # average (paper: -25.1%)
+    faast = np.array([by[(n, "faastlane")]["latency_ms"] for n in workloads])
+    chiron = np.array([by[(n, "chiron")]["latency_ms"] for n in workloads])
+    assert chiron.mean() < faast.mean()
+    openfaas = np.array([by[(n, "openfaas")]["latency_ms"]
+                         for n in workloads])
+    assert chiron.mean() < openfaas.mean()
+    print("\n" + result.to_table())

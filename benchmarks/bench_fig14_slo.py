@@ -1,0 +1,17 @@
+"""Figure 14 benchmark: SLO violation rates."""
+
+import numpy as np
+
+from conftest import run_once
+
+
+def test_fig14_slo_violations(benchmark):
+    result = run_once(benchmark, "fig14")
+    faast = np.array(result.column("faastlane_pct"))
+    chiron = np.array(result.column("chiron_pct"))
+    # Chiron's conservative planning keeps violations near zero
+    # (paper: 1.3% average)
+    assert chiron.mean() <= 5.0
+    # and always at or below Faastlane's
+    assert np.all(chiron <= faast + 1e-9)
+    print("\n" + result.to_table())

@@ -1,0 +1,16 @@
+"""Figure 15 benchmark: function completion-time distributions, FINRA-50."""
+
+from conftest import run_once
+
+
+def test_fig15_completion_cdf(benchmark, rows_by):
+    result = run_once(benchmark, "fig15", quick=False)
+    by = rows_by(result, "system")
+    # pool variant starts (and finishes its median) earliest: pre-forked
+    # workers skip fork/startup entirely
+    assert by[("faastlane-p",)]["p50"] <= by[("faastlane",)]["p50"]
+    # chiron finishes its slowest function no later than faastlane
+    assert by[("chiron",)]["p100"] <= by[("faastlane",)]["p100"] * 1.05
+    # one-to-one is the slowest to complete everything
+    assert by[("openfaas",)]["p100"] >= by[("chiron",)]["p100"]
+    print("\n" + result.to_table())

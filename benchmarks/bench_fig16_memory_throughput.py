@@ -1,0 +1,25 @@
+"""Figure 16 benchmark: memory footprint and per-node max throughput."""
+
+import numpy as np
+
+from conftest import run_once
+
+
+def test_fig16_memory_and_throughput(benchmark, rows_by):
+    result = run_once(benchmark, "fig16")
+    by = rows_by(result, "workload", "system")
+    workloads = sorted({row["workload"] for row in result.rows})
+    for name in workloads:
+        # one-to-one memory redundancy (paper: up to 97% saved by Chiron)
+        assert by[(name, "openfaas")]["memory_norm"] > 3.0
+        # pool variants pay >3x memory for warm workers
+        assert by[(name, "faastlane-p")]["memory_norm"] > 2.0
+        # Chiron's throughput beats every Faastlane variant
+        # (paper: 12.2x/6.5x/4.1x average)
+        for rival in ("faastlane", "faastlane-m", "faastlane-p"):
+            assert (by[(name, "chiron")]["rps"]
+                    > by[(name, rival)]["rps"] * 1.2)
+    gains = np.array([by[(n, "chiron")]["rps"] / by[(n, "faastlane")]["rps"]
+                      for n in workloads])
+    assert gains.max() > 3.0  # paper: up to 39.6x
+    print("\n" + result.to_table())

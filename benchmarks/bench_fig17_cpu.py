@@ -1,0 +1,22 @@
+"""Figure 17 benchmark: allocated CPUs by platform."""
+
+from conftest import run_once
+
+
+def test_fig17_cpu_allocation(benchmark, rows_by):
+    result = run_once(benchmark, "fig17")
+    by = rows_by(result, "workload", "system")
+    workloads = sorted({row["workload"] for row in result.rows})
+    for name in workloads:
+        openfaas = by[(name, "openfaas")]["cores"]
+        faastlane = by[(name, "faastlane")]["cores"]
+        chiron = by[(name, "chiron")]["cores"]
+        chiron_m = by[(name, "chiron-m")]["cores"]
+        # uniform allocations: one CPU per function / per parallel branch
+        assert openfaas >= faastlane
+        # Chiron explores the minimum satisfying the SLO
+        # (paper: 20-94% CPU saved, -75% vs Faastlane native)
+        assert chiron <= faastlane * 0.6
+        # Chiron-M shares CPUs between processes (paper: -66% vs MPK)
+        assert chiron_m <= faastlane * 0.75
+    print("\n" + result.to_table())

@@ -1,0 +1,19 @@
+"""Figure 18 benchmark: the no-GIL (Java) latency/throughput comparison."""
+
+from conftest import run_once
+
+
+def test_fig18_no_gil(benchmark, rows_by):
+    result = run_once(benchmark, "fig18")
+    by = rows_by(result, "workload", "system")
+    for wf in ("slapp", "finra-5"):
+        chiron = by[(wf, "chiron")]
+        one = by[(wf, "one-to-one")]
+        many = by[(wf, "many-to-one")]
+        # without a GIL Chiron still wins throughput through resource
+        # efficiency (paper: 5x and 3.1x vs one-to-one / many-to-one)
+        assert chiron["rps"] > 2.0 * many["rps"]
+        assert chiron["rps"] > 2.0 * one["rps"]
+        # and never at a latency premium over the one-to-one model
+        assert chiron["latency_ms"] <= one["latency_ms"] * 1.05
+    print("\n" + result.to_table())

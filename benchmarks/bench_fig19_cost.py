@@ -1,0 +1,20 @@
+"""Figure 19 benchmark: dollar cost per million requests."""
+
+from conftest import run_once
+
+
+def test_fig19_dollar_cost(benchmark, rows_by):
+    result = run_once(benchmark, "fig19")
+    by = rows_by(result, "workload", "system")
+    workloads = sorted({row["workload"] for row in result.rows})
+    for name in workloads:
+        # ASF's per-transition billing dominates everything
+        # (paper: up to 272x Chiron)
+        assert by[(name, "asf")]["normalized"] > 20.0
+        # Chiron cheapest or tied among the native/MPK systems
+        # (paper: saves 44.4-95.3% vs Faastlane)
+        assert (by[(name, "chiron")]["usd_per_million"]
+                < by[(name, "faastlane")]["usd_per_million"] * 0.6)
+        assert (by[(name, "chiron-m")]["usd_per_million"]
+                <= by[(name, "faastlane-m")]["usd_per_million"] * 1.05)
+    print("\n" + result.to_table())

@@ -1,0 +1,18 @@
+"""§6.3 benchmark: Chiron's own component overhead."""
+
+from conftest import run_once
+
+
+def test_overhead_components(benchmark, rows_by):
+    result = run_once(benchmark, "overhead", quick=False)
+    by = rows_by(result, "component")
+    # every component stays tiny (paper: <40 MB, <0.1 core; PGP offline)
+    for name, row in by.items():
+        assert row["peak_mem_mb"] < 40.0, name
+    # one predictor call stays in the low milliseconds even for FINRA-50
+    # (paper: "sub-millisecond overhead even with hundreds of threads")
+    assert by[("predictor(one call)",)]["wall_ms"] < 50.0
+    # profiling and code generation are trivially cheap
+    assert by[("profiler",)]["wall_ms"] < 1000.0
+    assert by[("generator",)]["wall_ms"] < 1000.0
+    print("\n" + result.to_table())

@@ -1,0 +1,19 @@
+"""Table 1 benchmark: SFI vs Intel MPK isolation overheads."""
+
+from conftest import run_once
+
+
+def test_tab01_isolation_costs(benchmark, rows_by):
+    result = run_once(benchmark, "tab01")
+    by = rows_by(result, "mechanism")
+    sfi, mpk = by[("sfi",)], by[("mpk",)]
+    # Table 1's ordering: MPK dominates SFI on every axis
+    assert mpk["startup_ms"] < sfi["startup_ms"]
+    assert mpk["interaction_ms"] <= sfi["interaction_ms"]
+    assert mpk["fibonacci_overhead_pct"] < sfi["fibonacci_overhead_pct"]
+    assert mpk["diskio_overhead_pct"] < sfi["diskio_overhead_pct"]
+    # absolute values near the paper's measurements
+    assert abs(sfi["fibonacci_overhead_pct"] - 52.9) < 5.0
+    assert abs(mpk["fibonacci_overhead_pct"] - 35.2) < 5.0
+    assert abs(mpk["diskio_overhead_pct"] - 7.3) < 5.0
+    print("\n" + result.to_table())

@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_*`` module wraps one experiment: it times the full experiment
+body once (``benchmark.pedantic`` with a single round — experiments are
+seconds-long, statistical repetition happens *inside* them) and then asserts
+the paper's qualitative shape on the produced rows, so the harness doubles
+as an end-to-end regression gate for every figure.
+"""
+
+import pytest
+
+
+from repro.experiments import run_experiment  # imported once, not timed
+
+
+def run_once(benchmark, experiment_id: str, quick: bool = True):
+    """Run one experiment under the benchmark timer and return its result."""
+    return benchmark.pedantic(
+        lambda: run_experiment(experiment_id, quick=quick),
+        rounds=1, iterations=1)
+
+
+@pytest.fixture
+def rows_by():
+    """Index an ExperimentResult's rows by one or more key columns."""
+
+    def index(result, *keys):
+        return {tuple(row[k] for k in keys): row for row in result.rows}
+
+    return index

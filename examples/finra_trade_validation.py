@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""FINRA trade validation at scale: the paper's flagship workload.
+
+Sweeps the parallel-stage width (5 -> 100 rule checks per trade batch) and
+compares every deployment model's latency, memory, CPU allocation and
+per-node throughput — the content of Figures 6, 8 and 16 in one script.
+
+Run:  python examples/finra_trade_validation.py
+"""
+
+from repro.apps import finra
+from repro.experiments.systems import chiron_performance, paper_slo_ms
+from repro.metrics import throughput_report
+from repro.platforms import FaastlanePlatform, OpenFaaSPlatform, build_platform
+
+
+def main() -> None:
+    print("FINRA: validate a trade batch against N regulatory rules\n")
+    header = (f"{'rules':>6} {'system':14} {'latency':>9} {'memory':>9} "
+              f"{'cpus':>5} {'rps/node':>9}")
+    for width in (5, 25, 50, 100):
+        workflow = finra(width)
+        slo = paper_slo_ms(workflow)
+        systems = [
+            OpenFaaSPlatform(),
+            FaastlanePlatform(),
+            FaastlanePlatform(variant="T"),
+            build_platform("chiron", workflow, slo_ms=slo),   # SLO-driven
+            chiron_performance(workflow),                     # latency-first
+        ]
+        labels = ["openfaas", "faastlane", "faastlane-t",
+                  f"chiron(slo={slo:.0f})", "chiron(perf)"]
+        print(header)
+        for label, platform in zip(labels, systems):
+            rep = throughput_report(platform, workflow)
+            print(f"{width:>6} {label:14} {rep.latency_ms:8.1f}m "
+                  f"{platform.memory_mb(workflow):8.1f}M "
+                  f"{platform.allocated_cores(workflow):5d} "
+                  f"{rep.rps:9.1f}")
+        print()
+    print("observations to look for (paper §2.2/§6):")
+    print(" * faastlane-t wins at width 5, collapses by width 50 (GIL)")
+    print(" * faastlane's fork-block time grows linearly with width")
+    print(" * chiron(slo) uses a fraction of the CPUs at bounded latency;")
+    print("   chiron(perf) beats every baseline outright")
+
+
+if __name__ == "__main__":
+    main()

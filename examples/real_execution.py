@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Run a deployment plan with REAL threads and processes.
+
+Everything else in the repository simulates; this example drives
+:mod:`repro.localexec`, which executes plans with genuine
+``threading.Thread`` / ``multiprocessing.Process`` / process pools and real
+CPU-spin / sleep function bodies.  On a multi-core machine you can watch the
+paper's thread-vs-process trade-off with your own eyes; the GIL serializes
+the thread plan's CPU work while the process plan parallelizes it.
+
+Run:  python examples/real_execution.py
+"""
+
+import os
+
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.localexec import LocalExecutor, RealProfiler, synthesize
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+
+def build_workflow():
+    """Four CPU-heavy workers (20 ms spin each) behind a prep step."""
+    return (WorkflowBuilder("real-demo")
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 2.0), ("io", 5.0))))
+            .parallel("fan", [(f"worker-{i}", FunctionBehavior.cpu(20.0))
+                              for i in range(4)])
+            .build())
+
+
+def plan_with_mode(workflow, mode: ExecMode) -> DeploymentPlan:
+    """All parallel workers as threads, or one forked process each."""
+    if mode is ExecMode.THREAD:
+        groups = (ProcessAssignment(
+            tuple(f.name for f in workflow.stages[1]), ExecMode.THREAD),)
+    else:
+        groups = tuple(ProcessAssignment((f.name,), ExecMode.PROCESS)
+                       for f in workflow.stages[1])
+    wrap = Wrap(name="w1", stages=(
+        StageAssignment(0, (ProcessAssignment(("prep",), ExecMode.THREAD),)),
+        StageAssignment(1, groups),
+    ))
+    return DeploymentPlan(workflow_name=workflow.name, wraps=(wrap,))
+
+
+def main() -> None:
+    workflow = build_workflow()
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else os.cpu_count()
+    print(f"host: {cores} usable core(s) — thread/process gap shows best "
+          f"with >= 4\n")
+
+    # 1. Profile one worker for real (intercepted sleeps = strace's role).
+    profile = RealProfiler(repeats=2).profile(
+        "worker-0", synthesize(workflow.stages[1].functions[0].behavior))
+    print(f"real profile of worker-0: {profile.solo_latency_ms:.1f} ms solo "
+          f"({profile.behavior.cpu_ms:.1f} cpu / "
+          f"{profile.behavior.io_ms:.1f} io)\n")
+
+    # 2. Execute the same workflow under both execution modes.
+    for mode in (ExecMode.THREAD, ExecMode.PROCESS):
+        plan = plan_with_mode(workflow, mode)
+        with LocalExecutor(workflow, plan) as executor:
+            result = executor.run()
+        print(f"{mode.value:8s} plan: {result.latency_ms:7.1f} ms wall "
+              f"({len(result.function_ms)} functions)")
+    print("\nthreads hold the GIL while spinning, so the 4 x 20 ms of CPU "
+          "serializes (~80 ms+);\nprocesses overlap it given enough cores "
+          "— exactly Observation 2/3 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Latency-sensitive web service: trading SLO slack for resources.
+
+The Social Network workload (compose-post path) must answer interactive
+users; the operator picks an SLO and Chiron finds the cheapest deployment
+meeting it.  This script sweeps the SLO and shows the resulting plans, the
+measured latency distribution, and the violation rate — the Figure 14
+mechanism from an operator's point of view.
+
+Run:  python examples/social_network_slo.py
+"""
+
+from repro.apps import social_network
+from repro.core import ChironManager, SloPolicy
+from repro.metrics import summarize_latencies
+from repro.platforms import ChironPlatform
+
+
+def main() -> None:
+    # A media-heavy variant of the compose-post path: image filters and
+    # ML-based tagging multiply the CPU work, which is where the
+    # thread-vs-process decision starts to matter.
+    workflow = social_network().map_behaviors(
+        lambda b: b.scaled(cpu_factor=6.0, io_factor=1.5))
+    manager = ChironManager()
+    print(f"workflow: {workflow.name} (media-heavy) — "
+          f"{workflow.num_functions} functions, "
+          f"max parallelism {workflow.max_parallelism}")
+    print(f"uncontended critical path: {workflow.critical_path_ms:.1f} ms\n")
+
+    for slo_ms in (120.0, 60.0, 45.0, 30.0):
+        plan = manager.plan(workflow, slo_ms=slo_ms)
+        platform = ChironPlatform(plan)
+        latencies = [platform.run(workflow, seed=100 + r,
+                                  jitter_sigma=0.10).latency_ms
+                     for r in range(50)]
+        stats = summarize_latencies(latencies)
+        policy = SloPolicy(slo_ms)
+        viol = 100 * policy.violation_rate(latencies)
+        met = "met" if (plan.predicted_latency_ms or 0) <= slo_ms \
+            else "BEST-EFFORT"
+        print(f"SLO {slo_ms:6.1f} ms [{met}]: {plan.n_wraps} wrap(s), "
+              f"{plan.total_cores} CPU(s) | p50 {stats.p50_ms:6.1f} "
+              f"p99 {stats.p99_ms:6.1f} | violations {viol:4.1f}%")
+        for wrap in plan.wraps:
+            shapes = []
+            for sa in wrap.stages:
+                shapes.append("+".join(f"{p.mode.value[0]}{len(p.functions)}"
+                                       for p in sa.processes))
+            print(f"    {wrap.name}: stages [{' | '.join(shapes)}]")
+    print("\nkey: t3 = 3 functions as orchestrator threads, "
+          "p2 = 2 functions in a forked process")
+
+
+if __name__ == "__main__":
+    main()

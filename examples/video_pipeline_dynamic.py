@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Dynamic DAGs + adaptive re-planning: beyond the paper's evaluation.
+
+Two of the paper's §7 open problems in one script:
+
+1. **Dynamic workflows** — the Video-FFmpeg pipeline's switch step decides
+   per request whether to take the heavy *split* path (split + parallel
+   encodes + merge) or the light *simple* path.  Chiron plans each branch
+   and routes requests after the switch.
+2. **Workload drift** — encode functions get heavier over time (higher
+   bitrates); the adaptive deployer notices the SLO pressure and re-plans.
+
+Run:  python examples/video_pipeline_dynamic.py
+"""
+
+from repro.apps import video_ffmpeg
+from repro.core import AdaptiveDeployer, DynamicChironManager, \
+    DynamicChironPlatform
+from repro.platforms import ChironPlatform
+from repro.workflow.dynamic import probabilistic_selector
+
+
+def part1_dynamic_routing() -> None:
+    print("== part 1: the Video-FFmpeg switch ==")
+    dwf = video_ffmpeg(split_parallelism=4)
+    deployment = DynamicChironManager().deploy(dwf, slo_ms=220.0)
+    for name, plan in deployment.plans.items():
+        print(f"  branch {name!r}: {plan.n_wraps} wrap(s), "
+              f"{plan.total_cores} CPU(s), predicted "
+              f"{plan.predicted_latency_ms:.1f} ms")
+    platform = DynamicChironPlatform(
+        deployment,
+        probabilistic_selector({"split": 0.3, "simple": 0.7}, seed=42))
+    latencies = [platform.run(seed=r).latency_ms for r in range(30)]
+    print(f"  30 requests routed {dict(platform.routed)}; "
+          f"mean {sum(latencies) / len(latencies):.1f} ms, "
+          f"max {max(latencies):.1f} ms (SLO 220)\n")
+
+
+def part2_adaptive_replanning() -> None:
+    print("== part 2: bitrate drift and adaptive re-planning ==")
+    dwf = video_ffmpeg(split_parallelism=4)
+    split_wf = dwf.variant("split")
+
+    deployer = AdaptiveDeployer(window=8, cooldown=0)
+    deployer.deploy(split_wf, slo_ms=220.0)
+    print(f"  initial plan: {deployer.deployment.plan.total_cores} CPU(s), "
+          f"predicted {deployer.deployment.plan.predicted_latency_ms:.1f} ms")
+
+    # the world drifts: encodes become 1.8x heavier
+    drifted = split_wf.map_behaviors(lambda b: b.scaled(cpu_factor=1.8))
+    platform = ChironPlatform(deployer.deployment.plan)
+    for r in range(40):
+        latency = platform.run(drifted, seed=500 + r).latency_ms
+        event = deployer.observe(latency, current_workflow=drifted)
+        if event is not None:
+            print(f"  request {event.request_index}: refresh "
+                  f"({event.reason}, window p90 {event.p90_ms:.1f} ms) "
+                  f"{event.old_cores} -> {event.new_cores} CPU(s)")
+            platform = ChironPlatform(deployer.deployment.plan)
+    final = ChironPlatform(deployer.deployment.plan).run(drifted).latency_ms
+    print(f"  after adaptation: {final:.1f} ms on the drifted workload "
+          f"(SLO 220)")
+
+
+if __name__ == "__main__":
+    part1_dynamic_routing()
+    part2_adaptive_replanning()

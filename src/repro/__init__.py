@@ -1,0 +1,56 @@
+"""repro — a reproduction of Chiron (SC '23).
+
+"Rethinking Deployment for Serverless Functions: A Performance-first
+Perspective", Li, Zhao, Yang and Qu, SC '23 (DOI 10.1145/3581784.3613211).
+
+The package implements the paper's contribution — the *wrap* abstraction for
+"m-to-n" serverless deployment, the white-box GIL-aware latency predictor
+(Algorithm 1 + Eq. 1-4), and the PGP partitioning scheduler (Algorithm 2) —
+together with every substrate the evaluation depends on: a deterministic
+discrete-event runtime (sandboxes, processes, fork-block serialization, a
+CPython-style GIL arbiter, gateways, storage services), the baseline
+platforms (AWS Step Functions, OpenFaaS, SAND, Faastlane and its variants),
+the benchmark applications, from-scratch ML comparison predictors, and the
+cost/resource/throughput metrics used by the paper's figures.
+
+Quickstart::
+
+    from repro import apps, core, platforms
+    wf = apps.finra(parallelism=50)
+    manager = core.ChironManager()
+    plan = manager.plan(wf, slo_ms=150.0)
+    result = platforms.ChironPlatform(plan=plan).run(wf)
+    print(result.latency_ms)
+"""
+
+from repro._version import __version__
+
+#: Public names re-exported lazily (PEP 562) so that importing one subsystem
+#: does not pull in the whole package.
+_LAZY_EXPORTS = {
+    "Workflow": "repro.workflow",
+    "Stage": "repro.workflow",
+    "FunctionSpec": "repro.workflow",
+    "FunctionBehavior": "repro.workflow",
+    "ChironManager": "repro.core",
+    "DeploymentPlan": "repro.core",
+    "ExecMode": "repro.core",
+    "LatencyPredictor": "repro.core",
+    "PGPScheduler": "repro.core",
+    "Profiler": "repro.core",
+    "Wrap": "repro.core",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

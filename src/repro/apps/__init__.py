@@ -1,0 +1,40 @@
+"""The paper's benchmark applications (§6 "Testbed and Benchmarks").
+
+Five workloads drive every figure:
+
+* :func:`finra` — Financial Industry Regulatory Authority trade validation
+  (2 stages; 5/25/50/100/200 parallel rule checks);
+* :func:`social_network` — DeathStarBench-style Social Network (4 stages,
+  10 functions, max parallelism 5);
+* :func:`movie_review` — Movie Reviewing (4 stages, 9 functions, max
+  parallelism 4);
+* :func:`slapp` — SLApp from Lin & Khazaei (2 all-parallel stages, 7
+  functions mixing CPU-, disk-IO- and network-IO-intensive types);
+* :func:`slapp_v` — the 5-stage, 10-function SLApp variant.
+
+Per-function CPU/block behaviours are calibrated so the simulated Chiron
+latencies land near the absolute values Figure 13 prints above its bars
+(26 ms SN ... 236 ms FINRA-200); see EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from repro.apps.catalog import (
+    ALL_WORKLOADS,
+    finra,
+    movie_review,
+    slapp,
+    slapp_v,
+    social_network,
+    video_ffmpeg,
+    workload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "finra",
+    "movie_review",
+    "slapp",
+    "slapp_v",
+    "social_network",
+    "video_ffmpeg",
+    "workload",
+]

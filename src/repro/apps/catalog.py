@@ -1,0 +1,209 @@
+"""Workload definitions and the named-workload registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import WorkflowError
+from repro.workflow.behavior import FunctionBehavior
+from repro.workflow.dsl import WorkflowBuilder
+from repro.workflow.model import Workflow
+
+
+def _b(*pairs: tuple[str, float], data_mb: float = 0.01) -> FunctionBehavior:
+    return FunctionBehavior.of(*pairs, data_out_mb=data_mb)
+
+
+# ---------------------------------------------------------------------------
+# FINRA — trade validation against pre-determined rules [2, 30]
+# ---------------------------------------------------------------------------
+
+def finra(parallelism: int = 50) -> Workflow:
+    """FINRA: fetch market/portfolio data, then validate trades in parallel.
+
+    Stage 1 is a data-fetch dominated by network I/O; stage 2 runs
+    ``parallelism`` near-identical rule checks of a few milliseconds each
+    (the paper configures 5-200).
+    """
+    if parallelism < 1:
+        raise WorkflowError(f"parallelism must be >= 1, got {parallelism}")
+    fetch = _b(("cpu", 4.0), ("io", 55.0), ("cpu", 1.5), data_mb=2.0)
+    # Rule checks are mildly heterogeneous: marshalling + rule evaluation
+    # with a short audit write.  Sub-10 ms each (Figure 5's timeline).
+    rules = []
+    for i in range(parallelism):
+        cpu = 5.5 + 1.0 * ((i * 7) % 3)      # 5.5 / 6.5 / 7.5 ms
+        io = 1.0 + 0.5 * ((i * 5) % 2)       # 1.0 / 1.5 ms
+        rules.append((f"validate-{i}", _b(("cpu", cpu), ("io", io))))
+    return (WorkflowBuilder(f"finra-{parallelism}")
+            .sequential("fetch", ("fetch-data", fetch))
+            .parallel("validate", rules)
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# Social Network — DeathStarBench-style compose-post path [23]
+# ---------------------------------------------------------------------------
+
+def social_network() -> Workflow:
+    """Social Network: 4 stages, 10 functions, max parallelism 5."""
+    return (WorkflowBuilder("social-network")
+            .sequential("compose", ("compose-post",
+                                    _b(("cpu", 1.2), ("io", 2.0))))
+            .parallel("enrich", [
+                ("text-filter", _b(("cpu", 2.5), ("io", 1.0))),
+                ("user-tag", _b(("cpu", 1.0), ("io", 3.5))),
+                ("url-shorten", _b(("cpu", 0.8), ("io", 3.0))),
+                ("media-check", _b(("cpu", 3.0), ("io", 2.0))),
+                ("user-mention", _b(("cpu", 1.2), ("io", 3.0))),
+            ])
+            .parallel("persist", [
+                ("store-post", _b(("cpu", 0.6), ("io", 5.0))),
+                ("write-timeline", _b(("cpu", 0.8), ("io", 4.0))),
+                ("notify-followers", _b(("cpu", 0.5), ("io", 4.5))),
+            ])
+            .sequential("respond", ("respond", _b(("cpu", 0.8),)))
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# Movie Reviewing [23]
+# ---------------------------------------------------------------------------
+
+def movie_review() -> Workflow:
+    """Movie Reviewing: 4 stages, 9 functions, max parallelism 4."""
+    return (WorkflowBuilder("movie-review")
+            .sequential("upload", ("upload-review",
+                                   _b(("cpu", 1.0), ("io", 1.5))))
+            .parallel("analyze", [
+                ("process-text", _b(("cpu", 2.2), ("io", 0.8))),
+                ("rate-movie", _b(("cpu", 1.0), ("io", 2.0))),
+                ("spam-check", _b(("cpu", 2.5), ("io", 0.5))),
+                ("extract-entities", _b(("cpu", 2.0), ("io", 1.0))),
+            ])
+            .parallel("persist", [
+                ("store-review", _b(("cpu", 0.5), ("io", 4.0))),
+                ("update-movie-stats", _b(("cpu", 0.8), ("io", 3.0))),
+                ("update-user-profile", _b(("cpu", 0.6), ("io", 3.2))),
+            ])
+            .sequential("respond", ("respond", _b(("cpu", 0.6),)))
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# SLApp and SLApp-V [33]
+# ---------------------------------------------------------------------------
+
+#: the four workload archetypes of §2.2 Observation 4 / Figure 7: similar
+#: solo latency (~25 ms), very different CPU/IO mixes.
+SLAPP_ARCHETYPES = {
+    "factorial": _b(("cpu", 25.0)),
+    "fibonacci": _b(("cpu", 24.0)),
+    "disk-io": _b(("cpu", 2.5), ("io", 22.0)),
+    "network-io": _b(("cpu", 1.5), ("io", 24.0)),
+}
+
+
+def slapp() -> Workflow:
+    """SLApp: 2 all-parallel stages, 7 functions, max parallelism 4.
+
+    "There is no sequential function in SLApp" — both stages fan out, with
+    CPU-, disk-IO- and network-IO-intensive members of similar latency.
+    """
+    return (WorkflowBuilder("slapp")
+            .parallel("stage-a", [
+                ("factorial-a", SLAPP_ARCHETYPES["factorial"]),
+                ("disk-io-a", SLAPP_ARCHETYPES["disk-io"]),
+                ("network-io-a", SLAPP_ARCHETYPES["network-io"]),
+            ])
+            .parallel("stage-b", [
+                ("fibonacci-b", SLAPP_ARCHETYPES["fibonacci"]),
+                ("factorial-b", SLAPP_ARCHETYPES["factorial"]),
+                ("disk-io-b", SLAPP_ARCHETYPES["disk-io"]),
+                ("network-io-b", SLAPP_ARCHETYPES["network-io"]),
+            ])
+            .build())
+
+
+def slapp_v() -> Workflow:
+    """SLApp-V: the 5-stage, 10-function variant, max parallelism 5."""
+    return (WorkflowBuilder("slapp-v")
+            .sequential("ingest", ("ingest", _b(("cpu", 2.0), ("io", 6.0))))
+            .parallel("burst", [
+                ("factorial-1", SLAPP_ARCHETYPES["factorial"]),
+                ("fibonacci-1", SLAPP_ARCHETYPES["fibonacci"]),
+                ("disk-io-1", SLAPP_ARCHETYPES["disk-io"]),
+                ("network-io-1", SLAPP_ARCHETYPES["network-io"]),
+                ("factorial-2", SLAPP_ARCHETYPES["factorial"]),
+            ])
+            .sequential("reduce", ("reduce", _b(("cpu", 4.0), ("io", 2.0))))
+            .parallel("post", [
+                ("disk-io-2", SLAPP_ARCHETYPES["disk-io"]),
+                ("network-io-2", SLAPP_ARCHETYPES["network-io"]),
+            ])
+            .sequential("respond", ("respond", _b(("cpu", 1.5),)))
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# Video-FFmpeg — the dynamic-DAG example of §7 (extension)
+# ---------------------------------------------------------------------------
+
+def video_ffmpeg(split_parallelism: int = 4):
+    """Video processing with a data-dependent switch (§7 scenario 2).
+
+    ``upload`` decides the chain: large videos go down the *split* path
+    (split, parallel encodes, merge); small ones take *simple* (a single
+    transcode).  Returns a :class:`~repro.workflow.dynamic.DynamicWorkflow`.
+    """
+    from repro.workflow.dynamic import Branch, DynamicWorkflow
+    from repro.workflow.model import FunctionSpec, Stage
+
+    if split_parallelism < 1:
+        raise WorkflowError("split_parallelism must be >= 1")
+    upload = Stage("upload", [FunctionSpec(
+        "upload", _b(("cpu", 3.0), ("io", 30.0), data_mb=8.0))])
+    store = Stage("store", [FunctionSpec(
+        "store-result", _b(("cpu", 1.0), ("io", 12.0)))])
+    split_branch = Branch("split", (
+        Stage("split", [FunctionSpec(
+            "split", _b(("cpu", 10.0), ("io", 6.0), data_mb=8.0))]),
+        Stage("encode", [FunctionSpec(
+            f"encode-{i}", _b(("cpu", 35.0), ("io", 4.0), data_mb=2.0))
+            for i in range(split_parallelism)]),
+        Stage("merge", [FunctionSpec(
+            "merge", _b(("cpu", 8.0), ("io", 5.0), data_mb=8.0))]),
+    ))
+    simple_branch = Branch("simple", (
+        Stage("simple", [FunctionSpec(
+            "simple-process", _b(("cpu", 18.0), ("io", 6.0), data_mb=4.0))]),
+    ))
+    return DynamicWorkflow("video-ffmpeg", prefix=(upload,),
+                           branches=(split_branch, simple_branch),
+                           suffix=(store,))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+ALL_WORKLOADS: Dict[str, Callable[[], Workflow]] = {
+    "social-network": social_network,
+    "movie-review": movie_review,
+    "slapp": slapp,
+    "slapp-v": slapp_v,
+    "finra-5": lambda: finra(5),
+    "finra-50": lambda: finra(50),
+    "finra-100": lambda: finra(100),
+    "finra-200": lambda: finra(200),
+}
+
+
+def workload(name: str) -> Workflow:
+    """Build a named workload (the eight x-axis entries of Figure 13)."""
+    try:
+        return ALL_WORKLOADS[name]()
+    except KeyError:
+        raise WorkflowError(
+            f"unknown workload {name!r}; known: {sorted(ALL_WORKLOADS)}"
+        ) from None

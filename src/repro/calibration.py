@@ -1,0 +1,276 @@
+"""Calibrated timing, memory and pricing constants.
+
+Every constant used by the simulated runtime, the predictor and the cost
+model lives here, with the paper passage (or public source) it was calibrated
+against.  All times are **milliseconds**, memory is **megabytes**, bandwidth
+is **MB per millisecond** unless a suffix says otherwise.
+
+The simulator reproduces the *shape* of the paper's results; these numbers
+were tuned so that Chiron's absolute latencies land near the values printed
+above the bars of Figure 13 (26 ms for Social Network ... 236 ms for
+FINRA-200), but exact testbed milliseconds are out of scope (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+# ---------------------------------------------------------------------------
+# Process / thread / sandbox lifecycle (paper §2.2, Figure 5)
+# ---------------------------------------------------------------------------
+
+#: Average time from ``fork()`` returning in the child to the function body
+#: starting ("the average startup time (i.e., 7.5 ms) can be 10x higher than
+#: the execution time of sub-millisecond scale functions", §2.2 Obs. 2).
+PROCESS_STARTUP_MS = 7.5
+
+#: Time the *parent* is occupied per fork syscall.  Forks are serialized in
+#: the parent, so process ``j`` waits ``(j-1) * PROCESS_FORK_BLOCK_MS`` before
+#: its own fork starts ("when 50 parallel functions execute simultaneously,
+#: the blocking time can reach up to 169 ms" -> 169/50 = 3.4 ms).
+PROCESS_FORK_BLOCK_MS = 3.4
+
+#: Thread creation cost ("thread reduces startup latency by 96% compared to
+#: process": 7.5 ms * 0.04 = 0.3 ms).
+THREAD_STARTUP_MS = 0.3
+
+#: Cold start of a Python container sandbox ("starting a Hello-world Python
+#: container takes 167 ms", §1).  Evaluation runs are warm (§6.2 "without
+#: cold start") but the constant drives the cold-start code path and tests.
+SANDBOX_COLD_START_MS = 167.0
+
+#: CPython's default GIL switch interval (``sys.getswitchinterval`` = 5 ms).
+GIL_SWITCH_INTERVAL_MS = 5.0
+
+#: Warm-up cost for a worker in a process pool: the pool forks at sandbox
+#: init, so per-request startup is just task dispatch (§4 "True Parallelism").
+POOL_DISPATCH_MS = 0.5
+
+#: Node.js worker_threads startup observed on AWS Lambda (§2.1: "worker
+#: threads incur more than 50 ms of startup overhead for each function").
+NODEJS_WORKER_THREAD_STARTUP_MS = 50.0
+
+
+# ---------------------------------------------------------------------------
+# Interaction overheads (Eq. 2-3, §3.3)
+# ---------------------------------------------------------------------------
+
+#: One cross-sandbox invocation through the local gateway (T_RPC in Eq. 2).
+#: Includes HTTP round trip + payload (de)serialization.
+T_RPC_MS = 12.0
+
+#: Per-invocation client-side overhead when one wrap invokes several sibling
+#: wraps in a stage (T_INV in Eq. 2): the (k-1) earlier async submissions.
+T_INV_MS = 0.8
+
+#: Pipe-based inter-process communication per process pair inside one sandbox
+#: (T_IPC in Eq. 3).  FINRA-5 under Faastlane measured 4.3 ms total for 4
+#: pairs (§2.2 Obs. 2) -> ~1.1 ms per pair.
+T_IPC_MS = 1.1
+
+#: Extra per-byte cost of pipe IPC (pipes stream at roughly 1.5 GB/s).
+PIPE_BANDWIDTH_MB_PER_MS = 1.5
+
+
+# ---------------------------------------------------------------------------
+# Gateways and remote schedulers (Figure 3)
+# ---------------------------------------------------------------------------
+
+#: AWS Step Functions: latency to schedule/dispatch one state ("ASF uses
+#: 150 ms for scheduling a function").
+ASF_DISPATCH_LATENCY_MS = 150.0
+
+#: ASF "only able to run up-to 10 functions concurrently" (§2.2 Obs. 1).
+ASF_MAX_CONCURRENT_DISPATCH = 10
+
+#: Serial issue gap between successive ASF dispatches once the concurrency
+#: window is saturated.  Tuned so FINRA scheduling overhead lands near the
+#: paper's 150/874/1628 ms for 5/25/50 parallel functions.
+ASF_DISPATCH_ISSUE_GAP_MS = 31.0
+
+#: OpenFaaS local gateway: invocations are proxied serially, each paying a
+#: fixed service time plus a load-dependent term (connection/queue
+#: contention), reproducing the superlinear 2/70/180 ms overhead of
+#: Figure 3: sum_{i=1..n}(base + i * per_inflight) ~= 3 / 48 / 166 ms.
+GATEWAY_SERVICE_BASE_MS = 0.25
+GATEWAY_SERVICE_PER_INFLIGHT_MS = 0.12
+
+
+# ---------------------------------------------------------------------------
+# Remote storage (Figure 4)
+# ---------------------------------------------------------------------------
+
+#: Constants are per *operation* (one put or one get); a function-to-function
+#: exchange is put + get.  S3 from Lambda: "even the smallest data transfer
+#: can take up to 52 ms" (2 x 26 ms); 1 GB reaches ~25 s -> ~80 MB/s per op.
+S3_BASE_LATENCY_MS = 26.0
+S3_BANDWIDTH_MB_PER_MS = 0.08
+
+#: MinIO on the local cluster: exchange floor ~9 ms, 1 GB exchange ~10 s.
+MINIO_BASE_LATENCY_MS = 4.5
+MINIO_BANDWIDTH_MB_PER_MS = 0.2
+
+
+# ---------------------------------------------------------------------------
+# Isolation mechanisms (Table 1, §4)
+# ---------------------------------------------------------------------------
+
+#: Software-fault isolation (WebAssembly/Faasm-style), Table 1 row "SFI".
+SFI_STARTUP_MS = 18.0
+SFI_INTERACTION_MS = 8.0
+SFI_EXEC_OVERHEAD_CPU = 0.529   # +52.9 % on CPU-bound (Fibonacci)
+SFI_EXEC_OVERHEAD_IO = 0.294    # +29.4 % on disk-IO-bound
+
+#: Intel MPK, Table 1 row "Intel MPK".
+MPK_STARTUP_MS = 0.2
+MPK_INTERACTION_MS = 0.0
+MPK_EXEC_OVERHEAD_CPU = 0.352   # +35.2 % on CPU-bound
+MPK_EXEC_OVERHEAD_IO = 0.073    # +7.3 % on disk-IO-bound
+
+
+# ---------------------------------------------------------------------------
+# Memory model (Figure 16 discussion, §2.2 Obs. 4)
+# ---------------------------------------------------------------------------
+
+#: Resident memory of one warm Python runtime + common libraries.  Duplicated
+#: per sandbox under one-to-one deployment ("severe memory redundancy between
+#: sandboxes for language runtime and libraries, e.g., 77.2% in FINRA").
+RUNTIME_BASE_MEMORY_MB = 24.0
+
+#: Unique working-set per function (code + state), never shared.
+FUNCTION_UNIQUE_MEMORY_MB = 0.55
+
+#: Copy-on-write overhead per extra forked process inside a sandbox (partial
+#: duplication of interpreter state).
+PROCESS_COW_MEMORY_MB = 1.6
+
+#: Per-thread stack + bookkeeping inside a process.
+THREAD_MEMORY_MB = 0.11
+
+#: Extra resident memory per long-lived process-pool worker ("the
+#: long-running processes consume more than 5x memory", §6.3).
+POOL_WORKER_MEMORY_MB = 22.0
+
+#: Sandbox/container overhead beyond the runtime (watchdog, libc, cgroup).
+SANDBOX_OVERHEAD_MEMORY_MB = 6.0
+
+
+# ---------------------------------------------------------------------------
+# Pricing (Figure 19, Google Cloud Functions prices quoted in §6.3)
+# ---------------------------------------------------------------------------
+
+PRICE_PER_GB_SECOND = 2.5e-6
+PRICE_PER_GHZ_SECOND = 1.0e-5
+CPU_CLOCK_GHZ = 2.1                      # Intel Xeon Gold 6230 (Table 2)
+#: ASF additionally charges per state transition (§6.3 "The one-to-one model
+#: has to additionally pay for every state transition between functions").
+ASF_PRICE_PER_STATE_TRANSITION = 2.5e-5
+
+
+# ---------------------------------------------------------------------------
+# Testbed (Table 2)
+# ---------------------------------------------------------------------------
+
+NODE_CORES = 40
+NODE_MEMORY_MB = 128 * 1024
+CLUSTER_NODES = 8
+
+
+@dataclass(frozen=True)
+class RuntimeCalibration:
+    """A bundle of the lifecycle/interaction constants the runtime consumes.
+
+    Experiments that explore "what if" scenarios (ablations, the Java no-GIL
+    runtime, MPK variants) build modified copies via :meth:`evolve` instead
+    of mutating module globals.
+    """
+
+    process_startup_ms: float = PROCESS_STARTUP_MS
+    fork_block_ms: float = PROCESS_FORK_BLOCK_MS
+    thread_startup_ms: float = THREAD_STARTUP_MS
+    sandbox_cold_start_ms: float = SANDBOX_COLD_START_MS
+    gil_switch_interval_ms: float = GIL_SWITCH_INTERVAL_MS
+    pool_dispatch_ms: float = POOL_DISPATCH_MS
+    t_rpc_ms: float = T_RPC_MS
+    t_inv_ms: float = T_INV_MS
+    t_ipc_ms: float = T_IPC_MS
+    pipe_bandwidth_mb_per_ms: float = PIPE_BANDWIDTH_MB_PER_MS
+    gateway_service_base_ms: float = GATEWAY_SERVICE_BASE_MS
+    gateway_service_per_inflight_ms: float = GATEWAY_SERVICE_PER_INFLIGHT_MS
+    runtime_base_memory_mb: float = RUNTIME_BASE_MEMORY_MB
+    function_unique_memory_mb: float = FUNCTION_UNIQUE_MEMORY_MB
+    process_cow_memory_mb: float = PROCESS_COW_MEMORY_MB
+    thread_memory_mb: float = THREAD_MEMORY_MB
+    pool_worker_memory_mb: float = POOL_WORKER_MEMORY_MB
+    sandbox_overhead_memory_mb: float = SANDBOX_OVERHEAD_MEMORY_MB
+    #: Whether the language runtime serializes thread execution (CPython /
+    #: Node.js -> True; Java / no-GIL CPython -> False).  Figure 18.
+    has_gil: bool = True
+    #: Multiplicative execution overhead applied to CPU segments / IO
+    #: segments by the active isolation mechanism (0 for native threads).
+    exec_overhead_cpu: float = 0.0
+    exec_overhead_io: float = 0.0
+    #: Extra per-function startup / per-interaction cost of the isolation
+    #: mechanism (SFI / MPK, Table 1).
+    isolation_startup_ms: float = 0.0
+    isolation_interaction_ms: float = 0.0
+
+    def evolve(self, **changes: object) -> "RuntimeCalibration":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def native(cls) -> "RuntimeCalibration":
+        """Native CPython threads (default configuration)."""
+        return cls()
+
+    @classmethod
+    def mpk(cls) -> "RuntimeCalibration":
+        """Intel MPK memory isolation between threads (Table 1)."""
+        return cls(
+            exec_overhead_cpu=MPK_EXEC_OVERHEAD_CPU,
+            exec_overhead_io=MPK_EXEC_OVERHEAD_IO,
+            isolation_startup_ms=MPK_STARTUP_MS,
+            isolation_interaction_ms=MPK_INTERACTION_MS,
+        )
+
+    @classmethod
+    def sfi(cls) -> "RuntimeCalibration":
+        """WebAssembly-style software fault isolation (Table 1)."""
+        return cls(
+            exec_overhead_cpu=SFI_EXEC_OVERHEAD_CPU,
+            exec_overhead_io=SFI_EXEC_OVERHEAD_IO,
+            isolation_startup_ms=SFI_STARTUP_MS,
+            isolation_interaction_ms=SFI_INTERACTION_MS,
+        )
+
+    @classmethod
+    def no_gil(cls) -> "RuntimeCalibration":
+        """A true-parallel runtime (Java threads, Figure 18)."""
+        return cls(
+            has_gil=False,
+            # JVM thread start is cheap and fork-style process start is not
+            # used; startup constants stay at the Python-calibrated defaults
+            # for the process paths that baselines still exercise.
+            thread_startup_ms=0.15,
+        )
+
+    @classmethod
+    def nodejs(cls) -> "RuntimeCalibration":
+        """Node.js with worker_threads (§2.1).
+
+        The event loop serializes JavaScript execution like a GIL, and
+        worker_threads pay ">50 ms of startup overhead for each function"
+        (measured on AWS Lambda) — which is why thread fan-out doubles the
+        latency of median 60 ms functions there.
+        """
+        return cls(
+            has_gil=True,
+            thread_startup_ms=NODEJS_WORKER_THREAD_STARTUP_MS,
+            # V8 isolate spin-up is lighter than forking CPython
+            process_startup_ms=5.0,
+        )
+
+
+DEFAULT_CALIBRATION = RuntimeCalibration.native()

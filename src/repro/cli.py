@@ -1,0 +1,214 @@
+"""Command-line interface: run experiments, inspect plans, demo execution.
+
+Examples::
+
+    chiron-repro list
+    chiron-repro run fig13 --quick
+    chiron-repro run-all --quick
+    chiron-repro plan --workload finra-50 --slo 150
+    chiron-repro demo --workload social-network
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        fn = EXPERIMENTS[name]
+        doc = fn.__doc__ or sys.modules[fn.__module__].__doc__ or ""
+        first = doc.strip().splitlines()[0] if doc.strip() else ""
+        print(f"  {name:22s} {first}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment(args.experiment, quick=args.quick)
+    print(result.to_table())
+    if args.chart:
+        from repro.experiments.render import bar_chart
+
+        numeric = [c for c in result.columns
+                   if result.rows and isinstance(result.rows[0][c],
+                                                 (int, float))]
+        labels = [c for c in result.columns if c not in numeric]
+        if numeric and labels:
+            values = [float(r[numeric[-1]]) for r in result.rows]
+            spread = max(values) / max(min(v for v in values if v > 0), 1e-9) \
+                if any(v > 0 for v in values) else 1.0
+            print()
+            print(bar_chart(result, label_cols=labels,
+                            value_col=numeric[-1], log=spread > 100))
+    print(f"\n[{args.experiment} finished in "
+          f"{time.perf_counter() - t0:.1f} s]")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    failures = []
+    for name in sorted(EXPERIMENTS):
+        t0 = time.perf_counter()
+        try:
+            result = run_experiment(name, quick=args.quick)
+        except Exception as exc:  # surface but keep going
+            failures.append((name, exc))
+            print(f"=== {name}: FAILED ({exc}) ===\n")
+            continue
+        print(f"=== {name} ({time.perf_counter() - t0:.1f} s) ===")
+        print(result.to_table())
+        print()
+    if failures:
+        print(f"{len(failures)} experiment(s) failed:",
+              ", ".join(n for n, _ in failures))
+        return 1
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.apps import workload
+    from repro.core import ChironManager
+
+    wf = workload(args.workload)
+    manager = ChironManager()
+    deployment = manager.deploy(wf, slo_ms=args.slo)
+    plan = deployment.plan
+    if args.save:
+        from repro.core.serialize import plan_to_json
+
+        with open(args.save, "w") as fh:
+            fh.write(plan_to_json(plan))
+        print(f"plan written to {args.save}")
+    print(f"workflow {wf.name}: {wf.num_functions} functions, "
+          f"{len(wf.stages)} stages, max parallelism {wf.max_parallelism}")
+    print(f"SLO {args.slo:.1f} ms -> predicted "
+          f"{plan.predicted_latency_ms:.1f} ms, {plan.n_wraps} wrap(s), "
+          f"{plan.total_cores} CPU(s)")
+    for wrap in plan.wraps:
+        print(f"\n{wrap.name} (cores={plan.cores_for(wrap)}):")
+        for sa in wrap.stages:
+            groups = ", ".join(
+                f"{p.mode.value}[{','.join(p.functions)}]"
+                for p in sa.processes)
+            print(f"  stage {sa.stage_index}: {groups}")
+    if args.show_code:
+        for name, source in deployment.orchestrator_sources.items():
+            print(f"\n----- generated orchestrator: {name} -----")
+            print(source)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.apps import workload
+    from repro.core.serialize import plan_from_json
+    from repro.metrics import summarize_latencies
+    from repro.platforms import ChironPlatform
+
+    wf = workload(args.workload)
+    with open(args.plan_file) as fh:
+        plan = plan_from_json(fh.read())
+    plan.validate(wf)
+    platform = ChironPlatform(plan)
+    latencies = [platform.run(wf, seed=1000 + r).latency_ms
+                 for r in range(args.requests)]
+    stats = summarize_latencies(latencies)
+    print(f"replayed {args.requests} request(s) of {wf.name!r} on "
+          f"{plan.n_wraps} wrap(s):")
+    print(f"  mean {stats.mean_ms:.1f} ms | p50 {stats.p50_ms:.1f} | "
+          f"p99 {stats.p99_ms:.1f}")
+    if plan.slo_ms:
+        viol = sum(1 for l in latencies if l > plan.slo_ms)
+        print(f"  SLO {plan.slo_ms:.1f} ms: {viol}/{args.requests} violations")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.apps import workload
+    from repro.core import ChironManager
+    from repro.localexec import LocalExecutor
+
+    wf = workload(args.workload)
+    # scale behaviours down so the demo runs in ~a second on any laptop
+    demo_wf = wf.map_behaviors(lambda b: b.scaled(cpu_factor=0.2,
+                                                  io_factor=0.2))
+    manager = ChironManager()
+    plan = manager.plan(demo_wf, slo_ms=args.slo)
+    print(f"plan: {plan.n_wraps} wrap(s), {plan.total_cores} CPU(s), "
+          f"predicted {plan.predicted_latency_ms:.1f} ms (scaled demo)")
+    with LocalExecutor(demo_wf, plan) as executor:
+        result = executor.run()
+    print(f"real execution: {result.latency_ms:.1f} ms wall, "
+          f"{len(result.function_ms)} functions ran")
+    for name, ms in sorted(result.function_ms.items()):
+        print(f"  {name:24s} {ms:7.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chiron-repro",
+        description="Reproduction of Chiron (SC '23): m-to-n serverless "
+                    "deployment with wraps and PGP.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments") \
+        .set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--quick", action="store_true",
+                       help="reduced repeats/sweeps")
+    p_run.add_argument("--chart", action="store_true",
+                       help="append an ASCII bar chart of the last column")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--quick", action="store_true")
+    p_all.set_defaults(func=_cmd_run_all)
+
+    p_plan = sub.add_parser("plan", help="show PGP's plan for a workload")
+    p_plan.add_argument("--workload", default="finra-50")
+    p_plan.add_argument("--slo", type=float, default=150.0)
+    p_plan.add_argument("--show-code", action="store_true",
+                        help="print generated orchestrator sources")
+    p_plan.add_argument("--save", metavar="FILE",
+                        help="write the plan as JSON")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_replay = sub.add_parser(
+        "replay", help="execute a saved plan on the simulated platform")
+    p_replay.add_argument("plan_file")
+    p_replay.add_argument("--workload", required=True)
+    p_replay.add_argument("--requests", type=int, default=10)
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_demo = sub.add_parser("demo",
+                            help="execute a plan with real threads/processes")
+    p_demo.add_argument("--workload", default="social-network")
+    p_demo.add_argument("--slo", type=float, default=100.0)
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

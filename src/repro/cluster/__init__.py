@@ -1,0 +1,50 @@
+"""Cluster-level deployment and load testing.
+
+The paper's Figure 16 derives maximum throughput from a capacity argument
+(instances that fit a node × per-instance service rate).  This package
+*measures* it instead:
+
+* :mod:`~repro.cluster.deployment` places a platform's sandbox footprints
+  onto :class:`~repro.runtime.machine.Machine`/:class:`Cluster` nodes
+  (first-fit, whole-CPU allocations, Table 2 node shapes);
+* :mod:`~repro.cluster.loadgen` replays open-loop (Poisson) or closed-loop
+  request streams against the placed instances — per-request service times
+  are drawn from the request-level simulator, so queueing delay and
+  saturation emerge rather than being assumed;
+* :mod:`~repro.cluster.saturation` searches for the maximum arrival rate a
+  node sustains with bounded queueing — the measured counterpart of
+  :func:`repro.metrics.throughput.max_throughput_rps`.
+"""
+
+from repro.cluster.autoscale import (
+    AutoscaleResult,
+    AutoscalerConfig,
+    run_autoscaled,
+)
+from repro.cluster.deployment import ClusterDeployment, place_on_node
+from repro.cluster.loadgen import LoadResult, run_closed_loop, run_open_loop
+from repro.cluster.saturation import find_saturation_rps
+from repro.cluster.traces import (
+    burst_arrivals,
+    constant_arrivals,
+    diurnal_arrivals,
+    interarrival_stats,
+    nonhomogeneous_poisson,
+)
+
+__all__ = [
+    "AutoscaleResult",
+    "AutoscalerConfig",
+    "ClusterDeployment",
+    "LoadResult",
+    "burst_arrivals",
+    "constant_arrivals",
+    "diurnal_arrivals",
+    "find_saturation_rps",
+    "interarrival_stats",
+    "nonhomogeneous_poisson",
+    "place_on_node",
+    "run_autoscaled",
+    "run_closed_loop",
+    "run_open_loop",
+]

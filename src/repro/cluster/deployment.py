@@ -1,0 +1,90 @@
+"""Placing deployment instances onto cluster nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CapacityError
+from repro.platforms.base import Platform
+from repro.runtime.machine import Allocation, Cluster, Machine
+from repro.runtime.memory import sandbox_memory_mb
+from repro.workflow.model import Workflow
+
+
+@dataclass
+class DeploymentInstance:
+    """One complete copy of a workflow deployment (all its sandboxes)."""
+
+    index: int
+    allocations: list[Allocation] = field(default_factory=list)
+
+    def release(self) -> None:
+        for allocation in self.allocations:
+            allocation.release()
+
+
+@dataclass
+class ClusterDeployment:
+    """All instances of one platform's deployment placed on a cluster."""
+
+    platform: Platform
+    workflow: Workflow
+    cluster: Cluster
+    instances: list[DeploymentInstance] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.instances)
+
+    def scale_to(self, replicas: int) -> "ClusterDeployment":
+        """Add instances until ``replicas`` exist (raises when full)."""
+        while self.count < replicas:
+            self.instances.append(self._place_one(self.count))
+        while self.count > replicas:
+            self.instances.pop().release()
+        return self
+
+    def scale_max(self) -> "ClusterDeployment":
+        """Place instances until the cluster refuses another one."""
+        while True:
+            try:
+                self.instances.append(self._place_one(self.count))
+            except CapacityError:
+                return self
+
+    def _place_one(self, index: int) -> DeploymentInstance:
+        """Place every sandbox of one instance (all-or-nothing)."""
+        cal = self.platform.cal
+        footprints = self.platform.footprints(self.workflow)
+        cores = self.platform.per_sandbox_cores(self.workflow)
+        if len(cores) != len(footprints):
+            raise CapacityError(
+                f"{self.platform.name}: {len(cores)} cpusets for "
+                f"{len(footprints)} sandboxes")
+        instance = DeploymentInstance(index=index)
+        try:
+            for fp, core in zip(footprints, cores):
+                memory = sandbox_memory_mb(fp, cal)
+                instance.allocations.append(
+                    self.cluster.place(core, memory))
+        except CapacityError:
+            instance.release()
+            raise
+        return instance
+
+    def teardown(self) -> None:
+        self.scale_to(0)
+
+
+def place_on_node(platform: Platform, workflow: Workflow,
+                  node: Optional[Machine] = None) -> ClusterDeployment:
+    """Max-pack one node with instances of a deployment (Figure 16 setup)."""
+    cluster = Cluster(nodes=1) if node is None else _single(node)
+    return ClusterDeployment(platform, workflow, cluster).scale_max()
+
+
+def _single(node: Machine) -> Cluster:
+    cluster = Cluster(nodes=1)
+    cluster.machines = [node]
+    return cluster

@@ -1,0 +1,142 @@
+"""Open- and closed-loop load generation against placed instances.
+
+Requests queue for a free deployment instance (FIFO); each request's
+service time is sampled by actually running the request-level simulator
+with seeded jitter.  The load test itself is a second discrete-event
+simulation on the same kernel, so queueing delay, utilization and drop-off
+at saturation all emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.platforms.base import Platform
+from repro.simcore import Environment, Resource
+from repro.workflow.model import Workflow
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load test."""
+
+    offered_rps: float
+    completed: int
+    duration_ms: float
+    #: end-to-end sojourn times (queueing + service)
+    sojourn: LatencySummary
+    #: pure service times (what an unloaded request costs)
+    service: LatencySummary
+    #: mean number of requests waiting when a request arrived
+    mean_queue_len: float
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.completed * 1000.0 / self.duration_ms
+
+    @property
+    def queueing_ratio(self) -> float:
+        """Sojourn/service mean ratio: ~1 when unloaded, blows up saturated."""
+        return self.sojourn.mean_ms / max(self.service.mean_ms, 1e-9)
+
+
+class _ServiceSampler:
+    """Pre-samples per-request service latencies from the request simulator."""
+
+    def __init__(self, platform: Platform, workflow: Workflow, *,
+                 pool_size: int, seed: int, jitter_sigma: float) -> None:
+        self._samples = [
+            platform.run(workflow, seed=seed + i,
+                         jitter_sigma=jitter_sigma).latency_ms
+            for i in range(pool_size)]
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        return float(self._rng.choice(self._samples))
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+
+def _drive(env: Environment, instances: Resource, service: _ServiceSampler,
+           sojourns: list[float], services: list[float],
+           queue_seen: list[int]):
+    def request(env):
+        arrived = env.now
+        queue_seen.append(instances.queue_len)
+        with instances.request() as slot:
+            yield slot
+            s = service.sample()
+            services.append(s)
+            yield env.timeout(s)
+        sojourns.append(env.now - arrived)
+
+    return request
+
+
+def run_open_loop(platform: Platform, workflow: Workflow, *,
+                  instances: int, rps: float, requests: int = 200,
+                  seed: int = 0, jitter_sigma: float = 0.08,
+                  service_pool: int = 25) -> LoadResult:
+    """Poisson arrivals at ``rps`` against ``instances`` parallel servers."""
+    if instances < 1 or rps <= 0 or requests < 1:
+        raise CapacityError("instances, rps and requests must be positive")
+    sampler = _ServiceSampler(platform, workflow, pool_size=service_pool,
+                              seed=seed, jitter_sigma=jitter_sigma)
+    env = Environment()
+    servers = Resource(env, capacity=instances)
+    sojourns: list[float] = []
+    services: list[float] = []
+    queue_seen: list[int] = []
+    body = _drive(env, servers, sampler, sojourns, services, queue_seen)
+
+    def arrivals(env):
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(requests):
+            yield env.timeout(float(rng.exponential(1000.0 / rps)))
+            env.process(body(env))
+
+    env.process(arrivals(env))
+    env.run()
+    return LoadResult(offered_rps=rps, completed=len(sojourns),
+                      duration_ms=env.now,
+                      sojourn=summarize_latencies(sojourns),
+                      service=summarize_latencies(services),
+                      mean_queue_len=float(np.mean(queue_seen)))
+
+
+def run_closed_loop(platform: Platform, workflow: Workflow, *,
+                    instances: int, clients: int, requests: int = 200,
+                    seed: int = 0, jitter_sigma: float = 0.08,
+                    service_pool: int = 25) -> LoadResult:
+    """``clients`` concurrent users issuing back-to-back requests."""
+    if instances < 1 or clients < 1 or requests < 1:
+        raise CapacityError("instances, clients and requests must be positive")
+    sampler = _ServiceSampler(platform, workflow, pool_size=service_pool,
+                              seed=seed, jitter_sigma=jitter_sigma)
+    env = Environment()
+    servers = Resource(env, capacity=instances)
+    sojourns: list[float] = []
+    services: list[float] = []
+    queue_seen: list[int] = []
+    body = _drive(env, servers, sampler, sojourns, services, queue_seen)
+    per_client, remainder = divmod(requests, clients)
+
+    def client(env, count):
+        for _ in range(count):
+            yield env.process(body(env))
+
+    for c in range(clients):
+        env.process(client(env, per_client + (1 if c < remainder else 0)))
+    env.run()
+    return LoadResult(offered_rps=float("nan"), completed=len(sojourns),
+                      duration_ms=env.now,
+                      sojourn=summarize_latencies(sojourns),
+                      service=summarize_latencies(services),
+                      mean_queue_len=float(np.mean(queue_seen)))

@@ -1,0 +1,49 @@
+"""Measured saturation throughput of one node (Figure 16, cross-checked).
+
+Binary-search the offered Poisson rate for the largest one where queueing
+stays bounded (sojourn within ``max_queueing_ratio`` of pure service time).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.deployment import place_on_node
+from repro.cluster.loadgen import run_open_loop
+from repro.errors import CapacityError
+from repro.platforms.base import Platform
+from repro.workflow.model import Workflow
+
+
+def find_saturation_rps(platform: Platform, workflow: Workflow, *,
+                        max_queueing_ratio: float = 2.0,
+                        requests: int = 150, seed: int = 0,
+                        tolerance: float = 0.05) -> float:
+    """Largest sustainable Poisson rate on one max-packed node."""
+    if max_queueing_ratio <= 1.0:
+        raise CapacityError("max_queueing_ratio must exceed 1")
+    deployment = place_on_node(platform, workflow)
+    instances = max(deployment.count, 1)
+    service_ms = platform.run(workflow).latency_ms
+    # theoretical ceiling: all instances busy back to back
+    hi = instances * 1000.0 / service_ms * 1.5
+    lo = hi / 64.0
+
+    def stable(rps: float) -> bool:
+        result = run_open_loop(platform, workflow, instances=instances,
+                               rps=rps, requests=requests, seed=seed)
+        return result.queueing_ratio <= max_queueing_ratio
+
+    try:
+        if not stable(lo):
+            return lo
+        while hi - lo > tolerance * hi:
+            mid = (lo + hi) / 2.0
+            if stable(mid):
+                lo = mid
+            else:
+                hi = mid
+        # Finite-horizon caveat: with a few hundred requests the queue of a
+        # slightly-overloaded system may not blow up within the test, so the
+        # returned rate can exceed the steady-state capacity by O(10%).
+        return lo
+    finally:
+        deployment.teardown()

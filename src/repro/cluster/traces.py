@@ -1,0 +1,91 @@
+"""Invocation-trace generation: arrival-time patterns for load tests.
+
+Serverless production traffic is bursty and diurnal (the Azure Functions
+trace analyses behind the paper's cold-start citations), so load tests need
+more than constant-rate Poisson.  All generators return sorted arrival
+timestamps in milliseconds, produced by thinning a homogeneous Poisson
+process against a time-varying rate — exact for any bounded rate function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+RateFunction = Callable[[float], float]  # time (ms) -> requests per second
+
+
+def nonhomogeneous_poisson(rate_fn: RateFunction, *, peak_rps: float,
+                           duration_ms: float, seed: int = 0
+                           ) -> list[float]:
+    """Thinning (Lewis-Shedler): arrivals for any rate <= ``peak_rps``."""
+    if peak_rps <= 0 or duration_ms <= 0:
+        raise ReproError("peak_rps and duration_ms must be positive")
+    rng = np.random.default_rng(seed)
+    out: list[float] = []
+    t = 0.0
+    mean_gap_ms = 1000.0 / peak_rps
+    while True:
+        t += float(rng.exponential(mean_gap_ms))
+        if t >= duration_ms:
+            return out
+        rate = rate_fn(t)
+        if rate < 0 or rate > peak_rps * (1 + 1e-9):
+            raise ReproError(f"rate {rate} outside [0, {peak_rps}] at t={t}")
+        if rng.uniform() < rate / peak_rps:
+            out.append(t)
+
+
+def constant_arrivals(rps: float, duration_ms: float, *,
+                      seed: int = 0) -> list[float]:
+    """Homogeneous Poisson arrivals at ``rps``."""
+    return nonhomogeneous_poisson(lambda _t: rps, peak_rps=rps,
+                                  duration_ms=duration_ms, seed=seed)
+
+
+def diurnal_arrivals(base_rps: float, peak_rps: float, *,
+                     period_ms: float, duration_ms: float,
+                     seed: int = 0) -> list[float]:
+    """Sinusoidal day/night traffic between ``base_rps`` and ``peak_rps``."""
+    if not 0 <= base_rps <= peak_rps:
+        raise ReproError("need 0 <= base_rps <= peak_rps")
+    if period_ms <= 0:
+        raise ReproError("period_ms must be positive")
+    mid = (base_rps + peak_rps) / 2.0
+    amp = (peak_rps - base_rps) / 2.0
+
+    def rate(t: float) -> float:
+        return mid + amp * math.sin(2 * math.pi * t / period_ms)
+
+    return nonhomogeneous_poisson(rate, peak_rps=peak_rps,
+                                  duration_ms=duration_ms, seed=seed)
+
+
+def burst_arrivals(base_rps: float, burst_rps: float, *,
+                   burst_every_ms: float, burst_len_ms: float,
+                   duration_ms: float, seed: int = 0) -> list[float]:
+    """On/off bursts: ``burst_rps`` for ``burst_len_ms`` out of every
+    ``burst_every_ms``, ``base_rps`` otherwise."""
+    if burst_rps < base_rps:
+        raise ReproError("burst_rps must be >= base_rps")
+    if not 0 < burst_len_ms <= burst_every_ms:
+        raise ReproError("need 0 < burst_len_ms <= burst_every_ms")
+
+    def rate(t: float) -> float:
+        return burst_rps if (t % burst_every_ms) < burst_len_ms else base_rps
+
+    return nonhomogeneous_poisson(rate, peak_rps=burst_rps,
+                                  duration_ms=duration_ms, seed=seed)
+
+
+def interarrival_stats(arrivals: Sequence[float]) -> tuple[float, float]:
+    """(mean gap ms, coefficient of variation) — burstiness fingerprint."""
+    if len(arrivals) < 2:
+        raise ReproError("need >= 2 arrivals")
+    gaps = np.diff(np.asarray(arrivals, dtype=float))
+    mean = float(gaps.mean())
+    return mean, float(gaps.std() / mean) if mean > 0 else 0.0

@@ -1,0 +1,57 @@
+"""Chiron's core: the wrap abstraction, Profiler, Predictor, PGP, Generator.
+
+This package is the paper's contribution proper:
+
+* :class:`Wrap` / :class:`DeploymentPlan` — the "m-to-n" deployment model's
+  data model (§3.1): a workflow's functions partitioned into wraps, each
+  wrap deployed into one sandbox, each function executed as a thread of some
+  process of its wrap;
+* :class:`Profiler` — extracts per-function CPU/block periods from
+  (simulated) strace logs and corrects for tracing overhead (§3.2);
+* :class:`LatencyPredictor` — the white-box end-to-end latency model,
+  Eq. (1)-(4) plus the multi-thread GIL replay of Algorithm 1 (§3.3);
+* :class:`PGPScheduler` — the prediction-guided graph partitioner,
+  Algorithm 2 with its Kernighan-Lin swap pass (§3.4);
+* :class:`OrchestratorGenerator` — emits the per-wrap orchestrator code the
+  platform deploys as a "new function" (§3.1 step 4, §5);
+* :class:`ChironManager` — the end-to-end pipeline gluing all of the above.
+"""
+
+from repro.core.adaptive import AdaptiveDeployer
+from repro.core.dynamic import DynamicChironManager, DynamicChironPlatform
+from repro.core.generator import OrchestratorGenerator
+from repro.core.manager import ChironManager
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.profiler import FunctionProfile, Profiler, StraceLog
+from repro.core.serialize import plan_from_json, plan_to_json
+from repro.core.slo import SloPolicy
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+
+__all__ = [
+    "AdaptiveDeployer",
+    "ChironManager",
+    "DeploymentPlan",
+    "DynamicChironManager",
+    "DynamicChironPlatform",
+    "ExecMode",
+    "FunctionProfile",
+    "LatencyPredictor",
+    "OrchestratorGenerator",
+    "PGPOptions",
+    "PGPScheduler",
+    "ProcessAssignment",
+    "Profiler",
+    "SloPolicy",
+    "StageAssignment",
+    "StraceLog",
+    "Wrap",
+    "plan_from_json",
+    "plan_to_json",
+]

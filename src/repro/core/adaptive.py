@@ -1,0 +1,113 @@
+"""Adaptive deployment: periodic re-profiling and re-planning (§3.4).
+
+"The Profiler and PGP are re-run periodically to update wraps, enabling
+them to adapt to changes in the workload."  The :class:`AdaptiveDeployer`
+implements that loop: it watches a window of measured request latencies and
+triggers a refresh when the deployment has drifted out of spec —
+
+* **SLO pressure**: the windowed p90 approaches/exceeds the SLO (the
+  workload got heavier; more processes/wraps are needed), or
+* **over-provisioning**: the windowed mean sits far below the SLO (the
+  workload got lighter; CPUs can be reclaimed).
+
+Refreshing re-profiles the *current* workflow behaviours, so drifted
+functions are re-measured exactly as on the real system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.core.manager import ChironManager, Deployment
+from repro.errors import SchedulingError
+from repro.metrics.stats import percentile
+from repro.workflow.model import Workflow
+
+
+@dataclass
+class AdaptationEvent:
+    """One refresh decision, for auditing."""
+
+    request_index: int
+    reason: str               # "slo-pressure" | "over-provisioned"
+    p90_ms: float
+    old_cores: int
+    new_cores: int
+
+
+class AdaptiveDeployer:
+    """Wraps a :class:`ChironManager` with a drift-triggered refresh loop."""
+
+    def __init__(self, manager: Optional[ChironManager] = None, *,
+                 window: int = 20,
+                 pressure_fraction: float = 0.95,
+                 slack_fraction: float = 0.45,
+                 cooldown: int = 10) -> None:
+        if window < 2 or cooldown < 0:
+            raise SchedulingError("window must be >= 2, cooldown >= 0")
+        if not 0 < slack_fraction < pressure_fraction <= 1.5:
+            raise SchedulingError("need 0 < slack < pressure <= 1.5")
+        self.manager = manager or ChironManager()
+        self.window = window
+        self.pressure_fraction = pressure_fraction
+        self.slack_fraction = slack_fraction
+        self.cooldown = cooldown
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._since_refresh = 0
+        self._requests_seen = 0
+        self.deployment: Optional[Deployment] = None
+        self.events: list[AdaptationEvent] = []
+
+    # -- lifecycle ------------------------------------------------------------
+    def deploy(self, workflow: Workflow, slo_ms: float) -> Deployment:
+        self.deployment = self.manager.deploy(workflow, slo_ms)
+        self._latencies.clear()
+        self._since_refresh = 0
+        return self.deployment
+
+    @property
+    def slo_ms(self) -> float:
+        if self.deployment is None or self.deployment.plan.slo_ms is None:
+            raise SchedulingError("no active deployment with an SLO")
+        return self.deployment.plan.slo_ms
+
+    # -- the monitoring loop -----------------------------------------------------
+    def observe(self, latency_ms: float,
+                current_workflow: Optional[Workflow] = None
+                ) -> Optional[AdaptationEvent]:
+        """Feed one measured request latency; maybe refresh.
+
+        ``current_workflow`` carries the *present* behaviours (drifted
+        functions); defaults to the originally-deployed workflow.
+        """
+        if self.deployment is None:
+            raise SchedulingError("observe() before deploy()")
+        self._latencies.append(latency_ms)
+        self._requests_seen += 1
+        self._since_refresh += 1
+        if (len(self._latencies) < self.window
+                or self._since_refresh <= self.cooldown):
+            return None
+        p90 = percentile(list(self._latencies), 90)
+        mean = sum(self._latencies) / len(self._latencies)
+        slo = self.slo_ms
+        reason: Optional[str] = None
+        if p90 > self.pressure_fraction * slo:
+            reason = "slo-pressure"
+        elif mean < self.slack_fraction * slo:
+            reason = "over-provisioned"
+        if reason is None:
+            return None
+        workflow = current_workflow or self.deployment.workflow
+        old_cores = self.deployment.plan.total_cores
+        self.deployment = self.manager.deploy(workflow, slo)
+        event = AdaptationEvent(request_index=self._requests_seen,
+                                reason=reason, p90_ms=p90,
+                                old_cores=old_cores,
+                                new_cores=self.deployment.plan.total_cores)
+        self.events.append(event)
+        self._latencies.clear()
+        self._since_refresh = 0
+        return event

@@ -1,0 +1,97 @@
+"""Chiron for dynamic DAGs (extension; §7's open scenario 2).
+
+Strategy: plan every branch variant independently with PGP (each variant is
+a static workflow), deploy the union of wraps, and route each request to
+its branch's plan after the switch decision.  Resource accounting is
+conservative — all variants' wraps stay provisioned — which is exactly the
+trade-off the paper flags as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.manager import ChironManager
+from repro.core.wrap import DeploymentPlan
+from repro.errors import DeploymentError
+from repro.workflow.dynamic import BranchSelector, DynamicWorkflow
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> platforms cycle
+    from repro.platforms.base import RequestResult
+    from repro.platforms.chiron import ChironPlatform
+
+
+@dataclass
+class DynamicDeployment:
+    """Per-branch plans plus the shared routing metadata."""
+
+    workflow: DynamicWorkflow
+    plans: Dict[str, DeploymentPlan]
+    slo_ms: float
+
+    @property
+    def total_cores(self) -> int:
+        """Conservatively provisioned CPUs (all variants resident)."""
+        return sum(plan.total_cores for plan in self.plans.values())
+
+    @property
+    def worst_predicted_ms(self) -> float:
+        return max(plan.predicted_latency_ms or 0.0
+                   for plan in self.plans.values())
+
+
+class DynamicChironManager:
+    """Plans every branch of a dynamic workflow against one SLO."""
+
+    def __init__(self, manager: Optional[ChironManager] = None) -> None:
+        self.manager = manager or ChironManager()
+
+    def deploy(self, workflow: DynamicWorkflow,
+               slo_ms: float) -> DynamicDeployment:
+        plans = {name: self.manager.plan(variant, slo_ms)
+                 for name, variant in workflow.variants().items()}
+        return DynamicDeployment(workflow=workflow, plans=plans,
+                                 slo_ms=slo_ms)
+
+
+class DynamicChironPlatform:
+    """Routes requests to the branch decided at the switch.
+
+    The branch decision is made by ``selector(state)`` — in production this
+    is the switch function's output; here it is injectable (commonly a
+    :func:`repro.workflow.dynamic.probabilistic_selector`).
+    """
+
+    name = "chiron-dynamic"
+
+    def __init__(self, deployment: DynamicDeployment,
+                 selector: BranchSelector,
+                 cal: Optional[RuntimeCalibration] = None) -> None:
+        from repro.platforms.chiron import ChironPlatform
+
+        self.deployment = deployment
+        self.selector = selector
+        self.cal = cal or RuntimeCalibration.native()
+        self._platforms = {
+            name: ChironPlatform(plan, self.cal, name=f"chiron#{name}")
+            for name, plan in deployment.plans.items()}
+        self._variants = deployment.workflow.variants()
+        #: branch -> number of requests routed there (metrics)
+        self.routed: Dict[str, int] = {name: 0 for name in self._platforms}
+
+    def run(self, state: object = None, *, seed: Optional[int] = None,
+            branch: Optional[str] = None) -> "RequestResult":
+        """One request; ``branch`` overrides the selector when given."""
+        chosen = branch if branch is not None else self.selector(state)
+        if chosen not in self._platforms:
+            raise DeploymentError(f"selector chose unknown branch {chosen!r}")
+        self.routed[chosen] += 1
+        return self._platforms[chosen].run(self._variants[chosen], seed=seed)
+
+    def branch_platform(self, name: str) -> "ChironPlatform":
+        try:
+            return self._platforms[name]
+        except KeyError:
+            raise DeploymentError(f"unknown branch {name!r}") from None

@@ -1,0 +1,118 @@
+"""Orchestrator code generation (§3.1 step Í, §5 "Generator").
+
+Chiron bundles each wrap's functions with a generated *orchestrator* — the
+``handler.py`` entry of an OpenFaaS python3-flask template — that forks the
+wrap's processes, clones its threads, pins CPU affinity, and forwards state
+to the next wrap.  The generator here emits that handler as Python source
+(mirroring Figure 9's sketch) so a plan can be inspected, diffed, and
+round-tripped in tests; the simulated and local executors consume the plan
+object directly.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict
+
+from repro.core.wrap import DeploymentPlan, ExecMode, Wrap
+from repro.errors import DeploymentError
+from repro.workflow.model import Workflow
+
+_HEADER = '''\
+"""Auto-generated Chiron orchestrator for wrap {wrap!r} of workflow {wf!r}.
+
+Deployed as an OpenFaaS function (python3-flask template, of-watchdog HTTP
+mode).  Do not edit: regenerate with OrchestratorGenerator.
+"""
+
+import concurrent.futures
+import multiprocessing
+import threading
+
+from repro.localexec.executor import call_function, invoke_wrap, set_affinity
+
+CPU_AFFINITY = {cores}
+'''
+
+
+class OrchestratorGenerator:
+    """Emits per-wrap orchestrator source for a deployment plan."""
+
+    def generate(self, workflow: Workflow, plan: DeploymentPlan
+                 ) -> Dict[str, str]:
+        """Return wrap name -> orchestrator source code."""
+        plan.validate(workflow)
+        sources = {}
+        for index, wrap in enumerate(plan.wraps):
+            sources[wrap.name] = self._wrap_source(workflow, plan, wrap, index)
+        return sources
+
+    def _wrap_source(self, workflow: Workflow, plan: DeploymentPlan,
+                     wrap: Wrap, index: int) -> str:
+        lines = [_HEADER.format(wrap=wrap.name, wf=workflow.name,
+                                cores=list(range(plan.cores_for(wrap))))]
+        if plan.pool_workers:
+            lines.append(
+                f"POOL = concurrent.futures.ProcessPoolExecutor("
+                f"max_workers={plan.pool_workers})\n")
+
+        body: list[str] = ["state = req"]
+        for sa in wrap.stages:
+            body.append(f"# ---- stage {sa.stage_index} ----")
+            if index == 0 and plan.n_wraps > 1:
+                peers = [w.name for w, _ in plan.stage_wraps(sa.stage_index)
+                         if w.name != wrap.name]
+                for k, peer in enumerate(peers, start=2):
+                    body.append(
+                        f"pending_{sa.stage_index}_{k} = "
+                        f"invoke_wrap({peer!r}, state)  # RPC to wrap {k}")
+            if plan.pool_workers:
+                fn_list = ", ".join(repr(f) for f in sa.function_names)
+                body.append(f"futures = [POOL.submit(call_function, f, state)"
+                            f" for f in ({fn_list},)]")
+                body.append("results = [f.result() for f in futures]")
+            else:
+                for p_idx, proc in enumerate(sa.processes):
+                    fn_list = ", ".join(repr(f) for f in proc.functions)
+                    if proc.mode is ExecMode.THREAD:
+                        body.append(
+                            f"threads_{sa.stage_index}_{p_idx} = "
+                            f"[threading.Thread(target=call_function, "
+                            f"args=(f, state)) for f in ({fn_list},)]")
+                    else:
+                        body.append(
+                            f"proc_{sa.stage_index}_{p_idx} = "
+                            f"multiprocessing.Process(target=call_function, "
+                            f"args=(({fn_list},), state))")
+            body.append(f"state = join_stage_{sa.stage_index}(state)")
+        body.append("return state")
+
+        lines.append("def handle(req):")
+        lines.append(textwrap.indent("\n".join(body), "    "))
+        lines.append("")
+        for sa in wrap.stages:
+            lines.append(f"def join_stage_{sa.stage_index}(state):")
+            lines.append("    # started processes/threads are joined and the\n"
+                         "    # merged intermediate state is returned\n"
+                         "    return state\n")
+        lines.append("set_affinity(CPU_AFFINITY)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def deployment_manifest(workflow: Workflow,
+                            plan: DeploymentPlan) -> Dict[str, object]:
+        """An OpenFaaS ``stack.yml``-like manifest (as a dict) for the plan."""
+        plan.validate(workflow)
+        functions = {}
+        for wrap in plan.wraps:
+            functions[wrap.name] = {
+                "lang": "python3-flask",
+                "handler": f"./{wrap.name}",
+                "image": f"chiron/{workflow.name}-{wrap.name}:latest",
+                "limits": {"cpu": str(plan.cores_for(wrap))},
+                "environment": {
+                    "WRAP_FUNCTIONS": ",".join(wrap.function_names),
+                    "POOL_WORKERS": str(plan.pool_workers),
+                },
+            }
+        return {"provider": {"name": "openfaas"}, "functions": functions}

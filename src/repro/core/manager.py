@@ -1,0 +1,83 @@
+"""The Chiron deployment manager: the §3.1 pipeline end to end.
+
+Steps (Figure 9): Ê user submits workflow + SLO → Ë Profiler collects each
+function's CPU/block periods → Ì PGP explores the optimal wrap design via
+the Predictor → Í the Generator emits per-wrap orchestrator code → Î the
+platform spawns a sandbox per wrap → Ï requests flow through wrap 1.
+
+The manager executes steps Ê-Í and hands the plan to a platform (simulated
+:class:`repro.platforms.ChironPlatform` or the real
+:mod:`repro.localexec`).  :meth:`refresh` re-runs profiling + scheduling —
+the periodic wrap update of §3.4's last paragraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.generator import OrchestratorGenerator
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.profiler import FunctionProfile, Profiler
+from repro.core.wrap import DeploymentPlan
+from repro.workflow.model import Workflow
+
+#: the conservatism PGP plans with (§6.2: "larger parameters ... avoiding
+#: performance violation resulting from mispredictions")
+DEFAULT_CONSERVATISM = 1.15
+
+
+@dataclass
+class Deployment:
+    """Everything the manager produced for one workflow."""
+
+    workflow: Workflow
+    profiled_workflow: Workflow
+    profiles: Dict[str, FunctionProfile]
+    plan: DeploymentPlan
+    orchestrator_sources: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def predicted_latency_ms(self) -> Optional[float]:
+        return self.plan.predicted_latency_ms
+
+
+class ChironManager:
+    """Profiles, schedules and generates deployments for workflows."""
+
+    def __init__(self, *, cal: Optional[RuntimeCalibration] = None,
+                 profiler: Optional[Profiler] = None,
+                 options: Optional[PGPOptions] = None,
+                 conservatism: float = DEFAULT_CONSERVATISM) -> None:
+        self.cal = cal or RuntimeCalibration.native()
+        self.profiler = profiler or Profiler()
+        self.predictor = LatencyPredictor(self.cal,
+                                          conservatism=conservatism)
+        self.scheduler = PGPScheduler(self.predictor, options=options)
+        self.generator = OrchestratorGenerator()
+
+    def deploy(self, workflow: Workflow, slo_ms: float, *,
+               generate_code: bool = True) -> Deployment:
+        """Run the full pipeline for one workflow."""
+        profiles = self.profiler.profile_workflow(workflow)
+        profiled = Profiler.profiled_workflow(workflow, profiles)
+        plan = self.scheduler.schedule(profiled, slo_ms)
+        sources = (self.generator.generate(profiled, plan)
+                   if generate_code else {})
+        return Deployment(workflow=workflow, profiled_workflow=profiled,
+                          profiles=profiles, plan=plan,
+                          orchestrator_sources=sources)
+
+    def plan(self, workflow: Workflow, slo_ms: float) -> DeploymentPlan:
+        """Convenience: profile + schedule, return just the plan."""
+        return self.deploy(workflow, slo_ms, generate_code=False).plan
+
+    def refresh(self, deployment: Deployment,
+                slo_ms: Optional[float] = None) -> Deployment:
+        """Periodic re-profiling and re-scheduling (workload drift, §3.4)."""
+        target = slo_ms if slo_ms is not None else deployment.plan.slo_ms
+        if target is None:
+            raise ValueError("deployment has no SLO to refresh against")
+        return self.deploy(deployment.workflow, target)

@@ -1,0 +1,404 @@
+"""The white-box latency predictor (§3.3): Eq. (1)-(4) and Algorithm 1.
+
+The predictor estimates the end-to-end latency of a workflow under a given
+:class:`~repro.core.wrap.DeploymentPlan` without running it:
+
+* Eq. (1): workflow latency = sum of stage latencies;
+* Eq. (2): stage latency = slowest wrap, where wraps beyond the first pay
+  the invocation overhead ``(k-1) * T_INV`` plus one RPC;
+* Eq. (3): wrap latency = slowest process + pipe IPC pairs;
+* Eq. (4): process latency = serialized fork block + interpreter startup +
+  multi-thread execution time;
+* Algorithm 1: the multi-thread execution time is obtained by *replaying*
+  GIL switching over the profiled CPU/block periods — the main thread spawns
+  a batch of threads per switch interval, the holder computes in at most
+  interval-sized chunks, drops the lock on blocking I/O, and the next holder
+  is the non-blocked thread with minimum accumulated CPU time.
+
+For no-GIL runtimes (Java, Figure 18) and process pools (the -P variants)
+the replay generalizes to a fluid fair-share schedule on ``cores`` cores
+with bounded concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.calibration import RuntimeCalibration
+from repro.core.wrap import DeploymentPlan, ExecMode, StageAssignment
+from repro.errors import DeploymentError
+from repro.workflow.behavior import FunctionBehavior, SegmentKind
+from repro.workflow.model import Workflow
+
+_EPS = 1e-9
+
+
+class _Th:
+    """Mutable per-thread replay state for Algorithm 1."""
+
+    __slots__ = ("segs", "idx", "off", "cpu_time", "blocked_until", "done")
+
+    def __init__(self, behavior: FunctionBehavior, cal: RuntimeCalibration):
+        cpu_scale = 1.0 + cal.exec_overhead_cpu
+        io_scale = 1.0 + cal.exec_overhead_io
+        segs: list[tuple[SegmentKind, float]] = []
+        if cal.isolation_startup_ms > 0:
+            segs.append((SegmentKind.CPU, cal.isolation_startup_ms))
+        for seg in behavior.merged():
+            scale = cpu_scale if seg.kind is SegmentKind.CPU else io_scale
+            segs.append((seg.kind, seg.duration_ms * scale))
+        self.segs = segs
+        self.idx = 0
+        self.off = 0.0
+        self.cpu_time = 0.0
+        self.blocked_until: Optional[float] = None
+        self.done = not segs
+
+    def absorb(self, now: float) -> None:
+        """Advance through zero-CPU-left and completed-IO segments."""
+        while not self.done:
+            if self.idx >= len(self.segs):
+                self.done = True
+                return
+            kind, dur = self.segs[self.idx]
+            remaining = dur - self.off
+            if kind is SegmentKind.CPU:
+                if remaining > _EPS:
+                    return  # runnable
+                self.idx += 1
+                self.off = 0.0
+            else:  # IO
+                if self.blocked_until is None:
+                    self.blocked_until = now + remaining
+                    return  # just blocked
+                if self.blocked_until <= now + _EPS:
+                    self.idx += 1
+                    self.off = 0.0
+                    self.blocked_until = None
+                    continue
+                return  # still blocked
+
+    @property
+    def runnable(self) -> bool:
+        return (not self.done and self.blocked_until is None
+                and self.idx < len(self.segs)
+                and self.segs[self.idx][0] is SegmentKind.CPU)
+
+
+class LatencyPredictor:
+    """Predicts workflow latency for a deployment plan.
+
+    ``conservatism`` inflates final predictions; PGP uses a value > 1 so the
+    plans it accepts keep a margin below the SLO (§6.2: "Chiron adopts larger
+    parameters to estimate the latency, avoiding performance violation").
+    """
+
+    def __init__(self, cal: Optional[RuntimeCalibration] = None, *,
+                 conservatism: float = 1.0,
+                 gil_handoff: str = "cfs") -> None:
+        self.cal = cal or RuntimeCalibration.native()
+        if conservatism <= 0:
+            raise DeploymentError("conservatism must be > 0")
+        if gil_handoff not in ("cfs", "fifo"):
+            raise DeploymentError(f"unknown gil_handoff {gil_handoff!r}")
+        self.conservatism = conservatism
+        #: how Algorithm 1 picks the next GIL holder: "cfs" (min CPU time,
+        #: the paper's line 17) or "fifo" (arrival order; ablation).
+        self.gil_handoff = gil_handoff
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: multi-thread execution under the GIL
+    # ------------------------------------------------------------------
+    def predict_multithread_exec(
+            self, behaviors: Sequence[FunctionBehavior], *,
+            include_spawn: bool = True) -> float:
+        """Wall time for ``behaviors`` running as threads of one process."""
+        if not behaviors:
+            return 0.0
+        cal = self.cal
+        if not cal.has_gil:
+            # True-parallel threads: fall back to the fluid schedule with one
+            # core per thread available inside the process's cpuset share.
+            return self.predict_parallel_exec(behaviors, cores=len(behaviors))
+        interval = cal.gil_switch_interval_ms
+        spawn_cost = cal.thread_startup_ms if include_spawn else 0.0
+
+        threads = [_Th(b, cal) for b in behaviors]
+        to_spawn = list(range(len(threads)))
+        spawned: list[_Th] = []
+        main_cpu_time = 0.0
+        now = 0.0
+
+        while True:
+            for th in spawned:
+                th.absorb(now)
+            runnable = [th for th in spawned if th.runnable]
+            main_ready = bool(to_spawn)
+            if not runnable and not main_ready:
+                pending = [th.blocked_until for th in spawned
+                           if not th.done and th.blocked_until is not None]
+                if pending:
+                    now = min(pending)
+                    continue
+                break  # all threads over (Alg. 1 lines 12-13)
+
+            min_thread_cpu = min((th.cpu_time for th in runnable),
+                                 default=math.inf)
+            if main_ready and main_cpu_time <= min_thread_cpu:
+                # Main-thread turn: start y functions in one interval
+                # (Alg. 1 lines 4-5).
+                if spawn_cost <= 0:
+                    spawned.extend(threads[i] for i in to_spawn)
+                    to_spawn.clear()
+                    continue
+                batch = max(1, int(interval // spawn_cost))
+                batch = min(batch, len(to_spawn))
+                cost = batch * spawn_cost
+                for _ in range(batch):
+                    spawned.append(threads[to_spawn.pop(0)])
+                now += cost
+                main_cpu_time += cost
+                continue
+
+            # Function turn (Alg. 1 lines 7-17): run continuously until the
+            # switch interval elapses, a block op occurs, or the function
+            # finishes.
+            if self.gil_handoff == "cfs":
+                th = min(runnable, key=lambda t: t.cpu_time)
+            else:  # fifo ablation: oldest spawned runnable thread
+                th = runnable[0]
+            budget = interval
+            ran = 0.0
+            while budget > _EPS and not th.done:
+                if th.idx >= len(th.segs):
+                    th.done = True
+                    break
+                kind, dur = th.segs[th.idx]
+                if kind is not SegmentKind.CPU:
+                    break  # block op: T_avl consumed, GIL dropped
+                step = min(dur - th.off, budget)
+                th.off += step
+                ran += step
+                budget -= step
+                if th.off >= dur - _EPS:
+                    th.idx += 1
+                    th.off = 0.0
+            now += ran
+            th.cpu_time += ran
+            th.absorb(now)
+        return now
+
+    # ------------------------------------------------------------------
+    # Fluid fair-share schedule (no-GIL threads, process pools)
+    # ------------------------------------------------------------------
+    def predict_parallel_exec(
+            self, behaviors: Sequence[FunctionBehavior], *, cores: float,
+            max_concurrent: Optional[int] = None,
+            start_offsets: Optional[Sequence[float]] = None) -> float:
+        """Wall time for true-parallel tasks sharing ``cores`` cores.
+
+        ``max_concurrent`` bounds simultaneously admitted tasks (pool
+        workers); ``start_offsets`` stagger task arrivals (fork block /
+        dispatch serialization).
+        """
+        if not behaviors:
+            return 0.0
+        if cores <= 0:
+            raise DeploymentError(f"cores must be > 0, got {cores}")
+        cal = self.cal
+        n = len(behaviors)
+        offsets = list(start_offsets) if start_offsets is not None else [0.0] * n
+        if len(offsets) != n:
+            raise DeploymentError("start_offsets length mismatch")
+        tasks = [_Th(b, cal) for b in behaviors]
+        admitted: list[_Th] = []
+        waiting = sorted(range(n), key=lambda i: (offsets[i], i))
+        slots = max_concurrent if max_concurrent is not None else n
+        now = 0.0
+
+        def active_count() -> int:
+            return sum(1 for t in admitted if not t.done)
+
+        while True:
+            # admit arrivals whose offset has passed and a slot is free
+            while (waiting and offsets[waiting[0]] <= now + _EPS
+                   and active_count() < slots):
+                admitted.append(tasks[waiting.pop(0)])
+            for t in admitted:
+                t.absorb(now)
+            running = [t for t in admitted if t.runnable]
+            blocked = [t.blocked_until for t in admitted
+                       if not t.done and t.blocked_until is not None]
+            if not running:
+                horizons = list(blocked)
+                if waiting and active_count() < slots:
+                    horizons.append(offsets[waiting[0]])
+                if not horizons:
+                    break  # everything finished
+                now = max(now, min(horizons))
+                continue
+            rate = min(1.0, cores / len(running))
+            horizon = min((t.segs[t.idx][1] - t.off) / rate for t in running)
+            if blocked:
+                horizon = min(horizon, min(blocked) - now)
+            if waiting and active_count() < slots:
+                horizon = min(horizon, offsets[waiting[0]] - now)
+            horizon = max(horizon, _EPS)
+            for t in running:
+                t.off += horizon * rate
+                t.cpu_time += horizon * rate
+            now += horizon
+        return now
+
+    # ------------------------------------------------------------------
+    # Eq. (4): one process of a wrap
+    # ------------------------------------------------------------------
+    def predict_process(self, behaviors: Sequence[FunctionBehavior], *,
+                        fork_position: int) -> float:
+        """Latency of the ``fork_position``-th forked process (1-based).
+
+        ``fork_position=0`` means the group runs as threads of the resident
+        orchestrator process: no fork block, no interpreter startup.
+        """
+        exec_ms = self.predict_multithread_exec(behaviors)
+        if fork_position <= 0:
+            return exec_ms
+        cal = self.cal
+        return ((fork_position - 1) * cal.fork_block_ms
+                + cal.process_startup_ms + exec_ms)
+
+    # ------------------------------------------------------------------
+    # non-uniform CPU sharing within a wrap (§4 / Figure 7's motivation)
+    # ------------------------------------------------------------------
+    def predict_wrap_stage_shared(self, assignment: StageAssignment,
+                                  workflow: Workflow, cores: float) -> float:
+        """Wrap-stage latency when its processes share ``cores`` CPUs.
+
+        Each forked group is folded to one task (its Algorithm-1 execution
+        replayed as a single thread-of-work) staggered by its fork position;
+        a thread group becomes one task whose CPU demand is its Algorithm-1
+        execution time.  The fluid schedule then spreads the tasks over the
+        cpuset — the "combined true and pseudo-parallelism" of Observation 4
+        that lets Chiron allocate fewer CPUs than processes.
+        """
+        cal = self.cal
+        behaviors_of = lambda names: [workflow.function(n).behavior
+                                      for n in names]
+        tasks: list[FunctionBehavior] = []
+        offsets: list[float] = []
+        n_forked = len(assignment.forked_processes)
+        fork_j = 0
+        for proc in assignment.processes:
+            group = behaviors_of(proc.functions)
+            exec_ms = self.predict_multithread_exec(group)
+            io_ms = min(b.io_ms for b in group) if len(group) == 1 else 0.0
+            # preserve the group's IO share so blocked time frees cores
+            cpu_ms = max(exec_ms - io_ms, 0.0)
+            if proc.mode is ExecMode.PROCESS:
+                # interpreter startup is CPU work that competes inside the
+                # shared cpuset, not free waiting
+                cpu_ms += cal.process_startup_ms
+            # predict_parallel_exec re-applies the calibration's isolation
+            # execution overheads; exec_ms already includes them, so
+            # pre-divide to avoid double counting.
+            cpu_ms /= 1.0 + cal.exec_overhead_cpu
+            io_ms /= 1.0 + cal.exec_overhead_io
+            segs = ([("cpu", cpu_ms)] if io_ms <= 0
+                    else [("cpu", cpu_ms), ("io", io_ms)])
+            tasks.append(FunctionBehavior.of(*segs))
+            if proc.mode is ExecMode.THREAD:
+                offsets.append(n_forked * cal.fork_block_ms)
+            else:
+                fork_j += 1
+                offsets.append((fork_j - 1) * cal.fork_block_ms)
+        total = self.predict_parallel_exec(tasks, cores=cores,
+                                           start_offsets=offsets)
+        ipc_pairs = max(0, len(assignment.processes) - 1)
+        return total + cal.t_ipc_ms * ipc_pairs
+
+    # ------------------------------------------------------------------
+    # Eq. (3): one wrap within one stage
+    # ------------------------------------------------------------------
+    def predict_wrap_stage(self, assignment: StageAssignment,
+                           workflow: Workflow) -> float:
+        """Latency of one wrap's share of a stage."""
+        behaviors_of = lambda names: [workflow.function(n).behavior
+                                      for n in names]
+        n_forked = len(assignment.forked_processes)
+        latencies = []
+        fork_j = 0
+        for proc in assignment.processes:
+            if proc.mode is ExecMode.THREAD:
+                # Orchestrator thread groups start after the orchestrator
+                # finished issuing all forks (forks come first, Figure 9).
+                latencies.append(
+                    n_forked * self.cal.fork_block_ms
+                    + self.predict_process(behaviors_of(proc.functions),
+                                           fork_position=0))
+            else:
+                fork_j += 1
+                latencies.append(self.predict_process(
+                    behaviors_of(proc.functions), fork_position=fork_j))
+        ipc_pairs = max(0, len(assignment.processes) - 1)
+        return max(latencies) + self.cal.t_ipc_ms * ipc_pairs
+
+    def _predict_pool_stage(self, plan: DeploymentPlan, workflow: Workflow,
+                            stage_index: int) -> float:
+        """Pool-mode stage latency: dispatch stagger + bounded concurrency."""
+        parts = plan.stage_wraps(stage_index)
+        worst = 0.0
+        for k, (wrap, sa) in enumerate(parts):
+            behaviors = [workflow.function(n).behavior
+                         for n in sa.function_names]
+            offsets = [i * self.cal.pool_dispatch_ms
+                       for i in range(len(behaviors))]
+            t = self.predict_parallel_exec(
+                behaviors, cores=plan.cores_for(wrap),
+                max_concurrent=plan.pool_workers or None,
+                start_offsets=offsets)
+            if k > 0:
+                t += k * self.cal.t_inv_ms + self.cal.t_rpc_ms
+            worst = max(worst, t)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Eq. (2): one stage
+    # ------------------------------------------------------------------
+    def _wrap_part_latency(self, plan: DeploymentPlan, wrap,
+                           sa: StageAssignment, workflow: Workflow) -> float:
+        """One wrap's stage latency, honouring its CPU allocation."""
+        needed = (len(sa.forked_processes)
+                  + (1 if sa.thread_groups else 0))
+        cores = plan.cores_for(wrap)
+        if cores < needed:
+            return self.predict_wrap_stage_shared(sa, workflow, cores)
+        return self.predict_wrap_stage(sa, workflow)
+
+    def predict_stage(self, plan: DeploymentPlan, workflow: Workflow,
+                      stage_index: int) -> float:
+        parts = plan.stage_wraps(stage_index)
+        if not parts:
+            raise DeploymentError(f"no wrap covers stage {stage_index}")
+        if plan.pool_workers > 0:
+            return self._predict_pool_stage(plan, workflow, stage_index)
+        first = self._wrap_part_latency(plan, parts[0][0], parts[0][1],
+                                        workflow)
+        rest = 0.0
+        for k, (wrap, sa) in enumerate(parts[1:], start=2):
+            t = (self._wrap_part_latency(plan, wrap, sa, workflow)
+                 + (k - 1) * self.cal.t_inv_ms)
+            rest = max(rest, t)
+        if len(parts) > 1:
+            rest += self.cal.t_rpc_ms
+        return max(first, rest)
+
+    # ------------------------------------------------------------------
+    # Eq. (1): the whole workflow
+    # ------------------------------------------------------------------
+    def predict_workflow(self, workflow: Workflow,
+                         plan: DeploymentPlan) -> float:
+        total = sum(self.predict_stage(plan, workflow, i)
+                    for i in range(len(workflow.stages)))
+        return total * self.conservatism

@@ -1,0 +1,100 @@
+"""JSON (de)serialization of deployment plans.
+
+Real Chiron persists its wrap decisions between the offline PGP run and the
+online request path ("subsequent requests of the workflow can reuse these
+wraps", §3.4); this codec gives plans a stable on-disk format so a planner
+process and an executor process can be separate, and so tests can diff
+plans structurally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.errors import DeploymentError
+
+#: bumped on breaking layout changes
+FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: DeploymentPlan) -> dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "workflow": plan.workflow_name,
+        "pool_workers": plan.pool_workers,
+        "predicted_latency_ms": plan.predicted_latency_ms,
+        "slo_ms": plan.slo_ms,
+        "cores": dict(plan.cores),
+        "wraps": [
+            {
+                "name": wrap.name,
+                "stages": [
+                    {
+                        "stage": sa.stage_index,
+                        "processes": [
+                            {"mode": p.mode.value,
+                             "functions": list(p.functions)}
+                            for p in sa.processes
+                        ],
+                    }
+                    for sa in wrap.stages
+                ],
+            }
+            for wrap in plan.wraps
+        ],
+    }
+
+
+def plan_to_json(plan: DeploymentPlan, *, indent: int = 2) -> str:
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_dict(data: dict[str, Any]) -> DeploymentPlan:
+    try:
+        version = data["version"]
+        if version != FORMAT_VERSION:
+            raise DeploymentError(
+                f"unsupported plan format version {version!r}")
+        wraps = tuple(
+            Wrap(
+                name=w["name"],
+                stages=tuple(
+                    StageAssignment(
+                        stage_index=int(sa["stage"]),
+                        processes=tuple(
+                            ProcessAssignment(
+                                functions=tuple(p["functions"]),
+                                mode=ExecMode(p["mode"]))
+                            for p in sa["processes"]))
+                    for sa in w["stages"]))
+            for w in data["wraps"])
+        return DeploymentPlan(
+            workflow_name=data["workflow"],
+            wraps=wraps,
+            cores={k: int(v) for k, v in data.get("cores", {}).items()},
+            pool_workers=int(data.get("pool_workers", 0)),
+            predicted_latency_ms=data.get("predicted_latency_ms"),
+            slo_ms=data.get("slo_ms"),
+        )
+    except DeploymentError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DeploymentError(f"malformed plan document: {exc}") from exc
+
+
+def plan_from_json(text: Union[str, bytes]) -> DeploymentPlan:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DeploymentError(f"plan is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DeploymentError("plan document must be a JSON object")
+    return plan_from_dict(data)

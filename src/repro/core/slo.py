@@ -1,0 +1,42 @@
+"""SLO policy helpers (§6.2 "SLO violation").
+
+The paper sets each workflow's SLO to "the average latency of Faastlane with
+an additional 10 ms slack" and measures the fraction of requests exceeding
+it.  These helpers encode that convention and the violation-rate metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SchedulingError
+
+#: the paper's slack on top of the Faastlane baseline latency
+DEFAULT_SLACK_MS = 10.0
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A latency target and how to judge runs against it."""
+
+    slo_ms: float
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise SchedulingError(f"SLO must be positive, got {self.slo_ms}")
+
+    @classmethod
+    def from_baseline(cls, baseline_latency_ms: float,
+                      slack_ms: float = DEFAULT_SLACK_MS) -> "SloPolicy":
+        """The paper's convention: baseline average + 10 ms slack."""
+        return cls(slo_ms=baseline_latency_ms + slack_ms)
+
+    def violated(self, latency_ms: float) -> bool:
+        return latency_ms > self.slo_ms
+
+    def violation_rate(self, latencies_ms: Sequence[float]) -> float:
+        """Fraction of runs exceeding the SLO (Figure 14's metric)."""
+        if not latencies_ms:
+            raise SchedulingError("violation_rate of an empty sample")
+        return sum(1 for l in latencies_ms if self.violated(l)) / len(latencies_ms)

@@ -1,0 +1,207 @@
+"""The wrap abstraction and deployment plans (§3.1).
+
+A *wrap* is a subset of a workflow's functions that shares one sandbox; it is
+"the fundamental unit for allocating a sandbox".  Within a wrap, each stage's
+functions are grouped into *processes*; the functions of one process execute
+as threads of that process.  Per-group :class:`ExecMode` records whether the
+group runs as threads of the wrap's resident orchestrator process
+(``THREAD`` — no fork, no interpreter startup) or in a freshly forked child
+(``PROCESS`` — pays Eq. 4's block + startup).  ``POOL`` plans instead
+dispatch every function to a pre-forked worker pool (§4 "True Parallelism").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.errors import DeploymentError
+from repro.workflow.model import Workflow
+
+
+class ExecMode(enum.Enum):
+    """How one process-group of a wrap executes."""
+
+    THREAD = "thread"    # threads of the wrap's orchestrator process
+    PROCESS = "process"  # a forked child process (functions as its threads)
+    POOL = "pool"        # tasks submitted to the sandbox's process pool
+
+
+@dataclass(frozen=True)
+class ProcessAssignment:
+    """One process of a wrap: the named functions run as its threads."""
+
+    functions: tuple[str, ...]
+    mode: ExecMode = ExecMode.PROCESS
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise DeploymentError("a process assignment needs >= 1 function")
+        if len(set(self.functions)) != len(self.functions):
+            raise DeploymentError(f"duplicate functions in {self.functions}")
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """A wrap's share of one stage: a list of process groups."""
+
+    stage_index: int
+    processes: tuple[ProcessAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if self.stage_index < 0:
+            raise DeploymentError(f"bad stage index {self.stage_index}")
+        if not self.processes:
+            raise DeploymentError("a stage assignment needs >= 1 process")
+        names = [f for p in self.processes for f in p.functions]
+        if len(set(names)) != len(names):
+            raise DeploymentError(
+                f"function assigned to two processes in stage "
+                f"{self.stage_index}: {names}")
+
+    @property
+    def function_names(self) -> list[str]:
+        return [f for p in self.processes for f in p.functions]
+
+    @property
+    def forked_processes(self) -> list[ProcessAssignment]:
+        return [p for p in self.processes if p.mode is ExecMode.PROCESS]
+
+    @property
+    def thread_groups(self) -> list[ProcessAssignment]:
+        return [p for p in self.processes if p.mode is ExecMode.THREAD]
+
+
+@dataclass(frozen=True)
+class Wrap:
+    """One sandbox's worth of deployment: per-stage process assignments."""
+
+    name: str
+    stages: tuple[StageAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeploymentError("wrap name must be non-empty")
+        indices = [s.stage_index for s in self.stages]
+        if len(set(indices)) != len(indices):
+            raise DeploymentError(f"wrap {self.name!r} assigns a stage twice")
+
+    def stage(self, index: int) -> Optional[StageAssignment]:
+        for sa in self.stages:
+            if sa.stage_index == index:
+                return sa
+        return None
+
+    @property
+    def function_names(self) -> list[str]:
+        return [f for sa in self.stages for f in sa.function_names]
+
+    @property
+    def max_concurrent_processes(self) -> int:
+        """Peak process count across stages — sizes the wrap's cpuset.
+
+        Each forked process needs its own core for cross-process true
+        parallelism; thread groups ride on the orchestrator's core.
+        """
+        peak = 1
+        for sa in self.stages:
+            forked = len(sa.forked_processes)
+            uses_orchestrator = 1 if sa.thread_groups else 0
+            peak = max(peak, forked + uses_orchestrator)
+        return peak
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """The full m-to-n deployment of one workflow.
+
+    ``cores`` maps wrap name -> allocated whole CPUs (the paper allocates
+    whole CPUs, §6).  ``pool_workers`` > 0 switches the plan to pool
+    execution (every wrap pre-forks that many workers; used by Chiron-P).
+    """
+
+    workflow_name: str
+    wraps: tuple[Wrap, ...]
+    cores: Dict[str, int] = field(default_factory=dict)
+    pool_workers: int = 0
+    #: predicted end-to-end latency recorded by PGP (None if not scheduled)
+    predicted_latency_ms: Optional[float] = None
+    #: the SLO the plan was built against (None for fixed-shape baselines)
+    slo_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.wraps:
+            raise DeploymentError("a plan needs at least one wrap")
+        names = [w.name for w in self.wraps]
+        if len(set(names)) != len(names):
+            raise DeploymentError(f"duplicate wrap names: {names}")
+        if self.pool_workers < 0:
+            raise DeploymentError("pool_workers must be >= 0")
+
+    # -- derived views ------------------------------------------------------
+    @property
+    def n_wraps(self) -> int:
+        return len(self.wraps)
+
+    def cores_for(self, wrap: Wrap) -> int:
+        """Allocated cores of a wrap (defaults to its process peak)."""
+        return int(self.cores.get(wrap.name, wrap.max_concurrent_processes))
+
+    @property
+    def total_cores(self) -> int:
+        return sum(self.cores_for(w) for w in self.wraps)
+
+    def stage_wraps(self, stage_index: int) -> list[tuple[Wrap, StageAssignment]]:
+        """Wraps participating in a stage, plan order (wrap 1 first)."""
+        out = []
+        for wrap in self.wraps:
+            sa = wrap.stage(stage_index)
+            if sa is not None:
+                out.append((wrap, sa))
+        return out
+
+    def processes_in_stage(self, stage_index: int) -> int:
+        return sum(len(sa.processes) for _, sa in self.stage_wraps(stage_index))
+
+    # -- validation ------------------------------------------------------------
+    def validate(self, workflow: Workflow) -> None:
+        """Check the plan covers ``workflow`` exactly once and respects
+        sandbox-compatibility constraints (§3.4 end)."""
+        if self.workflow_name != workflow.name:
+            raise DeploymentError(
+                f"plan targets {self.workflow_name!r}, not {workflow.name!r}")
+        assigned: Dict[str, str] = {}
+        for wrap in self.wraps:
+            for sa in wrap.stages:
+                if sa.stage_index >= len(workflow.stages):
+                    raise DeploymentError(
+                        f"wrap {wrap.name!r} references stage "
+                        f"{sa.stage_index} beyond workflow depth")
+                stage = workflow.stages[sa.stage_index]
+                stage_fn_names = {f.name for f in stage}
+                for fname in sa.function_names:
+                    if fname not in stage_fn_names:
+                        raise DeploymentError(
+                            f"function {fname!r} not in stage {sa.stage_index}")
+                    if fname in assigned:
+                        raise DeploymentError(
+                            f"function {fname!r} assigned twice "
+                            f"({assigned[fname]!r} and {wrap.name!r})")
+                    assigned[fname] = wrap.name
+        missing = {f.name for f in workflow.functions} - set(assigned)
+        if missing:
+            raise DeploymentError(f"functions not deployed: {sorted(missing)}")
+        # sandbox-compatibility: conflicting functions must be in
+        # different wraps.
+        for wrap in self.wraps:
+            members = [workflow.function(n) for n in wrap.function_names]
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    if a.conflicts_with(b):
+                        raise DeploymentError(
+                            f"conflicting functions {a.name!r} and {b.name!r} "
+                            f"share wrap {wrap.name!r}")

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch the whole family with one clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly or reached a bad state."""
+
+
+class WorkflowError(ReproError):
+    """A workflow definition is malformed (empty stages, bad dependencies...)."""
+
+
+class DeploymentError(ReproError):
+    """A deployment plan is inconsistent with the workflow it targets."""
+
+
+class SchedulingError(ReproError):
+    """PGP could not produce a valid partition (e.g. unsatisfiable SLO)."""
+
+
+class ProfilingError(ReproError):
+    """The profiler received malformed traces or produced invalid periods."""
+
+
+class IsolationFault(ReproError):
+    """A thread touched a memory arena protected by a different MPK key."""
+
+
+class CapacityError(ReproError):
+    """A machine or cluster ran out of CPU or memory for a placement."""

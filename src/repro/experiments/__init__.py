@@ -1,0 +1,43 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a function ``run(quick: bool = False) ->
+ExperimentResult`` registered under its paper identifier.  ``quick`` trades
+statistical depth (repeats, training epochs, sweep sizes) for runtime and is
+what the pytest-benchmark wrappers use; the full mode is what
+``python -m repro run <id>`` executes.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+paper-vs-measured outcomes.
+"""
+
+from repro.experiments.common import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+# importing the modules registers their experiments
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    fig03_scheduling,
+    fig04_transfer,
+    fig05_timeline,
+    fig06_latency,
+    fig07_nogil_cpus,
+    fig08_resources,
+    fig12_prediction,
+    fig13_latency_all,
+    fig14_slo,
+    fig15_cdf,
+    fig16_memory_throughput,
+    fig17_cpu,
+    fig18_java,
+    fig19_cost,
+    overhead_components,
+    supplementary,
+    tab01_isolation,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment",
+           "run_experiment"]

@@ -1,0 +1,156 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+Each ablation disables one PGP/Predictor mechanism and reports the impact:
+
+* ``ablation-kl`` — Kernighan-Lin swaps vs. raw round-robin partitions on
+  a heterogeneous fan-out;
+* ``ablation-search`` — incremental vs exponential n-search (same plans,
+  different scheduling cost);
+* ``ablation-packing`` — line-7 head-grouping vs one-process-per-wrap
+  initial shapes;
+* ``ablation-handoff`` — CFS (min-CPU-time) vs FIFO GIL handoff in the
+  predictor, scored against the simulated runtime;
+* ``ablation-longest-first`` — Chiron-P's long-function-first dispatch
+  (Figure 15's skew mitigation) vs submission order.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import finra, slapp_v
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.experiments.common import ExperimentResult, register
+from repro.platforms import ChironPlatform
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+CAL = RuntimeCalibration.native()
+
+
+def _hetero_workflow(width: int = 12):
+    durations = [20.0, 1.0, 16.0, 2.0, 12.0, 1.5, 18.0, 2.5, 8.0, 1.0,
+                 14.0, 3.0][:width]
+    return (WorkflowBuilder("hetero")
+            .parallel("mix", [(f"f-{i}", FunctionBehavior.cpu(d))
+                              for i, d in enumerate(durations)])
+            .build())
+
+
+@register("ablation-kl")
+def run_kl(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation-kl",
+        title="Ablation: Kernighan-Lin refinement vs round-robin",
+        columns=["slo_ms", "kl_latency_ms", "rr_latency_ms",
+                 "kl_cores", "rr_cores"],
+        notes="KL should meet tight SLOs with fewer or equal resources",
+    )
+    wf = _hetero_workflow()
+    for slo in (30.0, 40.0, 60.0):
+        with_kl = PGPScheduler(LatencyPredictor(CAL)).schedule(wf, slo)
+        without = PGPScheduler(
+            LatencyPredictor(CAL),
+            options=PGPOptions(kernighan_lin=False)).schedule(wf, slo)
+        result.add(slo_ms=slo,
+                   kl_latency_ms=ChironPlatform(with_kl, CAL).run(wf).latency_ms,
+                   rr_latency_ms=ChironPlatform(without, CAL).run(wf).latency_ms,
+                   kl_cores=with_kl.total_cores,
+                   rr_cores=without.total_cores)
+    return result
+
+
+@register("ablation-search")
+def run_search(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation-search",
+        title="Ablation: incremental vs exponential n-search",
+        columns=["workload", "slo_ms", "inc_ms", "exp_ms", "same_cores"],
+        notes="exponential probing is the §7 scalability lever; plans "
+              "should be equivalent in allocated cores",
+    )
+    wf = finra(10 if quick else 50)
+    for slo_scale in (2.0, 4.0):
+        slo = wf.critical_path_ms * slo_scale
+        t0 = time.perf_counter()
+        inc = PGPScheduler(LatencyPredictor(CAL), options=PGPOptions(
+            search="incremental")).schedule(wf, slo)
+        inc_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        exp = PGPScheduler(LatencyPredictor(CAL), options=PGPOptions(
+            search="exponential")).schedule(wf, slo)
+        exp_ms = (time.perf_counter() - t0) * 1e3
+        result.add(workload=wf.name, slo_ms=slo, inc_ms=inc_ms,
+                   exp_ms=exp_ms,
+                   same_cores=inc.total_cores == exp.total_cores)
+    return result
+
+
+@register("ablation-packing")
+def run_packing(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation-packing",
+        title="Ablation: wrap packing (line 7/16) vs one process per wrap",
+        columns=["slo_ms", "packed_wraps", "packed_latency_ms",
+                 "sparse_wraps", "sparse_latency_ms"],
+        notes="packing amortizes RPC; one-per-wrap pays (k-1)*T_INV + RPC",
+    )
+    wf = finra(12)
+    for slo in (150.0, 250.0):
+        sched = PGPScheduler(LatencyPredictor(CAL, conservatism=1.08))
+        packed = sched.schedule(wf, slo)
+        partitions = sched._partition_all_stages(wf, packed.processes_in_stage(1),
+                                                 set())
+        sparse = sched._build_plan(
+            wf, partitions, set(),
+            wraps_per_stage={i: len(p) for i, p in partitions.items()},
+            slo_ms=slo)
+        result.add(slo_ms=slo,
+                   packed_wraps=packed.n_wraps,
+                   packed_latency_ms=ChironPlatform(packed, CAL).run(wf).latency_ms,
+                   sparse_wraps=sparse.n_wraps,
+                   sparse_latency_ms=ChironPlatform(sparse, CAL).run(wf).latency_ms)
+    return result
+
+
+@register("ablation-handoff")
+def run_handoff(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation-handoff",
+        title="Ablation: predictor GIL handoff policy (CFS vs FIFO)",
+        columns=["workload", "measured_ms", "cfs_pred_ms", "fifo_pred_ms",
+                 "cfs_err_pct", "fifo_err_pct"],
+        notes="the runtime hands the GIL to the min-CPU-time waiter, so the "
+              "CFS predictor should track it at least as well",
+    )
+    for wf in (_hetero_workflow(8), slapp_v()):
+        sched = PGPScheduler(LatencyPredictor(CAL))
+        plan = sched.schedule(wf, wf.total_work_ms * 2)
+        measured = ChironPlatform(plan, CAL).average_latency_ms(
+            wf, repeats=3 if quick else 8)
+        cfs = LatencyPredictor(CAL, gil_handoff="cfs").predict_workflow(wf, plan)
+        fifo = LatencyPredictor(CAL, gil_handoff="fifo").predict_workflow(wf, plan)
+        result.add(workload=wf.name, measured_ms=measured,
+                   cfs_pred_ms=cfs, fifo_pred_ms=fifo,
+                   cfs_err_pct=100 * abs(cfs - measured) / measured,
+                   fifo_err_pct=100 * abs(fifo - measured) / measured)
+    return result
+
+
+@register("ablation-longest-first")
+def run_longest_first(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation-longest-first",
+        title="Ablation: Chiron-P longest-first pool dispatch",
+        columns=["workload", "longest_first_ms", "fifo_ms"],
+        notes="starting long-running functions first mitigates skew "
+              "(Figure 15 discussion)",
+    )
+    for wf in (_hetero_workflow(12), slapp_v()):
+        sched = PGPScheduler(LatencyPredictor(CAL))
+        plan = sched.schedule_pool(wf, wf.total_work_ms)
+        lf = ChironPlatform(plan, CAL, longest_first=True).run(wf).latency_ms
+        ff = ChironPlatform(plan, CAL, longest_first=False).run(wf).latency_ms
+        result.add(workload=wf.name, longest_first_ms=lf, fifo_ms=ff)
+    return result

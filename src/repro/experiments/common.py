@@ -1,0 +1,80 @@
+"""Shared experiment infrastructure: results, registry, formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results for one figure/table reproduction."""
+
+    experiment: str             # e.g. "fig13"
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **values: Any) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ReproError(f"{self.experiment}: row missing {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise ReproError(f"{self.experiment}: no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def to_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row[c]) for c in header] for row in self.rows]
+        widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+                  for i, h in enumerate(header)]
+        lines = [self.title,
+                 "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in body:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+#: experiment id -> (title, runner)
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering ``run(quick=False)`` under an id."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        if experiment_id in EXPERIMENTS:
+            raise ReproError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}") from None
+
+
+def run_experiment(experiment_id: str, *, quick: bool = False
+                   ) -> ExperimentResult:
+    return get_experiment(experiment_id)(quick=quick)

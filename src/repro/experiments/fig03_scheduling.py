@@ -1,0 +1,54 @@
+"""Figure 3: scheduling overhead of one-to-one platforms on FINRA.
+
+The paper reports the time spent *scheduling* a FINRA parallel stage (ASF:
+150/874/1628 ms for 5/25/50 branches; OpenFaaS: 2/70/180 ms) and its share
+of end-to-end latency (up to 95 % for ASF, 59 % for OpenFaaS at 50).
+
+Scheduling overhead here = (measured parallel-stage span) minus (the span
+the stage would take with free dispatch, i.e. the slowest branch body).
+"""
+
+from __future__ import annotations
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.experiments.common import ExperimentResult, register
+from repro.platforms import ASFPlatform, OpenFaaSPlatform
+
+PAPER_MS = {("asf", 5): 150.0, ("asf", 25): 874.0, ("asf", 50): 1628.0,
+            ("openfaas", 5): 2.0, ("openfaas", 25): 70.0,
+            ("openfaas", 50): 180.0}
+
+
+def _stage_overhead(platform, workflow) -> tuple[float, float, float]:
+    """(scheduling overhead ms, e2e ms, overhead % of e2e)."""
+    result = platform.run(workflow)
+    stage = workflow.stages[1]
+    stage_start = result.stage_ends_ms[0]
+    # storage exchange between the stages is interaction, not scheduling
+    storage = result.trace.total("rpc", entity="stage-0")
+    stage_span = result.stage_ends_ms[1] - stage_start - storage
+    ideal = max(fn.behavior.solo_ms for fn in stage)
+    overhead = max(0.0, stage_span - ideal)
+    return overhead, result.latency_ms, 100.0 * overhead / result.latency_ms
+
+
+@register("fig03")
+def run(quick: bool = False) -> ExperimentResult:
+    cal = RuntimeCalibration.native()
+    result = ExperimentResult(
+        experiment="fig03",
+        title="Figure 3: scheduling overhead in FINRA (parallel stage)",
+        columns=["system", "parallelism", "overhead_ms", "overhead_pct",
+                 "paper_ms"],
+        notes="paper_ms from Figure 3's bar labels",
+    )
+    for parallelism in (5, 25, 50):
+        wf = finra(parallelism)
+        for label, platform in (("asf", ASFPlatform(cal)),
+                                ("openfaas", OpenFaaSPlatform(cal))):
+            overhead, _e2e, pct = _stage_overhead(platform, wf)
+            result.add(system=label, parallelism=parallelism,
+                       overhead_ms=overhead, overhead_pct=pct,
+                       paper_ms=PAPER_MS[(label, parallelism)])
+    return result

@@ -1,0 +1,45 @@
+"""Figure 6: end-to-end latency of deployment models on FINRA 5/25/50.
+
+The motivation comparison: OpenFaaS (one-to-one), Faastlane (processes),
+Faastlane-T (threads), Faastlane+ (fixed 5-process m-to-n) and a
+performance-first Chiron.  Expected shape (§2.2 Observation 3): Faastlane-T
+wins at parallelism 5 but degrades sharply by 50; Chiron is best everywhere
+(paper: 15.9 %-74.1 % latency reduction).
+"""
+
+from __future__ import annotations
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import chiron_performance
+from repro.platforms import FaastlanePlatform, OpenFaaSPlatform
+
+
+@register("fig06")
+def run(quick: bool = False) -> ExperimentResult:
+    cal = RuntimeCalibration.native()
+    repeats = 3 if quick else 10
+    result = ExperimentResult(
+        experiment="fig06",
+        title="Figure 6: end-to-end latency by deployment model (FINRA)",
+        columns=["parallelism", "openfaas_ms", "faastlane_ms",
+                 "faastlane_t_ms", "faastlane_plus_ms", "chiron_ms"],
+        notes="expect: faastlane-t best among baselines at 5, worst at 50; "
+              "chiron lowest everywhere",
+    )
+    sizes = (5, 25) if quick else (5, 25, 50)
+    for parallelism in sizes:
+        wf = finra(parallelism)
+        row = {"parallelism": parallelism}
+        systems = {
+            "openfaas_ms": OpenFaaSPlatform(cal),
+            "faastlane_ms": FaastlanePlatform(cal),
+            "faastlane_t_ms": FaastlanePlatform(cal, variant="T"),
+            "faastlane_plus_ms": FaastlanePlatform(cal, variant="plus"),
+            "chiron_ms": chiron_performance(wf, cal),
+        }
+        for key, platform in systems.items():
+            row[key] = platform.average_latency_ms(wf, repeats=repeats)
+        result.add(**row)
+    return result

@@ -1,0 +1,47 @@
+"""Figure 13: normalized end-to-end latency, 8 workloads x 9 systems.
+
+Protocol (§6.2): each workflow runs warm at least 10 times; Chiron plans
+against SLO = Faastlane average + 10 ms.  Reported: mean latency normalized
+by Chiron's (the paper prints Chiron's absolute ms above its bars).
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_WORKLOADS
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import figure13_systems
+
+#: Chiron's absolute latencies printed above Figure 13's bars (ms)
+PAPER_CHIRON_MS = {"social-network": 26, "movie-review": 22, "slapp": 56,
+                   "slapp-v": 93, "finra-5": 85, "finra-50": 103,
+                   "finra-100": 142, "finra-200": 236}
+
+SYSTEMS = ("asf", "openfaas", "sand", "faastlane", "chiron", "faastlane-m",
+           "chiron-m", "faastlane-p", "chiron-p")
+
+
+@register("fig13")
+def run(quick: bool = False) -> ExperimentResult:
+    repeats = 3 if quick else 10
+    workloads = (("social-network", "movie-review", "finra-5") if quick
+                 else tuple(ALL_WORKLOADS))
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Figure 13: normalized end-to-end latency (x Chiron's)",
+        columns=["workload", "system", "latency_ms", "normalized",
+                 "paper_chiron_ms"],
+        notes="paper averages: Chiron cuts latency 89.9%/37.5%/32.1%/25.1% "
+              "vs ASF/OpenFaaS/SAND/Faastlane",
+    )
+    for name in workloads:
+        wf = ALL_WORKLOADS[name]()
+        systems = figure13_systems(wf)
+        latencies = {label: platform.average_latency_ms(wf, repeats=repeats)
+                     for label, platform in systems.items()}
+        chiron_ms = latencies["chiron"]
+        for label in SYSTEMS:
+            result.add(workload=name, system=label,
+                       latency_ms=latencies[label],
+                       normalized=latencies[label] / chiron_ms,
+                       paper_chiron_ms=PAPER_CHIRON_MS[name])
+    return result

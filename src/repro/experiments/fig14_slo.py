@@ -1,0 +1,51 @@
+"""Figure 14: SLO violation rate, Faastlane vs Chiron.
+
+SLO = Faastlane average latency + 10 ms (§6.2).  Requests carry seeded
+run-to-run jitter; Faastlane's mean sits 10 ms under the SLO so its noise
+violates often, while Chiron plans with conservatively inflated predictions
+(its accepted plan leaves a margin) — the paper reports 1.3 % average
+violations vs Faastlane's double digits.
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_WORKLOADS
+from repro.calibration import RuntimeCalibration
+from repro.core.slo import SloPolicy
+from repro.experiments.common import ExperimentResult, register
+from repro.platforms import FaastlanePlatform, build_platform
+
+
+@register("fig14")
+def run(quick: bool = False) -> ExperimentResult:
+    cal = RuntimeCalibration.native()
+    requests = 20 if quick else 100
+    workloads = (("social-network", "finra-5") if quick
+                 else tuple(ALL_WORKLOADS))
+    result = ExperimentResult(
+        experiment="fig14",
+        title="Figure 14: SLO violation rate (%)",
+        columns=["workload", "slo_ms", "faastlane_pct", "chiron_pct"],
+        notes="paper: Chiron averages 1.3%, far below Faastlane",
+    )
+    #: run-to-run variance of the testbed stand-in; heavier than the default
+    #: median-latency jitter so the violation tail is visible (the paper's
+    #: cluster shows double-digit Faastlane violation rates)
+    sigma = 0.13
+    for name in workloads:
+        wf = ALL_WORKLOADS[name]()
+        faastlane = FaastlanePlatform(cal)
+        baseline = faastlane.average_latency_ms(wf, repeats=10,
+                                                jitter_sigma=sigma)
+        policy = SloPolicy.from_baseline(baseline)
+        chiron = build_platform("chiron", wf, slo_ms=policy.slo_ms, cal=cal)
+        f_lat = [faastlane.run(wf, seed=9000 + r,
+                               jitter_sigma=sigma).latency_ms
+                 for r in range(requests)]
+        c_lat = [chiron.run(wf, seed=9000 + r,
+                            jitter_sigma=sigma).latency_ms
+                 for r in range(requests)]
+        result.add(workload=name, slo_ms=policy.slo_ms,
+                   faastlane_pct=100 * policy.violation_rate(f_lat),
+                   chiron_pct=100 * policy.violation_rate(c_lat))
+    return result

@@ -1,0 +1,41 @@
+"""Figure 15: per-function completion-time CDF, FINRA-50.
+
+For each system we record when every parallel function of FINRA-50 finishes
+(relative to the request start) and summarize the distribution.  Expected
+shape: pool variants start functions earliest (no fork cost) but show a
+long tail under worker contention; Chiron variants start fast *and* finish
+fast (paper: up to 32.5 % faster than Faastlane-M/-P).
+"""
+
+from __future__ import annotations
+
+from repro.apps import finra
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import figure13_systems
+from repro.metrics import percentile
+
+SYSTEMS = ("openfaas", "faastlane", "chiron", "faastlane-m", "chiron-m",
+           "faastlane-p", "chiron-p")
+
+
+@register("fig15")
+def run(quick: bool = False) -> ExperimentResult:
+    wf = finra(10 if quick else 50)
+    systems = figure13_systems(wf)
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Figure 15: function completion-time CDF, FINRA-50 (ms)",
+        columns=["system", "p10", "p50", "p90", "p100"],
+        notes="completion time of each parallel function since request "
+              "start; pool = early start, possible long tail",
+    )
+    for label in SYSTEMS:
+        res = systems[label].run(wf)
+        finish = [end for name, (_s, end) in res.function_spans.items()
+                  if name.startswith("validate-")]
+        result.add(system=label,
+                   p10=percentile(finish, 10),
+                   p50=percentile(finish, 50),
+                   p90=percentile(finish, 90),
+                   p100=percentile(finish, 100))
+    return result

@@ -1,0 +1,51 @@
+"""Figure 16: normalized memory and max throughput per worker node.
+
+Memory is the static deployment footprint normalized by Chiron's;
+throughput is the node capacity model of
+:mod:`repro.metrics.throughput` (instances that fit x requests each
+sustains).  Paper headline: Chiron improves throughput 1.3x-39.6x.
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_WORKLOADS
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import figure13_systems
+from repro.metrics import throughput_report
+
+SYSTEMS = ("openfaas", "sand", "faastlane", "chiron", "faastlane-m",
+           "chiron-m", "faastlane-p", "chiron-p")
+
+#: Chiron's absolute throughput printed in Figure 16 (req/s per node)
+PAPER_CHIRON_RPS = {"social-network": 3320, "movie-review": 3584,
+                    "slapp": 520, "slapp-v": 210, "finra-5": 1360,
+                    "finra-50": 102, "finra-100": 50, "finra-200": 18}
+
+
+@register("fig16")
+def run(quick: bool = False) -> ExperimentResult:
+    workloads = (("social-network", "finra-5") if quick
+                 else tuple(ALL_WORKLOADS))
+    result = ExperimentResult(
+        experiment="fig16",
+        title="Figure 16: normalized memory and max throughput per node",
+        columns=["workload", "system", "memory_mb", "memory_norm",
+                 "rps", "rps_norm", "paper_chiron_rps"],
+        notes="norms relative to Chiron; paper: 1.3x-39.6x throughput gain",
+    )
+    for name in workloads:
+        wf = ALL_WORKLOADS[name]()
+        systems = figure13_systems(wf)
+        reports = {label: throughput_report(systems[label], wf)
+                   for label in SYSTEMS}
+        memory = {label: systems[label].memory_mb(wf) for label in SYSTEMS}
+        base_mem = memory["chiron"]
+        base_rps = reports["chiron"].rps
+        for label in SYSTEMS:
+            result.add(workload=name, system=label,
+                       memory_mb=memory[label],
+                       memory_norm=memory[label] / base_mem,
+                       rps=reports[label].rps,
+                       rps_norm=reports[label].rps / base_rps,
+                       paper_chiron_rps=PAPER_CHIRON_RPS[name])
+    return result

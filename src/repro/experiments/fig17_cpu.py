@@ -1,0 +1,36 @@
+"""Figure 17: normalized allocated CPUs per deployment.
+
+OpenFaaS allocates one CPU per function; Faastlane one per unit of max
+parallelism; Chiron the minimum meeting the SLO (paper: 20-94 % CPU saved,
+normalized peaks of 16.8-18.3x for OpenFaaS on FINRA-100/200).
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_WORKLOADS
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import figure13_systems
+
+SYSTEMS = ("openfaas", "faastlane", "chiron", "chiron-m", "chiron-p")
+
+
+@register("fig17")
+def run(quick: bool = False) -> ExperimentResult:
+    workloads = (("social-network", "finra-50") if quick
+                 else tuple(ALL_WORKLOADS))
+    result = ExperimentResult(
+        experiment="fig17",
+        title="Figure 17: normalized CPU allocation",
+        columns=["workload", "system", "cores", "normalized"],
+        notes="normalized by Chiron; paper: Chiron saves 75%/66%/63% CPU vs "
+              "Faastlane native/MPK/pool",
+    )
+    for name in workloads:
+        wf = ALL_WORKLOADS[name]()
+        systems = figure13_systems(wf)
+        base = max(systems["chiron"].allocated_cores(wf), 1)
+        for label in SYSTEMS:
+            cores = systems[label].allocated_cores(wf)
+            result.add(workload=name, system=label, cores=cores,
+                       normalized=cores / base)
+    return result

@@ -1,0 +1,46 @@
+"""Figure 19: dollar cost per million requests, normalized by Chiron.
+
+The pricing model of :mod:`repro.metrics.cost`: GB-second memory +
+GHz-second CPU + ASF's per-state-transition fee.  Paper headline: the
+one-to-one model costs up to 272x Chiron; Chiron saves 44.4-95.3 % vs
+Faastlane.
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_WORKLOADS
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import figure13_systems
+from repro.metrics import CostModel
+
+SYSTEMS = ("asf", "openfaas", "sand", "faastlane", "chiron", "faastlane-m",
+           "chiron-m", "faastlane-p", "chiron-p")
+
+
+@register("fig19")
+def run(quick: bool = False) -> ExperimentResult:
+    workloads = (("social-network", "finra-5") if quick
+                 else tuple(ALL_WORKLOADS))
+    model = CostModel()
+    result = ExperimentResult(
+        experiment="fig19",
+        title="Figure 19: cost (USD per 1M requests), normalized by Chiron",
+        columns=["workload", "system", "usd_per_million", "normalized"],
+        notes="paper: ASF up to 272x Chiron; Chiron saves 44.4-95.3% vs "
+              "Faastlane",
+    )
+    for name in workloads:
+        wf = ALL_WORKLOADS[name]()
+        systems = figure13_systems(wf)
+        costs = {}
+        for label in SYSTEMS:
+            platform = systems[label]
+            latency = platform.average_latency_ms(wf, repeats=3)
+            costs[label] = model.request_cost(
+                platform, wf, latency_ms=latency).per_million()
+        base = costs["chiron"]
+        for label in SYSTEMS:
+            result.add(workload=name, system=label,
+                       usd_per_million=costs[label],
+                       normalized=costs[label] / base)
+    return result

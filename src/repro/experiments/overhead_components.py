@@ -1,0 +1,62 @@
+"""§6.3 "Resource overhead": cost of running Chiron's own components.
+
+The paper reports each component under 40 MB and <0.1 core (1 core for
+PGP).  Here we time the actual Profiler / Predictor / PGP / Generator code
+on FINRA-50 and report wall-clock per invocation — the quantities a
+deployment operator budgets for.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.core.generator import OrchestratorGenerator
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.profiler import Profiler
+from repro.experiments.common import ExperimentResult, register
+
+
+@register("overhead")
+def run(quick: bool = False) -> ExperimentResult:
+    wf = finra(10 if quick else 50)
+    cal = RuntimeCalibration.native()
+    result = ExperimentResult(
+        experiment="overhead",
+        title="§6.3: Chiron component overhead (FINRA-50)",
+        columns=["component", "wall_ms", "peak_mem_mb"],
+        notes="paper: each component <40 MB, <0.1 core (PGP gets 1 core); "
+              "scheduling is offline so wall time never blocks requests",
+    )
+
+    def timed(fn):
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        out = fn()
+        wall = (time.perf_counter() - t0) * 1e3
+        _cur, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return out, wall, peak / (1024 * 1024)
+
+    profiler = Profiler()
+    profiles, wall, mem = timed(lambda: profiler.profile_workflow(wf))
+    result.add(component="profiler", wall_ms=wall, peak_mem_mb=mem)
+
+    profiled = Profiler.profiled_workflow(wf, profiles)
+    predictor = LatencyPredictor(cal, conservatism=1.08)
+    scheduler = PGPScheduler(predictor)
+    slo = wf.critical_path_ms * 3
+    plan, wall, mem = timed(lambda: scheduler.schedule(profiled, slo))
+    result.add(component="pgp-scheduler", wall_ms=wall, peak_mem_mb=mem)
+
+    _, wall, mem = timed(
+        lambda: predictor.predict_workflow(profiled, plan))
+    result.add(component="predictor(one call)", wall_ms=wall, peak_mem_mb=mem)
+
+    _, wall, mem = timed(
+        lambda: OrchestratorGenerator().generate(profiled, plan))
+    result.add(component="generator", wall_ms=wall, peak_mem_mb=mem)
+    return result

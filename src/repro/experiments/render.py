@@ -1,0 +1,45 @@
+"""ASCII bar charts for experiment results (terminal "figures")."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+
+
+def bar_chart(result: ExperimentResult, *, label_cols: Sequence[str],
+              value_col: str, width: int = 50,
+              log: bool = False) -> str:
+    """Render one value column as horizontal bars.
+
+    ``label_cols`` name the columns concatenated into each bar's label;
+    ``log`` switches to a logarithmic bar length (for ASF-scale outliers).
+    """
+    import math
+
+    for col in (*label_cols, value_col):
+        if col not in result.columns:
+            raise ReproError(f"{result.experiment}: no column {col!r}")
+    values = [float(row[value_col]) for row in result.rows]
+    if not values:
+        raise ReproError(f"{result.experiment}: no rows to chart")
+    if any(v < 0 for v in values):
+        raise ReproError("bar_chart needs non-negative values")
+
+    def scale(v: float) -> float:
+        if not log:
+            return v
+        return math.log10(1.0 + v)
+
+    peak = max(scale(v) for v in values) or 1.0
+    labels = [" ".join(str(row[c]) for c in label_cols)
+              for row in result.rows]
+    label_w = max(len(l) for l in labels)
+    lines = [f"{result.title} — {value_col}"
+             + (" (log scale)" if log else "")]
+    for label, value in zip(labels, values):
+        n = int(round(scale(value) / peak * width))
+        lines.append(f"{label:<{label_w}} |{'#' * n:<{width}}| "
+                     f"{value:,.2f}")
+    return "\n".join(lines)

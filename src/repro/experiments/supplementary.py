@@ -1,0 +1,148 @@
+"""Supplementary experiments beyond the paper's figures.
+
+* ``coldstart`` — cold vs warm first-request latency per deployment model:
+  the one-to-one model pays one container boot per function sandbox, while
+  many-to-one and m-to-n amortize boots over wraps (§1's motivation; the
+  paper evaluates warm-only, this quantifies what pre-warming hides);
+* ``runtimes`` — the same workload on CPython, Node.js (50 ms
+  worker_threads spawn, §2.1) and Java (no GIL): why the paper's trade-off
+  is runtime-specific;
+* ``loadtest`` — *measured* saturation throughput from the open-loop load
+  generator vs Figure 16's capacity model.
+"""
+
+from __future__ import annotations
+
+from repro.apps import finra, social_network
+from repro.calibration import RuntimeCalibration
+from repro.cluster import find_saturation_rps
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.systems import paper_slo_ms
+from repro.metrics import throughput_report
+from repro.platforms import (
+    FaastlanePlatform,
+    OpenFaaSPlatform,
+    SANDPlatform,
+    build_platform,
+)
+
+
+@register("coldstart")
+def run_coldstart(quick: bool = False) -> ExperimentResult:
+    cal = RuntimeCalibration.native()
+    result = ExperimentResult(
+        experiment="coldstart",
+        title="Supplementary: cold vs warm first-request latency",
+        columns=["workload", "system", "warm_ms", "cold_ms", "penalty_ms",
+                 "sandboxes"],
+        notes="one-to-one re-boots every function's container (167 ms "
+              "each, booted in parallel here); wraps amortize boots",
+    )
+    workloads = [finra(5)] if quick else [finra(5), social_network()]
+    for wf in workloads:
+        slo = paper_slo_ms(wf, cal)
+        systems = {
+            "openfaas": OpenFaaSPlatform(cal),
+            "sand": SANDPlatform(cal),
+            "faastlane": FaastlanePlatform(cal),
+            "chiron": build_platform("chiron", wf, slo_ms=slo, cal=cal),
+        }
+        for label, platform in systems.items():
+            warm = platform.run(wf).latency_ms
+            cold = platform.run(wf, cold=True).latency_ms
+            result.add(workload=wf.name, system=label, warm_ms=warm,
+                       cold_ms=cold, penalty_ms=cold - warm,
+                       sandboxes=len(platform.footprints(wf)))
+    return result
+
+
+@register("runtimes")
+def run_runtimes(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="runtimes",
+        title="Supplementary: language runtimes under thread fan-out (§2.1)",
+        columns=["runtime", "system", "latency_ms"],
+        notes="Node.js worker_threads pay >50 ms spawn each; Java threads "
+              "run truly parallel; CPython sits between",
+    )
+    wf = finra(5)
+    for runtime, cal in (("python", RuntimeCalibration.native()),
+                         ("nodejs", RuntimeCalibration.nodejs()),
+                         ("java", RuntimeCalibration.no_gil())):
+        for label, platform in (
+                ("faastlane-t", FaastlanePlatform(cal, variant="T")),
+                ("faastlane", FaastlanePlatform(cal))):
+            result.add(runtime=runtime, system=label,
+                       latency_ms=platform.run(wf).latency_ms)
+    return result
+
+
+@register("autoscale")
+def run_autoscale(quick: bool = False) -> ExperimentResult:
+    """Elastic scaling under bursty traffic: small-footprint deployments
+    absorb bursts with more replicas per node (extension of Figure 16)."""
+    from repro.cluster import AutoscalerConfig, burst_arrivals, run_autoscaled
+
+    cal = RuntimeCalibration.native()
+    wf = finra(5)
+    duration = 4_000.0 if quick else 10_000.0
+    arrivals = burst_arrivals(2.0, 50.0, burst_every_ms=2_500.0,
+                              burst_len_ms=500.0, duration_ms=duration,
+                              seed=3)
+    result = ExperimentResult(
+        experiment="autoscale",
+        title="Supplementary: burst traffic under replica autoscaling",
+        columns=["system", "max_replicas", "p50_ms", "p90_ms",
+                 "mean_replicas", "replica_seconds"],
+        notes="reactive scaling pays one cold start before new capacity "
+              "lands; Chiron's 2-core replicas scale 25x denser than "
+              "Faastlane's 5-core ones on a 40-core node",
+    )
+    systems = {
+        "faastlane": (FaastlanePlatform(cal), 40 // 5),
+        "chiron": (build_platform("chiron", wf,
+                                  slo_ms=paper_slo_ms(wf, cal), cal=cal),
+                   None),
+    }
+    for label, (platform, cap) in systems.items():
+        max_replicas = cap or max(1, 40 // max(
+            platform.allocated_cores(wf), 1))
+        out = run_autoscaled(platform, wf, arrivals=arrivals,
+                             config=AutoscalerConfig(
+                                 min_replicas=1, max_replicas=max_replicas,
+                                 evaluation_interval_ms=250.0),
+                             service_pool=10 if quick else 20)
+        result.add(system=label, max_replicas=max_replicas,
+                   p50_ms=out.sojourn.p50_ms, p90_ms=out.sojourn.p90_ms,
+                   mean_replicas=out.mean_replicas,
+                   replica_seconds=out.replica_seconds)
+    return result
+
+
+@register("loadtest")
+def run_loadtest(quick: bool = False) -> ExperimentResult:
+    cal = RuntimeCalibration.native()
+    result = ExperimentResult(
+        experiment="loadtest",
+        title="Supplementary: measured saturation vs capacity model (1 node)",
+        columns=["workload", "system", "capacity_rps", "measured_rps",
+                 "agreement"],
+        notes="measured = open-loop Poisson search with bounded queueing; "
+              "finite-horizon tests overshoot steady state by O(10%)",
+    )
+    wf = finra(5)
+    requests = 80 if quick else 200
+    systems = {
+        "faastlane": FaastlanePlatform(cal),
+        "openfaas": OpenFaaSPlatform(cal),
+        "chiron": build_platform("chiron", wf,
+                                 slo_ms=paper_slo_ms(wf, cal), cal=cal),
+    }
+    for label, platform in systems.items():
+        model = throughput_report(platform, wf)
+        measured = find_saturation_rps(platform, wf, requests=requests,
+                                       seed=5, tolerance=0.1)
+        result.add(workload=wf.name, system=label,
+                   capacity_rps=model.rps, measured_rps=measured,
+                   agreement=measured / model.rps)
+    return result

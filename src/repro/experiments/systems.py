@@ -1,0 +1,46 @@
+"""Shared platform builders for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.profiler import Profiler
+from repro.platforms import ChironPlatform, FaastlanePlatform, build_platform
+from repro.platforms.registry import default_slo_ms
+from repro.workflow.model import Workflow
+
+#: a practically-unsatisfiable SLO: PGP then returns its best-latency plan,
+#: the "performance-first" configuration used by the motivation experiments
+PERFORMANCE_SLO_MS = 1.0
+
+
+def chiron_performance(workflow: Workflow,
+                       cal: Optional[RuntimeCalibration] = None,
+                       ) -> ChironPlatform:
+    """Latency-optimal Chiron (Figure 6's configuration)."""
+    cal = cal or RuntimeCalibration.native()
+    profiler = Profiler()
+    profiled = Profiler.profiled_workflow(
+        workflow, profiler.profile_workflow(workflow))
+    plan = PGPScheduler(LatencyPredictor(cal)).schedule(
+        profiled, PERFORMANCE_SLO_MS)
+    return ChironPlatform(plan, cal)
+
+
+def paper_slo_ms(workflow: Workflow,
+                 cal: Optional[RuntimeCalibration] = None) -> float:
+    """The §6.2 convention: Faastlane average + 10 ms."""
+    return default_slo_ms(workflow, cal)
+
+
+def figure13_systems(workflow: Workflow, *,
+                     slo_ms: Optional[float] = None) -> dict[str, object]:
+    """The nine systems on Figure 13's x-axis, keyed by label."""
+    slo = slo_ms if slo_ms is not None else paper_slo_ms(workflow)
+    names = ("asf", "openfaas", "sand", "faastlane", "chiron",
+             "faastlane-m", "chiron-m", "faastlane-p", "chiron-p")
+    return {name: build_platform(name, workflow, slo_ms=slo)
+            for name in names}

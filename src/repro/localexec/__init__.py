@@ -1,0 +1,35 @@
+"""Real local execution of deployment plans.
+
+Everything else in this package simulates; :mod:`repro.localexec` runs a
+:class:`~repro.core.wrap.DeploymentPlan` with **genuine OS abstractions** —
+``threading.Thread`` for thread groups, ``multiprocessing.Process`` for
+forked groups, ``concurrent.futures.ProcessPoolExecutor`` for pool plans,
+and OS pipes for inter-process state return — exactly the mechanisms the
+paper's Chiron generates orchestrator code for (§5).
+
+This is the demonstration path (examples, smoke tests): on a many-core
+machine the thread/process trade-offs reproduce for real; figures still
+come from the simulator because this host cannot provide a 40-core node
+(see DESIGN.md).
+
+Functions are real Python callables; :func:`synthesize` builds one from a
+:class:`~repro.workflow.FunctionBehavior` (CPU segments spin, IO segments
+sleep — the sleep path releases the real GIL just like Figure 2 describes).
+"""
+
+from repro.localexec.executor import LocalExecutor, LocalRunResult
+from repro.localexec.functions import (
+    FunctionRegistry,
+    synthesize,
+    synthesize_workflow,
+)
+from repro.localexec.profiler import RealProfiler
+
+__all__ = [
+    "FunctionRegistry",
+    "LocalExecutor",
+    "LocalRunResult",
+    "RealProfiler",
+    "synthesize",
+    "synthesize_workflow",
+]

@@ -1,0 +1,194 @@
+"""Execute a deployment plan with real threads, processes and pools."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.wrap import DeploymentPlan, ExecMode, ProcessAssignment
+from repro.errors import DeploymentError
+from repro.localexec.functions import (  # call_function re-exported: the
+    FunctionRegistry,                    # generated orchestrators import it
+    call_function,                       # from this module (§5 Generator)
+    synthesize_workflow,
+)
+from repro.workflow.model import Workflow
+
+__all__ = ["LocalExecutor", "LocalRunResult", "call_function", "invoke_wrap",
+           "set_affinity"]
+
+
+def set_affinity(cores: list[int]) -> None:
+    """Pin the current process to ``cores`` (best effort; §5's psutil use)."""
+    try:
+        os.sched_setaffinity(0, set(cores) & os.sched_getaffinity(0)
+                             or os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux or restricted environment
+        pass
+
+
+def invoke_wrap(wrap_name: str, state: Any) -> Any:
+    """Cross-wrap invocation hook for generated orchestrators.
+
+    The local executor runs every wrap in-process, so this is a direct
+    dispatch placeholder; a cluster deployment would HTTP-POST the wrap's
+    OpenFaaS function here.
+    """
+    return state
+
+
+def _child_entry(functions: tuple[str, ...], behaviors: dict, state: Any,
+                 conn) -> None:
+    """Forked-process body: run the group's functions as real threads."""
+    from repro.localexec.functions import synthesize
+
+    results: Dict[str, float] = {}
+
+    def run_one(name: str) -> None:
+        t0 = time.perf_counter()
+        synthesize(behaviors[name], name)(state)
+        results[name] = (time.perf_counter() - t0) * 1e3
+
+    threads = [threading.Thread(target=run_one, args=(n,), name=n)
+               for n in functions]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    conn.send(results)
+    conn.close()
+
+
+@dataclass
+class LocalRunResult:
+    """Outcome of one real execution."""
+
+    latency_ms: float
+    #: wall-clock duration of each function's body
+    function_ms: Dict[str, float] = field(default_factory=dict)
+    #: final state object returned by the last stage
+    state: Any = None
+
+
+class LocalExecutor:
+    """Runs one workflow request according to a plan, for real.
+
+    * ``THREAD`` groups -> ``threading.Thread`` in this process;
+    * ``PROCESS`` groups -> ``multiprocessing.Process`` (fork) with a pipe
+      returning per-function timings;
+    * pool plans -> a shared ``ProcessPoolExecutor`` warmed at construction.
+    """
+
+    def __init__(self, workflow: Workflow, plan: DeploymentPlan, *,
+                 registry: Optional[FunctionRegistry] = None) -> None:
+        plan.validate(workflow)
+        self.workflow = workflow
+        self.plan = plan
+        self.registry = (registry if registry is not None
+                         else synthesize_workflow(workflow))
+        missing = [f.name for f in workflow.functions
+                   if f.name not in self.registry]
+        if missing:
+            raise DeploymentError(f"registry missing functions: {missing}")
+        self._behaviors = {f.name: f.behavior for f in workflow.functions}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if plan.pool_workers > 0:
+            # pre-forked at deploy time, like the -P variants (§4)
+            self._pool = ProcessPoolExecutor(max_workers=plan.pool_workers)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "LocalExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------------
+    def _run_thread_group(self, group: ProcessAssignment, state: Any,
+                          result: LocalRunResult) -> list[threading.Thread]:
+        threads = []
+        for name in group.functions:
+            fn = self.registry.get(name)
+
+            def body(name=name, fn=fn):
+                t0 = time.perf_counter()
+                fn(state)
+                result.function_ms[name] = (time.perf_counter() - t0) * 1e3
+
+            thread = threading.Thread(target=body, name=name)
+            thread.start()
+            threads.append(thread)
+        return threads
+
+    def _run_forked_group(self, group: ProcessAssignment, state: Any):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        behaviors = {n: self._behaviors[n] for n in group.functions}
+        proc = multiprocessing.Process(
+            target=_child_entry,
+            args=(group.functions, behaviors, state, child_conn))
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _run_pool_stage(self, names: list[str], state: Any,
+                        result: LocalRunResult) -> None:
+        assert self._pool is not None
+        ordered = sorted(names,
+                         key=lambda n: self._behaviors[n].solo_ms,
+                         reverse=True)  # longest first, like Chiron-P
+        t0s = {n: time.perf_counter() for n in ordered}
+        futures = {n: self._pool.submit(_pool_task, self._behaviors[n], n,
+                                        state) for n in ordered}
+        for name, future in futures.items():
+            future.result()
+            result.function_ms[name] = (time.perf_counter()
+                                        - t0s[name]) * 1e3
+
+    def run(self, state: Any = None) -> LocalRunResult:
+        """One request through every stage of the plan."""
+        state = state if state is not None else {}
+        result = LocalRunResult(latency_ms=0.0, state=state)
+        start = time.perf_counter()
+        for stage_idx in range(len(self.workflow.stages)):
+            parts = self.plan.stage_wraps(stage_idx)
+            if not parts:
+                raise DeploymentError(f"no wrap covers stage {stage_idx}")
+            if self._pool is not None:
+                names = [n for _w, sa in parts for n in sa.function_names]
+                self._run_pool_stage(names, state, result)
+                continue
+            threads: list[threading.Thread] = []
+            children = []
+            for _wrap, sa in parts:
+                # fork first, then clone threads (Figure 9's orchestrator)
+                for group in sa.forked_processes:
+                    children.append(self._run_forked_group(group, state))
+                for group in sa.thread_groups:
+                    threads.extend(self._run_thread_group(group, state,
+                                                          result))
+            for thread in threads:
+                thread.join()
+            for proc, conn in children:
+                timings = conn.recv()
+                result.function_ms.update(timings)
+                proc.join()
+                conn.close()
+        result.latency_ms = (time.perf_counter() - start) * 1e3
+        return result
+
+
+def _pool_task(behavior, name: str, state: Any) -> str:
+    """Top-level pool task (must be picklable)."""
+    from repro.localexec.functions import synthesize
+
+    synthesize(behavior, name)(state)
+    return name

@@ -1,0 +1,101 @@
+"""Real Python callables and the registry the executor dispatches from."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import DeploymentError
+from repro.workflow.behavior import FunctionBehavior, SegmentKind
+from repro.workflow.model import Workflow
+
+#: a function takes the request state (any picklable object) and returns an
+#: updated state
+LocalFunction = Callable[[Any], Any]
+
+
+def _spin_ms(duration_ms: float) -> None:
+    """Burn CPU for ``duration_ms`` (holds the GIL, like real compute)."""
+    deadline = time.perf_counter() + duration_ms / 1e3
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1  # genuine bytecode execution so the GIL stays busy
+
+
+def synthesize(behavior: FunctionBehavior, name: str = "fn") -> LocalFunction:
+    """A real callable reproducing a behaviour's CPU/IO segments.
+
+    CPU segments spin (GIL held); IO segments ``time.sleep`` (GIL released
+    — the voluntary drop of Figure 2).
+    """
+
+    def body(state: Any) -> Any:
+        for segment in behavior:
+            if segment.kind is SegmentKind.CPU:
+                _spin_ms(segment.duration_ms)
+            else:
+                time.sleep(segment.duration_ms / 1e3)
+        if isinstance(state, dict):
+            return {**state, name: "done"}
+        return state
+
+    body.__name__ = name
+    return body
+
+
+class FunctionRegistry:
+    """Named callables the executor (and generated orchestrators) look up."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, LocalFunction] = {}
+
+    def register(self, name: str, fn: LocalFunction) -> None:
+        if name in self._functions:
+            raise DeploymentError(f"function {name!r} already registered")
+        self._functions[name] = fn
+
+    def get(self, name: str) -> LocalFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise DeploymentError(f"unknown function {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+def synthesize_workflow(workflow: Workflow,
+                        registry: Optional[FunctionRegistry] = None
+                        ) -> FunctionRegistry:
+    """Register a synthesized callable for every function of a workflow."""
+    registry = registry or FunctionRegistry()
+    for fn in workflow.functions:
+        registry.register(fn.name, synthesize(fn.behavior, fn.name))
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# helpers referenced by generated orchestrator code (§5 Generator)
+# ---------------------------------------------------------------------------
+
+_ACTIVE_REGISTRY: Optional[FunctionRegistry] = None
+
+
+def activate_registry(registry: FunctionRegistry) -> None:
+    """Install the registry generated orchestrators dispatch through."""
+    global _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+
+
+def call_function(name: Any, state: Any) -> Any:
+    """Entry used by generated orchestrator code: run one function (or a
+    tuple of functions, for a multi-function process) against ``state``."""
+    if _ACTIVE_REGISTRY is None:
+        raise DeploymentError("no active function registry")
+    names = name if isinstance(name, (tuple, list)) else (name,)
+    for n in names:
+        state = _ACTIVE_REGISTRY.get(n)(state)
+    return state

@@ -1,0 +1,57 @@
+"""Profile *real* function executions (the strace role, locally).
+
+For synthesized callables we can do exactly what the paper's Profiler does:
+intercept blocking operations (here, ``time.sleep``) to record block
+periods with timestamps, then reconstruct the CPU/IO behaviour.  For
+arbitrary callables, only the solo latency is observable; the profile
+degrades to a single CPU segment.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+from unittest import mock
+
+from repro.core.profiler import FunctionProfile
+from repro.errors import ProfilingError
+from repro.workflow.behavior import FunctionBehavior
+
+
+class RealProfiler:
+    """Measures solo-run latency and block periods of real callables."""
+
+    def __init__(self, *, repeats: int = 3) -> None:
+        if repeats < 1:
+            raise ProfilingError("repeats must be >= 1")
+        self.repeats = repeats
+
+    def profile(self, name: str, fn: Callable[[Any], Any],
+                state: Any = None) -> FunctionProfile:
+        """Solo-run ``fn`` with sleep interception; median-ish aggregation.
+
+        The interception plays strace's role: every blocking call's start
+        offset and duration are logged; remaining time is CPU.
+        """
+        best: Optional[tuple[float, list[tuple[float, float]]]] = None
+        for _ in range(self.repeats):
+            periods: list[tuple[float, float]] = []
+            run_start = time.perf_counter()
+            real_sleep = time.sleep
+
+            def traced_sleep(seconds: float) -> None:
+                t0 = (time.perf_counter() - run_start) * 1e3
+                real_sleep(seconds)
+                t1 = (time.perf_counter() - run_start) * 1e3
+                periods.append((t0, t1))
+
+            with mock.patch("time.sleep", traced_sleep):
+                fn(state if state is not None else {})
+            total_ms = (time.perf_counter() - run_start) * 1e3
+            if best is None or total_ms < best[0]:
+                best = (total_ms, periods)
+        assert best is not None
+        total_ms, periods = best
+        behavior = FunctionBehavior.from_block_periods(total_ms, periods)
+        return FunctionProfile(name=name, behavior=behavior,
+                               solo_latency_ms=total_ms)

@@ -1,0 +1,24 @@
+"""Evaluation metrics: dollar cost, throughput capacity, latency statistics.
+
+* :mod:`~repro.metrics.cost` — the Figure 19 pricing model (GB-second +
+  GHz-second + ASF state transitions);
+* :mod:`~repro.metrics.throughput` — per-node maximum requests/second from
+  the CPU/memory capacity model plus a closed-loop simulated load check
+  (Figure 16);
+* :mod:`~repro.metrics.stats` — latency CDFs, percentiles and SLO-violation
+  helpers (Figures 14/15).
+"""
+
+from repro.metrics.cost import CostModel, RequestCost
+from repro.metrics.stats import cdf, percentile, summarize_latencies
+from repro.metrics.throughput import max_throughput_rps, throughput_report
+
+__all__ = [
+    "CostModel",
+    "RequestCost",
+    "cdf",
+    "max_throughput_rps",
+    "percentile",
+    "summarize_latencies",
+    "throughput_report",
+]

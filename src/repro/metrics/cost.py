@@ -1,0 +1,79 @@
+"""Dollar-cost model (Figure 19, §6.3 "Cost efficiency").
+
+Pricing follows the Google Cloud Functions rates the paper quotes:
+$2.5e-6 per GB-second of memory and $1.0e-5 per GHz-second of CPU, with CPU
+and memory charged independently.  AWS Step Functions additionally bills
+every state transition.  A deployment is billed for (allocated memory x
+busy time) and (allocated CPU x clock x busy time) per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import (
+    ASF_PRICE_PER_STATE_TRANSITION,
+    CPU_CLOCK_GHZ,
+    PRICE_PER_GB_SECOND,
+    PRICE_PER_GHZ_SECOND,
+)
+from repro.errors import ReproError
+from repro.platforms.base import Platform
+from repro.workflow.model import Workflow
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Cost breakdown of one workflow request (USD)."""
+
+    memory_usd: float
+    cpu_usd: float
+    transitions_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.memory_usd + self.cpu_usd + self.transitions_usd
+
+    def per_million(self) -> float:
+        """USD per one million requests (Figure 19's unit)."""
+        return self.total_usd * 1e6
+
+
+class CostModel:
+    """Prices platform deployments per request."""
+
+    def __init__(self, *,
+                 price_gb_second: float = PRICE_PER_GB_SECOND,
+                 price_ghz_second: float = PRICE_PER_GHZ_SECOND,
+                 price_transition: float = ASF_PRICE_PER_STATE_TRANSITION,
+                 clock_ghz: float = CPU_CLOCK_GHZ) -> None:
+        if min(price_gb_second, price_ghz_second, price_transition,
+               clock_ghz) < 0:
+            raise ReproError("prices must be non-negative")
+        self.price_gb_second = price_gb_second
+        self.price_ghz_second = price_ghz_second
+        self.price_transition = price_transition
+        self.clock_ghz = clock_ghz
+
+    def request_cost(self, platform: Platform, workflow: Workflow, *,
+                     latency_ms: float | None = None) -> RequestCost:
+        """Bill one request.
+
+        The deployment's full allocation (memory + CPUs) is charged for the
+        request's end-to-end duration — the paper's model, which is what
+        makes over-provisioned deployments expensive even when idle within
+        a request.
+        """
+        if latency_ms is None:
+            latency_ms = platform.run(workflow).latency_ms
+        if latency_ms < 0:
+            raise ReproError(f"negative latency {latency_ms}")
+        seconds = latency_ms / 1e3
+        memory_gb = platform.memory_mb(workflow) / 1024.0
+        cores = platform.allocated_cores(workflow)
+        return RequestCost(
+            memory_usd=memory_gb * seconds * self.price_gb_second,
+            cpu_usd=cores * self.clock_ghz * seconds * self.price_ghz_second,
+            transitions_usd=(platform.state_transitions(workflow)
+                             * self.price_transition),
+        )

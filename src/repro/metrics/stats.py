@@ -1,0 +1,59 @@
+"""Latency statistics: CDFs, percentiles, distribution summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def percentile(latencies_ms: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) of a latency sample."""
+    if not latencies_ms:
+        raise ReproError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ReproError(f"percentile q out of range: {q}")
+    return float(np.percentile(np.asarray(latencies_ms, dtype=float), q))
+
+
+def cdf(latencies_ms: Sequence[float]
+        ) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fraction in %).
+
+    Matches Figure 15's axes (latency on x, CDF % on y).
+    """
+    if not latencies_ms:
+        raise ReproError("cdf of an empty sample")
+    values = np.sort(np.asarray(latencies_ms, dtype=float))
+    fractions = np.arange(1, len(values) + 1) / len(values) * 100.0
+    return values, fractions
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+
+
+def summarize_latencies(latencies_ms: Sequence[float]) -> LatencySummary:
+    """Distribution summary used by the experiment tables."""
+    if not latencies_ms:
+        raise ReproError("summary of an empty sample")
+    arr = np.asarray(latencies_ms, dtype=float)
+    return LatencySummary(
+        count=len(arr),
+        mean_ms=float(arr.mean()),
+        p50_ms=percentile(latencies_ms, 50),
+        p90_ms=percentile(latencies_ms, 90),
+        p99_ms=percentile(latencies_ms, 99),
+        min_ms=float(arr.min()),
+        max_ms=float(arr.max()),
+    )

@@ -1,0 +1,87 @@
+"""Maximum throughput per worker node (Figure 16's bottom panel).
+
+A node (Table 2: 40 cores, 128 GB) hosts as many deployment instances as
+its CPUs and memory allow; each instance serves requests back to back at
+``1 / service_latency``.  Max RPS is therefore::
+
+    instances = min(cores // cores_per_instance, mem // mem_per_instance)
+    rps       = instances * 1000 / latency_ms
+
+Chiron's advantage in the paper comes from *both* terms: lower latency and
+a smaller per-instance footprint.  :func:`simulate_closed_loop` cross-checks
+the capacity model by actually replaying back-to-back requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import NODE_CORES, NODE_MEMORY_MB
+from repro.errors import CapacityError
+from repro.platforms.base import Platform
+from repro.workflow.model import Workflow
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    platform: str
+    #: fractional when one instance spans more than a node (e.g. one-to-one
+    #: FINRA-100 needs 101 CPUs: each 40-core node contributes ~0.4 of an
+    #: instance's capacity)
+    instances_per_node: float
+    latency_ms: float
+    rps: float
+    bound: str  # "cpu" | "memory" | "none"
+
+
+def max_throughput_rps(platform: Platform, workflow: Workflow, *,
+                       node_cores: float = NODE_CORES,
+                       node_memory_mb: float = NODE_MEMORY_MB,
+                       latency_ms: float | None = None) -> float:
+    """Maximum requests/second one node sustains for this deployment."""
+    return throughput_report(platform, workflow, node_cores=node_cores,
+                             node_memory_mb=node_memory_mb,
+                             latency_ms=latency_ms).rps
+
+
+def throughput_report(platform: Platform, workflow: Workflow, *,
+                      node_cores: float = NODE_CORES,
+                      node_memory_mb: float = NODE_MEMORY_MB,
+                      latency_ms: float | None = None) -> ThroughputReport:
+    """Capacity-model throughput with the binding resource identified."""
+    if node_cores <= 0 or node_memory_mb <= 0:
+        raise CapacityError("node capacity must be positive")
+    cores = max(platform.allocated_cores(workflow), 1)
+    memory = max(platform.memory_mb(workflow), 1e-9)
+    by_cpu = node_cores / cores
+    by_mem = node_memory_mb / memory
+    # whole instances when they fit; a fractional share of the (multi-node)
+    # deployment's capacity otherwise
+    instances = min(by_cpu, by_mem)
+    if instances >= 1.0:
+        by_cpu, by_mem = float(int(by_cpu)), float(int(by_mem))
+        instances = min(by_cpu, by_mem)
+    if latency_ms is None:
+        latency_ms = platform.run(workflow).latency_ms
+    rps = instances * 1000.0 / latency_ms
+    bound = ("cpu" if by_cpu < by_mem
+             else "memory" if by_mem < by_cpu else "none")
+    return ThroughputReport(platform=platform.name,
+                            instances_per_node=instances,
+                            latency_ms=latency_ms, rps=rps, bound=bound)
+
+
+def simulate_closed_loop(platform: Platform, workflow: Workflow, *,
+                         requests: int = 20) -> float:
+    """Measured RPS of one instance serving requests back to back.
+
+    Cross-checks the capacity model's ``1000 / latency`` term: the value
+    returned here times instances-per-node should approximate
+    :func:`max_throughput_rps`.
+    """
+    if requests < 1:
+        raise CapacityError("requests must be >= 1")
+    total_ms = 0.0
+    for r in range(requests):
+        total_ms += platform.run(workflow, seed=7000 + r).latency_ms
+    return requests * 1000.0 / total_ms

@@ -1,0 +1,34 @@
+"""From-scratch ML predictors for the Figure 12 comparison.
+
+The paper compares its white-box Predictor with Random Forest Regression
+(scikit-learn), an LSTM and a GNN (PyTorch).  None of those libraries is
+available offline, so this package implements small, faithful NumPy versions:
+
+* :class:`DecisionTreeRegressor` / :class:`RandomForestRegressor` — CART
+  with variance-reduction splits, bagged with feature subsampling;
+* :class:`LSTMRegressor` — a single-layer LSTM with full BPTT training;
+* :class:`GCNRegressor` — a two-layer graph convolution network with mean
+  pooling, hand-derived gradients;
+* :mod:`~repro.mlkit.features` — turns (workflow, plan, measurement) tuples
+  into the feature vectors / graphs the models consume.
+
+All models are exact-gradient (verified by numerical grad-checks in the
+test suite) and deterministic given a seed.
+"""
+
+from repro.mlkit.features import graph_features, vector_features
+from repro.mlkit.forest import RandomForestRegressor
+from repro.mlkit.gnn import GCNRegressor
+from repro.mlkit.lstm import LSTMRegressor
+from repro.mlkit.metrics import mean_absolute_percentage_error
+from repro.mlkit.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GCNRegressor",
+    "LSTMRegressor",
+    "RandomForestRegressor",
+    "graph_features",
+    "mean_absolute_percentage_error",
+    "vector_features",
+]

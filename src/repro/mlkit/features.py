@@ -1,0 +1,114 @@
+"""Feature extraction for the learned baselines (Figure 12).
+
+The paper feeds the models each function's solo-run latency plus a battery
+of system counters (cache MPKIs, IPC, utilizations...) recommended by
+Gsight.  On the simulated substrate the observable per-function quantities
+are the behavioural ones; we expose them per deployed process/function and
+synthesize counter-like correlates (CPU fraction, segment counts) so the
+models see a comparable feature width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.wrap import DeploymentPlan, ExecMode
+from repro.workflow.model import Workflow
+
+#: per-function feature vector width (see _function_features)
+FUNCTION_FEATURE_DIM = 8
+
+
+def _function_features(workflow: Workflow, name: str,
+                       mode_code: float) -> np.ndarray:
+    b = workflow.function(name).behavior
+    solo = b.solo_ms
+    return np.array([
+        solo,
+        b.cpu_ms,
+        b.io_ms,
+        b.cpu_ms / max(solo, 1e-9),      # CPU fraction (a utilization proxy)
+        float(len(b)),                   # segment count (syscall activity)
+        b.data_out_mb,
+        b.memory_mb,
+        mode_code,                       # 0 thread / 1 process / 2 pool
+    ])
+
+
+_MODE_CODE = {ExecMode.THREAD: 0.0, ExecMode.PROCESS: 1.0, ExecMode.POOL: 2.0}
+
+
+def vector_features(workflow: Workflow, plan: DeploymentPlan,
+                    max_functions: int) -> np.ndarray:
+    """A fixed-width flat vector: per-function features (padded) plus
+    deployment summary — the RFR/LSTM input."""
+    rows = []
+    for wrap in plan.wraps:
+        for sa in wrap.stages:
+            for proc in sa.processes:
+                for fname in proc.functions:
+                    rows.append(_function_features(
+                        workflow, fname, _MODE_CODE[proc.mode]))
+    rows.sort(key=lambda r: -r[0])  # deterministic ordering by solo latency
+    while len(rows) < max_functions:
+        rows.append(np.zeros(FUNCTION_FEATURE_DIM))
+    mat = np.stack(rows[:max_functions])
+    summary = np.array([
+        plan.n_wraps,
+        plan.total_cores,
+        sum(len(sa.processes) for w in plan.wraps for sa in w.stages),
+        float(plan.pool_workers),
+        len(workflow.stages),
+        workflow.max_parallelism,
+    ])
+    return np.concatenate([mat.ravel(), summary])
+
+
+def sequence_features(workflow: Workflow, plan: DeploymentPlan,
+                      max_functions: int) -> np.ndarray:
+    """(T, D) per-function sequence for the LSTM (same rows as above)."""
+    flat = vector_features(workflow, plan, max_functions)
+    per_fn = flat[:max_functions * FUNCTION_FEATURE_DIM].reshape(
+        max_functions, FUNCTION_FEATURE_DIM)
+    return per_fn
+
+
+def graph_features(workflow: Workflow, plan: DeploymentPlan
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """(adjacency, node features) for the GCN.
+
+    Node hierarchy mirrors the paper: one workflow node, one node per
+    stage, per process group, and per function; edges follow containment
+    (workflow-stage, stage-process, process-function).
+    """
+    nodes: list[np.ndarray] = []
+    edges: list[tuple[int, int]] = []
+
+    def add(vec: np.ndarray) -> int:
+        nodes.append(vec)
+        return len(nodes) - 1
+
+    wf_node = add(np.array([0.0] * FUNCTION_FEATURE_DIM))
+    stage_nodes: Dict[int, int] = {}
+    for i, _stage in enumerate(workflow.stages):
+        stage_nodes[i] = add(np.array(
+            [0.0, 0.0, 0.0, 0.0, float(i), 0.0, 0.0, 3.0]))
+        edges.append((wf_node, stage_nodes[i]))
+    for wrap in plan.wraps:
+        for sa in wrap.stages:
+            for proc in sa.processes:
+                p_node = add(np.array(
+                    [0.0, 0.0, 0.0, 0.0, float(len(proc.functions)),
+                     0.0, 0.0, 4.0 + _MODE_CODE[proc.mode]]))
+                edges.append((stage_nodes[sa.stage_index], p_node))
+                for fname in proc.functions:
+                    f_node = add(_function_features(
+                        workflow, fname, _MODE_CODE[proc.mode]))
+                    edges.append((p_node, f_node))
+    n = len(nodes)
+    adj = np.zeros((n, n))
+    for a, b in edges:
+        adj[a, b] = adj[b, a] = 1.0
+    return adj, np.stack(nodes)

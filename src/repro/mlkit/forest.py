@@ -1,0 +1,54 @@
+"""Bagged random forests over the CART trees."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mlkit.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees with feature subsampling.
+
+    Mirrors scikit-learn's defaults in spirit: ``n_estimators`` trees, each
+    trained on a bootstrap resample with ``sqrt(d)``-ish feature windows,
+    predictions averaged.
+    """
+
+    def __init__(self, *, n_estimators: int = 50, max_depth: int = 8,
+                 min_samples_split: int = 2, seed: int = 0) -> None:
+        if n_estimators < 1:
+            raise ReproError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) == 0:
+            raise ReproError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        max_features = max(1, int(np.ceil(np.sqrt(d))))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap resample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2 ** 31)))
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise ReproError("predict() before fit()")
+        return np.mean([t.predict(X) for t in self._trees], axis=0)

@@ -1,0 +1,125 @@
+"""A two-layer graph convolution network regressor (NumPy, exact grads).
+
+Mirrors the paper's GNN baseline: node features (functions, processes,
+stages, workflow — see :func:`repro.mlkit.features.graph_features`), a
+normalized adjacency, two GCN layers with ReLU, mean pooling, and a linear
+head predicting end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mlkit.optim import Adam
+
+
+def normalize_adjacency(adj: np.ndarray) -> np.ndarray:
+    """Symmetric GCN normalization:  D^-1/2 (A + I) D^-1/2."""
+    adj = np.asarray(adj, dtype=float)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise ReproError(f"adjacency must be square, got {adj.shape}")
+    a_hat = adj + np.eye(len(adj))
+    deg = a_hat.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+class GCNRegressor:
+    """GCN(2 layers) -> mean pool -> linear, trained with Adam on MSE."""
+
+    def __init__(self, *, input_dim: int, hidden_dim: int = 16,
+                 lr: float = 0.01, epochs: int = 200, seed: int = 0) -> None:
+        if input_dim < 1 or hidden_dim < 1 or epochs < 1:
+            raise ReproError("invalid GCN hyper-parameters")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.epochs = epochs
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / hidden_dim)
+        self.params: Dict[str, np.ndarray] = {
+            "W1": rng.normal(0, scale1, size=(input_dim, hidden_dim)),
+            "W2": rng.normal(0, scale2, size=(hidden_dim, hidden_dim)),
+            "w_out": rng.normal(0, scale2, size=hidden_dim),
+            "b_out": np.zeros(1),
+        }
+        self._x_mu: Optional[np.ndarray] = None
+        self._x_sd: Optional[np.ndarray] = None
+        self._y_mu = 0.0
+        self._y_sd = 1.0
+
+    # -- forward/backward -------------------------------------------------
+    def _forward(self, a_hat: np.ndarray, x: np.ndarray):
+        z1 = a_hat @ x @ self.params["W1"]
+        h1 = np.maximum(z1, 0.0)
+        h2 = a_hat @ h1 @ self.params["W2"]
+        pooled = h2.mean(axis=0)
+        y = float(pooled @ self.params["w_out"] + self.params["b_out"][0])
+        return y, (a_hat, x, z1, h1, h2, pooled)
+
+    def _backward(self, dy: float, cache) -> Dict[str, np.ndarray]:
+        a_hat, x, z1, h1, h2, pooled = cache
+        n = len(x)
+        grads: Dict[str, np.ndarray] = {}
+        grads["w_out"] = dy * pooled
+        grads["b_out"] = np.array([dy])
+        dpooled = dy * self.params["w_out"]
+        dh2 = np.tile(dpooled / n, (n, 1))
+        # h2 = a_hat @ h1 @ W2
+        ah1 = a_hat @ h1
+        grads["W2"] = ah1.T @ dh2
+        dah1 = dh2 @ self.params["W2"].T
+        dh1 = a_hat.T @ dah1
+        dz1 = dh1 * (z1 > 0)
+        ax = a_hat @ x
+        grads["W1"] = ax.T @ dz1
+        return grads
+
+    # -- public API ------------------------------------------------------------
+    def fit(self, graphs: list[tuple[np.ndarray, np.ndarray]],
+            y: np.ndarray) -> "GCNRegressor":
+        """``graphs`` is a list of (adjacency, node-feature-matrix)."""
+        if not graphs or len(graphs) != len(y):
+            raise ReproError("bad training data")
+        y = np.asarray(y, dtype=float)
+        feats = np.concatenate([x for _a, x in graphs], axis=0)
+        if feats.shape[1] != self.input_dim:
+            raise ReproError(f"input_dim mismatch: {feats.shape[1]} != "
+                             f"{self.input_dim}")
+        self._x_mu = feats.mean(axis=0)
+        self._x_sd = feats.std(axis=0) + 1e-9
+        self._y_mu = float(y.mean())
+        self._y_sd = float(y.std()) + 1e-9
+        prepared = [(normalize_adjacency(a), (x - self._x_mu) / self._x_sd)
+                    for a, x in graphs]
+        yn = (y - self._y_mu) / self._y_sd
+        opt = Adam(self.params, lr=self.lr)
+        for _epoch in range(self.epochs):
+            for (a_hat, xn), yi in zip(prepared, yn):
+                pred, cache = self._forward(a_hat, xn)
+                grads = self._backward(2.0 * (pred - yi), cache)
+                opt.step(grads)
+        return self
+
+    def predict(self, graphs: list[tuple[np.ndarray, np.ndarray]]
+                ) -> np.ndarray:
+        if self._x_mu is None:
+            raise ReproError("predict() before fit()")
+        out = []
+        for a, x in graphs:
+            a_hat = normalize_adjacency(a)
+            xn = (np.asarray(x, dtype=float) - self._x_mu) / self._x_sd
+            out.append(self._forward(a_hat, xn)[0])
+        return np.asarray(out) * self._y_sd + self._y_mu
+
+    # exposed for gradient-check tests
+    def loss_and_grads(self, adj: np.ndarray, x: np.ndarray, target: float):
+        a_hat = normalize_adjacency(adj)
+        pred, cache = self._forward(a_hat, np.asarray(x, dtype=float))
+        loss = (pred - target) ** 2
+        grads = self._backward(2.0 * (pred - target), cache)
+        return loss, grads

@@ -1,0 +1,152 @@
+"""A single-layer LSTM regressor with exact BPTT gradients (NumPy).
+
+Mirrors the paper's PyTorch LSTM baseline: the per-function feature list is
+fed as a sequence; the final hidden state is projected to one latency value;
+training minimizes MSE with Adam (the paper tuned lr = 0.01, batch 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mlkit.optim import Adam
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+class LSTMRegressor:
+    """Sequence-in, scalar-out LSTM trained by full BPTT."""
+
+    def __init__(self, *, input_dim: int, hidden_dim: int = 16,
+                 lr: float = 0.01, epochs: int = 200, seed: int = 0) -> None:
+        if input_dim < 1 or hidden_dim < 1 or epochs < 1:
+            raise ReproError("invalid LSTM hyper-parameters")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.epochs = epochs
+        rng = np.random.default_rng(seed)
+        d, h = input_dim, hidden_dim
+        scale = 1.0 / np.sqrt(h)
+        # gates stacked [i, f, g, o] along the second axis (4h columns)
+        self.params: Dict[str, np.ndarray] = {
+            "Wx": rng.normal(0, scale, size=(d, 4 * h)),
+            "Wh": rng.normal(0, scale, size=(h, 4 * h)),
+            "b": np.zeros(4 * h),
+            "w_out": rng.normal(0, scale, size=h),
+            "b_out": np.zeros(1),
+        }
+        #: normalization constants fitted on the training targets/features
+        self._x_mu: Optional[np.ndarray] = None
+        self._x_sd: Optional[np.ndarray] = None
+        self._y_mu = 0.0
+        self._y_sd = 1.0
+
+    # -- forward -----------------------------------------------------------
+    def _forward(self, x: np.ndarray):
+        """x: (T, d) -> prediction + cached intermediates for backprop."""
+        T, d = x.shape
+        h_dim = self.hidden_dim
+        Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+        hs = np.zeros((T + 1, h_dim))
+        cs = np.zeros((T + 1, h_dim))
+        gates = np.zeros((T, 4 * h_dim))
+        for t in range(T):
+            z = x[t] @ Wx + hs[t] @ Wh + b
+            i = _sigmoid(z[:h_dim])
+            f = _sigmoid(z[h_dim:2 * h_dim])
+            g = np.tanh(z[2 * h_dim:3 * h_dim])
+            o = _sigmoid(z[3 * h_dim:])
+            cs[t + 1] = f * cs[t] + i * g
+            hs[t + 1] = o * np.tanh(cs[t + 1])
+            gates[t] = np.concatenate([i, f, g, o])
+        y = float(hs[T] @ self.params["w_out"] + self.params["b_out"][0])
+        return y, (x, hs, cs, gates)
+
+    # -- backward -----------------------------------------------------------
+    def _backward(self, dy: float, cache) -> Dict[str, np.ndarray]:
+        x, hs, cs, gates = cache
+        T = len(x)
+        h_dim = self.hidden_dim
+        Wx, Wh = self.params["Wx"], self.params["Wh"]
+        grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        grads["w_out"] = dy * hs[T]
+        grads["b_out"] = np.array([dy])
+        dh = dy * self.params["w_out"]
+        dc = np.zeros(h_dim)
+        for t in reversed(range(T)):
+            i = gates[t, :h_dim]
+            f = gates[t, h_dim:2 * h_dim]
+            g = gates[t, 2 * h_dim:3 * h_dim]
+            o = gates[t, 3 * h_dim:]
+            tanh_c = np.tanh(cs[t + 1])
+            do = dh * tanh_c
+            dc = dc + dh * o * (1 - tanh_c ** 2)
+            di = dc * g
+            df = dc * cs[t]
+            dg = dc * i
+            dz = np.concatenate([
+                di * i * (1 - i),
+                df * f * (1 - f),
+                dg * (1 - g ** 2),
+                do * o * (1 - o),
+            ])
+            grads["Wx"] += np.outer(x[t], dz)
+            grads["Wh"] += np.outer(hs[t], dz)
+            grads["b"] += dz
+            dh = dz @ Wh.T
+            dc = dc * f
+        return grads
+
+    # -- public API ------------------------------------------------------------
+    @staticmethod
+    def _as_sequences(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 2:
+            # (N, T) scalars per step -> (N, T, 1)
+            X = X[:, :, None]
+        if X.ndim != 3:
+            raise ReproError(f"expected (N,T) or (N,T,D) input, got {X.shape}")
+        return X
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LSTMRegressor":
+        X = self._as_sequences(X)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y) or len(X) == 0:
+            raise ReproError("bad training shapes")
+        if X.shape[2] != self.input_dim:
+            raise ReproError(f"input_dim mismatch: {X.shape[2]} != "
+                             f"{self.input_dim}")
+        self._x_mu = X.mean(axis=(0, 1))
+        self._x_sd = X.std(axis=(0, 1)) + 1e-9
+        self._y_mu = float(y.mean())
+        self._y_sd = float(y.std()) + 1e-9
+        Xn = (X - self._x_mu) / self._x_sd
+        yn = (y - self._y_mu) / self._y_sd
+        opt = Adam(self.params, lr=self.lr)
+        for _epoch in range(self.epochs):
+            for xi, yi in zip(Xn, yn):           # batch size 1, as tuned
+                pred, cache = self._forward(xi)
+                grads = self._backward(2.0 * (pred - yi), cache)
+                opt.step(grads)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._x_mu is None:
+            raise ReproError("predict() before fit()")
+        X = self._as_sequences(X)
+        Xn = (X - self._x_mu) / self._x_sd
+        out = np.array([self._forward(xi)[0] for xi in Xn])
+        return out * self._y_sd + self._y_mu
+
+    # exposed for gradient-check tests
+    def loss_and_grads(self, x: np.ndarray, target: float):
+        pred, cache = self._forward(np.asarray(x, dtype=float))
+        loss = (pred - target) ** 2
+        grads = self._backward(2.0 * (pred - target), cache)
+        return loss, grads

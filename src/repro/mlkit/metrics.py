@@ -1,0 +1,33 @@
+"""Error metrics for the prediction comparison (Figure 12)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def mean_absolute_percentage_error(y_true: Sequence[float],
+                                   y_pred: Sequence[float]) -> float:
+    """The paper's prediction error: mean |(P̂ - P) / P| in percent."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    if yt.shape != yp.shape or yt.size == 0:
+        raise ReproError("bad inputs to MAPE")
+    if np.any(yt <= 0):
+        raise ReproError("true latencies must be positive")
+    return float(np.mean(np.abs((yp - yt) / yt)) * 100.0)
+
+
+def absolute_percentage_errors(y_true: Sequence[float],
+                               y_pred: Sequence[float]) -> np.ndarray:
+    """Per-sample |(P̂ - P) / P| in percent (Figure 12's distributions)."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    if yt.shape != yp.shape or yt.size == 0:
+        raise ReproError("bad inputs")
+    if np.any(yt <= 0):
+        raise ReproError("true latencies must be positive")
+    return np.abs((yp - yt) / yt) * 100.0

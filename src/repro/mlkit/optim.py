@@ -1,0 +1,39 @@
+"""A minimal Adam optimizer for the NumPy neural models."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Adam:
+    """Adam over a dict of named parameter arrays (updated in place)."""
+
+    def __init__(self, params: Dict[str, np.ndarray], *, lr: float = 0.01,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ReproError(f"learning rate must be > 0, got {lr}")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for key, grad in grads.items():
+            if key not in self.params:
+                raise ReproError(f"gradient for unknown parameter {key!r}")
+            m = self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            v = self._v[key] = (self.beta2 * self._v[key]
+                                + (1 - self.beta2) * grad ** 2)
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

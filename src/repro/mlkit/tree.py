@@ -1,0 +1,110 @@
+"""CART regression trees (variance-reduction splitting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass
+class _Node:
+    # leaf
+    value: float = 0.0
+    # split
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """A CART regressor: greedy best-split on squared-error reduction."""
+
+    def __init__(self, *, max_depth: int = 8, min_samples_split: int = 2,
+                 max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if max_depth < 1 or min_samples_split < 2:
+            raise ReproError("invalid tree hyper-parameters")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+
+    # -- training ----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y):
+            raise ReproError(f"bad training shapes {X.shape} / {y.shape}")
+        if len(X) == 0:
+            raise ReproError("cannot fit on an empty dataset")
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray
+                    ) -> Optional[tuple[int, float, float]]:
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features,
+                                        replace=False)
+        base = y.var() * n
+        best: Optional[tuple[int, float, float]] = None  # (gain, feat, thr)
+        for feat in features:
+            order = np.argsort(X[:, feat], kind="stable")
+            xs, ys = X[order, feat], y[order]
+            # prefix sums for O(n) split evaluation
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys ** 2)
+            total, total_sq = csum[-1], csq[-1]
+            for i in range(1, n):
+                if xs[i] == xs[i - 1]:
+                    continue
+                nl, nr = i, n - i
+                sl, sr = csum[i - 1], total - csum[i - 1]
+                ql, qr = csq[i - 1], total_sq - csq[i - 1]
+                sse = (ql - sl ** 2 / nl) + (qr - sr ** 2 / nr)
+                gain = base - sse
+                if best is None or gain > best[0]:
+                    best = (gain, feat, (xs[i] + xs[i - 1]) / 2.0)
+        if best is None or best[0] <= 1e-12:
+            return None
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or np.allclose(y, y[0])):
+            return _Node(value=float(y.mean()))
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(value=float(y.mean()))
+        _, feat, thr = split
+        mask = X[:, feat] <= thr
+        return _Node(feature=int(feat), threshold=float(thr),
+                     left=self._build(X[mask], y[mask], depth + 1),
+                     right=self._build(X[~mask], y[~mask], depth + 1))
+
+    # -- inference ------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ReproError("predict() before fit()")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.value
+        return out

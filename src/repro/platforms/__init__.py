@@ -1,0 +1,41 @@
+"""Serverless platforms: the systems compared in the paper's evaluation.
+
+Every platform executes a :class:`~repro.workflow.Workflow` on the simulated
+runtime substrate and reports end-to-end latency, per-function spans, and
+static resource accounting:
+
+======================  =============================================  =======
+platform                deployment model                               paper
+======================  =============================================  =======
+:class:`ASFPlatform`    one-to-one, remote scheduler + S3              §2.2/6
+:class:`OpenFaaSPlatform` one-to-one, local gateway + MinIO            §2.2/6
+:class:`SANDPlatform`   many-to-one, one process per function          §6
+:class:`FaastlanePlatform` many-to-one, threads sequential / processes §6
+                        parallel; variants -T (threads only), ``+``
+                        (5 processes per sandbox), -M (Intel MPK),
+                        -P (process pool)
+:class:`ChironPlatform` m-to-n wraps from a PGP deployment plan;       §3-6
+                        variants -M and -P via calibration/pool
+======================  =============================================  =======
+"""
+
+from repro.platforms.base import Platform, RequestResult, jittered
+from repro.platforms.asf import ASFPlatform
+from repro.platforms.chiron import ChironPlatform
+from repro.platforms.faastlane import FaastlanePlatform
+from repro.platforms.openfaas import OpenFaaSPlatform
+from repro.platforms.sand import SANDPlatform
+from repro.platforms.registry import build_platform, PLATFORM_BUILDERS
+
+__all__ = [
+    "ASFPlatform",
+    "ChironPlatform",
+    "FaastlanePlatform",
+    "OpenFaaSPlatform",
+    "PLATFORM_BUILDERS",
+    "Platform",
+    "RequestResult",
+    "SANDPlatform",
+    "build_platform",
+    "jittered",
+]

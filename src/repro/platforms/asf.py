@@ -1,0 +1,72 @@
+"""AWS Step Functions + Lambda: the commercial one-to-one baseline.
+
+Calibrated to §2.2 Observation 1: ~150 ms to schedule a state, at most ~10
+concurrent dispatches, serially issued parallel branches, and S3 for every
+intermediate exchange.  Billing adds a per-state-transition fee (Figure 19).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.platforms.base import Platform, RequestResult
+from repro.runtime.memory import SandboxFootprint
+from repro.runtime.network import ASFDispatcher
+from repro.runtime.sandbox import Sandbox
+from repro.runtime.storage import StorageService
+from repro.runtime.thread import SimThread
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import FunctionSpec, Workflow
+
+
+class ASFPlatform(Platform):
+    """Amazon Step Functions orchestrating per-function Lambda sandboxes."""
+
+    name = "asf"
+
+    def _run_branch(self, env: Environment, dispatcher: ASFDispatcher,
+                    sandbox: Sandbox, fn: FunctionSpec, index: int,
+                    trace: TraceRecorder, result: RequestResult,
+                    cold: bool = False):
+        start = env.now
+        yield from dispatcher.dispatch(index, entity=fn.name)
+        if cold and not sandbox.booted:
+            yield from sandbox.boot(cold=True)  # cascading Lambda cold start
+        thread = SimThread(env, name=fn.name, cpu=sandbox.cpu,
+                           gil=sandbox.main_process.gil, cal=self.cal,
+                           trace=trace)
+        yield env.process(thread.run_behavior(fn.behavior))
+        result.function_spans[fn.name] = (start, env.now)
+
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult, cold: bool):
+        dispatcher = ASFDispatcher(env, trace=trace)
+        storage = StorageService.s3(env, trace=trace)
+        sandboxes = {fn.name: Sandbox(env, name=f"lambda-{fn.name}", cores=1,
+                                      cal=self.cal, trace=trace)
+                     for fn in workflow.functions}
+        for stage_idx, stage in enumerate(workflow.stages):
+            events = [env.process(self._run_branch(
+                env, dispatcher, sandboxes[fn.name], fn, i, trace, result,
+                cold)) for i, fn in enumerate(stage)]
+            yield env.all_of(events)
+            result.stage_ends_ms.append(env.now)
+            if stage_idx + 1 < len(workflow.stages):
+                size_mb = sum(fn.behavior.data_out_mb for fn in stage)
+                yield from storage.exchange(size_mb,
+                                            entity=f"stage-{stage_idx}")
+
+    # -- accounting ------------------------------------------------------------
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        return [SandboxFootprint(functions=1, processes=1)
+                for _ in workflow.functions]
+
+    def allocated_cores(self, workflow: Workflow) -> int:
+        return workflow.num_functions
+
+    def state_transitions(self, workflow: Workflow) -> int:
+        # every function entry/exit is a billable transition, plus the
+        # parallel-state enter/exit per stage
+        return 2 * workflow.num_functions + 2 * len(workflow.stages)

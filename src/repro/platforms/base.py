@@ -1,0 +1,136 @@
+"""Platform interface and shared result/accounting types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import SimulationError
+from repro.runtime.memory import SandboxFootprint, deployment_memory_mb
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import Workflow
+
+
+def on_complete(event, callback) -> None:
+    """Run ``callback()`` when ``event`` is processed (now, if it already
+    was).  Used to stamp per-function completion times."""
+    if event.callbacks is None:
+        callback()
+    else:
+        event.callbacks.append(lambda _ev: callback())
+
+
+def jittered(workflow: Workflow, seed: Optional[int],
+             sigma: float = 0.08) -> Workflow:
+    """Apply seeded run-to-run execution variance to a workflow.
+
+    Experiments that need latency *distributions* (SLO violation, CDFs) run
+    each request with a different seed; ``seed=None`` returns the workflow
+    unchanged (deterministic median run).
+    """
+    if seed is None or sigma <= 0:
+        return workflow
+    rng = np.random.default_rng(seed)
+    return workflow.map_behaviors(lambda b: b.perturbed(rng, sigma=sigma))
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one workflow request on a platform."""
+
+    platform: str
+    workflow: str
+    latency_ms: float
+    trace: TraceRecorder
+    #: per-function (start, end) in ms since request start
+    function_spans: Dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: per-stage completion timestamps
+    stage_ends_ms: list[float] = field(default_factory=list)
+
+    @property
+    def function_latencies(self) -> Dict[str, float]:
+        """Per-function completion time since request start (Figure 15)."""
+        return {name: end for name, (_start, end) in self.function_spans.items()}
+
+
+class Platform(abc.ABC):
+    """A serverless platform executing workflows on the simulated runtime."""
+
+    #: short identifier used by experiments/figures ("openfaas", "chiron"...)
+    name: str = "abstract"
+
+    def __init__(self, cal: Optional[RuntimeCalibration] = None) -> None:
+        self.cal = cal or RuntimeCalibration.native()
+
+    # -- execution -----------------------------------------------------------
+    @abc.abstractmethod
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult,
+                 cold: bool):
+        """Kernel process body driving one request; returns at completion."""
+
+    def run(self, workflow: Workflow, *, cold: bool = False,
+            seed: Optional[int] = None, jitter_sigma: float = 0.08
+            ) -> RequestResult:
+        """Execute one request and return its result.
+
+        A fresh deterministic simulation is built per request; ``seed``
+        perturbs function execution times (testbed variance stand-in).
+        """
+        wf = jittered(workflow, seed, jitter_sigma)
+        env = Environment()
+        trace = TraceRecorder()
+        result = RequestResult(platform=self.name, workflow=wf.name,
+                               latency_ms=float("nan"), trace=trace)
+        done = env.process(self._execute(env, wf, trace, result, cold),
+                           name=f"{self.name}/{wf.name}")
+        env.run(until=done)
+        result.latency_ms = env.now
+        return result
+
+    def average_latency_ms(self, workflow: Workflow, *, repeats: int = 10,
+                           jitter_sigma: float = 0.08,
+                           base_seed: int = 1000) -> float:
+        """Mean latency over ``repeats`` jittered requests (§6.2 protocol:
+        "executing each workflow without cold start at least 10 times")."""
+        if repeats < 1:
+            raise SimulationError("repeats must be >= 1")
+        total = 0.0
+        for r in range(repeats):
+            total += self.run(workflow, seed=base_seed + r,
+                              jitter_sigma=jitter_sigma).latency_ms
+        return total / repeats
+
+    # -- static accounting -----------------------------------------------------
+    @abc.abstractmethod
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        """Sandbox structure for memory accounting (Figures 8a / 16)."""
+
+    @abc.abstractmethod
+    def allocated_cores(self, workflow: Workflow) -> int:
+        """Whole CPUs the deployment reserves (Figures 8b / 17)."""
+
+    def memory_mb(self, workflow: Workflow) -> float:
+        return deployment_memory_mb(self.footprints(workflow), self.cal)
+
+    def per_sandbox_cores(self, workflow: Workflow) -> list[float]:
+        """Whole CPUs per sandbox, aligned with :meth:`footprints`.
+
+        Default: distribute the total allocation as evenly as possible with
+        at least one core per sandbox.  Plan-driven platforms override this
+        with their exact per-wrap cpusets.
+        """
+        n = len(self.footprints(workflow))
+        total = max(self.allocated_cores(workflow), n)
+        base, extra = divmod(total, n)
+        return [float(base + (1 if i < extra else 0)) for i in range(n)]
+
+    def state_transitions(self, workflow: Workflow) -> int:
+        """Billable state transitions (ASF's extra cost line in Figure 19);
+        zero for platforms without a remote state machine."""
+        return 0

@@ -1,0 +1,154 @@
+"""The Chiron platform: executes a PGP deployment plan (§3, §5).
+
+One sandbox per wrap, sized to the plan's cores.  Per stage, wrap 1's
+orchestrator triggers sibling wraps (paying the invocation overhead of
+Eq. 2), each wrap runs its thread groups in its resident orchestrator
+process and forks its process groups (Eq. 4's costs), and intra-wrap results
+flow back over pipes (Eq. 3's IPC).  Pool plans dispatch functions to each
+wrap's pre-forked worker pool instead, starting long-running functions first
+(Figure 15's skew mitigation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.wrap import DeploymentPlan, StageAssignment, Wrap
+from repro.errors import DeploymentError
+from repro.platforms.base import Platform, RequestResult, on_complete
+from repro.runtime.memory import SandboxFootprint
+from repro.runtime.network import Gateway, ipc_collect
+from repro.runtime.osproc import fork_children
+from repro.runtime.sandbox import Sandbox
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import Workflow
+
+
+class ChironPlatform(Platform):
+    """m-to-n execution of a :class:`DeploymentPlan`."""
+
+    def __init__(self, plan: DeploymentPlan,
+                 cal: Optional[RuntimeCalibration] = None, *,
+                 name: str = "chiron",
+                 longest_first: bool = True) -> None:
+        super().__init__(cal)
+        self.plan = plan
+        self.name = name
+        self.longest_first = longest_first
+
+    # -- execution ------------------------------------------------------------
+    def _run_wrap_part(self, env: Environment, part_index: int,
+                       sandbox: Sandbox, sa: StageAssignment,
+                       workflow: Workflow, gateway: Gateway,
+                       trace: TraceRecorder, result: RequestResult,
+                       cold: bool = False):
+        """One wrap's share of one stage (Eq. 3 mechanics)."""
+        if cold and not sandbox.booted:
+            # lazy wrap boot: sibling wraps of a stage boot concurrently, so
+            # an m-to-n deployment pays ~one cold start per stage *wave*
+            # rather than per function
+            yield from sandbox.boot(cold=True)
+        if part_index > 0:
+            # Eq. 2: the k-th wrap is invoked after (k-1) earlier async
+            # submissions plus one RPC through the gateway.
+            yield env.timeout(part_index * self.cal.t_inv_ms)
+            yield from gateway.invoke(entity=sandbox.name)
+        fns_of = lambda p: [workflow.function(n) for n in p.functions]
+        starts = {n: env.now for n in sa.function_names}
+        pending = []
+        if self.plan.pool_workers > 0:
+            pool = sandbox.pool
+            assert pool is not None
+            flat = [workflow.function(n) for n in sa.function_names]
+            events = yield from pool.map(sandbox.main_process.main_thread,
+                                         flat,
+                                         longest_first=self.longest_first)
+            ordered = sorted(flat, key=lambda f: f.behavior.solo_ms,
+                             reverse=True) if self.longest_first else flat
+            for fn, ev in zip(ordered, events):
+                on_complete(ev, lambda n=fn.name: result.function_spans
+                            .__setitem__(n, (starts[n], env.now)))
+                pending.append(ev)
+            yield env.all_of(pending)
+            return
+
+        # Fork the process groups FIRST (Figure 9's generated orchestrator
+        # does Process(P1), Process(P2), ... before cloning threads): the
+        # forks are cheap serialized parent work, and doing them before the
+        # thread fan-out keeps the orchestrator's main thread from being
+        # starved of the GIL by its own function threads.
+        forked_groups = sa.forked_processes
+        if forked_groups:
+            forked = yield from fork_children(
+                env, sandbox.main_process,
+                [fns_of(g) for g in forked_groups],
+                cal=self.cal, cpu=sandbox.cpu, trace=trace,
+                name_prefix=f"{sandbox.name}-s{sa.stage_index}")
+            for group, ev in zip(forked_groups, forked.done_events):
+                on_complete(ev, lambda names=group.functions: [
+                    result.function_spans.__setitem__(
+                        n, (starts[n], env.now)) for n in names])
+                pending.append(ev)
+        # thread groups ride in the resident orchestrator process
+        for group in sa.thread_groups:
+            events = yield from sandbox.main_process.spawn_function_threads(
+                fns_of(group))
+            for name, ev in zip(group.functions, events):
+                on_complete(ev, lambda n=name: result.function_spans
+                            .__setitem__(n, (starts[n], env.now)))
+                pending.append(ev)
+        if pending:
+            yield env.all_of(pending)
+        data_mb = sum(workflow.function(n).behavior.data_out_mb
+                      for n in sa.function_names)
+        yield from ipc_collect(env, n_processes=len(sa.processes),
+                               data_mb=data_mb, cal=self.cal, trace=trace,
+                               entity=f"{sandbox.name}-ipc-s{sa.stage_index}")
+
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult, cold: bool):
+        self.plan.validate(workflow)
+        gateway = Gateway(env, self.cal, trace=trace)
+        sandboxes = {w.name: Sandbox(env, name=w.name, cal=self.cal,
+                                     trace=trace,
+                                     cores=self.plan.cores_for(w))
+                     for w in self.plan.wraps}
+        if self.plan.pool_workers > 0:
+            for sb in sandboxes.values():
+                sb.init_pool(self.plan.pool_workers)
+        for stage_idx in range(len(workflow.stages)):
+            parts = self.plan.stage_wraps(stage_idx)
+            if not parts:
+                raise DeploymentError(f"plan covers no wrap for stage "
+                                      f"{stage_idx}")
+            events = [env.process(self._run_wrap_part(
+                env, k, sandboxes[wrap.name], sa, workflow, gateway,
+                trace, result, cold))
+                for k, (wrap, sa) in enumerate(parts)]
+            yield env.all_of(events)
+            result.stage_ends_ms.append(env.now)
+
+    # -- accounting ------------------------------------------------------------
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        out = []
+        for wrap in self.plan.wraps:
+            n_functions = len(wrap.function_names)
+            peak_forked = max((len(sa.forked_processes) for sa in wrap.stages),
+                              default=0)
+            peak_threads = max(
+                (sum(len(g.functions) for g in sa.thread_groups)
+                 for sa in wrap.stages), default=0)
+            out.append(SandboxFootprint(
+                functions=n_functions,
+                processes=1 + peak_forked,
+                threads=peak_threads,
+                pool_workers=self.plan.pool_workers))
+        return out
+
+    def allocated_cores(self, workflow: Workflow) -> int:
+        return self.plan.total_cores
+
+    def per_sandbox_cores(self, workflow: Workflow) -> list[float]:
+        return [float(self.plan.cores_for(w)) for w in self.plan.wraps]

@@ -1,0 +1,198 @@
+"""Faastlane and its evaluation variants (§2.2, §6).
+
+Faastlane (ATC '21) deploys a whole workflow into one sandbox; sequential
+functions run as threads of the resident process (minimal interaction
+latency), parallel functions fork one process each (true parallelism).
+
+Variants used throughout the paper's figures:
+
+* ``FaastlanePlatform(variant="T")`` — *Faastlane-T*: threads only, even for
+  parallel stages (pseudo-parallelism under the GIL);
+* ``variant="plus"`` — *Faastlane+*: a fixed "m-to-n" of 5 function
+  processes per sandbox;
+* ``variant="M"`` — *Faastlane-M*: thread execution guarded by Intel MPK for
+  sequential functions (Table 1 overheads), processes for parallel ones;
+* ``variant="P"`` — *Faastlane-P*: a warm process pool sized to the maximum
+  parallelism (true parallelism, no fork cost, heavy resident memory).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import DeploymentError
+from repro.platforms.base import Platform, RequestResult, on_complete
+from repro.runtime.memory import SandboxFootprint
+from repro.runtime.network import Gateway, ipc_collect
+from repro.runtime.osproc import fork_children
+from repro.runtime.sandbox import Sandbox
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+
+#: Faastlane+ packs this many function processes per sandbox (§2.2).
+PLUS_PROCESSES_PER_SANDBOX = 5
+
+_VARIANTS = ("native", "T", "plus", "M", "P")
+
+
+class FaastlanePlatform(Platform):
+    """The many-to-one state of the art, with the paper's four variants."""
+
+    def __init__(self, cal: Optional[RuntimeCalibration] = None, *,
+                 variant: str = "native") -> None:
+        super().__init__(cal)
+        if variant not in _VARIANTS:
+            raise DeploymentError(f"unknown Faastlane variant {variant!r}; "
+                                  f"expected one of {_VARIANTS}")
+        self.variant = variant
+        suffix = {"native": "", "T": "-t", "plus": "+", "M": "-m",
+                  "P": "-p"}[variant]
+        self.name = f"faastlane{suffix}"
+        #: calibration used for orchestrator-thread execution; MPK variant
+        #: pays Table 1 overheads there while forked processes stay native.
+        self._thread_cal = (RuntimeCalibration.mpk() if variant == "M"
+                            else self.cal)
+
+    # -- stage runners -----------------------------------------------------
+    def _run_stage_as_threads(self, env: Environment, sandbox: Sandbox,
+                              stage: Stage, trace: TraceRecorder,
+                              result: RequestResult, cal: RuntimeCalibration):
+        proc = sandbox.main_process
+        saved_cal, proc.cal = proc.cal, cal
+        saved_thread_cal = proc.main_thread.cal
+        proc.main_thread.cal = cal
+        starts = {fn.name: env.now for fn in stage}
+        events = yield from proc.spawn_function_threads(list(stage))
+        proc.cal = saved_cal
+        proc.main_thread.cal = saved_thread_cal
+        for fn, ev in zip(stage, events):
+            on_complete(ev, lambda n=fn.name: result.function_spans
+                        .__setitem__(n, (starts[n], env.now)))
+        yield env.all_of(events)
+
+    def _run_stage_as_processes(self, env: Environment, sandbox: Sandbox,
+                                stage_idx: int, functions: list[FunctionSpec],
+                                trace: TraceRecorder, result: RequestResult):
+        starts = {fn.name: env.now for fn in functions}
+        forked = yield from fork_children(
+            env, sandbox.main_process, [[fn] for fn in functions],
+            cal=self.cal, cpu=sandbox.cpu, trace=trace,
+            name_prefix=f"{self.name}-s{stage_idx}")
+        for fn, ev in zip(functions, forked.done_events):
+            on_complete(ev, lambda n=fn.name: result.function_spans
+                        .__setitem__(n, (starts[n], env.now)))
+        yield env.all_of(forked.done_events)
+        data_mb = sum(fn.behavior.data_out_mb for fn in functions)
+        yield from ipc_collect(env, n_processes=len(functions),
+                               data_mb=data_mb, cal=self.cal, trace=trace,
+                               entity=f"ipc-s{stage_idx}")
+
+    def _run_stage_in_pool(self, env: Environment, sandbox: Sandbox,
+                           stage: Stage, trace: TraceRecorder,
+                           result: RequestResult):
+        pool = sandbox.pool
+        assert pool is not None
+        starts = {fn.name: env.now for fn in stage}
+        events = yield from pool.map(sandbox.main_process.main_thread,
+                                     list(stage))
+        for fn, ev in zip(stage, events):
+            on_complete(ev, lambda n=fn.name: result.function_spans
+                        .__setitem__(n, (starts[n], env.now)))
+        yield env.all_of(events)
+
+    # -- per-variant request drivers --------------------------------------------
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult, cold: bool):
+        if self.variant == "plus":
+            yield from self._execute_plus(env, workflow, trace, result, cold)
+            return
+        sandbox = Sandbox(env, name=self.name, cal=self.cal, trace=trace,
+                          cores=self.allocated_cores(workflow))
+        if cold:
+            yield from sandbox.boot(cold=True)
+        if self.variant == "P":
+            sandbox.init_pool(workflow.max_parallelism)
+        for stage_idx, stage in enumerate(workflow.stages):
+            if self.variant == "P":
+                yield from self._run_stage_in_pool(env, sandbox, stage, trace,
+                                                   result)
+            elif self.variant == "T":
+                yield from self._run_stage_as_threads(
+                    env, sandbox, stage, trace, result, self._thread_cal)
+            elif len(stage) == 1:
+                # sequential function: a thread of the resident process
+                yield from self._run_stage_as_threads(
+                    env, sandbox, stage, trace, result, self._thread_cal)
+            else:
+                yield from self._run_stage_as_processes(
+                    env, sandbox, stage_idx, list(stage), trace, result)
+            result.stage_ends_ms.append(env.now)
+
+    def _execute_plus(self, env: Environment, workflow: Workflow,
+                      trace: TraceRecorder, result: RequestResult,
+                      cold: bool):
+        """Faastlane+: 5 function processes per sandbox, RPC across them."""
+        n_sandboxes = self._plus_sandboxes(workflow)
+        cores_each = min(PLUS_PROCESSES_PER_SANDBOX, workflow.max_parallelism)
+        sandboxes = [Sandbox(env, name=f"{self.name}-{k}", cal=self.cal,
+                             trace=trace, cores=cores_each)
+                     for k in range(n_sandboxes)]
+        gateway = Gateway(env, self.cal, trace=trace)
+        if cold:
+            yield env.all_of([env.process(sb.boot(cold=True))
+                              for sb in sandboxes])
+
+        def run_chunk(k: int, stage_idx: int, chunk: list[FunctionSpec]):
+            if k > 0:
+                yield env.timeout(k * self.cal.t_inv_ms)
+                yield from gateway.invoke(entity=f"{self.name}-{k}")
+            yield from self._run_stage_as_processes(
+                env, sandboxes[k], stage_idx, chunk, trace, result)
+
+        for stage_idx, stage in enumerate(workflow.stages):
+            if len(stage) == 1:
+                yield from self._run_stage_as_threads(
+                    env, sandboxes[0], stage, trace, result, self._thread_cal)
+            else:
+                fns = list(stage)
+                chunks = [fns[k * PLUS_PROCESSES_PER_SANDBOX:
+                              (k + 1) * PLUS_PROCESSES_PER_SANDBOX]
+                          for k in range(n_sandboxes)]
+                events = [env.process(run_chunk(k, stage_idx, chunk))
+                          for k, chunk in enumerate(chunks) if chunk]
+                yield env.all_of(events)
+            result.stage_ends_ms.append(env.now)
+
+    # -- accounting ------------------------------------------------------------
+    @staticmethod
+    def _plus_sandboxes(workflow: Workflow) -> int:
+        return max(1, math.ceil(workflow.max_parallelism
+                                / PLUS_PROCESSES_PER_SANDBOX))
+
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        m = workflow.max_parallelism
+        n = workflow.num_functions
+        if self.variant == "T":
+            return [SandboxFootprint(functions=n, processes=1, threads=m)]
+        if self.variant == "P":
+            return [SandboxFootprint(functions=n, processes=1,
+                                     pool_workers=m)]
+        if self.variant == "plus":
+            k = self._plus_sandboxes(workflow)
+            per = math.ceil(n / k)
+            return [SandboxFootprint(
+                functions=min(per, n - i * per),
+                processes=1 + min(PLUS_PROCESSES_PER_SANDBOX, m))
+                for i in range(k)]
+        return [SandboxFootprint(functions=n, processes=1 + m)]
+
+    def allocated_cores(self, workflow: Workflow) -> int:
+        if self.variant == "T":
+            return 1  # pseudo-parallel threads never use more than one core
+        if self.variant == "plus":
+            return self._plus_sandboxes(workflow) * min(
+                PLUS_PROCESSES_PER_SANDBOX, workflow.max_parallelism)
+        return workflow.max_parallelism

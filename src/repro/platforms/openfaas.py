@@ -1,0 +1,81 @@
+"""OpenFaaS: the local one-to-one baseline (§2.2, Figures 3/6/13...).
+
+Every function lives in its own warm sandbox with one dedicated CPU; an
+external workflow engine fans each stage out through the local gateway, and
+intermediate state crosses stage boundaries through MinIO (Figure 4's local
+storage path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.platforms.base import Platform, RequestResult
+from repro.runtime.memory import SandboxFootprint
+from repro.runtime.network import Gateway
+from repro.runtime.sandbox import Sandbox
+from repro.runtime.storage import StorageService
+from repro.runtime.thread import SimThread
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import FunctionSpec, Workflow
+
+
+class OpenFaaSPlatform(Platform):
+    """One function per sandbox, invoked through the local gateway."""
+
+    name = "openfaas"
+
+    def __init__(self, cal: Optional[RuntimeCalibration] = None, *,
+                 storage_factory=StorageService.minio) -> None:
+        super().__init__(cal)
+        self._storage_factory = storage_factory
+
+    def _invoke_function(self, env: Environment, gateway: Gateway,
+                         sandbox: Sandbox, fn: FunctionSpec,
+                         trace: TraceRecorder, result: RequestResult,
+                         cold: bool = False):
+        """One gateway round trip + in-sandbox handler execution."""
+        start = env.now
+        yield from gateway.invoke(entity=fn.name)
+        if cold and not sandbox.booted:
+            # lazy per-sandbox boot: sandboxes along the call path start one
+            # stage after another — the cascading cold start of §1
+            yield from sandbox.boot(cold=True)
+        # of-watchdog HTTP mode: the handler runs inside the sandbox's
+        # resident process (no per-request fork).
+        thread = SimThread(env, name=fn.name, cpu=sandbox.cpu,
+                           gil=sandbox.main_process.gil, cal=self.cal,
+                           trace=trace)
+        yield env.process(thread.run_behavior(fn.behavior))
+        result.function_spans[fn.name] = (start, env.now)
+
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult, cold: bool):
+        gateway = Gateway(env, self.cal, trace=trace)
+        storage = self._storage_factory(env, trace=trace)
+        sandboxes = {fn.name: Sandbox(env, name=f"sb-{fn.name}", cores=1,
+                                      cal=self.cal, trace=trace)
+                     for fn in workflow.functions}
+        for stage_idx, stage in enumerate(workflow.stages):
+            events = [env.process(self._invoke_function(
+                env, gateway, sandboxes[fn.name], fn, trace, result, cold))
+                for fn in stage]
+            yield env.all_of(events)
+            result.stage_ends_ms.append(env.now)
+            if stage_idx + 1 < len(workflow.stages):
+                # intermediate state crosses to the next stage through the
+                # object store (stateless functions, §1)
+                size_mb = sum(fn.behavior.data_out_mb for fn in stage)
+                yield from storage.exchange(size_mb,
+                                            entity=f"stage-{stage_idx}")
+
+    # -- accounting ------------------------------------------------------------
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        return [SandboxFootprint(functions=1, processes=1)
+                for _ in workflow.functions]
+
+    def allocated_cores(self, workflow: Workflow) -> int:
+        # uniform allocation: one whole CPU per function sandbox (Obs. 4)
+        return workflow.num_functions

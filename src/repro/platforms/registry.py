@@ -1,0 +1,96 @@
+"""Build any evaluated platform by name.
+
+Chiron variants need a PGP plan, which needs an SLO.  The paper sets the SLO
+to the Faastlane average latency plus 10 ms (§6.2); :func:`build_platform`
+computes that automatically when ``slo_ms`` is not given.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.profiler import Profiler
+from repro.core.slo import SloPolicy
+from repro.errors import DeploymentError
+from repro.platforms.asf import ASFPlatform
+from repro.platforms.base import Platform
+from repro.platforms.chiron import ChironPlatform
+from repro.platforms.faastlane import FaastlanePlatform
+from repro.platforms.openfaas import OpenFaaSPlatform
+from repro.platforms.sand import SANDPlatform
+from repro.workflow.model import Workflow
+
+#: conservatism PGP plans with everywhere in the evaluation
+_CONSERVATISM = 1.15
+
+
+def default_slo_ms(workflow: Workflow,
+                   cal: Optional[RuntimeCalibration] = None) -> float:
+    """The paper's SLO convention: Faastlane average latency + 10 ms."""
+    baseline = FaastlanePlatform(cal).average_latency_ms(workflow)
+    return SloPolicy.from_baseline(baseline).slo_ms
+
+
+def _chiron(workflow: Workflow, slo_ms: float,
+            cal: RuntimeCalibration, *, name: str,
+            options: Optional[PGPOptions] = None,
+            pool: bool = False) -> ChironPlatform:
+    profiler = Profiler()
+    profiles = profiler.profile_workflow(workflow)
+    profiled = Profiler.profiled_workflow(workflow, profiles)
+    predictor = LatencyPredictor(cal, conservatism=_CONSERVATISM)
+    scheduler = PGPScheduler(predictor, options=options)
+    if pool:
+        plan = scheduler.schedule_pool(profiled, slo_ms)
+    else:
+        plan = scheduler.schedule(profiled, slo_ms)
+        # non-uniform allocation: share CPUs between processes while the
+        # SLO holds (Obs. 4; Figure 17's Chiron-M savings rely on this)
+        plan = scheduler.trim_cores(profiled, plan, slo_ms)
+    return ChironPlatform(plan, cal, name=name)
+
+
+def build_platform(name: str, workflow: Workflow, *,
+                   slo_ms: Optional[float] = None,
+                   cal: Optional[RuntimeCalibration] = None) -> Platform:
+    """Instantiate a platform by its figure label.
+
+    Known names: ``asf``, ``openfaas``, ``sand``, ``faastlane``,
+    ``faastlane-t``, ``faastlane+``, ``faastlane-m``, ``faastlane-p``,
+    ``chiron``, ``chiron-m``, ``chiron-p``.
+    """
+    cal = cal or RuntimeCalibration.native()
+    simple: Dict[str, Callable[[], Platform]] = {
+        "asf": lambda: ASFPlatform(cal),
+        "openfaas": lambda: OpenFaaSPlatform(cal),
+        "sand": lambda: SANDPlatform(cal),
+        "faastlane": lambda: FaastlanePlatform(cal),
+        "faastlane-t": lambda: FaastlanePlatform(cal, variant="T"),
+        "faastlane+": lambda: FaastlanePlatform(cal, variant="plus"),
+        "faastlane-m": lambda: FaastlanePlatform(cal, variant="M"),
+        "faastlane-p": lambda: FaastlanePlatform(cal, variant="P"),
+    }
+    if name in simple:
+        return simple[name]()
+    if name not in ("chiron", "chiron-m", "chiron-p"):
+        raise DeploymentError(f"unknown platform {name!r}")
+    if slo_ms is None:
+        slo_ms = default_slo_ms(workflow, cal)
+    if name == "chiron":
+        return _chiron(workflow, slo_ms, cal, name=name)
+    if name == "chiron-m":
+        # MPK-guarded threads for sequential functions only; every parallel
+        # function forks its own process (§4 "for a fair comparison").
+        return _chiron(
+            workflow, slo_ms, RuntimeCalibration.mpk(), name=name,
+            options=PGPOptions(orchestrator_threads="sequential-only",
+                               max_threads_per_process=1))
+    return _chiron(workflow, slo_ms, cal, name=name, pool=True)
+
+
+PLATFORM_BUILDERS = ("asf", "openfaas", "sand", "faastlane", "faastlane-t",
+                     "faastlane+", "faastlane-m", "faastlane-p", "chiron",
+                     "chiron-m", "chiron-p")

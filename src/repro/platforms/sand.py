@@ -1,0 +1,55 @@
+"""SAND: application-level sandboxing, one process per function (§6/§8).
+
+The whole workflow shares one sandbox; every function — sequential or
+parallel — executes in its own forked process (SAND "executes each function
+in a separate process").  Uniform allocation gives the sandbox one CPU per
+unit of maximum parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform, RequestResult, on_complete
+from repro.runtime.memory import SandboxFootprint
+from repro.runtime.network import ipc_collect
+from repro.runtime.osproc import fork_children
+from repro.runtime.sandbox import Sandbox
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import Workflow
+
+
+class SANDPlatform(Platform):
+    """Many-to-one with process-per-function execution."""
+
+    name = "sand"
+
+    def _execute(self, env: Environment, workflow: Workflow,
+                 trace: TraceRecorder, result: RequestResult, cold: bool):
+        sandbox = Sandbox(env, name="sand", cal=self.cal, trace=trace,
+                          cores=self.allocated_cores(workflow))
+        if cold:
+            yield from sandbox.boot(cold=True)
+        for stage_idx, stage in enumerate(workflow.stages):
+            starts = {fn.name: env.now for fn in stage}
+            groups = [[fn] for fn in stage]
+            forked = yield from fork_children(
+                env, sandbox.main_process, groups, cal=self.cal,
+                cpu=sandbox.cpu, trace=trace,
+                name_prefix=f"sand-s{stage_idx}")
+            for fn, ev in zip(stage, forked.done_events):
+                on_complete(ev, lambda name=fn.name: result.function_spans
+                            .__setitem__(name, (starts[name], env.now)))
+            yield env.all_of(forked.done_events)
+            data_mb = sum(fn.behavior.data_out_mb for fn in stage)
+            yield from ipc_collect(env, n_processes=len(groups),
+                                   data_mb=data_mb, cal=self.cal,
+                                   trace=trace, entity=f"ipc-s{stage_idx}")
+            result.stage_ends_ms.append(env.now)
+
+    # -- accounting ------------------------------------------------------------
+    def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:
+        return [SandboxFootprint(functions=workflow.num_functions,
+                                 processes=1 + workflow.max_parallelism)]
+
+    def allocated_cores(self, workflow: Workflow) -> int:
+        return workflow.max_parallelism

@@ -1,0 +1,33 @@
+"""Simulated machine substrate.
+
+Everything the paper's testbed provided is modelled here on top of the
+:mod:`repro.simcore` kernel:
+
+* :mod:`~repro.runtime.cpusched` — a processor-sharing ("fluid") CPU model:
+  runnable entities share a cpuset's cores equally, so contention stretches
+  wall-clock time exactly as co-located processes/threads contend on a node;
+* :mod:`~repro.runtime.gil` — a CPython-style global interpreter lock with
+  switch-interval handoff and CFS-like (min CPU time) waiter selection
+  (paper Figure 2);
+* :mod:`~repro.runtime.sandbox` / :mod:`~repro.runtime.osproc` /
+  :mod:`~repro.runtime.thread` — containers, forked processes (with the
+  serialized fork "block time" of Observation 2) and threads executing
+  :class:`~repro.workflow.FunctionBehavior` segments;
+* :mod:`~repro.runtime.pool` — warm process pools (§4 "True Parallelism");
+* :mod:`~repro.runtime.network` — local gateway and ASF-style dispatchers
+  (Figure 3) and pipe IPC;
+* :mod:`~repro.runtime.storage` — S3/MinIO transfer latency (Figure 4);
+* :mod:`~repro.runtime.machine` — nodes and clusters (Table 2);
+* :mod:`~repro.runtime.isolation` — MPK/SFI overhead models plus a
+  functional per-thread memory-key arena (§4, Table 1).
+"""
+
+from repro.runtime.cpusched import FluidCPU
+from repro.runtime.gil import Gil
+from repro.runtime.machine import Cluster, Machine
+from repro.runtime.osproc import SimProcess
+from repro.runtime.sandbox import Sandbox
+from repro.runtime.thread import SimThread
+
+__all__ = ["Cluster", "FluidCPU", "Gil", "Machine", "Sandbox", "SimProcess",
+           "SimThread"]

@@ -1,0 +1,157 @@
+"""Memory isolation between threads (§4, Table 1).
+
+Two pieces:
+
+* **Overhead models** — apply Table 1's startup/interaction/execution costs
+  of SFI (WebAssembly) and Intel MPK to behaviours and calibrations; the
+  platforms' -M variants build on these through
+  :meth:`repro.calibration.RuntimeCalibration.mpk` / ``.sfi``.
+
+* **A functional MPK arena** — a working model of protection-keyed memory:
+  pages are grouped into arenas tagged with a protection key; each thread
+  holds a PKRU-style access-rights register; reads/writes through the wrong
+  key raise :class:`~repro.errors.IsolationFault`.  This gives the paper's
+  "private arenas for each thread" semantics a testable implementation (the
+  real Chiron uses the mpk-memalloc module from Faastlane).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.calibration import (
+    MPK_EXEC_OVERHEAD_CPU,
+    MPK_EXEC_OVERHEAD_IO,
+    MPK_INTERACTION_MS,
+    MPK_STARTUP_MS,
+    SFI_EXEC_OVERHEAD_CPU,
+    SFI_EXEC_OVERHEAD_IO,
+    SFI_INTERACTION_MS,
+    SFI_STARTUP_MS,
+)
+from repro.errors import IsolationFault
+from repro.workflow.behavior import FunctionBehavior
+
+#: Intel MPK exposes 16 protection keys; key 0 is conventionally "shared".
+NUM_PROTECTION_KEYS = 16
+SHARED_KEY = 0
+
+
+@dataclass(frozen=True)
+class IsolationCost:
+    """Table 1 as data: one row per mechanism."""
+
+    name: str
+    startup_ms: float
+    interaction_ms: float
+    exec_overhead_cpu: float
+    exec_overhead_io: float
+
+    def apply(self, behavior: FunctionBehavior) -> FunctionBehavior:
+        """Inflate a behaviour's segments by the execution overheads."""
+        return behavior.scaled(cpu_factor=1.0 + self.exec_overhead_cpu,
+                               io_factor=1.0 + self.exec_overhead_io)
+
+    def function_latency_ms(self, behavior: FunctionBehavior) -> float:
+        """Solo-run latency of a function under this mechanism."""
+        return self.startup_ms + self.apply(behavior).solo_ms
+
+
+SFI = IsolationCost("sfi", SFI_STARTUP_MS, SFI_INTERACTION_MS,
+                    SFI_EXEC_OVERHEAD_CPU, SFI_EXEC_OVERHEAD_IO)
+MPK = IsolationCost("mpk", MPK_STARTUP_MS, MPK_INTERACTION_MS,
+                    MPK_EXEC_OVERHEAD_CPU, MPK_EXEC_OVERHEAD_IO)
+NATIVE = IsolationCost("native", 0.0, 0.0, 0.0, 0.0)
+
+
+class AccessMode(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+
+class MpkDomain:
+    """A process address space partitioned into protection-keyed arenas."""
+
+    def __init__(self) -> None:
+        self._arena_key: Dict[str, int] = {}
+        self._arena_data: Dict[str, Dict[str, Any]] = {}
+        #: thread name -> {key: AccessMode} (the PKRU register content)
+        self._pkru: Dict[str, Dict[int, AccessMode]] = {}
+        self._next_key = SHARED_KEY + 1
+
+    # -- arena management ---------------------------------------------------
+    def create_arena(self, arena: str, key: Optional[int] = None) -> int:
+        """Allocate an arena under a (possibly fresh) protection key."""
+        if arena in self._arena_key:
+            raise IsolationFault(f"arena {arena!r} already exists")
+        if key is None:
+            if self._next_key >= NUM_PROTECTION_KEYS:
+                raise IsolationFault("out of protection keys (16 available)")
+            key = self._next_key
+            self._next_key += 1
+        if not (0 <= key < NUM_PROTECTION_KEYS):
+            raise IsolationFault(f"invalid protection key {key}")
+        self._arena_key[arena] = key
+        self._arena_data[arena] = {}
+        return key
+
+    def key_of(self, arena: str) -> int:
+        try:
+            return self._arena_key[arena]
+        except KeyError:
+            raise IsolationFault(f"unknown arena {arena!r}") from None
+
+    # -- thread rights (PKRU) --------------------------------------------------
+    def register_thread(self, thread: str) -> None:
+        """A new thread can touch only the shared key until granted more."""
+        self._pkru.setdefault(thread, {SHARED_KEY: AccessMode.READ_WRITE})
+
+    def grant(self, thread: str, key: int,
+              mode: AccessMode = AccessMode.READ_WRITE) -> None:
+        self.register_thread(thread)
+        self._pkru[thread][key] = mode
+
+    def revoke(self, thread: str, key: int) -> None:
+        self.register_thread(thread)
+        self._pkru[thread].pop(key, None)
+
+    def _check(self, thread: str, arena: str, needed: AccessMode) -> None:
+        key = self.key_of(arena)
+        rights = self._pkru.get(thread, {}).get(key, AccessMode.NONE)
+        if needed not in rights:
+            raise IsolationFault(
+                f"thread {thread!r} lacks {needed} on arena {arena!r} "
+                f"(key {key})")
+
+    # -- data access -------------------------------------------------------------
+    def write(self, thread: str, arena: str, field: str, value: Any) -> None:
+        self._check(thread, arena, AccessMode.WRITE)
+        self._arena_data[arena][field] = value
+
+    def read(self, thread: str, arena: str, field: str) -> Any:
+        self._check(thread, arena, AccessMode.READ)
+        try:
+            return self._arena_data[arena][field]
+        except KeyError:
+            raise IsolationFault(
+                f"field {field!r} not present in arena {arena!r}") from None
+
+
+def private_arenas_for(domain: MpkDomain, threads: list[str]) -> Dict[str, str]:
+    """Give each thread its own keyed arena (the Chiron-M setup).
+
+    Returns thread -> arena-name.  Every thread keeps access to the shared
+    key for orchestrator-mediated state transfer.
+    """
+    mapping: Dict[str, str] = {}
+    for thread in threads:
+        arena = f"arena-{thread}"
+        key = domain.create_arena(arena)
+        domain.register_thread(thread)
+        domain.grant(thread, key)
+        mapping[thread] = arena
+    return mapping

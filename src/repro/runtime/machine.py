@@ -1,0 +1,99 @@
+"""Worker nodes and clusters (Table 2's testbed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.calibration import CLUSTER_NODES, NODE_CORES, NODE_MEMORY_MB
+from repro.errors import CapacityError
+
+
+@dataclass
+class Allocation:
+    """A granted (cores, memory) reservation on a machine."""
+
+    machine: "Machine"
+    cores: float
+    memory_mb: float
+    released: bool = False
+
+    def release(self) -> None:
+        if not self.released:
+            self.machine._free(self)
+            self.released = True
+
+
+class Machine:
+    """One worker node with finite cores and memory."""
+
+    def __init__(self, name: str = "node-0", *, cores: float = NODE_CORES,
+                 memory_mb: float = NODE_MEMORY_MB) -> None:
+        if cores <= 0 or memory_mb <= 0:
+            raise CapacityError("machine needs positive cores and memory")
+        self.name = name
+        self.cores = float(cores)
+        self.memory_mb = float(memory_mb)
+        self.cores_used = 0.0
+        self.memory_used_mb = 0.0
+
+    @property
+    def cores_free(self) -> float:
+        return self.cores - self.cores_used
+
+    @property
+    def memory_free_mb(self) -> float:
+        return self.memory_mb - self.memory_used_mb
+
+    def can_fit(self, cores: float, memory_mb: float) -> bool:
+        return (self.cores_free >= cores - 1e-9
+                and self.memory_free_mb >= memory_mb - 1e-9)
+
+    def allocate(self, cores: float, memory_mb: float) -> Allocation:
+        """Reserve resources; raises :class:`CapacityError` when full."""
+        if cores < 0 or memory_mb < 0:
+            raise CapacityError("negative resource request")
+        if not self.can_fit(cores, memory_mb):
+            raise CapacityError(
+                f"{self.name}: need {cores} cores/{memory_mb:.0f} MB, have "
+                f"{self.cores_free:g} cores/{self.memory_free_mb:.0f} MB free")
+        self.cores_used += cores
+        self.memory_used_mb += memory_mb
+        return Allocation(self, cores, memory_mb)
+
+    def _free(self, allocation: Allocation) -> None:
+        self.cores_used -= allocation.cores
+        self.memory_used_mb -= allocation.memory_mb
+
+    def __repr__(self) -> str:
+        return (f"Machine({self.name!r}, {self.cores_used:g}/{self.cores:g} "
+                f"cores, {self.memory_used_mb:.0f}/{self.memory_mb:.0f} MB)")
+
+
+class Cluster:
+    """A fleet of machines with first-fit placement."""
+
+    def __init__(self, nodes: int = CLUSTER_NODES, *,
+                 cores_per_node: float = NODE_CORES,
+                 memory_per_node_mb: float = NODE_MEMORY_MB) -> None:
+        if nodes < 1:
+            raise CapacityError("cluster needs at least one node")
+        self.machines = [Machine(f"node-{i}", cores=cores_per_node,
+                                 memory_mb=memory_per_node_mb)
+                         for i in range(nodes)]
+
+    def place(self, cores: float, memory_mb: float) -> Allocation:
+        """First-fit placement across nodes."""
+        for machine in self.machines:
+            if machine.can_fit(cores, memory_mb):
+                return machine.allocate(cores, memory_mb)
+        raise CapacityError(
+            f"no node can fit {cores} cores / {memory_mb:.0f} MB")
+
+    @property
+    def total_cores_free(self) -> float:
+        return sum(m.cores_free for m in self.machines)
+
+    @property
+    def total_memory_free_mb(self) -> float:
+        return sum(m.memory_free_mb for m in self.machines)

@@ -1,0 +1,53 @@
+"""Static memory accounting for deployments (Figures 8a and 16).
+
+Memory is a structural property of a deployment, not a time-varying one, so
+it is computed in closed form from the sandbox/process/thread/pool counts.
+The dominant effect is runtime-and-library duplication across sandboxes
+(§2.2 Observation 4: "77.2% in FINRA"), which many-to-one and m-to-n
+deployments amortize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import DeploymentError
+
+
+@dataclass(frozen=True)
+class SandboxFootprint:
+    """Structural description of one sandbox for memory accounting."""
+
+    functions: int          # distinct functions bundled into the sandbox
+    processes: int = 1      # interpreter processes alive at peak (>= 1)
+    threads: int = 0        # function threads beyond process main threads
+    pool_workers: int = 0   # pre-forked warm workers (the -P variants)
+
+    def __post_init__(self) -> None:
+        if self.functions < 0 or self.processes < 1:
+            raise DeploymentError(f"invalid footprint {self}")
+        if self.threads < 0 or self.pool_workers < 0:
+            raise DeploymentError(f"invalid footprint {self}")
+
+
+def sandbox_memory_mb(footprint: SandboxFootprint,
+                      cal: RuntimeCalibration) -> float:
+    """Resident memory of one sandbox.
+
+    One full runtime (interpreter + shared libraries) per sandbox; extra
+    processes pay only a copy-on-write delta; threads and pool workers add
+    their own increments.
+    """
+    return (cal.sandbox_overhead_memory_mb
+            + cal.runtime_base_memory_mb
+            + footprint.functions * cal.function_unique_memory_mb
+            + (footprint.processes - 1) * cal.process_cow_memory_mb
+            + footprint.threads * cal.thread_memory_mb
+            + footprint.pool_workers * cal.pool_worker_memory_mb)
+
+
+def deployment_memory_mb(footprints: list[SandboxFootprint],
+                         cal: RuntimeCalibration) -> float:
+    """Total resident memory across every sandbox of a deployment."""
+    return sum(sandbox_memory_mb(fp, cal) for fp in footprints)

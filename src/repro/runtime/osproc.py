@@ -1,0 +1,134 @@
+"""Simulated OS processes: fork costs, interpreter startup, thread fan-out.
+
+Observation 2 of the paper is encoded here: forks issued by a parent are
+*serialized* (the parent's main thread is occupied for the fork syscall), so
+the j-th forked process waits ``(j-1) * fork_block`` before its own fork even
+begins — the "block time" that can rival a cold start at high parallelism.
+After the fork returns, the child pays an interpreter-startup cost, which
+runs concurrently with the parent's remaining forks and with other children.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Sequence
+
+from repro.calibration import RuntimeCalibration
+from repro.runtime.cpusched import FluidCPU
+from repro.runtime.gil import Gil
+from repro.runtime.thread import SimThread
+from repro.simcore import Environment, Event
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import FunctionSpec
+
+
+class SimProcess:
+    """A simulated interpreter process inside a sandbox.
+
+    Owns a GIL (when the runtime has one) and a main thread.  Function
+    execution spawns one :class:`SimThread` per function from the main
+    thread, paying the thread-creation cost under the GIL — which reproduces
+    Algorithm 1's "the main thread starts y functions per switch interval".
+    """
+
+    def __init__(self, env: Environment, *, name: str, cpu: FluidCPU,
+                 cal: RuntimeCalibration,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.name = name
+        self.cpu = cpu
+        self.cal = cal
+        self.trace = trace
+        self.gil: Optional[Gil] = (
+            Gil(env, cal.gil_switch_interval_ms) if cal.has_gil else None)
+        self.main_thread = SimThread(env, name=f"{name}/main", cpu=cpu,
+                                     gil=self.gil, cal=cal, trace=trace)
+        #: threads spawned over the process lifetime (for memory accounting)
+        self.threads: list[SimThread] = []
+
+    # -- thread fan-out -------------------------------------------------------
+    def spawn_function_threads(
+            self, functions: Sequence[FunctionSpec],
+    ) -> Generator[Event, None, list[Event]]:
+        """Spawn one thread per function from the main thread.
+
+        Returns the per-function completion events.  Creation costs are paid
+        serially by the main thread while holding the GIL, so under
+        contention only a few threads start per switch interval.
+        """
+        events: list[Event] = []
+        for fn in functions:
+            yield from self.main_thread.consume_cpu(
+                self.cal.thread_startup_ms, kind="startup")
+            thread = SimThread(self.env, name=f"{self.name}/{fn.name}",
+                               cpu=self.cpu, gil=self.gil, cal=self.cal,
+                               trace=self.trace)
+            self.threads.append(thread)
+            if self.trace is not None:
+                self.trace.record(f"{self.name}/{fn.name}", "startup",
+                                  self.env.now - self.cal.thread_startup_ms,
+                                  self.env.now)
+            events.append(thread.start(fn.behavior))
+        self.main_thread.drop_gil_if_held()
+        return events
+
+    def run_functions(self, functions: Sequence[FunctionSpec]
+                      ) -> Generator[Event, None, None]:
+        """Spawn threads for ``functions`` and wait for all of them."""
+        events = yield from self.spawn_function_threads(functions)
+        if events:
+            yield self.env.all_of(events)
+
+    # -- child-process entry ----------------------------------------------------
+    def run_as_child(self, functions: Sequence[FunctionSpec],
+                     ) -> Generator[Event, None, None]:
+        """Fork-child body: interpreter startup, then run the functions."""
+        t0 = self.env.now
+        yield self.cpu.run(self.cal.process_startup_ms)
+        if self.trace is not None:
+            self.trace.record(self.name, "startup", t0, self.env.now)
+        if len(functions) == 1:
+            # The single function executes directly on the fresh process's
+            # main thread (no extra thread hop) — the Faastlane/SAND case.
+            thread = SimThread(self.env, name=f"{self.name}/{functions[0].name}",
+                               cpu=self.cpu, gil=self.gil, cal=self.cal,
+                               trace=self.trace)
+            self.threads.append(thread)
+            yield self.env.process(thread.run_behavior(functions[0].behavior))
+        else:
+            yield from self.run_functions(functions)
+
+
+class ForkResult:
+    """Events and bookkeeping from a fork fan-out."""
+
+    def __init__(self) -> None:
+        self.children: list[SimProcess] = []
+        self.done_events: list[Event] = []
+
+
+def fork_children(env: Environment, parent: SimProcess,
+                  groups: Sequence[Sequence[FunctionSpec]], *,
+                  cal: RuntimeCalibration, cpu: FluidCPU,
+                  trace: Optional[TraceRecorder] = None,
+                  name_prefix: str = "proc",
+                  ) -> Generator[Event, None, ForkResult]:
+    """Fork one child per function group, serialized in the parent.
+
+    The parent's main thread is occupied ``fork_block`` per fork (Observation
+    2's block time); children initialize and execute concurrently.
+    """
+    result = ForkResult()
+    for j, group in enumerate(groups):
+        t0 = env.now
+        yield from parent.main_thread.consume_cpu(cal.fork_block_ms,
+                                                  kind="fork")
+        if trace is not None:
+            trace.record(f"{name_prefix}-{j}", "fork", t0, env.now)
+        child = SimProcess(env, name=f"{name_prefix}-{j}", cpu=cpu, cal=cal,
+                           trace=trace)
+        result.children.append(child)
+        result.done_events.append(
+            env.process(child.run_as_child(list(group)),
+                        name=f"{name_prefix}-{j}"))
+    parent.main_thread.drop_gil_if_held()
+    return result

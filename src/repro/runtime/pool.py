@@ -1,0 +1,78 @@
+"""Warm process pools (§4 "True Parallelism", the -P system variants).
+
+A :class:`ProcessPool` pre-forks ``workers`` interpreter processes when the
+sandbox initializes, so per-request startup shrinks to a task-dispatch cost.
+Each worker runs one task at a time in its own process — its GIL is never
+contended — giving true parallelism limited only by the sandbox's cpuset
+(Chiron-P deliberately allocates fewer cores than workers and lets the fluid
+scheduler share them, §4 last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import SimulationError
+from repro.runtime.cpusched import FluidCPU
+from repro.runtime.thread import SimThread
+from repro.simcore import Environment, Event, Resource
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import FunctionSpec
+
+
+class ProcessPool:
+    """A fixed-size pool of pre-forked worker processes."""
+
+    def __init__(self, env: Environment, *, workers: int, cpu: FluidCPU,
+                 cal: RuntimeCalibration,
+                 trace: Optional[TraceRecorder] = None,
+                 name: str = "pool") -> None:
+        if workers < 1:
+            raise SimulationError(f"pool needs >= 1 worker, got {workers}")
+        self.env = env
+        self.workers = workers
+        self.cpu = cpu
+        self.cal = cal
+        self.trace = trace
+        self.name = name
+        self._slots = Resource(env, capacity=workers)
+        #: tasks completed (for tests/metrics)
+        self.completed = 0
+
+    @property
+    def memory_mb(self) -> float:
+        """Resident cost of keeping the workers warm."""
+        return self.workers * self.cal.pool_worker_memory_mb
+
+    def _run_task(self, fn: FunctionSpec) -> Generator[Event, None, None]:
+        with self._slots.request() as slot:
+            yield slot
+            worker = SimThread(self.env, name=f"{self.name}/{fn.name}",
+                               cpu=self.cpu, gil=None, cal=self.cal,
+                               trace=self.trace)
+            yield self.env.process(worker.run_behavior(fn.behavior))
+            self.completed += 1
+
+    def submit(self, fn: FunctionSpec) -> Event:
+        """Queue one function; fires when a worker finished executing it."""
+        return self.env.process(self._run_task(fn), name=f"{self.name}/{fn.name}")
+
+    def map(self, dispatcher: SimThread, functions: Sequence[FunctionSpec],
+            longest_first: bool = False) -> Generator[Event, None, list[Event]]:
+        """Dispatch ``functions`` serially from ``dispatcher``.
+
+        Each dispatch costs :attr:`RuntimeCalibration.pool_dispatch_ms` of
+        dispatcher CPU.  ``longest_first`` starts long-running functions
+        preferentially — Chiron-P's skew mitigation (Figure 15 discussion).
+        """
+        ordered = list(functions)
+        if longest_first:
+            ordered.sort(key=lambda f: f.behavior.solo_ms, reverse=True)
+        events = []
+        for fn in ordered:
+            yield from dispatcher.consume_cpu(self.cal.pool_dispatch_ms,
+                                              kind="startup")
+            events.append(self.submit(fn))
+        dispatcher.drop_gil_if_held()
+        return events

@@ -1,0 +1,86 @@
+"""Third-party storage services for intermediate data (Figure 4).
+
+Under one-to-one deployment, stateless functions exchange intermediate data
+through object stores: S3 for AWS Step Functions, MinIO for the local
+OpenFaaS cluster.  Latency per operation is ``base + size / bandwidth``; a
+function-to-function *exchange* is a put by the producer plus a get by the
+consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.calibration import (
+    MINIO_BANDWIDTH_MB_PER_MS,
+    MINIO_BASE_LATENCY_MS,
+    S3_BANDWIDTH_MB_PER_MS,
+    S3_BASE_LATENCY_MS,
+)
+from repro.errors import SimulationError
+from repro.simcore import Environment, Event
+from repro.simcore.monitor import TraceRecorder
+
+
+class StorageService:
+    """A remote object store with affine transfer latency."""
+
+    def __init__(self, env: Environment, *, name: str, base_latency_ms: float,
+                 bandwidth_mb_per_ms: float,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        if base_latency_ms < 0 or bandwidth_mb_per_ms <= 0:
+            raise SimulationError("bad storage parameters")
+        self.env = env
+        self.name = name
+        self.base_latency_ms = base_latency_ms
+        self.bandwidth_mb_per_ms = bandwidth_mb_per_ms
+        self.trace = trace
+        self.bytes_moved_mb = 0.0
+        self.operations = 0
+
+    def op_latency_ms(self, size_mb: float) -> float:
+        """Closed-form latency of one put or get."""
+        if size_mb < 0:
+            raise SimulationError(f"negative payload {size_mb}")
+        return self.base_latency_ms + size_mb / self.bandwidth_mb_per_ms
+
+    def exchange_latency_ms(self, size_mb: float) -> float:
+        """Closed-form latency of a put+get exchange (Figure 4's metric)."""
+        return 2 * self.op_latency_ms(size_mb)
+
+    def _transfer(self, size_mb: float, kind: str,
+                  entity: str) -> Generator[Event, None, None]:
+        t0 = self.env.now
+        self.operations += 1
+        self.bytes_moved_mb += size_mb
+        yield self.env.timeout(self.op_latency_ms(size_mb))
+        if self.trace is not None:
+            self.trace.record(entity, kind, t0, self.env.now,
+                              size_mb=size_mb, store=self.name)
+
+    def put(self, size_mb: float, entity: str = "storage",
+            ) -> Generator[Event, None, None]:
+        yield from self._transfer(size_mb, "rpc", entity)
+
+    def get(self, size_mb: float, entity: str = "storage",
+            ) -> Generator[Event, None, None]:
+        yield from self._transfer(size_mb, "rpc", entity)
+
+    def exchange(self, size_mb: float, entity: str = "storage",
+                 ) -> Generator[Event, None, None]:
+        """Producer put followed by consumer get."""
+        yield from self.put(size_mb, entity)
+        yield from self.get(size_mb, entity)
+
+    # -- canned services ------------------------------------------------------
+    @classmethod
+    def s3(cls, env: Environment,
+           trace: Optional[TraceRecorder] = None) -> "StorageService":
+        return cls(env, name="s3", base_latency_ms=S3_BASE_LATENCY_MS,
+                   bandwidth_mb_per_ms=S3_BANDWIDTH_MB_PER_MS, trace=trace)
+
+    @classmethod
+    def minio(cls, env: Environment,
+              trace: Optional[TraceRecorder] = None) -> "StorageService":
+        return cls(env, name="minio", base_latency_ms=MINIO_BASE_LATENCY_MS,
+                   bandwidth_mb_per_ms=MINIO_BANDWIDTH_MB_PER_MS, trace=trace)

@@ -1,0 +1,125 @@
+"""Simulated interpreter threads executing function behaviours.
+
+A :class:`SimThread` consumes CPU through its cpuset's :class:`FluidCPU` and,
+when the owning process has a GIL, computes in at-most-switch-interval chunks
+so the lock is handed off exactly as CPython does (Figure 2): after every
+chunk the thread drops the lock *iff* someone is waiting; blocking I/O always
+drops it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import SimulationError
+from repro.runtime.cpusched import FluidCPU
+from repro.runtime.gil import Gil
+from repro.simcore import Environment, Event
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.behavior import FunctionBehavior, SegmentKind
+
+_EPS = 1e-9
+
+
+class SimThread:
+    """One thread of a simulated process.
+
+    The same primitive backs function threads *and* process main threads
+    (orchestrators/dispatchers), which call :meth:`consume_cpu` /
+    :meth:`block` imperatively.
+    """
+
+    def __init__(self, env: Environment, *, name: str, cpu: FluidCPU,
+                 gil: Optional[Gil], cal: RuntimeCalibration,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.name = name
+        self.cpu = cpu
+        self.gil = gil
+        self.cal = cal
+        self.trace = trace
+        #: accumulated CPU milliseconds — the CFS key for GIL handoff.
+        self.cpu_time_ms = 0.0
+        self._holds_gil = False
+        #: set when the thread finished running a behaviour
+        self.finished_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+
+    # -- low-level primitives -------------------------------------------------
+    def _acquire_gil(self) -> Generator[Event, None, None]:
+        if self.gil is not None and not self._holds_gil:
+            t0 = self.env.now
+            yield self.gil.acquire(self)
+            self._holds_gil = True
+            if self.trace is not None and self.env.now > t0 + _EPS:
+                self.trace.record(self.name, "wait", t0, self.env.now)
+
+    def drop_gil_if_held(self) -> None:
+        if self.gil is not None and self._holds_gil:
+            self.gil.release(self)
+            self._holds_gil = False
+
+    def _maybe_handoff(self) -> None:
+        """Drop the GIL after a chunk if someone is waiting (switch request)."""
+        if self.gil is not None and self._holds_gil and self.gil.contended:
+            self.gil.release(self)
+            self._holds_gil = False
+
+    def consume_cpu(self, work_ms: float,
+                    kind: str = "exec") -> Generator[Event, None, None]:
+        """Execute ``work_ms`` of CPU time under GIL chunking rules."""
+        if work_ms < 0:
+            raise SimulationError(f"negative CPU work {work_ms}")
+        remaining = work_ms
+        while remaining > _EPS:
+            yield from self._acquire_gil()
+            if self.gil is not None:
+                chunk = min(remaining, self.gil.switch_interval_ms)
+            else:
+                chunk = remaining
+            t0 = self.env.now
+            yield self.cpu.run(chunk)
+            self.cpu_time_ms += chunk
+            remaining -= chunk
+            if self.trace is not None:
+                self.trace.record(self.name, kind, t0, self.env.now)
+            self._maybe_handoff()
+
+    def block(self, duration_ms: float,
+              kind: str = "block") -> Generator[Event, None, None]:
+        """Blocking I/O: drop the GIL, wait, leave the lock to others."""
+        if duration_ms < 0:
+            raise SimulationError(f"negative block duration {duration_ms}")
+        self.drop_gil_if_held()
+        t0 = self.env.now
+        yield self.env.timeout(duration_ms)
+        if self.trace is not None and duration_ms > 0:
+            self.trace.record(self.name, kind, t0, self.env.now)
+
+    # -- behaviour execution ----------------------------------------------------
+    def run_behavior(self, behavior: FunctionBehavior
+                     ) -> Generator[Event, None, float]:
+        """Execute a function behaviour; returns wall-clock latency.
+
+        The calibration's isolation overheads (Table 1) are applied here:
+        per-function startup plus multiplicative CPU/IO execution inflation.
+        """
+        self.started_at = self.env.now
+        if self.cal.isolation_startup_ms > 0:
+            yield from self.consume_cpu(self.cal.isolation_startup_ms,
+                                        kind="startup")
+        cpu_scale = 1.0 + self.cal.exec_overhead_cpu
+        io_scale = 1.0 + self.cal.exec_overhead_io
+        for segment in behavior:
+            if segment.kind is SegmentKind.CPU:
+                yield from self.consume_cpu(segment.duration_ms * cpu_scale)
+            else:
+                yield from self.block(segment.duration_ms * io_scale)
+        self.drop_gil_if_held()
+        self.finished_at = self.env.now
+        return self.finished_at - self.started_at
+
+    def start(self, behavior: FunctionBehavior):
+        """Spawn the thread body as a kernel process; returns its event."""
+        return self.env.process(self.run_behavior(behavior), name=self.name)

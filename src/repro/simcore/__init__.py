@@ -1,0 +1,31 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The kernel follows the familiar generator-coroutine style of ``simpy``:
+processes are Python generators that ``yield`` events (timeouts, other
+processes, resource requests) and resume when the event fires.  It is written
+from scratch because the evaluation substrate (machines, GIL arbiter, fluid
+CPU scheduler) needs precise control over event ordering and because no
+third-party DES library is available offline.
+
+Determinism: events scheduled for the same timestamp fire in FIFO order of
+scheduling (a monotonically increasing sequence number breaks ties), so a
+given simulation always produces byte-identical traces.
+"""
+
+from repro.simcore.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.simcore.kernel import Environment
+from repro.simcore.process import Process
+from repro.simcore.resources import PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

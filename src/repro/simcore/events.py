@@ -1,0 +1,188 @@
+"""Event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.kernel import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called, event
+    queued) -> *processed* (callbacks ran).  Waiting on an already-processed
+    event resumes the waiter immediately at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set True when a failure was handed to a waiter (or defused).
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is queued for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue_triggered(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used as a chained callback)."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defuse()
+            self.fail(event.value)
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel does not re-raise it."""
+        self._defused = True
+
+    # -- kernel hook --------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once by the kernel."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+    # Timeouts are triggered at construction; succeed/fail are invalid.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events cannot be re-triggered")
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload from the interrupter (e.g. a
+    preemption notice from a resource).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[list[Event], int], bool]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        #: events whose callbacks have run, in completion order.  Timeouts
+        #: carry a value from construction, so "triggered" alone cannot tell
+        #: us whether an event has actually fired yet.
+        self._fired: list[Event] = []
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if event.triggered and not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        if self._evaluate(self._events, len(self._fired)):
+            self.succeed({ev: ev.value for ev in self._fired})
+
+
+class AllOf(Condition):
+    """Fires when *all* constituent events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda evs, n: n == len(evs))
+
+
+class AnyOf(Condition):
+    """Fires when *any* constituent event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda evs, n: n >= 1)

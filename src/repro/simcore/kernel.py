@@ -1,0 +1,117 @@
+"""The simulation environment: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import AllOf, AnyOf, Event, Timeout
+from repro.simcore.process import Process
+
+
+class Environment:
+    """Owner of the simulation clock and the pending-event heap.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(3.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 3.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        #: heap of (time, sequence, event); sequence preserves FIFO order for
+        #: simultaneous events, making runs fully deterministic.
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (same unit as all delays; we use ms)."""
+        return self._now
+
+    # -- event construction helpers ---------------------------------------
+    def event(self) -> Event:
+        """A bare, manually-triggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Spawn a process driving ``generator``; returns the Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Queue an event that was just succeeded/failed for processing."""
+        self._schedule(event, 0.0)
+
+    # -- run loop -----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulation time (run up to that instant) or an
+        :class:`Event` (run until it is processed; its value is returned).
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "run(until=event): queue drained before the event fired")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

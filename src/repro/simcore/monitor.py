@@ -1,0 +1,90 @@
+"""Lightweight instrumentation for simulations.
+
+A :class:`TraceRecorder` collects timestamped spans (name, start, end, tags)
+during a run; experiments use it to build the Gantt timelines of Figure 5 and
+the per-function latency CDFs of Figure 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of activity on some entity."""
+
+    entity: str        # e.g. "finra/validate-3"
+    kind: str          # e.g. "startup", "exec", "block", "ipc", "rpc"
+    start_ms: float
+    end_ms: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+class TraceRecorder:
+    """Accumulates :class:`Span` records during a simulation."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+
+    def record(self, entity: str, kind: str, start_ms: float, end_ms: float,
+               **tags: Any) -> None:
+        """Append one span.  ``end_ms`` must not precede ``start_ms``."""
+        if end_ms < start_ms - 1e-9:
+            raise ValueError(f"span ends before it starts: {start_ms}..{end_ms}")
+        self._spans.append(Span(entity, kind, start_ms, end_ms, dict(tags)))
+
+    def spans(self, entity: Optional[str] = None,
+              kind: Optional[str] = None) -> list[Span]:
+        """Spans filtered by entity and/or kind, in recording order."""
+        out = self._spans
+        if entity is not None:
+            out = [s for s in out if s.entity == entity]
+        if kind is not None:
+            out = [s for s in out if s.kind == kind]
+        return list(out)
+
+    def entities(self) -> list[str]:
+        """Distinct entity names in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.entity, None)
+        return list(seen)
+
+    def total(self, kind: str, entity: Optional[str] = None) -> float:
+        """Summed duration of all spans of ``kind`` (optionally per entity)."""
+        return sum(s.duration_ms for s in self.spans(entity, kind))
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def gantt(self, width: int = 72) -> str:
+        """Render an ASCII Gantt chart (one row per entity), for Figure 5."""
+        if not self._spans:
+            return "(no spans)"
+        t0 = min(s.start_ms for s in self._spans)
+        t1 = max(s.end_ms for s in self._spans)
+        span_total = max(t1 - t0, 1e-9)
+        glyph = {"startup": "s", "exec": "#", "block": ".", "ipc": "i",
+                 "rpc": "r", "wait": "-"}
+        lines = []
+        label_w = max(len(e) for e in self.entities()) + 1
+        for entity in self.entities():
+            row = [" "] * width
+            for span in self.spans(entity=entity):
+                a = int((span.start_ms - t0) / span_total * (width - 1))
+                b = int((span.end_ms - t0) / span_total * (width - 1))
+                ch = glyph.get(span.kind, "#")
+                for i in range(a, max(a, b) + 1):
+                    row[i] = ch
+            lines.append(f"{entity:<{label_w}}|{''.join(row)}|")
+        lines.append(f"{'':<{label_w}} {t0:.1f} ms {'-' * (width - 20)} {t1:.1f} ms")
+        return "\n".join(lines)

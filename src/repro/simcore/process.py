@@ -1,0 +1,99 @@
+"""Generator-coroutine processes for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.kernel import Environment
+
+
+class Process(Event):
+    """A running coroutine.  Also an event that fires when it returns.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each yielded event fires, then resumes with the event's
+    value (or with the event's exception thrown in, for failed events).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process() needs a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None when runnable)
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator as soon as the kernel turns over.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self.name!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from the event currently waited on, then resume with the
+        # interrupt via a dedicated immediately-scheduled event.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        wake = Event(self.env)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake._defused = True
+        wake.callbacks.append(self._resume)
+        self.env._schedule(wake, 0.0)
+
+    # -- kernel callback ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env.active_process = self
+        try:
+            while True:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defuse()
+                    target = self._generator.throw(event._value)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                if target.processed:
+                    # Already fired: loop and feed its value straight back in.
+                    event = target
+                    continue
+                assert target.callbacks is not None
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+        except SimulationError:
+            # Kernel-usage bugs propagate out of the run loop unchanged.
+            self._target = None
+            raise
+        except BaseException as exc:
+            # Uncaught exceptions (including Interrupt) fail the process;
+            # the failure re-raises at processing time unless a waiter
+            # catches (and thereby defuses) it.
+            self._target = None
+            self.fail(exc)
+        finally:
+            self.env.active_process = None

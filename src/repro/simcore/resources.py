@@ -1,0 +1,158 @@
+"""Shared-resource primitives: counted resources and object stores."""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.kernel import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource: at most ``capacity`` requests held at once.
+
+    Grant order is FIFO; :class:`PriorityResource` grants by (priority,
+    arrival order).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._holders)
+
+    def set_capacity(self, capacity: int) -> None:
+        """Adjust the slot count at runtime (elastic scaling).
+
+        Increases grant queued waiters immediately; decreases take effect
+        lazily as holders release (in-flight work is never revoked).
+        """
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._grant_waiters()
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Releasing an ungranted request cancels it."""
+        if request in self._holders:
+            self._holders.remove(request)
+            self._grant_waiters()
+        else:
+            # Cancel a still-queued request (no-op if unknown/duplicated).
+            self._waiting = [w for w in self._waiting if w[2] is not request]
+            heapq.heapify(self._waiting)
+
+    # -- internal -----------------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(self._waiting, (request.priority, self._seq, request))
+        self._seq += 1
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        while self._waiting and len(self._holders) < self.capacity:
+            _, _, request = heapq.heappop(self._waiting)
+            self._holders.add(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """A resource granted in (ascending priority, FIFO) order."""
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._puts.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._gets.append(self)
+        store._dispatch()
+
+
+class Store:
+    """An unordered-capacity FIFO buffer of Python objects.
+
+    ``put`` blocks when the store holds ``capacity`` items; ``get`` blocks
+    when it is empty.  This models bounded channels (e.g. pipes between
+    simulated processes).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._puts: list[StorePut] = []
+        self._gets: list[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires when the item is accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; fires with the item as value."""
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._gets and self.items:
+                get = self._gets.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True

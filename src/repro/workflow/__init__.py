@@ -1,0 +1,35 @@
+"""Serverless workflow model.
+
+The paper (§3.3) models a workflow as "a sequence of execution stages,
+wherein each stage includes one or more parallel functions".  This package
+provides:
+
+* :class:`FunctionBehavior` — a function's solo-run execution profile as a
+  sequence of CPU and blocking-I/O segments (what the Profiler extracts with
+  strace, Figure 10);
+* :class:`FunctionSpec` / :class:`Stage` / :class:`Workflow` — the staged DAG;
+* :class:`Dag` — an arbitrary-edge DAG that can be *levelled* into stages;
+* a fluent builder (:class:`WorkflowBuilder`), an Amazon-States-Language-like
+  JSON codec, and a seeded random workflow generator for property tests.
+"""
+
+from repro.workflow.behavior import FunctionBehavior, Segment, SegmentKind
+from repro.workflow.dag import Dag
+from repro.workflow.dsl import WorkflowBuilder
+from repro.workflow.generators import random_workflow
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+from repro.workflow.statemachine import from_state_machine, to_state_machine
+
+__all__ = [
+    "Dag",
+    "FunctionBehavior",
+    "FunctionSpec",
+    "Segment",
+    "SegmentKind",
+    "Stage",
+    "Workflow",
+    "WorkflowBuilder",
+    "from_state_machine",
+    "random_workflow",
+    "to_state_machine",
+]

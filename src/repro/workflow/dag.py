@@ -1,0 +1,130 @@
+"""Arbitrary-edge DAGs and their reduction to staged workflows.
+
+The paper treats workflows as stage sequences; real definitions (AWS Step
+Functions, OpenWhisk compositions) are general DAGs.  :class:`Dag` validates
+acyclicity and *levels* the graph — every node is placed in the stage equal
+to its longest distance from a source — which preserves all dependencies
+while exposing maximal per-stage parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import WorkflowError
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+
+
+class Dag:
+    """A directed acyclic graph of :class:`FunctionSpec` nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, FunctionSpec] = {}
+        self._succ: Dict[str, set[str]] = {}
+        self._pred: Dict[str, set[str]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_function(self, spec: FunctionSpec) -> "Dag":
+        if spec.name in self._nodes:
+            raise WorkflowError(f"duplicate function {spec.name!r}")
+        self._nodes[spec.name] = spec
+        self._succ[spec.name] = set()
+        self._pred[spec.name] = set()
+        return self
+
+    def add_edge(self, src: str, dst: str) -> "Dag":
+        """Declare that ``dst`` consumes ``src``'s output."""
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise WorkflowError(f"unknown function {name!r}")
+        if src == dst:
+            raise WorkflowError(f"self-edge on {src!r}")
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+        if self._has_cycle():
+            self._succ[src].discard(dst)
+            self._pred[dst].discard(src)
+            raise WorkflowError(f"edge {src!r}->{dst!r} creates a cycle")
+        return self
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def successors(self, name: str) -> frozenset[str]:
+        return frozenset(self._succ[name])
+
+    def predecessors(self, name: str) -> frozenset[str]:
+        return frozenset(self._pred[name])
+
+    def sources(self) -> list[str]:
+        return [n for n, p in self._pred.items() if not p]
+
+    def sinks(self) -> list[str]:
+        return [n for n, s in self._succ.items() if not s]
+
+    def _has_cycle(self) -> bool:
+        # Kahn's algorithm: if we cannot consume every node, there is a cycle.
+        indeg = {n: len(p) for n, p in self._pred.items()}
+        frontier = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        while frontier:
+            node = frontier.pop()
+            seen += 1
+            for nxt in self._succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    frontier.append(nxt)
+        return seen != len(self._nodes)
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (insertion order breaks ties)."""
+        indeg = {n: len(p) for n, p in self._pred.items()}
+        order: list[str] = []
+        frontier = [n for n in self._nodes if indeg[n] == 0]
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for nxt in self._nodes:          # deterministic iteration
+                if nxt in self._succ[node]:
+                    indeg[nxt] -= 1
+                    if indeg[nxt] == 0:
+                        frontier.append(nxt)
+        if len(order) != len(self._nodes):
+            raise WorkflowError("graph contains a cycle")
+        return order
+
+    def levels(self) -> Dict[str, int]:
+        """Longest-path-from-source level of every node."""
+        level: Dict[str, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        return level
+
+    # -- conversion -----------------------------------------------------------
+    def to_workflow(self, name: str) -> Workflow:
+        """Level the DAG into a staged :class:`Workflow`."""
+        if not self._nodes:
+            raise WorkflowError("empty DAG")
+        levels = self.levels()
+        depth = max(levels.values()) + 1
+        stages = []
+        for i in range(depth):
+            members = [self._nodes[n] for n in self._nodes if levels[n] == i]
+            stages.append(Stage(f"stage-{i}", members))
+        return Workflow(name, stages)
+
+    @classmethod
+    def from_workflow(cls, workflow: Workflow) -> "Dag":
+        """Staged workflow -> DAG with full bipartite inter-stage edges."""
+        dag = cls()
+        for stage in workflow:
+            for fn in stage:
+                dag.add_function(fn)
+        for prev, nxt in zip(workflow.stages, workflow.stages[1:]):
+            for a in prev:
+                for b in nxt:
+                    dag.add_edge(a.name, b.name)
+        return dag

@@ -1,0 +1,53 @@
+"""Fluent builder for staged workflows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.errors import WorkflowError
+from repro.workflow.behavior import FunctionBehavior
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+
+FunctionLike = Union[FunctionSpec, tuple[str, FunctionBehavior]]
+
+
+class WorkflowBuilder:
+    """Builds a :class:`Workflow` stage by stage::
+
+        wf = (WorkflowBuilder("pipeline")
+              .stage("ingest", ("fetch", FunctionBehavior.io(20.0)))
+              .parallel("validate",
+                        [("rule-%d" % i, FunctionBehavior.cpu(0.8))
+                         for i in range(50)])
+              .build())
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._stages: list[Stage] = []
+
+    @staticmethod
+    def _coerce(fn: FunctionLike) -> FunctionSpec:
+        if isinstance(fn, FunctionSpec):
+            return fn
+        if (isinstance(fn, tuple) and len(fn) == 2
+                and isinstance(fn[1], FunctionBehavior)):
+            return FunctionSpec(name=fn[0], behavior=fn[1])
+        raise WorkflowError(f"cannot interpret {fn!r} as a function")
+
+    def stage(self, name: str, *functions: FunctionLike) -> "WorkflowBuilder":
+        """Append a stage with the given functions (one or more)."""
+        self._stages.append(Stage(name, [self._coerce(f) for f in functions]))
+        return self
+
+    def sequential(self, name: str, function: FunctionLike) -> "WorkflowBuilder":
+        """Append a single-function stage (a sequential step)."""
+        return self.stage(name, function)
+
+    def parallel(self, name: str,
+                 functions: Iterable[FunctionLike]) -> "WorkflowBuilder":
+        """Append a stage from an iterable of functions."""
+        return self.stage(name, *functions)
+
+    def build(self) -> Workflow:
+        return Workflow(self._name, self._stages)

@@ -1,0 +1,111 @@
+"""Dynamic DAGs: workflows whose chain is decided at request time.
+
+§7 lists this as open ground: "the function chain of workflow is not known
+a priori, such as [the] switch step in Video-FFmpeg [that] determines
+whether to execute the split function or the simple_process function based
+on the result of the upload function".
+
+A :class:`DynamicWorkflow` is a static prefix, a **switch** with named
+branches (each a list of stages), and a static suffix.  Planning flattens
+it into one static variant per branch (:meth:`DynamicWorkflow.variants`),
+so every existing tool — predictor, PGP, platforms — applies per variant;
+:mod:`repro.core.dynamic` deploys all variants and routes each request by
+its branch decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.workflow.model import Stage, Workflow
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One alternative chain of a switch."""
+
+    name: str
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("branch name must be non-empty")
+        if not self.stages:
+            raise WorkflowError(f"branch {self.name!r} has no stages")
+
+
+class DynamicWorkflow:
+    """prefix stages → switch(branches) → suffix stages."""
+
+    def __init__(self, name: str, *, prefix: Iterable[Stage],
+                 branches: Iterable[Branch],
+                 suffix: Iterable[Stage] = ()) -> None:
+        self.name = name
+        self.prefix = tuple(prefix)
+        self.branches = tuple(branches)
+        self.suffix = tuple(suffix)
+        if not self.name:
+            raise WorkflowError("workflow name must be non-empty")
+        if not self.branches:
+            raise WorkflowError("a dynamic workflow needs >= 1 branch")
+        names = [b.name for b in self.branches]
+        if len(set(names)) != len(names):
+            raise WorkflowError(f"duplicate branch names: {names}")
+        # validate that every variant flattens to a legal workflow
+        for branch in self.branches:
+            self.variant(branch.name)
+
+    @property
+    def branch_names(self) -> list[str]:
+        return [b.name for b in self.branches]
+
+    def branch(self, name: str) -> Branch:
+        for b in self.branches:
+            if b.name == name:
+                return b
+        raise WorkflowError(f"unknown branch {name!r}")
+
+    def variant(self, branch_name: str) -> Workflow:
+        """The static workflow a request takes down one branch."""
+        branch = self.branch(branch_name)
+        return Workflow(f"{self.name}#{branch_name}",
+                        self.prefix + branch.stages + self.suffix)
+
+    def variants(self) -> Dict[str, Workflow]:
+        return {b.name: self.variant(b.name) for b in self.branches}
+
+    @property
+    def max_parallelism(self) -> int:
+        return max(v.max_parallelism for v in self.variants().values())
+
+    def __repr__(self) -> str:
+        return (f"DynamicWorkflow({self.name!r}, "
+                f"branches={self.branch_names})")
+
+
+#: decides a request's branch from its state (returns a branch name)
+BranchSelector = Callable[[object], str]
+
+
+def probabilistic_selector(weights: Mapping[str, float], *,
+                           seed: int = 0) -> BranchSelector:
+    """A seeded selector drawing branches with the given probabilities.
+
+    Stands in for data-dependent switch outcomes (e.g. "large uploads go
+    down the split path 30 % of the time").
+    """
+    names = list(weights)
+    probs = np.array([weights[n] for n in names], dtype=float)
+    if len(names) == 0 or np.any(probs < 0) or probs.sum() <= 0:
+        raise WorkflowError(f"bad branch weights {dict(weights)!r}")
+    probs = probs / probs.sum()
+    rng = np.random.default_rng(seed)
+
+    def select(_state: object) -> str:
+        return str(rng.choice(names, p=probs))
+
+    return select

@@ -1,0 +1,44 @@
+"""Seeded random workflow generation for property-based tests and sweeps."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workflow.behavior import FunctionBehavior, Segment, SegmentKind
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+
+
+def random_behavior(rng: np.random.Generator, *,
+                    max_segments: int = 6,
+                    max_segment_ms: float = 20.0) -> FunctionBehavior:
+    """A random alternating CPU/IO behaviour with at least one segment."""
+    n = int(rng.integers(1, max_segments + 1))
+    start_kind = SegmentKind.CPU if rng.random() < 0.5 else SegmentKind.IO
+    kinds = [start_kind if i % 2 == 0 else
+             (SegmentKind.IO if start_kind is SegmentKind.CPU else SegmentKind.CPU)
+             for i in range(n)]
+    durations = rng.uniform(0.05, max_segment_ms, size=n)
+    return FunctionBehavior(
+        [Segment(k, float(d)) for k, d in zip(kinds, durations)],
+        data_out_mb=float(rng.uniform(0.001, 1.0)))
+
+
+def random_workflow(seed: int = 0, *,
+                    max_stages: int = 5,
+                    max_parallelism: int = 8,
+                    max_segment_ms: float = 20.0,
+                    name: Optional[str] = None) -> Workflow:
+    """A random staged workflow; identical seeds yield identical workflows."""
+    rng = np.random.default_rng(seed)
+    n_stages = int(rng.integers(1, max_stages + 1))
+    stages = []
+    for i in range(n_stages):
+        width = int(rng.integers(1, max_parallelism + 1))
+        fns = [FunctionSpec(name=f"s{i}-f{j}",
+                            behavior=random_behavior(
+                                rng, max_segment_ms=max_segment_ms))
+               for j in range(width)]
+        stages.append(Stage(f"stage-{i}", fns))
+    return Workflow(name or f"random-{seed}", stages)

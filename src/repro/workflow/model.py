@@ -1,0 +1,152 @@
+"""Workflow / Stage / FunctionSpec — the staged-DAG model of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import WorkflowError
+from repro.workflow.behavior import FunctionBehavior
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One serverless function.
+
+    Attributes beyond the behaviour feed PGP's sandbox-compatibility rules
+    (§3.4 end): functions whose ``runtime`` differs (e.g. ``python2`` vs
+    ``python3``) or that write the same file cannot share a sandbox.
+    """
+
+    name: str
+    behavior: FunctionBehavior
+    #: language runtime tag; functions only share a sandbox if equal.
+    runtime: str = "python3"
+    #: files the function writes (strace-observed); writers of a common file
+    #: must not share a sandbox.
+    files_written: frozenset[str] = frozenset()
+    #: files the function reads (kept for profiling completeness).
+    files_read: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("function name must be non-empty")
+        object.__setattr__(self, "files_written", frozenset(self.files_written))
+        object.__setattr__(self, "files_read", frozenset(self.files_read))
+
+    def with_behavior(self, behavior: FunctionBehavior) -> "FunctionSpec":
+        return replace(self, behavior=behavior)
+
+    def conflicts_with(self, other: "FunctionSpec") -> bool:
+        """True if the two functions must live in different sandboxes."""
+        if self.runtime != other.runtime:
+            return True
+        return bool(self.files_written & (other.files_written | other.files_read)
+                    or other.files_written & self.files_read)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One execution stage: functions that run in parallel."""
+
+    name: str
+    functions: tuple[FunctionSpec, ...]
+
+    def __init__(self, name: str, functions: Iterable[FunctionSpec]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "functions", tuple(functions))
+        if not self.name:
+            raise WorkflowError("stage name must be non-empty")
+        if not self.functions:
+            raise WorkflowError(f"stage {name!r} has no functions")
+        names = [f.name for f in self.functions]
+        if len(set(names)) != len(names):
+            raise WorkflowError(f"duplicate function names in stage {name!r}")
+
+    @property
+    def parallelism(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self) -> Iterator[FunctionSpec]:
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+class Workflow:
+    """A named sequence of stages (the paper's workflow model, §3.3)."""
+
+    def __init__(self, name: str, stages: Iterable[Stage]) -> None:
+        self.name = name
+        self.stages = tuple(stages)
+        if not self.name:
+            raise WorkflowError("workflow name must be non-empty")
+        if not self.stages:
+            raise WorkflowError(f"workflow {name!r} has no stages")
+        seen: set[str] = set()
+        for stage in self.stages:
+            for fn in stage:
+                if fn.name in seen:
+                    raise WorkflowError(
+                        f"function name {fn.name!r} appears in multiple stages")
+                seen.add(fn.name)
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def functions(self) -> list[FunctionSpec]:
+        """All functions, stage order then intra-stage order."""
+        return [fn for stage in self.stages for fn in stage]
+
+    @property
+    def num_functions(self) -> int:
+        return sum(len(stage) for stage in self.stages)
+
+    @property
+    def max_parallelism(self) -> int:
+        """The M of Algorithm 2 line 1."""
+        return max(stage.parallelism for stage in self.stages)
+
+    def function(self, name: str) -> FunctionSpec:
+        for stage in self.stages:
+            for fn in stage:
+                if fn.name == name:
+                    return fn
+        raise WorkflowError(f"no function named {name!r} in workflow {self.name!r}")
+
+    def stage_of(self, function_name: str) -> Stage:
+        for stage in self.stages:
+            if any(fn.name == function_name for fn in stage):
+                return stage
+        raise WorkflowError(f"no function named {function_name!r}")
+
+    @property
+    def critical_path_ms(self) -> float:
+        """Lower bound on e2e latency: sum over stages of slowest solo run."""
+        return sum(max(fn.behavior.solo_ms for fn in stage)
+                   for stage in self.stages)
+
+    @property
+    def total_work_ms(self) -> float:
+        """Sum of all solo-run latencies (serial execution lower bound)."""
+        return sum(fn.behavior.solo_ms for fn in self.functions)
+
+    def map_behaviors(self, transform) -> "Workflow":
+        """A copy with every function's behaviour passed through ``transform``.
+
+        Used to apply isolation execution overheads or jitter uniformly.
+        """
+        return Workflow(self.name, (
+            Stage(stage.name,
+                  (fn.with_behavior(transform(fn.behavior)) for fn in stage))
+            for stage in self.stages))
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:
+        shape = "+".join(str(len(s)) for s in self.stages)
+        return f"Workflow({self.name!r}, stages={shape})"

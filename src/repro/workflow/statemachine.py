@@ -1,0 +1,128 @@
+"""Amazon-States-Language-like JSON codec for workflows.
+
+Users of systems like AWS Step Functions submit workflow definitions as
+state-machine JSON.  We support the subset the paper's applications need:
+``Task`` states (one function), ``Parallel`` states (branches of tasks), and
+``Next``/``End`` chaining.  Behaviours are embedded under a ``Behavior`` key
+since our functions are specs rather than deployed Lambdas::
+
+    {
+      "StartAt": "Fetch",
+      "States": {
+        "Fetch":    {"Type": "Task", "Behavior": {"segments": [["io", 20.0]]},
+                     "Next": "Validate"},
+        "Validate": {"Type": "Parallel", "End": true,
+                     "Branches": [
+                        {"Name": "rule-0",
+                         "Behavior": {"segments": [["cpu", 0.8]]}},
+                        ...]}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.errors import WorkflowError
+from repro.workflow.behavior import FunctionBehavior, Segment, SegmentKind
+from repro.workflow.model import FunctionSpec, Stage, Workflow
+
+
+def _behavior_to_json(behavior: FunctionBehavior) -> dict[str, Any]:
+    return {
+        "segments": [[seg.kind.value, seg.duration_ms] for seg in behavior],
+        "data_out_mb": behavior.data_out_mb,
+        "memory_mb": behavior.memory_mb,
+    }
+
+
+def _behavior_from_json(data: dict[str, Any]) -> FunctionBehavior:
+    try:
+        segments = [Segment(SegmentKind(kind), float(dur))
+                    for kind, dur in data["segments"]]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WorkflowError(f"bad Behavior payload: {data!r}") from exc
+    return FunctionBehavior(segments,
+                            data_out_mb=float(data.get("data_out_mb", 0.01)),
+                            memory_mb=float(data.get("memory_mb", 0.0)))
+
+
+def to_state_machine(workflow: Workflow) -> str:
+    """Serialize a workflow to state-machine JSON (inverse of
+    :func:`from_state_machine`)."""
+    states: dict[str, Any] = {}
+    stage_names = [stage.name for stage in workflow.stages]
+    for i, stage in enumerate(workflow.stages):
+        nxt: dict[str, Any]
+        nxt = {"End": True} if i == len(stage_names) - 1 else {"Next": stage_names[i + 1]}
+        if len(stage) == 1:
+            fn = stage.functions[0]
+            states[stage.name] = {
+                "Type": "Task",
+                "FunctionName": fn.name,
+                "Runtime": fn.runtime,
+                "Behavior": _behavior_to_json(fn.behavior),
+                **nxt,
+            }
+        else:
+            states[stage.name] = {
+                "Type": "Parallel",
+                "Branches": [
+                    {"Name": fn.name, "Runtime": fn.runtime,
+                     "Behavior": _behavior_to_json(fn.behavior)}
+                    for fn in stage
+                ],
+                **nxt,
+            }
+    return json.dumps({"Comment": workflow.name,
+                       "StartAt": stage_names[0],
+                       "States": states}, indent=2)
+
+
+def from_state_machine(text: Union[str, dict[str, Any]]) -> Workflow:
+    """Parse state-machine JSON into a :class:`Workflow`."""
+    doc = json.loads(text) if isinstance(text, str) else text
+    try:
+        start = doc["StartAt"]
+        states = doc["States"]
+    except (KeyError, TypeError) as exc:
+        raise WorkflowError("state machine needs StartAt and States") from exc
+    name = doc.get("Comment", "state-machine")
+
+    stages: list[Stage] = []
+    cursor: Union[str, None] = start
+    visited: set[str] = set()
+    while cursor is not None:
+        if cursor in visited:
+            raise WorkflowError(f"state chain loops at {cursor!r}")
+        visited.add(cursor)
+        try:
+            state = states[cursor]
+        except KeyError:
+            raise WorkflowError(f"undefined state {cursor!r}") from None
+        stype = state.get("Type")
+        if stype == "Task":
+            fn = FunctionSpec(name=state.get("FunctionName", cursor),
+                              behavior=_behavior_from_json(state["Behavior"]),
+                              runtime=state.get("Runtime", "python3"))
+            stages.append(Stage(cursor, [fn]))
+        elif stype == "Parallel":
+            branches = state.get("Branches", [])
+            if not branches:
+                raise WorkflowError(f"Parallel state {cursor!r} has no branches")
+            fns = [FunctionSpec(name=b["Name"],
+                                behavior=_behavior_from_json(b["Behavior"]),
+                                runtime=b.get("Runtime", "python3"))
+                   for b in branches]
+            stages.append(Stage(cursor, fns))
+        else:
+            raise WorkflowError(f"unsupported state type {stype!r} in {cursor!r}")
+        if state.get("End"):
+            cursor = None
+        else:
+            cursor = state.get("Next")
+            if cursor is None:
+                raise WorkflowError(f"state {cursor!r} has neither Next nor End")
+    return Workflow(name, stages)

@@ -1,0 +1,99 @@
+"""Tests for the adaptive (drift-triggered) re-planning loop (§3.4)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveDeployer
+from repro.errors import SchedulingError
+from repro.platforms import ChironPlatform
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+
+def fanout(cpu_ms, n=10, name="adaptive-wf"):
+    return (WorkflowBuilder(name)
+            .parallel("fan", [(f"f-{i}", FunctionBehavior.cpu(cpu_ms))
+                              for i in range(n)])
+            .build())
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            AdaptiveDeployer(window=1)
+        with pytest.raises(SchedulingError):
+            AdaptiveDeployer(pressure_fraction=0.3, slack_fraction=0.5)
+
+    def test_observe_before_deploy_rejected(self):
+        with pytest.raises(SchedulingError):
+            AdaptiveDeployer().observe(10.0)
+
+
+class TestAdaptation:
+    def test_steady_workload_never_refreshes(self):
+        deployer = AdaptiveDeployer(window=5, cooldown=0)
+        wf = fanout(5.0)
+        deployer.deploy(wf, slo_ms=80.0)
+        platform = ChironPlatform(deployer.deployment.plan)
+        for r in range(30):
+            lat = platform.run(wf, seed=r).latency_ms
+            assert deployer.observe(lat) is None
+        assert deployer.events == []
+
+    def test_heavier_workload_triggers_scale_up(self):
+        """Functions drift 5 ms -> 20 ms: p90 blows past the SLO and the
+        refresh re-profiles + re-plans with more processes."""
+        deployer = AdaptiveDeployer(window=5, cooldown=0)
+        light = fanout(5.0)
+        deployer.deploy(light, slo_ms=80.0)
+        old_cores = deployer.deployment.plan.total_cores
+
+        heavy = fanout(20.0)  # the drifted reality
+        platform = ChironPlatform(deployer.deployment.plan)
+        event = None
+        for r in range(20):
+            lat = platform.run(heavy, seed=r).latency_ms
+            event = deployer.observe(lat, current_workflow=heavy)
+            if event is not None:
+                break
+        assert event is not None and event.reason == "slo-pressure"
+        assert deployer.deployment.plan.total_cores > old_cores
+        # the refreshed plan actually meets the SLO on the heavy workload
+        refreshed = ChironPlatform(deployer.deployment.plan)
+        assert refreshed.run(heavy).latency_ms <= 80.0
+
+    def test_lighter_workload_triggers_scale_down(self):
+        deployer = AdaptiveDeployer(window=5, cooldown=0,
+                                    slack_fraction=0.45)
+        heavy = fanout(20.0)
+        deployer.deploy(heavy, slo_ms=80.0)
+        old_cores = deployer.deployment.plan.total_cores
+        assert old_cores > 1
+
+        light = fanout(2.0)
+        platform = ChironPlatform(deployer.deployment.plan)
+        event = None
+        for r in range(20):
+            lat = platform.run(light, seed=r).latency_ms
+            event = deployer.observe(lat, current_workflow=light)
+            if event is not None:
+                break
+        assert event is not None and event.reason == "over-provisioned"
+        assert deployer.deployment.plan.total_cores < old_cores
+
+    def test_cooldown_prevents_thrashing(self):
+        deployer = AdaptiveDeployer(window=3, cooldown=50)
+        wf = fanout(5.0)
+        deployer.deploy(wf, slo_ms=80.0)
+        # feed latencies that would otherwise trigger immediately
+        for _ in range(10):
+            assert deployer.observe(200.0) is None  # still in cooldown
+
+    def test_events_are_recorded(self):
+        deployer = AdaptiveDeployer(window=3, cooldown=0)
+        wf = fanout(5.0)
+        deployer.deploy(wf, slo_ms=80.0)
+        for _ in range(3):
+            deployer.observe(200.0, current_workflow=fanout(20.0))
+        assert len(deployer.events) >= 1
+        event = deployer.events[0]
+        assert event.p90_ms > 80.0
+        assert event.request_index >= 3

@@ -1,0 +1,192 @@
+"""Tests for the benchmark catalog and the cost/throughput/stats metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_WORKLOADS, finra, movie_review, slapp, slapp_v, \
+    social_network, workload
+from repro.calibration import RuntimeCalibration
+from repro.errors import CapacityError, ReproError, WorkflowError
+from repro.metrics import (
+    CostModel,
+    cdf,
+    max_throughput_rps,
+    percentile,
+    summarize_latencies,
+    throughput_report,
+)
+from repro.metrics.throughput import simulate_closed_loop
+from repro.platforms import ASFPlatform, FaastlanePlatform, OpenFaaSPlatform
+
+CAL = RuntimeCalibration.native()
+
+
+class TestCatalog:
+    def test_paper_shapes(self):
+        """Stage/function/parallelism counts match §6's benchmark table."""
+        sn = social_network()
+        assert len(sn.stages) == 4 and sn.num_functions == 10
+        assert sn.max_parallelism == 5
+        mr = movie_review()
+        assert len(mr.stages) == 4 and mr.num_functions == 9
+        assert mr.max_parallelism == 4
+        sl = slapp()
+        assert len(sl.stages) == 2 and sl.num_functions == 7
+        assert sl.max_parallelism == 4
+        assert all(len(s) > 1 for s in sl.stages)  # "no sequential function"
+        slv = slapp_v()
+        assert len(slv.stages) == 5 and slv.num_functions == 10
+        assert slv.max_parallelism == 5
+
+    def test_finra_parallelism_parameter(self):
+        for n in (5, 50, 200):
+            wf = finra(n)
+            assert len(wf.stages) == 2
+            assert wf.max_parallelism == n
+            assert wf.num_functions == n + 1
+
+    def test_finra_rejects_bad_parallelism(self):
+        with pytest.raises(WorkflowError):
+            finra(0)
+
+    def test_slapp_archetypes_have_similar_latency(self):
+        """§2.2: 'various execution behaviors but similar latency'."""
+        from repro.apps.catalog import SLAPP_ARCHETYPES
+
+        solos = [b.solo_ms for b in SLAPP_ARCHETYPES.values()]
+        assert max(solos) / min(solos) < 1.15
+        # but very different CPU fractions
+        fracs = [b.cpu_ms / b.solo_ms for b in SLAPP_ARCHETYPES.values()]
+        assert max(fracs) > 0.9 and min(fracs) < 0.15
+
+    def test_registry_covers_figure13_axis(self):
+        assert set(ALL_WORKLOADS) == {
+            "social-network", "movie-review", "slapp", "slapp-v",
+            "finra-5", "finra-50", "finra-100", "finra-200"}
+        for name in ALL_WORKLOADS:
+            assert workload(name).num_functions >= 6
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkflowError):
+            workload("not-a-workload")
+
+
+class TestCostModel:
+    def test_components_positive_and_sum(self):
+        wf = finra(5)
+        cost = CostModel().request_cost(OpenFaaSPlatform(CAL), wf)
+        assert cost.memory_usd > 0 and cost.cpu_usd > 0
+        assert cost.transitions_usd == 0
+        assert cost.total_usd == pytest.approx(
+            cost.memory_usd + cost.cpu_usd)
+
+    def test_asf_pays_transitions(self):
+        wf = finra(5)
+        cost = CostModel().request_cost(ASFPlatform(CAL), wf,
+                                        latency_ms=500.0)
+        assert cost.transitions_usd > 0
+
+    def test_per_million_scale(self):
+        wf = finra(5)
+        cost = CostModel().request_cost(FaastlanePlatform(CAL), wf,
+                                        latency_ms=100.0)
+        assert cost.per_million() == pytest.approx(cost.total_usd * 1e6)
+
+    def test_figure19_cost_ordering(self):
+        """Figure 19: OpenFaaS and Faastlane near-tie on FINRA-50 (12.3 vs
+        11.6 normalized); ASF far above both; Chiron far below."""
+        from repro.core.pgp import PGPScheduler
+        from repro.core.predictor import LatencyPredictor
+        from repro.platforms import ChironPlatform
+
+        wf = finra(50)
+        model = CostModel()
+        ofs = model.request_cost(OpenFaaSPlatform(CAL), wf).total_usd
+        fl = model.request_cost(FaastlanePlatform(CAL), wf).total_usd
+        asf = model.request_cost(ASFPlatform(CAL), wf,
+                                 latency_ms=2000.0).total_usd
+        slo = FaastlanePlatform(CAL).average_latency_ms(wf, repeats=3) + 10
+        plan = PGPScheduler(LatencyPredictor(CAL)).schedule(wf, slo)
+        chiron = model.request_cost(ChironPlatform(plan, CAL), wf).total_usd
+        assert 0.5 < ofs / fl < 2.0       # the near-tie
+        assert asf > 3 * max(ofs, fl)     # transitions dominate
+        assert chiron < 0.5 * fl          # resource efficiency pays off
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError):
+            CostModel().request_cost(FaastlanePlatform(CAL), finra(2),
+                                     latency_ms=-1.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ReproError):
+            CostModel(price_gb_second=-1.0)
+
+
+class TestThroughput:
+    def test_report_fields(self):
+        wf = finra(5)
+        rep = throughput_report(FaastlanePlatform(CAL), wf)
+        assert rep.instances_per_node >= 1
+        assert rep.rps == pytest.approx(
+            rep.instances_per_node * 1000.0 / rep.latency_ms)
+
+    def test_fewer_cores_means_more_instances(self):
+        wf = finra(25)
+        fl = throughput_report(FaastlanePlatform(CAL), wf)
+        t = throughput_report(FaastlanePlatform(CAL, variant="T"), wf)
+        assert t.instances_per_node > fl.instances_per_node
+
+    def test_oversized_instance_gets_fractional_share(self):
+        """An instance spanning multiple nodes yields < 1 instance/node."""
+        wf = finra(50)
+        rep = throughput_report(FaastlanePlatform(CAL), wf, node_cores=8)
+        assert 0 < rep.instances_per_node < 1
+        assert rep.rps == pytest.approx(
+            rep.instances_per_node * 1000.0 / rep.latency_ms)
+
+    def test_invalid_node_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            throughput_report(FaastlanePlatform(CAL), finra(2), node_cores=0)
+
+    def test_closed_loop_consistent_with_capacity_model(self):
+        wf = finra(5)
+        p = FaastlanePlatform(CAL)
+        per_instance = simulate_closed_loop(p, wf, requests=5)
+        rep = throughput_report(p, wf)
+        assert per_instance * rep.instances_per_node == pytest.approx(
+            rep.rps, rel=0.25)
+
+    def test_max_throughput_shortcut(self):
+        wf = finra(5)
+        assert max_throughput_rps(FaastlanePlatform(CAL), wf) > 0
+
+    def test_requests_validated(self):
+        with pytest.raises(CapacityError):
+            simulate_closed_loop(FaastlanePlatform(CAL), finra(2), requests=0)
+
+
+class TestStats:
+    def test_percentiles(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == pytest.approx(50.5)
+        assert percentile(data, 99) == pytest.approx(99.01)
+        with pytest.raises(ReproError):
+            percentile([], 50)
+        with pytest.raises(ReproError):
+            percentile([1.0], 150)
+
+    def test_cdf_monotone_and_ends_at_100(self):
+        values, fracs = cdf([5.0, 1.0, 3.0, 2.0])
+        assert np.all(np.diff(values) >= 0)
+        assert fracs[-1] == pytest.approx(100.0)
+        assert len(values) == 4
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(ReproError):
+            cdf([])
+
+    def test_summary(self):
+        s = summarize_latencies([10.0, 20.0, 30.0])
+        assert s.count == 3
+        assert s.mean_ms == pytest.approx(20.0)
+        assert s.min_ms == 10.0 and s.max_ms == 30.0

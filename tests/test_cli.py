@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_run_parses_quick(self):
+        args = build_parser().parse_args(["run", "fig04", "--quick"])
+        assert args.experiment == "fig04" and args.quick
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "ablation-kl" in out
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "fig04", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_run_unknown_experiment_errors(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "fig99"])
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--workload", "slapp", "--slo", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "wrap-" in out and "stage" in out
+
+    def test_plan_show_code(self, capsys):
+        assert main(["plan", "--workload", "movie-review", "--slo", "200",
+                     "--show-code"]) == 0
+        out = capsys.readouterr().out
+        assert "generated orchestrator" in out
+        assert "def handle(req):" in out
+
+    def test_demo_runs_real_execution(self, capsys):
+        assert main(["demo", "--workload", "movie-review",
+                     "--slo", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "real execution" in out

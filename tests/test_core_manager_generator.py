@@ -1,0 +1,132 @@
+"""Tests for the orchestrator generator, SLO policy and Chiron manager."""
+
+import pytest
+
+from repro.core import ChironManager, OrchestratorGenerator, SloPolicy
+from repro.core.pgp import PGPOptions
+from repro.errors import SchedulingError
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+
+def sample_workflow():
+    return (WorkflowBuilder("sample")
+            .sequential("ingest", ("fetch", FunctionBehavior.of(
+                ("cpu", 1.0), ("io", 10.0))))
+            .parallel("fan", [(f"rule-{i}", FunctionBehavior.cpu(6.0))
+                              for i in range(8)])
+            .build())
+
+
+class TestSloPolicy:
+    def test_positive_required(self):
+        with pytest.raises(SchedulingError):
+            SloPolicy(0.0)
+
+    def test_from_baseline_adds_slack(self):
+        assert SloPolicy.from_baseline(90.0).slo_ms == pytest.approx(100.0)
+        assert SloPolicy.from_baseline(90.0, slack_ms=5).slo_ms == 95.0
+
+    def test_violation(self):
+        policy = SloPolicy(100.0)
+        assert policy.violated(100.1)
+        assert not policy.violated(100.0)
+
+    def test_violation_rate(self):
+        policy = SloPolicy(100.0)
+        rate = policy.violation_rate([90, 95, 101, 150])
+        assert rate == pytest.approx(0.5)
+
+    def test_violation_rate_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            SloPolicy(1.0).violation_rate([])
+
+
+class TestManager:
+    def test_deploy_produces_consistent_bundle(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=80.0)
+        dep.plan.validate(dep.profiled_workflow)
+        assert set(dep.profiles) == {f.name for f in wf.functions}
+        assert set(dep.orchestrator_sources) == {w.name for w in dep.plan.wraps}
+        assert dep.predicted_latency_ms is not None
+
+    def test_plan_shortcut_matches_deploy(self):
+        wf = sample_workflow()
+        mgr = ChironManager()
+        plan = mgr.plan(wf, slo_ms=80.0)
+        assert plan.slo_ms == 80.0
+
+    def test_conservatism_keeps_margin(self):
+        """The manager's predictor over-estimates, so an accepted plan's
+        *raw* prediction sits below the SLO (the Figure 14 mechanism)."""
+        from repro.core import LatencyPredictor
+        from repro.core.profiler import Profiler
+
+        wf = sample_workflow()
+        mgr = ChironManager(conservatism=1.2)
+        dep = mgr.deploy(wf, slo_ms=120.0)
+        raw = LatencyPredictor(mgr.cal, conservatism=1.0).predict_workflow(
+            dep.profiled_workflow, dep.plan)
+        assert raw <= dep.plan.predicted_latency_ms
+        assert raw == pytest.approx(dep.plan.predicted_latency_ms / 1.2)
+
+    def test_refresh_reruns_pipeline(self):
+        wf = sample_workflow()
+        mgr = ChironManager()
+        dep = mgr.deploy(wf, slo_ms=80.0)
+        dep2 = mgr.refresh(dep)
+        assert dep2.plan.slo_ms == 80.0
+
+    def test_refresh_without_slo_needs_explicit(self):
+        wf = sample_workflow()
+        mgr = ChironManager()
+        dep = mgr.deploy(wf, slo_ms=80.0)
+        object.__setattr__(dep.plan, "slo_ms", None)
+        with pytest.raises(ValueError):
+            mgr.refresh(dep)
+
+    def test_pgp_options_forwarded(self):
+        wf = sample_workflow()
+        mgr = ChironManager(options=PGPOptions(strict=True))
+        with pytest.raises(SchedulingError):
+            mgr.plan(wf, slo_ms=0.5)
+
+
+class TestGenerator:
+    def test_sources_mention_every_function(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=60.0)
+        joined = "\n".join(dep.orchestrator_sources.values())
+        for fn in wf.functions:
+            assert repr(fn.name) in joined
+
+    def test_source_is_valid_python(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=60.0)
+        for name, source in dep.orchestrator_sources.items():
+            compile(source, f"<{name}>", "exec")  # must not raise
+
+    def test_wrap1_invokes_peer_wraps(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=35.0)
+        if dep.plan.n_wraps > 1:
+            src = dep.orchestrator_sources[dep.plan.wraps[0].name]
+            assert "invoke_wrap" in src
+
+    def test_affinity_reflects_cores(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=60.0)
+        wrap = dep.plan.wraps[0]
+        src = dep.orchestrator_sources[wrap.name]
+        assert f"CPU_AFFINITY = {list(range(dep.plan.cores_for(wrap)))}" in src
+
+    def test_manifest_shape(self):
+        wf = sample_workflow()
+        dep = ChironManager().deploy(wf, slo_ms=60.0)
+        manifest = OrchestratorGenerator.deployment_manifest(
+            dep.profiled_workflow, dep.plan)
+        assert manifest["provider"]["name"] == "openfaas"
+        assert set(manifest["functions"]) == {w.name for w in dep.plan.wraps}
+        for spec in manifest["functions"].values():
+            assert spec["lang"] == "python3-flask"
+            assert int(spec["limits"]["cpu"]) >= 1

@@ -1,0 +1,249 @@
+"""Tests for the white-box latency predictor (Algorithm 1 + Eq. 1-4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import RuntimeCalibration
+from repro.core.predictor import LatencyPredictor
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.errors import DeploymentError
+from repro.workflow import FunctionBehavior, FunctionSpec, Stage, Workflow
+
+CAL = RuntimeCalibration.native()
+
+
+def predictor(**kw):
+    return LatencyPredictor(CAL, **kw)
+
+
+def behaviors(*solo_cpu):
+    return [FunctionBehavior.cpu(ms) for ms in solo_cpu]
+
+
+class TestAlgorithm1:
+    def test_empty_is_zero(self):
+        assert predictor().predict_multithread_exec([]) == 0.0
+
+    def test_single_thread_is_solo_plus_spawn(self):
+        t = predictor().predict_multithread_exec(behaviors(10.0))
+        assert t == pytest.approx(10.0 + CAL.thread_startup_ms, rel=0.01)
+
+    def test_cpu_threads_serialize(self):
+        """GIL: total ~ sum of CPU work regardless of thread count."""
+        t = predictor().predict_multithread_exec(behaviors(10.0, 10.0, 10.0))
+        assert t == pytest.approx(30.0 + 3 * CAL.thread_startup_ms, rel=0.02)
+
+    def test_io_overlaps(self):
+        """Blocking ops overlap with the GIL holder (Figure 2)."""
+        b = [FunctionBehavior.io(50.0), FunctionBehavior.cpu(50.0)]
+        t = predictor().predict_multithread_exec(b)
+        assert t == pytest.approx(50.0, rel=0.05)
+
+    def test_all_io_threads_fully_overlap(self):
+        b = [FunctionBehavior.io(40.0) for _ in range(8)]
+        t = predictor().predict_multithread_exec(b)
+        # spawn serialization plus one overlapping 40ms block
+        assert t == pytest.approx(40.0 + 8 * CAL.thread_startup_ms, rel=0.10)
+
+    def test_interleaved_cpu_io(self):
+        """Two threads alternating cpu/io can hide each other's blocks."""
+        b = [FunctionBehavior.of(("cpu", 5.0), ("io", 5.0), ("cpu", 5.0)),
+             FunctionBehavior.of(("cpu", 5.0), ("io", 5.0), ("cpu", 5.0))]
+        t = predictor().predict_multithread_exec(b)
+        # 20ms CPU total; blocks overlap compute: well under 30ms serial
+        assert t < 30.0
+        assert t >= 20.0
+
+    def test_spawn_excluded_when_requested(self):
+        p = predictor()
+        with_spawn = p.predict_multithread_exec(behaviors(10.0))
+        without = p.predict_multithread_exec(behaviors(10.0),
+                                             include_spawn=False)
+        assert with_spawn > without
+        assert without == pytest.approx(10.0)
+
+    def test_no_gil_runtime_parallel(self):
+        p = LatencyPredictor(RuntimeCalibration.no_gil())
+        t = p.predict_multithread_exec(behaviors(10.0, 10.0, 10.0, 10.0))
+        assert t == pytest.approx(10.0, rel=0.05)
+
+    def test_isolation_overheads_enter_prediction(self):
+        p_native = LatencyPredictor(RuntimeCalibration.native())
+        p_mpk = LatencyPredictor(RuntimeCalibration.mpk())
+        b = behaviors(10.0)
+        assert (p_mpk.predict_multithread_exec(b)
+                > p_native.predict_multithread_exec(b))
+
+    def test_deterministic(self):
+        b = [FunctionBehavior.of(("cpu", 3.0), ("io", 2.0))] * 7
+        assert (predictor().predict_multithread_exec(b)
+                == predictor().predict_multithread_exec(b))
+
+
+class TestFluidPrediction:
+    def test_needs_positive_cores(self):
+        with pytest.raises(DeploymentError):
+            predictor().predict_parallel_exec(behaviors(1.0), cores=0)
+
+    def test_four_tasks_three_cores(self):
+        t = predictor().predict_parallel_exec(behaviors(*[30.0] * 4), cores=3)
+        assert t == pytest.approx(40.0, rel=0.01)
+
+    def test_enough_cores_is_max(self):
+        t = predictor().predict_parallel_exec(behaviors(10.0, 25.0, 5.0),
+                                              cores=8)
+        assert t == pytest.approx(25.0, rel=0.01)
+
+    def test_max_concurrent_queues_tasks(self):
+        t = predictor().predict_parallel_exec(behaviors(*[10.0] * 4),
+                                              cores=8, max_concurrent=2)
+        assert t == pytest.approx(20.0, rel=0.01)
+
+    def test_start_offsets_shift_completion(self):
+        t = predictor().predict_parallel_exec(
+            behaviors(10.0, 10.0), cores=4, start_offsets=[0.0, 15.0])
+        assert t == pytest.approx(25.0, rel=0.01)
+
+    def test_offsets_length_checked(self):
+        with pytest.raises(DeploymentError):
+            predictor().predict_parallel_exec(behaviors(1.0), cores=1,
+                                              start_offsets=[0.0, 1.0])
+
+    def test_io_does_not_occupy_cores(self):
+        b = [FunctionBehavior.of(("cpu", 5.0), ("io", 20.0)),
+             FunctionBehavior.cpu(25.0)]
+        t = predictor().predict_parallel_exec(b, cores=1)
+        # io task's block overlaps the cpu task's compute
+        assert t < 50.0 - 5.0
+
+
+class TestEq4:
+    def test_orchestrator_thread_group_skips_fork(self):
+        p = predictor()
+        t0 = p.predict_process(behaviors(10.0), fork_position=0)
+        t1 = p.predict_process(behaviors(10.0), fork_position=1)
+        assert t1 - t0 == pytest.approx(CAL.process_startup_ms)
+
+    def test_fork_position_adds_block_time(self):
+        p = predictor()
+        t1 = p.predict_process(behaviors(10.0), fork_position=1)
+        t5 = p.predict_process(behaviors(10.0), fork_position=5)
+        assert t5 - t1 == pytest.approx(4 * CAL.fork_block_ms)
+
+
+def _staged_workflow_and_plan(groups, modes=None):
+    """One parallel stage partitioned into the given name groups."""
+    names = [n for g in groups for n in g]
+    wf = Workflow("wf", [Stage("s0", [
+        FunctionSpec(n, FunctionBehavior.cpu(5.0)) for n in names])])
+    procs = []
+    for i, g in enumerate(groups):
+        mode = (modes[i] if modes else
+                (ExecMode.THREAD if i == 0 else ExecMode.PROCESS))
+        procs.append(ProcessAssignment(functions=tuple(g), mode=mode))
+    wrap = Wrap(name="w1", stages=(StageAssignment(0, tuple(procs)),))
+    plan = DeploymentPlan(workflow_name="wf", wraps=(wrap,))
+    return wf, plan
+
+
+class TestEq3Eq2Eq1:
+    def test_wrap_ipc_pairs(self):
+        wf, plan = _staged_workflow_and_plan([["a"], ["b"], ["c"]])
+        p = predictor()
+        t = p.predict_wrap_stage(plan.wraps[0].stages[0], wf)
+        base = p.predict_process([wf.function("b").behavior], fork_position=2)
+        assert t == pytest.approx(base + 2 * CAL.t_ipc_ms, rel=0.05)
+
+    def test_single_process_no_ipc(self):
+        wf, plan = _staged_workflow_and_plan([["a", "b"]])
+        p = predictor()
+        t = p.predict_wrap_stage(plan.wraps[0].stages[0], wf)
+        exec_t = p.predict_multithread_exec(
+            [wf.function("a").behavior, wf.function("b").behavior])
+        assert t == pytest.approx(exec_t)
+
+    def test_multi_wrap_stage_pays_rpc_and_inv(self):
+        names = ["a", "b", "c"]
+        wf = Workflow("wf", [Stage("s0", [
+            FunctionSpec(n, FunctionBehavior.cpu(5.0)) for n in names])])
+        w1 = Wrap(name="w1", stages=(StageAssignment(0, (
+            ProcessAssignment(("a",), ExecMode.THREAD),)),))
+        w2 = Wrap(name="w2", stages=(StageAssignment(0, (
+            ProcessAssignment(("b",), ExecMode.THREAD),)),))
+        w3 = Wrap(name="w3", stages=(StageAssignment(0, (
+            ProcessAssignment(("c",), ExecMode.THREAD),)),))
+        plan = DeploymentPlan(workflow_name="wf", wraps=(w1, w2, w3))
+        p = predictor()
+        t = p.predict_stage(plan, wf, 0)
+        solo = p.predict_process([wf.function("c").behavior], fork_position=0)
+        expected = solo + 2 * CAL.t_inv_ms + CAL.t_rpc_ms  # k=3 wrap
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_stage_without_wrap_rejected(self):
+        wf, plan = _staged_workflow_and_plan([["a"]])
+        with pytest.raises(DeploymentError):
+            predictor().predict_stage(plan, wf, 3)
+
+    def test_workflow_sums_stages(self):
+        wf = Workflow("wf", [
+            Stage("s0", [FunctionSpec("a", FunctionBehavior.cpu(5.0))]),
+            Stage("s1", [FunctionSpec("b", FunctionBehavior.cpu(7.0))]),
+        ])
+        wrap = Wrap(name="w1", stages=(
+            StageAssignment(0, (ProcessAssignment(("a",), ExecMode.THREAD),)),
+            StageAssignment(1, (ProcessAssignment(("b",), ExecMode.THREAD),)),
+        ))
+        plan = DeploymentPlan(workflow_name="wf", wraps=(wrap,))
+        p = predictor()
+        total = p.predict_workflow(wf, plan)
+        s0 = p.predict_stage(plan, wf, 0)
+        s1 = p.predict_stage(plan, wf, 1)
+        assert total == pytest.approx(s0 + s1)
+
+    def test_conservatism_scales_prediction(self):
+        wf, plan = _staged_workflow_and_plan([["a", "b"]])
+        base = predictor().predict_workflow(wf, plan)
+        inflated = predictor(conservatism=1.2).predict_workflow(wf, plan)
+        assert inflated == pytest.approx(1.2 * base)
+
+    def test_pool_plan_prediction(self):
+        names = [f"f{i}" for i in range(6)]
+        wf = Workflow("wf", [Stage("s0", [
+            FunctionSpec(n, FunctionBehavior.cpu(10.0)) for n in names])])
+        wrap = Wrap(name="w1", stages=(StageAssignment(0, (
+            ProcessAssignment(tuple(names), ExecMode.POOL),)),))
+        plan = DeploymentPlan(workflow_name="wf", wraps=(wrap,),
+                              cores={"w1": 3}, pool_workers=6)
+        t = predictor().predict_stage(plan, wf, 0)
+        # 60ms work on 3 cores -> >= 20ms; well under GIL-serial 60ms
+        assert 20.0 <= t <= 30.0
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1,
+                max_size=8))
+def test_property_gil_exec_bounded(works):
+    """Algorithm 1 output lies between max(solo) and sum(solo)+spawn."""
+    p = predictor()
+    t = p.predict_multithread_exec(behaviors(*works))
+    spawn = len(works) * CAL.thread_startup_ms
+    assert t >= max(works) - 1e-6
+    assert t <= sum(works) + spawn + 1e-6
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1,
+                max_size=8),
+       st.integers(min_value=1, max_value=8))
+def test_property_fluid_work_conservation(works, cores):
+    p = predictor()
+    t = p.predict_parallel_exec(behaviors(*works), cores=cores)
+    assert t >= max(works) - 1e-6
+    assert t >= sum(works) / cores - 1e-6
+    assert t <= sum(works) + 1e-6

@@ -1,0 +1,125 @@
+"""Tests for the (simulated) strace profiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiler import Profiler, StraceLog, SyscallRecord
+from repro.errors import ProfilingError
+from repro.workflow import FunctionBehavior, FunctionSpec
+
+
+def _fn(name="f", *segs, **kw):
+    return FunctionSpec(name, FunctionBehavior.of(*segs), **kw)
+
+
+class TestTrace:
+    def test_noise_free_trace_reproduces_block_periods(self):
+        profiler = Profiler(strace_overhead=0.0, noise_sigma=0.0)
+        fn = _fn("f", ("cpu", 2.0), ("io", 5.0), ("cpu", 1.0), ("io", 3.0))
+        log = profiler.trace(fn)
+        assert len(log.records) == 2
+        assert log.records[0].start_ms == pytest.approx(2.0)
+        assert log.records[0].duration_ms == pytest.approx(5.0)
+        assert log.records[1].start_ms == pytest.approx(8.0)
+        assert log.untraced_latency_ms == pytest.approx(11.0)
+
+    def test_strace_overhead_inflates_traced_run(self):
+        profiler = Profiler(strace_overhead=0.5, noise_sigma=0.0)
+        fn = _fn("f", ("cpu", 2.0), ("io", 10.0))
+        log = profiler.trace(fn)
+        assert log.records[0].duration_ms == pytest.approx(15.0)
+        assert log.traced_latency_ms > log.untraced_latency_ms
+
+    def test_syscall_names_look_like_strace(self):
+        profiler = Profiler(noise_sigma=0.0)
+        fn = _fn("f", ("io", 1.0), ("cpu", 1.0), ("io", 1.0))
+        names = [r.name for r in profiler.trace(fn).records]
+        assert all(isinstance(n, str) and n for n in names)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProfilingError):
+            Profiler(strace_overhead=-0.1)
+        with pytest.raises(ProfilingError):
+            Profiler(noise_sigma=-0.1)
+
+
+class TestReconstruct:
+    def test_correction_step_recovers_true_behavior(self):
+        """With zero noise, reconstruct inverts the strace inflation
+        exactly (the §3.2 scale-down step)."""
+        profiler = Profiler(strace_overhead=0.25, noise_sigma=0.0)
+        fn = _fn("f", ("cpu", 4.0), ("io", 8.0), ("cpu", 2.0))
+        prof = profiler.profile(fn)
+        assert prof.solo_latency_ms == pytest.approx(14.0)
+        assert prof.behavior.io_ms == pytest.approx(8.0, rel=0.02)
+        assert prof.behavior.cpu_ms == pytest.approx(6.0, rel=0.05)
+
+    def test_noisy_profile_close_but_not_exact(self):
+        profiler = Profiler(strace_overhead=0.12, noise_sigma=0.05, seed=3)
+        fn = _fn("f", ("cpu", 10.0), ("io", 10.0))
+        prof = profiler.profile(fn)
+        assert prof.behavior.solo_ms == pytest.approx(20.0, rel=0.25)
+        assert prof.behavior.solo_ms != pytest.approx(20.0, abs=1e-9)
+
+    def test_empty_trace_rejected(self):
+        profiler = Profiler()
+        log = StraceLog(function="f", records=(), traced_latency_ms=0.0,
+                        untraced_latency_ms=0.0)
+        with pytest.raises(ProfilingError):
+            profiler.reconstruct(log)
+
+    def test_deterministic_given_seed(self):
+        fn = _fn("f", ("cpu", 3.0), ("io", 7.0))
+        p1 = Profiler(seed=11).profile(fn)
+        p2 = Profiler(seed=11).profile(fn)
+        assert p1.behavior == p2.behavior
+
+    def test_files_metadata_carried(self):
+        profiler = Profiler(noise_sigma=0.0)
+        fn = _fn("f", ("cpu", 1.0), files_written=frozenset({"/tmp/x"}))
+        assert profiler.profile(fn).files_written == frozenset({"/tmp/x"})
+
+
+class TestWorkflowProfiling:
+    def test_profile_workflow_covers_all_functions(self):
+        from repro.workflow import random_workflow
+
+        wf = random_workflow(5)
+        profiles = Profiler(seed=1).profile_workflow(wf)
+        assert set(profiles) == {f.name for f in wf.functions}
+
+    def test_profiled_workflow_swaps_behaviors(self):
+        from repro.workflow import random_workflow
+
+        wf = random_workflow(6)
+        profiler = Profiler(seed=2, noise_sigma=0.05)
+        profiles = profiler.profile_workflow(wf)
+        swapped = Profiler.profiled_workflow(wf, profiles)
+        assert swapped.name == wf.name
+        for fn in swapped.functions:
+            assert fn.behavior == profiles[fn.name].behavior
+
+    def test_profiled_workflow_missing_profile_rejected(self):
+        from repro.workflow import random_workflow
+
+        wf = random_workflow(7)
+        with pytest.raises(ProfilingError):
+            Profiler.profiled_workflow(wf, {})
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(
+    st.tuples(st.sampled_from(["cpu", "io"]),
+              st.floats(min_value=0.01, max_value=100.0, allow_nan=False)),
+    min_size=1, max_size=8),
+    st.floats(min_value=0.0, max_value=0.5))
+def test_property_noise_free_reconstruction_is_lossless(pairs, overhead):
+    """For any behaviour and any strace overhead, zero-noise profiling
+    recovers CPU/IO totals (the correction step is exact)."""
+    fn = FunctionSpec("f", FunctionBehavior.of(*pairs))
+    prof = Profiler(strace_overhead=overhead, noise_sigma=0.0).profile(fn)
+    # The correction scales all block periods by untraced/traced ratio, so
+    # totals match up to the proportional redistribution error.
+    assert prof.behavior.solo_ms == pytest.approx(fn.behavior.solo_ms,
+                                                  rel=1e-9)
+    assert prof.behavior.io_ms <= fn.behavior.io_ms * (1 + 1e-9)

@@ -1,0 +1,159 @@
+"""Tests for the wrap abstraction and deployment-plan validation."""
+
+import pytest
+
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.errors import DeploymentError
+from repro.workflow import FunctionBehavior, FunctionSpec, Stage, Workflow
+
+
+def _wf():
+    return Workflow("wf", [
+        Stage("s0", [FunctionSpec("a", FunctionBehavior.cpu(1.0))]),
+        Stage("s1", [FunctionSpec(n, FunctionBehavior.cpu(1.0))
+                     for n in ("b", "c", "d")]),
+    ])
+
+
+def _plan(wraps, **kw):
+    return DeploymentPlan(workflow_name="wf", wraps=tuple(wraps), **kw)
+
+
+def proc(*fns, mode=ExecMode.PROCESS):
+    return ProcessAssignment(functions=tuple(fns), mode=mode)
+
+
+class TestDataModel:
+    def test_empty_process_rejected(self):
+        with pytest.raises(DeploymentError):
+            ProcessAssignment(functions=())
+
+    def test_duplicate_in_process_rejected(self):
+        with pytest.raises(DeploymentError):
+            proc("a", "a")
+
+    def test_duplicate_across_processes_rejected(self):
+        with pytest.raises(DeploymentError):
+            StageAssignment(stage_index=0,
+                            processes=(proc("a"), proc("a")))
+
+    def test_stage_assignment_views(self):
+        sa = StageAssignment(stage_index=1, processes=(
+            proc("b", mode=ExecMode.THREAD), proc("c"), proc("d")))
+        assert sa.function_names == ["b", "c", "d"]
+        assert len(sa.thread_groups) == 1
+        assert len(sa.forked_processes) == 2
+
+    def test_wrap_duplicate_stage_rejected(self):
+        sa = StageAssignment(stage_index=0, processes=(proc("a"),))
+        with pytest.raises(DeploymentError):
+            Wrap(name="w", stages=(sa, sa))
+
+    def test_wrap_peak_processes(self):
+        wrap = Wrap(name="w", stages=(
+            StageAssignment(stage_index=0, processes=(
+                proc("a", mode=ExecMode.THREAD),)),
+            StageAssignment(stage_index=1, processes=(
+                proc("b", mode=ExecMode.THREAD), proc("c"), proc("d"))),
+        ))
+        # stage 1: 2 forked + orchestrator = 3
+        assert wrap.max_concurrent_processes == 3
+
+    def test_plan_needs_wraps(self):
+        with pytest.raises(DeploymentError):
+            DeploymentPlan(workflow_name="wf", wraps=())
+
+    def test_plan_duplicate_wrap_names(self):
+        w = Wrap(name="w", stages=(
+            StageAssignment(stage_index=0, processes=(proc("a"),)),))
+        with pytest.raises(DeploymentError):
+            _plan([w, w])
+
+
+class TestValidation:
+    def _full_plan(self):
+        w1 = Wrap(name="w1", stages=(
+            StageAssignment(0, (proc("a", mode=ExecMode.THREAD),)),
+            StageAssignment(1, (proc("b", "c", mode=ExecMode.THREAD),)),
+        ))
+        w2 = Wrap(name="w2", stages=(
+            StageAssignment(1, (proc("d", mode=ExecMode.THREAD),)),))
+        return _plan([w1, w2])
+
+    def test_valid_plan_passes(self):
+        self._full_plan().validate(_wf())
+
+    def test_wrong_workflow_name(self):
+        plan = self._full_plan()
+        with pytest.raises(DeploymentError):
+            plan.validate(Workflow("other", _wf().stages))
+
+    def test_missing_function_detected(self):
+        w1 = Wrap(name="w1", stages=(
+            StageAssignment(0, (proc("a"),)),
+            StageAssignment(1, (proc("b", "c"),)),
+        ))
+        with pytest.raises(DeploymentError, match="not deployed"):
+            _plan([w1]).validate(_wf())
+
+    def test_double_assignment_detected(self):
+        w1 = Wrap(name="w1", stages=(
+            StageAssignment(0, (proc("a"),)),
+            StageAssignment(1, (proc("b", "c", "d"),)),
+        ))
+        w2 = Wrap(name="w2", stages=(StageAssignment(1, (proc("d"),)),))
+        with pytest.raises(DeploymentError, match="assigned twice"):
+            _plan([w1, w2]).validate(_wf())
+
+    def test_function_in_wrong_stage_detected(self):
+        w1 = Wrap(name="w1", stages=(
+            StageAssignment(0, (proc("b"),)),))
+        with pytest.raises(DeploymentError):
+            _plan([w1]).validate(_wf())
+
+    def test_stage_out_of_range_detected(self):
+        w1 = Wrap(name="w1", stages=(StageAssignment(7, (proc("a"),)),))
+        with pytest.raises(DeploymentError, match="beyond workflow depth"):
+            _plan([w1]).validate(_wf())
+
+    def test_conflicting_functions_cannot_share_wrap(self):
+        wf = Workflow("wf", [
+            Stage("s0", [
+                FunctionSpec("a", FunctionBehavior.cpu(1.0),
+                             files_written=frozenset({"/tmp/x"})),
+                FunctionSpec("b", FunctionBehavior.cpu(1.0),
+                             files_written=frozenset({"/tmp/x"})),
+            ]),
+        ])
+        w = Wrap(name="w1", stages=(StageAssignment(0, (proc("a", "b"),)),))
+        with pytest.raises(DeploymentError, match="conflicting"):
+            _plan([w]).validate(wf)
+
+    def test_cores_default_to_process_peak(self):
+        plan = self._full_plan()
+        for wrap in plan.wraps:
+            assert plan.cores_for(wrap) == wrap.max_concurrent_processes
+        assert plan.total_cores == sum(
+            w.max_concurrent_processes for w in plan.wraps)
+
+    def test_explicit_cores_override(self):
+        w1 = Wrap(name="w1", stages=(StageAssignment(0, (proc("a"),)),))
+        plan = _plan([w1], cores={"w1": 4})
+        assert plan.cores_for(w1) == 4
+
+    def test_stage_wraps_order(self):
+        plan = self._full_plan()
+        parts = plan.stage_wraps(1)
+        assert [w.name for w, _ in parts] == ["w1", "w2"]
+        assert plan.processes_in_stage(1) == 2
+
+    def test_negative_pool_workers_rejected(self):
+        w1 = Wrap(name="w1", stages=(StageAssignment(0, (proc("a"),)),))
+        with pytest.raises(DeploymentError):
+            _plan([w1], pool_workers=-1)

@@ -1,0 +1,151 @@
+"""Tests for dynamic DAGs (the §7 Video-FFmpeg scenario, our extension)."""
+
+import pytest
+
+from repro.apps import video_ffmpeg
+from repro.core.dynamic import DynamicChironManager, DynamicChironPlatform
+from repro.errors import DeploymentError, WorkflowError
+from repro.workflow import FunctionBehavior, FunctionSpec, Stage
+from repro.workflow.dynamic import (
+    Branch,
+    DynamicWorkflow,
+    probabilistic_selector,
+)
+
+
+def _stage(name, *fns):
+    return Stage(name, [FunctionSpec(n, FunctionBehavior.cpu(d))
+                        for n, d in fns])
+
+
+def simple_dynamic():
+    return DynamicWorkflow(
+        "dyn",
+        prefix=(_stage("in", ("ingest", 2.0)),),
+        branches=(
+            Branch("heavy", (_stage("h", ("h-0", 20.0), ("h-1", 20.0)),)),
+            Branch("light", (_stage("l", ("l-0", 1.0),),)),
+        ),
+        suffix=(_stage("out", ("respond", 1.0)),))
+
+
+class TestDynamicWorkflow:
+    def test_variants_flatten_correctly(self):
+        dwf = simple_dynamic()
+        heavy = dwf.variant("heavy")
+        assert [s.name for s in heavy.stages] == ["in", "h", "out"]
+        assert heavy.num_functions == 4
+        light = dwf.variant("light")
+        assert light.num_functions == 3
+
+    def test_variant_names_are_distinct(self):
+        dwf = simple_dynamic()
+        names = {v.name for v in dwf.variants().values()}
+        assert names == {"dyn#heavy", "dyn#light"}
+
+    def test_max_parallelism_spans_branches(self):
+        assert simple_dynamic().max_parallelism == 2
+
+    def test_unknown_branch_rejected(self):
+        with pytest.raises(WorkflowError):
+            simple_dynamic().variant("ghost")
+
+    def test_duplicate_branch_names_rejected(self):
+        b = Branch("x", (_stage("s", ("f", 1.0)),))
+        b2 = Branch("x", (_stage("s2", ("g", 1.0)),))
+        with pytest.raises(WorkflowError):
+            DynamicWorkflow("d", prefix=(), branches=(b, b2))
+
+    def test_duplicate_function_across_prefix_and_branch_rejected(self):
+        # variant flattening must surface name collisions
+        with pytest.raises(WorkflowError):
+            DynamicWorkflow(
+                "d",
+                prefix=(_stage("p", ("same", 1.0)),),
+                branches=(Branch("b", (_stage("s", ("same", 1.0)),)),))
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(WorkflowError):
+            Branch("b", ())
+
+    def test_video_ffmpeg_shape(self):
+        dwf = video_ffmpeg(split_parallelism=4)
+        assert set(dwf.branch_names) == {"split", "simple"}
+        split = dwf.variant("split")
+        assert split.max_parallelism == 4
+        assert split.num_functions == 1 + 1 + 4 + 1 + 1
+        simple = dwf.variant("simple")
+        assert simple.num_functions == 3
+
+
+class TestSelector:
+    def test_probabilities_respected(self):
+        sel = probabilistic_selector({"a": 0.8, "b": 0.2}, seed=1)
+        picks = [sel(None) for _ in range(500)]
+        frac_a = picks.count("a") / len(picks)
+        assert 0.7 <= frac_a <= 0.9
+
+    def test_deterministic_given_seed(self):
+        s1 = probabilistic_selector({"a": 0.5, "b": 0.5}, seed=3)
+        s2 = probabilistic_selector({"a": 0.5, "b": 0.5}, seed=3)
+        assert [s1(None) for _ in range(20)] == [s2(None) for _ in range(20)]
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(WorkflowError):
+            probabilistic_selector({})
+        with pytest.raises(WorkflowError):
+            probabilistic_selector({"a": -1.0})
+
+
+class TestDynamicDeployment:
+    def test_plans_every_branch(self):
+        dwf = simple_dynamic()
+        deployment = DynamicChironManager().deploy(dwf, slo_ms=100.0)
+        assert set(deployment.plans) == {"heavy", "light"}
+        assert deployment.total_cores >= 2
+        assert deployment.worst_predicted_ms <= 100.0
+
+    def test_requests_route_by_selector(self):
+        dwf = simple_dynamic()
+        deployment = DynamicChironManager().deploy(dwf, slo_ms=100.0)
+        platform = DynamicChironPlatform(
+            deployment, probabilistic_selector({"heavy": 0.5, "light": 0.5},
+                                               seed=7))
+        for _ in range(20):
+            platform.run()
+        assert platform.routed["heavy"] + platform.routed["light"] == 20
+        assert platform.routed["heavy"] > 0 and platform.routed["light"] > 0
+
+    def test_branch_override_and_latency_gap(self):
+        dwf = simple_dynamic()
+        deployment = DynamicChironManager().deploy(dwf, slo_ms=100.0)
+        platform = DynamicChironPlatform(
+            deployment, probabilistic_selector({"heavy": 1.0}, seed=0))
+        heavy = platform.run(branch="heavy").latency_ms
+        light = platform.run(branch="light").latency_ms
+        assert heavy > 2 * light  # 40 ms of CPU vs 1 ms down the branch
+
+    def test_unknown_branch_from_selector_rejected(self):
+        dwf = simple_dynamic()
+        deployment = DynamicChironManager().deploy(dwf, slo_ms=100.0)
+        platform = DynamicChironPlatform(deployment, lambda _s: "ghost")
+        with pytest.raises(DeploymentError):
+            platform.run()
+
+    def test_video_ffmpeg_end_to_end(self):
+        dwf = video_ffmpeg()
+        deployment = DynamicChironManager().deploy(dwf, slo_ms=250.0)
+        platform = DynamicChironPlatform(
+            deployment,
+            probabilistic_selector({"split": 0.3, "simple": 0.7}, seed=11))
+        latencies = {"split": [], "simple": []}
+        for i in range(12):
+            chosen = "split" if i % 3 == 0 else "simple"
+            latencies[chosen].append(
+                platform.run(branch=chosen, seed=40 + i).latency_ms)
+        # every request met the planned SLO
+        for values in latencies.values():
+            assert all(v <= 250.0 for v in values)
+        # the split path is the heavier chain
+        assert (sum(latencies["split"]) / len(latencies["split"])
+                > sum(latencies["simple"]) / len(latencies["simple"]))

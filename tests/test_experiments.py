@@ -1,0 +1,83 @@
+"""Tests for the experiment harness and a few cheap end-to-end runs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.common import ExperimentResult, register
+
+EXPECTED_IDS = {
+    "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab01",
+    "overhead", "ablation-kl", "ablation-search", "ablation-packing",
+    "ablation-handoff", "ablation-longest-first",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert EXPECTED_IDS <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register("fig03")(lambda quick=False: None)
+
+
+class TestExperimentResult:
+    def test_add_checks_columns(self):
+        res = ExperimentResult("x", "t", columns=["a", "b"])
+        res.add(a=1, b=2)
+        with pytest.raises(ReproError):
+            res.add(a=1)
+
+    def test_column_extraction(self):
+        res = ExperimentResult("x", "t", columns=["a"])
+        res.add(a=1)
+        res.add(a=2)
+        assert res.column("a") == [1, 2]
+        with pytest.raises(ReproError):
+            res.column("zzz")
+
+    def test_table_renders_all_rows(self):
+        res = ExperimentResult("x", "title!", columns=["name", "value"],
+                               notes="hello")
+        res.add(name="alpha", value=1.5)
+        res.add(name="beta", value=2.0)
+        table = res.to_table()
+        assert "title!" in table
+        assert "alpha" in table and "beta" in table
+        assert "note: hello" in table
+
+
+class TestQuickRuns:
+    """Cheap experiments run end-to-end in quick mode."""
+
+    def test_fig04_shape(self):
+        res = run_experiment("fig04", quick=True)
+        assert len(res.rows) == 4
+        assert all(row["asf_s3_ms"] > row["openfaas_minio_ms"]
+                   for row in res.rows)
+
+    def test_tab01_shape(self):
+        res = run_experiment("tab01", quick=True)
+        mechanisms = {row["mechanism"] for row in res.rows}
+        assert mechanisms == {"sfi", "mpk"}
+
+    def test_fig07_shape(self):
+        res = run_experiment("fig07", quick=True)
+        assert [row["cpus"] for row in res.rows] == [4, 3, 2, 1]
+
+    def test_fig05_produces_gantt(self):
+        res = run_experiment("fig05", quick=True)
+        assert "process mode" in res.notes
+        assert "thread mode" in res.notes
+        assert len(res.rows) == 10  # 5 functions x 2 modes
+
+    def test_overhead_components_present(self):
+        res = run_experiment("overhead", quick=True)
+        components = {row["component"] for row in res.rows}
+        assert {"profiler", "pgp-scheduler", "generator"} <= components

@@ -1,0 +1,131 @@
+"""Tests for ML feature extraction and shared-cpuset wrap prediction."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.mlkit.features import (
+    FUNCTION_FEATURE_DIM,
+    graph_features,
+    sequence_features,
+    vector_features,
+)
+from repro.workflow import FunctionBehavior, FunctionSpec, Stage, Workflow
+
+CAL = RuntimeCalibration.native()
+
+
+def _workflow(n=4, cpu=5.0):
+    return Workflow("wf", [Stage("s0", [
+        FunctionSpec(f"f{i}", FunctionBehavior.of(("cpu", cpu), ("io", 2.0)))
+        for i in range(n)])])
+
+
+def _plan(wf, groups, modes=None, cores=None):
+    procs = []
+    for i, g in enumerate(groups):
+        mode = modes[i] if modes else (
+            ExecMode.THREAD if i == 0 else ExecMode.PROCESS)
+        procs.append(ProcessAssignment(tuple(g), mode))
+    wrap = Wrap(name="w1", stages=(StageAssignment(0, tuple(procs)),))
+    return DeploymentPlan(workflow_name="wf", wraps=(wrap,),
+                          cores=cores or {})
+
+
+class TestFeatureExtraction:
+    def test_vector_width_is_stable(self):
+        wf = _workflow(4)
+        plan = _plan(wf, [["f0", "f1"], ["f2", "f3"]])
+        vec = vector_features(wf, plan, max_functions=6)
+        assert vec.shape == (6 * FUNCTION_FEATURE_DIM + 6,)
+
+    def test_vector_padding_for_small_plans(self):
+        wf = _workflow(2)
+        plan = _plan(wf, [["f0", "f1"]])
+        vec = vector_features(wf, plan, max_functions=5)
+        per_fn = vec[:5 * FUNCTION_FEATURE_DIM].reshape(5, -1)
+        # rows beyond the 2 real functions are zero padding
+        assert np.allclose(per_fn[2:], 0.0)
+
+    def test_vector_deterministic_ordering(self):
+        wf = _workflow(4)
+        a = vector_features(wf, _plan(wf, [["f0", "f1"], ["f2", "f3"]]), 4)
+        b = vector_features(wf, _plan(wf, [["f1", "f0"], ["f3", "f2"]]), 4)
+        # rows sort by solo latency, so intra-process order is irrelevant
+        assert np.allclose(a, b)
+
+    def test_mode_encoded_in_features(self):
+        wf = _workflow(2)
+        threads = _plan(wf, [["f0", "f1"]], modes=[ExecMode.THREAD])
+        procs = _plan(wf, [["f0", "f1"]], modes=[ExecMode.PROCESS])
+        assert not np.allclose(vector_features(wf, threads, 2),
+                               vector_features(wf, procs, 2))
+
+    def test_sequence_shape(self):
+        wf = _workflow(3)
+        seq = sequence_features(wf, _plan(wf, [["f0", "f1", "f2"]]), 3)
+        assert seq.shape == (3, FUNCTION_FEATURE_DIM)
+
+    def test_graph_structure(self):
+        wf = _workflow(4)
+        plan = _plan(wf, [["f0", "f1"], ["f2", "f3"]])
+        adj, nodes = graph_features(wf, plan)
+        # workflow + 1 stage + 2 processes + 4 functions = 8 nodes
+        assert nodes.shape == (8, FUNCTION_FEATURE_DIM)
+        assert adj.shape == (8, 8)
+        assert np.allclose(adj, adj.T)
+        # containment edges only: workflow-stage(1) + stage-proc(2) +
+        # proc-fn(4) = 7 undirected edges
+        assert adj.sum() == pytest.approx(2 * 7)
+
+
+class TestSharedCpusetPrediction:
+    def test_shared_equals_dedicated_when_cores_suffice(self):
+        wf = _workflow(3)
+        sa = _plan(wf, [["f0"], ["f1"], ["f2"]]).wraps[0].stages[0]
+        p = LatencyPredictor(CAL)
+        dedicated = p.predict_wrap_stage(sa, wf)
+        shared = p.predict_wrap_stage_shared(sa, wf, cores=3)
+        assert shared == pytest.approx(dedicated, rel=0.15)
+
+    def test_fewer_cores_predicts_slower(self):
+        wf = _workflow(4, cpu=20.0)
+        sa = _plan(wf, [["f0"], ["f1"], ["f2"], ["f3"]],
+                   modes=[ExecMode.PROCESS] * 4).wraps[0].stages[0]
+        p = LatencyPredictor(CAL)
+        lat = [p.predict_wrap_stage_shared(sa, wf, cores=c)
+               for c in (4, 2, 1)]
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_predict_stage_uses_shared_model_when_trimmed(self):
+        wf = _workflow(4, cpu=20.0)
+        full = _plan(wf, [["f0"], ["f1"], ["f2"], ["f3"]],
+                     modes=[ExecMode.PROCESS] * 4, cores={"w1": 4})
+        trimmed = _plan(wf, [["f0"], ["f1"], ["f2"], ["f3"]],
+                        modes=[ExecMode.PROCESS] * 4, cores={"w1": 1})
+        p = LatencyPredictor(CAL)
+        assert (p.predict_stage(trimmed, wf, 0)
+                > p.predict_stage(full, wf, 0) * 1.5)
+
+    def test_trim_cores_respects_slo_against_runtime(self):
+        """trim_cores' shared-model predictions hold up in the simulator."""
+        from repro.platforms import ChironPlatform
+
+        wf = _workflow(6, cpu=15.0)
+        sched = PGPScheduler(LatencyPredictor(CAL, conservatism=1.1))
+        slo = 80.0
+        plan = sched.schedule(wf, slo)
+        trimmed = sched.trim_cores(wf, plan, slo)
+        assert trimmed.total_cores <= plan.total_cores
+        if (trimmed.predicted_latency_ms or 0) <= slo:
+            measured = ChironPlatform(trimmed, CAL).run(wf).latency_ms
+            assert measured <= slo * 1.05

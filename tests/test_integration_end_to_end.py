@@ -1,0 +1,100 @@
+"""End-to-end integration: the full Chiron lifecycle across subsystems.
+
+workflow JSON -> profile -> PGP plan -> JSON persistence -> simulated
+execution -> real (thread/process) execution -> cost/throughput accounting,
+all on one deployment.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ChironManager, plan_from_json, plan_to_json
+from repro.localexec import LocalExecutor
+from repro.metrics import CostModel, throughput_report
+from repro.platforms import ChironPlatform, FaastlanePlatform
+from repro.workflow import from_state_machine, to_state_machine
+
+PIPELINE = {
+    "Comment": "etl-pipeline",
+    "StartAt": "Extract",
+    "States": {
+        "Extract": {"Type": "Task",
+                    "Behavior": {"segments": [["cpu", 1.0], ["io", 6.0]],
+                                 "data_out_mb": 0.2},
+                    "Next": "Transform"},
+        "Transform": {"Type": "Parallel", "Next": "Load",
+                      "Branches": [
+                          {"Name": f"shard-{i}",
+                           "Behavior": {"segments": [["cpu", 4.0],
+                                                     ["io", 1.0]]}}
+                          for i in range(6)]},
+        "Load": {"Type": "Task",
+                 "Behavior": {"segments": [["cpu", 0.5], ["io", 5.0]]},
+                 "End": True},
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    workflow = from_state_machine(json.dumps(PIPELINE))
+    manager = ChironManager()
+    deployment = manager.deploy(workflow, slo_ms=60.0)
+    return workflow, deployment
+
+
+class TestLifecycle:
+    def test_state_machine_round_trip(self, lifecycle):
+        workflow, _ = lifecycle
+        again = from_state_machine(to_state_machine(workflow))
+        assert [len(s) for s in again.stages] == [1, 6, 1]
+
+    def test_plan_meets_slo_in_simulation(self, lifecycle):
+        workflow, deployment = lifecycle
+        platform = ChironPlatform(deployment.plan)
+        latency = platform.average_latency_ms(workflow, repeats=8)
+        assert latency <= 60.0
+        assert deployment.plan.predicted_latency_ms <= 60.0
+
+    def test_plan_survives_json_and_behaves_identically(self, lifecycle):
+        workflow, deployment = lifecycle
+        restored = plan_from_json(plan_to_json(deployment.plan))
+        a = ChironPlatform(deployment.plan).run(workflow, seed=5).latency_ms
+        b = ChironPlatform(restored).run(workflow, seed=5).latency_ms
+        assert a == b
+
+    def test_generated_code_compiles_for_every_wrap(self, lifecycle):
+        _, deployment = lifecycle
+        assert deployment.orchestrator_sources
+        for name, source in deployment.orchestrator_sources.items():
+            compile(source, f"<{name}>", "exec")
+
+    def test_real_execution_runs_the_same_plan(self, lifecycle):
+        workflow, deployment = lifecycle
+        # scale down so the real run stays fast on any machine
+        small = workflow.map_behaviors(
+            lambda b: b.scaled(cpu_factor=0.25, io_factor=0.25))
+        with LocalExecutor(small, deployment.plan) as executor:
+            result = executor.run()
+        assert set(result.function_ms) == {f.name for f in workflow.functions}
+        assert result.latency_ms > 0
+
+    def test_accounting_is_consistent(self, lifecycle):
+        workflow, deployment = lifecycle
+        chiron = ChironPlatform(deployment.plan)
+        faastlane = FaastlanePlatform()
+        cost = CostModel()
+        c_cost = cost.request_cost(chiron, workflow).total_usd
+        f_cost = cost.request_cost(faastlane, workflow).total_usd
+        assert c_cost < f_cost
+        c_rep = throughput_report(chiron, workflow)
+        f_rep = throughput_report(faastlane, workflow)
+        assert c_rep.rps > f_rep.rps
+
+    def test_refresh_keeps_slo(self, lifecycle):
+        workflow, deployment = lifecycle
+        manager = ChironManager()
+        refreshed = manager.refresh(deployment)
+        assert refreshed.plan.slo_ms == 60.0
+        refreshed.plan.validate(refreshed.profiled_workflow)

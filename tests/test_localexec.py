@@ -1,0 +1,156 @@
+"""Tests for the real (non-simulated) execution engine."""
+
+import time
+
+import pytest
+
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.errors import DeploymentError, ProfilingError
+from repro.localexec import (
+    FunctionRegistry,
+    LocalExecutor,
+    RealProfiler,
+    synthesize,
+    synthesize_workflow,
+)
+from repro.localexec.functions import activate_registry, call_function
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+
+def tiny_workflow(parallel=3, cpu_ms=2.0, io_ms=3.0):
+    return (WorkflowBuilder("tiny")
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 1.0), ("io", 2.0))))
+            .parallel("fan", [(f"w-{i}", FunctionBehavior.of(
+                ("cpu", cpu_ms), ("io", io_ms))) for i in range(parallel)])
+            .build())
+
+
+def thread_plan(wf):
+    wraps = (Wrap(name="w1", stages=tuple(
+        StageAssignment(i, (ProcessAssignment(
+            tuple(f.name for f in stage), ExecMode.THREAD),))
+        for i, stage in enumerate(wf.stages))),)
+    return DeploymentPlan(workflow_name=wf.name, wraps=wraps)
+
+
+class TestSynthesizedFunctions:
+    def test_cpu_spin_takes_roughly_requested_time(self):
+        fn = synthesize(FunctionBehavior.cpu(20.0))
+        t0 = time.perf_counter()
+        fn({})
+        elapsed = (time.perf_counter() - t0) * 1e3
+        assert 15.0 <= elapsed <= 120.0  # generous: shared CI box
+
+    def test_io_sleep_takes_roughly_requested_time(self):
+        fn = synthesize(FunctionBehavior.io(20.0))
+        t0 = time.perf_counter()
+        fn({})
+        elapsed = (time.perf_counter() - t0) * 1e3
+        assert 18.0 <= elapsed <= 120.0
+
+    def test_state_dict_tagged(self):
+        fn = synthesize(FunctionBehavior.cpu(0.1), name="probe")
+        assert fn({})["probe"] == "done"
+
+    def test_registry_duplicate_rejected(self):
+        reg = FunctionRegistry()
+        reg.register("a", lambda s: s)
+        with pytest.raises(DeploymentError):
+            reg.register("a", lambda s: s)
+
+    def test_registry_unknown_rejected(self):
+        with pytest.raises(DeploymentError):
+            FunctionRegistry().get("ghost")
+
+    def test_call_function_dispatch(self):
+        wf = tiny_workflow()
+        reg = synthesize_workflow(wf)
+        activate_registry(reg)
+        out = call_function("prep", {})
+        assert out["prep"] == "done"
+        out = call_function(("w-0", "w-1"), {})
+        assert out["w-0"] == "done" and out["w-1"] == "done"
+
+
+class TestLocalExecutor:
+    def test_thread_plan_runs_everything(self):
+        wf = tiny_workflow()
+        with LocalExecutor(wf, thread_plan(wf)) as execu:
+            result = execu.run()
+        assert set(result.function_ms) == {f.name for f in wf.functions}
+        assert result.latency_ms >= 3.0  # at least the io floor
+
+    def test_pgp_plan_runs_on_real_executor(self):
+        wf = tiny_workflow()
+        plan = PGPScheduler(LatencyPredictor()).schedule(wf, slo_ms=1000.0)
+        with LocalExecutor(wf, plan) as execu:
+            result = execu.run()
+        assert set(result.function_ms) == {f.name for f in wf.functions}
+
+    def test_forked_plan_uses_real_processes(self):
+        wf = tiny_workflow(parallel=2)
+        wraps = (Wrap(name="w1", stages=(
+            StageAssignment(0, (ProcessAssignment(("prep",),
+                                                  ExecMode.THREAD),)),
+            StageAssignment(1, (
+                ProcessAssignment(("w-0",), ExecMode.PROCESS),
+                ProcessAssignment(("w-1",), ExecMode.PROCESS),
+            )),
+        )),)
+        plan = DeploymentPlan(workflow_name=wf.name, wraps=wraps)
+        with LocalExecutor(wf, plan) as execu:
+            result = execu.run()
+        assert "w-0" in result.function_ms and "w-1" in result.function_ms
+
+    def test_pool_plan_executes(self):
+        wf = tiny_workflow(parallel=2)
+        wrap = Wrap(name="wp", stages=tuple(
+            StageAssignment(i, (ProcessAssignment(
+                tuple(f.name for f in stage), ExecMode.POOL),))
+            for i, stage in enumerate(wf.stages)))
+        plan = DeploymentPlan(workflow_name=wf.name, wraps=(wrap,),
+                              pool_workers=2)
+        with LocalExecutor(wf, plan) as execu:
+            result = execu.run()
+        assert set(result.function_ms) == {f.name for f in wf.functions}
+
+    def test_missing_registry_function_rejected(self):
+        wf = tiny_workflow()
+        reg = FunctionRegistry()  # empty
+        with pytest.raises(DeploymentError):
+            LocalExecutor(wf, thread_plan(wf), registry=reg)
+
+    def test_plan_workflow_mismatch_rejected(self):
+        wf = tiny_workflow()
+        other = tiny_workflow(parallel=4)
+        with pytest.raises(DeploymentError):
+            LocalExecutor(other, thread_plan(wf))
+
+
+class TestRealProfiler:
+    def test_recovers_cpu_io_split(self):
+        behavior = FunctionBehavior.of(("cpu", 8.0), ("io", 15.0))
+        fn = synthesize(behavior, "probe")
+        prof = RealProfiler(repeats=2).profile("probe", fn)
+        assert prof.solo_latency_ms == pytest.approx(23.0, rel=0.6)
+        # block periods detected and dominate appropriately
+        assert prof.behavior.io_ms == pytest.approx(15.0, rel=0.4)
+        assert prof.behavior.cpu_ms > 0
+
+    def test_pure_cpu_has_no_block_periods(self):
+        fn = synthesize(FunctionBehavior.cpu(5.0), "cpu-only")
+        prof = RealProfiler(repeats=1).profile("cpu-only", fn)
+        assert prof.behavior.io_ms == 0.0
+
+    def test_repeats_validated(self):
+        with pytest.raises(ProfilingError):
+            RealProfiler(repeats=0)

@@ -1,0 +1,208 @@
+"""Tests for the from-scratch ML kit, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.mlkit import (
+    DecisionTreeRegressor,
+    GCNRegressor,
+    LSTMRegressor,
+    RandomForestRegressor,
+    mean_absolute_percentage_error,
+)
+from repro.mlkit.gnn import normalize_adjacency
+from repro.mlkit.metrics import absolute_percentage_errors
+from repro.mlkit.optim import Adam
+
+
+def make_regression(n=120, d=5, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, d))
+    y = (3.0 * X[:, 0] - 2.0 * X[:, 1] ** 2 + X[:, 2] * X[:, 3]
+         + noise * rng.normal(size=n))
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_piecewise_constant_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_reduces_error_vs_mean_predictor(self):
+        X, y = make_regression()
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.5 * y.var()
+
+    def test_depth_one_is_a_stump(self):
+        X, y = make_regression(n=60)
+        stump = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert len(np.unique(stump.predict(X))) <= 2
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ReproError):
+            DecisionTreeRegressor().predict(np.zeros((1, 3)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ReproError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_constant_targets_yield_leaf(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.full(20, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), 7.0)
+
+    def test_single_row_prediction_shape(self):
+        X, y = make_regression(n=30)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.predict(X[0]).shape == (1,)
+
+
+class TestRandomForest:
+    def test_beats_single_deep_tree_on_holdout(self):
+        X, y = make_regression(n=200, noise=0.3)
+        Xtr, ytr, Xte, yte = X[:150], y[:150], X[150:], y[150:]
+        tree = DecisionTreeRegressor(max_depth=10).fit(Xtr, ytr)
+        forest = RandomForestRegressor(n_estimators=40, max_depth=10,
+                                       seed=1).fit(Xtr, ytr)
+        mse_tree = np.mean((tree.predict(Xte) - yte) ** 2)
+        mse_forest = np.mean((forest.predict(Xte) - yte) ** 2)
+        assert mse_forest <= mse_tree * 1.05  # bagging shouldn't be worse
+
+    def test_deterministic_given_seed(self):
+        X, y = make_regression(n=50)
+        a = RandomForestRegressor(n_estimators=5, seed=3).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        params = {"x": np.array([5.0])}
+        opt = Adam(params, lr=0.1)
+        for _ in range(500):
+            opt.step({"x": 2 * params["x"]})  # d/dx x^2
+        assert abs(params["x"][0]) < 1e-2
+
+    def test_unknown_grad_rejected(self):
+        opt = Adam({"x": np.zeros(1)})
+        with pytest.raises(ReproError):
+            opt.step({"y": np.zeros(1)})
+
+
+class TestLSTM:
+    def test_gradient_check(self):
+        """BPTT gradients match central finite differences."""
+        model = LSTMRegressor(input_dim=2, hidden_dim=4, seed=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 2))
+        target = 1.3
+        _, grads = model.loss_and_grads(x, target)
+        eps = 1e-6
+        for key in ("Wx", "Wh", "b", "w_out", "b_out"):
+            param = model.params[key]
+            flat_idx = [0, param.size // 2, param.size - 1]
+            for idx in flat_idx:
+                orig = param.flat[idx]
+                param.flat[idx] = orig + eps
+                lp, _ = model.loss_and_grads(x, target)
+                param.flat[idx] = orig - eps
+                lm, _ = model.loss_and_grads(x, target)
+                param.flat[idx] = orig
+                numeric = (lp - lm) / (2 * eps)
+                assert grads[key].flat[idx] == pytest.approx(
+                    numeric, rel=1e-3, abs=1e-6), key
+
+    def test_learns_sum_of_sequence(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(60, 4))
+        y = X.sum(axis=1)
+        model = LSTMRegressor(input_dim=1, hidden_dim=8, epochs=80, seed=0)
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.25 * y.var()
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ReproError):
+            LSTMRegressor(input_dim=1).predict(np.zeros((1, 3)))
+
+    def test_input_dim_checked(self):
+        model = LSTMRegressor(input_dim=2)
+        with pytest.raises(ReproError):
+            model.fit(np.zeros((4, 3, 3)), np.zeros(4))
+
+
+class TestGCN:
+    def _toy_graph(self, seed=0, n=6):
+        rng = np.random.default_rng(seed)
+        adj = (rng.uniform(size=(n, n)) < 0.4).astype(float)
+        adj = np.triu(adj, 1)
+        adj = adj + adj.T
+        x = rng.normal(size=(n, 3))
+        return adj, x
+
+    def test_normalize_adjacency_rows_bounded(self):
+        adj, _ = self._toy_graph()
+        a_hat = normalize_adjacency(adj)
+        assert np.all(a_hat >= 0)
+        assert a_hat.shape == adj.shape
+        # symmetric normalization keeps symmetry
+        assert np.allclose(a_hat, a_hat.T)
+
+    def test_bad_adjacency_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_adjacency(np.zeros((2, 3)))
+
+    def test_gradient_check(self):
+        model = GCNRegressor(input_dim=3, hidden_dim=4, seed=5)
+        adj, x = self._toy_graph(seed=3)
+        target = 0.7
+        _, grads = model.loss_and_grads(adj, x, target)
+        eps = 1e-6
+        for key in ("W1", "W2", "w_out", "b_out"):
+            param = model.params[key]
+            for idx in [0, param.size - 1]:
+                orig = param.flat[idx]
+                param.flat[idx] = orig + eps
+                lp, _ = model.loss_and_grads(adj, x, target)
+                param.flat[idx] = orig - eps
+                lm, _ = model.loss_and_grads(adj, x, target)
+                param.flat[idx] = orig
+                numeric = (lp - lm) / (2 * eps)
+                assert grads[key].flat[idx] == pytest.approx(
+                    numeric, rel=1e-3, abs=1e-6), key
+
+    def test_learns_mean_feature_signal(self):
+        rng = np.random.default_rng(4)
+        graphs, targets = [], []
+        for i in range(40):
+            adj, x = self._toy_graph(seed=100 + i)
+            graphs.append((adj, x))
+            targets.append(float(x[:, 0].mean() * 3.0 + 1.0))
+        y = np.array(targets)
+        model = GCNRegressor(input_dim=3, hidden_dim=8, epochs=120, seed=0)
+        model.fit(graphs, y)
+        pred = model.predict(graphs)
+        assert np.mean((pred - y) ** 2) < 0.3 * y.var()
+
+
+class TestMetrics:
+    def test_mape_basic(self):
+        assert mean_absolute_percentage_error(
+            [100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_mape_rejects_nonpositive_truth(self):
+        with pytest.raises(ReproError):
+            mean_absolute_percentage_error([0.0], [1.0])
+
+    def test_per_sample_errors(self):
+        errs = absolute_percentage_errors([100.0, 50.0], [90.0, 55.0])
+        assert np.allclose(errs, [10.0, 10.0])

@@ -1,0 +1,90 @@
+"""Cross-validation: the white-box Predictor vs the simulated runtime.
+
+The predictor (Algorithm 1 + Eq. 1-4) and the DES runtime are independent
+implementations of the same mechanisms; Figure 12's headline (6.7 % mean
+error) only makes sense if they track each other across arbitrary
+workloads and plans.  These property tests pin that agreement.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.platforms import ChironPlatform
+from repro.workflow import random_workflow
+
+CAL = RuntimeCalibration.native()
+
+
+def agreement(wf, plan, repeats=1):
+    predictor = LatencyPredictor(CAL, conservatism=1.0)
+    predicted = predictor.predict_workflow(wf, plan)
+    platform = ChironPlatform(plan, CAL)
+    if repeats == 1:
+        measured = platform.run(wf).latency_ms  # jitter-free median run
+    else:
+        measured = platform.average_latency_ms(wf, repeats=repeats)
+    return predicted, measured
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(min_value=0, max_value=500),
+       slo_scale=st.sampled_from([0.6, 1.5, 4.0]))
+def test_property_prediction_tracks_runtime(seed, slo_scale):
+    """Jitter-free runs stay within 25 % of the prediction."""
+    wf = random_workflow(seed, max_stages=3, max_parallelism=6,
+                         max_segment_ms=12.0)
+    slo = max(wf.critical_path_ms * slo_scale, 5.0)
+    plan = PGPScheduler(LatencyPredictor(CAL)).schedule(wf, slo)
+    predicted, measured = agreement(wf, plan)
+    assert predicted == pytest.approx(measured, rel=0.25, abs=3.0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_property_prediction_tracks_forked_plans(seed):
+    """Agreement also holds when every group forks (process-only plans)."""
+    wf = random_workflow(seed, max_stages=2, max_parallelism=6,
+                         max_segment_ms=10.0)
+    sched = PGPScheduler(LatencyPredictor(CAL),
+                         options=PGPOptions(orchestrator_threads=False))
+    plan = sched.schedule(wf, wf.critical_path_ms * 1.2)
+    predicted, measured = agreement(wf, plan)
+    assert predicted == pytest.approx(measured, rel=0.30, abs=5.0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_property_pool_prediction_tracks_runtime(seed):
+    wf = random_workflow(seed, max_stages=2, max_parallelism=5,
+                         max_segment_ms=10.0)
+    sched = PGPScheduler(LatencyPredictor(CAL))
+    plan = sched.schedule_pool(wf, wf.total_work_ms * 2)
+    predicted, measured = agreement(wf, plan)
+    assert predicted == pytest.approx(measured, rel=0.35, abs=5.0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_property_prediction_never_wildly_low(seed):
+    """The predictor must not underestimate by more than ~20 % — PGP's SLO
+    guarantee (Figure 14) rests on this one-sidedness plus conservatism."""
+    wf = random_workflow(seed, max_stages=3, max_parallelism=5,
+                         max_segment_ms=10.0)
+    plan = PGPScheduler(LatencyPredictor(CAL)).schedule(
+        wf, wf.critical_path_ms * 2.0)
+    predicted, measured = agreement(wf, plan)
+    assert predicted >= 0.8 * measured
+
+
+def test_agreement_on_the_paper_workloads():
+    """Point check on the calibrated apps (tighter tolerance)."""
+    from repro.apps import finra, movie_review, social_network
+
+    for wf in (social_network(), movie_review(), finra(25)):
+        plan = PGPScheduler(LatencyPredictor(CAL)).schedule(
+            wf, wf.critical_path_ms * 3)
+        predicted, measured = agreement(wf, plan, repeats=5)
+        assert predicted == pytest.approx(measured, rel=0.15)

@@ -1,0 +1,281 @@
+"""Tests for gateway/ASF invocation paths, IPC, storage and isolation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.calibration import (
+    ASF_DISPATCH_LATENCY_MS,
+    RuntimeCalibration,
+)
+from repro.errors import IsolationFault, SimulationError
+from repro.runtime.isolation import (
+    MPK,
+    NATIVE,
+    SFI,
+    AccessMode,
+    MpkDomain,
+    private_arenas_for,
+)
+from repro.runtime.memory import SandboxFootprint, deployment_memory_mb, sandbox_memory_mb
+from repro.runtime.network import ASFDispatcher, Gateway, ipc_collect
+from repro.runtime.storage import StorageService
+from repro.simcore import Environment
+from repro.workflow import FunctionBehavior
+
+CAL = RuntimeCalibration.native()
+
+
+class TestGateway:
+    def test_single_invocation_cost(self):
+        env = Environment()
+        gw = Gateway(env, CAL)
+
+        def call(env):
+            yield from gw.invoke()
+
+        env.process(call(env))
+        env.run()
+        expected = (CAL.gateway_service_base_ms
+                    + CAL.gateway_service_per_inflight_ms + CAL.t_rpc_ms)
+        assert env.now == pytest.approx(expected)
+        assert gw.invocations == 1
+
+    def test_contention_raises_per_invocation_cost(self):
+        """The superlinear Figure 3 effect: more in-flight -> slower each."""
+
+        def overhead(n):
+            env = Environment()
+            gw = Gateway(env, CAL)
+
+            def call(env):
+                yield from gw.invoke()
+
+            for _ in range(n):
+                env.process(call(env))
+            env.run()
+            return env.now
+
+        assert overhead(50) > overhead(5) > overhead(1)
+
+    def test_payload_transfer_cost(self):
+        env = Environment()
+        gw = Gateway(env, CAL)
+
+        def call(env):
+            yield from gw.invoke(payload_mb=15.0)
+
+        env.process(call(env))
+        env.run()
+        assert env.now >= 15.0 / CAL.pipe_bandwidth_mb_per_ms
+
+
+class TestASF:
+    def test_first_dispatch_costs_dispatch_latency(self):
+        env = Environment()
+        asf = ASFDispatcher(env)
+
+        def call(env):
+            yield from asf.dispatch(0)
+
+        env.process(call(env))
+        env.run()
+        assert env.now == pytest.approx(ASF_DISPATCH_LATENCY_MS)
+        assert asf.transitions == 1
+
+    def test_parallel_stage_scheduling_overhead_shape(self):
+        """Figure 3: ~150 ms at 5 branches, ~1.6 s at 50."""
+
+        def stage_overhead(n):
+            env = Environment()
+            asf = ASFDispatcher(env)
+
+            def branch(env, i):
+                yield from asf.dispatch(i)
+
+            for i in range(n):
+                env.process(branch(env, i))
+            env.run()
+            return env.now
+
+        t5, t25, t50 = stage_overhead(5), stage_overhead(25), stage_overhead(50)
+        assert t5 == pytest.approx(150 + 4 * 31, rel=0.05)
+        assert 600 <= t25 <= 1100
+        assert 1300 <= t50 <= 2000
+        assert t50 / t5 > 4  # strongly superlinear vs parallelism
+
+
+class TestIpc:
+    def test_pairs_scaling(self):
+        env = Environment()
+
+        def run(env):
+            yield from ipc_collect(env, n_processes=5, data_mb=0.0, cal=CAL)
+
+        env.process(run(env))
+        env.run()
+        assert env.now == pytest.approx(4 * CAL.t_ipc_ms)
+
+    def test_single_process_free(self):
+        env = Environment()
+
+        def run(env):
+            yield from ipc_collect(env, n_processes=1, data_mb=0.0, cal=CAL)
+
+        env.process(run(env))
+        env.run()
+        assert env.now == pytest.approx(0.0)
+
+    def test_data_streaming_cost(self):
+        env = Environment()
+
+        def run(env):
+            yield from ipc_collect(env, n_processes=2, data_mb=3.0, cal=CAL)
+
+        env.process(run(env))
+        env.run()
+        assert env.now == pytest.approx(
+            CAL.t_ipc_ms + 3.0 / CAL.pipe_bandwidth_mb_per_ms)
+
+
+class TestStorage:
+    def test_s3_smallest_exchange_hits_52ms_floor(self):
+        env = Environment()
+        s3 = StorageService.s3(env)
+        assert s3.exchange_latency_ms(1e-6) == pytest.approx(52.0, rel=0.01)
+
+    def test_s3_1gb_exchange_about_25s(self):
+        env = Environment()
+        s3 = StorageService.s3(env)
+        assert s3.exchange_latency_ms(1024.0) == pytest.approx(25652.0, rel=0.02)
+
+    def test_minio_much_faster_locally(self):
+        env = Environment()
+        s3 = StorageService.s3(env)
+        minio = StorageService.minio(env)
+        for mb in (1e-6, 1.0, 1024.0):
+            assert minio.exchange_latency_ms(mb) < s3.exchange_latency_ms(mb)
+
+    def test_simulated_exchange_matches_closed_form(self):
+        env = Environment()
+        minio = StorageService.minio(env)
+
+        def run(env):
+            yield from minio.exchange(10.0)
+
+        env.process(run(env))
+        env.run()
+        assert env.now == pytest.approx(minio.exchange_latency_ms(10.0))
+        assert minio.operations == 2
+        assert minio.bytes_moved_mb == pytest.approx(20.0)
+
+    def test_negative_payload_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            StorageService.s3(env).op_latency_ms(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=4096.0))
+    def test_property_monotone_in_size(self, mb):
+        env = Environment()
+        s3 = StorageService.s3(env)
+        assert s3.exchange_latency_ms(mb + 1.0) > s3.exchange_latency_ms(mb)
+
+
+class TestIsolationCosts:
+    def test_table1_ordering_mpk_cheaper_than_sfi(self):
+        fib = FunctionBehavior.cpu(10.0)
+        disk = FunctionBehavior.of(("cpu", 2.0), ("io", 8.0))
+        for behavior in (fib, disk):
+            assert (MPK.function_latency_ms(behavior)
+                    < SFI.function_latency_ms(behavior))
+            assert (NATIVE.function_latency_ms(behavior)
+                    < MPK.function_latency_ms(behavior))
+
+    def test_exec_overhead_percentages(self):
+        fib = FunctionBehavior.cpu(100.0)
+        assert SFI.apply(fib).solo_ms == pytest.approx(152.9)
+        assert MPK.apply(fib).solo_ms == pytest.approx(135.2)
+
+
+class TestMpkDomain:
+    def test_private_arena_blocks_other_threads(self):
+        dom = MpkDomain()
+        arenas = private_arenas_for(dom, ["t1", "t2"])
+        dom.write("t1", arenas["t1"], "secret", 42)
+        assert dom.read("t1", arenas["t1"], "secret") == 42
+        with pytest.raises(IsolationFault):
+            dom.read("t2", arenas["t1"], "secret")
+        with pytest.raises(IsolationFault):
+            dom.write("t2", arenas["t1"], "secret", 0)
+
+    def test_grant_enables_access(self):
+        dom = MpkDomain()
+        arenas = private_arenas_for(dom, ["t1", "t2"])
+        dom.grant("t2", dom.key_of(arenas["t1"]), AccessMode.READ)
+        dom.write("t1", arenas["t1"], "x", "shared")
+        assert dom.read("t2", arenas["t1"], "x") == "shared"
+        with pytest.raises(IsolationFault):
+            dom.write("t2", arenas["t1"], "x", "nope")  # read-only grant
+
+    def test_revoke_removes_access(self):
+        dom = MpkDomain()
+        key = dom.create_arena("a")
+        dom.grant("t", key)
+        dom.write("t", "a", "v", 1)
+        dom.revoke("t", key)
+        with pytest.raises(IsolationFault):
+            dom.read("t", "a", "v")
+
+    def test_key_exhaustion(self):
+        dom = MpkDomain()
+        for i in range(15):  # keys 1..15
+            dom.create_arena(f"a{i}")
+        with pytest.raises(IsolationFault):
+            dom.create_arena("one-too-many")
+
+    def test_duplicate_arena_rejected(self):
+        dom = MpkDomain()
+        dom.create_arena("a")
+        with pytest.raises(IsolationFault):
+            dom.create_arena("a")
+
+    def test_unknown_arena_rejected(self):
+        with pytest.raises(IsolationFault):
+            MpkDomain().key_of("ghost")
+
+    def test_missing_field_faults(self):
+        dom = MpkDomain()
+        key = dom.create_arena("a")
+        dom.grant("t", key)
+        with pytest.raises(IsolationFault):
+            dom.read("t", "a", "missing")
+
+
+class TestMemoryModel:
+    def test_one_to_one_duplicates_runtime(self):
+        """N single-function sandboxes cost ~N runtimes; one shared sandbox
+        costs ~1 runtime + deltas (Observation 4's redundancy)."""
+        n = 10
+        one_to_one = [SandboxFootprint(functions=1) for _ in range(n)]
+        many_to_one = [SandboxFootprint(functions=n, processes=n)]
+        m1 = deployment_memory_mb(one_to_one, CAL)
+        m2 = deployment_memory_mb(many_to_one, CAL)
+        assert m2 < m1 * 0.35  # >65% saving from de-duplication
+
+    def test_threads_cheaper_than_processes(self):
+        procs = SandboxFootprint(functions=10, processes=10)
+        threads = SandboxFootprint(functions=10, processes=1, threads=10)
+        assert (sandbox_memory_mb(threads, CAL)
+                < sandbox_memory_mb(procs, CAL))
+
+    def test_pool_workers_expensive(self):
+        pool = SandboxFootprint(functions=10, processes=1, pool_workers=10)
+        threads = SandboxFootprint(functions=10, processes=1, threads=10)
+        assert (sandbox_memory_mb(pool, CAL)
+                > 3 * sandbox_memory_mb(threads, CAL))
+
+    def test_invalid_footprint(self):
+        from repro.errors import DeploymentError
+        with pytest.raises(DeploymentError):
+            SandboxFootprint(functions=-1)
+        with pytest.raises(DeploymentError):
+            SandboxFootprint(functions=1, processes=0)

@@ -1,0 +1,257 @@
+"""Tests for SimProcess fork semantics, sandboxes, pools and machines."""
+
+import pytest
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import CapacityError, SimulationError
+from repro.runtime.cpusched import FluidCPU
+from repro.runtime.machine import Cluster, Machine
+from repro.runtime.osproc import SimProcess, fork_children
+from repro.runtime.pool import ProcessPool
+from repro.runtime.sandbox import Sandbox
+from repro.runtime.thread import SimThread
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow import FunctionBehavior, FunctionSpec
+
+CAL = RuntimeCalibration.native()
+
+
+def _fn(name, cpu=1.0, io=0.0):
+    segs = [("cpu", cpu)] + ([("io", io)] if io else [])
+    return FunctionSpec(name=name, behavior=FunctionBehavior.of(*segs))
+
+
+class TestForkSemantics:
+    def test_fork_block_serializes_children(self):
+        """Observation 2: child j's startup begins after j serialized forks."""
+        env = Environment()
+        trace = TraceRecorder()
+        cpu = FluidCPU(env, 50)  # ample cores so only fork order matters
+        parent = SimProcess(env, name="orch", cpu=cpu, cal=CAL, trace=trace)
+        groups = [[_fn(f"f{i}", cpu=0.5)] for i in range(5)]
+
+        def orchestrate(env):
+            result = yield from fork_children(env, parent, groups, cal=CAL,
+                                              cpu=cpu, trace=trace)
+            yield env.all_of(result.done_events)
+
+        env.process(orchestrate(env))
+        env.run()
+        starts = [trace.spans(entity=f"proc-{j}", kind="startup")[0].start_ms
+                  for j in range(5)]
+        for j, start in enumerate(starts):
+            assert start == pytest.approx((j + 1) * CAL.fork_block_ms, rel=0.01)
+
+    def test_total_latency_matches_eq4_shape(self):
+        """Last process latency ~ (n-1)*block + startup + exec (Eq. 4)."""
+        env = Environment()
+        cpu = FluidCPU(env, 50)
+        parent = SimProcess(env, name="orch", cpu=cpu, cal=CAL)
+        n = 10
+        exec_ms = 0.75
+        groups = [[_fn(f"f{i}", cpu=exec_ms)] for i in range(n)]
+
+        def orchestrate(env):
+            result = yield from fork_children(env, parent, groups, cal=CAL,
+                                              cpu=cpu)
+            yield env.all_of(result.done_events)
+
+        env.process(orchestrate(env))
+        env.run()
+        expected = n * CAL.fork_block_ms + CAL.process_startup_ms + exec_ms
+        assert env.now == pytest.approx(expected, rel=0.02)
+
+    def test_children_run_truly_parallel(self):
+        """With enough cores, n CPU-bound children overlap completely."""
+        env = Environment()
+        cpu = FluidCPU(env, 8)
+        parent = SimProcess(env, name="orch", cpu=cpu, cal=CAL)
+        groups = [[_fn(f"f{i}", cpu=20.0)] for i in range(4)]
+
+        def orchestrate(env):
+            result = yield from fork_children(env, parent, groups, cal=CAL,
+                                              cpu=cpu)
+            yield env.all_of(result.done_events)
+
+        env.process(orchestrate(env))
+        env.run()
+        # The last child starts after 4 serialized forks + its startup, then
+        # all four 20 ms bodies overlap: Eq. 4 with j = n.
+        expected = 4 * CAL.fork_block_ms + CAL.process_startup_ms + 20.0
+        assert env.now == pytest.approx(expected, rel=0.02)
+        assert env.now < 4 * 20.0  # far below serialized execution
+
+    def test_multi_function_group_uses_threads(self):
+        env = Environment()
+        cpu = FluidCPU(env, 4)
+        parent = SimProcess(env, name="orch", cpu=cpu, cal=CAL)
+        groups = [[_fn("a", cpu=10.0), _fn("b", cpu=10.0)]]
+
+        def orchestrate(env):
+            result = yield from fork_children(env, parent, groups, cal=CAL,
+                                              cpu=cpu)
+            yield env.all_of(result.done_events)
+            return result
+
+        p = env.process(orchestrate(env))
+        env.run()
+        child = p.value.children[0]
+        assert len(child.threads) == 2
+        # GIL pseudo-parallelism: both threads' CPU serialized -> >= 20ms
+        assert env.now >= 20.0
+
+    def test_run_functions_in_existing_process(self):
+        """Faastlane-T style: threads spawned straight into a live process."""
+        env = Environment()
+        cpu = FluidCPU(env, 4)
+        proc = SimProcess(env, name="p", cpu=cpu, cal=CAL)
+        fns = [_fn(f"f{i}", cpu=5.0) for i in range(3)]
+        env.process(proc.run_functions(fns))
+        env.run()
+        # thread spawn costs + GIL-serialized 15ms of CPU
+        assert env.now == pytest.approx(15.0 + 3 * CAL.thread_startup_ms,
+                                        rel=0.05)
+
+
+class TestSandbox:
+    def test_cold_boot_pays_container_start(self):
+        env = Environment()
+        sb = Sandbox(env, name="sb", cores=1, cal=CAL)
+
+        def boot(env):
+            yield from sb.boot(cold=True)
+
+        env.process(boot(env))
+        env.run()
+        assert env.now == pytest.approx(CAL.sandbox_cold_start_ms)
+        assert sb.booted
+
+    def test_warm_boot_free(self):
+        env = Environment()
+        sb = Sandbox(env, name="sb", cores=1, cal=CAL)
+
+        def boot(env):
+            yield from sb.boot(cold=False)
+
+        env.process(boot(env))
+        env.run()
+        assert env.now == pytest.approx(0.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(SimulationError):
+            Sandbox(Environment(), name="sb", cores=0, cal=CAL)
+
+    def test_pool_created_once(self):
+        env = Environment()
+        sb = Sandbox(env, name="sb", cores=2, cal=CAL)
+        pool = sb.init_pool(4)
+        assert sb.pool is pool
+        with pytest.raises(SimulationError):
+            sb.init_pool(4)
+
+
+class TestProcessPool:
+    def test_pool_needs_workers(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            ProcessPool(env, workers=0, cpu=FluidCPU(env, 1), cal=CAL)
+
+    def test_true_parallelism_without_gil_contention(self):
+        env = Environment()
+        cpu = FluidCPU(env, 4)
+        pool = ProcessPool(env, workers=4, cpu=cpu, cal=CAL)
+        dispatcher = SimThread(env, name="d", cpu=cpu, gil=None, cal=CAL)
+        fns = [_fn(f"f{i}", cpu=20.0) for i in range(4)]
+
+        def run(env):
+            events = yield from pool.map(dispatcher, fns)
+            yield env.all_of(events)
+
+        env.process(run(env))
+        env.run()
+        # 4 dispatches (0.5ms each, serialized) + parallel 20ms
+        assert env.now == pytest.approx(20.0 + 4 * CAL.pool_dispatch_ms,
+                                        rel=0.05)
+        assert pool.completed == 4
+
+    def test_tasks_queue_for_free_workers(self):
+        env = Environment()
+        cpu = FluidCPU(env, 8)
+        pool = ProcessPool(env, workers=2, cpu=cpu, cal=CAL)
+        dispatcher = SimThread(env, name="d", cpu=cpu, gil=None, cal=CAL)
+        fns = [_fn(f"f{i}", cpu=10.0) for i in range(4)]
+
+        def run(env):
+            events = yield from pool.map(dispatcher, fns)
+            yield env.all_of(events)
+
+        env.process(run(env))
+        env.run()
+        # two waves of 10ms each
+        assert env.now >= 20.0
+
+    def test_longest_first_ordering(self):
+        env = Environment()
+        cpu = FluidCPU(env, 8)
+        pool = ProcessPool(env, workers=1, cpu=cpu, cal=CAL)
+        dispatcher = SimThread(env, name="d", cpu=cpu, gil=None, cal=CAL)
+        short, long_ = _fn("short", cpu=1.0), _fn("long", cpu=30.0)
+        finish = {}
+
+        def run(env):
+            events = yield from pool.map(dispatcher, [short, long_],
+                                         longest_first=True)
+            for name, ev in zip(["long", "short"], events):
+                ev.callbacks.append(
+                    lambda _e, n=name: finish.setdefault(n, env.now))
+            yield env.all_of(events)
+
+        env.process(run(env))
+        env.run()
+        assert finish["long"] < finish["short"]
+
+    def test_pool_memory_accounting(self):
+        env = Environment()
+        pool = ProcessPool(env, workers=5, cpu=FluidCPU(env, 1), cal=CAL)
+        assert pool.memory_mb == pytest.approx(5 * CAL.pool_worker_memory_mb)
+
+
+class TestMachines:
+    def test_allocate_and_release(self):
+        m = Machine("n", cores=4, memory_mb=1000)
+        alloc = m.allocate(2, 300)
+        assert m.cores_free == 2 and m.memory_free_mb == 700
+        alloc.release()
+        assert m.cores_free == 4 and m.memory_free_mb == 1000
+        alloc.release()  # idempotent
+        assert m.cores_free == 4
+
+    def test_over_allocation_raises(self):
+        m = Machine("n", cores=2, memory_mb=100)
+        with pytest.raises(CapacityError):
+            m.allocate(3, 10)
+        with pytest.raises(CapacityError):
+            m.allocate(1, 200)
+
+    def test_negative_request_raises(self):
+        with pytest.raises(CapacityError):
+            Machine("n", cores=2, memory_mb=100).allocate(-1, 10)
+
+    def test_cluster_first_fit_spills_to_next_node(self):
+        cluster = Cluster(nodes=2, cores_per_node=4, memory_per_node_mb=100)
+        a1 = cluster.place(3, 50)
+        a2 = cluster.place(3, 50)
+        assert a1.machine.name != a2.machine.name
+
+    def test_cluster_exhaustion_raises(self):
+        cluster = Cluster(nodes=1, cores_per_node=1, memory_per_node_mb=10)
+        cluster.place(1, 5)
+        with pytest.raises(CapacityError):
+            cluster.place(1, 5)
+
+    def test_cluster_totals(self):
+        cluster = Cluster(nodes=2, cores_per_node=4, memory_per_node_mb=100)
+        cluster.place(1, 30)
+        assert cluster.total_cores_free == pytest.approx(7)
+        assert cluster.total_memory_free_mb == pytest.approx(170)

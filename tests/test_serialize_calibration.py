@@ -1,0 +1,113 @@
+"""Tests for plan JSON round-trips and calibration variants."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+from repro.errors import DeploymentError
+from repro.platforms import ChironPlatform
+from repro.workflow import random_workflow
+
+
+def make_plan(seed=0, slo=200.0):
+    wf = random_workflow(seed, max_stages=3, max_parallelism=5,
+                         max_segment_ms=8.0)
+    plan = PGPScheduler(LatencyPredictor()).schedule(wf, slo)
+    return wf, plan
+
+
+class TestPlanCodec:
+    def test_round_trip_preserves_structure(self):
+        wf, plan = make_plan(3)
+        restored = plan_from_json(plan_to_json(plan))
+        assert restored.workflow_name == plan.workflow_name
+        assert restored.cores == plan.cores
+        assert restored.pool_workers == plan.pool_workers
+        assert restored.slo_ms == plan.slo_ms
+        assert len(restored.wraps) == len(plan.wraps)
+        for a, b in zip(restored.wraps, plan.wraps):
+            assert a == b
+        restored.validate(wf)  # still a legal plan for the workflow
+
+    def test_round_tripped_plan_executes_identically(self):
+        wf, plan = make_plan(7)
+        restored = plan_from_json(plan_to_json(plan))
+        original = ChironPlatform(plan).run(wf).latency_ms
+        rerun = ChironPlatform(restored).run(wf).latency_ms
+        assert original == rerun
+
+    def test_json_is_plain_data(self):
+        _wf, plan = make_plan(1)
+        doc = json.loads(plan_to_json(plan))
+        assert doc["version"] == FORMAT_VERSION
+        assert isinstance(doc["wraps"], list)
+
+    def test_bad_version_rejected(self):
+        _wf, plan = make_plan(2)
+        doc = plan_to_dict(plan)
+        doc["version"] = 999
+        with pytest.raises(DeploymentError):
+            plan_from_dict(doc)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(DeploymentError):
+            plan_from_json("{not json")
+        with pytest.raises(DeploymentError):
+            plan_from_json("[]")
+        with pytest.raises(DeploymentError):
+            plan_from_dict({"version": FORMAT_VERSION})
+
+    def test_bad_mode_rejected(self):
+        _wf, plan = make_plan(4)
+        doc = plan_to_dict(plan)
+        doc["wraps"][0]["stages"][0]["processes"][0]["mode"] = "fiber"
+        with pytest.raises(DeploymentError):
+            plan_from_dict(doc)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_property_round_trip_any_plan(self, seed):
+        wf, plan = make_plan(seed, slo=500.0)
+        restored = plan_from_json(plan_to_json(plan))
+        assert plan_to_dict(restored) == plan_to_dict(plan)
+
+
+class TestCalibrationVariants:
+    def test_nodejs_worker_threads_expensive(self):
+        node = RuntimeCalibration.nodejs()
+        py = RuntimeCalibration.native()
+        assert node.thread_startup_ms >= 50.0
+        assert node.thread_startup_ms > 100 * py.thread_startup_ms
+        assert node.has_gil  # event-loop pseudo-parallelism
+
+    def test_nodejs_thread_fanout_doubles_median_function(self):
+        """§2.1: 50 ms spawn on ~60 ms functions doubles latency."""
+        from repro.workflow import FunctionBehavior
+
+        predictor = LatencyPredictor(RuntimeCalibration.nodejs())
+        b = [FunctionBehavior.of(("cpu", 5.0), ("io", 55.0))] * 2
+        t = predictor.predict_multithread_exec(b)
+        solo = 60.0
+        assert t > 1.8 * solo
+
+    def test_evolve_returns_modified_copy(self):
+        base = RuntimeCalibration.native()
+        tweaked = base.evolve(t_rpc_ms=99.0)
+        assert tweaked.t_rpc_ms == 99.0
+        assert base.t_rpc_ms != 99.0
+
+    def test_isolation_presets(self):
+        assert RuntimeCalibration.mpk().exec_overhead_cpu == pytest.approx(0.352)
+        assert RuntimeCalibration.sfi().isolation_startup_ms == 18.0
+        assert not RuntimeCalibration.no_gil().has_gil

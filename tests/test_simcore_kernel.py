@@ -1,0 +1,342 @@
+"""Unit tests for the discrete-event kernel (environment, events, processes)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment, Event, Interrupt, Timeout
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_can_start_elsewhere():
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.now == pytest.approx(3.0)
+    assert p.value == pytest.approx(3.0)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for d in (1.0, 2.0, 4.0):
+            yield env.timeout(d)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(3.0), pytest.approx(7.0)]
+
+
+def test_simultaneous_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, label):
+        yield env.timeout(5.0)
+        order.append(label)
+
+    for label in "abc":
+        env.process(proc(env, label))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    p = env.process(proc(env))
+    env.run(until=4.0)
+    assert env.now == pytest.approx(4.0)
+    assert p.is_alive
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "payload"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "payload"
+
+
+def test_run_until_event_never_fired_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(3.0)
+        return 99
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value + 1
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == 100
+
+
+def test_manual_event_value_passthrough():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(7.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(pytest.approx(7.0), "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_failure_raises_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("exploded")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="exploded"):
+        env.run()
+
+
+def test_waiting_on_failed_process_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def outer(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError:
+            return "handled"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(2.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        results = yield env.all_of([t1, t2])
+        return sorted(results.values()), env.now
+
+    p = env.process(proc(env))
+    env.run()
+    values, when = p.value
+    assert values == ["a", "b"]
+    assert when == pytest.approx(5.0)
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(2.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        results = yield env.any_of([t1, t2])
+        return list(results.values()), env.now
+
+    p = env.process(proc(env))
+    env.run()
+    values, when = p.value
+    assert values == ["fast"]
+    assert when == pytest.approx(2.0)
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def attacker(env, target):
+        yield env.timeout(3.0)
+        target.interrupt(cause="preempted")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [(pytest.approx(3.0), "preempted")]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # not an Event
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(8.0)
+    assert env.peek() == pytest.approx(8.0)
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+
+    def victim(env):
+        waited = 0.0
+        try:
+            yield env.timeout(50.0)
+            waited = 50.0
+        except Interrupt:
+            pass
+        yield env.timeout(2.0)
+        return (env.now, waited)
+
+    def attacker(env, target):
+        yield env.timeout(10.0)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    when, waited = v.value
+    assert waited == 0.0
+    assert when == pytest.approx(12.0)
+
+
+def test_deterministic_replay():
+    """Two identical simulations produce identical event orderings."""
+
+    def build():
+        env = Environment()
+        log = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            log.append((name, env.now))
+            yield env.timeout(delay)
+            log.append((name, env.now))
+
+        for i, d in enumerate([3.0, 1.0, 3.0, 2.0]):
+            env.process(proc(env, f"p{i}", d))
+        env.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,227 @@
+"""Unit tests for simcore resources, stores, and the trace recorder."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment, Resource, Store
+from repro.simcore.monitor import Span, TraceRecorder
+
+
+class TestResource:
+    def test_capacity_validated(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_serializes_beyond_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, name):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", env.now))
+                yield env.timeout(5.0)
+            log.append((name, "out", env.now))
+
+        env.process(user(env, "a"))
+        env.process(user(env, "b"))
+        env.run()
+        assert log == [
+            ("a", "in", pytest.approx(0.0)),
+            ("a", "out", pytest.approx(5.0)),
+            ("b", "in", pytest.approx(5.0)),
+            ("b", "out", pytest.approx(10.0)),
+        ]
+
+    def test_parallel_within_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=3)
+        done = []
+
+        def user(env, name):
+            with res.request() as req:
+                yield req
+                yield env.timeout(4.0)
+            done.append((name, env.now))
+
+        for name in "abc":
+            env.process(user(env, name))
+        env.run()
+        assert all(t == pytest.approx(4.0) for _, t in done)
+
+    def test_count_and_queue_len(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert res.count == 1
+        assert res.queue_len == 1
+
+    def test_priority_grants_lowest_first(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        def user(env, name, prio):
+            yield env.timeout(0.1)  # arrive after the holder
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(0.5)
+
+        env.process(holder(env))
+        env.process(user(env, "low-prio-number", 0))
+        env.process(user(env, "high-prio-number", 5))
+        env.process(user(env, "mid", 2))
+        env.run()
+        assert order == ["low-prio-number", "mid", "high-prio-number"]
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1.0)
+            res.release(req)  # cancel before grant
+            return "gave up"
+
+        env.process(holder(env))
+        p = env.process(impatient(env))
+        env.run()
+        assert p.value == "gave up"
+        assert res.queue_len == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put("x")
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        env.process(producer(env))
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer(env):
+            yield env.timeout(6.0)
+            yield store.put("late")
+
+        p = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert p.value == ("late", pytest.approx(6.0))
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put(1)
+            log.append(("put1", env.now))
+            yield store.put(2)
+            log.append(("put2", env.now))
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("put1", pytest.approx(0.0)), ("put2", pytest.approx(3.0))]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        rec = TraceRecorder()
+        rec.record("f1", "exec", 0.0, 5.0)
+        rec.record("f1", "block", 5.0, 8.0)
+        rec.record("f2", "exec", 1.0, 2.0)
+        assert len(rec) == 3
+        assert rec.total("exec") == pytest.approx(6.0)
+        assert rec.total("exec", entity="f2") == pytest.approx(1.0)
+        assert rec.entities() == ["f1", "f2"]
+
+    def test_bad_span_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError):
+            rec.record("f1", "exec", 5.0, 2.0)
+
+    def test_span_duration(self):
+        span = Span("e", "exec", 1.0, 4.5)
+        assert span.duration_ms == pytest.approx(3.5)
+
+    def test_gantt_renders_all_entities(self):
+        rec = TraceRecorder()
+        rec.record("alpha", "startup", 0.0, 2.0)
+        rec.record("alpha", "exec", 2.0, 10.0)
+        rec.record("beta", "block", 3.0, 7.0)
+        chart = rec.gantt(width=40)
+        assert "alpha" in chart and "beta" in chart
+        assert "#" in chart and "." in chart and "s" in chart
+
+    def test_gantt_empty(self):
+        assert TraceRecorder().gantt() == "(no spans)"

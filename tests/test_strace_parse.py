@@ -1,0 +1,115 @@
+"""Tests for the strace text parser (real `strace -ttt -T` format)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiler import Profiler, StraceLog, SyscallRecord
+from repro.core.strace_parse import format_strace, parse_strace
+from repro.errors import ProfilingError
+from repro.workflow import FunctionBehavior, FunctionSpec
+
+PAPER_FIGURE10_LOG = """\
+1690000000.000000 brk(NULL) = 0x5600000 <0.000004>
+1690000000.048000 select(0, NULL, NULL, NULL, {tv_sec=1, tv_usec=0}) = 0 <1.001000>
+1690000001.070000 write(3, "1", 1) = 1 <0.000042>
+1690000001.081000 read(3, "1", 1) = 1 <0.000025>
+1690000001.100000 exit_group(0) = ? <0.000000>
+"""
+
+
+class TestParse:
+    def test_paper_figure10_block_periods(self):
+        """The exact example of Figure 10: sleep(1) + write + read."""
+        log = parse_strace(PAPER_FIGURE10_LOG, function="handle",
+                           untraced_latency_ms=1100.0)
+        assert [r.name for r in log.records] == ["select", "write", "read"]
+        assert log.records[0].start_ms == pytest.approx(48.0, abs=1e-3)
+        assert log.records[0].duration_ms == pytest.approx(1001.0, abs=1e-3)
+        assert log.records[1].start_ms == pytest.approx(1070.0, abs=1e-3)
+        assert log.records[1].duration_ms == pytest.approx(0.042, abs=1e-3)
+        assert log.records[2].duration_ms == pytest.approx(0.025, abs=1e-3)
+        prof = Profiler().reconstruct(log)
+        assert prof.behavior.io_ms == pytest.approx(1001.067, rel=0.01)
+
+    def test_non_blocking_syscalls_are_cpu(self):
+        text = ("1000.000000 brk(NULL) = 0 <0.000002>\n"
+                "1000.000100 mmap(NULL, 4096) = 0x7f <0.000003>\n"
+                "1000.010000 getpid() = 42 <0.000001>\n")
+        log = parse_strace(text)
+        assert log.records == ()
+
+    def test_pid_prefix_accepted(self):
+        text = "[pid 1234] 1000.000000 read(3, \"\", 1) = 0 <0.005000>\n"
+        log = parse_strace(text)
+        assert log.records[0].name == "read"
+        assert log.records[0].duration_ms == pytest.approx(5.0)
+
+    def test_unfinished_resumed_joined(self):
+        text = ("1000.000000 select(4, [3], NULL, NULL, NULL <unfinished ...>\n"
+                "1000.250000 <... select resumed> ) = 1 <0.250000>\n")
+        log = parse_strace(text)
+        assert len(log.records) == 1
+        assert log.records[0].duration_ms == pytest.approx(250.0)
+        assert log.records[0].start_ms == pytest.approx(0.0)
+
+    def test_signals_and_exit_markers_skipped(self):
+        text = ("1000.000000 read(3, \"\", 1) = 0 <0.001000>\n"
+                "--- SIGCHLD {si_signo=SIGCHLD} ---\n"
+                "+++ exited with 0 +++\n")
+        assert len(parse_strace(text).records) == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProfilingError):
+            parse_strace("this is not strace output\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            parse_strace("\n\n")
+
+    def test_timestamps_rebased_to_zero(self):
+        text = "1700000123.500000 poll([{fd=3}], 1, 100) = 1 <0.100000>\n"
+        log = parse_strace(text)
+        assert log.records[0].start_ms == pytest.approx(0.0)
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_records(self):
+        profiler = Profiler(noise_sigma=0.0, strace_overhead=0.0)
+        fn = FunctionSpec("f", FunctionBehavior.of(
+            ("cpu", 3.0), ("io", 12.0), ("cpu", 2.0), ("io", 4.0)))
+        log = profiler.trace(fn)
+        text = format_strace(log)
+        parsed = parse_strace(text, function="f",
+                              untraced_latency_ms=log.untraced_latency_ms)
+        assert len(parsed.records) == len(log.records)
+        for a, b in zip(parsed.records, log.records):
+            assert a.start_ms == pytest.approx(b.start_ms, abs=5e-3)
+            assert a.duration_ms == pytest.approx(b.duration_ms, abs=5e-3)
+
+    def test_end_to_end_profile_via_text(self):
+        """behavior -> synthetic strace text -> parse -> reconstruct."""
+        profiler = Profiler(noise_sigma=0.0, strace_overhead=0.1)
+        fn = FunctionSpec("f", FunctionBehavior.of(("cpu", 5.0), ("io", 20.0)))
+        log = profiler.trace(fn)
+        text = format_strace(log)
+        parsed = parse_strace(text, function="f",
+                              untraced_latency_ms=log.untraced_latency_ms)
+        prof = profiler.reconstruct(parsed)
+        assert prof.behavior.io_ms == pytest.approx(20.0, rel=0.02)
+        assert prof.behavior.cpu_ms == pytest.approx(5.0, rel=0.05)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["cpu", "io"]),
+                  st.floats(min_value=0.05, max_value=200.0,
+                            allow_nan=False)),
+        min_size=1, max_size=8))
+    def test_property_text_round_trip(self, pairs):
+        profiler = Profiler(noise_sigma=0.0, strace_overhead=0.0)
+        fn = FunctionSpec("f", FunctionBehavior.of(*pairs))
+        log = profiler.trace(fn)
+        parsed = parse_strace(format_strace(log), function="f",
+                              untraced_latency_ms=log.untraced_latency_ms)
+        rebuilt = profiler.reconstruct(parsed)
+        assert rebuilt.behavior.io_ms == pytest.approx(
+            fn.behavior.io_ms, rel=1e-3, abs=0.05)

@@ -1,0 +1,76 @@
+"""Tests for the supplementary experiments and the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import run_experiment
+from repro.experiments.common import ExperimentResult
+from repro.experiments.render import bar_chart
+
+
+class TestColdStart:
+    def test_one_to_one_pays_cascading_boots(self):
+        res = run_experiment("coldstart", quick=True)
+        by = {row["system"]: row for row in res.rows}
+        # FINRA has 2 stages: one-to-one pays 2 boot waves, shared pays 1
+        assert by["openfaas"]["penalty_ms"] == pytest.approx(334.0, rel=0.05)
+        for shared in ("sand", "faastlane", "chiron"):
+            assert by[shared]["penalty_ms"] == pytest.approx(167.0, rel=0.05)
+
+    def test_sandbox_counts_reported(self):
+        res = run_experiment("coldstart", quick=True)
+        by = {row["system"]: row for row in res.rows}
+        assert by["openfaas"]["sandboxes"] == 6
+        assert by["faastlane"]["sandboxes"] == 1
+
+
+class TestRuntimes:
+    def test_nodejs_thread_fanout_pathological(self):
+        res = run_experiment("runtimes", quick=True)
+        by = {(row["runtime"], row["system"]): row["latency_ms"]
+              for row in res.rows}
+        # §2.1: worker_threads spawn cost makes thread mode *worse* than
+        # processes on Node.js, the opposite of CPython at low parallelism
+        assert by[("nodejs", "faastlane-t")] > by[("nodejs", "faastlane")]
+        assert by[("python", "faastlane-t")] < by[("python", "faastlane")]
+        # Java threads: cheap spawn + true parallelism = best of both
+        assert by[("java", "faastlane-t")] <= by[("python", "faastlane-t")]
+
+
+class TestRender:
+    def _result(self):
+        res = ExperimentResult("x", "demo", columns=["name", "value"])
+        res.add(name="a", value=10.0)
+        res.add(name="bb", value=40.0)
+        return res
+
+    def test_bars_scale_linearly(self):
+        chart = bar_chart(self._result(), label_cols=["name"],
+                          value_col="value", width=40)
+        lines = chart.splitlines()[1:]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 40
+
+    def test_log_scale_compresses(self):
+        res = ExperimentResult("x", "demo", columns=["name", "value"])
+        res.add(name="small", value=1.0)
+        res.add(name="huge", value=10000.0)
+        chart = bar_chart(res, label_cols=["name"], value_col="value",
+                          width=40, log=True)
+        lines = chart.splitlines()[1:]
+        assert lines[0].count("#") > 2  # visible despite the 1e4 spread
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(self._result(), label_cols=["name"], value_col="zzz")
+
+    def test_negative_values_rejected(self):
+        res = ExperimentResult("x", "demo", columns=["name", "value"])
+        res.add(name="a", value=-1.0)
+        with pytest.raises(ReproError):
+            bar_chart(res, label_cols=["name"], value_col="value")
+
+    def test_empty_rejected(self):
+        res = ExperimentResult("x", "demo", columns=["name", "value"])
+        with pytest.raises(ReproError):
+            bar_chart(res, label_cols=["name"], value_col="value")

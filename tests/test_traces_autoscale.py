@@ -1,0 +1,192 @@
+"""Tests for trace generation, elastic resources and the autoscaler."""
+
+import numpy as np
+import pytest
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.cluster import (
+    AutoscalerConfig,
+    burst_arrivals,
+    constant_arrivals,
+    diurnal_arrivals,
+    interarrival_stats,
+    run_autoscaled,
+)
+from repro.errors import CapacityError, ReproError, SimulationError
+from repro.platforms import FaastlanePlatform
+from repro.simcore import Environment, Resource
+
+CAL = RuntimeCalibration.native()
+
+
+class TestTraces:
+    def test_constant_rate_accuracy(self):
+        arrivals = constant_arrivals(50.0, 20_000.0, seed=1)
+        rate = len(arrivals) / 20.0  # per second
+        assert rate == pytest.approx(50.0, rel=0.15)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_cv_near_one(self):
+        arrivals = constant_arrivals(50.0, 20_000.0, seed=2)
+        _mean, cv = interarrival_stats(arrivals)
+        assert cv == pytest.approx(1.0, abs=0.2)
+
+    def test_diurnal_rate_varies_with_phase(self):
+        period = 10_000.0
+        arrivals = diurnal_arrivals(5.0, 100.0, period_ms=period,
+                                    duration_ms=period, seed=3)
+        arr = np.asarray(arrivals)
+        # first half of the sine (rising/peak) sees far more traffic than
+        # the second (trough)
+        first = np.sum(arr < period / 2)
+        second = len(arr) - first
+        assert first > 2 * second
+
+    def test_burst_concentrates_arrivals(self):
+        arrivals = burst_arrivals(2.0, 200.0, burst_every_ms=5000.0,
+                                  burst_len_ms=500.0, duration_ms=20_000.0,
+                                  seed=4)
+        arr = np.asarray(arrivals)
+        in_burst = np.sum((arr % 5000.0) < 500.0)
+        assert in_burst > 0.8 * len(arr)
+        _mean, cv = interarrival_stats(arrivals)
+        assert cv > 1.5  # much burstier than Poisson
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            constant_arrivals(0.0, 100.0)
+        with pytest.raises(ReproError):
+            diurnal_arrivals(10.0, 5.0, period_ms=100.0, duration_ms=100.0)
+        with pytest.raises(ReproError):
+            burst_arrivals(10.0, 5.0, burst_every_ms=10.0, burst_len_ms=1.0,
+                           duration_ms=100.0)
+
+    def test_deterministic_given_seed(self):
+        a = constant_arrivals(20.0, 5_000.0, seed=9)
+        b = constant_arrivals(20.0, 5_000.0, seed=9)
+        assert a == b
+
+
+class TestElasticResource:
+    def test_grow_grants_waiters(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name):
+            with res.request() as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(10.0)
+
+        def scaler(env):
+            yield env.timeout(2.0)
+            res.set_capacity(3)
+
+        for name in "abc":
+            env.process(user(env, name))
+        env.process(scaler(env))
+        env.run()
+        times = dict(order)
+        assert times["a"] == 0.0
+        assert times["b"] == pytest.approx(2.0)  # unblocked by the grow
+        assert times["c"] == pytest.approx(2.0)
+
+    def test_shrink_is_lazy(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        env.process(holder(env))
+        env.process(holder(env))
+        env.run(until=1.0)
+        res.set_capacity(1)
+        assert res.count == 2  # in-flight work not revoked
+        env.run()
+        assert res.count == 0
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=1).set_capacity(0)
+
+
+class TestAutoscaler:
+    def _platform(self):
+        return FaastlanePlatform(CAL)
+
+    def test_config_validation(self):
+        with pytest.raises(CapacityError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(CapacityError):
+            AutoscalerConfig(min_replicas=4, max_replicas=2)
+        with pytest.raises(CapacityError):
+            AutoscalerConfig(target_inflight_per_replica=0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CapacityError):
+            run_autoscaled(self._platform(), finra(5), arrivals=[])
+
+    def test_light_load_stays_at_min(self):
+        wf = finra(5)
+        arrivals = constant_arrivals(2.0, 5_000.0, seed=5)
+        result = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                                config=AutoscalerConfig(min_replicas=1,
+                                                        max_replicas=8),
+                                service_pool=6)
+        assert result.completed == len(arrivals)
+        assert max(r for _t, r in result.replica_timeline) <= 2
+
+    def test_heavy_load_scales_up(self):
+        wf = finra(5)  # service ~95 ms -> 1 replica saturates near 10 rps
+        arrivals = constant_arrivals(40.0, 4_000.0, seed=6)
+        result = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                                config=AutoscalerConfig(
+                                    min_replicas=1, max_replicas=8,
+                                    evaluation_interval_ms=250.0),
+                                service_pool=6)
+        assert max(r for _t, r in result.replica_timeline) >= 4
+        assert result.mean_replicas > 1.5
+
+    def test_scaling_bounds_latency_vs_fixed_min(self):
+        """Autoscaling keeps p90 sojourn far below a pinned-at-1 deployment
+        under the same burst."""
+        wf = finra(5)
+        arrivals = constant_arrivals(30.0, 4_000.0, seed=7)
+        fixed = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                               config=AutoscalerConfig(min_replicas=1,
+                                                       max_replicas=1),
+                               service_pool=6)
+        scaled = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                                config=AutoscalerConfig(
+                                    min_replicas=1, max_replicas=8,
+                                    evaluation_interval_ms=250.0),
+                                service_pool=6)
+        assert scaled.sojourn.p90_ms < 0.5 * fixed.sojourn.p90_ms
+        # ... at the price of more replica-seconds
+        assert scaled.replica_seconds > fixed.replica_seconds
+
+    def test_provision_delay_lags_bursts(self):
+        """A longer cold start means worse burst-tail latency."""
+        wf = finra(5)
+        arrivals = burst_arrivals(1.0, 60.0, burst_every_ms=2_000.0,
+                                  burst_len_ms=400.0, duration_ms=4_000.0,
+                                  seed=8)
+        fast = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                              config=AutoscalerConfig(
+                                  min_replicas=1, max_replicas=8,
+                                  evaluation_interval_ms=100.0,
+                                  provision_delay_ms=0.0),
+                              service_pool=6)
+        slow = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                              config=AutoscalerConfig(
+                                  min_replicas=1, max_replicas=8,
+                                  evaluation_interval_ms=100.0,
+                                  provision_delay_ms=2_000.0),
+                              service_pool=6)
+        assert fast.sojourn.p90_ms < slow.sojourn.p90_ms

@@ -1,0 +1,162 @@
+"""Tests for FunctionBehavior segments, transforms and strace round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProfilingError
+from repro.workflow import FunctionBehavior, Segment, SegmentKind
+
+
+class TestConstruction:
+    def test_cpu_constructor(self):
+        b = FunctionBehavior.cpu(3.0)
+        assert b.cpu_ms == 3.0 and b.io_ms == 0.0 and b.solo_ms == 3.0
+
+    def test_io_constructor(self):
+        b = FunctionBehavior.io(7.5)
+        assert b.io_ms == 7.5 and b.cpu_ms == 0.0
+
+    def test_of_constructor(self):
+        b = FunctionBehavior.of(("cpu", 1.0), ("io", 5.0), ("cpu", 2.0))
+        assert b.cpu_ms == pytest.approx(3.0)
+        assert b.io_ms == pytest.approx(5.0)
+        assert len(b) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            FunctionBehavior([])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ProfilingError):
+            Segment(SegmentKind.CPU, -1.0)
+
+    def test_nan_duration_rejected(self):
+        with pytest.raises(ProfilingError):
+            Segment(SegmentKind.CPU, float("nan"))
+
+    def test_negative_data_out_rejected(self):
+        with pytest.raises(ProfilingError):
+            FunctionBehavior.cpu(1.0, data_out_mb=-1.0)
+
+    def test_equality_and_hash(self):
+        a = FunctionBehavior.of(("cpu", 1.0), ("io", 2.0))
+        b = FunctionBehavior.of(("cpu", 1.0), ("io", 2.0))
+        c = FunctionBehavior.of(("cpu", 1.0), ("io", 3.0))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_contains_segments(self):
+        assert "cpu:1" in repr(FunctionBehavior.cpu(1.0))
+
+
+class TestTransforms:
+    def test_scaled_applies_per_kind_factors(self):
+        b = FunctionBehavior.of(("cpu", 10.0), ("io", 10.0))
+        s = b.scaled(cpu_factor=1.5, io_factor=1.1)
+        assert s.cpu_ms == pytest.approx(15.0)
+        assert s.io_ms == pytest.approx(11.0)
+
+    def test_scaled_preserves_metadata(self):
+        b = FunctionBehavior.cpu(1.0, data_out_mb=0.5, memory_mb=2.0)
+        s = b.scaled(cpu_factor=2.0)
+        assert s.data_out_mb == 0.5 and s.memory_mb == 2.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ProfilingError):
+            FunctionBehavior.cpu(1.0).scaled(cpu_factor=-1.0)
+
+    def test_perturbed_is_seed_deterministic(self):
+        b = FunctionBehavior.of(("cpu", 5.0), ("io", 5.0))
+        p1 = b.perturbed(np.random.default_rng(7))
+        p2 = b.perturbed(np.random.default_rng(7))
+        assert p1 == p2
+
+    def test_perturbed_zero_sigma_is_identity(self):
+        b = FunctionBehavior.of(("cpu", 5.0), ("io", 5.0))
+        assert b.perturbed(np.random.default_rng(0), sigma=0.0) == b
+
+    def test_merged_coalesces_adjacent(self):
+        b = FunctionBehavior.of(("cpu", 1.0), ("cpu", 2.0), ("io", 3.0))
+        m = b.merged()
+        assert len(m) == 2
+        assert m.segments[0].duration_ms == pytest.approx(3.0)
+
+
+class TestBlockPeriods:
+    def test_block_periods_positions(self):
+        b = FunctionBehavior.of(("cpu", 2.0), ("io", 5.0), ("cpu", 1.0), ("io", 4.0))
+        assert b.block_periods() == [
+            (pytest.approx(2.0), pytest.approx(7.0)),
+            (pytest.approx(8.0), pytest.approx(12.0)),
+        ]
+
+    def test_round_trip_from_block_periods(self):
+        b = FunctionBehavior.of(("cpu", 2.0), ("io", 5.0), ("cpu", 1.0))
+        rebuilt = FunctionBehavior.from_block_periods(
+            b.solo_ms, b.block_periods())
+        assert rebuilt.cpu_ms == pytest.approx(b.cpu_ms)
+        assert rebuilt.io_ms == pytest.approx(b.io_ms)
+        assert rebuilt.block_periods() == b.block_periods()
+
+    def test_paper_figure10_example(self):
+        """Figure 10: sleep(1s) + tiny write + tiny read at given offsets."""
+        periods = [(48.0, 1049.0), (1070.0, 1070.042), (1081.0, 1081.025)]
+        b = FunctionBehavior.from_block_periods(1100.0, periods)
+        assert b.io_ms == pytest.approx(1001.0 + 0.042 + 0.025)
+        assert b.solo_ms == pytest.approx(1100.0)
+
+    def test_overlapping_periods_rejected(self):
+        with pytest.raises(ProfilingError):
+            FunctionBehavior.from_block_periods(10.0, [(0.0, 5.0), (3.0, 6.0)])
+
+    def test_total_shorter_than_blocks_rejected(self):
+        with pytest.raises(ProfilingError):
+            FunctionBehavior.from_block_periods(3.0, [(0.0, 5.0)])
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["cpu", "io"]),
+              st.floats(min_value=0.0, max_value=1e4, allow_nan=False)),
+    min_size=1, max_size=20))
+def test_property_solo_is_cpu_plus_io(pairs):
+    b = FunctionBehavior.of(*pairs)
+    assert b.solo_ms == pytest.approx(b.cpu_ms + b.io_ms)
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["cpu", "io"]),
+              st.floats(min_value=0.001, max_value=1e3, allow_nan=False)),
+    min_size=1, max_size=12))
+def test_property_block_period_round_trip(pairs):
+    b = FunctionBehavior.of(*pairs)
+    rebuilt = FunctionBehavior.from_block_periods(b.solo_ms, b.block_periods())
+    assert rebuilt.io_ms == pytest.approx(b.io_ms, rel=1e-9, abs=1e-9)
+    assert rebuilt.cpu_ms == pytest.approx(b.cpu_ms, rel=1e-9, abs=1e-9)
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["cpu", "io"]),
+              st.floats(min_value=0.0, max_value=1e3, allow_nan=False)),
+    min_size=1, max_size=12),
+    st.floats(min_value=0.0, max_value=3.0),
+    st.floats(min_value=0.0, max_value=3.0))
+def test_property_scaled_totals(pairs, cf, iof):
+    b = FunctionBehavior.of(*pairs)
+    s = b.scaled(cpu_factor=cf, io_factor=iof)
+    assert s.cpu_ms == pytest.approx(b.cpu_ms * cf, rel=1e-9, abs=1e-9)
+    assert s.io_ms == pytest.approx(b.io_ms * iof, rel=1e-9, abs=1e-9)
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["cpu", "io"]),
+              st.floats(min_value=0.0, max_value=1e3, allow_nan=False)),
+    min_size=1, max_size=12))
+def test_property_merged_preserves_totals(pairs):
+    b = FunctionBehavior.of(*pairs)
+    m = b.merged()
+    assert m.cpu_ms == pytest.approx(b.cpu_ms)
+    assert m.io_ms == pytest.approx(b.io_ms)
+    # merged output strictly alternates kinds
+    kinds = [s.kind for s in m.segments]
+    assert all(a != b_ for a, b_ in zip(kinds, kinds[1:]))

@@ -1,0 +1,259 @@
+"""Tests for Workflow/Stage/FunctionSpec, the DAG leveller, DSL and codec."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkflowError
+from repro.workflow import (
+    Dag,
+    FunctionBehavior,
+    FunctionSpec,
+    Stage,
+    Workflow,
+    WorkflowBuilder,
+    from_state_machine,
+    random_workflow,
+    to_state_machine,
+)
+
+
+def _fn(name, cpu=1.0, io=0.0, **kw):
+    segs = [("cpu", cpu)] + ([("io", io)] if io else [])
+    return FunctionSpec(name=name, behavior=FunctionBehavior.of(*segs), **kw)
+
+
+class TestFunctionSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            _fn("")
+
+    def test_runtime_conflict(self):
+        a = _fn("a", runtime="python2")
+        b = _fn("b", runtime="python3")
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_file_write_write_conflict(self):
+        a = _fn("a", files_written={"/tmp/x"})
+        b = _fn("b", files_written={"/tmp/x"})
+        assert a.conflicts_with(b)
+
+    def test_file_write_read_conflict(self):
+        a = _fn("a", files_written={"/tmp/x"})
+        b = _fn("b", files_read={"/tmp/x"})
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_read_read_no_conflict(self):
+        a = _fn("a", files_read={"/tmp/x"})
+        b = _fn("b", files_read={"/tmp/x"})
+        assert not a.conflicts_with(b)
+
+    def test_no_conflict_default(self):
+        assert not _fn("a").conflicts_with(_fn("b"))
+
+
+class TestStageAndWorkflow:
+    def test_empty_stage_rejected(self):
+        with pytest.raises(WorkflowError):
+            Stage("s", [])
+
+    def test_duplicate_names_in_stage_rejected(self):
+        with pytest.raises(WorkflowError):
+            Stage("s", [_fn("a"), _fn("a")])
+
+    def test_duplicate_names_across_stages_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", [Stage("s1", [_fn("a")]), Stage("s2", [_fn("a")])])
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", [])
+
+    def test_counts(self):
+        wf = Workflow("w", [Stage("s1", [_fn("a")]),
+                            Stage("s2", [_fn("b"), _fn("c"), _fn("d")])])
+        assert wf.num_functions == 4
+        assert wf.max_parallelism == 3
+        assert len(wf) == 2
+        assert [f.name for f in wf.functions] == ["a", "b", "c", "d"]
+
+    def test_lookup(self):
+        wf = Workflow("w", [Stage("s1", [_fn("a")]), Stage("s2", [_fn("b")])])
+        assert wf.function("b").name == "b"
+        assert wf.stage_of("b").name == "s2"
+        with pytest.raises(WorkflowError):
+            wf.function("zzz")
+        with pytest.raises(WorkflowError):
+            wf.stage_of("zzz")
+
+    def test_critical_path_and_total_work(self):
+        wf = Workflow("w", [
+            Stage("s1", [_fn("a", cpu=10.0)]),
+            Stage("s2", [_fn("b", cpu=3.0), _fn("c", cpu=8.0)]),
+        ])
+        assert wf.critical_path_ms == pytest.approx(18.0)
+        assert wf.total_work_ms == pytest.approx(21.0)
+
+    def test_map_behaviors(self):
+        wf = Workflow("w", [Stage("s1", [_fn("a", cpu=10.0)])])
+        doubled = wf.map_behaviors(lambda b: b.scaled(cpu_factor=2.0))
+        assert doubled.function("a").behavior.cpu_ms == pytest.approx(20.0)
+        # original untouched
+        assert wf.function("a").behavior.cpu_ms == pytest.approx(10.0)
+
+
+class TestDag:
+    def test_duplicate_node_rejected(self):
+        dag = Dag().add_function(_fn("a"))
+        with pytest.raises(WorkflowError):
+            dag.add_function(_fn("a"))
+
+    def test_unknown_edge_endpoint_rejected(self):
+        dag = Dag().add_function(_fn("a"))
+        with pytest.raises(WorkflowError):
+            dag.add_edge("a", "nope")
+
+    def test_self_edge_rejected(self):
+        dag = Dag().add_function(_fn("a"))
+        with pytest.raises(WorkflowError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dag = Dag()
+        for n in "abc":
+            dag.add_function(_fn(n))
+        dag.add_edge("a", "b").add_edge("b", "c")
+        with pytest.raises(WorkflowError):
+            dag.add_edge("c", "a")
+        # rollback leaves the dag usable
+        assert dag.successors("c") == frozenset()
+        assert "c" in dag.sinks()
+
+    def test_levels_longest_path(self):
+        dag = Dag()
+        for n in "abcd":
+            dag.add_function(_fn(n))
+        # diamond with a long arm: a->b->d, a->c->... wait: a->d direct too
+        dag.add_edge("a", "b").add_edge("b", "c").add_edge("a", "c")
+        dag.add_edge("c", "d")
+        levels = dag.levels()
+        assert levels == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_to_workflow_levels_into_stages(self):
+        dag = Dag()
+        for n in "abcde":
+            dag.add_function(_fn(n))
+        dag.add_edge("a", "b").add_edge("a", "c").add_edge("b", "d")
+        dag.add_edge("c", "d").add_edge("d", "e")
+        wf = dag.to_workflow("lvl")
+        assert [len(s) for s in wf.stages] == [1, 2, 1, 1]
+
+    def test_from_workflow_round_trip_stage_shape(self):
+        wf = Workflow("w", [Stage("s1", [_fn("a")]),
+                            Stage("s2", [_fn("b"), _fn("c")]),
+                            Stage("s3", [_fn("d")])])
+        wf2 = Dag.from_workflow(wf).to_workflow("w2")
+        assert [len(s) for s in wf2.stages] == [1, 2, 1]
+
+    def test_sources_sinks(self):
+        dag = Dag()
+        for n in "ab":
+            dag.add_function(_fn(n))
+        dag.add_edge("a", "b")
+        assert dag.sources() == ["a"]
+        assert dag.sinks() == ["b"]
+
+    def test_empty_dag_to_workflow_rejected(self):
+        with pytest.raises(WorkflowError):
+            Dag().to_workflow("w")
+
+
+class TestBuilder:
+    def test_builds_stages_in_order(self):
+        wf = (WorkflowBuilder("b")
+              .sequential("ingest", ("fetch", FunctionBehavior.io(5.0)))
+              .parallel("fan", [("p0", FunctionBehavior.cpu(1.0)),
+                                ("p1", FunctionBehavior.cpu(1.0))])
+              .build())
+        assert [s.name for s in wf.stages] == ["ingest", "fan"]
+        assert wf.max_parallelism == 2
+
+    def test_accepts_function_specs(self):
+        wf = WorkflowBuilder("b").stage("s", _fn("x")).build()
+        assert wf.function("x").name == "x"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder("b").stage("s", 42)
+
+
+class TestStateMachine:
+    def test_round_trip(self):
+        wf = (WorkflowBuilder("sm")
+              .sequential("fetch", ("fetch", FunctionBehavior.io(20.0)))
+              .parallel("validate", [(f"rule-{i}", FunctionBehavior.cpu(0.8))
+                                     for i in range(5)])
+              .build())
+        text = to_state_machine(wf)
+        wf2 = from_state_machine(text)
+        assert wf2.name == "sm"
+        assert [len(s) for s in wf2.stages] == [1, 5]
+        assert wf2.function("rule-3").behavior.cpu_ms == pytest.approx(0.8)
+
+    def test_json_is_valid_asl_shape(self):
+        wf = WorkflowBuilder("x").sequential(
+            "only", ("f", FunctionBehavior.cpu(1.0))).build()
+        doc = json.loads(to_state_machine(wf))
+        assert doc["StartAt"] == "only"
+        assert doc["States"]["only"]["Type"] == "Task"
+        assert doc["States"]["only"]["End"] is True
+
+    def test_missing_states_rejected(self):
+        with pytest.raises(WorkflowError):
+            from_state_machine("{}")
+
+    def test_undefined_next_rejected(self):
+        doc = {"StartAt": "a", "States": {
+            "a": {"Type": "Task", "Behavior": {"segments": [["cpu", 1]]},
+                  "Next": "ghost"}}}
+        with pytest.raises(WorkflowError):
+            from_state_machine(doc)
+
+    def test_looping_chain_rejected(self):
+        doc = {"StartAt": "a", "States": {
+            "a": {"Type": "Task", "Behavior": {"segments": [["cpu", 1]]},
+                  "Next": "a"}}}
+        with pytest.raises(WorkflowError):
+            from_state_machine(doc)
+
+    def test_unsupported_type_rejected(self):
+        doc = {"StartAt": "a", "States": {"a": {"Type": "Choice", "End": True}}}
+        with pytest.raises(WorkflowError):
+            from_state_machine(doc)
+
+    def test_parallel_without_branches_rejected(self):
+        doc = {"StartAt": "a",
+               "States": {"a": {"Type": "Parallel", "Branches": [], "End": True}}}
+        with pytest.raises(WorkflowError):
+            from_state_machine(doc)
+
+
+class TestGenerators:
+    def test_deterministic_per_seed(self):
+        a, b = random_workflow(3), random_workflow(3)
+        assert repr(a) == repr(b)
+        assert [f.behavior for f in a.functions] == [f.behavior for f in b.functions]
+
+    def test_different_seeds_differ(self):
+        assert ([f.behavior for f in random_workflow(1).functions]
+                != [f.behavior for f in random_workflow(2).functions])
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_property_generated_workflows_are_valid(self, seed):
+        wf = random_workflow(seed)
+        assert wf.num_functions >= 1
+        assert wf.max_parallelism >= 1
+        assert wf.critical_path_ms <= wf.total_work_ms + 1e-9
+        names = [f.name for f in wf.functions]
+        assert len(set(names)) == len(names)
