@@ -6,6 +6,7 @@ Examples::
     chiron-repro run fig13 --quick
     chiron-repro run-all --quick
     chiron-repro plan --workload finra-50 --slo 150
+    chiron-repro trace finra-5 --out trace.json --timeline
     chiron-repro demo --workload social-network
 """
 
@@ -135,6 +136,63 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _normalize_workload(name: str) -> str:
+    """Accept sloppy workload spellings: ``finra5`` -> ``finra-5``."""
+    import re
+
+    from repro.apps.catalog import ALL_WORKLOADS
+
+    if name in ALL_WORKLOADS:
+        return name
+    candidate = re.sub(r"(?<=[a-zA-Z])(?=\d)", "-", name.replace("_", "-"))
+    if candidate in ALL_WORKLOADS:
+        return candidate
+    return name  # let workload() raise with the known-names message
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps import workload
+    from repro.core import ChironManager
+    from repro.obs import Tracer, compare, write_chrome_trace
+    from repro.obs.export import render_timeline
+
+    wf = workload(_normalize_workload(args.workload))
+    # 1.4x the solo critical path: tight enough that PGP spreads the stage
+    # over several wraps (gateway RPCs), loose enough that some functions
+    # co-locate as threads (GIL handoffs) — every mechanism shows up.
+    slo = args.slo if args.slo is not None else wf.critical_path_ms * 1.4
+    manager = ChironManager()
+    manager_tracer = Tracer()  # wall-clock: the deploy pipeline phases
+    deployment = manager.deploy(wf, slo_ms=slo, generate_code=False,
+                                tracer=manager_tracer)
+    plan = deployment.plan
+    print(f"workflow {wf.name}: {wf.num_functions} functions, "
+          f"SLO {slo:.1f} ms -> {plan.n_wraps} wrap(s), "
+          f"{plan.total_cores} CPU(s), predicted "
+          f"{plan.predicted_latency_ms:.1f} ms")
+    phases = ", ".join(f"{s.tags['op'].split('.')[-1]} {s.duration_ms:.1f} ms"
+                       for s in manager_tracer.spans(entity="manager"))
+    print(f"manager pipeline: {phases}")
+
+    tracer = Tracer()  # simulation-clock: the request's detailed timeline
+    report = compare(deployment.profiled_workflow, plan, cal=manager.cal,
+                     predictor=manager.predictor, cold=not args.warm,
+                     tracer=tracer)
+    print()
+    print(report.to_text())
+    if args.timeline:
+        print()
+        print(render_timeline(tracer, width=args.timeline))
+    if args.metrics:
+        print()
+        print(tracer.metrics.to_text())
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print(f"\nChrome trace-event JSON written to {args.out} "
+              f"(load in Perfetto or chrome://tracing)")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.apps import workload
     from repro.core import ChironManager
@@ -196,6 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--workload", required=True)
     p_replay.add_argument("--requests", type=int, default=10)
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace one request and compare against the predictor")
+    p_trace.add_argument("workload", nargs="?", default="finra-5",
+                         help="workload name (e.g. finra-5, social-network)")
+    p_trace.add_argument("--slo", type=float, default=None,
+                         help="SLO in ms (default: 1.4x the critical path)")
+    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
+                         help="Chrome trace-event JSON output "
+                              "(default trace.json; '' to skip)")
+    p_trace.add_argument("--warm", action="store_true",
+                         help="skip the cold sandbox boot")
+    p_trace.add_argument("--timeline", type=int, nargs="?", const=100,
+                         default=None, metavar="WIDTH",
+                         help="also print an ASCII timeline")
+    p_trace.add_argument("--metrics", action="store_true",
+                         help="also print the counter/histogram registry")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_demo = sub.add_parser("demo",
                             help="execute a plan with real threads/processes")

@@ -59,13 +59,27 @@ class ChironManager:
         self.generator = OrchestratorGenerator()
 
     def deploy(self, workflow: Workflow, slo_ms: float, *,
-               generate_code: bool = True) -> Deployment:
-        """Run the full pipeline for one workflow."""
-        profiles = self.profiler.profile_workflow(workflow)
-        profiled = Profiler.profiled_workflow(workflow, profiles)
-        plan = self.scheduler.schedule(profiled, slo_ms)
-        sources = (self.generator.generate(profiled, plan)
-                   if generate_code else {})
+               generate_code: bool = True, tracer=None) -> Deployment:
+        """Run the full pipeline for one workflow.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records each pipeline phase
+        as a wall-clock span on the ``manager`` entity — how long profiling,
+        PGP's predict/partition search, and code generation each took.
+        """
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+            tracer = NULL_TRACER
+        with tracer.span("manager.profile", entity="manager",
+                         functions=workflow.num_functions):
+            profiles = self.profiler.profile_workflow(workflow)
+            profiled = Profiler.profiled_workflow(workflow, profiles)
+        with tracer.span("manager.schedule", entity="manager",
+                         slo_ms=slo_ms):
+            plan = self.scheduler.schedule(profiled, slo_ms)
+        with tracer.span("manager.generate", entity="manager",
+                         enabled=generate_code):
+            sources = (self.generator.generate(profiled, plan)
+                       if generate_code else {})
         return Deployment(workflow=workflow, profiled_workflow=profiled,
                           profiles=profiles, plan=plan,
                           orchestrator_sources=sources)

@@ -36,11 +36,22 @@ _EPS = 1e-9
 
 
 class _Th:
-    """Mutable per-thread replay state for Algorithm 1."""
+    """Mutable per-thread replay state for Algorithm 1.
 
-    __slots__ = ("segs", "idx", "off", "cpu_time", "blocked_until", "done")
+    When ``trace`` is set, the replay emits the thread's simulated timeline
+    (exec/block spans at ``offset`` + replay time) into it — the predictor
+    side of :mod:`repro.obs.divergence`.
+    """
 
-    def __init__(self, behavior: FunctionBehavior, cal: RuntimeCalibration):
+    __slots__ = ("segs", "idx", "off", "cpu_time", "blocked_until", "done",
+                 "name", "trace", "offset", "finished_at")
+
+    def __init__(self, behavior: FunctionBehavior, cal: RuntimeCalibration,
+                 *, name: str = "t", trace=None, offset: float = 0.0):
+        self.name = name
+        self.trace = trace
+        self.offset = offset
+        self.finished_at: Optional[float] = None
         cpu_scale = 1.0 + cal.exec_overhead_cpu
         io_scale = 1.0 + cal.exec_overhead_io
         segs: list[tuple[SegmentKind, float]] = []
@@ -61,6 +72,7 @@ class _Th:
         while not self.done:
             if self.idx >= len(self.segs):
                 self.done = True
+                self.finished_at = now
                 return
             kind, dur = self.segs[self.idx]
             remaining = dur - self.off
@@ -72,6 +84,10 @@ class _Th:
             else:  # IO
                 if self.blocked_until is None:
                     self.blocked_until = now + remaining
+                    if self.trace is not None and remaining > _EPS:
+                        self.trace.record(self.name, "block",
+                                          self.offset + now,
+                                          self.offset + self.blocked_until)
                     return  # just blocked
                 if self.blocked_until <= now + _EPS:
                     self.idx += 1
@@ -113,19 +129,34 @@ class LatencyPredictor:
     # ------------------------------------------------------------------
     def predict_multithread_exec(
             self, behaviors: Sequence[FunctionBehavior], *,
-            include_spawn: bool = True) -> float:
-        """Wall time for ``behaviors`` running as threads of one process."""
+            include_spawn: bool = True, trace=None,
+            names: Optional[Sequence[str]] = None,
+            t0: float = 0.0) -> float:
+        """Wall time for ``behaviors`` running as threads of one process.
+
+        With ``trace`` set, the replay also emits each thread's simulated
+        timeline (startup/exec/block spans, offset by ``t0``) — consumed by
+        the divergence reporter to compare mechanisms side by side with the
+        runtime's trace of the same plan.
+        """
         if not behaviors:
             return 0.0
         cal = self.cal
         if not cal.has_gil:
             # True-parallel threads: fall back to the fluid schedule with one
             # core per thread available inside the process's cpuset share.
-            return self.predict_parallel_exec(behaviors, cores=len(behaviors))
+            return self.predict_parallel_exec(behaviors, cores=len(behaviors),
+                                              trace=trace, names=names, t0=t0)
         interval = cal.gil_switch_interval_ms
         spawn_cost = cal.thread_startup_ms if include_spawn else 0.0
 
-        threads = [_Th(b, cal) for b in behaviors]
+        if trace is None:  # hot path: PGP's search never traces
+            threads = [_Th(b, cal) for b in behaviors]
+        else:
+            threads = [_Th(b, cal,
+                           name=(names[i] if names is not None else f"t{i}"),
+                           trace=trace, offset=t0)
+                       for i, b in enumerate(behaviors)]
         to_spawn = list(range(len(threads)))
         spawned: list[_Th] = []
         main_cpu_time = 0.0
@@ -156,8 +187,14 @@ class LatencyPredictor:
                 batch = max(1, int(interval // spawn_cost))
                 batch = min(batch, len(to_spawn))
                 cost = batch * spawn_cost
-                for _ in range(batch):
-                    spawned.append(threads[to_spawn.pop(0)])
+                for b in range(batch):
+                    th = threads[to_spawn.pop(0)]
+                    spawned.append(th)
+                    if trace is not None:
+                        trace.record(th.name, "startup",
+                                     t0 + now + b * spawn_cost,
+                                     t0 + now + (b + 1) * spawn_cost,
+                                     op="thread.spawn")
                 now += cost
                 main_cpu_time += cost
                 continue
@@ -174,6 +211,7 @@ class LatencyPredictor:
             while budget > _EPS and not th.done:
                 if th.idx >= len(th.segs):
                     th.done = True
+                    th.finished_at = now + ran
                     break
                 kind, dur = th.segs[th.idx]
                 if kind is not SegmentKind.CPU:
@@ -185,6 +223,8 @@ class LatencyPredictor:
                 if th.off >= dur - _EPS:
                     th.idx += 1
                     th.off = 0.0
+            if trace is not None and ran > _EPS:
+                trace.record(th.name, "exec", t0 + now, t0 + now + ran)
             now += ran
             th.cpu_time += ran
             th.absorb(now)
@@ -196,12 +236,15 @@ class LatencyPredictor:
     def predict_parallel_exec(
             self, behaviors: Sequence[FunctionBehavior], *, cores: float,
             max_concurrent: Optional[int] = None,
-            start_offsets: Optional[Sequence[float]] = None) -> float:
+            start_offsets: Optional[Sequence[float]] = None,
+            trace=None, names: Optional[Sequence[str]] = None,
+            t0: float = 0.0) -> float:
         """Wall time for true-parallel tasks sharing ``cores`` cores.
 
         ``max_concurrent`` bounds simultaneously admitted tasks (pool
         workers); ``start_offsets`` stagger task arrivals (fork block /
-        dispatch serialization).
+        dispatch serialization).  ``trace`` captures the fluid replay's
+        per-task timeline (see :meth:`predict_multithread_exec`).
         """
         if not behaviors:
             return 0.0
@@ -212,7 +255,13 @@ class LatencyPredictor:
         offsets = list(start_offsets) if start_offsets is not None else [0.0] * n
         if len(offsets) != n:
             raise DeploymentError("start_offsets length mismatch")
-        tasks = [_Th(b, cal) for b in behaviors]
+        if trace is None:  # hot path: PGP's search never traces
+            tasks = [_Th(b, cal) for b in behaviors]
+        else:
+            tasks = [_Th(b, cal,
+                         name=(names[i] if names is not None else f"t{i}"),
+                         trace=trace, offset=t0)
+                     for i, b in enumerate(behaviors)]
         admitted: list[_Th] = []
         waiting = sorted(range(n), key=lambda i: (offsets[i], i))
         slots = max_concurrent if max_concurrent is not None else n
@@ -256,24 +305,58 @@ class LatencyPredictor:
     # Eq. (4): one process of a wrap
     # ------------------------------------------------------------------
     def predict_process(self, behaviors: Sequence[FunctionBehavior], *,
-                        fork_position: int) -> float:
+                        fork_position: int, trace=None,
+                        names: Optional[Sequence[str]] = None,
+                        proc_entity: Optional[str] = None,
+                        t0: float = 0.0) -> float:
         """Latency of the ``fork_position``-th forked process (1-based).
 
         ``fork_position=0`` means the group runs as threads of the resident
-        orchestrator process: no fork block, no interpreter startup.
+        orchestrator process: no fork block, no interpreter startup.  With
+        ``trace`` set, the fork wait and interpreter startup are recorded on
+        ``proc_entity`` ahead of the thread replay's own spans.
         """
-        exec_ms = self.predict_multithread_exec(behaviors)
-        if fork_position <= 0:
-            return exec_ms
         cal = self.cal
-        return ((fork_position - 1) * cal.fork_block_ms
-                + cal.process_startup_ms + exec_ms)
+        if fork_position <= 0:
+            return self.predict_multithread_exec(behaviors, trace=trace,
+                                                 names=names, t0=t0)
+        wait = (fork_position - 1) * cal.fork_block_ms
+        if trace is not None:
+            ent = proc_entity or f"proc-{fork_position - 1}"
+            # One fork-syscall-sized span per child (mirrors the runtime's
+            # per-child record, so mechanism totals align side to side).
+            trace.record(ent, "fork", t0 + wait,
+                         t0 + wait + cal.fork_block_ms, op="fork")
+            trace.record(ent, "startup", t0 + wait,
+                         t0 + wait + cal.process_startup_ms,
+                         op="proc.startup")
+        exec_ms = self.predict_multithread_exec(
+            behaviors, trace=trace, names=names,
+            t0=t0 + wait + cal.process_startup_ms)
+        return wait + cal.process_startup_ms + exec_ms
+
+    def _ipc_ms(self, assignment: StageAssignment,
+                workflow: Workflow) -> float:
+        """Eq. (3)'s IPC term, matching the runtime's ``ipc_collect``:
+        ``t_ipc`` per interaction pair plus streaming every function's output
+        through the pipe (paid even by a single process collecting results).
+        """
+        pairs = max(0, len(assignment.processes) - 1)
+        if not pairs:
+            return 0.0
+        data_mb = sum(workflow.function(n).behavior.data_out_mb
+                      for n in assignment.function_names)
+        return (self.cal.t_ipc_ms * pairs
+                + data_mb / self.cal.pipe_bandwidth_mb_per_ms)
 
     # ------------------------------------------------------------------
     # non-uniform CPU sharing within a wrap (§4 / Figure 7's motivation)
     # ------------------------------------------------------------------
     def predict_wrap_stage_shared(self, assignment: StageAssignment,
-                                  workflow: Workflow, cores: float) -> float:
+                                  workflow: Workflow, cores: float, *,
+                                  trace=None,
+                                  entity_prefix: Optional[str] = None,
+                                  t0: float = 0.0) -> float:
         """Wrap-stage latency when its processes share ``cores`` CPUs.
 
         Each forked group is folded to one task (its Algorithm-1 execution
@@ -286,11 +369,16 @@ class LatencyPredictor:
         cal = self.cal
         behaviors_of = lambda names: [workflow.function(n).behavior
                                       for n in names]
+        prefix = entity_prefix or "wrap"
         tasks: list[FunctionBehavior] = []
         offsets: list[float] = []
+        task_names: list[str] = []
         n_forked = len(assignment.forked_processes)
         fork_j = 0
         for proc in assignment.processes:
+            # Folded groups lose per-function identity; name the task after
+            # the group so divergence can still match singleton groups.
+            task_names.append("+".join(proc.functions))
             group = behaviors_of(proc.functions)
             exec_ms = self.predict_multithread_exec(group)
             io_ms = min(b.io_ms for b in group) if len(group) == 1 else 0.0
@@ -314,18 +402,31 @@ class LatencyPredictor:
                 fork_j += 1
                 offsets.append((fork_j - 1) * cal.fork_block_ms)
         total = self.predict_parallel_exec(tasks, cores=cores,
-                                           start_offsets=offsets)
-        ipc_pairs = max(0, len(assignment.processes) - 1)
-        return total + cal.t_ipc_ms * ipc_pairs
+                                           start_offsets=offsets,
+                                           trace=trace, names=task_names,
+                                           t0=t0)
+        ipc_ms = self._ipc_ms(assignment, workflow)
+        if trace is not None and ipc_ms > _EPS:
+            trace.record(f"{prefix}-ipc-s{assignment.stage_index}", "ipc",
+                         t0 + total, t0 + total + ipc_ms, op="ipc")
+        return total + ipc_ms
 
     # ------------------------------------------------------------------
     # Eq. (3): one wrap within one stage
     # ------------------------------------------------------------------
     def predict_wrap_stage(self, assignment: StageAssignment,
-                           workflow: Workflow) -> float:
-        """Latency of one wrap's share of a stage."""
+                           workflow: Workflow, *, trace=None,
+                           entity_prefix: Optional[str] = None,
+                           t0: float = 0.0) -> float:
+        """Latency of one wrap's share of a stage.
+
+        Traced entities mirror the runtime's naming (``{wrap}-s{i}-{j}``
+        fork children, ``{wrap}-ipc-s{i}`` pipes, plain function names for
+        threads) so the divergence reporter can align the two timelines.
+        """
         behaviors_of = lambda names: [workflow.function(n).behavior
                                       for n in names]
+        prefix = entity_prefix or "wrap"
         n_forked = len(assignment.forked_processes)
         latencies = []
         fork_j = 0
@@ -333,72 +434,115 @@ class LatencyPredictor:
             if proc.mode is ExecMode.THREAD:
                 # Orchestrator thread groups start after the orchestrator
                 # finished issuing all forks (forks come first, Figure 9).
+                start = n_forked * self.cal.fork_block_ms
                 latencies.append(
-                    n_forked * self.cal.fork_block_ms
-                    + self.predict_process(behaviors_of(proc.functions),
-                                           fork_position=0))
+                    start + self.predict_process(
+                        behaviors_of(proc.functions), fork_position=0,
+                        trace=trace, names=list(proc.functions),
+                        t0=t0 + start))
             else:
                 fork_j += 1
                 latencies.append(self.predict_process(
-                    behaviors_of(proc.functions), fork_position=fork_j))
-        ipc_pairs = max(0, len(assignment.processes) - 1)
-        return max(latencies) + self.cal.t_ipc_ms * ipc_pairs
+                    behaviors_of(proc.functions), fork_position=fork_j,
+                    trace=trace, names=list(proc.functions),
+                    proc_entity=(
+                        f"{prefix}-s{assignment.stage_index}-{fork_j - 1}"),
+                    t0=t0))
+        ipc_ms = self._ipc_ms(assignment, workflow)
+        if trace is not None and ipc_ms > _EPS:
+            trace.record(f"{prefix}-ipc-s{assignment.stage_index}", "ipc",
+                         t0 + max(latencies), t0 + max(latencies) + ipc_ms,
+                         op="ipc")
+        return max(latencies) + ipc_ms
 
     def _predict_pool_stage(self, plan: DeploymentPlan, workflow: Workflow,
-                            stage_index: int) -> float:
+                            stage_index: int, *, trace=None,
+                            t0: float = 0.0) -> float:
         """Pool-mode stage latency: dispatch stagger + bounded concurrency."""
         parts = plan.stage_wraps(stage_index)
         worst = 0.0
         for k, (wrap, sa) in enumerate(parts):
-            behaviors = [workflow.function(n).behavior
-                         for n in sa.function_names]
+            names = list(sa.function_names)
+            behaviors = [workflow.function(n).behavior for n in names]
             offsets = [i * self.cal.pool_dispatch_ms
                        for i in range(len(behaviors))]
+            shift = (k * self.cal.t_inv_ms + self.cal.t_rpc_ms) if k else 0.0
+            if trace is not None and k > 0:
+                trace.record(wrap.name, "rpc",
+                             t0 + k * self.cal.t_inv_ms, t0 + shift, op="rpc")
+            if trace is not None:
+                pd = self.cal.pool_dispatch_ms
+                for i in range(len(behaviors)):
+                    trace.record(f"{wrap.name}/orch/main", "startup",
+                                 t0 + shift + i * pd,
+                                 t0 + shift + (i + 1) * pd,
+                                 op="pool.dispatch")
             t = self.predict_parallel_exec(
                 behaviors, cores=plan.cores_for(wrap),
                 max_concurrent=plan.pool_workers or None,
-                start_offsets=offsets)
-            if k > 0:
-                t += k * self.cal.t_inv_ms + self.cal.t_rpc_ms
-            worst = max(worst, t)
+                start_offsets=offsets, trace=trace, names=names,
+                t0=t0 + shift)
+            worst = max(worst, t + shift)
         return worst
 
     # ------------------------------------------------------------------
     # Eq. (2): one stage
     # ------------------------------------------------------------------
     def _wrap_part_latency(self, plan: DeploymentPlan, wrap,
-                           sa: StageAssignment, workflow: Workflow) -> float:
+                           sa: StageAssignment, workflow: Workflow, *,
+                           trace=None, t0: float = 0.0) -> float:
         """One wrap's stage latency, honouring its CPU allocation."""
         needed = (len(sa.forked_processes)
                   + (1 if sa.thread_groups else 0))
         cores = plan.cores_for(wrap)
         if cores < needed:
-            return self.predict_wrap_stage_shared(sa, workflow, cores)
-        return self.predict_wrap_stage(sa, workflow)
+            return self.predict_wrap_stage_shared(
+                sa, workflow, cores, trace=trace, entity_prefix=wrap.name,
+                t0=t0)
+        return self.predict_wrap_stage(sa, workflow, trace=trace,
+                                       entity_prefix=wrap.name, t0=t0)
 
     def predict_stage(self, plan: DeploymentPlan, workflow: Workflow,
-                      stage_index: int) -> float:
+                      stage_index: int, *, trace=None,
+                      t0: float = 0.0) -> float:
         parts = plan.stage_wraps(stage_index)
         if not parts:
             raise DeploymentError(f"no wrap covers stage {stage_index}")
         if plan.pool_workers > 0:
-            return self._predict_pool_stage(plan, workflow, stage_index)
+            return self._predict_pool_stage(plan, workflow, stage_index,
+                                            trace=trace, t0=t0)
         first = self._wrap_part_latency(plan, parts[0][0], parts[0][1],
-                                        workflow)
+                                        workflow, trace=trace, t0=t0)
         rest = 0.0
         for k, (wrap, sa) in enumerate(parts[1:], start=2):
-            t = (self._wrap_part_latency(plan, wrap, sa, workflow)
-                 + (k - 1) * self.cal.t_inv_ms)
+            # Sibling wraps start after (k-1) async submissions plus the
+            # gateway RPC; shifting their t0 by t_rpc up front is arithmetic-
+            # ally the same as Eq. 2's "+ T_RPC after the max".
+            shift = (k - 1) * self.cal.t_inv_ms + self.cal.t_rpc_ms
+            if trace is not None:
+                trace.record(wrap.name, "rpc",
+                             t0 + (k - 1) * self.cal.t_inv_ms, t0 + shift,
+                             op="rpc")
+            t = (self._wrap_part_latency(plan, wrap, sa, workflow,
+                                         trace=trace, t0=t0 + shift)
+                 + shift)
             rest = max(rest, t)
-        if len(parts) > 1:
-            rest += self.cal.t_rpc_ms
         return max(first, rest)
 
     # ------------------------------------------------------------------
     # Eq. (1): the whole workflow
     # ------------------------------------------------------------------
-    def predict_workflow(self, workflow: Workflow,
-                         plan: DeploymentPlan) -> float:
-        total = sum(self.predict_stage(plan, workflow, i)
-                    for i in range(len(workflow.stages)))
+    def predict_workflow(self, workflow: Workflow, plan: DeploymentPlan, *,
+                         trace=None) -> float:
+        """Eq. (1) total; with ``trace`` set, also emits the predicted
+        timeline (stage k's spans offset by the latency of stages < k).
+
+        The trace carries *raw* predicted times — ``conservatism`` scales
+        only the returned total, so traced timelines stay comparable with
+        the runtime's mechanism for mechanism.
+        """
+        total = 0.0
+        for i in range(len(workflow.stages)):
+            total += self.predict_stage(plan, workflow, i, trace=trace,
+                                        t0=total)
         return total * self.conservatism

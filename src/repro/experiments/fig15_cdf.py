@@ -13,6 +13,7 @@ from repro.apps import finra
 from repro.experiments.common import ExperimentResult, register
 from repro.experiments.systems import figure13_systems
 from repro.metrics import percentile
+from repro.obs.export import render_cdf
 
 SYSTEMS = ("openfaas", "faastlane", "chiron", "faastlane-m", "chiron-m",
            "faastlane-p", "chiron-p")
@@ -29,6 +30,7 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="completion time of each parallel function since request "
               "start; pool = early start, possible long tail",
     )
+    charts = []
     for label in SYSTEMS:
         res = systems[label].run(wf)
         finish = [end for name, (_s, end) in res.function_spans.items()
@@ -38,4 +40,8 @@ def run(quick: bool = False) -> ExperimentResult:
                    p50=percentile(finish, 50),
                    p90=percentile(finish, 90),
                    p100=percentile(finish, 100))
+        if label in ("faastlane-p", "chiron"):  # the tail-shape contrast
+            charts.append(f"--- {label} ---\n"
+                          + render_cdf(finish, label="completion (ms)"))
+    result.notes += "\n" + "\n".join(charts)
     return result

@@ -1,0 +1,56 @@
+"""``repro.obs`` — zero-dependency tracing, metrics, and divergence tooling.
+
+Layers on top of the flat :class:`~repro.simcore.monitor.TraceRecorder` the
+platforms already thread through the simulated runtime:
+
+* :class:`Tracer` — nested spans, typed instant events, per-run metrics;
+  pass one to ``Platform.run(tracer=...)`` to capture a request's detailed
+  timeline (tracing is off by default and the hook points are gated on a
+  single attribute load, so undecorated runs pay ~nothing);
+* :mod:`repro.obs.metrics` — :class:`Registry` of counters and histograms;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable) and
+  the ASCII timeline/CDF renderers the experiments embed;
+* :mod:`repro.obs.divergence` — runs the white-box predictor's simulated
+  timeline next to the runtime's trace and reports per-function and
+  per-mechanism deltas.
+
+See ``docs/observability.md`` for a walkthrough, or::
+
+    python -m repro trace finra5 --out trace.json
+"""
+
+from repro.obs.divergence import (
+    DivergenceReport,
+    FunctionDelta,
+    MechanismDelta,
+    compare,
+)
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    render_cdf,
+    render_timeline,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Histogram, Registry
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanHandle, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DivergenceReport",
+    "FunctionDelta",
+    "Histogram",
+    "MechanismDelta",
+    "NULL_TRACER",
+    "NullTracer",
+    "Registry",
+    "SpanHandle",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "compare",
+    "render_cdf",
+    "render_timeline",
+    "write_chrome_trace",
+]

@@ -1,0 +1,230 @@
+"""Predictor-vs-runtime divergence reporting.
+
+The white-box predictor (§3.3) and the simulated runtime model the same
+mechanisms — thread spawning under the GIL, fork serialization, interpreter
+startup, pipe IPC, gateway RPC — through independent code paths, so any
+modelling drift between them shows up as a latency gap.  :func:`compare`
+runs both over the same workflow/plan and aligns their timelines:
+
+* **per function** — the predictor's replay emits each function's simulated
+  completion time (``LatencyPredictor.predict_workflow(trace=...)``); the
+  runtime stamps the real one in ``RequestResult.function_spans``.  A big
+  delta on one function localizes the divergence to its process group.
+* **per mechanism** — both traces tag spans with an ``op`` (``thread.spawn``,
+  ``fork``, ``proc.startup``, ``ipc``, ``rpc``, ...); summing durations per
+  op on each side shows *which* mechanism diverges.  Ops only the runtime
+  emits (``gil.wait``, ``sandbox.boot``, gateway queueing) surface costs the
+  predictor does not model at all.
+
+This is the workflow that localized two seed-era bugs: a per-chunk GIL
+handoff in the runtime (threads spawned one per switch interval instead of
+a batch) and a missing IPC data-streaming term in the predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.core.predictor import LatencyPredictor
+from repro.core.wrap import DeploymentPlan
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow.model import Workflow
+
+
+@dataclass(frozen=True)
+class FunctionDelta:
+    """One function's predicted vs measured completion time."""
+
+    name: str
+    predicted_end_ms: Optional[float]
+    measured_end_ms: Optional[float]
+
+    @property
+    def delta_ms(self) -> Optional[float]:
+        if self.predicted_end_ms is None or self.measured_end_ms is None:
+            return None
+        return self.measured_end_ms - self.predicted_end_ms
+
+    @property
+    def rel(self) -> Optional[float]:
+        if self.delta_ms is None or not self.predicted_end_ms:
+            return None
+        return self.delta_ms / self.predicted_end_ms
+
+
+@dataclass(frozen=True)
+class MechanismDelta:
+    """Summed span durations for one mechanism (``op`` tag) on both sides."""
+
+    op: str
+    predicted_ms: float
+    measured_ms: float
+    predicted_spans: int
+    measured_spans: int
+
+    @property
+    def delta_ms(self) -> float:
+        return self.measured_ms - self.predicted_ms
+
+
+@dataclass
+class DivergenceReport:
+    """Side-by-side decomposition of one predictor/runtime pairing."""
+
+    workflow: str
+    predicted_total_ms: float
+    measured_total_ms: float
+    functions: list[FunctionDelta] = field(default_factory=list)
+    mechanisms: list[MechanismDelta] = field(default_factory=list)
+    conservatism: float = 1.0
+    predicted_trace: Optional[TraceRecorder] = None
+    runtime_trace: Optional[TraceRecorder] = None
+
+    @property
+    def total_delta_ms(self) -> float:
+        return self.measured_total_ms - self.predicted_total_ms
+
+    @property
+    def worst_function(self) -> Optional[FunctionDelta]:
+        with_delta = [f for f in self.functions if f.delta_ms is not None]
+        if not with_delta:
+            return None
+        return max(with_delta, key=lambda f: abs(f.delta_ms))
+
+    @property
+    def worst_mechanism(self) -> Optional[MechanismDelta]:
+        if not self.mechanisms:
+            return None
+        return max(self.mechanisms, key=lambda m: abs(m.delta_ms))
+
+    def mechanism(self, op: str) -> Optional[MechanismDelta]:
+        for m in self.mechanisms:
+            if m.op == op:
+                return m
+        return None
+
+    def to_text(self) -> str:
+        rel = (self.total_delta_ms / self.predicted_total_ms * 100.0
+               if self.predicted_total_ms else float("inf"))
+        lines = [
+            f"divergence report: {self.workflow}",
+            f"  predicted {self.predicted_total_ms:9.3f} ms"
+            + (f"  (conservatism x{self.conservatism:g})"
+               if self.conservatism != 1.0 else ""),
+            f"  measured  {self.measured_total_ms:9.3f} ms"
+            f"  (delta {self.total_delta_ms:+.3f} ms, {rel:+.1f}%)",
+            "",
+            "per-function completion (ms)",
+            f"  {'function':<20s} {'predicted':>10s} {'measured':>10s} "
+            f"{'delta':>9s} {'rel':>7s}",
+        ]
+        for f in self.functions:
+            pred = ("-" if f.predicted_end_ms is None
+                    else f"{f.predicted_end_ms:10.3f}")
+            meas = ("-" if f.measured_end_ms is None
+                    else f"{f.measured_end_ms:10.3f}")
+            delta = "-" if f.delta_ms is None else f"{f.delta_ms:+9.3f}"
+            relc = "-" if f.rel is None else f"{f.rel * 100:+6.1f}%"
+            lines.append(f"  {f.name:<20s} {pred:>10s} {meas:>10s} "
+                         f"{delta:>9s} {relc:>7s}")
+        lines += [
+            "",
+            "per-mechanism totals (ms)",
+            f"  {'mechanism':<20s} {'predicted':>10s} {'measured':>10s} "
+            f"{'delta':>9s} {'spans p/m':>10s}",
+        ]
+        for m in self.mechanisms:
+            lines.append(
+                f"  {m.op:<20s} {m.predicted_ms:10.3f} {m.measured_ms:10.3f} "
+                f"{m.delta_ms:+9.3f} {m.predicted_spans:>4d}/{m.measured_spans:<4d}")
+        worst = self.worst_mechanism
+        if worst is not None and abs(worst.delta_ms) > 1e-6:
+            lines += ["",
+                      f"largest mechanism gap: {worst.op} "
+                      f"({worst.delta_ms:+.3f} ms)"]
+        return "\n".join(lines)
+
+
+def _mechanism_totals(trace: TraceRecorder) -> dict[str, tuple[float, int]]:
+    """Summed duration and span count per ``op`` tag (kind when untagged)."""
+    out: dict[str, tuple[float, int]] = {}
+    for span in trace:
+        op = str(span.tags.get("op", span.kind))
+        total, n = out.get(op, (0.0, 0))
+        out[op] = (total + span.duration_ms, n + 1)
+    return out
+
+
+def _predicted_function_ends(trace: TraceRecorder,
+                             names: list[str]) -> dict[str, float]:
+    """Latest span end per function entity, stage-local names resolved.
+
+    The predictor's replay names thread/task entities with the plain function
+    name; runtime-only entities (fork children, ipc pipes) don't collide
+    because function names never contain ``/``.
+    """
+    ends: dict[str, float] = {}
+    for span in trace:
+        if span.entity in names:
+            prev = ends.get(span.entity)
+            if prev is None or span.end_ms > prev:
+                ends[span.entity] = span.end_ms
+    return ends
+
+
+def compare(workflow: Workflow, plan: DeploymentPlan, *,
+            cal: Optional[RuntimeCalibration] = None,
+            predictor: Optional[LatencyPredictor] = None,
+            platform=None, cold: bool = False,
+            tracer=None) -> DivergenceReport:
+    """Predict and execute ``plan``, then decompose the latency gap.
+
+    ``predictor`` and ``platform`` default to a shared calibration; pass a
+    deliberately different predictor (or ``platform``) to see how a single
+    mis-calibrated constant surfaces in the mechanism table.  ``tracer``
+    (a :class:`repro.obs.Tracer`) upgrades the runtime side to the detailed
+    trace — GIL waits, gateway queueing — at some simulation overhead.
+    """
+    cal = cal or RuntimeCalibration.native()
+    predictor = predictor or LatencyPredictor(cal)
+    if platform is None:
+        from repro.platforms.chiron import ChironPlatform
+        platform = ChironPlatform(plan, cal)
+
+    pred_trace = TraceRecorder()
+    predicted = predictor.predict_workflow(workflow, plan, trace=pred_trace)
+    result = platform.run(workflow, cold=cold, tracer=tracer)
+    run_trace = result.trace
+
+    names = [f.name for f in workflow.functions]
+    pred_ends = _predicted_function_ends(pred_trace, names)
+    functions = [FunctionDelta(
+        name=n,
+        predicted_end_ms=pred_ends.get(n),
+        measured_end_ms=(result.function_spans[n][1]
+                         if n in result.function_spans else None))
+        for n in names]
+
+    pred_ops = _mechanism_totals(pred_trace)
+    run_ops = _mechanism_totals(run_trace)
+    mechanisms = [
+        MechanismDelta(
+            op=op,
+            predicted_ms=pred_ops.get(op, (0.0, 0))[0],
+            measured_ms=run_ops.get(op, (0.0, 0))[0],
+            predicted_spans=pred_ops.get(op, (0.0, 0))[1],
+            measured_spans=run_ops.get(op, (0.0, 0))[1])
+        for op in sorted(set(pred_ops) | set(run_ops))]
+    mechanisms.sort(key=lambda m: abs(m.delta_ms), reverse=True)
+
+    return DivergenceReport(
+        workflow=workflow.name,
+        predicted_total_ms=predicted,
+        measured_total_ms=result.latency_ms,
+        functions=functions,
+        mechanisms=mechanisms,
+        conservatism=predictor.conservatism,
+        predicted_trace=pred_trace,
+        runtime_trace=run_trace)

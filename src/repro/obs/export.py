@@ -1,0 +1,149 @@
+"""Trace exporters: Chrome trace-event JSON and ASCII timelines.
+
+Two consumers are served:
+
+* **Perfetto / chrome://tracing** — :func:`chrome_trace` converts a recorded
+  trace into the Trace Event Format (`"X"` complete spans, `"i"` instant
+  events, `"M"` metadata naming each track), so a request's timeline can be
+  inspected interactively.  Times are exported in microseconds as the format
+  requires; the source trace is in milliseconds.
+* **terminals** — :func:`render_timeline` draws the one-row-per-entity Gantt
+  chart the Figure 5 experiment embeds in its notes, and :func:`render_cdf`
+  draws the completion-time distribution used alongside Figure 15.
+
+Both work on any :class:`~repro.simcore.monitor.TraceRecorder`; richer
+detail (instant events, metrics) is included when the object is a
+:class:`repro.obs.Tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Sequence, Union
+
+#: glyphs for the ASCII timeline, by span kind
+TIMELINE_GLYPHS = {
+    "startup": "s", "exec": "#", "block": ".", "ipc": "i",
+    "rpc": "r", "wait": "-", "fork": "f", "queue": "q", "phase": "=",
+}
+
+
+# ---------------------------------------------------------------------------
+# ASCII rendering
+# ---------------------------------------------------------------------------
+
+def render_timeline(trace, width: int = 72,
+                    glyphs: Optional[dict] = None) -> str:
+    """One row per entity; each span paints its kind's glyph over its extent."""
+    spans = list(trace)
+    if not spans:
+        return "(no spans)"
+    glyph = glyphs or TIMELINE_GLYPHS
+    t0 = min(s.start_ms for s in spans)
+    t1 = max(s.end_ms for s in spans)
+    span_total = max(t1 - t0, 1e-9)
+    lines = []
+    label_w = max(len(e) for e in trace.entities()) + 1
+    for entity in trace.entities():
+        row = [" "] * width
+        for span in trace.spans(entity=entity):
+            a = int((span.start_ms - t0) / span_total * (width - 1))
+            b = int((span.end_ms - t0) / span_total * (width - 1))
+            ch = glyph.get(span.kind, "#")
+            for i in range(a, max(a, b) + 1):
+                row[i] = ch
+        lines.append(f"{entity:<{label_w}}|{''.join(row)}|")
+    lines.append(f"{'':<{label_w}} {t0:.1f} ms {'-' * (width - 20)} {t1:.1f} ms")
+    return "\n".join(lines)
+
+
+def render_cdf(values: Sequence[float], width: int = 60, height: int = 12,
+               label: str = "completion (ms)") -> str:
+    """ASCII CDF of ``values`` — the Figure 15 companion chart."""
+    pts = sorted(float(v) for v in values)
+    if not pts:
+        return "(no samples)"
+    lo, hi = pts[0], pts[-1]
+    spread = max(hi - lo, 1e-9)
+    n = len(pts)
+    rows = []
+    for level in range(height, 0, -1):
+        frac = level / height
+        # smallest value whose CDF reaches `frac`
+        idx = min(int(frac * n + 1e-9), n) - 1
+        cut = pts[max(idx, 0)]
+        col = int((cut - lo) / spread * (width - 1))
+        row = ["·"] * (col + 1) + [" "] * (width - col - 1)
+        row[col] = "#"
+        rows.append(f"{frac:4.0%} |{''.join(row)}|")
+    rows.append(f"     {lo:8.1f}{'':{max(width - 16, 1)}}{hi:8.1f}  {label}")
+    return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+_MS_TO_US = 1000.0
+
+
+def chrome_trace_events(trace, pid: int = 1) -> list[dict]:
+    """Flatten a trace into Trace Event Format records (times in us)."""
+    events: list[dict] = []
+    tids = {entity: i + 1 for i, entity in enumerate(trace.entities())}
+    events.append({"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                   "args": {"name": "repro-simulation"}})
+    for entity, tid in tids.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": entity}})
+    for span in trace:
+        args = {k: v for k, v in span.tags.items() if k != "op"}
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": tids[span.entity],
+            "name": str(span.tags.get("op", span.kind)),
+            "cat": span.kind,
+            "ts": span.start_ms * _MS_TO_US,
+            "dur": span.duration_ms * _MS_TO_US,
+            "args": args,
+        })
+    for ev in getattr(trace, "events", ()):  # Tracer-only instants
+        tid = tids.get(ev.entity)
+        if tid is None:
+            tid = tids[ev.entity] = len(tids) + 1
+            events.append({"ph": "M", "pid": pid, "tid": tid,
+                           "name": "thread_name", "args": {"name": ev.entity}})
+        events.append({
+            "ph": "i",
+            "pid": pid,
+            "tid": tid,
+            "name": ev.name,
+            "cat": "event",
+            "ts": ev.ts_ms * _MS_TO_US,
+            "s": "t",
+            "args": dict(ev.tags),
+        })
+    return events
+
+
+def chrome_trace(trace) -> dict:
+    """The full JSON-object form Perfetto and chrome://tracing load."""
+    doc = {
+        "traceEvents": chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+    }
+    snapshot = getattr(trace, "snapshot", None)
+    if callable(snapshot):
+        doc["otherData"] = snapshot()
+    return doc
+
+
+def write_chrome_trace(trace, out: Union[str, IO[str]]) -> None:
+    """Serialize :func:`chrome_trace` to a path or open text file."""
+    doc = chrome_trace(trace)
+    if hasattr(out, "write"):
+        json.dump(doc, out, indent=1)
+    else:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=1)

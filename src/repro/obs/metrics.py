@@ -1,0 +1,163 @@
+"""Counters and histograms for simulation/runtime observability.
+
+A :class:`Registry` is a flat namespace of named instruments:
+
+* :class:`Counter` — a monotonically increasing float (events dispatched,
+  GIL handoffs, RPCs issued, bytes moved);
+* :class:`Histogram` — streaming summary statistics plus fixed-boundary
+  bucket counts (gateway queueing delay, GIL wait, span durations).
+
+Everything is zero-dependency and allocation-light: instruments are created
+lazily on first use and snapshots are plain dictionaries, so a registry can
+be attached to a per-run :class:`repro.obs.Tracer` or kept process-global.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc {amount})")
+        self.value += amount
+
+
+#: default histogram bucket upper bounds, in the unit observed (we use ms).
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                   250.0, 500.0, 1000.0)
+
+
+class Histogram:
+    """Streaming summary of observed values with fixed bucket boundaries."""
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
+                 "min", "max", "_sumsq")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("bucket boundaries must be sorted and non-empty")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        #: counts per bucket; one extra slot for values above the last bound
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sumsq = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self._sumsq / self.count - self.mean ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": dict(zip([*map(str, self.buckets), "+inf"],
+                                self.bucket_counts)),
+        }
+
+
+class Registry:
+    """A namespace of lazily created counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access --------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    # -- convenience write paths --------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read side -----------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump of every instrument's current state."""
+        return {
+            "counters": self.counters(),
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, other: "Registry") -> None:
+        """Fold ``other``'s instruments into this registry (multi-run)."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, h.buckets)
+            mine.count += h.count
+            mine.total += h.total
+            mine._sumsq += h._sumsq
+            mine.min = min(mine.min, h.min)
+            mine.max = max(mine.max, h.max)
+            for i, n in enumerate(h.bucket_counts):
+                mine.bucket_counts[i] += n
+
+    def to_text(self) -> str:
+        """Human-readable one-line-per-instrument dump."""
+        lines = []
+        for name, value in self.counters().items():
+            lines.append(f"{name:<40s} {value:12g}")
+        for name, h in sorted(self._histograms.items()):
+            lines.append(f"{name:<40s} n={h.count} mean={h.mean:.3f} "
+                         f"min={0.0 if not h.count else h.min:.3f} "
+                         f"max={0.0 if not h.count else h.max:.3f}")
+        return "\n".join(lines) if lines else "(no metrics)"

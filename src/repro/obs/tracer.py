@@ -1,0 +1,188 @@
+"""The span/event tracer behind ``repro.obs``.
+
+:class:`Tracer` extends the flat :class:`~repro.simcore.monitor.TraceRecorder`
+(which every platform already threads through the simulated runtime) with
+
+* **nested spans** — ``with tracer.span("manager.profile"):`` or explicit
+  :meth:`begin`/:meth:`end`; open spans form a per-entity stack, so closed
+  spans carry ``span_id``/``parent_id``/``depth`` tags and export cleanly to
+  Chrome trace-event JSON;
+* **typed instant events** — :meth:`event` records a named point in time
+  (GIL handoffs, pool dispatches, kernel milestones);
+* **metrics** — a :class:`~repro.obs.metrics.Registry` the hook points feed
+  (counters for forks/RPCs/handoffs, histograms for queueing and wait times).
+
+Tracing is *opt-in*: the default :class:`TraceRecorder` created by
+``Platform.run`` has ``detail = False`` and every new hook point checks that
+flag (one attribute load) before doing any work, so benchmark runs without a
+tracer pay effectively nothing.  Pass ``tracer=Tracer()`` to
+``Platform.run`` to capture the detailed timeline of one request.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import Registry
+from repro.simcore.monitor import TraceRecorder
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous, named occurrence on an entity's timeline."""
+
+    name: str          # e.g. "gil.handoff", "pool.dispatch"
+    entity: str        # track the event belongs to
+    ts_ms: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SpanHandle:
+    """An open span returned by :meth:`Tracer.begin`; close with ``end``."""
+
+    span_id: int
+    name: str
+    entity: str
+    kind: str
+    start_ms: float
+    parent_id: Optional[int]
+    depth: int
+    tags: Dict[str, Any]
+    closed: bool = False
+
+
+def _wall_clock_ms(origin: float = time.perf_counter()) -> float:
+    """Milliseconds since module import — the default (non-simulated) clock."""
+    return (time.perf_counter() - origin) * 1000.0
+
+
+class Tracer(TraceRecorder):
+    """A detail-mode recorder: nested spans, typed events, metrics.
+
+    ``clock`` supplies timestamps for :meth:`span`/:meth:`event` callers that
+    do not pass explicit times (e.g. the manager's wall-clock phases).  When
+    a platform runs a request with this tracer it rebinds the clock to the
+    simulation's ``env.now`` via :meth:`bind_clock`, so all records share the
+    simulated time base.
+    """
+
+    detail = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        super().__init__()
+        self._clock: Callable[[], float] = clock or _wall_clock_ms
+        self.metrics = Registry()
+        self.events: List[TraceEvent] = []
+        self._open: Dict[str, List[SpanHandle]] = {}
+        self._next_id = 1
+
+    # -- clock ----------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Switch the timestamp source (platforms bind ``lambda: env.now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- typed events ----------------------------------------------------------
+    def event(self, name: str, entity: str = "trace",
+              ts_ms: Optional[float] = None, **tags: Any) -> None:
+        """Record an instantaneous event and bump its counter."""
+        when = self._clock() if ts_ms is None else ts_ms
+        self.events.append(TraceEvent(name, entity, when, dict(tags)))
+        self.metrics.inc(f"event.{name}")
+
+    # -- nested spans -----------------------------------------------------------
+    def begin(self, name: str, entity: str = "trace", kind: str = "phase",
+              **tags: Any) -> SpanHandle:
+        stack = self._open.setdefault(entity, [])
+        parent = stack[-1] if stack else None
+        handle = SpanHandle(
+            span_id=self._next_id, name=name, entity=entity, kind=kind,
+            start_ms=self._clock(),
+            parent_id=parent.span_id if parent else None,
+            depth=len(stack), tags=dict(tags))
+        self._next_id += 1
+        stack.append(handle)
+        return handle
+
+    def end(self, handle: SpanHandle, **extra_tags: Any) -> None:
+        if handle.closed:
+            raise ValueError(f"span {handle.name!r} already closed")
+        handle.closed = True
+        stack = self._open.get(handle.entity, [])
+        if handle in stack:            # tolerate out-of-order closes
+            stack.remove(handle)
+        end_ms = self._clock()
+        tags = dict(handle.tags)
+        tags.update(extra_tags)
+        tags["op"] = tags.get("op", handle.name)
+        tags["span_id"] = handle.span_id
+        if handle.parent_id is not None:
+            tags["parent_id"] = handle.parent_id
+        tags["depth"] = handle.depth
+        super().record(handle.entity, handle.kind, handle.start_ms, end_ms,
+                       **tags)
+        self.metrics.observe(f"span.{handle.name}.ms",
+                             max(end_ms - handle.start_ms, 0.0))
+
+    @contextmanager
+    def span(self, name: str, entity: str = "trace", kind: str = "phase",
+             **tags: Any) -> Iterator[SpanHandle]:
+        handle = self.begin(name, entity, kind, **tags)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    # -- flat records (runtime hook points) -------------------------------------
+    def record(self, entity: str, kind: str, start_ms: float, end_ms: float,
+               **tags: Any) -> None:
+        """Flat span from the runtime; inherits any open span as parent."""
+        stack = self._open.get(entity)
+        if stack:
+            tags.setdefault("parent_id", stack[-1].span_id)
+            tags.setdefault("depth", len(stack))
+        op = tags.get("op")
+        if op is not None:  # per-mechanism duration histograms for free
+            self.metrics.observe(f"span.{op}.ms", max(end_ms - start_ms, 0.0))
+        super().record(entity, kind, start_ms, end_ms, **tags)
+
+    # -- snapshots --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus span/event counts — one run's vitals."""
+        snap = self.metrics.snapshot()
+        snap["spans"] = len(self)
+        snap["events"] = len(self.events)
+        return snap
+
+
+#: A tracer whose every operation is a no-op — the "tracing disabled" object
+#: for call sites that want an unconditional tracer reference.
+class NullTracer(Tracer):
+    detail = False
+
+    def __init__(self) -> None:  # noqa: D107 - trivial
+        super().__init__(clock=lambda: 0.0)
+
+    def event(self, name: str, entity: str = "trace",
+              ts_ms: Optional[float] = None, **tags: Any) -> None:
+        pass
+
+    def begin(self, name: str, entity: str = "trace", kind: str = "phase",
+              **tags: Any) -> SpanHandle:
+        return SpanHandle(0, name, entity, kind, 0.0, None, 0, {})
+
+    def end(self, handle: SpanHandle, **extra_tags: Any) -> None:
+        pass
+
+    def record(self, entity: str, kind: str, start_ms: float, end_ms: float,
+               **tags: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

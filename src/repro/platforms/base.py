@@ -75,22 +75,31 @@ class Platform(abc.ABC):
         """Kernel process body driving one request; returns at completion."""
 
     def run(self, workflow: Workflow, *, cold: bool = False,
-            seed: Optional[int] = None, jitter_sigma: float = 0.08
-            ) -> RequestResult:
+            seed: Optional[int] = None, jitter_sigma: float = 0.08,
+            tracer: Optional[TraceRecorder] = None) -> RequestResult:
         """Execute one request and return its result.
 
         A fresh deterministic simulation is built per request; ``seed``
         perturbs function execution times (testbed variance stand-in).
+        ``tracer`` (e.g. a :class:`repro.obs.Tracer`) replaces the default
+        flat recorder — its clock is bound to the simulation, and detail-mode
+        hook points (GIL handoffs, gateway queueing, kernel vitals) light up.
         """
         wf = jittered(workflow, seed, jitter_sigma)
         env = Environment()
-        trace = TraceRecorder()
+        trace = tracer if tracer is not None else TraceRecorder()
+        bind = getattr(trace, "bind_clock", None)
+        if bind is not None:
+            bind(lambda: env.now)
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),
                            name=f"{self.name}/{wf.name}")
         env.run(until=done)
         result.latency_ms = env.now
+        if trace.detail:
+            trace.metrics.inc("kernel.events", env.events_processed)
+            trace.metrics.inc("requests")
         return result
 
     def average_latency_ms(self, workflow: Workflow, *, repeats: int = 10,

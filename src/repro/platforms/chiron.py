@@ -123,11 +123,16 @@ class ChironPlatform(Platform):
             if not parts:
                 raise DeploymentError(f"plan covers no wrap for stage "
                                       f"{stage_idx}")
+            handle = (trace.begin(f"stage.{stage_idx}", entity="request",
+                                  wraps=len(parts))
+                      if trace.detail else None)
             events = [env.process(self._run_wrap_part(
                 env, k, sandboxes[wrap.name], sa, workflow, gateway,
                 trace, result, cold))
                 for k, (wrap, sa) in enumerate(parts)]
             yield env.all_of(events)
+            if handle is not None:
+                trace.end(handle)
             result.stage_ends_ms.append(env.now)
 
     # -- accounting ------------------------------------------------------------

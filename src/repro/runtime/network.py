@@ -51,15 +51,21 @@ class Gateway:
         service = (self.cal.gateway_service_base_ms
                    + self.cal.gateway_service_per_inflight_ms * self._inflight)
         transfer = payload_mb / self.cal.pipe_bandwidth_mb_per_ms
+        detail = self.trace is not None and self.trace.detail
         try:
             with self._server.request() as slot:
                 yield slot
+                if detail and self.env.now > t0:
+                    # time spent queued behind the serial proxy section —
+                    # the load-dependent half of Figure 3's overhead
+                    self.trace.record(entity, "queue", t0, self.env.now,
+                                      op="gateway.queue")
                 yield self.env.timeout(service)
             yield self.env.timeout(self.cal.t_rpc_ms + transfer)
         finally:
             self._inflight -= 1
         if self.trace is not None:
-            self.trace.record(entity, "rpc", t0, self.env.now)
+            self.trace.record(entity, "rpc", t0, self.env.now, op="rpc")
 
 
 class ASFDispatcher:
@@ -99,7 +105,8 @@ class ASFDispatcher:
         # Slot released immediately: the dispatch window bounds concurrent
         # *dispatches*; function execution happens in Lambda, outside ASF.
         if self.trace is not None:
-            self.trace.record(entity, "rpc", t0, self.env.now)
+            self.trace.record(entity, "rpc", t0, self.env.now,
+                              op="asf.dispatch")
 
 
 def ipc_collect(env: Environment, *, n_processes: int, data_mb: float,
@@ -112,8 +119,11 @@ def ipc_collect(env: Environment, *, n_processes: int, data_mb: float,
     intermediate data through the pipe.
     """
     pairs = max(0, n_processes - 1)
-    cost = cal.t_ipc_ms * pairs + data_mb / cal.pipe_bandwidth_mb_per_ms
+    # A lone process already holds its results in memory — no pipe, no
+    # streaming.  Data transfer only applies once there are pipe pairs.
+    stream = data_mb / cal.pipe_bandwidth_mb_per_ms if pairs else 0.0
+    cost = cal.t_ipc_ms * pairs + stream
     t0 = env.now
     yield env.timeout(cost)
     if trace is not None and cost > 0:
-        trace.record(entity, "ipc", t0, env.now)
+        trace.record(entity, "ipc", t0, env.now, op="ipc")

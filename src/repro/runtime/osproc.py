@@ -66,7 +66,7 @@ class SimProcess:
             if self.trace is not None:
                 self.trace.record(f"{self.name}/{fn.name}", "startup",
                                   self.env.now - self.cal.thread_startup_ms,
-                                  self.env.now)
+                                  self.env.now, op="thread.spawn")
             events.append(thread.start(fn.behavior))
         self.main_thread.drop_gil_if_held()
         return events
@@ -85,7 +85,8 @@ class SimProcess:
         t0 = self.env.now
         yield self.cpu.run(self.cal.process_startup_ms)
         if self.trace is not None:
-            self.trace.record(self.name, "startup", t0, self.env.now)
+            self.trace.record(self.name, "startup", t0, self.env.now,
+                              op="proc.startup")
         if len(functions) == 1:
             # The single function executes directly on the fresh process's
             # main thread (no extra thread hop) — the Faastlane/SAND case.
@@ -120,10 +121,12 @@ def fork_children(env: Environment, parent: SimProcess,
     result = ForkResult()
     for j, group in enumerate(groups):
         t0 = env.now
+        # The parent's serialized occupancy is tagged apart from the child's
+        # birth span so mechanism totals don't double-count the same time.
         yield from parent.main_thread.consume_cpu(cal.fork_block_ms,
-                                                  kind="fork")
+                                                  kind="fork", op="fork.block")
         if trace is not None:
-            trace.record(f"{name_prefix}-{j}", "fork", t0, env.now)
+            trace.record(f"{name_prefix}-{j}", "fork", t0, env.now, op="fork")
         child = SimProcess(env, name=f"{name_prefix}-{j}", cpu=cpu, cal=cal,
                            trace=trace)
         result.children.append(child)

@@ -72,7 +72,8 @@ class ProcessPool:
         events = []
         for fn in ordered:
             yield from dispatcher.consume_cpu(self.cal.pool_dispatch_ms,
-                                              kind="startup")
+                                              kind="startup",
+                                              op="pool.dispatch")
             events.append(self.submit(fn))
         dispatcher.drop_gil_if_held()
         return events

@@ -44,7 +44,8 @@ class Sandbox:
             t0 = self.env.now
             yield self.env.timeout(self.cal.sandbox_cold_start_ms)
             if self.trace is not None:
-                self.trace.record(self.name, "startup", t0, self.env.now)
+                self.trace.record(self.name, "startup", t0, self.env.now,
+                                  op="sandbox.boot")
         else:
             yield self.env.timeout(0.0)
         self.booted = True

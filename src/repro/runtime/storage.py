@@ -48,23 +48,23 @@ class StorageService:
         """Closed-form latency of a put+get exchange (Figure 4's metric)."""
         return 2 * self.op_latency_ms(size_mb)
 
-    def _transfer(self, size_mb: float, kind: str,
-                  entity: str) -> Generator[Event, None, None]:
+    def _transfer(self, size_mb: float, kind: str, entity: str,
+                  op: str) -> Generator[Event, None, None]:
         t0 = self.env.now
         self.operations += 1
         self.bytes_moved_mb += size_mb
         yield self.env.timeout(self.op_latency_ms(size_mb))
         if self.trace is not None:
             self.trace.record(entity, kind, t0, self.env.now,
-                              size_mb=size_mb, store=self.name)
+                              size_mb=size_mb, store=self.name, op=op)
 
     def put(self, size_mb: float, entity: str = "storage",
             ) -> Generator[Event, None, None]:
-        yield from self._transfer(size_mb, "rpc", entity)
+        yield from self._transfer(size_mb, "rpc", entity, "storage.put")
 
     def get(self, size_mb: float, entity: str = "storage",
             ) -> Generator[Event, None, None]:
-        yield from self._transfer(size_mb, "rpc", entity)
+        yield from self._transfer(size_mb, "rpc", entity, "storage.get")
 
     def exchange(self, size_mb: float, entity: str = "storage",
                  ) -> Generator[Event, None, None]:

@@ -1,10 +1,13 @@
 """Simulated interpreter threads executing function behaviours.
 
 A :class:`SimThread` consumes CPU through its cpuset's :class:`FluidCPU` and,
-when the owning process has a GIL, computes in at-most-switch-interval chunks
-so the lock is handed off exactly as CPython does (Figure 2): after every
-chunk the thread drops the lock *iff* someone is waiting; blocking I/O always
-drops it.
+when the owning process has a GIL, computes in chunks bounded by the *switch
+interval* so the lock is handed off exactly as CPython does (Figure 2): a
+holder keeps the lock until it has accumulated one full switch interval of
+CPU since acquiring it, then drops it *iff* someone is waiting; blocking I/O
+always drops it.  Holding for the whole interval (rather than yielding after
+every CPU burst) is what lets a main thread start a *batch* of ``y``
+functions per interval — Algorithm 1 lines 4-5.
 """
 
 from __future__ import annotations
@@ -42,6 +45,9 @@ class SimThread:
         #: accumulated CPU milliseconds — the CFS key for GIL handoff.
         self.cpu_time_ms = 0.0
         self._holds_gil = False
+        #: CPU consumed since the current GIL acquisition (the hold budget:
+        #: a holder owes a handoff only after one full switch interval).
+        self._hold_ms = 0.0
         #: set when the thread finished running a behaviour
         self.finished_at: Optional[float] = None
         self.started_at: Optional[float] = None
@@ -52,8 +58,10 @@ class SimThread:
             t0 = self.env.now
             yield self.gil.acquire(self)
             self._holds_gil = True
+            self._hold_ms = 0.0
             if self.trace is not None and self.env.now > t0 + _EPS:
-                self.trace.record(self.name, "wait", t0, self.env.now)
+                self.trace.record(self.name, "wait", t0, self.env.now,
+                                  op="gil.wait")
 
     def drop_gil_if_held(self) -> None:
         if self.gil is not None and self._holds_gil:
@@ -61,29 +69,59 @@ class SimThread:
             self._holds_gil = False
 
     def _maybe_handoff(self) -> None:
-        """Drop the GIL after a chunk if someone is waiting (switch request)."""
-        if self.gil is not None and self._holds_gil and self.gil.contended:
-            self.gil.release(self)
-            self._holds_gil = False
+        """Drop the GIL if the hold budget is spent and someone is waiting.
 
-    def consume_cpu(self, work_ms: float,
-                    kind: str = "exec") -> Generator[Event, None, None]:
-        """Execute ``work_ms`` of CPU time under GIL chunking rules."""
+        CPython's switch request fires one interval after contention begins;
+        Algorithm 1 models it as interval-sized turns.  We approximate both:
+        the holder owes a drop once it has consumed a full switch interval of
+        CPU since acquiring, never mid-interval — so short bursts (thread
+        spawns, forks) batch under one hold instead of round-tripping the
+        lock per burst.
+        """
+        if (self.gil is not None and self._holds_gil
+                and self._hold_ms >= self.gil.switch_interval_ms - _EPS):
+            if self.gil.contended:
+                self.gil.release(self)
+                self._holds_gil = False
+                if self.trace is not None and self.trace.detail:
+                    self.trace.event("gil.handoff", entity=self.name)
+            else:
+                self._hold_ms = 0.0  # nobody waiting: a fresh interval begins
+
+    def consume_cpu(self, work_ms: float, kind: str = "exec",
+                    op: Optional[str] = None) -> Generator[Event, None, None]:
+        """Execute ``work_ms`` of CPU time under GIL chunking rules.
+
+        ``op`` tags the recorded chunks with a mechanism name (e.g.
+        ``fork.block``, ``pool.dispatch``) for trace exports and the
+        divergence reporter's per-mechanism totals.
+        """
         if work_ms < 0:
             raise SimulationError(f"negative CPU work {work_ms}")
         remaining = work_ms
         while remaining > _EPS:
             yield from self._acquire_gil()
             if self.gil is not None:
-                chunk = min(remaining, self.gil.switch_interval_ms)
+                if self._hold_ms and not self.gil.contended:
+                    # no switch request pending: CPython's drop-request timer
+                    # only runs while a waiter exists, so the hold budget
+                    # restarts (and partial holds don't fragment the chunk)
+                    self._hold_ms = 0.0
+                chunk = min(remaining,
+                            self.gil.switch_interval_ms - self._hold_ms)
             else:
                 chunk = remaining
             t0 = self.env.now
             yield self.cpu.run(chunk)
             self.cpu_time_ms += chunk
+            self._hold_ms += chunk
             remaining -= chunk
             if self.trace is not None:
-                self.trace.record(self.name, kind, t0, self.env.now)
+                if op is not None:
+                    self.trace.record(self.name, kind, t0, self.env.now,
+                                      op=op)
+                else:
+                    self.trace.record(self.name, kind, t0, self.env.now)
             self._maybe_handoff()
 
     def block(self, duration_ms: float,

@@ -33,6 +33,9 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.active_process: Optional[Process] = None
+        #: events dispatched by :meth:`step` — a run-size vital the tracer
+        #: snapshots after each request.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -81,6 +84,7 @@ class Environment:
         if when < self._now:  # pragma: no cover - heap guarantees order
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
         event._process()
 
     def run(self, until: Optional[float | Event] = None) -> Any:

@@ -27,10 +27,23 @@ class Span:
 
 
 class TraceRecorder:
-    """Accumulates :class:`Span` records during a simulation."""
+    """Accumulates :class:`Span` records during a simulation.
+
+    The richer :class:`repro.obs.Tracer` subclass adds nested spans, typed
+    events and metrics; runtime hook points test :attr:`detail` (a single
+    attribute load) before emitting anything beyond the basic spans, so the
+    default recorder keeps the hot path effectively free.
+    """
+
+    #: True only on detail-mode tracers (:class:`repro.obs.Tracer`).
+    detail = False
 
     def __init__(self) -> None:
         self._spans: list[Span] = []
+
+    def event(self, name: str, entity: str = "trace",
+              ts_ms: Optional[float] = None, **tags: Any) -> None:
+        """Instant-event hook; a no-op on the base recorder."""
 
     def record(self, entity: str, kind: str, start_ms: float, end_ms: float,
                **tags: Any) -> None:
@@ -68,23 +81,6 @@ class TraceRecorder:
 
     def gantt(self, width: int = 72) -> str:
         """Render an ASCII Gantt chart (one row per entity), for Figure 5."""
-        if not self._spans:
-            return "(no spans)"
-        t0 = min(s.start_ms for s in self._spans)
-        t1 = max(s.end_ms for s in self._spans)
-        span_total = max(t1 - t0, 1e-9)
-        glyph = {"startup": "s", "exec": "#", "block": ".", "ipc": "i",
-                 "rpc": "r", "wait": "-"}
-        lines = []
-        label_w = max(len(e) for e in self.entities()) + 1
-        for entity in self.entities():
-            row = [" "] * width
-            for span in self.spans(entity=entity):
-                a = int((span.start_ms - t0) / span_total * (width - 1))
-                b = int((span.end_ms - t0) / span_total * (width - 1))
-                ch = glyph.get(span.kind, "#")
-                for i in range(a, max(a, b) + 1):
-                    row[i] = ch
-            lines.append(f"{entity:<{label_w}}|{''.join(row)}|")
-        lines.append(f"{'':<{label_w}} {t0:.1f} ms {'-' * (width - 20)} {t1:.1f} ms")
-        return "\n".join(lines)
+        from repro.obs.export import render_timeline
+
+        return render_timeline(self, width=width)

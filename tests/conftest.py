@@ -1,0 +1,40 @@
+"""Shared pytest machinery: golden-file comparison with --update-goldens."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite golden files from the current run instead of comparing")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``data`` against ``tests/goldens/<name>.json``.
+
+    Run ``pytest --update-goldens`` after an intentional behavior change to
+    regenerate the files; review the diff like any other code change.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name, data):
+        path = GOLDEN_DIR / f"{name}.json"
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+            return
+        assert path.exists(), (
+            f"missing golden file {path}; generate it with "
+            f"`pytest --update-goldens`")
+        expected = json.loads(path.read_text())
+        assert data == expected, (
+            f"trace diverged from golden {path.name}; if the change is "
+            f"intentional, refresh with `pytest --update-goldens`")
+
+    return check

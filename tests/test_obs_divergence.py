@@ -1,0 +1,108 @@
+"""Tests for the predictor-vs-runtime divergence reporter."""
+
+import pytest
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.obs import Tracer, compare
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+CAL = RuntimeCalibration.native()
+
+
+def parallel_workflow(n=4, cpu_ms=8.0):
+    return (WorkflowBuilder("div-wf")
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 2.0), ("io", 4.0))))
+            .parallel("work", [(f"w-{i}", FunctionBehavior.of(
+                ("cpu", cpu_ms), ("io", 1.0))) for i in range(n)])
+            .build())
+
+
+def best_latency_plan(wf):
+    """Tight SLO -> PGP forks the parallel stage into real processes."""
+    return PGPScheduler(LatencyPredictor(CAL)).schedule(wf, slo_ms=1.0)
+
+
+class TestWellCalibrated:
+    def test_report_is_tight_when_calibrations_match(self):
+        wf = parallel_workflow()
+        report = compare(wf, best_latency_plan(wf), cal=CAL)
+        # Eq. 4's (j-1)*fork_block wait vs the runtime's serialized forks
+        # leaves a small, known residual; the totals still track closely.
+        assert report.measured_total_ms == pytest.approx(
+            report.predicted_total_ms, rel=0.15)
+        # mechanisms modelled on both sides with matching span counts must
+        # agree almost exactly (rpc differs by gateway queueing only)
+        for mech in report.mechanisms:
+            if mech.predicted_spans == mech.measured_spans > 0:
+                assert abs(mech.delta_ms) < 1.0, (mech.op, mech.delta_ms)
+
+    def test_per_function_rows_cover_workflow(self):
+        wf = parallel_workflow()
+        report = compare(wf, best_latency_plan(wf), cal=CAL)
+        assert {f.name for f in report.functions} == \
+            {f.name for f in wf.functions}
+        for f in report.functions:
+            assert f.measured_end_ms is not None
+            assert f.predicted_end_ms is not None
+
+    def test_text_report_has_tables(self):
+        wf = parallel_workflow()
+        text = compare(wf, best_latency_plan(wf), cal=CAL).to_text()
+        assert "per-function completion" in text
+        assert "per-mechanism totals" in text
+        assert "largest mechanism gap" in text
+
+
+class TestMiscalibratedForkCost:
+    """A predictor planning with half the true fork cost must show up as a
+    ``fork`` mechanism gap, not as diffuse noise."""
+
+    def _report(self):
+        wf = parallel_workflow()
+        plan = best_latency_plan(wf)
+        lying_cal = CAL.evolve(fork_block_ms=CAL.fork_block_ms / 2)
+        return compare(wf, plan, cal=CAL,
+                       predictor=LatencyPredictor(lying_cal))
+
+    def test_fork_mechanism_flagged(self):
+        report = self._report()
+        fork = report.mechanism("fork")
+        assert fork is not None
+        # runtime paid full fork_block per child; predictor only half
+        assert fork.delta_ms == pytest.approx(
+            fork.measured_ms / 2, rel=0.01)
+        assert fork.predicted_spans == fork.measured_spans
+
+    def test_gap_is_localized_to_fork(self):
+        report = self._report()
+        fork = report.mechanism("fork")
+        others = [m for m in report.mechanisms
+                  if m.op not in ("fork", "fork.block")
+                  and m.predicted_spans and m.measured_spans]
+        for m in others:
+            assert abs(m.delta_ms) < abs(fork.delta_ms) / 2, \
+                (m.op, m.delta_ms)
+
+    def test_worst_mechanism_ranking(self):
+        report = self._report()
+        ranked = [m.op for m in report.mechanisms[:2]]
+        assert "fork" in ranked or "fork.block" in ranked
+
+
+class TestDetailTracer:
+    def test_detail_tracer_reaches_report(self):
+        wf = parallel_workflow()
+        tracer = Tracer()
+        report = compare(wf, best_latency_plan(wf), cal=CAL, tracer=tracer)
+        assert report.runtime_trace is tracer
+        assert len(tracer) > 0
+
+    def test_cold_run_blames_sandbox_boot(self):
+        wf = parallel_workflow()
+        report = compare(wf, best_latency_plan(wf), cal=CAL, cold=True,
+                         tracer=Tracer())
+        worst = report.worst_mechanism
+        assert worst is not None and worst.op == "sandbox.boot"

@@ -1,0 +1,60 @@
+"""Golden-trace regression tests.
+
+A full event-sequence snapshot of FINRA-5 on Faastlane catches *semantic*
+runtime drift — reordered forks, changed GIL handoff points, shifted span
+boundaries — that aggregate latency assertions would miss.  The two variants
+pin down both execution modes: ``native`` forks one process per parallel
+function, ``T`` runs everything as GIL-sharing threads.
+
+Regenerate after intentional runtime changes with ``pytest --update-goldens``
+and review the JSON diff.
+"""
+
+import pytest
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.obs import Tracer
+from repro.platforms import FaastlanePlatform
+
+CAL = RuntimeCalibration.native()
+
+
+def canonical(tracer):
+    """A stable, diff-friendly projection of one trace.
+
+    Spans are sorted by (start, entity, name) so recording-order churn that
+    does not change the timeline does not invalidate goldens; timestamps are
+    rounded to 1 ns to absorb float formatting noise.
+    """
+    spans = sorted(
+        [s.entity, str(s.tags.get("op", s.kind)),
+         round(s.start_ms, 6), round(s.end_ms, 6)]
+        for s in tracer)
+    events = sorted(
+        [e.entity, e.name, round(e.ts_ms, 6)]
+        for e in tracer.events)
+    return {"spans": spans, "events": events}
+
+
+@pytest.mark.parametrize("variant", ["native", "T"])
+def test_finra5_event_sequence_matches_golden(variant, golden):
+    wf = finra(5)
+    tracer = Tracer()
+    FaastlanePlatform(CAL, variant=variant).run(wf, tracer=tracer)
+    golden(f"finra5_faastlane_{variant}", canonical(tracer))
+
+
+def test_variants_actually_differ():
+    """Sanity: the two goldens cannot silently collapse into one."""
+    wf = finra(5)
+    traces = {}
+    for variant in ("native", "T"):
+        tracer = Tracer()
+        FaastlanePlatform(CAL, variant=variant).run(wf, tracer=tracer)
+        traces[variant] = canonical(tracer)
+    assert traces["native"] != traces["T"]
+    native_ops = {s[1] for s in traces["native"]["spans"]}
+    thread_ops = {s[1] for s in traces["T"]["spans"]}
+    assert "fork" in native_ops          # parallel stage forks processes
+    assert "fork" not in thread_ops      # threads-only variant never forks

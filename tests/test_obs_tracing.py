@@ -1,0 +1,214 @@
+"""Tests for the repro.obs tracing subsystem: spans, metrics, exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.calibration import RuntimeCalibration
+from repro.obs import (
+    NULL_TRACER,
+    Registry,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.export import render_cdf, render_timeline
+from repro.platforms import FaastlanePlatform
+from repro.simcore.monitor import TraceRecorder
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+CAL = RuntimeCalibration.native()
+
+
+def small_workflow():
+    return (WorkflowBuilder("obs-wf")
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 2.0), ("io", 3.0))))
+            .parallel("work", [(f"w-{i}", FunctionBehavior.of(
+                ("cpu", 4.0), ("io", 1.0))) for i in range(3)])
+            .build())
+
+
+class TestSpanNesting:
+    def test_nested_spans_carry_parent_and_depth(self):
+        tr = Tracer(clock=lambda: 0.0)
+        outer = tr.begin("outer", entity="e")
+        inner = tr.begin("inner", entity="e")
+        tr.end(inner)
+        tr.end(outer)
+        inner_span, outer_span = tr.spans(entity="e")
+        assert inner_span.tags["parent_id"] == outer.span_id
+        assert inner_span.tags["depth"] == 1
+        assert "parent_id" not in outer_span.tags
+        assert outer_span.tags["depth"] == 0
+
+    def test_span_context_manager_closes_on_exception(self):
+        tr = Tracer(clock=lambda: 0.0)
+        with pytest.raises(RuntimeError):
+            with tr.span("phase", entity="e"):
+                raise RuntimeError("boom")
+        (span,) = tr.spans(entity="e")
+        assert span.tags["op"] == "phase"
+        assert not tr._open["e"]  # stack drained
+
+    def test_flat_record_inherits_open_span_as_parent(self):
+        tr = Tracer(clock=lambda: 0.0)
+        with tr.span("stage", entity="e") as handle:
+            tr.record("e", "exec", 0.0, 1.0)
+        flat = tr.spans(entity="e", kind="exec")[0]
+        assert flat.tags["parent_id"] == handle.span_id
+        assert flat.tags["depth"] == 1
+
+    def test_double_end_rejected(self):
+        tr = Tracer(clock=lambda: 0.0)
+        h = tr.begin("x")
+        tr.end(h)
+        with pytest.raises(ValueError):
+            tr.end(h)
+
+    def test_separate_entities_have_separate_stacks(self):
+        tr = Tracer(clock=lambda: 0.0)
+        a = tr.begin("a", entity="one")
+        b = tr.begin("b", entity="two")
+        assert b.parent_id is None and b.depth == 0
+        tr.end(b)
+        tr.end(a)
+
+
+class TestMetrics:
+    def test_counter_accuracy(self):
+        reg = Registry()
+        for _ in range(7):
+            reg.inc("forks")
+        reg.inc("bytes", 2.5)
+        assert reg.counters() == {"bytes": 2.5, "forks": 7.0}
+
+    def test_counter_cannot_decrease(self):
+        reg = Registry()
+        with pytest.raises(ValueError):
+            reg.inc("x", -1.0)
+
+    def test_histogram_summary(self):
+        reg = Registry()
+        for v in (0.5, 1.5, 8.0):
+            reg.observe("wait", v)
+        h = reg.histogram("wait")
+        assert h.count == 3
+        assert h.min == 0.5 and h.max == 8.0
+        assert h.mean == pytest.approx(10.0 / 3)
+        assert sum(h.bucket_counts) == 3
+
+    def test_event_bumps_counter(self):
+        tr = Tracer(clock=lambda: 2.0)
+        tr.event("gil.handoff", entity="t0")
+        tr.event("gil.handoff", entity="t1")
+        assert tr.metrics.counters()["event.gil.handoff"] == 2.0
+        assert [e.ts_ms for e in tr.events] == [2.0, 2.0]
+
+    def test_span_op_feeds_histogram(self):
+        tr = Tracer(clock=lambda: 0.0)
+        tr.record("e", "fork", 1.0, 4.0, op="fork")
+        h = tr.metrics.histogram("span.fork.ms")
+        assert h.count == 1 and h.total == pytest.approx(3.0)
+
+    def test_registry_merge(self):
+        a, b = Registry(), Registry()
+        a.inc("n", 2)
+        b.inc("n", 3)
+        b.observe("ms", 1.0)
+        a.merge(b)
+        assert a.counters()["n"] == 5.0
+        assert a.histogram("ms").count == 1
+
+
+class TestChromeExport:
+    def test_schema_validity_on_real_run(self, tmp_path):
+        tracer = Tracer()
+        FaastlanePlatform(CAL).run(small_workflow(), tracer=tracer)
+        doc = chrome_trace(tracer)
+        events = doc["traceEvents"]
+        assert events, "a run must produce trace events"
+        tids_named = set()
+        for ev in events:
+            assert ev["ph"] in ("X", "i", "M")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str)
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+            if ev["ph"] == "M" and ev["name"] == "thread_name":
+                tids_named.add(ev["tid"])
+        # every span/instant rides on a named track
+        for ev in events:
+            if ev["ph"] in ("X", "i"):
+                assert ev["tid"] in tids_named
+        # document is JSON-serializable and loadable
+        out = tmp_path / "t.json"
+        write_chrome_trace(tracer, str(out))
+        loaded = json.loads(out.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["spans"] == len(tracer)
+
+    def test_write_accepts_open_file(self):
+        tr = Tracer(clock=lambda: 0.0)
+        tr.record("e", "exec", 0.0, 1.0)
+        buf = io.StringIO()
+        write_chrome_trace(tr, buf)
+        assert json.loads(buf.getvalue())["traceEvents"]
+
+    def test_times_exported_in_microseconds(self):
+        tr = Tracer(clock=lambda: 0.0)
+        tr.record("e", "exec", 1.0, 3.5)
+        xs = [e for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["ts"] == pytest.approx(1000.0)
+        assert xs[0]["dur"] == pytest.approx(2500.0)
+
+
+class TestAsciiRenderers:
+    def test_timeline_rows_and_bounds(self):
+        tr = Tracer(clock=lambda: 0.0)
+        tr.record("a", "exec", 0.0, 10.0)
+        tr.record("b", "block", 5.0, 10.0)
+        text = render_timeline(tr, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("a ") and "#" in lines[0]
+        assert "." in lines[1]
+        assert "0.0 ms" in lines[-1] and "10.0 ms" in lines[-1]
+
+    def test_cdf_monotone(self):
+        text = render_cdf([1.0, 2.0, 3.0, 10.0], width=30, height=4)
+        assert "100%" in text and "#" in text
+
+    def test_empty_inputs(self):
+        assert render_timeline(TraceRecorder()) == "(no spans)"
+        assert render_cdf([]) == "(no samples)"
+
+
+class TestNoOpOverhead:
+    """With tracing off, hook points must not record or perturb anything."""
+
+    def test_default_recorder_is_not_detail(self):
+        assert TraceRecorder.detail is False
+        assert NULL_TRACER.detail is False
+
+    def test_detail_only_records_absent_without_tracer(self):
+        res = FaastlanePlatform(CAL).run(small_workflow())
+        assert res.trace.detail is False
+        kinds = {s.kind for s in res.trace}
+        assert "queue" not in kinds  # gateway queueing is detail-gated
+        assert not any(s.kind.startswith("stage.") for s in res.trace)
+
+    def test_tracing_does_not_change_simulation(self):
+        wf = small_workflow()
+        plain = FaastlanePlatform(CAL).run(wf)
+        traced = FaastlanePlatform(CAL).run(wf, tracer=Tracer())
+        assert traced.latency_ms == pytest.approx(plain.latency_ms, abs=1e-9)
+        assert traced.function_spans == plain.function_spans
+
+    def test_null_tracer_swallows_everything(self):
+        NULL_TRACER.event("x")
+        h = NULL_TRACER.begin("y")
+        NULL_TRACER.end(h)
+        NULL_TRACER.record("e", "exec", 0.0, 1.0)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events == []
