@@ -57,6 +57,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_failures(failures) -> str:
+    """Summarize run-all failures, injected faults apart from real bugs.
+
+    A :class:`repro.errors.FaultError` (``RetryExhausted`` included) means
+    the experiment's *simulated* fault budget ran out — interesting, but not
+    a defect in the experiment code; anything else is a genuine bug.
+    """
+    from repro.errors import FaultError
+
+    fault_hits = [(n, e) for n, e in failures if isinstance(e, FaultError)]
+    bugs = [(n, e) for n, e in failures if not isinstance(e, FaultError)]
+    lines = [f"{len(failures)} experiment(s) failed:"]
+    if fault_hits:
+        lines.append("  injected faults exhausted retries (not a bug): "
+                     + ", ".join(f"{n} [{e.mechanism}]"
+                                 for n, e in fault_hits))
+    if bugs:
+        lines.append("  experiment errors: "
+                     + ", ".join(f"{n} ({type(e).__name__}: {e})"
+                                 for n, e in bugs))
+    return "\n".join(lines)
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS, run_experiment
 
@@ -73,8 +96,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         print(result.to_table())
         print()
     if failures:
-        print(f"{len(failures)} experiment(s) failed:",
-              ", ".join(n for n, _ in failures))
+        print(_format_failures(failures))
         return 1
     return 0
 
@@ -193,6 +215,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_blast_radius import (DEFAULT_PLATFORMS,
+                                                      measure)
+    from repro.faults import FaultPlan, preset
+
+    app = _normalize_workload(args.app)
+    policy = preset(args.policy)
+    plan = FaultPlan(seed=args.seed, sandbox_crash_rate=args.rate)
+    platforms = args.platforms or list(DEFAULT_PLATFORMS)
+    print(f"fault injection: {app}, crash rate {args.rate:g}, "
+          f"seed {args.seed}, policy {args.policy!r} "
+          f"({policy.max_attempts} attempt(s))")
+    header = (f"  {'platform':<12s} {'p50_ms':>9s} {'p99_ms':>9s} "
+              f"{'faults':>7s} {'retries':>8s} {'wasted':>8s} {'failed':>7s}")
+    print(header)
+    for name in platforms:
+        row = measure(app, name, plan, policy=policy,
+                      requests=args.requests, crash_only=True)
+        print(f"  {row['platform']:<12s} {row['p50_ms']:9.2f} "
+              f"{row['p99_ms']:9.2f} {row['faults']:7d} "
+              f"{row['retries']:8d} {row['wasted_ratio']:8.4f} "
+              f"{row['failed']:7d}")
+    print(f"\n[{args.requests} request(s) per platform; wasted = "
+          f"re-executed work / useful work; deterministic under --seed]")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.apps import workload
     from repro.core import ChironManager
@@ -273,6 +322,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print the counter/histogram registry")
     p_trace.set_defaults(func=_cmd_trace)
 
+    p_faults = sub.add_parser(
+        "faults", help="inject sandbox crashes and compare blast radius")
+    p_faults.add_argument("app", nargs="?", default="finra-5",
+                          help="workload name (default finra-5)")
+    p_faults.add_argument("--rate", type=float, default=0.05,
+                          help="per-function sandbox crash rate (default .05)")
+    p_faults.add_argument("--seed", type=int, default=1,
+                          help="fault plan seed (default 1)")
+    p_faults.add_argument("--policy", default="default",
+                          help="retry policy preset: default, eager, "
+                               "patient, none")
+    p_faults.add_argument("--requests", type=int, default=20,
+                          help="seeded requests per platform (default 20)")
+    p_faults.add_argument("--platforms", nargs="+", metavar="NAME",
+                          help="platforms to compare (default: openfaas "
+                               "chiron faastlane)")
+    p_faults.set_defaults(func=_cmd_faults)
+
     p_demo = sub.add_parser("demo",
                             help="execute a plan with real threads/processes")
     p_demo.add_argument("--workload", default="social-network")
@@ -282,8 +349,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, KeyError) as exc:
+        # unknown experiment/workload/preset names raise ReproError with a
+        # message that lists the valid choices — turn it into a one-liner
+        # instead of a traceback
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"chiron-repro: error: {msg}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,8 @@ from repro.core.pgp import PGPOptions, PGPScheduler
 from repro.core.predictor import LatencyPredictor
 from repro.core.profiler import FunctionProfile, Profiler
 from repro.core.wrap import DeploymentPlan
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.workflow.model import Workflow
 
 #: the conservatism PGP plans with (§6.2: "larger parameters ... avoiding
@@ -38,6 +40,10 @@ class Deployment:
     profiles: Dict[str, FunctionProfile]
     plan: DeploymentPlan
     orchestrator_sources: Dict[str, str] = field(default_factory=dict)
+    #: the fault plan the deployment was hardened against (None = fault-free)
+    fault_plan: Optional["FaultPlan"] = None
+    #: fault-adjusted tail estimate for ``plan`` (None when fault-free)
+    fault_adjusted_p99_ms: Optional[float] = None
 
     @property
     def predicted_latency_ms(self) -> Optional[float]:
@@ -59,12 +65,19 @@ class ChironManager:
         self.generator = OrchestratorGenerator()
 
     def deploy(self, workflow: Workflow, slo_ms: float, *,
-               generate_code: bool = True, tracer=None) -> Deployment:
+               generate_code: bool = True, tracer=None,
+               fault_plan: Optional[FaultPlan] = None,
+               retry: Optional[RetryPolicy] = None) -> Deployment:
         """Run the full pipeline for one workflow.
 
         ``tracer`` (a :class:`repro.obs.Tracer`) records each pipeline phase
         as a wall-clock span on the ``manager`` entity — how long profiling,
         PGP's predict/partition search, and code generation each took.
+
+        ``fault_plan`` arms reliability-aware scheduling: when the
+        fault-adjusted p99 estimate of PGP's plan exceeds the SLO, the
+        manager gracefully degrades to smaller wraps (smaller blast radius
+        at the cost of more sandboxes) until the estimate fits.
         """
         if tracer is None:
             from repro.obs.tracer import NULL_TRACER
@@ -76,17 +89,36 @@ class ChironManager:
         with tracer.span("manager.schedule", entity="manager",
                          slo_ms=slo_ms):
             plan = self.scheduler.schedule(profiled, slo_ms)
+        adjusted_p99 = None
+        if fault_plan is not None and not fault_plan.is_null:
+            # local import: repro.faults.__init__ pulls in reliability, which
+            # needs repro.core.wrap — importing it here keeps either package
+            # importable first without a cycle
+            from repro.faults.reliability import degrade_until_slo
+
+            with tracer.span("manager.degrade", entity="manager",
+                             slo_ms=slo_ms) as handle:
+                plan, adjusted_p99, splits = degrade_until_slo(
+                    profiled, plan, fault_plan, retry or RetryPolicy(),
+                    slo_ms,
+                    lambda p: self.predictor.predict_workflow(profiled, p))
+                handle.tags.update(splits=splits, adjusted_p99_ms=adjusted_p99)
         with tracer.span("manager.generate", entity="manager",
                          enabled=generate_code):
             sources = (self.generator.generate(profiled, plan)
                        if generate_code else {})
         return Deployment(workflow=workflow, profiled_workflow=profiled,
                           profiles=profiles, plan=plan,
-                          orchestrator_sources=sources)
+                          orchestrator_sources=sources,
+                          fault_plan=fault_plan,
+                          fault_adjusted_p99_ms=adjusted_p99)
 
-    def plan(self, workflow: Workflow, slo_ms: float) -> DeploymentPlan:
+    def plan(self, workflow: Workflow, slo_ms: float, *,
+             fault_plan: Optional[FaultPlan] = None,
+             retry: Optional[RetryPolicy] = None) -> DeploymentPlan:
         """Convenience: profile + schedule, return just the plan."""
-        return self.deploy(workflow, slo_ms, generate_code=False).plan
+        return self.deploy(workflow, slo_ms, generate_code=False,
+                           fault_plan=fault_plan, retry=retry).plan
 
     def refresh(self, deployment: Deployment,
                 slo_ms: Optional[float] = None) -> Deployment:

@@ -35,3 +35,20 @@ class IsolationFault(ReproError):
 
 class CapacityError(ReproError):
     """A machine or cluster ran out of CPU or memory for a placement."""
+
+
+class FaultError(ReproError):
+    """An *injected* transient fault (crash, drop, timeout) hit the runtime.
+
+    ``mechanism`` names the fault source (``"sandbox.crash"``, ``"rpc.drop"``,
+    ``"fork.fail"``, ``"storage.read"``...) so recovery drivers and failure
+    summaries can distinguish injected faults from genuine bugs.
+    """
+
+    def __init__(self, message: str, mechanism: str = "fault") -> None:
+        super().__init__(message)
+        self.mechanism = mechanism
+
+
+class RetryExhausted(FaultError):
+    """A recovery driver gave up: every allowed attempt of a unit failed."""

@@ -1,0 +1,122 @@
+"""Blast radius under faults: fault rate x deployment model.
+
+The paper's m-to-n axis trades sandbox count against co-location, but never
+asks what a wrap costs when something *fails*.  This experiment injects
+sandbox crashes (plus the uniform error mechanisms, optionally) at a sweep
+of rates and measures, per deployment model:
+
+* reliability-adjusted latency (p50/p99 over seeded requests),
+* the wasted-work ratio — function work re-executed by retries divided by
+  the workflow's useful work — which exposes retry granularity directly:
+  1-to-1 re-runs one function, Chiron one wrap, many-to-1 everything,
+* the fraction of requests that exhausted their retry budget.
+
+Everything is deterministic under a fixed fault seed, so rows reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.catalog import workload
+from repro.errors import RetryExhausted
+from repro.experiments.common import ExperimentResult, register
+from repro.faults import FaultPlan, RetryPolicy
+from repro.platforms.registry import build_platform
+
+#: the deployment-model spectrum: 1-to-1, m-to-n, many-to-1
+DEFAULT_PLATFORMS = ("openfaas", "chiron", "faastlane")
+DEFAULT_RATES = (0.0, 0.02, 0.05, 0.1)
+
+
+def measure(app: str, platform_name: str, fault_plan: FaultPlan, *,
+            policy: Optional[RetryPolicy] = None, requests: int = 40,
+            crash_only: bool = False) -> dict:
+    """Run ``requests`` seeded faulted requests of ``app`` on one platform.
+
+    Returns one result row (p50/p99 latency, fault/retry counts, wasted-work
+    ratio, failure fraction).  ``crash_only`` strips the plan down to
+    sandbox crashes, isolating co-location blast radius from the
+    per-mechanism noise of RPC/storage faults.
+    """
+    wf = workload(app)
+    if crash_only:
+        fault_plan = FaultPlan(seed=fault_plan.seed,
+                               sandbox_crash_rate=fault_plan.sandbox_crash_rate)
+    platform = build_platform(platform_name, wf)
+    policy = policy or RetryPolicy()
+    useful_ms = wf.total_work_ms
+    latencies: list[float] = []
+    injected = retries = failed = 0
+    rerun_ms = wasted_wall_ms = 0.0
+    for fault_seed in range(requests):
+        try:
+            r = platform.run(wf, faults=fault_plan, retry=policy,
+                             fault_seed=fault_seed)
+        except RetryExhausted:
+            failed += 1
+            continue
+        latencies.append(r.latency_ms)
+        if r.faults is not None:
+            injected += r.faults["injected_total"]
+            retries += r.faults["retries"]
+            rerun_ms += r.faults["rerun_work_ms"]
+            wasted_wall_ms += r.faults["wasted_wall_ms"]
+    lat = np.array(latencies) if latencies else np.array([float("nan")])
+    completed = max(len(latencies), 1)
+    return {
+        "app": app,
+        "platform": platform_name,
+        "rate": (fault_plan.sandbox_crash_rate if crash_only
+                 else fault_plan.rpc_drop_rate),
+        "p50_ms": float(np.percentile(lat, 50)),
+        "p99_ms": float(np.percentile(lat, 99)),
+        "faults": injected,
+        "retries": retries,
+        "wasted_ratio": rerun_ms / (completed * useful_ms),
+        "wasted_wall_ms": wasted_wall_ms,
+        "failed": failed,
+        "requests": requests,
+    }
+
+
+def sweep(app: str = "finra-5", *,
+          rates: Sequence[float] = DEFAULT_RATES,
+          platforms: Sequence[str] = DEFAULT_PLATFORMS,
+          policy: Optional[RetryPolicy] = None, seed: int = 1,
+          requests: int = 40, crash_only: bool = True) -> list[dict]:
+    """Fault rate x deployment model grid; the CLI and experiment share it."""
+    rows = []
+    for rate in rates:
+        plan = (FaultPlan(seed=seed, sandbox_crash_rate=rate) if crash_only
+                else FaultPlan.uniform(rate, seed=seed))
+        for name in platforms:
+            rows.append(measure(app, name, plan, policy=policy,
+                                requests=requests, crash_only=crash_only))
+    return rows
+
+
+@register("fault-blast")
+def run(quick: bool = False) -> ExperimentResult:
+    """Sweep fault rate x deployment model on FINRA-5."""
+    requests = 12 if quick else 40
+    rates = (0.0, 0.05) if quick else DEFAULT_RATES
+    result = ExperimentResult(
+        experiment="fault-blast",
+        title="Blast radius under sandbox crashes: wasted work & tail "
+              "latency by deployment model (FINRA-5)",
+        columns=("rate", "platform", "p50_ms", "p99_ms", "faults",
+                 "retries", "wasted_ratio", "failed"),
+        notes="wasted_ratio = re-executed function work / useful work per "
+              "completed request; 1-to-1 retries a function, Chiron a wrap, "
+              "many-to-1 the whole workflow",
+    )
+    for row in sweep("finra-5", rates=rates, requests=requests):
+        result.add(rate=row["rate"], platform=row["platform"],
+                   p50_ms=row["p50_ms"], p99_ms=row["p99_ms"],
+                   faults=row["faults"], retries=row["retries"],
+                   wasted_ratio=row["wasted_ratio"], failed=row["failed"])
+    return result

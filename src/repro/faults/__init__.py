@@ -1,0 +1,46 @@
+"""Deterministic fault injection + failure recovery for the simulator.
+
+The subsystem has four pieces:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`OneShotFault`,
+  the declarative what/how-often/when of failure;
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, the per-request
+  seeded RNG stream plus fault/retry ledger, installed as ``env.faults``
+  by ``Platform.run`` and consulted by the runtime hook points;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` and named presets;
+* :mod:`repro.faults.recovery` — :func:`run_unit`, the shared retry
+  driver platforms wrap around their chosen unit of re-execution
+  (function, wrap, or whole workflow);
+* :mod:`repro.faults.reliability` — the analytic tail model behind the
+  manager's graceful degradation to smaller wraps.
+"""
+
+from repro.errors import FaultError, RetryExhausted
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import MECHANISMS, FaultPlan, OneShotFault
+from repro.faults.recovery import run_unit
+from repro.faults.reliability import (adjusted_p99_ms, degrade_until_slo,
+                                      split_largest_wrap, unit_failure_prob)
+from repro.faults.retry import PRESETS, RetryPolicy, preset
+
+#: typed event names fault injection adds to traces (golden-trace schema)
+FAULT_EVENT_TYPES = ("fault.injected", "retry.attempt", "retry.exhausted",
+                     "sandbox.crash")
+
+__all__ = [
+    "FAULT_EVENT_TYPES",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "MECHANISMS",
+    "OneShotFault",
+    "PRESETS",
+    "RetryExhausted",
+    "RetryPolicy",
+    "adjusted_p99_ms",
+    "degrade_until_slo",
+    "preset",
+    "run_unit",
+    "split_largest_wrap",
+    "unit_failure_prob",
+]

@@ -1,0 +1,145 @@
+"""The per-request fault injector: a seeded plan turned into concrete faults.
+
+One :class:`FaultInjector` lives for exactly one ``Platform.run`` call.  It
+owns the *only* RNG stream involved in fault injection, seeded from
+``(plan.seed, fault_seed)``, and every runtime hook consumes that stream in
+deterministic simulated-event order — so the same (plan, seed, workload)
+triple always crashes the same sandbox at the same instant.  It also keeps
+the request's fault ledger (injection counts, retries, wasted work), mirrored
+into the tracer as typed events and ``faults.*``/``retries.*``/``work.*``
+counters whenever detail tracing is on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.simcore.monitor import TraceRecorder
+
+
+class FaultInjector:
+    """Draws faults from a :class:`FaultPlan` and keeps the request ledger."""
+
+    def __init__(self, plan: FaultPlan, policy: Optional[RetryPolicy] = None,
+                 *, seed: int = 0,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.plan = plan
+        self.policy = policy or RetryPolicy()
+        self.trace = trace
+        self.rng = np.random.default_rng((plan.seed, seed))
+        #: per-mechanism count of opportunities seen (one-shot bookkeeping)
+        self._opportunities: Dict[str, int] = {}
+        self._fired_shots: set[int] = set()
+        # -- the ledger -------------------------------------------------------
+        self.injected: Dict[str, int] = {}
+        self.retries = 0
+        self.exhausted = 0
+        self.wasted_wall_ms = 0.0     # wall time thrown away by failed attempts
+        self.rerun_work_ms = 0.0      # function work re-executed by retries
+
+    # -- draw paths (each consumes the stream deterministically) ---------------
+    def _scheduled_hit(self, mechanism: str, entity: str) -> bool:
+        count = self._opportunities.get(mechanism, 0) + 1
+        self._opportunities[mechanism] = count
+        for i, shot in enumerate(self.plan.scheduled):
+            if i in self._fired_shots or shot.mechanism != mechanism:
+                continue
+            if shot.entity is not None and shot.entity not in entity:
+                continue
+            if count == shot.occurrence:
+                self._fired_shots.add(i)
+                return True
+        return False
+
+    def fires(self, mechanism: str, entity: str) -> bool:
+        """One opportunity for ``mechanism`` on ``entity``: does it fault?
+
+        Scheduled one-shots are checked first; otherwise the plan's rate is
+        drawn.  A hit is recorded immediately — callers raise/act right after.
+        """
+        if self._scheduled_hit(mechanism, entity):
+            self.record_injected(mechanism, entity)
+            return True
+        rate = self.plan.rate_for(mechanism)
+        if rate > 0.0 and self.rng.random() < rate:
+            self.record_injected(mechanism, entity)
+            return True
+        return False
+
+    def draw_crash(self, entity: str, n_functions: int,
+                   expected_ms: float) -> Optional[float]:
+        """Crash offset for one attempt of a unit, or ``None``.
+
+        The unit's sandbox crashes iff *any* of its ``n_functions`` executions
+        crashes — probability ``1 - (1-rate)**n`` — which is what makes blast
+        radius grow with co-location.  The offset is uniform over the unit's
+        expected runtime (a lower bound on the attempt's wall time, so a drawn
+        crash always lands inside the attempt).  Recording is deferred to
+        :meth:`record_injected` when the crash timer actually wins the race.
+        """
+        if self._scheduled_hit("sandbox.crash", entity):
+            return 0.5 * max(expected_ms, 0.0)
+        rate = self.plan.sandbox_crash_rate
+        if rate <= 0.0 or n_functions <= 0:
+            return None
+        p_unit = 1.0 - (1.0 - rate) ** n_functions
+        if self.rng.random() >= p_unit:
+            return None
+        return float(self.rng.random()) * max(expected_ms, 0.0)
+
+    def straggler_scale(self, entity: str) -> float:
+        """Slowdown multiplier for one function execution (usually 1.0)."""
+        if self._scheduled_hit("straggler", entity):
+            self.record_injected("straggler", entity)
+            return self.plan.straggler_factor
+        rate = self.plan.straggler_rate
+        if rate > 0.0 and self.rng.random() < rate:
+            self.record_injected("straggler", entity)
+            return self.plan.straggler_factor
+        return 1.0
+
+    # -- ledger ---------------------------------------------------------------
+    def record_injected(self, mechanism: str, entity: str) -> None:
+        self.injected[mechanism] = self.injected.get(mechanism, 0) + 1
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event("fault.injected", entity=entity, mechanism=mechanism)
+            trace.metrics.inc("faults.injected")
+            trace.metrics.inc(f"faults.injected.{mechanism}")
+
+    def record_retry(self, entity: str, attempt: int, mechanism: str,
+                     wasted_wall_ms: float, rerun_work_ms: float) -> None:
+        """One failed attempt is being retried (``attempt`` just failed)."""
+        self.retries += 1
+        self.wasted_wall_ms += wasted_wall_ms
+        self.rerun_work_ms += rerun_work_ms
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event("retry.attempt", entity=entity, attempt=attempt,
+                        mechanism=mechanism, wasted_ms=wasted_wall_ms)
+            trace.metrics.inc("retries.attempted")
+            trace.metrics.inc("work.wasted_ms", wasted_wall_ms)
+
+    def record_exhausted(self, entity: str, attempts: int,
+                         mechanism: str) -> None:
+        self.exhausted += 1
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event("retry.exhausted", entity=entity, attempts=attempts,
+                        mechanism=mechanism)
+            trace.metrics.inc("retries.exhausted")
+
+    def summary(self) -> dict:
+        """JSON-friendly ledger for :class:`RequestResult` and reports."""
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "injected_total": sum(self.injected.values()),
+            "retries": self.retries,
+            "exhausted": self.exhausted,
+            "wasted_wall_ms": self.wasted_wall_ms,
+            "rerun_work_ms": self.rerun_work_ms,
+        }

@@ -1,0 +1,142 @@
+"""Fault plans: what can fail, how often, and exactly when.
+
+A :class:`FaultPlan` is pure configuration — per-mechanism rates, straggler
+and timeout shapes, and optional :class:`OneShotFault` schedules ("fail the
+2nd fork") — with no mutable state.  A per-request
+:class:`~repro.faults.inject.FaultInjector` turns the plan plus a seed into
+a deterministic fault schedule, so the same (plan, seed) pair always
+produces the same crashes at the same simulated instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import SimulationError
+
+#: every mechanism an injector can fire (rates and one-shots both use these)
+MECHANISMS = (
+    "sandbox.crash",    # a function takes its whole sandbox down
+    "fork.fail",        # a fork syscall fails after paying its block time
+    "rpc.drop",         # a gateway/dispatcher invocation never answers
+    "storage.read",     # an object-store get errors after the base latency
+    "storage.write",    # an object-store put errors after the base latency
+    "pool.worker",      # a pre-forked pool worker dies and is respawned
+    "straggler",        # a function runs ``straggler_factor`` times slower
+)
+
+
+@dataclass(frozen=True)
+class OneShotFault:
+    """Fail the ``occurrence``-th firing of ``mechanism`` exactly once.
+
+    ``entity`` (substring match against the operation's entity name)
+    restricts the fault to one sandbox/function/store; ``None`` matches any.
+    """
+
+    mechanism: str
+    occurrence: int = 1
+    entity: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in MECHANISMS:
+            raise SimulationError(
+                f"unknown fault mechanism {self.mechanism!r}; "
+                f"expected one of {MECHANISMS}")
+        if self.occurrence < 1:
+            raise SimulationError(
+                f"one-shot occurrence must be >= 1, got {self.occurrence}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative fault configuration for one simulated run.
+
+    Rates are probabilities per *opportunity* of the mechanism:
+
+    * ``sandbox_crash_rate`` — per function execution; a hit kills the whole
+      sandbox, so the co-location degree of the deployment model (1-to-1,
+      wraps, many-to-1) sets the blast radius;
+    * ``fork_failure_rate`` — per fork syscall;
+    * ``rpc_drop_rate`` — per gateway/ASF invocation (the caller burns
+      ``rpc_timeout_ms`` waiting before giving up);
+    * ``storage_error_rate`` — per object-store put or get;
+    * ``pool_worker_crash_rate`` — per pool task (the pool self-heals by
+      respawning the worker, costing one interpreter startup);
+    * ``straggler_rate`` — per function execution (the function runs
+      ``straggler_factor`` times slower; no error is raised).
+    """
+
+    seed: int = 0
+    sandbox_crash_rate: float = 0.0
+    fork_failure_rate: float = 0.0
+    rpc_drop_rate: float = 0.0
+    storage_error_rate: float = 0.0
+    pool_worker_crash_rate: float = 0.0
+    straggler_rate: float = 0.0
+    #: execution-time multiplier a straggler suffers
+    straggler_factor: float = 4.0
+    #: time a caller waits on a dropped RPC before raising
+    rpc_timeout_ms: float = 200.0
+    #: deterministic one-shot faults, evaluated before the rates
+    scheduled: tuple[OneShotFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise SimulationError(f"fault seed must be >= 0, got {self.seed}")
+        for name in ("sandbox_crash_rate", "fork_failure_rate",
+                     "rpc_drop_rate", "storage_error_rate",
+                     "pool_worker_crash_rate", "straggler_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_factor < 1.0:
+            raise SimulationError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}")
+        if self.rpc_timeout_ms < 0:
+            raise SimulationError(
+                f"rpc_timeout_ms must be >= 0, got {self.rpc_timeout_ms}")
+        object.__setattr__(self, "scheduled", tuple(self.scheduled))
+
+    # -- derived views --------------------------------------------------------
+    _RATE_OF = {
+        "sandbox.crash": "sandbox_crash_rate",
+        "fork.fail": "fork_failure_rate",
+        "rpc.drop": "rpc_drop_rate",
+        "storage.read": "storage_error_rate",
+        "storage.write": "storage_error_rate",
+        "pool.worker": "pool_worker_crash_rate",
+        "straggler": "straggler_rate",
+    }
+
+    def rate_for(self, mechanism: str) -> float:
+        """The plan's probability for one opportunity of ``mechanism``."""
+        try:
+            return getattr(self, self._RATE_OF[mechanism])
+        except KeyError:
+            raise SimulationError(
+                f"unknown fault mechanism {mechanism!r}") from None
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything (zero-fault runs
+        skip the injector entirely, keeping them bit-identical to a run
+        with no plan at all)."""
+        return (not self.scheduled
+                and all(getattr(self, attr) == 0.0
+                        for attr in set(self._RATE_OF.values())))
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def uniform(cls, rate: float, *, seed: int = 0, **overrides) -> "FaultPlan":
+        """The same rate on every error mechanism (stragglers stay off
+        unless overridden) — the blast-radius experiment's sweep axis."""
+        base = dict(sandbox_crash_rate=rate, fork_failure_rate=rate,
+                    rpc_drop_rate=rate, storage_error_rate=rate,
+                    pool_worker_crash_rate=rate, seed=seed)
+        base.update(overrides)
+        return cls(**base)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)

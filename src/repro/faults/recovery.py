@@ -1,0 +1,102 @@
+"""The recovery driver: run one retryable unit under the active injector.
+
+:func:`run_unit` is the single retry loop every platform shares; what differs
+per platform is only the *unit* handed to it — one function (1-to-1), one
+wrap part (Chiron's m-to-n), or the whole workflow (many-to-1) — which is how
+blast radius becomes an emergent property of the deployment plan rather than
+something the fault subsystem hard-codes.
+
+When ``env.faults`` is ``None`` the driver degrades to a bare
+``yield from make_attempt()``: no extra process, no RNG draw, no event —
+the zero-overhead guarantee that keeps fault-free runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.errors import FaultError, RetryExhausted
+from repro.simcore import Environment, Event
+
+
+def run_unit(env: Environment,
+             make_attempt: Callable[[], Generator[Event, None, object]],
+             *, entity: str, n_functions: int = 0, unit_work_ms: float = 0.0,
+             expected_ms: float = 0.0,
+             on_restart: Optional[Callable[[str],
+                                           Generator[Event, None, None]]] = None
+             ) -> Generator[Event, None, object]:
+    """Run ``make_attempt`` until it succeeds or the policy gives up.
+
+    ``make_attempt`` is a zero-argument callable returning a *fresh* attempt
+    generator.  ``n_functions``/``unit_work_ms``/``expected_ms`` describe the
+    unit for the crash model and the wasted-work ledger (a unit with
+    ``n_functions == 0`` — e.g. a bare storage exchange — never draws a
+    sandbox crash but still retries faults raised inside the attempt).
+    ``on_restart(mechanism)`` runs between attempts so the platform can
+    replace a crashed sandbox (cold or warm per the retry policy).
+    """
+    faults = env.faults
+    if faults is None:
+        return (yield from make_attempt())
+
+    policy = faults.policy
+    attempt = 0
+    while True:
+        attempt += 1
+        start = env.now
+        mechanism: Optional[str] = None
+        crash_at = faults.draw_crash(entity, n_functions, expected_ms)
+        if crash_at is None and policy.attempt_timeout_ms is None:
+            # Nothing to race against: drive the attempt inline so its event
+            # schedule is identical to an un-instrumented run.
+            try:
+                return (yield from make_attempt())
+            except RetryExhausted:
+                raise
+            except FaultError as exc:
+                mechanism = exc.mechanism
+        else:
+            body = env.process(make_attempt(),
+                               name=f"{entity}#attempt{attempt}")
+            racers: list[Event] = [body]
+            crash_timer = env.timeout(crash_at) if crash_at is not None else None
+            if crash_timer is not None:
+                racers.append(crash_timer)
+            deadline = (env.timeout(policy.attempt_timeout_ms)
+                        if policy.attempt_timeout_ms is not None else None)
+            if deadline is not None:
+                racers.append(deadline)
+            try:
+                yield env.any_of(racers)
+            except RetryExhausted:
+                raise
+            except FaultError as exc:
+                mechanism = exc.mechanism
+            else:
+                if body.triggered and body.ok:
+                    return body.value
+                if crash_timer is not None and crash_timer.processed:
+                    # the crash timer won the race: the drawn crash is real
+                    mechanism = "sandbox.crash"
+                    faults.record_injected("sandbox.crash", entity)
+                else:
+                    mechanism = "attempt.timeout"
+                # the abandoned body keeps running on the dead sandbox; its
+                # eventual failure is defused by the already-fired AnyOf.
+
+        wasted_wall = env.now - start
+        if attempt >= policy.max_attempts:
+            faults.record_exhausted(entity, attempt, mechanism)
+            raise RetryExhausted(
+                f"{entity}: all {attempt} attempt(s) failed "
+                f"(last fault: {mechanism})", mechanism)
+        faults.record_retry(entity, attempt, mechanism,
+                            wasted_wall, unit_work_ms)
+        if on_restart is not None:
+            restart = on_restart(mechanism)
+            if restart is not None:  # plain callables may return None
+                yield from restart
+        delay = faults.policy.backoff_ms(attempt, faults.rng)
+        if delay > 0:
+            yield env.timeout(delay)

@@ -1,0 +1,184 @@
+"""Analytic reliability model + the manager's graceful-degradation knob.
+
+Retries stretch tail latency: a unit that fails with probability ``p`` needs
+``a`` attempts before the failure probability drops below the percentile of
+interest, and every extra attempt re-pays the unit's runtime plus backoff.
+:func:`adjusted_p99_ms` turns a deployment plan + fault plan into that tail
+estimate, and :func:`split_largest_wrap` / :func:`degrade_until_slo` give the
+manager a reliability-aware PGP knob: when the fault-adjusted p99 blows the
+SLO, shrink the biggest wrap (smaller blast radius, more sandboxes) until the
+estimate fits or nothing is left to split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.core.wrap import (DeploymentPlan, ProcessAssignment,
+                             StageAssignment, Wrap)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.workflow.model import Workflow
+
+#: tail percentile the adjustment targets (p99 -> 1% residual failure mass)
+_TAIL_RESIDUAL = 0.01
+
+
+#: sanity bound on the attempts estimate (p_fail near 1 would diverge)
+_MAX_TAIL_ATTEMPTS = 12
+
+
+def _attempts_for_tail(p_fail: float) -> int:
+    """Attempts until the residual failure probability dips below 1%.
+
+    Deliberately *not* capped by the retry policy's ``max_attempts``: if the
+    policy gives up earlier, the residual mass is failed requests — an SLO
+    breach either way — so the estimate must stay sensitive to unit width
+    for the degrade loop to see that smaller wraps need fewer attempts.
+    """
+    if p_fail <= 0.0:
+        return 1
+    if p_fail >= 1.0:
+        return _MAX_TAIL_ATTEMPTS
+    needed = math.ceil(math.log(_TAIL_RESIDUAL) / math.log(p_fail))
+    return max(1, min(int(needed), _MAX_TAIL_ATTEMPTS))
+
+
+def unit_failure_prob(fault_plan: FaultPlan, n_functions: int) -> float:
+    """Probability one attempt of an ``n_functions``-wide unit fails.
+
+    Sandbox crashes and fork failures are the mechanisms that abort a unit
+    outright (RPC drops and storage errors happen on exchange paths whose
+    retries are narrow); each of the unit's functions is one opportunity.
+    """
+    p_ok_per_fn = ((1.0 - fault_plan.sandbox_crash_rate)
+                   * (1.0 - fault_plan.fork_failure_rate))
+    return 1.0 - p_ok_per_fn ** max(n_functions, 0)
+
+
+def adjusted_p99_ms(workflow: Workflow, plan: DeploymentPlan,
+                    fault_plan: FaultPlan, policy: RetryPolicy,
+                    base_ms: float) -> float:
+    """Fault-adjusted p99 estimate for ``plan``.
+
+    Per stage, each wrap's part is one retry unit; the stage's tail cost is
+    the worst part's ``(attempts-1)`` re-runs of its expected runtime plus
+    the deterministic backoff schedule.  Stage costs add along the workflow.
+    """
+    if fault_plan.is_null:
+        return base_ms
+    extra = 0.0
+    for stage_index in range(len(workflow.stages)):
+        worst = 0.0
+        for _, sa in plan.stage_wraps(stage_index):
+            names = sa.function_names
+            p_fail = unit_failure_prob(fault_plan, len(names))
+            attempts = _attempts_for_tail(p_fail)
+            if attempts <= 1:
+                continue
+            unit_ms = max(workflow.function(n).behavior.solo_ms
+                          for n in names)
+            cost = (attempts - 1) * unit_ms
+            cost += sum(policy.backoff_ms(a) for a in range(1, attempts))
+            worst = max(worst, cost)
+        extra += worst
+    return base_ms + extra
+
+
+def _split_wrap(target: Wrap) -> Optional[tuple[Wrap, Wrap]]:
+    """Halve one wrap's widest stages; ``None`` when no stage can split."""
+    a_stages: list[StageAssignment] = []
+    b_stages: list[StageAssignment] = []
+    for sa in target.stages:
+        procs = list(sa.processes)
+        if len(procs) >= 2:
+            mid = (len(procs) + 1) // 2
+            a_procs, b_procs = procs[:mid], procs[mid:]
+        elif len(procs[0].functions) >= 2:
+            fns = procs[0].functions
+            mid = (len(fns) + 1) // 2
+            a_procs = [ProcessAssignment(fns[:mid], procs[0].mode)]
+            b_procs = [ProcessAssignment(fns[mid:], procs[0].mode)]
+        else:
+            a_procs, b_procs = procs, []
+        if a_procs:
+            a_stages.append(StageAssignment(sa.stage_index, tuple(a_procs)))
+        if b_procs:
+            b_stages.append(StageAssignment(sa.stage_index, tuple(b_procs)))
+    if not b_stages:
+        return None
+    return Wrap(target.name, tuple(a_stages)), Wrap(target.name,
+                                                    tuple(b_stages))
+
+
+def split_largest_wrap(plan: DeploymentPlan) -> Optional[DeploymentPlan]:
+    """Split the plan's widest splittable wrap in two; ``None`` if none can.
+
+    Candidates are tried widest-first — a wrap whose functions all sit in
+    separate stages cannot shrink (each retry unit is one wrap-stage part,
+    already one function wide), so the next-widest wrap gets its turn.
+    Process groups are divided between the halves per stage; a stage held by
+    a single multi-function group splits that group's threads instead.  The
+    first half keeps the original wrap name, the second gets a fresh
+    ``<name>.rN`` name; explicit core counts for the split wrap are dropped
+    so both halves fall back to their process peaks.
+    """
+    candidates = sorted(plan.wraps, key=lambda w: len(w.function_names),
+                        reverse=True)
+    for target in candidates:
+        if len(target.function_names) < 2:
+            return None  # sorted: everything after is just as narrow
+        halves = _split_wrap(target)
+        if halves is None:
+            continue
+        existing = {w.name for w in plan.wraps}
+        n = 1
+        while f"{target.name}.r{n}" in existing:
+            n += 1
+        half_a = replace(halves[0], name=target.name)
+        half_b = replace(halves[1], name=f"{target.name}.r{n}")
+        wraps: list[Wrap] = []
+        for wrap in plan.wraps:
+            if wrap is target:
+                wraps.extend((half_a, half_b))
+            else:
+                wraps.append(wrap)
+        cores = {name: c for name, c in plan.cores.items()
+                 if name != target.name}
+        return DeploymentPlan(
+            workflow_name=plan.workflow_name, wraps=tuple(wraps), cores=cores,
+            pool_workers=plan.pool_workers,
+            predicted_latency_ms=plan.predicted_latency_ms,
+            slo_ms=plan.slo_ms)
+    return None
+
+
+def degrade_until_slo(workflow: Workflow, plan: DeploymentPlan,
+                      fault_plan: FaultPlan, policy: RetryPolicy,
+                      slo_ms: float,
+                      predict: Callable[[DeploymentPlan], float],
+                      ) -> tuple[DeploymentPlan, float, int]:
+    """Shrink wraps until the fault-adjusted p99 fits the SLO.
+
+    ``predict(plan)`` supplies the fault-free latency estimate for each
+    candidate.  Returns ``(plan, adjusted_p99_ms, splits_performed)`` — the
+    original plan untouched when it already fits (or faults are off).
+    """
+    adjusted = adjusted_p99_ms(workflow, plan, fault_plan, policy,
+                               predict(plan))
+    splits = 0
+    while adjusted > slo_ms:
+        candidate = split_largest_wrap(plan)
+        if candidate is None:
+            break
+        base = predict(candidate)
+        cand_adjusted = adjusted_p99_ms(workflow, candidate, fault_plan,
+                                        policy, base)
+        if cand_adjusted >= adjusted:
+            break   # splitting stopped helping; keep the better plan
+        candidate = replace(candidate, predicted_latency_ms=base)
+        plan, adjusted = candidate, cand_adjusted
+        splits += 1
+    return plan, adjusted, splits

@@ -1,0 +1,84 @@
+"""Retry policies: how a platform reacts when an injected fault kills a unit.
+
+The *unit* a policy re-runs is the platform's choice (one function for
+1-to-1, the whole workflow for many-to-1, one wrap for Chiron's m-to-n) —
+the policy itself only decides how many attempts to spend, how long to wait
+between them, and whether a crashed sandbox reboots cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and optional jitter.
+
+    ``backoff_ms(attempt)`` for attempt ``a`` (1-based; the backoff is paid
+    *before* attempt ``a+1``) is ``backoff_base_ms * backoff_factor**(a-1)``,
+    scaled by ``1 + backoff_jitter*(2u-1)`` when an RNG is supplied.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.2
+    #: wall-clock budget per attempt; ``None`` disables the deadline
+    attempt_timeout_ms: Optional[float] = None
+    #: whether a replacement sandbox after a crash boots cold
+    reboot_cold: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_ms < 0:
+            raise SimulationError(
+                f"backoff_base_ms must be >= 0, got {self.backoff_base_ms}")
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise SimulationError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}")
+        if self.attempt_timeout_ms is not None and self.attempt_timeout_ms <= 0:
+            raise SimulationError(
+                f"attempt_timeout_ms must be > 0, got {self.attempt_timeout_ms}")
+
+    def backoff_ms(self, attempt: int, rng=None) -> float:
+        """Delay before the attempt after ``attempt`` (1-based) failed."""
+        if attempt < 1:
+            raise SimulationError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_base_ms * self.backoff_factor ** (attempt - 1)
+        if rng is not None and self.backoff_jitter > 0:
+            delay *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+#: named policies the CLI's ``--policy`` flag resolves
+PRESETS = {
+    # balanced default: three tries, warm-ish backoff, cold reboot on crash
+    "default": RetryPolicy(),
+    # retry fast and often; keep replacement sandboxes warm
+    "eager": RetryPolicy(max_attempts=5, backoff_base_ms=1.0,
+                         backoff_factor=1.5, reboot_cold=False),
+    # few, widely spaced attempts with a per-attempt deadline
+    "patient": RetryPolicy(max_attempts=2, backoff_base_ms=50.0,
+                           backoff_factor=4.0, attempt_timeout_ms=60_000.0),
+    # no recovery: the first fault fails the request
+    "none": RetryPolicy(max_attempts=1),
+}
+
+
+def preset(name: str) -> RetryPolicy:
+    """Resolve a named policy (``default``/``eager``/``patient``/``none``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown retry policy {name!r}; "
+            f"expected one of {sorted(PRESETS)}") from None

@@ -81,10 +81,27 @@ class DivergenceReport:
     conservatism: float = 1.0
     predicted_trace: Optional[TraceRecorder] = None
     runtime_trace: Optional[TraceRecorder] = None
+    #: ``FaultInjector.summary()`` of the runtime side (None = fault-free run)
+    fault_summary: Optional[dict] = None
 
     @property
     def total_delta_ms(self) -> float:
         return self.measured_total_ms - self.predicted_total_ms
+
+    @property
+    def fault_induced_ms(self) -> float:
+        """Latency attributable to injected faults: wall time burned by
+        failed attempts.  The predictor never models faults, so this slice
+        of the delta is *expected* divergence, not model error."""
+        if self.fault_summary is None:
+            return 0.0
+        return float(self.fault_summary.get("wasted_wall_ms", 0.0))
+
+    @property
+    def model_error_ms(self) -> float:
+        """The latency gap left after discounting fault-induced time —
+        the part that actually indicts the predictor."""
+        return self.total_delta_ms - self.fault_induced_ms
 
     @property
     def worst_function(self) -> Optional[FunctionDelta]:
@@ -144,6 +161,19 @@ class DivergenceReport:
             lines += ["",
                       f"largest mechanism gap: {worst.op} "
                       f"({worst.delta_ms:+.3f} ms)"]
+        if self.fault_summary is not None:
+            s = self.fault_summary
+            injected = ", ".join(f"{k}x{v}"
+                                 for k, v in s["injected"].items()) or "none"
+            lines += [
+                "",
+                "fault attribution (injected faults, not model error)",
+                f"  injected: {injected}",
+                f"  retries {s['retries']}  exhausted {s['exhausted']}  "
+                f"rerun work {s['rerun_work_ms']:.3f} ms",
+                f"  fault-induced latency {self.fault_induced_ms:+.3f} ms, "
+                f"residual model error {self.model_error_ms:+.3f} ms",
+            ]
         return "\n".join(lines)
 
 
@@ -178,7 +208,8 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
             cal: Optional[RuntimeCalibration] = None,
             predictor: Optional[LatencyPredictor] = None,
             platform=None, cold: bool = False,
-            tracer=None) -> DivergenceReport:
+            tracer=None, faults=None, retry=None,
+            fault_seed: int = 0) -> DivergenceReport:
     """Predict and execute ``plan``, then decompose the latency gap.
 
     ``predictor`` and ``platform`` default to a shared calibration; pass a
@@ -186,6 +217,11 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
     mis-calibrated constant surfaces in the mechanism table.  ``tracer``
     (a :class:`repro.obs.Tracer`) upgrades the runtime side to the detailed
     trace — GIL waits, gateway queueing — at some simulation overhead.
+
+    ``faults``/``retry``/``fault_seed`` arm fault injection on the runtime
+    side only; the report then attributes the injected slice of the latency
+    gap separately (``fault_induced_ms`` vs ``model_error_ms``), so injected
+    faults do not masquerade as predictor drift.
     """
     cal = cal or RuntimeCalibration.native()
     predictor = predictor or LatencyPredictor(cal)
@@ -195,7 +231,8 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
 
     pred_trace = TraceRecorder()
     predicted = predictor.predict_workflow(workflow, plan, trace=pred_trace)
-    result = platform.run(workflow, cold=cold, tracer=tracer)
+    result = platform.run(workflow, cold=cold, tracer=tracer, faults=faults,
+                          retry=retry, fault_seed=fault_seed)
     run_trace = result.trace
 
     names = [f.name for f in workflow.functions]
@@ -227,4 +264,5 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
         mechanisms=mechanisms,
         conservatism=predictor.conservatism,
         predicted_trace=pred_trace,
-        runtime_trace=run_trace)
+        runtime_trace=run_trace,
+        fault_summary=result.faults)

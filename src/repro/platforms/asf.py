@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.calibration import RuntimeCalibration
+from repro.faults.recovery import run_unit
 from repro.platforms.base import Platform, RequestResult
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import ASFDispatcher
@@ -26,10 +27,10 @@ class ASFPlatform(Platform):
 
     name = "asf"
 
-    def _run_branch(self, env: Environment, dispatcher: ASFDispatcher,
-                    sandbox: Sandbox, fn: FunctionSpec, index: int,
-                    trace: TraceRecorder, result: RequestResult,
-                    cold: bool = False):
+    def _attempt_branch(self, env: Environment, dispatcher: ASFDispatcher,
+                        sandbox: Sandbox, fn: FunctionSpec, index: int,
+                        trace: TraceRecorder, result: RequestResult,
+                        cold: bool = False):
         start = env.now
         yield from dispatcher.dispatch(index, entity=fn.name)
         if cold and not sandbox.booted:
@@ -40,6 +41,32 @@ class ASFPlatform(Platform):
         yield env.process(thread.run_behavior(fn.behavior))
         result.function_spans[fn.name] = (start, env.now)
 
+    def _run_branch(self, env: Environment, dispatcher: ASFDispatcher,
+                    sandboxes, fn: FunctionSpec, index: int,
+                    trace: TraceRecorder, result: RequestResult,
+                    cold: bool = False):
+        """Recovery driver: Step Functions retries one Lambda at a time."""
+        def make_attempt():
+            return self._attempt_branch(env, dispatcher, sandboxes[fn.name],
+                                        fn, index, trace, result, cold)
+
+        def on_restart(mechanism):
+            if mechanism == "sandbox.crash":
+                old = sandboxes[fn.name]
+                old.crash()
+                fresh = Sandbox(env, name=old.name, cores=1, cal=self.cal,
+                                trace=trace)
+                if env.faults.policy.reboot_cold:
+                    yield from fresh.boot(cold=True)
+                else:
+                    fresh.booted = True
+                sandboxes[fn.name] = fresh
+
+        yield from run_unit(env, make_attempt, entity=fn.name, n_functions=1,
+                            unit_work_ms=fn.behavior.solo_ms,
+                            expected_ms=fn.behavior.solo_ms,
+                            on_restart=on_restart)
+
     def _execute(self, env: Environment, workflow: Workflow,
                  trace: TraceRecorder, result: RequestResult, cold: bool):
         dispatcher = ASFDispatcher(env, trace=trace)
@@ -49,14 +76,16 @@ class ASFPlatform(Platform):
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
             events = [env.process(self._run_branch(
-                env, dispatcher, sandboxes[fn.name], fn, i, trace, result,
+                env, dispatcher, sandboxes, fn, i, trace, result,
                 cold)) for i, fn in enumerate(stage)]
             yield env.all_of(events)
             result.stage_ends_ms.append(env.now)
             if stage_idx + 1 < len(workflow.stages):
                 size_mb = sum(fn.behavior.data_out_mb for fn in stage)
-                yield from storage.exchange(size_mb,
-                                            entity=f"stage-{stage_idx}")
+                entity = f"stage-{stage_idx}"
+                yield from run_unit(
+                    env, lambda: storage.exchange(size_mb, entity=entity),
+                    entity=entity)
 
     # -- accounting ------------------------------------------------------------
     def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:

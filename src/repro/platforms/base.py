@@ -51,6 +51,9 @@ class RequestResult:
     function_spans: Dict[str, tuple[float, float]] = field(default_factory=dict)
     #: per-stage completion timestamps
     stage_ends_ms: list[float] = field(default_factory=list)
+    #: fault-injection ledger (``FaultInjector.summary()``); ``None`` for
+    #: fault-free requests
+    faults: Optional[dict] = None
 
     @property
     def function_latencies(self) -> Dict[str, float]:
@@ -76,7 +79,8 @@ class Platform(abc.ABC):
 
     def run(self, workflow: Workflow, *, cold: bool = False,
             seed: Optional[int] = None, jitter_sigma: float = 0.08,
-            tracer: Optional[TraceRecorder] = None) -> RequestResult:
+            tracer: Optional[TraceRecorder] = None,
+            faults=None, retry=None, fault_seed: int = 0) -> RequestResult:
         """Execute one request and return its result.
 
         A fresh deterministic simulation is built per request; ``seed``
@@ -84,6 +88,13 @@ class Platform(abc.ABC):
         ``tracer`` (e.g. a :class:`repro.obs.Tracer`) replaces the default
         flat recorder — its clock is bound to the simulation, and detail-mode
         hook points (GIL handoffs, gateway queueing, kernel vitals) light up.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`) arms deterministic
+        fault injection for this request, with ``retry`` (a
+        :class:`repro.faults.RetryPolicy`) governing recovery and
+        ``fault_seed`` decorrelating requests under one plan.  A null plan —
+        or no plan — leaves the runtime entirely uninstrumented, so the
+        request is bit-identical to a fault-free run.
         """
         wf = jittered(workflow, seed, jitter_sigma)
         env = Environment()
@@ -91,12 +102,21 @@ class Platform(abc.ABC):
         bind = getattr(trace, "bind_clock", None)
         if bind is not None:
             bind(lambda: env.now)
+        injector = None
+        if faults is not None and not faults.is_null:
+            from repro.faults.inject import FaultInjector
+
+            injector = FaultInjector(faults, retry, seed=fault_seed,
+                                     trace=trace)
+            env.faults = injector
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),
                            name=f"{self.name}/{wf.name}")
         env.run(until=done)
         result.latency_ms = env.now
+        if injector is not None:
+            result.faults = injector.summary()
         if trace.detail:
             trace.metrics.inc("kernel.events", env.events_processed)
             trace.metrics.inc("requests")

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.calibration import RuntimeCalibration
 from repro.core.wrap import DeploymentPlan, StageAssignment, Wrap
 from repro.errors import DeploymentError
+from repro.faults.recovery import run_unit
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway, ipc_collect
@@ -39,11 +40,50 @@ class ChironPlatform(Platform):
         self.longest_first = longest_first
 
     # -- execution ------------------------------------------------------------
-    def _run_wrap_part(self, env: Environment, part_index: int,
-                       sandbox: Sandbox, sa: StageAssignment,
-                       workflow: Workflow, gateway: Gateway,
-                       trace: TraceRecorder, result: RequestResult,
-                       cold: bool = False):
+    def _run_wrap_part(self, env: Environment, part_index: int, wrap: Wrap,
+                       sandboxes, sa: StageAssignment, workflow: Workflow,
+                       gateway: Gateway, trace: TraceRecorder,
+                       result: RequestResult, cold: bool = False):
+        """Recovery driver: m-to-n retries at *wrap* granularity.
+
+        A crash loses exactly one wrap's share of the stage — every function
+        packed into the wrap re-runs, none of its siblings do — so blast
+        radius is an emergent property of the deployment plan.
+        """
+        fns = [workflow.function(n) for n in sa.function_names]
+
+        def make_attempt():
+            return self._attempt_wrap_part(env, part_index,
+                                           sandboxes[wrap.name], sa,
+                                           workflow, gateway, trace, result,
+                                           cold)
+
+        def on_restart(mechanism):
+            if mechanism == "sandbox.crash":
+                old = sandboxes[wrap.name]
+                old.crash()
+                fresh = Sandbox(env, name=old.name, cal=self.cal,
+                                trace=trace, cores=self.plan.cores_for(wrap))
+                if self.plan.pool_workers > 0:
+                    fresh.init_pool(self.plan.pool_workers)
+                if env.faults.policy.reboot_cold:
+                    yield from fresh.boot(cold=True)
+                else:
+                    fresh.booted = True
+                sandboxes[wrap.name] = fresh
+
+        yield from run_unit(
+            env, make_attempt, entity=f"{wrap.name}-s{sa.stage_index}",
+            n_functions=len(fns),
+            unit_work_ms=sum(f.behavior.solo_ms for f in fns),
+            expected_ms=max(f.behavior.solo_ms for f in fns),
+            on_restart=on_restart)
+
+    def _attempt_wrap_part(self, env: Environment, part_index: int,
+                           sandbox: Sandbox, sa: StageAssignment,
+                           workflow: Workflow, gateway: Gateway,
+                           trace: TraceRecorder, result: RequestResult,
+                           cold: bool = False):
         """One wrap's share of one stage (Eq. 3 mechanics)."""
         if cold and not sandbox.booted:
             # lazy wrap boot: sibling wraps of a stage boot concurrently, so
@@ -127,7 +167,7 @@ class ChironPlatform(Platform):
                                   wraps=len(parts))
                       if trace.detail else None)
             events = [env.process(self._run_wrap_part(
-                env, k, sandboxes[wrap.name], sa, workflow, gateway,
+                env, k, wrap, sandboxes, sa, workflow, gateway,
                 trace, result, cold))
                 for k, (wrap, sa) in enumerate(parts)]
             yield env.all_of(events)

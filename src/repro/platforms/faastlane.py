@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.calibration import RuntimeCalibration
 from repro.errors import DeploymentError
+from repro.faults.recovery import run_unit
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway, ipc_collect
@@ -106,6 +107,29 @@ class FaastlanePlatform(Platform):
     # -- per-variant request drivers --------------------------------------------
     def _execute(self, env: Environment, workflow: Workflow,
                  trace: TraceRecorder, result: RequestResult, cold: bool):
+        # Many-to-1 recovery: every variant re-runs the *whole workflow* on
+        # any fault — the entire request shares sandbox state, so nothing
+        # smaller can be retried in isolation.
+        state = {"force_cold": cold}
+
+        def make_attempt():
+            return self._attempt_workflow(env, workflow, trace, result,
+                                          state["force_cold"])
+
+        def on_restart(mechanism):
+            if mechanism == "sandbox.crash" and env.faults.policy.reboot_cold:
+                state["force_cold"] = True
+
+        yield from run_unit(env, make_attempt, entity=self.name,
+                            n_functions=workflow.num_functions,
+                            unit_work_ms=workflow.total_work_ms,
+                            expected_ms=workflow.critical_path_ms,
+                            on_restart=on_restart)
+
+    def _attempt_workflow(self, env: Environment, workflow: Workflow,
+                          trace: TraceRecorder, result: RequestResult,
+                          cold: bool):
+        result.stage_ends_ms.clear()
         if self.variant == "plus":
             yield from self._execute_plus(env, workflow, trace, result, cold)
             return

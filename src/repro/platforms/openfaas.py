@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.calibration import RuntimeCalibration
+from repro.faults.recovery import run_unit
 from repro.platforms.base import Platform, RequestResult
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway
@@ -32,10 +33,10 @@ class OpenFaaSPlatform(Platform):
         super().__init__(cal)
         self._storage_factory = storage_factory
 
-    def _invoke_function(self, env: Environment, gateway: Gateway,
-                         sandbox: Sandbox, fn: FunctionSpec,
-                         trace: TraceRecorder, result: RequestResult,
-                         cold: bool = False):
+    def _attempt_function(self, env: Environment, gateway: Gateway,
+                          sandbox: Sandbox, fn: FunctionSpec,
+                          trace: TraceRecorder, result: RequestResult,
+                          cold: bool = False):
         """One gateway round trip + in-sandbox handler execution."""
         start = env.now
         yield from gateway.invoke(entity=fn.name)
@@ -51,6 +52,35 @@ class OpenFaaSPlatform(Platform):
         yield env.process(thread.run_behavior(fn.behavior))
         result.function_spans[fn.name] = (start, env.now)
 
+    def _invoke_function(self, env: Environment, gateway: Gateway,
+                         sandboxes, fn: FunctionSpec, trace: TraceRecorder,
+                         result: RequestResult, cold: bool = False):
+        """Recovery driver: 1-to-1 retries exactly one function.
+
+        A crash loses only this function's sandbox — the smallest possible
+        blast radius — and the replacement reboots cold or warm per policy.
+        """
+        def make_attempt():
+            return self._attempt_function(env, gateway, sandboxes[fn.name],
+                                          fn, trace, result, cold)
+
+        def on_restart(mechanism):
+            if mechanism == "sandbox.crash":
+                old = sandboxes[fn.name]
+                old.crash()
+                fresh = Sandbox(env, name=old.name, cores=1, cal=self.cal,
+                                trace=trace)
+                if env.faults.policy.reboot_cold:
+                    yield from fresh.boot(cold=True)
+                else:
+                    fresh.booted = True
+                sandboxes[fn.name] = fresh
+
+        yield from run_unit(env, make_attempt, entity=fn.name, n_functions=1,
+                            unit_work_ms=fn.behavior.solo_ms,
+                            expected_ms=fn.behavior.solo_ms,
+                            on_restart=on_restart)
+
     def _execute(self, env: Environment, workflow: Workflow,
                  trace: TraceRecorder, result: RequestResult, cold: bool):
         gateway = Gateway(env, self.cal, trace=trace)
@@ -60,16 +90,19 @@ class OpenFaaSPlatform(Platform):
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
             events = [env.process(self._invoke_function(
-                env, gateway, sandboxes[fn.name], fn, trace, result, cold))
+                env, gateway, sandboxes, fn, trace, result, cold))
                 for fn in stage]
             yield env.all_of(events)
             result.stage_ends_ms.append(env.now)
             if stage_idx + 1 < len(workflow.stages):
                 # intermediate state crosses to the next stage through the
-                # object store (stateless functions, §1)
+                # object store (stateless functions, §1); storage faults
+                # retry just the exchange
                 size_mb = sum(fn.behavior.data_out_mb for fn in stage)
-                yield from storage.exchange(size_mb,
-                                            entity=f"stage-{stage_idx}")
+                entity = f"stage-{stage_idx}"
+                yield from run_unit(
+                    env, lambda: storage.exchange(size_mb, entity=entity),
+                    entity=entity)
 
     # -- accounting ------------------------------------------------------------
     def footprints(self, workflow: Workflow) -> list[SandboxFootprint]:

@@ -8,6 +8,7 @@ unit of maximum parallelism.
 
 from __future__ import annotations
 
+from repro.faults.recovery import run_unit
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import ipc_collect
@@ -25,6 +26,28 @@ class SANDPlatform(Platform):
 
     def _execute(self, env: Environment, workflow: Workflow,
                  trace: TraceRecorder, result: RequestResult, cold: bool):
+        # Many-to-1 recovery: the whole workflow is one retry unit — any
+        # fault re-runs everything (the maximal blast radius).
+        state = {"force_cold": cold}
+
+        def make_attempt():
+            return self._attempt_workflow(env, workflow, trace, result,
+                                          state["force_cold"])
+
+        def on_restart(mechanism):
+            if mechanism == "sandbox.crash" and env.faults.policy.reboot_cold:
+                state["force_cold"] = True
+
+        yield from run_unit(env, make_attempt, entity=self.name,
+                            n_functions=workflow.num_functions,
+                            unit_work_ms=workflow.total_work_ms,
+                            expected_ms=workflow.critical_path_ms,
+                            on_restart=on_restart)
+
+    def _attempt_workflow(self, env: Environment, workflow: Workflow,
+                          trace: TraceRecorder, result: RequestResult,
+                          cold: bool):
+        result.stage_ends_ms.clear()
         sandbox = Sandbox(env, name="sand", cal=self.cal, trace=trace,
                           cores=self.allocated_cores(workflow))
         if cold:

@@ -16,6 +16,7 @@ from repro.calibration import (
     ASF_MAX_CONCURRENT_DISPATCH,
     RuntimeCalibration,
 )
+from repro.errors import FaultError
 from repro.simcore import Environment, Event, Resource
 from repro.simcore.monitor import TraceRecorder
 
@@ -46,6 +47,15 @@ class Gateway:
                ) -> Generator[Event, None, None]:
         """One function invocation through the gateway (caller blocks)."""
         t0 = self.env.now
+        faults = self.env.faults
+        if faults is not None and faults.fires("rpc.drop", entity):
+            # the request vanishes: the caller burns the RPC timeout waiting
+            yield self.env.timeout(faults.plan.rpc_timeout_ms)
+            if self.trace is not None:
+                self.trace.record(entity, "fault", t0, self.env.now,
+                                  op="fault.rpc.drop")
+            raise FaultError(f"gateway dropped invocation for {entity}",
+                             "rpc.drop")
         self._inflight += 1
         self.invocations += 1
         service = (self.cal.gateway_service_base_ms
@@ -96,6 +106,13 @@ class ASFDispatcher:
         The caller must later call :meth:`complete` to free the window slot.
         """
         t0 = self.env.now
+        faults = self.env.faults
+        if faults is not None and faults.fires("rpc.drop", entity):
+            yield self.env.timeout(faults.plan.rpc_timeout_ms)
+            if self.trace is not None:
+                self.trace.record(entity, "fault", t0, self.env.now,
+                                  op="fault.rpc.drop")
+            raise FaultError(f"ASF dropped dispatch for {entity}", "rpc.drop")
         self.transitions += 1
         if index > 0:
             yield self.env.timeout(self.issue_gap_ms * index)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Generator, Iterable, Optional, Sequence
 
 from repro.calibration import RuntimeCalibration
+from repro.errors import FaultError
 from repro.runtime.cpusched import FluidCPU
 from repro.runtime.gil import Gil
 from repro.runtime.thread import SimThread
@@ -125,6 +126,14 @@ def fork_children(env: Environment, parent: SimProcess,
         # birth span so mechanism totals don't double-count the same time.
         yield from parent.main_thread.consume_cpu(cal.fork_block_ms,
                                                   kind="fork", op="fork.block")
+        faults = env.faults
+        if faults is not None and faults.fires("fork.fail", f"{name_prefix}-{j}"):
+            # the syscall failed after occupying the parent for its block time
+            parent.main_thread.drop_gil_if_held()
+            if trace is not None:
+                trace.record(f"{name_prefix}-{j}", "fault", t0, env.now,
+                             op="fault.fork.fail")
+            raise FaultError(f"fork of {name_prefix}-{j} failed", "fork.fail")
         if trace is not None:
             trace.record(f"{name_prefix}-{j}", "fork", t0, env.now, op="fork")
         child = SimProcess(env, name=f"{name_prefix}-{j}", cpu=cpu, cal=cal,

@@ -48,6 +48,18 @@ class ProcessPool:
     def _run_task(self, fn: FunctionSpec) -> Generator[Event, None, None]:
         with self._slots.request() as slot:
             yield slot
+            faults = self.env.faults
+            if faults is not None and faults.fires(
+                    "pool.worker", f"{self.name}/{fn.name}"):
+                # the worker died; the pool self-heals by re-forking it
+                # before running the task (one interpreter startup of delay)
+                respawn = SimThread(self.env,
+                                    name=f"{self.name}/{fn.name}",
+                                    cpu=self.cpu, gil=None, cal=self.cal,
+                                    trace=self.trace)
+                yield from respawn.consume_cpu(self.cal.process_startup_ms,
+                                               kind="startup",
+                                               op="pool.respawn")
             worker = SimThread(self.env, name=f"{self.name}/{fn.name}",
                                cpu=self.cpu, gil=None, cal=self.cal,
                                trace=self.trace)

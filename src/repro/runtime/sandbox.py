@@ -37,6 +37,9 @@ class Sandbox:
                                        cal=cal, trace=trace)
         self._pool: Optional[ProcessPool] = None
         self.booted = False
+        #: set by :meth:`crash`; a crashed sandbox must be replaced, not
+        #: rebooted — its processes/threads are gone.
+        self.crashed = False
 
     def boot(self, cold: bool = False) -> Generator[Event, None, None]:
         """Bring the sandbox up; a cold boot pays the container start cost."""
@@ -49,6 +52,13 @@ class Sandbox:
         else:
             yield self.env.timeout(0.0)
         self.booted = True
+
+    def crash(self) -> None:
+        """Kill the sandbox (injected fault): everything inside it is lost."""
+        self.crashed = True
+        self.booted = False
+        if self.trace is not None and self.trace.detail:
+            self.trace.event("sandbox.crash", entity=self.name)
 
     def init_pool(self, workers: int) -> ProcessPool:
         """Pre-fork a worker pool at deploy time (the -P variants)."""

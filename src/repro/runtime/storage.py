@@ -17,7 +17,7 @@ from repro.calibration import (
     S3_BANDWIDTH_MB_PER_MS,
     S3_BASE_LATENCY_MS,
 )
-from repro.errors import SimulationError
+from repro.errors import FaultError, SimulationError
 from repro.simcore import Environment, Event
 from repro.simcore.monitor import TraceRecorder
 
@@ -51,6 +51,18 @@ class StorageService:
     def _transfer(self, size_mb: float, kind: str, entity: str,
                   op: str) -> Generator[Event, None, None]:
         t0 = self.env.now
+        faults = self.env.faults
+        if faults is not None:
+            mechanism = ("storage.read" if op.endswith("get")
+                         else "storage.write")
+            if faults.fires(mechanism, entity):
+                # the store answers with an error after its base latency
+                yield self.env.timeout(self.base_latency_ms)
+                if self.trace is not None:
+                    self.trace.record(entity, "fault", t0, self.env.now,
+                                      store=self.name, op=f"fault.{mechanism}")
+                raise FaultError(
+                    f"{self.name} {op} failed for {entity}", mechanism)
         self.operations += 1
         self.bytes_moved_mb += size_mb
         yield self.env.timeout(self.op_latency_ms(size_mb))

@@ -149,6 +149,12 @@ class SimThread:
                                         kind="startup")
         cpu_scale = 1.0 + self.cal.exec_overhead_cpu
         io_scale = 1.0 + self.cal.exec_overhead_io
+        faults = self.env.faults
+        if faults is not None:
+            # straggler injection: this execution runs uniformly slower
+            slow = faults.straggler_scale(self.name)
+            cpu_scale *= slow
+            io_scale *= slow
         for segment in behavior:
             if segment.kind is SegmentKind.CPU:
                 yield from self.consume_cpu(segment.duration_ms * cpu_scale)

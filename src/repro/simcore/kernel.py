@@ -36,6 +36,10 @@ class Environment:
         #: events dispatched by :meth:`step` — a run-size vital the tracer
         #: snapshots after each request.
         self.events_processed = 0
+        #: the active :class:`repro.faults.FaultInjector`, installed by
+        #: ``Platform.run`` for faulted requests; ``None`` keeps every
+        #: runtime fault hook on its one-attribute-load fast path.
+        self.faults = None
 
     @property
     def now(self) -> float:

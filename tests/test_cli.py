@@ -31,11 +31,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 4" in out
 
-    def test_run_unknown_experiment_errors(self):
-        from repro.errors import ReproError
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("chiron-repro: error:")
+        assert "fig99" in err and "fig13" in err  # lists valid choices
+        assert err.count("\n") == 1  # one line, not a traceback
 
-        with pytest.raises(ReproError):
-            main(["run", "fig99"])
+    def test_plan_unknown_workload_exits_2(self, capsys):
+        assert main(["plan", "--workload", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("chiron-repro: error:")
+        assert "bogus" in err and "finra-5" in err
+
+    def test_faults_unknown_policy_exits_2(self, capsys):
+        assert main(["faults", "--policy", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "retry policy" in err and "eager" in err
+
+    def test_faults_smoke(self, capsys):
+        assert main(["faults", "finra5", "--rate", "0.05", "--seed", "1",
+                     "--requests", "4", "--platforms", "chiron"]) == 0
+        out = capsys.readouterr().out
+        assert "finra-5" in out  # sloppy spelling normalized
+        assert "chiron" in out and "wasted" in out
+
+    def test_faults_zero_rate_is_clean(self, capsys):
+        assert main(["faults", "finra-5", "--rate", "0", "--requests", "2",
+                     "--platforms", "openfaas"]) == 0
+        out = capsys.readouterr().out
+        row = next(l for l in out.splitlines() if "openfaas" in l)
+        cols = row.split()
+        assert cols[3] == "0" and cols[4] == "0"  # no faults, no retries
 
     def test_plan_command(self, capsys):
         assert main(["plan", "--workload", "slapp", "--slo", "300"]) == 0
@@ -54,3 +81,24 @@ class TestCommands:
                      "--slo", "100"]) == 0
         out = capsys.readouterr().out
         assert "real execution" in out
+
+
+class TestRunAllFailureReport:
+    def test_faults_reported_apart_from_bugs(self):
+        from repro.cli import _format_failures
+        from repro.errors import RetryExhausted
+
+        text = _format_failures([
+            ("fault-blast", RetryExhausted("gave up", mechanism="sandbox.crash")),
+            ("fig04", ValueError("boom")),
+        ])
+        assert "not a bug" in text
+        assert "fault-blast [sandbox.crash]" in text
+        assert "fig04 (ValueError: boom)" in text
+
+    def test_only_bugs_no_fault_section(self):
+        from repro.cli import _format_failures
+
+        text = _format_failures([("fig04", RuntimeError("x"))])
+        assert "not a bug" not in text
+        assert "experiment errors" in text

@@ -1,0 +1,387 @@
+"""Fault injection, retry recovery, and graceful degradation.
+
+The load-bearing guarantees under test:
+
+* **zero overhead** — with no fault plan (or a null one) every platform is
+  bit-identical to the pre-fault-subsystem behavior;
+* **determinism** — a fixed ``(FaultPlan, fault_seed)`` reproduces the same
+  crashes, retries, latency, and exported trace byte-for-byte, and no hidden
+  ``random`` use sneaks in;
+* **blast radius ordering** — under sandbox crashes the wasted-work ratio is
+  strictly ordered 1-to-1 < Chiron wraps < many-to-1, because the retry unit
+  grows with co-location;
+* **graceful degradation** — the manager splits wraps when the
+  fault-adjusted p99 blows the SLO.
+"""
+
+import io
+
+import pytest
+
+from repro.apps.catalog import workload
+from repro.errors import RetryExhausted, SimulationError
+from repro.faults import (FAULT_EVENT_TYPES, FaultInjector, FaultPlan,
+                          OneShotFault, RetryPolicy, adjusted_p99_ms, preset,
+                          split_largest_wrap, unit_failure_prob)
+from repro.platforms.registry import build_platform
+
+WF = workload("finra-5")
+
+
+def run_once(platform_name, faults=None, retry=None, fault_seed=0,
+             tracer=None):
+    platform = build_platform(platform_name, WF)
+    return platform.run(WF, faults=faults, retry=retry, fault_seed=fault_seed,
+                        tracer=tracer)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(SimulationError, match="sandbox_crash_rate"):
+            FaultPlan(sandbox_crash_rate=1.5)
+        with pytest.raises(SimulationError, match="seed"):
+            FaultPlan(seed=-1)
+        with pytest.raises(SimulationError, match="straggler_factor"):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_one_shot_validated(self):
+        with pytest.raises(SimulationError, match="unknown fault mechanism"):
+            OneShotFault("disk.melt")
+        with pytest.raises(SimulationError, match="occurrence"):
+            OneShotFault("rpc.drop", occurrence=0)
+
+    def test_is_null(self):
+        assert FaultPlan().is_null
+        assert not FaultPlan(sandbox_crash_rate=0.01).is_null
+        assert not FaultPlan(scheduled=(OneShotFault("rpc.drop"),)).is_null
+
+    def test_uniform_leaves_stragglers_off(self):
+        plan = FaultPlan.uniform(0.1, seed=3)
+        assert plan.rpc_drop_rate == 0.1 and plan.sandbox_crash_rate == 0.1
+        assert plan.straggler_rate == 0.0 and plan.seed == 3
+
+    def test_rate_for_unknown_mechanism(self):
+        with pytest.raises(SimulationError, match="unknown fault mechanism"):
+            FaultPlan().rate_for("gamma.ray")
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        p = RetryPolicy(backoff_base_ms=5.0, backoff_factor=2.0,
+                        backoff_jitter=0.0)
+        assert [p.backoff_ms(a) for a in (1, 2, 3)] == [5.0, 10.0, 20.0]
+
+    def test_jitter_bounds(self):
+        import numpy as np
+
+        p = RetryPolicy(backoff_base_ms=10.0, backoff_factor=1.0,
+                        backoff_jitter=0.3)
+        rng = np.random.default_rng(0)
+        delays = [p.backoff_ms(1, rng) for _ in range(200)]
+        assert all(7.0 <= d <= 13.0 for d in delays)
+        assert max(delays) > 12.0 and min(delays) < 8.0  # jitter is live
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SimulationError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_presets(self):
+        assert preset("none").max_attempts == 1
+        assert preset("eager").reboot_cold is False
+        with pytest.raises(SimulationError, match="eager"):
+            preset("bogus")
+
+
+@pytest.mark.parametrize("name", ["openfaas", "asf", "sand", "faastlane",
+                                  "chiron"])
+class TestZeroOverhead:
+    """Fault rate 0 must be bit-identical to no fault machinery at all."""
+
+    def test_null_plan_matches_plain_run(self, name):
+        base = run_once(name)
+        nulled = run_once(name, faults=FaultPlan(), retry=RetryPolicy())
+        assert nulled.latency_ms == base.latency_ms
+        assert nulled.faults is None  # injector never armed
+
+    def test_armed_at_zero_rate_matches(self, name):
+        armed = run_once(name, faults=FaultPlan(sandbox_crash_rate=0.0,
+                                                rpc_drop_rate=0.0))
+        assert armed.latency_ms == run_once(name).latency_ms
+
+
+class TestDeterminism:
+    PLAN = FaultPlan(seed=5, sandbox_crash_rate=0.08, rpc_drop_rate=0.03)
+
+    def test_same_seed_identical_run(self):
+        a = run_once("chiron", faults=self.PLAN, fault_seed=4)
+        b = run_once("chiron", faults=self.PLAN, fault_seed=4)
+        assert a.latency_ms == b.latency_ms
+        assert a.faults == b.faults
+
+    def test_same_seed_byte_identical_trace_export(self):
+        from repro.obs import Tracer, write_chrome_trace
+
+        exports = []
+        for _ in range(2):
+            tracer = Tracer()
+            run_once("openfaas", faults=self.PLAN, fault_seed=2,
+                     tracer=tracer)
+            buf = io.StringIO()
+            write_chrome_trace(tracer, buf)
+            exports.append(buf.getvalue().encode())
+        assert exports[0] == exports[1]
+
+    def test_different_seeds_differ(self):
+        summaries = {
+            seed: run_once("faastlane", faults=self.PLAN,
+                           fault_seed=seed).faults["injected"]
+            for seed in range(8)}
+        assert len({tuple(sorted(s.items()))
+                    for s in summaries.values()}) > 1
+
+    def test_no_hidden_stdlib_random(self, monkeypatch):
+        import random
+
+        def poisoned(*_a, **_k):
+            raise AssertionError("fault path consulted stdlib random")
+
+        for fn in ("random", "uniform", "randint", "choice", "gauss"):
+            monkeypatch.setattr(random, fn, poisoned)
+        r = run_once("chiron", faults=self.PLAN, fault_seed=1)
+        assert r.latency_ms > 0
+
+
+def one_shot(mechanism, **kw):
+    return FaultPlan(scheduled=(OneShotFault(mechanism, **kw),))
+
+
+class TestMechanisms:
+    """Each mechanism fires, is recovered from, and lands in the ledger."""
+
+    def test_sandbox_crash_retries(self):
+        base = run_once("openfaas").latency_ms
+        r = run_once("openfaas", faults=one_shot("sandbox.crash"))
+        assert r.faults["injected"] == {"sandbox.crash": 1}
+        assert r.faults["retries"] == 1 and r.faults["exhausted"] == 0
+        assert r.faults["wasted_wall_ms"] > 0
+        assert r.latency_ms > base
+
+    def test_rpc_drop_pays_timeout(self):
+        plan = one_shot("rpc.drop")
+        base = run_once("openfaas").latency_ms
+        r = run_once("openfaas", faults=plan)
+        assert r.faults["injected"] == {"rpc.drop": 1}
+        assert r.latency_ms > base + plan.rpc_timeout_ms * 0.9
+
+    @pytest.mark.parametrize("mechanism", ["storage.read", "storage.write"])
+    def test_storage_errors(self, mechanism):
+        r = run_once("openfaas", faults=one_shot(mechanism))
+        assert r.faults["injected"] == {mechanism: 1}
+        assert r.faults["retries"] == 1
+        assert r.latency_ms > run_once("openfaas").latency_ms
+
+    def test_fork_failure_reruns_workflow(self):
+        base = run_once("faastlane").latency_ms
+        r = run_once("faastlane", faults=one_shot("fork.fail"))
+        assert r.faults["injected"] == {"fork.fail": 1}
+        assert r.faults["retries"] == 1
+        # many-to-1 re-runs everything: wasted work ~ the whole attempt
+        assert r.faults["rerun_work_ms"] == pytest.approx(WF.total_work_ms)
+        assert r.latency_ms > base
+
+    def test_pool_worker_self_heals(self):
+        base = run_once("chiron-p").latency_ms
+        r = run_once("chiron-p", faults=one_shot("pool.worker"))
+        assert r.faults["injected"] == {"pool.worker": 1}
+        assert r.faults["retries"] == 0  # respawn, not retry
+        assert r.latency_ms > base  # pays one interpreter startup
+
+    def test_straggler_slows_without_error(self):
+        base = run_once("sand").latency_ms
+        plan = FaultPlan(scheduled=(OneShotFault("straggler"),),
+                         straggler_factor=4.0)
+        r = run_once("sand", faults=plan)
+        assert r.faults["injected"] == {"straggler": 1}
+        assert r.faults["retries"] == 0
+        assert r.latency_ms > base
+
+    def test_entity_scoped_one_shot(self):
+        plan = FaultPlan(scheduled=(
+            OneShotFault("sandbox.crash", entity="no-such-sandbox"),))
+        r = run_once("openfaas", faults=plan)
+        assert r.faults["injected"] == {}  # filter never matched
+
+    def test_retry_exhausted_with_none_policy(self):
+        with pytest.raises(RetryExhausted) as exc:
+            run_once("openfaas", faults=one_shot("sandbox.crash"),
+                     retry=preset("none"))
+        assert exc.value.mechanism == "sandbox.crash"
+
+    def test_exhaustion_after_repeated_crashes(self):
+        plan = FaultPlan(scheduled=tuple(
+            OneShotFault("sandbox.crash", occurrence=i) for i in (1, 2, 3)))
+        with pytest.raises(RetryExhausted):
+            run_once("openfaas", faults=plan,
+                     retry=RetryPolicy(max_attempts=3))
+
+
+class TestBlastRadius:
+    def test_wasted_work_strictly_ordered_by_colocation(self):
+        from repro.experiments.fault_blast_radius import measure
+
+        plan = FaultPlan(seed=1, sandbox_crash_rate=0.05)
+        ratios = {
+            name: measure("finra-5", name, plan, requests=40,
+                          crash_only=True)["wasted_ratio"]
+            for name in ("openfaas", "chiron", "faastlane")}
+        assert 0 < ratios["openfaas"] < ratios["chiron"] < ratios["faastlane"]
+
+    def test_zero_rate_row_is_clean(self):
+        from repro.experiments.fault_blast_radius import measure
+
+        row = measure("finra-5", "chiron", FaultPlan(), requests=3,
+                      crash_only=True)
+        assert row["faults"] == 0 and row["retries"] == 0
+        assert row["wasted_ratio"] == 0.0 and row["failed"] == 0
+
+    def test_experiment_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "fault-blast" in EXPERIMENTS
+
+
+class TestReliabilityModel:
+    def test_unit_failure_prob_grows_with_width(self):
+        plan = FaultPlan(sandbox_crash_rate=0.05)
+        probs = [unit_failure_prob(plan, n) for n in (0, 1, 2, 5)]
+        assert probs[0] == 0.0
+        assert probs[1] == pytest.approx(0.05)
+        assert probs == sorted(probs) and probs[3] < 1.0
+
+    def test_adjusted_p99_null_plan_is_base(self):
+        plan = build_platform("chiron", WF).plan
+        assert adjusted_p99_ms(WF, plan, FaultPlan(), RetryPolicy(),
+                               100.0) == 100.0
+
+    def test_adjusted_p99_exceeds_base_under_faults(self):
+        plan = build_platform("chiron", WF).plan
+        fp = FaultPlan(sandbox_crash_rate=0.05)
+        assert adjusted_p99_ms(WF, plan, fp, RetryPolicy(), 100.0) > 100.0
+
+    def test_split_largest_wrap_stays_valid(self):
+        plan = build_platform("chiron", WF).plan
+        splits = 0
+        while True:
+            nxt = split_largest_wrap(plan)
+            if nxt is None:
+                break
+            nxt.validate(WF)  # raises on malformed plans
+            assert nxt.n_wraps == plan.n_wraps + 1
+            plan, splits = nxt, splits + 1
+        assert splits >= 1  # finra-5's single wrap is splittable
+        # fully degraded: every retry unit (wrap-part per stage) is one
+        # function wide — minimal blast radius
+        part_widths = [len(sa.function_names)
+                       for w in plan.wraps for sa in w.stages]
+        assert max(part_widths) == 1
+
+
+class TestManagerDegradation:
+    def test_manager_splits_wraps_under_faults(self):
+        from repro.core import ChironManager
+        from repro.platforms.registry import default_slo_ms
+
+        slo = default_slo_ms(WF)
+        manager = ChironManager()
+        clean = manager.deploy(WF, slo_ms=slo, generate_code=False)
+        faulted = manager.deploy(
+            WF, slo_ms=slo, generate_code=False,
+            fault_plan=FaultPlan(seed=1, sandbox_crash_rate=0.05))
+        assert faulted.fault_adjusted_p99_ms is not None
+        assert faulted.plan.n_wraps > clean.plan.n_wraps
+        faulted.plan.validate(WF)
+
+    def test_null_fault_plan_changes_nothing(self):
+        from repro.core import ChironManager
+        from repro.platforms.registry import default_slo_ms
+
+        slo = default_slo_ms(WF)
+        manager = ChironManager()
+        clean = manager.deploy(WF, slo_ms=slo, generate_code=False)
+        nulled = manager.deploy(WF, slo_ms=slo, generate_code=False,
+                                fault_plan=FaultPlan())
+        assert nulled.plan.n_wraps == clean.plan.n_wraps
+        assert nulled.fault_adjusted_p99_ms is None
+
+
+class TestObsIntegration:
+    def test_typed_events_and_counters(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run_once("openfaas", faults=one_shot("sandbox.crash"), tracer=tracer)
+        names = {e.name for e in tracer.events}
+        assert "fault.injected" in names and "retry.attempt" in names
+        counters = tracer.metrics.counters()
+        assert counters["faults.injected"] == 1
+        assert counters["retries.attempted"] == 1
+        assert counters["work.wasted_ms"] > 0
+
+    def test_event_types_are_exported_schema(self):
+        assert "fault.injected" in FAULT_EVENT_TYPES
+        assert "retry.exhausted" in FAULT_EVENT_TYPES
+
+    def test_divergence_report_attributes_faults(self):
+        from repro.calibration import RuntimeCalibration
+        from repro.obs import compare
+
+        platform = build_platform("chiron", WF)
+        report = compare(WF, platform.plan, cal=RuntimeCalibration.native(),
+                         platform=platform,
+                         faults=one_shot("sandbox.crash"))
+        assert report.fault_summary is not None
+        assert report.fault_induced_ms > 0
+        assert report.model_error_ms == pytest.approx(
+            report.total_delta_ms - report.fault_induced_ms)
+        assert "fault attribution" in report.to_text()
+
+    def test_fault_free_report_has_no_attribution(self):
+        from repro.calibration import RuntimeCalibration
+        from repro.obs import compare
+
+        platform = build_platform("chiron", WF)
+        report = compare(WF, platform.plan, cal=RuntimeCalibration.native(),
+                         platform=platform)
+        assert report.fault_summary is None
+        assert report.fault_induced_ms == 0.0
+        assert "fault attribution" not in report.to_text()
+
+
+class TestInjectorUnit:
+    def test_one_shot_fires_exactly_once(self):
+        inj = FaultInjector(one_shot("rpc.drop"))
+        hits = [inj.fires("rpc.drop", "gw") for _ in range(5)]
+        assert hits == [True, False, False, False, False]
+
+    def test_occurrence_counts_opportunities(self):
+        inj = FaultInjector(FaultPlan(scheduled=(
+            OneShotFault("fork.fail", occurrence=3),)))
+        hits = [inj.fires("fork.fail", f"w-{i}") for i in range(4)]
+        assert hits == [False, False, True, False]
+
+    def test_draw_crash_offset_within_expected(self):
+        inj = FaultInjector(FaultPlan(sandbox_crash_rate=0.5), seed=1)
+        offsets = [inj.draw_crash("s", 3, 10.0) for _ in range(50)]
+        drawn = [o for o in offsets if o is not None]
+        assert drawn and all(0.0 <= o <= 10.0 for o in drawn)
+
+    def test_summary_shape(self):
+        inj = FaultInjector(FaultPlan())
+        inj.record_injected("rpc.drop", "gw")
+        inj.record_retry("gw", 1, "rpc.drop", 7.0, 3.0)
+        s = inj.summary()
+        assert s["injected"] == {"rpc.drop": 1}
+        assert s["injected_total"] == 1 and s["retries"] == 1
+        assert s["wasted_wall_ms"] == 7.0 and s["rerun_work_ms"] == 3.0

@@ -25,8 +25,12 @@ def canonical(tracer):
 
     Spans are sorted by (start, entity, name) so recording-order churn that
     does not change the timeline does not invalidate goldens; timestamps are
-    rounded to 1 ns to absorb float formatting noise.
+    rounded to 1 ns to absorb float formatting noise.  ``fault_schema`` pins
+    the typed fault/retry event vocabulary: adding a mechanism invalidates
+    the golden loudly instead of slipping in unreviewed.
     """
+    from repro.faults import FAULT_EVENT_TYPES
+
     spans = sorted(
         [s.entity, str(s.tags.get("op", s.kind)),
          round(s.start_ms, 6), round(s.end_ms, 6)]
@@ -34,7 +38,8 @@ def canonical(tracer):
     events = sorted(
         [e.entity, e.name, round(e.ts_ms, 6)]
         for e in tracer.events)
-    return {"spans": spans, "events": events}
+    return {"spans": spans, "events": events,
+            "fault_schema": sorted(FAULT_EVENT_TYPES)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -58,3 +63,21 @@ def test_variants_actually_differ():
     thread_ops = {s[1] for s in traces["T"]["spans"]}
     assert "fork" in native_ops          # parallel stage forks processes
     assert "fork" not in thread_ops      # threads-only variant never forks
+
+
+class TestGoldenFailureMessages:
+    """A stale golden must tell the developer how to refresh it."""
+
+    @pytest.fixture(autouse=True)
+    def _skip_when_updating(self, request):
+        if request.config.getoption("--update-goldens"):
+            pytest.skip("failure-message tests would write junk goldens")
+
+    def test_mismatch_mentions_update_flag(self, golden):
+        with pytest.raises(AssertionError, match="--update-goldens"):
+            golden("finra5_faastlane_native", {"spans": [], "events": [],
+                                               "fault_schema": []})
+
+    def test_missing_golden_mentions_update_flag(self, golden):
+        with pytest.raises(AssertionError, match="--update-goldens"):
+            golden("no_such_golden_file", {"anything": 1})
