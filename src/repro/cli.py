@@ -215,13 +215,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_retry_overrides(policy, retries: Optional[int],
+                           timeout_ms: Optional[float]):
+    """Override preset knobs from ``--retries``/``--timeout-ms``.
+
+    ``RetryPolicy.__post_init__`` re-validates the result, so a bad value
+    (``--retries 0``) surfaces as the usual exit-code-2 one-liner.
+    """
+    import dataclasses
+
+    if retries is not None:
+        policy = dataclasses.replace(policy, max_attempts=retries)
+    if timeout_ms is not None:
+        policy = dataclasses.replace(policy, attempt_timeout_ms=timeout_ms)
+    return policy
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.experiments.fault_blast_radius import (DEFAULT_PLATFORMS,
                                                       measure)
     from repro.faults import FaultPlan, preset
 
     app = _normalize_workload(args.app)
-    policy = preset(args.policy)
+    policy = _apply_retry_overrides(preset(args.policy), args.retries,
+                                    args.timeout_ms)
     plan = FaultPlan(seed=args.seed, sandbox_crash_rate=args.rate)
     platforms = args.platforms or list(DEFAULT_PLATFORMS)
     print(f"fault injection: {app}, crash rate {args.rate:g}, "
@@ -239,6 +256,53 @@ def _cmd_faults(args: argparse.Namespace) -> int:
               f"{row['failed']:7d}")
     print(f"\n[{args.requests} request(s) per platform; wasted = "
           f"re-executed work / useful work; deterministic under --seed]")
+    return 0
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.errors import CapacityError
+    from repro.experiments.overload_goodput import POLICIES, sweep
+    from repro.faults import preset
+
+    app = _normalize_workload(args.app)
+    if args.policy == "both":
+        policies = POLICIES
+    elif args.policy in POLICIES:
+        policies = (args.policy,)
+    else:
+        raise CapacityError(
+            f"unknown overload policy {args.policy!r}; "
+            f"expected one of {POLICIES + ('both',)}")
+    retry = None
+    if args.fault_rate > 0:
+        retry = _apply_retry_overrides(preset("default"), args.retries,
+                                       args.timeout_ms)
+    elif args.retries is not None or args.timeout_ms is not None:
+        raise CapacityError(
+            "--retries/--timeout-ms only apply with --fault-rate > 0 "
+            "(they shape the retry policy of the faulted service sampling)")
+    rows = sweep(app, args.platform, instances=args.instances,
+                 requests=args.requests, seed=args.seed,
+                 deadline_factor=args.deadline_factor,
+                 factors=tuple(args.factors), policies=policies,
+                 fault_rate=args.fault_rate, retry=retry)
+    first = rows[0]
+    print(f"overload sweep: {app} on {args.platform}, "
+          f"{args.instances} instance(s), capacity "
+          f"{first['capacity_rps']:.2f} rps, deadline "
+          f"{first['deadline_ms']:.1f} ms "
+          f"({args.deadline_factor:g}x mean service)")
+    header = (f"  {'factor':>6s} {'policy':>7s} {'offered':>8s} "
+              f"{'goodput':>8s} {'p99_ms':>9s} {'shed':>5s} {'rej':>5s} "
+              f"{'expired':>7s} {'done':>5s}")
+    print(header)
+    for row in rows:
+        print(f"  {row['factor']:6.2f} {row['policy']:>7s} "
+              f"{row['offered_rps']:8.2f} {row['goodput_rps']:8.2f} "
+              f"{row['p99_ms']:9.1f} {row['shed']:5d} {row['rejected']:5d} "
+              f"{row['expired']:7d} {row['completed']:5d}")
+    print(f"\n[{args.requests} request(s) per cell; goodput = "
+          f"deadline-meeting completions/s; deterministic under --seed]")
     return 0
 
 
@@ -338,7 +402,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--platforms", nargs="+", metavar="NAME",
                           help="platforms to compare (default: openfaas "
                                "chiron faastlane)")
+    p_faults.add_argument("--retries", type=int, default=None,
+                          help="override the preset's max attempts")
+    p_faults.add_argument("--timeout-ms", type=float, default=None,
+                          help="override the preset's per-attempt timeout")
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_over = sub.add_parser(
+        "overload", help="sweep offered load past saturation and compare "
+                         "overload policies")
+    p_over.add_argument("app", nargs="?", default="finra-5",
+                        help="workload name (default finra-5)")
+    p_over.add_argument("--platform", default="faastlane",
+                        help="platform to load (default faastlane)")
+    p_over.add_argument("--instances", type=int, default=2,
+                        help="replica count (default 2)")
+    p_over.add_argument("--requests", type=int, default=300,
+                        help="arrivals per cell (default 300)")
+    p_over.add_argument("--deadline-factor", type=float, default=3.0,
+                        help="per-request deadline as a multiple of mean "
+                             "service time (default 3.0)")
+    p_over.add_argument("--factors", type=float, nargs="+",
+                        default=[0.5, 0.8, 1.0, 1.5, 2.0], metavar="F",
+                        help="offered load as multiples of capacity")
+    p_over.add_argument("--policy", default="both",
+                        help="overload policy: none, admit, or both")
+    p_over.add_argument("--seed", type=int, default=7,
+                        help="arrival/service seed (default 7)")
+    p_over.add_argument("--fault-rate", type=float, default=0.0,
+                        help="sandbox crash rate while sampling service "
+                             "times (default 0: fault-free)")
+    p_over.add_argument("--retries", type=int, default=None,
+                        help="retry attempts for faulted sampling")
+    p_over.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-attempt timeout for faulted sampling")
+    p_over.set_defaults(func=_cmd_overload)
 
     p_demo = sub.add_parser("demo",
                             help="execute a plan with real threads/processes")

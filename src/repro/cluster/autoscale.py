@@ -6,6 +6,16 @@ resizes the replica set (bounded by the node), paying a sandbox cold start
 before new capacity comes online — which is why reactive scaling lags
 bursts, and why Chiron's small per-replica footprint (more replicas per
 node) absorbs them better.
+
+The overload plane hooks in at two points.  An optional
+:class:`~repro.overload.AdmissionPolicy` bounds the backlog while the
+autoscaler catches up with a burst (the queue bound scales with the live
+replica count).  An optional :class:`~repro.overload.BrownoutConfig` adds a
+last-resort lever: when the replica set is already at ``max_replicas`` and
+queue pressure persists, the controller *degrades* the deployment — each
+request gets slower by ``service_factor`` but effective capacity grows by
+``capacity_factor`` (the optional parallelism shed by
+:func:`repro.overload.degrade_plan`) — and recovers once pressure clears.
 """
 
 from __future__ import annotations
@@ -18,6 +28,9 @@ import numpy as np
 from repro.calibration import RuntimeCalibration
 from repro.errors import CapacityError
 from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.overload.admission import (AdmissionController, AdmissionOutcome,
+                                      AdmissionPolicy)
+from repro.overload.brownout import BrownoutConfig
 from repro.platforms.base import Platform
 from repro.simcore import Environment, Resource
 from repro.workflow.model import Workflow
@@ -54,18 +67,60 @@ class AutoscaleResult:
     replica_timeline: list[tuple[float, int]] = field(default_factory=list)
     #: integral of replicas over time / duration (billing proxy)
     mean_replicas: float = 0.0
+    #: (time_ms, waiting_requests) at every controller evaluation
+    queue_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: (time_ms, brownout_level) on every brownout transition (empty when
+    #: brownout is off or never triggered)
+    brownout_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: arrivals dropped by the bounded queue (admission control)
+    shed: int = 0
+    #: arrivals refused by the token-bucket rate limit
+    rejected: int = 0
+    #: admitted requests cancelled at the head of the queue (deadline spent)
+    expired: int = 0
+    #: completed requests whose sojourn met the deadline (None = no deadline)
+    met_deadline: Optional[int] = None
+    deadline_ms: Optional[float] = None
 
     @property
     def replica_seconds(self) -> float:
         return self.mean_replicas * self.duration_ms / 1e3
+
+    @property
+    def peak_queue_len(self) -> int:
+        """Deepest backlog any controller evaluation observed."""
+        return max((q for _t, q in self.queue_timeline), default=0)
+
+    def queue_recovery_ms(self, threshold: int = 0) -> Optional[float]:
+        """Time from the first over-``threshold`` backlog reading until the
+        backlog first returns to ``threshold`` or below (None = never
+        exceeded; duration if it never recovered)."""
+        over_at: Optional[float] = None
+        for t, q in self.queue_timeline:
+            if over_at is None:
+                if q > threshold:
+                    over_at = t
+            elif q <= threshold:
+                return t - over_at
+        if over_at is None:
+            return None
+        return self.duration_ms - over_at
 
 
 def run_autoscaled(platform: Platform, workflow: Workflow, *,
                    arrivals: Sequence[float],
                    config: Optional[AutoscalerConfig] = None,
                    seed: int = 0, jitter_sigma: float = 0.08,
-                   service_pool: int = 20) -> AutoscaleResult:
-    """Replay an arrival trace against an autoscaled replica set."""
+                   service_pool: int = 20,
+                   admission: Optional[AdmissionPolicy] = None,
+                   deadline_ms: Optional[float] = None,
+                   brownout: Optional[BrownoutConfig] = None
+                   ) -> AutoscaleResult:
+    """Replay an arrival trace against an autoscaled replica set.
+
+    With every overload knob left at ``None`` the replay is bit-identical
+    to the pre-overload control plane (no extra RNG draws or events).
+    """
     config = config or AutoscalerConfig()
     if not arrivals:
         raise CapacityError("empty arrival trace")
@@ -77,26 +132,50 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
 
     env = Environment()
     servers = Resource(env, capacity=config.min_replicas)
+    controller_adm = (AdmissionController(env, admission, servers)
+                      if admission is not None and not admission.is_null
+                      else None)
     #: replicas the controller *wants*; capacity follows after provisioning
     timeline: list[tuple[float, int]] = [(0.0, config.min_replicas)]
+    queue_timeline: list[tuple[float, int]] = []
+    brownout_timeline: list[tuple[float, int]] = []
     sojourns: list[float] = []
     inflight = [0]
     done = env.event()
     remaining = [len(arrivals)]
+    expired = [0]
+    #: brownout level (0 = nominal); service draws stretch while degraded
+    level = [0]
+
+    def finish_one():
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.succeed()
 
     def request(env):
         arrived = env.now
+        if controller_adm is not None:
+            if controller_adm.admit() is not AdmissionOutcome.ADMITTED:
+                finish_one()  # shed/rejected arrivals still count down
+                return
         inflight[0] += 1
         try:
             with servers.request() as slot:
                 yield slot
-                yield env.timeout(float(rng.choice(samples)))
+                if (deadline_ms is not None
+                        and env.now - arrived >= deadline_ms):
+                    expired[0] += 1
+                    return  # head-of-queue cancellation: free the replica
+                s = float(rng.choice(samples))
+                if level[0] > 0:
+                    # degraded deployment: un-forked parallelism runs as
+                    # threads, stretching each request
+                    s *= brownout.service_factor
+                yield env.timeout(s)
         finally:
             inflight[0] -= 1
+            finish_one()
         sojourns.append(env.now - arrived)
-        remaining[0] -= 1
-        if remaining[0] == 0:
-            done.succeed()
 
     def arrivals_proc(env):
         last = 0.0
@@ -111,9 +190,48 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
         if new_capacity > servers.capacity:
             servers.set_capacity(new_capacity)
 
+    def effective_max() -> int:
+        if level[0] > 0:
+            return max(config.max_replicas, int(round(
+                config.max_replicas * brownout.capacity_factor)))
+        return config.max_replicas
+
     def controller(env):
+        hot = 0
+        calm = 0
         while not done.triggered:
             yield env.timeout(config.evaluation_interval_ms)
+            queue_timeline.append((env.now, servers.queue_len))
+            if brownout is not None:
+                pressure = servers.queue_len / servers.capacity
+                if level[0] == 0:
+                    at_max = servers.capacity >= config.max_replicas
+                    if (at_max and pressure
+                            > brownout.queue_per_replica_threshold):
+                        hot += 1
+                        if hot >= brownout.trigger_intervals:
+                            level[0] = 1
+                            hot = 0
+                            # degrading is a config push, not a boot: the
+                            # freed cores serve immediately
+                            servers.set_capacity(effective_max())
+                            timeline.append((env.now, servers.capacity))
+                            brownout_timeline.append((env.now, 1))
+                    else:
+                        hot = 0
+                else:
+                    if pressure <= brownout.queue_per_replica_threshold:
+                        calm += 1
+                        if calm >= brownout.recover_intervals:
+                            level[0] = 0
+                            calm = 0
+                            servers.set_capacity(config.max_replicas)
+                            timeline.append((env.now, servers.capacity))
+                            brownout_timeline.append((env.now, 0))
+                    else:
+                        calm = 0
+                if level[0] > 0:
+                    continue  # degraded: pin capacity, skip normal resizing
             desired = int(np.ceil(inflight[0]
                                   / config.target_inflight_per_replica))
             desired = max(config.min_replicas,
@@ -132,7 +250,15 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
     # integrate the replica timeline for the billing proxy
     points = timeline + [(duration, timeline[-1][1])]
     area = sum((t1 - t0) * r for (t0, r), (t1, _r) in zip(points, points[1:]))
-    return AutoscaleResult(completed=len(sojourns), duration_ms=duration,
-                           sojourn=summarize_latencies(sojourns),
-                           replica_timeline=timeline,
-                           mean_replicas=area / max(duration, 1e-9))
+    met = (sum(1 for s in sojourns if s <= deadline_ms)
+           if deadline_ms is not None else None)
+    return AutoscaleResult(
+        completed=len(sojourns), duration_ms=duration,
+        sojourn=summarize_latencies(sojourns, allow_empty=True),
+        replica_timeline=timeline,
+        mean_replicas=area / max(duration, 1e-9),
+        queue_timeline=queue_timeline,
+        brownout_timeline=brownout_timeline,
+        shed=controller_adm.shed if controller_adm is not None else 0,
+        rejected=controller_adm.rejected if controller_adm is not None else 0,
+        expired=expired[0], met_deadline=met, deadline_ms=deadline_ms)

@@ -5,17 +5,27 @@ service time is sampled by actually running the request-level simulator
 with seeded jitter.  The load test itself is a second discrete-event
 simulation on the same kernel, so queueing delay, utilization and drop-off
 at saturation all emerge.
+
+An optional :class:`~repro.overload.AdmissionPolicy` puts an admission
+controller in front of the replica set (token-bucket rate limit + bounded
+per-replica queue), and ``deadline_ms`` arms per-request deadlines: a
+request whose wait already exceeds its budget is cancelled at the head of
+the queue instead of burning a server on a response nobody will take.
+Leaving both off keeps the load test bit-identical to the pre-overload
+generator — no extra RNG draws, no extra events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, FaultError
 from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.overload.admission import (AdmissionController, AdmissionOutcome,
+                                      AdmissionPolicy)
 from repro.platforms.base import Platform
 from repro.simcore import Environment, Resource
 from repro.workflow.model import Workflow
@@ -34,10 +44,32 @@ class LoadResult:
     service: LatencySummary
     #: mean number of requests waiting when a request arrived
     mean_queue_len: float
+    #: arrivals dropped by the bounded queue (admission control)
+    shed: int = 0
+    #: arrivals refused by the token-bucket rate limit
+    rejected: int = 0
+    #: admitted requests cancelled at the head of the queue (deadline spent
+    #: before service started)
+    expired: int = 0
+    #: completed requests whose sojourn met the deadline (None = no deadline)
+    met_deadline: Optional[int] = None
+    #: the per-request deadline the test ran with (None = no deadline)
+    deadline_ms: Optional[float] = None
 
     @property
     def achieved_rps(self) -> float:
         return self.completed * 1000.0 / self.duration_ms
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-meeting completions per second (throughput without one).
+
+        The overload experiments' y-axis: shed/rejected/expired/late
+        requests all count for nothing.
+        """
+        if self.deadline_ms is None:
+            return self.achieved_rps
+        return (self.met_deadline or 0) * 1000.0 / self.duration_ms
 
     @property
     def queueing_ratio(self) -> float:
@@ -49,11 +81,38 @@ class _ServiceSampler:
     """Pre-samples per-request service latencies from the request simulator."""
 
     def __init__(self, platform: Platform, workflow: Workflow, *,
-                 pool_size: int, seed: int, jitter_sigma: float) -> None:
-        self._samples = [
-            platform.run(workflow, seed=seed + i,
-                         jitter_sigma=jitter_sigma).latency_ms
-            for i in range(pool_size)]
+                 pool_size: int, seed: int, jitter_sigma: float,
+                 faults=None, retry=None, overload=None,
+                 samples: Optional[Sequence[float]] = None) -> None:
+        if samples is not None:
+            self._samples = [float(s) for s in samples]
+            if not self._samples:
+                raise CapacityError("service_samples must be non-empty")
+        else:
+            kwargs = {}
+            if faults is not None:
+                kwargs.update(faults=faults, retry=retry)
+            if overload is not None:
+                kwargs["overload"] = overload
+            self._samples = []
+            draw = 0
+            while len(self._samples) < pool_size:
+                if draw >= 5 * pool_size:
+                    raise CapacityError(
+                        "service sampling failed: every request under the "
+                        "fault plan exhausted its retries")
+                if faults is not None:
+                    kwargs["fault_seed"] = seed + draw
+                try:
+                    self._samples.append(
+                        platform.run(workflow, seed=seed + draw,
+                                     jitter_sigma=jitter_sigma,
+                                     **kwargs).latency_ms)
+                except FaultError:
+                    # a sample whose retries were exhausted has no service
+                    # time; draw another seed (deterministic sequence)
+                    pass
+                draw += 1
         self._rng = np.random.default_rng(seed)
 
     def sample(self) -> float:
@@ -64,14 +123,34 @@ class _ServiceSampler:
         return list(self._samples)
 
 
+class _Counters:
+    """Mutable per-test tallies shared by the request bodies."""
+
+    def __init__(self) -> None:
+        self.expired = 0
+
+
 def _drive(env: Environment, instances: Resource, service: _ServiceSampler,
            sojourns: list[float], services: list[float],
-           queue_seen: list[int]):
+           queue_seen: list[int],
+           controller: Optional[AdmissionController] = None,
+           deadline_ms: Optional[float] = None,
+           cancel_expired: bool = True,
+           counters: Optional[_Counters] = None):
     def request(env):
         arrived = env.now
+        if controller is not None:
+            if controller.admit() is not AdmissionOutcome.ADMITTED:
+                return  # shed/rejected at the front door: no queue, no server
         queue_seen.append(instances.queue_len)
         with instances.request() as slot:
             yield slot
+            if (deadline_ms is not None and cancel_expired
+                    and env.now - arrived >= deadline_ms):
+                # the wait alone spent the budget: release the server
+                # immediately instead of serving a doomed request
+                counters.expired += 1
+                return
             s = service.sample()
             services.append(s)
             yield env.timeout(s)
@@ -80,21 +159,61 @@ def _drive(env: Environment, instances: Resource, service: _ServiceSampler,
     return request
 
 
+def _summarize(offered_rps: float, env: Environment, sojourns: list[float],
+               services: list[float], queue_seen: list[int],
+               controller: Optional[AdmissionController],
+               counters: _Counters,
+               deadline_ms: Optional[float]) -> LoadResult:
+    met = (sum(1 for s in sojourns if s <= deadline_ms)
+           if deadline_ms is not None else None)
+    return LoadResult(
+        offered_rps=offered_rps, completed=len(sojourns),
+        duration_ms=env.now,
+        sojourn=summarize_latencies(sojourns, allow_empty=True),
+        service=summarize_latencies(services, allow_empty=True),
+        mean_queue_len=(float(np.mean(queue_seen)) if queue_seen
+                        else float("nan")),
+        shed=controller.shed if controller is not None else 0,
+        rejected=controller.rejected if controller is not None else 0,
+        expired=counters.expired,
+        met_deadline=met, deadline_ms=deadline_ms)
+
+
 def run_open_loop(platform: Platform, workflow: Workflow, *,
                   instances: int, rps: float, requests: int = 200,
                   seed: int = 0, jitter_sigma: float = 0.08,
-                  service_pool: int = 25) -> LoadResult:
-    """Poisson arrivals at ``rps`` against ``instances`` parallel servers."""
+                  service_pool: int = 25,
+                  admission: Optional[AdmissionPolicy] = None,
+                  deadline_ms: Optional[float] = None,
+                  cancel_expired: bool = True,
+                  faults=None, retry=None, overload=None,
+                  service_samples: Optional[Sequence[float]] = None
+                  ) -> LoadResult:
+    """Poisson arrivals at ``rps`` against ``instances`` parallel servers.
+
+    ``admission``/``deadline_ms`` arm the overload plane (see module doc);
+    ``faults``/``retry``/``overload`` are forwarded to the request-level
+    simulator when sampling service times, so injected faults fatten the
+    service distribution the load test replays.  ``service_samples``
+    short-circuits sampling with a pre-computed latency pool (sweep reuse).
+    """
     if instances < 1 or rps <= 0 or requests < 1:
         raise CapacityError("instances, rps and requests must be positive")
     sampler = _ServiceSampler(platform, workflow, pool_size=service_pool,
-                              seed=seed, jitter_sigma=jitter_sigma)
+                              seed=seed, jitter_sigma=jitter_sigma,
+                              faults=faults, retry=retry, overload=overload,
+                              samples=service_samples)
     env = Environment()
     servers = Resource(env, capacity=instances)
+    controller = (AdmissionController(env, admission, servers)
+                  if admission is not None and not admission.is_null else None)
+    counters = _Counters()
     sojourns: list[float] = []
     services: list[float] = []
     queue_seen: list[int] = []
-    body = _drive(env, servers, sampler, sojourns, services, queue_seen)
+    body = _drive(env, servers, sampler, sojourns, services, queue_seen,
+                  controller=controller, deadline_ms=deadline_ms,
+                  cancel_expired=cancel_expired, counters=counters)
 
     def arrivals(env):
         rng = np.random.default_rng(seed + 1)
@@ -104,28 +223,38 @@ def run_open_loop(platform: Platform, workflow: Workflow, *,
 
     env.process(arrivals(env))
     env.run()
-    return LoadResult(offered_rps=rps, completed=len(sojourns),
-                      duration_ms=env.now,
-                      sojourn=summarize_latencies(sojourns),
-                      service=summarize_latencies(services),
-                      mean_queue_len=float(np.mean(queue_seen)))
+    return _summarize(rps, env, sojourns, services, queue_seen, controller,
+                      counters, deadline_ms)
 
 
 def run_closed_loop(platform: Platform, workflow: Workflow, *,
                     instances: int, clients: int, requests: int = 200,
                     seed: int = 0, jitter_sigma: float = 0.08,
-                    service_pool: int = 25) -> LoadResult:
+                    service_pool: int = 25,
+                    admission: Optional[AdmissionPolicy] = None,
+                    deadline_ms: Optional[float] = None,
+                    cancel_expired: bool = True,
+                    faults=None, retry=None, overload=None,
+                    service_samples: Optional[Sequence[float]] = None
+                    ) -> LoadResult:
     """``clients`` concurrent users issuing back-to-back requests."""
     if instances < 1 or clients < 1 or requests < 1:
         raise CapacityError("instances, clients and requests must be positive")
     sampler = _ServiceSampler(platform, workflow, pool_size=service_pool,
-                              seed=seed, jitter_sigma=jitter_sigma)
+                              seed=seed, jitter_sigma=jitter_sigma,
+                              faults=faults, retry=retry, overload=overload,
+                              samples=service_samples)
     env = Environment()
     servers = Resource(env, capacity=instances)
+    controller = (AdmissionController(env, admission, servers)
+                  if admission is not None and not admission.is_null else None)
+    counters = _Counters()
     sojourns: list[float] = []
     services: list[float] = []
     queue_seen: list[int] = []
-    body = _drive(env, servers, sampler, sojourns, services, queue_seen)
+    body = _drive(env, servers, sampler, sojourns, services, queue_seen,
+                  controller=controller, deadline_ms=deadline_ms,
+                  cancel_expired=cancel_expired, counters=counters)
     per_client, remainder = divmod(requests, clients)
 
     def client(env, count):
@@ -135,8 +264,5 @@ def run_closed_loop(platform: Platform, workflow: Workflow, *,
     for c in range(clients):
         env.process(client(env, per_client + (1 if c < remainder else 0)))
     env.run()
-    return LoadResult(offered_rps=float("nan"), completed=len(sojourns),
-                      duration_ms=env.now,
-                      sojourn=summarize_latencies(sojourns),
-                      service=summarize_latencies(services),
-                      mean_queue_len=float(np.mean(queue_seen)))
+    return _summarize(float("nan"), env, sojourns, services, queue_seen,
+                      controller, counters, deadline_ms)

@@ -6,9 +6,12 @@ stays bounded (sojourn within ``max_queueing_ratio`` of pure service time).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.cluster.deployment import place_on_node
 from repro.cluster.loadgen import run_open_loop
 from repro.errors import CapacityError
+from repro.overload.admission import AdmissionPolicy
 from repro.platforms.base import Platform
 from repro.workflow.model import Workflow
 
@@ -16,8 +19,15 @@ from repro.workflow.model import Workflow
 def find_saturation_rps(platform: Platform, workflow: Workflow, *,
                         max_queueing_ratio: float = 2.0,
                         requests: int = 150, seed: int = 0,
-                        tolerance: float = 0.05) -> float:
-    """Largest sustainable Poisson rate on one max-packed node."""
+                        tolerance: float = 0.05,
+                        admission: Optional[AdmissionPolicy] = None,
+                        deadline_ms: Optional[float] = None) -> float:
+    """Largest sustainable Poisson rate on one max-packed node.
+
+    ``admission``/``deadline_ms`` are forwarded to the underlying open-loop
+    tests, so the knee can be measured with the overload plane armed (shed
+    requests never queue, which keeps the queueing ratio honest).
+    """
     if max_queueing_ratio <= 1.0:
         raise CapacityError("max_queueing_ratio must exceed 1")
     deployment = place_on_node(platform, workflow)
@@ -29,7 +39,8 @@ def find_saturation_rps(platform: Platform, workflow: Workflow, *,
 
     def stable(rps: float) -> bool:
         result = run_open_loop(platform, workflow, instances=instances,
-                               rps=rps, requests=requests, seed=seed)
+                               rps=rps, requests=requests, seed=seed,
+                               admission=admission, deadline_ms=deadline_ms)
         return result.queueing_ratio <= max_queueing_ratio
 
     try:

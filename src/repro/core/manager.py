@@ -120,6 +120,26 @@ class ChironManager:
         return self.deploy(workflow, slo_ms, generate_code=False,
                            fault_plan=fault_plan, retry=retry).plan
 
+    def brownout(self, plan: DeploymentPlan, level: int = 1) -> DeploymentPlan:
+        """Shed optional parallelism from ``plan`` under sustained overload.
+
+        Each level halves the per-wrap concurrent-process budget from the
+        plan's current peak (level 1 → peak/2, level 2 → peak/4, ..., floor
+        1): forked groups beyond the budget run as threads of the
+        orchestrator, trading request latency for core footprint so the same
+        machines absorb more concurrent requests.  ``level=0`` returns the
+        plan unchanged.
+        """
+        if level < 0:
+            raise ValueError(f"brownout level must be >= 0, got {level}")
+        if level == 0:
+            return plan
+        from repro.overload.brownout import degrade_plan
+
+        peak = max(w.max_concurrent_processes for w in plan.wraps)
+        cap = max(1, peak >> level)
+        return degrade_plan(plan, max_processes_per_wrap=cap)
+
     def refresh(self, deployment: Deployment,
                 slo_ms: Optional[float] = None) -> Deployment:
         """Periodic re-profiling and re-scheduling (workload drift, §3.4)."""

@@ -52,3 +52,45 @@ class FaultError(ReproError):
 
 class RetryExhausted(FaultError):
     """A recovery driver gave up: every allowed attempt of a unit failed."""
+
+
+class OverloadError(ReproError):
+    """The overload control plane refused, shed, or cancelled work."""
+
+
+class DeadlineExceeded(OverloadError):
+    """A request's deadline budget ran out mid-flight.
+
+    Downstream stages/functions are cancelled rather than executed for an
+    already-doomed request; ``wasted_ms`` is the wall time spent before the
+    budget expired and ``completed_stages`` how far the request got.
+    """
+
+    def __init__(self, message: str, *, wasted_ms: float = 0.0,
+                 completed_stages: int = 0) -> None:
+        super().__init__(message)
+        self.wasted_ms = wasted_ms
+        self.completed_stages = completed_stages
+
+
+class CircuitOpen(FaultError):
+    """A circuit breaker fast-failed an operation without attempting it.
+
+    Subclasses :class:`FaultError` (mechanism ``"breaker.open"``) because a
+    trip is always downstream of injected faults/timeouts, the recovery
+    driver should treat it as retryable (backoff covers the cooldown), and
+    failure reports must not classify it as a bug.
+    """
+
+    def __init__(self, message: str, scope: str = "breaker") -> None:
+        super().__init__(message, mechanism="breaker.open")
+        self.scope = scope
+
+
+class EmptySampleError(ReproError, ValueError):
+    """A statistics helper received an empty latency sample.
+
+    Doubles as :class:`ValueError` so callers that never imported the repro
+    hierarchy (or sites where shedding drained a bucket) still get a clear,
+    conventional exception instead of an obscure index/NaN path.
+    """

@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig18_java,
     fig19_cost,
     overhead_components,
+    overload_goodput,
     supplementary,
     tab01_isolation,
 )

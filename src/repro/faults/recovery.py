@@ -42,6 +42,7 @@ def run_unit(env: Environment,
 
     policy = faults.policy
     attempt = 0
+    crashed_in_unit = False
     while True:
         attempt += 1
         start = env.now
@@ -51,11 +52,17 @@ def run_unit(env: Environment,
             # Nothing to race against: drive the attempt inline so its event
             # schedule is identical to an un-instrumented run.
             try:
-                return (yield from make_attempt())
+                value = yield from make_attempt()
             except RetryExhausted:
                 raise
             except FaultError as exc:
                 mechanism = exc.mechanism
+            else:
+                if crashed_in_unit and env.overload is not None:
+                    # the replacement sandbox served the unit: close the
+                    # sandbox.boot breaker
+                    env.overload.record_success("sandbox.boot", entity)
+                return value
         else:
             body = env.process(make_attempt(),
                                name=f"{entity}#attempt{attempt}")
@@ -75,6 +82,8 @@ def run_unit(env: Environment,
                 mechanism = exc.mechanism
             else:
                 if body.triggered and body.ok:
+                    if crashed_in_unit and env.overload is not None:
+                        env.overload.record_success("sandbox.boot", entity)
                     return body.value
                 if crash_timer is not None and crash_timer.processed:
                     # the crash timer won the race: the drawn crash is real
@@ -85,6 +94,13 @@ def run_unit(env: Environment,
                 # the abandoned body keeps running on the dead sandbox; its
                 # eventual failure is defused by the already-fired AnyOf.
 
+        if mechanism in ("sandbox.crash", "attempt.timeout"):
+            crashed_in_unit = True
+            if env.overload is not None:
+                # consecutive crashes/timeouts feed the sandbox.boot breaker;
+                # once it trips, replacement boots fast-fail instead of
+                # paying another cold start
+                env.overload.record_failure("sandbox.boot", entity)
         wasted_wall = env.now - start
         if attempt >= policy.max_attempts:
             faults.record_exhausted(entity, attempt, mechanism)
@@ -96,7 +112,13 @@ def run_unit(env: Environment,
         if on_restart is not None:
             restart = on_restart(mechanism)
             if restart is not None:  # plain callables may return None
-                yield from restart
+                try:
+                    yield from restart
+                except FaultError:
+                    # the restart itself fast-failed (open sandbox.boot
+                    # breaker): skip the replacement, back off, and let the
+                    # next attempt re-try the boot after the cooldown
+                    pass
         delay = faults.policy.backoff_ms(attempt, faults.rng)
         if delay > 0:
             yield env.timeout(delay)

@@ -7,13 +7,23 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import EmptySampleError, ReproError
+
+
+def _require_nonempty(latencies_ms: Sequence[float], what: str) -> None:
+    # len() rather than truthiness: a numpy array raises an obscure
+    # "ambiguous truth value" instead of the clear error we want, and a
+    # non-empty array of zeros is falsy-looking but perfectly summarizable
+    if len(latencies_ms) == 0:
+        raise EmptySampleError(
+            f"{what} of an empty latency sample — no requests completed "
+            f"(all shed/failed?); guard the call or pass allow_empty=True "
+            f"where supported")
 
 
 def percentile(latencies_ms: Sequence[float], q: float) -> float:
     """The q-th percentile (q in [0, 100]) of a latency sample."""
-    if not latencies_ms:
-        raise ReproError("percentile of an empty sample")
+    _require_nonempty(latencies_ms, "percentile")
     if not 0 <= q <= 100:
         raise ReproError(f"percentile q out of range: {q}")
     return float(np.percentile(np.asarray(latencies_ms, dtype=float), q))
@@ -25,8 +35,7 @@ def cdf(latencies_ms: Sequence[float]
 
     Matches Figure 15's axes (latency on x, CDF % on y).
     """
-    if not latencies_ms:
-        raise ReproError("cdf of an empty sample")
+    _require_nonempty(latencies_ms, "cdf")
     values = np.sort(np.asarray(latencies_ms, dtype=float))
     fractions = np.arange(1, len(values) + 1) / len(values) * 100.0
     return values, fractions
@@ -43,10 +52,26 @@ class LatencySummary:
     max_ms: float
 
 
-def summarize_latencies(latencies_ms: Sequence[float]) -> LatencySummary:
-    """Distribution summary used by the experiment tables."""
-    if not latencies_ms:
-        raise ReproError("summary of an empty sample")
+#: the summary of a sample with no completions (overload tests where every
+#: request was shed): count 0, every statistic NaN
+EMPTY_SUMMARY = LatencySummary(count=0, mean_ms=float("nan"),
+                               p50_ms=float("nan"), p90_ms=float("nan"),
+                               p99_ms=float("nan"), min_ms=float("nan"),
+                               max_ms=float("nan"))
+
+
+def summarize_latencies(latencies_ms: Sequence[float], *,
+                        allow_empty: bool = False) -> LatencySummary:
+    """Distribution summary used by the experiment tables.
+
+    An empty sample raises :class:`~repro.errors.EmptySampleError` (a
+    ``ValueError``) unless ``allow_empty`` is set, in which case the
+    all-NaN :data:`EMPTY_SUMMARY` is returned — load tests under admission
+    control can legitimately complete zero requests.
+    """
+    if allow_empty and len(latencies_ms) == 0:
+        return EMPTY_SUMMARY
+    _require_nonempty(latencies_ms, "summary")
     arr = np.asarray(latencies_ms, dtype=float)
     return LatencySummary(
         count=len(arr),

@@ -1,0 +1,69 @@
+"""Overload control plane: keep goodput at the knee when load keeps rising.
+
+Four cooperating mechanisms, each individually optional and each costing
+exactly one attribute load when disabled (the ``env.faults`` contract):
+
+* :mod:`~repro.overload.admission` — token-bucket rate limiting and bounded
+  per-replica queues in front of a replica set; excess load becomes explicit
+  ``SHED``/``REJECTED`` outcomes instead of an unbounded backlog.
+* :mod:`~repro.overload.deadline` — an SLO-derived time budget carried by
+  each request; stage/function boundaries cancel doomed requests instead of
+  finishing work nobody will wait for.
+* :mod:`~repro.overload.breaker` — circuit breakers around sandbox boot and
+  RPC dispatch that fast-fail once a dependency keeps failing, so retries
+  stop burning full timeouts.
+* :mod:`~repro.overload.brownout` — degrade a deployment's optional
+  parallelism (forked processes → threads) when the autoscaler is maxed out
+  and pressure persists.
+"""
+
+from repro.overload.admission import (AdmissionController, AdmissionOutcome,
+                                      AdmissionPolicy, TokenBucket)
+from repro.overload.breaker import (BREAKER_SCOPES, BreakerBoard,
+                                    BreakerPolicy, BreakerState,
+                                    CircuitBreaker)
+from repro.overload.brownout import BrownoutConfig, degrade_plan
+from repro.overload.deadline import DeadlineBudget, check_deadline
+
+#: every typed event the overload plane can emit (pinned by the golden-trace
+#: schema, mirroring ``repro.faults.FAULT_EVENT_TYPES``)
+OVERLOAD_EVENT_TYPES = (
+    "admission.shed",
+    "admission.rejected",
+    "deadline.expired",
+    "breaker.open",
+    "breaker.half_open",
+    "breaker.closed",
+    "breaker.fastfail",
+)
+
+#: every counter the overload plane increments (also schema-pinned)
+OVERLOAD_COUNTERS = (
+    "overload.admitted",
+    "overload.shed",
+    "overload.rejected",
+    "overload.deadline.expired",
+    "overload.deadline.cancelled_stages",
+    "overload.wasted_ms",
+    "overload.breaker.trips",
+    "overload.breaker.fastfail",
+    "overload.breaker.probes",
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionOutcome",
+    "AdmissionPolicy",
+    "TokenBucket",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "BREAKER_SCOPES",
+    "BrownoutConfig",
+    "degrade_plan",
+    "DeadlineBudget",
+    "check_deadline",
+    "OVERLOAD_EVENT_TYPES",
+    "OVERLOAD_COUNTERS",
+]

@@ -1,0 +1,154 @@
+"""Admission control: token-bucket rate limiting + bounded queues.
+
+The pre-overload cluster layer queued every arrival without bound, so past
+the saturation knee the backlog — and with it p99 sojourn — grew without
+limit and *zero* requests met their SLO (the classic metastable pile-up).
+An :class:`AdmissionController` sits in front of a replica set and turns
+that silent unbounded wait into explicit, cheap outcomes:
+
+* ``REJECTED`` — the token bucket is empty: offered load exceeds the
+  provisioned rate, the excess is refused at the front door;
+* ``SHED`` — the bounded per-replica queue is full: a burst outran the
+  replicas, the request is dropped rather than parked forever;
+* ``ADMITTED`` — the request proceeds to queue for a replica.
+
+Rejecting/shedding costs no simulated work, so the replicas only ever serve
+requests that still have a chance of meeting their deadline — which is what
+keeps goodput at the knee value while offered load doubles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CapacityError
+from repro.simcore import Environment, Resource
+from repro.simcore.monitor import TraceRecorder
+
+
+class AdmissionOutcome(enum.Enum):
+    """What the controller decided for one arriving request."""
+
+    ADMITTED = "admitted"
+    SHED = "shed"          # bounded queue full
+    REJECTED = "rejected"  # token bucket empty (rate limit)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of one admission controller.
+
+    ``rate_rps``/``burst`` shape the token bucket (``rate_rps=None``
+    disables rate limiting); ``max_queue_per_replica`` bounds the number of
+    *waiting* requests per replica (``None`` restores the unbounded queue).
+    A policy with both knobs ``None`` admits everything — useful as an
+    explicit "no policy" baseline.
+    """
+
+    rate_rps: Optional[float] = None
+    burst: int = 16
+    max_queue_per_replica: Optional[int] = 4
+
+    def __post_init__(self) -> None:
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise CapacityError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.burst < 1:
+            raise CapacityError(f"burst must be >= 1, got {self.burst}")
+        if (self.max_queue_per_replica is not None
+                and self.max_queue_per_replica < 0):
+            raise CapacityError(
+                f"max_queue_per_replica must be >= 0, "
+                f"got {self.max_queue_per_replica}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.rate_rps is None and self.max_queue_per_replica is None
+
+
+class TokenBucket:
+    """A continuous-refill token bucket on the simulation clock.
+
+    Starts full; refills at ``rate_rps`` tokens per second of simulated
+    time, capped at ``burst``.  Purely arithmetic — no events, no RNG — so
+    it adds nothing to the simulation schedule.
+    """
+
+    def __init__(self, rate_rps: float, burst: int, *,
+                 now_ms: float = 0.0) -> None:
+        if rate_rps <= 0 or burst < 1:
+            raise CapacityError(
+                f"token bucket needs rate > 0 and burst >= 1, "
+                f"got rate={rate_rps}, burst={burst}")
+        self.rate_rps = float(rate_rps)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_ms = float(now_ms)
+
+    def _refill(self, now_ms: float) -> None:
+        elapsed_ms = max(0.0, now_ms - self._last_ms)
+        self.tokens = min(self.burst,
+                          self.tokens + elapsed_ms * self.rate_rps / 1000.0)
+        self._last_ms = now_ms
+
+    def try_take(self, now_ms: float) -> bool:
+        """Consume one token if available; False means rate-limited."""
+        self._refill(now_ms)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Admission decisions for one replica set (a counted ``Resource``).
+
+    The queue bound scales with the *current* replica capacity, so an
+    autoscaler growing the replica set automatically widens the admissible
+    backlog.  Counters are kept locally and mirrored into ``trace.metrics``
+    (``overload.admitted``/``shed``/``rejected``) when detail tracing is on.
+    """
+
+    def __init__(self, env: Environment, policy: AdmissionPolicy,
+                 servers: Resource, *,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.policy = policy
+        self.servers = servers
+        self.trace = trace
+        self.bucket = (TokenBucket(policy.rate_rps, policy.burst,
+                                   now_ms=env.now)
+                       if policy.rate_rps is not None else None)
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+
+    def admit(self, entity: str = "request") -> AdmissionOutcome:
+        """Decide one arrival.  Rate limit first, then the queue bound."""
+        if self.bucket is not None and not self.bucket.try_take(self.env.now):
+            self.rejected += 1
+            self._note("admission.rejected", "overload.rejected", entity)
+            return AdmissionOutcome.REJECTED
+        bound = self.policy.max_queue_per_replica
+        if (bound is not None
+                and self.servers.queue_len >= bound * self.servers.capacity):
+            self.shed += 1
+            self._note("admission.shed", "overload.shed", entity)
+            return AdmissionOutcome.SHED
+        self.admitted += 1
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.metrics.inc("overload.admitted")
+        return AdmissionOutcome.ADMITTED
+
+    def _note(self, event: str, counter: str, entity: str) -> None:
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event(event, entity=entity, queue_len=self.servers.queue_len)
+            trace.metrics.inc(counter)
+
+    def summary(self) -> dict:
+        """JSON-friendly ledger for load-test results and reports."""
+        return {"admitted": self.admitted, "shed": self.shed,
+                "rejected": self.rejected}

@@ -1,0 +1,183 @@
+"""Circuit breaking around sandbox boot and RPC dispatch.
+
+Under injected faults (:mod:`repro.faults`) a failing dependency makes
+every attempt burn its full cost before erroring — a dropped RPC costs the
+whole ``rpc_timeout_ms``, a crashing sandbox a cold boot per retry.  A
+:class:`CircuitBreaker` watches consecutive failures per *scope* ("rpc",
+"sandbox.boot"); once ``failure_threshold`` trips it OPEN, later attempts
+fast-fail with :class:`~repro.errors.CircuitOpen` (no timeout burned, no
+boot paid) until ``cooldown_ms`` passes, then a HALF_OPEN probe decides
+whether to close again.
+
+The per-request :class:`BreakerBoard` is installed as ``env.overload`` by
+``Platform.run`` — same slot pattern as ``env.faults``, so runs without a
+breaker policy pay one attribute load per hook and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import CircuitOpen, SimulationError
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip/recover knobs shared by every scope of one request."""
+
+    #: consecutive failures that trip the breaker OPEN
+    failure_threshold: int = 3
+    #: time OPEN before a HALF_OPEN probe is allowed through
+    cooldown_ms: float = 250.0
+    #: probes admitted while HALF_OPEN before further calls fast-fail
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise SimulationError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold}")
+        if self.cooldown_ms < 0:
+            raise SimulationError(
+                f"cooldown_ms must be >= 0, got {self.cooldown_ms}")
+        if self.half_open_probes < 1:
+            raise SimulationError(
+                f"half_open_probes must be >= 1, "
+                f"got {self.half_open_probes}")
+
+
+class CircuitBreaker:
+    """One scope's failure-driven state machine."""
+
+    def __init__(self, scope: str, policy: BreakerPolicy, *,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.scope = scope
+        self.policy = policy
+        self.trace = trace
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms: Optional[float] = None
+        self._probes_left = 0
+        # -- ledger ----------------------------------------------------------
+        self.trips = 0
+        self.fastfails = 0
+        self.probes = 0
+
+    # -- guard ---------------------------------------------------------------
+    def check(self, now_ms: float, entity: str) -> None:
+        """Gate one operation; raises :class:`CircuitOpen` when tripped."""
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at_ms is not None
+            if now_ms - self.opened_at_ms >= self.policy.cooldown_ms:
+                self._transition(BreakerState.HALF_OPEN, now_ms, entity)
+                self._probes_left = self.policy.half_open_probes
+            else:
+                self._fastfail(now_ms, entity)
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_left <= 0:
+                self._fastfail(now_ms, entity)
+            self._probes_left -= 1
+            self.probes += 1
+            trace = self.trace
+            if trace is not None and trace.detail:
+                trace.metrics.inc("overload.breaker.probes")
+
+    # -- outcome feedback ----------------------------------------------------
+    def record_failure(self, now_ms: float, entity: str) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            # the probe failed: straight back to OPEN for another cooldown
+            self._trip(now_ms, entity)
+            return
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self.consecutive_failures >= self.policy.failure_threshold):
+            self._trip(now_ms, entity)
+
+    def record_success(self, now_ms: float, entity: str) -> None:
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now_ms, entity)
+
+    # -- internals -----------------------------------------------------------
+    def _trip(self, now_ms: float, entity: str) -> None:
+        self.trips += 1
+        self.opened_at_ms = now_ms
+        self.consecutive_failures = 0
+        self._transition(BreakerState.OPEN, now_ms, entity)
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.metrics.inc("overload.breaker.trips")
+
+    def _fastfail(self, now_ms: float, entity: str) -> None:
+        self.fastfails += 1
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event("breaker.fastfail", entity=entity, scope=self.scope)
+            trace.metrics.inc("overload.breaker.fastfail")
+        raise CircuitOpen(
+            f"{self.scope} breaker open for {entity} "
+            f"(tripped {self.trips}x); failing fast", scope=self.scope)
+
+    def _transition(self, state: BreakerState, now_ms: float,
+                    entity: str) -> None:
+        self.state = state
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event(f"breaker.{state.value}", entity=entity,
+                        scope=self.scope)
+
+    def summary(self) -> dict:
+        return {"state": self.state.value, "trips": self.trips,
+                "fastfails": self.fastfails, "probes": self.probes}
+
+
+#: the scopes runtime hooks guard (breaker instances are created lazily)
+BREAKER_SCOPES = ("rpc", "sandbox.boot")
+
+
+class BreakerBoard:
+    """Per-request set of breakers, one per scope — the ``env.overload`` slot.
+
+    Runtime hook points call :meth:`check` before a guarded operation and
+    :meth:`record_failure`/:meth:`record_success` after, naming the scope:
+    the gateway/ASF dispatcher use ``"rpc"``, the sandbox boot path (and the
+    recovery driver, on a crash) use ``"sandbox.boot"``.
+    """
+
+    def __init__(self, env: Environment,
+                 policy: Optional[BreakerPolicy] = None, *,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.policy = policy or BreakerPolicy()
+        self.trace = trace
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, scope: str) -> CircuitBreaker:
+        b = self._breakers.get(scope)
+        if b is None:
+            b = self._breakers[scope] = CircuitBreaker(scope, self.policy,
+                                                       trace=self.trace)
+        return b
+
+    def check(self, scope: str, entity: str) -> None:
+        self.breaker(scope).check(self.env.now, entity)
+
+    def record_failure(self, scope: str, entity: str) -> None:
+        self.breaker(scope).record_failure(self.env.now, entity)
+
+    def record_success(self, scope: str, entity: str) -> None:
+        self.breaker(scope).record_success(self.env.now, entity)
+
+    def summary(self) -> dict:
+        return {scope: b.summary()
+                for scope, b in sorted(self._breakers.items())}

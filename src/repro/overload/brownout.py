@@ -1,0 +1,110 @@
+"""Brownout degradation: shed optional parallelism under sustained pressure.
+
+When a replica set sits at its maximum size and the queue still grows, the
+only remaining lever is to make each request *cheaper*.  A wrap's forked
+process groups are optional parallelism — converting them to thread groups
+of the orchestrator (:func:`degrade_plan`) trades per-request latency for
+per-request core footprint, letting the same machines host more concurrent
+requests.  The autoscaler's controller loop uses :class:`BrownoutConfig`
+to decide when to step a deployment down a level and when to recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CapacityError
+from repro.core.wrap import (DeploymentPlan, ExecMode, ProcessAssignment,
+                             StageAssignment, Wrap)
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """When to degrade, when to recover, and what a level buys.
+
+    Pressure is measured as waiting requests per replica at each controller
+    evaluation.  ``trigger_intervals`` consecutive over-threshold readings
+    at max replicas enter brownout; ``recover_intervals`` consecutive calm
+    readings leave it.  While degraded, each replica serves a cheaper
+    request mix: service times stretch by ``service_factor`` but effective
+    capacity grows by ``capacity_factor`` (the cores freed by un-forking).
+    """
+
+    queue_per_replica_threshold: float = 4.0
+    trigger_intervals: int = 3
+    recover_intervals: int = 3
+    service_factor: float = 1.3
+    capacity_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.queue_per_replica_threshold <= 0:
+            raise CapacityError(
+                f"queue_per_replica_threshold must be > 0, "
+                f"got {self.queue_per_replica_threshold}")
+        if self.trigger_intervals < 1 or self.recover_intervals < 1:
+            raise CapacityError(
+                f"trigger/recover intervals must be >= 1, got "
+                f"{self.trigger_intervals}/{self.recover_intervals}")
+        if self.service_factor < 1.0:
+            raise CapacityError(
+                f"service_factor must be >= 1, got {self.service_factor}")
+        if self.capacity_factor < 1.0:
+            raise CapacityError(
+                f"capacity_factor must be >= 1, got {self.capacity_factor}")
+
+
+def _degrade_stage(sa: StageAssignment, cap: int) -> StageAssignment:
+    """Convert forked groups beyond the process cap to thread groups."""
+    forked = sa.forked_processes
+    uses_orchestrator = 1 if sa.thread_groups else 0
+    if len(forked) + uses_orchestrator <= cap:
+        return sa
+    # after any conversion the orchestrator core is in use, so at most
+    # cap - 1 groups may stay forked (cap=1 un-forks everything)
+    budget = max(0, cap - 1)
+    kept = 0
+    processes: List[ProcessAssignment] = []
+    for p in sa.processes:
+        if p.mode is ExecMode.PROCESS:
+            if kept < budget:
+                kept += 1
+                processes.append(p)
+            else:
+                processes.append(ProcessAssignment(p.functions,
+                                                   mode=ExecMode.THREAD))
+        else:
+            processes.append(p)
+    return StageAssignment(sa.stage_index, tuple(processes))
+
+
+def degrade_plan(plan: DeploymentPlan, *,
+                 max_processes_per_wrap: int) -> DeploymentPlan:
+    """A brownout copy of ``plan`` using at most ``max_processes_per_wrap``
+    concurrent processes per wrap.
+
+    Forked groups beyond the cap become thread groups (stage order
+    preserved), pool workers shrink to the cap, and each wrap's core grant
+    shrinks to its new process peak.  The PGP latency prediction no longer
+    holds for the degraded shape, so it is cleared; the SLO is kept for
+    accounting.
+    """
+    if max_processes_per_wrap < 1:
+        raise CapacityError(
+            f"max_processes_per_wrap must be >= 1, "
+            f"got {max_processes_per_wrap}")
+    wraps = []
+    cores: Dict[str, int] = {}
+    for wrap in plan.wraps:
+        degraded = Wrap(wrap.name, tuple(
+            _degrade_stage(sa, max_processes_per_wrap)
+            for sa in wrap.stages))
+        wraps.append(degraded)
+        cores[wrap.name] = min(plan.cores_for(wrap),
+                               degraded.max_concurrent_processes)
+    pool_workers = (min(plan.pool_workers, max_processes_per_wrap)
+                    if plan.pool_workers else 0)
+    return DeploymentPlan(
+        workflow_name=plan.workflow_name, wraps=tuple(wraps), cores=cores,
+        pool_workers=pool_workers, predicted_latency_ms=None,
+        slo_ms=plan.slo_ms)

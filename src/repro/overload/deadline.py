@@ -1,0 +1,87 @@
+"""Deadline propagation: an SLO-derived time budget carried by a request.
+
+Every stage/function boundary of every platform calls
+:func:`check_deadline`; when ``env.deadline`` is ``None`` (the default) the
+hook costs one attribute load, keeping zero-deadline runs bit-identical to
+pre-overload behavior.  With a budget installed, the check cancels all
+downstream work for an already-doomed request by raising
+:class:`~repro.errors.DeadlineExceeded` — a counted, attributed outcome
+rather than a hang — and ledgers the wall time that was wasted getting
+there (``overload.wasted_ms``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DeadlineExceeded, SimulationError
+from repro.simcore import Environment
+from repro.simcore.monitor import TraceRecorder
+
+
+class DeadlineBudget:
+    """One request's remaining time-to-SLO, decremented by the clock.
+
+    The budget is anchored at the simulated instant the request entered the
+    platform (``start_ms``); ``remaining_ms`` is what is left of the
+    ``deadline_ms`` allowance at any later instant.  ``cancelled`` counts
+    how many stage/function checks fired after expiry (each one is
+    downstream work that was *not* performed).
+    """
+
+    def __init__(self, deadline_ms: float, *, start_ms: float = 0.0,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        if deadline_ms <= 0:
+            raise SimulationError(
+                f"deadline_ms must be > 0, got {deadline_ms}")
+        self.deadline_ms = float(deadline_ms)
+        self.start_ms = float(start_ms)
+        self.trace = trace
+        #: deadline checks that found the budget already spent
+        self.cancelled = 0
+        #: simulated instant the first cancellation fired (None = never)
+        self.expired_at_ms: Optional[float] = None
+
+    def remaining_ms(self, now_ms: float) -> float:
+        return self.deadline_ms - (now_ms - self.start_ms)
+
+    def expired(self, now_ms: float) -> bool:
+        return self.remaining_ms(now_ms) <= 0.0
+
+    def cancel(self, entity: str, now_ms: float,
+               completed_stages: int = 0) -> DeadlineExceeded:
+        """Record one post-expiry check and build the cancelling error."""
+        self.cancelled += 1
+        wasted = now_ms - self.start_ms
+        if self.expired_at_ms is None:
+            self.expired_at_ms = now_ms
+        trace = self.trace
+        if trace is not None and trace.detail:
+            trace.event("deadline.expired", entity=entity,
+                        over_ms=-self.remaining_ms(now_ms))
+            trace.metrics.inc("overload.deadline.expired")
+            trace.metrics.inc("overload.deadline.cancelled_stages")
+            trace.metrics.inc("overload.wasted_ms", wasted)
+        return DeadlineExceeded(
+            f"{entity}: deadline of {self.deadline_ms:.1f} ms exceeded "
+            f"({-self.remaining_ms(now_ms):.1f} ms over); downstream work "
+            f"cancelled", wasted_ms=wasted, completed_stages=completed_stages)
+
+    def summary(self) -> dict:
+        return {"deadline_ms": self.deadline_ms,
+                "cancelled_checks": self.cancelled,
+                "expired_at_ms": self.expired_at_ms}
+
+
+def check_deadline(env: Environment, *, entity: str,
+                   completed_stages: int = 0) -> None:
+    """Cancel the calling request if its deadline budget is spent.
+
+    The single shared hook every platform places at stage/function
+    boundaries.  No-op (one attribute load) without an installed budget.
+    """
+    budget = env.deadline
+    if budget is None:
+        return
+    if budget.expired(env.now):
+        raise budget.cancel(entity, env.now, completed_stages)

@@ -11,6 +11,7 @@ from typing import Optional
 
 from repro.calibration import RuntimeCalibration
 from repro.faults.recovery import run_unit
+from repro.overload.deadline import check_deadline
 from repro.platforms.base import Platform, RequestResult
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import ASFDispatcher
@@ -31,6 +32,7 @@ class ASFPlatform(Platform):
                         sandbox: Sandbox, fn: FunctionSpec, index: int,
                         trace: TraceRecorder, result: RequestResult,
                         cold: bool = False):
+        check_deadline(env, entity=fn.name)
         start = env.now
         yield from dispatcher.dispatch(index, entity=fn.name)
         if cold and not sandbox.booted:
@@ -75,6 +77,7 @@ class ASFPlatform(Platform):
                                       cal=self.cal, trace=trace)
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
+            check_deadline(env, entity="request", completed_stages=stage_idx)
             events = [env.process(self._run_branch(
                 env, dispatcher, sandboxes, fn, i, trace, result,
                 cold)) for i, fn in enumerate(stage)]

@@ -54,6 +54,12 @@ class RequestResult:
     #: fault-injection ledger (``FaultInjector.summary()``); ``None`` for
     #: fault-free requests
     faults: Optional[dict] = None
+    #: deadline-budget ledger (``DeadlineBudget.summary()``); ``None`` when
+    #: the request ran without a deadline
+    deadline: Optional[dict] = None
+    #: circuit-breaker ledger (``BreakerBoard.summary()``); ``None`` when no
+    #: breaker policy was installed
+    overload: Optional[dict] = None
 
     @property
     def function_latencies(self) -> Dict[str, float]:
@@ -80,7 +86,9 @@ class Platform(abc.ABC):
     def run(self, workflow: Workflow, *, cold: bool = False,
             seed: Optional[int] = None, jitter_sigma: float = 0.08,
             tracer: Optional[TraceRecorder] = None,
-            faults=None, retry=None, fault_seed: int = 0) -> RequestResult:
+            faults=None, retry=None, fault_seed: int = 0,
+            deadline_ms: Optional[float] = None,
+            overload=None) -> RequestResult:
         """Execute one request and return its result.
 
         A fresh deterministic simulation is built per request; ``seed``
@@ -95,6 +103,15 @@ class Platform(abc.ABC):
         ``fault_seed`` decorrelating requests under one plan.  A null plan —
         or no plan — leaves the runtime entirely uninstrumented, so the
         request is bit-identical to a fault-free run.
+
+        ``deadline_ms`` arms deadline propagation: stage/function boundaries
+        cancel the request with :class:`repro.errors.DeadlineExceeded` (which
+        propagates out of this call, carrying the wasted-work ledger) once
+        the budget is spent.  ``overload`` (a
+        :class:`repro.overload.BreakerPolicy`) installs circuit breakers
+        around sandbox boot and RPC dispatch.  Leaving both at their
+        defaults keeps the runtime uninstrumented — bit-identical to a run
+        without the overload plane.
         """
         wf = jittered(workflow, seed, jitter_sigma)
         env = Environment()
@@ -109,6 +126,19 @@ class Platform(abc.ABC):
             injector = FaultInjector(faults, retry, seed=fault_seed,
                                      trace=trace)
             env.faults = injector
+        budget = None
+        if deadline_ms is not None:
+            from repro.overload.deadline import DeadlineBudget
+
+            budget = DeadlineBudget(deadline_ms, start_ms=env.now,
+                                    trace=trace)
+            env.deadline = budget
+        board = None
+        if overload is not None:
+            from repro.overload.breaker import BreakerBoard
+
+            board = BreakerBoard(env, overload, trace=trace)
+            env.overload = board
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),
@@ -117,6 +147,10 @@ class Platform(abc.ABC):
         result.latency_ms = env.now
         if injector is not None:
             result.faults = injector.summary()
+        if budget is not None:
+            result.deadline = budget.summary()
+        if board is not None:
+            result.overload = board.summary()
         if trace.detail:
             trace.metrics.inc("kernel.events", env.events_processed)
             trace.metrics.inc("requests")

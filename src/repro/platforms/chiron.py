@@ -17,6 +17,7 @@ from repro.calibration import RuntimeCalibration
 from repro.core.wrap import DeploymentPlan, StageAssignment, Wrap
 from repro.errors import DeploymentError
 from repro.faults.recovery import run_unit
+from repro.overload.deadline import check_deadline
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway, ipc_collect
@@ -85,6 +86,8 @@ class ChironPlatform(Platform):
                            trace: TraceRecorder, result: RequestResult,
                            cold: bool = False):
         """One wrap's share of one stage (Eq. 3 mechanics)."""
+        check_deadline(env, entity=sandbox.name,
+                       completed_stages=sa.stage_index)
         if cold and not sandbox.booted:
             # lazy wrap boot: sibling wraps of a stage boot concurrently, so
             # an m-to-n deployment pays ~one cold start per stage *wave*
@@ -159,6 +162,7 @@ class ChironPlatform(Platform):
             for sb in sandboxes.values():
                 sb.init_pool(self.plan.pool_workers)
         for stage_idx in range(len(workflow.stages)):
+            check_deadline(env, entity="request", completed_stages=stage_idx)
             parts = self.plan.stage_wraps(stage_idx)
             if not parts:
                 raise DeploymentError(f"plan covers no wrap for stage "

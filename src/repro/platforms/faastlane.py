@@ -24,6 +24,7 @@ from typing import Optional
 from repro.calibration import RuntimeCalibration
 from repro.errors import DeploymentError
 from repro.faults.recovery import run_unit
+from repro.overload.deadline import check_deadline
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway, ipc_collect
@@ -140,6 +141,7 @@ class FaastlanePlatform(Platform):
         if self.variant == "P":
             sandbox.init_pool(workflow.max_parallelism)
         for stage_idx, stage in enumerate(workflow.stages):
+            check_deadline(env, entity=self.name, completed_stages=stage_idx)
             if self.variant == "P":
                 yield from self._run_stage_in_pool(env, sandbox, stage, trace,
                                                    result)
@@ -177,6 +179,7 @@ class FaastlanePlatform(Platform):
                 env, sandboxes[k], stage_idx, chunk, trace, result)
 
         for stage_idx, stage in enumerate(workflow.stages):
+            check_deadline(env, entity=self.name, completed_stages=stage_idx)
             if len(stage) == 1:
                 yield from self._run_stage_as_threads(
                     env, sandboxes[0], stage, trace, result, self._thread_cal)

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.calibration import RuntimeCalibration
 from repro.faults.recovery import run_unit
+from repro.overload.deadline import check_deadline
 from repro.platforms.base import Platform, RequestResult
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import Gateway
@@ -38,6 +39,7 @@ class OpenFaaSPlatform(Platform):
                           trace: TraceRecorder, result: RequestResult,
                           cold: bool = False):
         """One gateway round trip + in-sandbox handler execution."""
+        check_deadline(env, entity=fn.name)
         start = env.now
         yield from gateway.invoke(entity=fn.name)
         if cold and not sandbox.booted:
@@ -89,6 +91,7 @@ class OpenFaaSPlatform(Platform):
                                       cal=self.cal, trace=trace)
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
+            check_deadline(env, entity="request", completed_stages=stage_idx)
             events = [env.process(self._invoke_function(
                 env, gateway, sandboxes, fn, trace, result, cold))
                 for fn in stage]

@@ -9,6 +9,7 @@ unit of maximum parallelism.
 from __future__ import annotations
 
 from repro.faults.recovery import run_unit
+from repro.overload.deadline import check_deadline
 from repro.platforms.base import Platform, RequestResult, on_complete
 from repro.runtime.memory import SandboxFootprint
 from repro.runtime.network import ipc_collect
@@ -53,6 +54,7 @@ class SANDPlatform(Platform):
         if cold:
             yield from sandbox.boot(cold=True)
         for stage_idx, stage in enumerate(workflow.stages):
+            check_deadline(env, entity=self.name, completed_stages=stage_idx)
             starts = {fn.name: env.now for fn in stage}
             groups = [[fn] for fn in stage]
             forked = yield from fork_children(

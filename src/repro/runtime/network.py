@@ -47,6 +47,11 @@ class Gateway:
                ) -> Generator[Event, None, None]:
         """One function invocation through the gateway (caller blocks)."""
         t0 = self.env.now
+        breakers = self.env.overload
+        if breakers is not None:
+            # fast-fail BEFORE the fault draw: an open breaker skips the
+            # timeout burn entirely — that skipped wait is its whole point
+            breakers.check("rpc", entity)
         faults = self.env.faults
         if faults is not None and faults.fires("rpc.drop", entity):
             # the request vanishes: the caller burns the RPC timeout waiting
@@ -54,6 +59,8 @@ class Gateway:
             if self.trace is not None:
                 self.trace.record(entity, "fault", t0, self.env.now,
                                   op="fault.rpc.drop")
+            if breakers is not None:
+                breakers.record_failure("rpc", entity)
             raise FaultError(f"gateway dropped invocation for {entity}",
                              "rpc.drop")
         self._inflight += 1
@@ -74,6 +81,8 @@ class Gateway:
             yield self.env.timeout(self.cal.t_rpc_ms + transfer)
         finally:
             self._inflight -= 1
+        if breakers is not None:
+            breakers.record_success("rpc", entity)
         if self.trace is not None:
             self.trace.record(entity, "rpc", t0, self.env.now, op="rpc")
 
@@ -106,12 +115,17 @@ class ASFDispatcher:
         The caller must later call :meth:`complete` to free the window slot.
         """
         t0 = self.env.now
+        breakers = self.env.overload
+        if breakers is not None:
+            breakers.check("rpc", entity)
         faults = self.env.faults
         if faults is not None and faults.fires("rpc.drop", entity):
             yield self.env.timeout(faults.plan.rpc_timeout_ms)
             if self.trace is not None:
                 self.trace.record(entity, "fault", t0, self.env.now,
                                   op="fault.rpc.drop")
+            if breakers is not None:
+                breakers.record_failure("rpc", entity)
             raise FaultError(f"ASF dropped dispatch for {entity}", "rpc.drop")
         self.transitions += 1
         if index > 0:
@@ -121,6 +135,8 @@ class ASFDispatcher:
             yield self.env.timeout(self.dispatch_latency_ms)
         # Slot released immediately: the dispatch window bounds concurrent
         # *dispatches*; function execution happens in Lambda, outside ASF.
+        if breakers is not None:
+            breakers.record_success("rpc", entity)
         if self.trace is not None:
             self.trace.record(entity, "rpc", t0, self.env.now,
                               op="asf.dispatch")

@@ -82,7 +82,14 @@ class ProcessPool:
         if longest_first:
             ordered.sort(key=lambda f: f.behavior.solo_ms, reverse=True)
         events = []
-        for fn in ordered:
+        for dispatched, fn in enumerate(ordered):
+            if self.env.deadline is not None:
+                # a doomed request stops feeding the pool mid-stage; already
+                # submitted tasks run out, the rest are cancelled
+                from repro.overload.deadline import check_deadline
+
+                check_deadline(self.env, entity=f"{self.name}/{fn.name}",
+                               completed_stages=dispatched)
             yield from dispatcher.consume_cpu(self.cal.pool_dispatch_ms,
                                               kind="startup",
                                               op="pool.dispatch")

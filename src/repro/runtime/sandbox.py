@@ -44,6 +44,11 @@ class Sandbox:
     def boot(self, cold: bool = False) -> Generator[Event, None, None]:
         """Bring the sandbox up; a cold boot pays the container start cost."""
         if cold and not self.booted:
+            breakers = self.env.overload
+            if breakers is not None:
+                # an open sandbox.boot breaker (consecutive crash/timeout
+                # retries) fast-fails here instead of paying the cold start
+                breakers.check("sandbox.boot", self.name)
             t0 = self.env.now
             yield self.env.timeout(self.cal.sandbox_cold_start_ms)
             if self.trace is not None:

@@ -40,6 +40,15 @@ class Environment:
         #: ``Platform.run`` for faulted requests; ``None`` keeps every
         #: runtime fault hook on its one-attribute-load fast path.
         self.faults = None
+        #: the request's :class:`repro.overload.DeadlineBudget`, installed by
+        #: ``Platform.run`` when the request carries an SLO-derived deadline;
+        #: ``None`` keeps stage/function deadline checks on a single
+        #: attribute load (same zero-overhead contract as ``faults``).
+        self.deadline = None
+        #: the request's :class:`repro.overload.BreakerBoard` (circuit
+        #: breakers around sandbox boot and RPC dispatch); ``None`` disables
+        #: every breaker hook with one attribute load.
+        self.overload = None
 
     @property
     def now(self) -> float:

@@ -64,6 +64,51 @@ class TestCommands:
         cols = row.split()
         assert cols[3] == "0" and cols[4] == "0"  # no faults, no retries
 
+    def test_faults_bad_retries_exits_2(self, capsys):
+        assert main(["faults", "--retries", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("chiron-repro: error:")
+        assert "max_attempts" in err
+        assert err.count("\n") == 1  # one line, not a traceback
+
+    def test_faults_bad_timeout_exits_2(self, capsys):
+        assert main(["faults", "--timeout-ms", "-5"]) == 2
+        assert "attempt_timeout_ms" in capsys.readouterr().err
+
+    def test_faults_retry_overrides_take_effect(self, capsys):
+        assert main(["faults", "finra-5", "--rate", "0.05", "--requests",
+                     "2", "--platforms", "chiron", "--retries", "4",
+                     "--timeout-ms", "5000"]) == 0
+        assert "4 attempt(s)" in capsys.readouterr().out
+
+    def test_overload_smoke(self, capsys):
+        assert main(["overload", "finra5", "--requests", "60",
+                     "--factors", "0.5", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "finra-5" in out       # sloppy spelling normalized
+        assert "goodput" in out and "capacity" in out
+        assert out.count("none") == 2 and out.count("admit") == 2
+
+    def test_overload_single_policy(self, capsys):
+        assert main(["overload", "--requests", "40", "--factors", "1.0",
+                     "--policy", "admit"]) == 0
+        out = capsys.readouterr().out
+        assert "admit" in out and " none " not in out
+
+    def test_overload_unknown_policy_exits_2(self, capsys):
+        assert main(["overload", "--policy", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "overload policy" in err and "admit" in err
+
+    def test_overload_bad_retries_exits_2(self, capsys):
+        assert main(["overload", "--fault-rate", "0.05",
+                     "--retries", "0"]) == 2
+        assert "max_attempts" in capsys.readouterr().err
+
+    def test_overload_retries_require_fault_rate(self, capsys):
+        assert main(["overload", "--retries", "3"]) == 2
+        assert "--fault-rate" in capsys.readouterr().err
+
     def test_plan_command(self, capsys):
         assert main(["plan", "--workload", "slapp", "--slo", "300"]) == 0
         out = capsys.readouterr().out

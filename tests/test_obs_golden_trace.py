@@ -25,11 +25,13 @@ def canonical(tracer):
 
     Spans are sorted by (start, entity, name) so recording-order churn that
     does not change the timeline does not invalidate goldens; timestamps are
-    rounded to 1 ns to absorb float formatting noise.  ``fault_schema`` pins
-    the typed fault/retry event vocabulary: adding a mechanism invalidates
-    the golden loudly instead of slipping in unreviewed.
+    rounded to 1 ns to absorb float formatting noise.  ``fault_schema`` and
+    ``overload_schema`` pin the typed fault/retry and overload event/counter
+    vocabularies: adding a mechanism invalidates the golden loudly instead
+    of slipping in unreviewed.
     """
     from repro.faults import FAULT_EVENT_TYPES
+    from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
 
     spans = sorted(
         [s.entity, str(s.tags.get("op", s.kind)),
@@ -39,7 +41,9 @@ def canonical(tracer):
         [e.entity, e.name, round(e.ts_ms, 6)]
         for e in tracer.events)
     return {"spans": spans, "events": events,
-            "fault_schema": sorted(FAULT_EVENT_TYPES)}
+            "fault_schema": sorted(FAULT_EVENT_TYPES),
+            "overload_schema": sorted(OVERLOAD_EVENT_TYPES
+                                      + OVERLOAD_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -76,7 +80,8 @@ class TestGoldenFailureMessages:
     def test_mismatch_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):
             golden("finra5_faastlane_native", {"spans": [], "events": [],
-                                               "fault_schema": []})
+                                               "fault_schema": [],
+                                               "overload_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):

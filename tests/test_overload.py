@@ -1,0 +1,490 @@
+"""Tests for the overload control plane: admission, deadlines, breakers,
+brownout — and the zero-policy bit-identity contract."""
+
+import numpy as np
+import pytest
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.cluster import (
+    AutoscalerConfig,
+    constant_arrivals,
+    run_autoscaled,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.core import ChironManager
+from repro.errors import (
+    CapacityError,
+    CircuitOpen,
+    DeadlineExceeded,
+    EmptySampleError,
+    FaultError,
+    OverloadError,
+    ReproError,
+    RetryExhausted,
+    SimulationError,
+)
+from repro.faults import FaultPlan, RetryPolicy
+from repro.metrics.stats import (
+    EMPTY_SUMMARY,
+    cdf,
+    percentile,
+    summarize_latencies,
+)
+from repro.overload import (
+    AdmissionController,
+    AdmissionOutcome,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineBudget,
+    TokenBucket,
+    check_deadline,
+    degrade_plan,
+)
+from repro.platforms import (
+    ChironPlatform,
+    FaastlanePlatform,
+    OpenFaaSPlatform,
+)
+from repro.simcore import Environment, Resource
+
+CAL = RuntimeCalibration.native()
+NO_JITTER = RetryPolicy(max_attempts=6, backoff_base_ms=1.0,
+                        backoff_jitter=0.0)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_caps_at_burst(self):
+        b = TokenBucket(10.0, 3)
+        assert [b.try_take(0.0) for _ in range(4)] == [True] * 3 + [False]
+        b._refill(10_000.0)  # 100 tokens earned, capped
+        assert b.tokens == 3.0
+
+    def test_refills_at_rate(self):
+        b = TokenBucket(10.0, 1)  # one token per 100 ms
+        assert b.try_take(0.0)
+        assert not b.try_take(50.0)
+        assert b.try_take(150.0)
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            TokenBucket(0.0, 1)
+        with pytest.raises(CapacityError):
+            TokenBucket(5.0, 0)
+
+
+class TestAdmissionPolicy:
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            AdmissionPolicy(rate_rps=0.0)
+        with pytest.raises(CapacityError):
+            AdmissionPolicy(burst=0)
+        with pytest.raises(CapacityError):
+            AdmissionPolicy(max_queue_per_replica=-1)
+
+    def test_null_policy(self):
+        assert AdmissionPolicy(rate_rps=None,
+                               max_queue_per_replica=None).is_null
+        assert not AdmissionPolicy().is_null
+
+
+class TestAdmissionController:
+    def _controller(self, policy, capacity=2):
+        env = Environment()
+        servers = Resource(env, capacity=capacity)
+        return env, servers, AdmissionController(env, policy, servers)
+
+    def test_rate_limit_rejects(self):
+        env, _s, ctl = self._controller(
+            AdmissionPolicy(rate_rps=10.0, burst=2,
+                            max_queue_per_replica=None))
+        outcomes = [ctl.admit() for _ in range(3)]
+        assert outcomes == [AdmissionOutcome.ADMITTED,
+                            AdmissionOutcome.ADMITTED,
+                            AdmissionOutcome.REJECTED]
+        assert ctl.summary() == {"admitted": 2, "shed": 0, "rejected": 1}
+
+    def test_queue_bound_sheds(self):
+        env, servers, ctl = self._controller(
+            AdmissionPolicy(max_queue_per_replica=1), capacity=2)
+
+        def holder(env):
+            with servers.request() as req:
+                yield req
+                yield env.timeout(100.0)
+
+        for _ in range(4):  # 2 serving + 2 waiting = bound (1 * 2 replicas)
+            env.process(holder(env))
+        env.run(until=1.0)
+        assert servers.queue_len == 2
+        assert ctl.admit() is AdmissionOutcome.SHED
+        assert ctl.shed == 1
+
+    def test_bound_scales_with_capacity(self):
+        env, servers, ctl = self._controller(
+            AdmissionPolicy(max_queue_per_replica=1), capacity=2)
+
+        def holder(env):
+            with servers.request() as req:
+                yield req
+                yield env.timeout(100.0)
+
+        for _ in range(4):
+            env.process(holder(env))
+        env.run(until=1.0)
+        servers.set_capacity(4)  # autoscaler grew: backlog is admissible now
+        assert ctl.admit() is AdmissionOutcome.ADMITTED
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=3))
+        for _ in range(2):
+            b.record_failure(0.0, "e")
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(0.0, "e")
+        assert b.state is BreakerState.OPEN and b.trips == 1
+
+    def test_open_fastfails_until_cooldown(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=1,
+                                                cooldown_ms=100.0))
+        b.record_failure(0.0, "e")
+        with pytest.raises(CircuitOpen) as exc:
+            b.check(50.0, "e")
+        assert exc.value.mechanism == "breaker.open"
+        assert exc.value.scope == "rpc"
+        assert isinstance(exc.value, FaultError)  # retry loops back off it
+
+    def test_half_open_probe_quota(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=1,
+                                                cooldown_ms=100.0,
+                                                half_open_probes=1))
+        b.record_failure(0.0, "e")
+        b.check(150.0, "e")  # cooldown elapsed: the probe goes through
+        assert b.state is BreakerState.HALF_OPEN and b.probes == 1
+        with pytest.raises(CircuitOpen):
+            b.check(150.0, "e")  # quota spent
+
+    def test_probe_failure_reopens(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=1,
+                                                cooldown_ms=100.0))
+        b.record_failure(0.0, "e")
+        b.check(150.0, "e")
+        b.record_failure(160.0, "e")
+        assert b.state is BreakerState.OPEN and b.trips == 2
+        with pytest.raises(CircuitOpen):
+            b.check(200.0, "e")  # new cooldown anchored at the re-open
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=2,
+                                                cooldown_ms=100.0))
+        b.record_failure(0.0, "e")
+        b.record_failure(0.0, "e")
+        b.check(150.0, "e")
+        b.record_success(160.0, "e")
+        assert b.state is BreakerState.CLOSED
+        b.check(161.0, "e")  # closed again: no fastfail
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker("rpc", BreakerPolicy(failure_threshold=2))
+        b.record_failure(0.0, "e")
+        b.record_success(1.0, "e")
+        b.record_failure(2.0, "e")
+        assert b.state is BreakerState.CLOSED  # 1 + 1, never 2 in a row
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(SimulationError):
+            BreakerPolicy(cooldown_ms=-1.0)
+        with pytest.raises(SimulationError):
+            BreakerPolicy(half_open_probes=0)
+
+
+class TestBreakerFaultIntegration:
+    """The board wired into the gateway / sandbox-boot / recovery paths."""
+
+    def test_rpc_exhaustion_reports_breaker_mechanism(self):
+        wf = finra(5)
+        p = OpenFaaSPlatform(CAL)
+        plan = FaultPlan(seed=3, rpc_drop_rate=1.0)
+        pol = RetryPolicy(max_attempts=5, backoff_base_ms=1.0,
+                          backoff_jitter=0.0)
+        with pytest.raises(RetryExhausted) as no_breaker:
+            p.run(wf, faults=plan, retry=pol, fault_seed=0)
+        assert no_breaker.value.mechanism == "rpc.drop"
+        with pytest.raises(RetryExhausted) as with_breaker:
+            p.run(wf, faults=plan, retry=pol, fault_seed=0,
+                  overload=BreakerPolicy(failure_threshold=2,
+                                         cooldown_ms=1e9))
+        # once tripped, later attempts fast-fail instead of burning the
+        # rpc timeout; the exhaustion records the breaker as last fault
+        assert with_breaker.value.mechanism == "breaker.open"
+
+    def test_rpc_ledger_surfaces_on_success(self):
+        wf = finra(5)
+        p = OpenFaaSPlatform(CAL)
+        r = p.run(wf, faults=FaultPlan(seed=5, rpc_drop_rate=0.3),
+                  retry=NO_JITTER, fault_seed=4,
+                  overload=BreakerPolicy(failure_threshold=1,
+                                         cooldown_ms=5.0))
+        rpc = r.overload["rpc"]
+        assert rpc["trips"] >= 1 and rpc["probes"] >= 1
+        assert rpc["state"] == "closed"  # recovered before the run ended
+
+    def test_sandbox_boot_breaker_trips_on_crashes(self):
+        wf = finra(5)
+        p = FaastlanePlatform(CAL)
+        r = p.run(wf, faults=FaultPlan(seed=2, sandbox_crash_rate=0.15),
+                  retry=NO_JITTER, fault_seed=3,
+                  overload=BreakerPolicy(failure_threshold=2,
+                                         cooldown_ms=1.0))
+        boot = r.overload["sandbox.boot"]
+        assert boot["trips"] >= 1       # consecutive crashes tripped it
+        assert boot["state"] == "closed"  # and the recovery closed it again
+
+    def test_no_policy_reports_no_ledger(self):
+        r = FaastlanePlatform(CAL).run(finra(5))
+        assert r.overload is None and r.deadline is None
+
+
+class TestDeadline:
+    def test_budget_validation(self):
+        with pytest.raises(SimulationError):
+            DeadlineBudget(0.0)
+        with pytest.raises(SimulationError):
+            DeadlineBudget(-5.0)
+
+    def test_check_without_budget_is_noop(self):
+        env = Environment()
+        check_deadline(env, entity="x")  # env.deadline is None
+
+    def test_budget_arithmetic(self):
+        b = DeadlineBudget(100.0, start_ms=50.0)
+        assert b.remaining_ms(100.0) == 50.0
+        assert not b.expired(149.0)
+        assert b.expired(150.0)
+
+    def test_cancel_ledgers_wasted_work(self):
+        b = DeadlineBudget(100.0, start_ms=0.0)
+        exc = b.cancel("request", 130.0, completed_stages=2)
+        assert isinstance(exc, DeadlineExceeded)
+        assert isinstance(exc, OverloadError)
+        assert not isinstance(exc, FaultError)  # retries must not eat it
+        assert exc.wasted_ms == 130.0
+        assert exc.completed_stages == 2
+        assert b.cancelled == 1 and b.expired_at_ms == 130.0
+
+    @pytest.mark.parametrize("platform_cls", [OpenFaaSPlatform,
+                                              FaastlanePlatform])
+    def test_generous_deadline_changes_nothing(self, platform_cls):
+        wf = finra(5)
+        p = platform_cls(CAL)
+        base = p.run(wf).latency_ms
+        r = p.run(wf, deadline_ms=base * 10)
+        assert r.latency_ms == base
+        assert r.deadline == {"deadline_ms": base * 10,
+                              "cancelled_checks": 0, "expired_at_ms": None}
+
+    @pytest.mark.parametrize("platform_cls", [OpenFaaSPlatform,
+                                              FaastlanePlatform])
+    def test_tight_deadline_cancels_downstream(self, platform_cls):
+        wf = finra(5)
+        p = platform_cls(CAL)
+        base = p.run(wf).latency_ms
+        with pytest.raises(DeadlineExceeded) as exc:
+            p.run(wf, deadline_ms=base * 0.3)
+        assert exc.value.wasted_ms > 0  # some work ran before the cut
+
+    def test_tight_deadline_on_chiron_plan(self):
+        wf = finra(5)
+        plan = ChironManager().plan(wf, slo_ms=150.0)
+        p = ChironPlatform(plan)
+        base = p.run(wf).latency_ms
+        with pytest.raises(DeadlineExceeded):
+            p.run(wf, deadline_ms=base * 0.3)
+
+    def test_deadline_not_retried_under_faults(self):
+        """A doomed request is cancelled once; the retry loop must not
+        resurrect it (DeadlineExceeded is not a FaultError)."""
+        wf = finra(5)
+        p = FaastlanePlatform(CAL)
+        base = p.run(wf).latency_ms
+        with pytest.raises(DeadlineExceeded):
+            p.run(wf, faults=FaultPlan(seed=1), retry=NO_JITTER,
+                  deadline_ms=base * 0.3)
+
+
+class TestBrownoutPlan:
+    def _plan(self):
+        # 100 ms is tight enough that PGP forks the parallel stage
+        return ChironManager().plan(finra(5), slo_ms=100.0)
+
+    def test_degrade_caps_process_peak(self):
+        plan = self._plan()
+        peak = max(w.max_concurrent_processes for w in plan.wraps)
+        assert peak > 1  # the SLO forces forked parallelism
+        degraded = degrade_plan(plan, max_processes_per_wrap=1)
+        assert all(w.max_concurrent_processes == 1 for w in degraded.wraps)
+        assert degraded.total_cores < plan.total_cores
+        assert degraded.predicted_latency_ms is None  # prediction voided
+        degraded.validate(finra(5))  # still a runnable plan
+
+    def test_degraded_plan_runs_slower_on_fewer_cores(self):
+        plan = self._plan()
+        wf = finra(5)
+        degraded = degrade_plan(plan, max_processes_per_wrap=1)
+        assert ChironPlatform(degraded).run(wf).latency_ms \
+            > ChironPlatform(plan).run(wf).latency_ms
+
+    def test_cap_validation(self):
+        with pytest.raises(CapacityError):
+            degrade_plan(self._plan(), max_processes_per_wrap=0)
+
+    def test_manager_brownout_levels(self):
+        manager = ChironManager()
+        plan = manager.plan(finra(5), slo_ms=90.0)  # peak of 3 processes
+        assert manager.brownout(plan, level=0) is plan
+        peak = max(w.max_concurrent_processes for w in plan.wraps)
+        level1 = manager.brownout(plan, level=1)
+        assert max(w.max_concurrent_processes for w in level1.wraps) \
+            <= max(1, peak // 2)
+        with pytest.raises(ValueError):
+            manager.brownout(plan, level=-1)
+
+
+class TestLoadgenOverload:
+    def _setup(self):
+        return FaastlanePlatform(CAL), finra(5)
+
+    def test_admission_keeps_goodput_past_saturation(self):
+        p, wf = self._setup()
+        service = p.run(wf).latency_ms
+        capacity = 2 * 1000.0 / service
+        deadline = 3.0 * service
+        kwargs = dict(instances=2, rps=capacity * 2, requests=200, seed=7,
+                      service_pool=8, deadline_ms=deadline)
+        base = run_open_loop(p, wf, cancel_expired=False, **kwargs)
+        guarded = run_open_loop(
+            p, wf, admission=AdmissionPolicy(rate_rps=capacity * 0.95,
+                                             burst=8,
+                                             max_queue_per_replica=2),
+            **kwargs)
+        assert base.goodput_rps < 0.3 * capacity  # collapse
+        assert guarded.goodput_rps > 0.8 * capacity  # rescue
+        assert guarded.shed + guarded.rejected > 0
+        assert guarded.completed < base.completed  # load was actually shed
+
+    def test_closed_loop_accepts_overload_knobs(self):
+        p, wf = self._setup()
+        r = run_closed_loop(p, wf, instances=1, clients=4, requests=20,
+                            seed=3, service_pool=6,
+                            admission=AdmissionPolicy(max_queue_per_replica=1),
+                            deadline_ms=10_000.0)
+        assert r.completed + r.shed + r.rejected + r.expired == 20
+        assert r.met_deadline is not None
+
+    def test_null_admission_is_no_controller(self):
+        p, wf = self._setup()
+        null = AdmissionPolicy(rate_rps=None, max_queue_per_replica=None)
+        a = run_open_loop(p, wf, instances=2, rps=5.0, requests=20, seed=9,
+                          service_pool=6)
+        b = run_open_loop(p, wf, instances=2, rps=5.0, requests=20, seed=9,
+                          service_pool=6, admission=null)
+        assert a == b
+
+
+class TestZeroPolicyPins:
+    """Captured pre-overload floats: any drift in the zero-policy paths —
+    an extra RNG draw, a reordered event — shows up here bit-for-bit."""
+
+    def _setup(self):
+        return FaastlanePlatform(CAL), finra(5)
+
+    def test_platform_run_matches_explicit_none(self):
+        p, wf = self._setup()
+        assert p.run(wf).latency_ms \
+            == p.run(wf, deadline_ms=None, overload=None).latency_ms \
+            == pytest.approx(97.23333333333336, abs=0, rel=0)
+
+    def test_open_loop_pin(self):
+        p, wf = self._setup()
+        r = run_open_loop(p, wf, instances=2, rps=5.0, requests=40, seed=9,
+                          service_pool=6)
+        assert r.sojourn.mean_ms == 93.68349282640963
+        assert r.sojourn.p99_ms == 106.08386519911248
+        assert r.duration_ms == 6717.752332026055
+        assert (r.completed, r.shed, r.rejected, r.expired) == (40, 0, 0, 0)
+        assert r.met_deadline is None and r.deadline_ms is None
+        assert r.goodput_rps == r.achieved_rps
+
+    def test_closed_loop_pin(self):
+        p, wf = self._setup()
+        r = run_closed_loop(p, wf, instances=2, clients=3, requests=30,
+                            seed=4, service_pool=6)
+        assert r.sojourn.mean_ms == 143.1142211032416
+        assert r.duration_ms == 1476.195948687522
+        assert r.completed == 30
+
+    def test_autoscale_pin(self):
+        p, wf = self._setup()
+        r = run_autoscaled(
+            p, wf, arrivals=constant_arrivals(20.0, 3000.0, seed=11),
+            config=AutoscalerConfig(min_replicas=1, max_replicas=8,
+                                    evaluation_interval_ms=250.0),
+            service_pool=6)
+        assert r.sojourn.mean_ms == 170.73450511902624
+        assert r.duration_ms == 3195.862403566639
+        assert r.completed == 63
+        assert r.mean_replicas == 3.93224039135985
+        assert r.brownout_timeline == [] and r.shed == 0
+
+
+class TestStatsEmptySamples:
+    def test_percentile_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty latency sample"):
+            percentile([], 99)
+        with pytest.raises(EmptySampleError):
+            percentile(np.array([]), 50)  # numpy input, clear error
+
+    def test_cdf_raises(self):
+        with pytest.raises(EmptySampleError):
+            cdf([])
+
+    def test_summarize_raises_unless_allowed(self):
+        with pytest.raises(EmptySampleError):
+            summarize_latencies([])
+        s = summarize_latencies([], allow_empty=True)
+        assert s is EMPTY_SUMMARY
+        assert s.count == 0 and np.isnan(s.p99_ms)
+
+    def test_empty_sample_error_taxonomy(self):
+        assert issubclass(EmptySampleError, ValueError)
+        assert issubclass(EmptySampleError, ReproError)
+
+    def test_nonempty_still_works(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+class TestGoodputExperiment:
+    def test_collapse_and_rescue(self):
+        """The PR's acceptance criterion: baseline goodput collapses past
+        the knee; the admitted arm holds >= 90% of the knee at 2x load."""
+        from repro.experiments.overload_goodput import knee_goodput, sweep
+
+        rows = sweep("finra-5", requests=150, factors=(0.5, 2.0))
+        knee = knee_goodput(rows)
+        by = {(r["factor"], r["policy"]): r for r in rows}
+        assert by[(2.0, "none")]["goodput_rps"] < 0.3 * knee
+        assert by[(2.0, "admit")]["goodput_rps"] >= 0.9 * knee
+        assert by[(2.0, "admit")]["shed"] + by[(2.0, "admit")]["rejected"] > 0
+        # below the knee the policies are indistinguishable
+        assert by[(0.5, "admit")]["goodput_rps"] \
+            == by[(0.5, "none")]["goodput_rps"]
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+        assert "overload-goodput" in EXPERIMENTS

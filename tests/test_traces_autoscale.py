@@ -14,6 +14,7 @@ from repro.cluster import (
     run_autoscaled,
 )
 from repro.errors import CapacityError, ReproError, SimulationError
+from repro.overload import AdmissionPolicy, BrownoutConfig
 from repro.platforms import FaastlanePlatform
 from repro.simcore import Environment, Resource
 
@@ -190,3 +191,105 @@ class TestAutoscaler:
                                   provision_delay_ms=2_000.0),
                               service_pool=6)
         assert fast.sojourn.p90_ms < slow.sojourn.p90_ms
+
+
+def step_burst(quiet_rps: float = 2.0, burst_rps: float = 40.0, *,
+               quiet_ms: float = 1_000.0, burst_ms: float = 3_000.0,
+               seed: int = 12) -> list[float]:
+    """A step in offered load: quiet warm-up, then a sustained burst."""
+    quiet = constant_arrivals(quiet_rps, quiet_ms, seed=seed)
+    burst = constant_arrivals(burst_rps, burst_ms, seed=seed + 1)
+    return quiet + [quiet_ms + t for t in burst]
+
+
+class TestColdStartLag:
+    """Queue depth and recovery while the autoscaler chases a step burst."""
+
+    def _platform(self):
+        return FaastlanePlatform(CAL)
+
+    def _config(self, provision_delay_ms: float) -> AutoscalerConfig:
+        return AutoscalerConfig(min_replicas=1, max_replicas=8,
+                                evaluation_interval_ms=100.0,
+                                provision_delay_ms=provision_delay_ms)
+
+    def test_queue_depth_tracks_provision_delay(self):
+        """A longer cold start means a deeper backlog during the step."""
+        wf = finra(5)
+        arrivals = step_burst()
+        fast = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                              config=self._config(0.0), service_pool=6)
+        slow = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                              config=self._config(1_500.0), service_pool=6)
+        assert slow.peak_queue_len > 2 * fast.peak_queue_len
+        assert slow.peak_queue_len >= 10  # the lag really backs work up
+
+    def test_queue_recovers_after_capacity_arrives(self):
+        """The backlog drains once the provisioned replicas come online,
+        and the recovery takes at least the cold-start lag."""
+        wf = finra(5)
+        delay = 800.0
+        result = run_autoscaled(self._platform(), wf,
+                                arrivals=step_burst(),
+                                config=self._config(delay), service_pool=6)
+        recovery = result.queue_recovery_ms(threshold=2)
+        assert recovery is not None
+        assert recovery >= delay
+        assert recovery < result.duration_ms  # it did recover
+
+    def test_admission_bounds_queue_during_lag(self):
+        """With a bounded per-replica queue the cold-start window sheds
+        instead of stacking: shallower backlog, faster recovery."""
+        wf = finra(5)
+        arrivals = step_burst()
+        config = self._config(1_500.0)
+        base = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                              config=config, service_pool=6)
+        guarded = run_autoscaled(
+            self._platform(), wf, arrivals=arrivals, config=config,
+            service_pool=6,
+            admission=AdmissionPolicy(max_queue_per_replica=3))
+        assert guarded.shed > 0
+        assert guarded.peak_queue_len < base.peak_queue_len
+        base_rec = base.queue_recovery_ms(threshold=2)
+        guarded_rec = guarded.queue_recovery_ms(threshold=2)
+        assert guarded_rec is None or base_rec is None \
+            or guarded_rec <= base_rec
+
+
+class TestBrownout:
+    def _platform(self):
+        return FaastlanePlatform(CAL)
+
+    def test_degrades_at_max_replicas_under_pressure(self):
+        """Saturated at max_replicas, the controller trades per-request
+        latency for capacity and records the transition."""
+        wf = finra(5)
+        arrivals = constant_arrivals(60.0, 4_000.0, seed=13)
+        config = AutoscalerConfig(min_replicas=2, max_replicas=2,
+                                  evaluation_interval_ms=100.0,
+                                  provision_delay_ms=0.0)
+        brown = BrownoutConfig(queue_per_replica_threshold=2.0,
+                               trigger_intervals=2, recover_intervals=3,
+                               service_factor=1.3, capacity_factor=2.0)
+        result = run_autoscaled(self._platform(), wf, arrivals=arrivals,
+                                config=config, service_pool=6,
+                                brownout=brown)
+        assert any(lvl == 1 for _t, lvl in result.brownout_timeline)
+        # the degraded deployment runs more replicas than max_replicas
+        assert max(r for _t, r in result.replica_timeline) == 4
+
+    def test_never_triggers_below_max(self):
+        """Brownout is a last resort: while replica growth is still
+        available the deployment stays nominal."""
+        wf = finra(5)
+        arrivals = constant_arrivals(30.0, 3_000.0, seed=14)
+        config = AutoscalerConfig(min_replicas=1, max_replicas=16,
+                                  evaluation_interval_ms=100.0,
+                                  provision_delay_ms=0.0)
+        result = run_autoscaled(
+            self._platform(), wf, arrivals=arrivals, config=config,
+            service_pool=6,
+            brownout=BrownoutConfig(queue_per_replica_threshold=2.0,
+                                    trigger_intervals=2))
+        assert result.brownout_timeline == []
