@@ -1,0 +1,50 @@
+"""Benchmark the incremental prediction engine behind PGP scheduling.
+
+Runs the same SLO sweep with the prediction cache disabled (every stage and
+thread-group prediction pays a full Algorithm-1 replay — the pre-cache
+scheduler) and enabled, asserting the two produce bit-identical plans while
+the cached run does at least 3x fewer full evaluations on KL-enabled
+multi-stage workflows.
+
+Runnable both under pytest (``pytest benchmarks/bench_pgp_scheduler.py``)
+and as a script (``python benchmarks/bench_pgp_scheduler.py``), which
+prints the table and writes ``BENCH_pgp.json``.
+"""
+
+from repro.bench import (
+    QUICK_WORKLOADS,
+    bench_workload,
+    format_table,
+    run_bench,
+    write_report,
+)
+
+
+def test_bench_quick_matrix(benchmark):
+    """CI smoke: small matrix, verify mode, >= 3x fewer full evaluations."""
+    report = benchmark.pedantic(
+        lambda: run_bench(QUICK_WORKLOADS, check=True),
+        rounds=1, iterations=1)
+    assert report["summary"]["identical"]
+    assert report["summary"]["min_full_eval_ratio"] >= 3.0
+    print("\n" + format_table(report))
+
+
+def test_bench_kl_fanout_workload(benchmark):
+    """The headline claim on a KL-enabled wide fan-out workflow."""
+    result = benchmark.pedantic(
+        lambda: bench_workload("finra-50", slo_factors=(1.2, 1.5, 2.0, 3.0)),
+        rounds=1, iterations=1)
+    assert result["identical"]
+    assert result["kernighan_lin"]
+    assert result["stages"] >= 2
+    assert result["full_eval_ratio"] >= 3.0
+    # the sweep actually exercised delta (partially cached) evaluations
+    assert result["cached"]["counters"]["pgp.evals.delta"] > 0
+
+
+if __name__ == "__main__":
+    report = run_bench(check=True)
+    print(format_table(report))
+    write_report(report, "BENCH_pgp.json")
+    print("report written to BENCH_pgp.json")

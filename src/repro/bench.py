@@ -1,0 +1,172 @@
+"""Scheduler benchmark harness for the incremental prediction engine.
+
+Times :meth:`repro.core.pgp.PGPScheduler.schedule` across the app catalog at
+several SLO tightnesses, twice per workload:
+
+* **baseline** — a :class:`repro.core.predictor.PredictionCache` with
+  ``enabled=False``: every stage / thread-group prediction runs a full
+  Algorithm-1 replay, and the counters still tick, giving the exact
+  full-evaluation count the paper's Algorithm 2 would pay;
+* **cached** — the same scheduler with the cache on (and optionally in
+  ``verify`` mode), warm across the workload's whole SLO sweep.
+
+Besides wall time the report records the ``pgp.*`` counters and — the part
+CI gates on — *correctness*: for every SLO the cached plan must equal the
+baseline plan (same deployment fingerprint) and ``predicted_latency_ms``
+must be bit-identical (``==`` on floats, no tolerance).  The headline
+metric is ``full_eval_ratio`` = baseline full evaluations / cached full
+evaluations; the acceptance bar is >= 3x on KL-enabled multi-stage
+workloads.
+
+Results are written as machine-readable JSON (``BENCH_pgp.json``) so runs
+can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.catalog import ALL_WORKLOADS, workload
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import LatencyPredictor, PredictionCache
+from repro.errors import DeploymentError
+
+#: SLO tightness as multiples of the workflow's critical path (1.0 would be
+#: unreachable; 1.2 forces wide plans, 3.0 packs into few wraps).
+DEFAULT_SLO_FACTORS = (1.2, 1.5, 2.0, 3.0)
+
+#: full matrix: every catalog workload, largest last (it dominates runtime)
+DEFAULT_WORKLOADS = ("social-network", "movie-review", "slapp", "slapp-v",
+                     "finra-5", "finra-50", "finra-100")
+
+#: the CI smoke matrix — small enough for seconds, still multi-stage + KL
+QUICK_WORKLOADS = ("social-network", "movie-review", "slapp", "finra-5")
+
+_CONSERVATISM = 1.05
+
+
+def _scheduler(cal: RuntimeCalibration, cache: PredictionCache,
+               options: Optional[PGPOptions]) -> PGPScheduler:
+    predictor = LatencyPredictor(cal, conservatism=_CONSERVATISM,
+                                 cache=cache)
+    return PGPScheduler(predictor, options=options)
+
+
+def _run_side(scheduler: PGPScheduler, wf, slos: Sequence[float]) -> dict:
+    """One side of the comparison: sweep the SLOs, return plans + counters."""
+    t0 = time.perf_counter()
+    plans = [scheduler.schedule(wf, slo) for slo in slos]
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+    cache = scheduler.predictor.cache
+    return {
+        "wall_ms": wall_ms,
+        "counters": cache.metrics.counters(),
+        "plans": plans,
+    }
+
+
+def bench_workload(name: str, *, slo_factors: Sequence[float],
+                   check: bool = False,
+                   options: Optional[PGPOptions] = None) -> dict:
+    """Benchmark one workload; raises ``DeploymentError`` on divergence."""
+    wf = workload(name)
+    cal = RuntimeCalibration.native()
+    slos = [round(f * wf.critical_path_ms, 6) for f in slo_factors]
+
+    baseline = _run_side(
+        _scheduler(cal, PredictionCache(enabled=False), options), wf, slos)
+    cached = _run_side(
+        _scheduler(cal, PredictionCache(verify=check), options), wf, slos)
+
+    mismatches = []
+    for slo, pb, pc in zip(slos, baseline["plans"], cached["plans"]):
+        if (pb.fingerprint(wf) != pc.fingerprint(wf)
+                or pb.predicted_latency_ms != pc.predicted_latency_ms):
+            mismatches.append({
+                "slo_ms": slo,
+                "baseline_predicted_ms": pb.predicted_latency_ms,
+                "cached_predicted_ms": pc.predicted_latency_ms,
+                "plans_equal": pb.fingerprint(wf) == pc.fingerprint(wf),
+            })
+    if mismatches:
+        raise DeploymentError(
+            f"cached scheduling diverged from full evaluation on "
+            f"{name!r}: {mismatches}")
+
+    full_b = baseline["counters"].get("pgp.evals.full", 0)
+    full_c = cached["counters"].get("pgp.evals.full", 0)
+    return {
+        "workload": name,
+        "stages": len(wf.stages),
+        "functions": wf.num_functions,
+        "critical_path_ms": wf.critical_path_ms,
+        "slo_factors": list(slo_factors),
+        "slo_ms": slos,
+        "kernighan_lin": (options or PGPOptions()).kernighan_lin,
+        "checked": bool(check),
+        "identical": True,
+        "plans": [{"slo_ms": slo,
+                   "predicted_latency_ms": p.predicted_latency_ms,
+                   "wraps": p.n_wraps, "cores": p.total_cores}
+                  for slo, p in zip(slos, cached["plans"])],
+        "baseline": {"wall_ms": baseline["wall_ms"],
+                     "counters": baseline["counters"]},
+        "cached": {"wall_ms": cached["wall_ms"],
+                   "counters": cached["counters"]},
+        "full_eval_ratio": full_b / full_c if full_c else float(full_b),
+    }
+
+
+def run_bench(workloads: Optional[Sequence[str]] = None, *,
+              slo_factors: Sequence[float] = DEFAULT_SLO_FACTORS,
+              check: bool = False,
+              options: Optional[PGPOptions] = None) -> dict:
+    """Benchmark several workloads and aggregate a summary."""
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    if unknown:
+        raise DeploymentError(
+            f"unknown workloads {unknown}; known: {sorted(ALL_WORKLOADS)}")
+    results = [bench_workload(n, slo_factors=slo_factors, check=check,
+                              options=options)
+               for n in names]
+    ratios = [r["full_eval_ratio"] for r in results]
+    return {
+        "benchmark": "pgp-scheduler",
+        "slo_factors": list(slo_factors),
+        "checked": bool(check),
+        "workloads": results,
+        "summary": {
+            "min_full_eval_ratio": min(ratios),
+            "max_full_eval_ratio": max(ratios),
+            "identical": all(r["identical"] for r in results),
+        },
+    }
+
+
+def format_table(report: dict) -> str:
+    """Human-readable summary of a :func:`run_bench` report."""
+    rows = [f"{'workload':<16} {'full(base)':>10} {'full(cached)':>12} "
+            f"{'ratio':>7} {'delta':>6} {'base ms':>8} {'cached ms':>9}"]
+    for r in report["workloads"]:
+        cb, cc = r["baseline"]["counters"], r["cached"]["counters"]
+        rows.append(
+            f"{r['workload']:<16} {int(cb.get('pgp.evals.full', 0)):>10} "
+            f"{int(cc.get('pgp.evals.full', 0)):>12} "
+            f"{r['full_eval_ratio']:>6.1f}x "
+            f"{int(cc.get('pgp.evals.delta', 0)):>6} "
+            f"{r['baseline']['wall_ms']:>8.1f} "
+            f"{r['cached']['wall_ms']:>9.1f}")
+    s = report["summary"]
+    rows.append(f"min ratio {s['min_full_eval_ratio']:.1f}x, "
+                f"plans bit-identical: {s['identical']}")
+    return "\n".join(rows)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

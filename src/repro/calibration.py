@@ -13,7 +13,7 @@ FINRA-200), but exact testbed milliseconds are out of scope (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +219,16 @@ class RuntimeCalibration:
     def evolve(self, **changes: object) -> "RuntimeCalibration":
         """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return replace(self, **changes)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> tuple:
+        """Canonical hashable identity of this calibration.
+
+        Field names are included so reordering or adding constants can never
+        silently alias two different calibrations; equal calibrations always
+        produce equal fingerprints.  Used as the calibration id of the
+        prediction cache (:class:`repro.core.predictor.PredictionCache`).
+        """
+        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
 
     @classmethod
     def native(cls) -> "RuntimeCalibration":

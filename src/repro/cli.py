@@ -328,6 +328,28 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_SLO_FACTORS,
+        QUICK_WORKLOADS,
+        format_table,
+        run_bench,
+        write_report,
+    )
+
+    workloads = args.workloads
+    if workloads is None and args.quick:
+        workloads = list(QUICK_WORKLOADS)
+    report = run_bench(workloads,
+                       slo_factors=args.slo_factors or DEFAULT_SLO_FACTORS,
+                       check=args.check)
+    print(format_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chiron-repro",
@@ -443,6 +465,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--workload", default="social-network")
     p_demo.add_argument("--slo", type=float, default=100.0)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark PGP scheduling with the prediction cache "
+                      "on vs. off (writes BENCH_pgp.json)")
+    p_bench.add_argument("--workloads", nargs="+", metavar="NAME",
+                         default=None,
+                         help="workloads to schedule (default: the full "
+                              "catalog matrix)")
+    p_bench.add_argument("--slo-factors", type=float, nargs="+", metavar="F",
+                         default=None,
+                         help="SLOs as multiples of each workflow's "
+                              "critical path (default: 1.2 1.5 2.0 3.0)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small workload matrix (the CI smoke set)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="verify mode: recompute every cache hit and "
+                              "fail on any divergence")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_pgp.json",
+                         help="JSON report path (default BENCH_pgp.json; "
+                              "'' to skip)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

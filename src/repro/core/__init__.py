@@ -22,7 +22,7 @@ from repro.core.dynamic import DynamicChironManager, DynamicChironPlatform
 from repro.core.generator import OrchestratorGenerator
 from repro.core.manager import ChironManager
 from repro.core.pgp import PGPOptions, PGPScheduler
-from repro.core.predictor import LatencyPredictor
+from repro.core.predictor import PGP_COUNTERS, LatencyPredictor, PredictionCache
 from repro.core.profiler import FunctionProfile, Profiler, StraceLog
 from repro.core.serialize import plan_from_json, plan_to_json
 from repro.core.slo import SloPolicy
@@ -46,6 +46,8 @@ __all__ = [
     "OrchestratorGenerator",
     "PGPOptions",
     "PGPScheduler",
+    "PGP_COUNTERS",
+    "PredictionCache",
     "ProcessAssignment",
     "Profiler",
     "SloPolicy",

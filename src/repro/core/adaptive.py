@@ -12,6 +12,11 @@ triggers a refresh when the deployment has drifted out of spec —
 
 Refreshing re-profiles the *current* workflow behaviours, so drifted
 functions are re-measured exactly as on the real system.
+
+Refreshes reuse the manager's predictor and its
+:class:`~repro.core.predictor.PredictionCache`: stages whose behaviours did
+not drift fingerprint identically and are served from cache, so the cost of
+a refresh scales with how much of the workflow actually changed.
 """
 
 from __future__ import annotations

@@ -43,7 +43,12 @@ class DynamicDeployment:
 
 
 class DynamicChironManager:
-    """Plans every branch of a dynamic workflow against one SLO."""
+    """Plans every branch of a dynamic workflow against one SLO.
+
+    Branch variants share the stages before and after the switch, so
+    planning them through one :class:`ChironManager` (one prediction cache)
+    pays the full Algorithm-1 cost only for the stages that differ.
+    """
 
     def __init__(self, manager: Optional[ChironManager] = None) -> None:
         self.manager = manager or ChironManager()

@@ -59,10 +59,20 @@ class ChironManager:
                  conservatism: float = DEFAULT_CONSERVATISM) -> None:
         self.cal = cal or RuntimeCalibration.native()
         self.profiler = profiler or Profiler()
+        # One predictor (and thus one PredictionCache) for the manager's
+        # lifetime: deploy, refresh and fault-degradation loops re-evaluate
+        # mostly-unchanged plans, so stage predictions carry across.
         self.predictor = LatencyPredictor(self.cal,
                                           conservatism=conservatism)
         self.scheduler = PGPScheduler(self.predictor, options=options)
         self.generator = OrchestratorGenerator()
+
+    @property
+    def prediction_cache(self):
+        """The predictor's :class:`repro.core.predictor.PredictionCache`
+        (``None`` if caching was disabled) — inspect ``.metrics`` for the
+        ``pgp.*`` counters accumulated across deploys and refreshes."""
+        return self.predictor.cache
 
     def deploy(self, workflow: Workflow, slo_ms: float, *,
                generate_code: bool = True, tracer=None,

@@ -65,17 +65,21 @@ class PGPScheduler:
         self.predictor = predictor or LatencyPredictor(
             RuntimeCalibration.native(), conservatism=1.05)
         self.options = options or PGPOptions()
-        #: memo: tuple(sorted function names) -> Algorithm-1 exec prediction
-        self._exec_cache: Dict[tuple[str, ...], float] = {}
 
     # ------------------------------------------------------------------
     # public entry
     # ------------------------------------------------------------------
     def schedule(self, workflow: Workflow, slo_ms: float) -> DeploymentPlan:
-        """Produce a deployment plan meeting ``slo_ms`` with minimal CPUs."""
+        """Produce a deployment plan meeting ``slo_ms`` with minimal CPUs.
+
+        All prediction state lives in the predictor's content-addressed
+        :class:`~repro.core.predictor.PredictionCache`, so warmth survives
+        across ``schedule()`` calls: an SLO sweep over one workflow, or
+        re-planning after partial drift, re-simulates only stages and
+        thread groups whose fingerprints actually changed.
+        """
         if slo_ms <= 0:
             raise SchedulingError(f"SLO must be > 0, got {slo_ms}")
-        self._exec_cache.clear()
         conflicted = self._conflicted_functions(workflow)
         max_n = max(
             (len([f for f in st if f.name not in conflicted])
@@ -259,15 +263,12 @@ class PGPScheduler:
     # ------------------------------------------------------------------
     def _exec_prediction(self, workflow: Workflow,
                          names: Sequence[str]) -> float:
-        # Key on the *behaviour multiset*: permutations and equal-behaviour
-        # swaps (ubiquitous in fan-out stages) share one cache entry.
+        # Keyed on the *behaviour multiset* by the predictor's cache:
+        # permutations and equal-behaviour swaps (ubiquitous in fan-out
+        # stages) share one entry, and warmth persists across schedule()
+        # calls and SLO sweeps.
         behaviors = [workflow.function(n).behavior for n in names]
-        key = tuple(sorted(hash(b) for b in behaviors))
-        cached = self._exec_cache.get(key)
-        if cached is None:
-            cached = self.predictor.predict_multithread_exec(behaviors)
-            self._exec_cache[key] = cached
-        return cached
+        return self.predictor.predict_exec_canonical(behaviors)
 
     def _partition_stage(self, workflow: Workflow,
                          names: list[str], n: int) -> list[list[str]]:
@@ -320,8 +321,28 @@ class PGPScheduler:
 
     def _kernighan_lin(self, workflow: Workflow, a: list[str],
                        b: list[str]) -> tuple[list[str], list[str]]:
-        """Lines 18-25: greedy swap sequence, then apply the best prefix."""
+        """Lines 18-25: greedy swap sequence, then apply the best prefix.
+
+        Candidate swaps are pruned against an optimistic lower bound before
+        paying for an Algorithm-1 replay: under the GIL every CPU
+        millisecond serializes, so a process's *unscaled* CPU sum bounds its
+        execution prediction from below (execution overheads and isolation
+        startup only add).  A swap whose bound already exceeds the incumbent
+        best objective cannot win and is skipped — the chosen swap sequence
+        is unchanged, so plans stay bit-identical with pruning on or off.
+        """
         solo = {f.name: f.behavior.solo_ms for f in workflow.functions}
+        cal = self.predictor.cal
+        can_prune = (cal.has_gil and cal.exec_overhead_cpu >= 0
+                     and cal.isolation_startup_ms >= 0)
+        cpu = ({f.name: f.behavior.cpu_ms for f in workflow.functions}
+               if can_prune else {})
+        metrics = (self.predictor.cache.metrics
+                   if self.predictor.cache is not None else None)
+        c_eval = (metrics.counter("pgp.kl.swaps.evaluated")
+                  if metrics is not None else None)
+        c_pruned = (metrics.counter("pgp.kl.swaps.pruned")
+                    if metrics is not None else None)
         work_a, work_b = list(a), list(b)
         cand_a, cand_b = list(a), list(b)
         swaps: list[tuple[str, str]] = []
@@ -337,9 +358,21 @@ class PGPScheduler:
             xs = sorted(cand_a, key=lambda f: solo[f], reverse=heavy_first)
             ys = sorted(cand_b, key=lambda f: solo[f], reverse=not heavy_first)
             xs, ys = xs[:window], ys[:window]
+            if can_prune:
+                cpu_a = sum(cpu[f] for f in work_a)
+                cpu_b = sum(cpu[f] for f in work_b)
             best: Optional[tuple[float, str, str]] = None
             for x in xs:
                 for y in ys:
+                    if can_prune and best is not None:
+                        lb = max(cpu_a - cpu[x] + cpu[y],
+                                 cpu_b - cpu[y] + cpu[x])
+                        if lb >= best[0] + 1e-9:
+                            if c_pruned is not None:
+                                c_pruned.inc()
+                            continue
+                    if c_eval is not None:
+                        c_eval.inc()
                     na = [f if f != x else y for f in work_a]
                     nb = [f if f != y else x for f in work_b]
                     obj = self._pair_objective(workflow, na, nb)

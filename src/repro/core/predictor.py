@@ -23,8 +23,9 @@ with bounded concurrency.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.calibration import RuntimeCalibration
 from repro.core.wrap import DeploymentPlan, ExecMode, StageAssignment
@@ -33,6 +34,117 @@ from repro.workflow.behavior import FunctionBehavior, SegmentKind
 from repro.workflow.model import Workflow
 
 _EPS = 1e-9
+
+#: every counter the incremental prediction engine increments (pinned by the
+#: golden-trace schema, mirroring ``repro.overload.OVERLOAD_COUNTERS``)
+PGP_COUNTERS = (
+    "pgp.cache.hit",
+    "pgp.cache.miss",
+    "pgp.cache.invalidations",
+    "pgp.evals.full",
+    "pgp.evals.delta",
+    "pgp.kl.swaps.evaluated",
+    "pgp.kl.swaps.pruned",
+)
+
+
+class PredictionCache:
+    """Content-addressed memo of per-stage / per-group predictions.
+
+    Keys are ``(kind, calibration id, fingerprint)`` triples built from the
+    canonical fingerprints of :mod:`repro.core.wrap`,
+    :meth:`repro.workflow.behavior.FunctionBehavior.fingerprint` and
+    :meth:`repro.calibration.RuntimeCalibration.fingerprint` — every input
+    the prediction depends on is *in* the key, so a drifted behaviour, a
+    re-sized cpuset or a different calibration can never alias a stale
+    entry.  That is the whole invalidation story: entries are immutable
+    facts, :meth:`invalidate` exists only to bound memory or reset counters.
+
+    One cache may safely back several predictors (different calibrations,
+    conservatisms or GIL-handoff policies included — the calibration id
+    covers the replay policy, and conservatism scales only workflow totals,
+    which are never cached).
+
+    ``enabled=False`` keeps the counters ticking while every lookup misses
+    and nothing is stored — the full-evaluation baseline the benchmark
+    harness compares against.  ``verify=True`` recomputes every hit and
+    raises :class:`~repro.errors.DeploymentError` on the slightest
+    disagreement — the bit-identity guard used by tests and the CI perf
+    smoke.
+    """
+
+    def __init__(self, *, capacity: int = 65536, enabled: bool = True,
+                 verify: bool = False,
+                 registry: Optional["Registry"] = None) -> None:
+        if capacity < 1:
+            raise DeploymentError(f"cache capacity must be >= 1, "
+                                  f"got {capacity}")
+        from repro.obs.metrics import Registry
+
+        self.capacity = capacity
+        self.enabled = enabled
+        self.verify = verify
+        self.metrics = registry if registry is not None else Registry()
+        self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.counter("pgp.cache.hit").value)
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.counter("pgp.cache.miss").value)
+
+    @property
+    def full_evals(self) -> int:
+        return int(self.metrics.counter("pgp.evals.full").value)
+
+    @property
+    def delta_evals(self) -> int:
+        return int(self.metrics.counter("pgp.evals.delta").value)
+
+    def get_or_compute(self, key: tuple,
+                       compute: Callable[[], float]) -> tuple[float, bool]:
+        """Return ``(value, came_from_cache)`` for ``key``.
+
+        A miss runs ``compute`` (one full Algorithm-1/Eq.-(2)-(4)
+        evaluation, counted as ``pgp.evals.full``) and stores the result.
+        """
+        entries = self._entries
+        if self.enabled:
+            value = entries.get(key)
+            if value is not None:
+                entries.move_to_end(key)
+                self.metrics.inc("pgp.cache.hit")
+                if self.verify:
+                    fresh = compute()
+                    if fresh != value:
+                        raise DeploymentError(
+                            f"prediction cache divergence: cached {value!r} "
+                            f"!= recomputed {fresh!r} for key kind "
+                            f"{key[0]!r} — cache keys are missing an input")
+                return value, True
+        value = compute()
+        self.metrics.inc("pgp.cache.miss")
+        self.metrics.inc("pgp.evals.full")
+        if self.enabled:
+            entries[key] = value
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+        return value, False
+
+    def invalidate(self) -> None:
+        """Drop every entry (memory bound / explicit reset).
+
+        Correctness never requires calling this — keys are content-
+        addressed — so the only reasons are reclaiming memory or starting a
+        fresh measurement window.
+        """
+        self._entries.clear()
+        self.metrics.inc("pgp.cache.invalidations")
 
 
 class _Th:
@@ -109,11 +221,19 @@ class LatencyPredictor:
     ``conservatism`` inflates final predictions; PGP uses a value > 1 so the
     plans it accepts keep a margin below the SLO (§6.2: "Chiron adopts larger
     parameters to estimate the latency, avoiding performance violation").
+
+    ``cache`` controls the incremental-prediction engine: ``None`` (default)
+    attaches a fresh private :class:`PredictionCache`; pass an existing
+    cache to share warmth across predictors, or ``False`` to force full
+    evaluation on every call.  Cached and uncached predictions are
+    bit-identical — traced predictions (``trace=...``) always take the full
+    path, since a cache hit has no timeline to replay.
     """
 
     def __init__(self, cal: Optional[RuntimeCalibration] = None, *,
                  conservatism: float = 1.0,
-                 gil_handoff: str = "cfs") -> None:
+                 gil_handoff: str = "cfs",
+                 cache: Union[None, bool, PredictionCache] = None) -> None:
         self.cal = cal or RuntimeCalibration.native()
         if conservatism <= 0:
             raise DeploymentError("conservatism must be > 0")
@@ -123,6 +243,22 @@ class LatencyPredictor:
         #: how Algorithm 1 picks the next GIL holder: "cfs" (min CPU time,
         #: the paper's line 17) or "fifo" (arrival order; ablation).
         self.gil_handoff = gil_handoff
+        if cache is None or cache is True:
+            cache = PredictionCache()
+        elif cache is False:
+            cache = None
+        self.cache: Optional[PredictionCache] = cache
+        #: lazily built (calibration fingerprint, GIL policy) cache-key part
+        self._cal_token: Optional[tuple] = None
+
+    def _calibration_token(self) -> tuple:
+        """The calibration id every cache key carries (frozen per instance:
+        ``cal`` and ``gil_handoff`` are never mutated after construction)."""
+        token = self._cal_token
+        if token is None:
+            token = self._cal_token = (self.cal.fingerprint(),
+                                       self.gil_handoff)
+        return token
 
     # ------------------------------------------------------------------
     # Algorithm 1: multi-thread execution under the GIL
@@ -230,6 +366,30 @@ class LatencyPredictor:
             th.absorb(now)
         return now
 
+    def predict_exec_canonical(
+            self, behaviors: Sequence[FunctionBehavior]) -> float:
+        """Algorithm-1 execution time of a *multiset* of behaviours, cached.
+
+        PGP's Kernighan-Lin pass evaluates the same thread groups — up to
+        permutation — thousands of times across swaps, stages, ``n``
+        candidates and SLO sweeps.  The replay's outcome is treated as
+        order-invariant by that search (equal-behaviour swaps must be
+        no-ops), so behaviours are sorted into a canonical order *before*
+        replaying: permutations share one cache entry, and cached vs.
+        uncached evaluation run the exact same replay — bit-identical by
+        construction.
+        """
+        if not behaviors:
+            return 0.0
+        ordered = sorted(behaviors, key=lambda b: b.fingerprint())
+        if self.cache is None:
+            return self.predict_multithread_exec(ordered)
+        key = ("exec", self._calibration_token(),
+               tuple(b.fingerprint() for b in ordered))
+        value, _hit = self.cache.get_or_compute(
+            key, lambda: self.predict_multithread_exec(ordered))
+        return value
+
     # ------------------------------------------------------------------
     # Fluid fair-share schedule (no-GIL threads, process pools)
     # ------------------------------------------------------------------
@@ -304,6 +464,24 @@ class LatencyPredictor:
     # ------------------------------------------------------------------
     # Eq. (4): one process of a wrap
     # ------------------------------------------------------------------
+    def _exec_ordered(self, behaviors: Sequence[FunctionBehavior]) -> float:
+        """Untraced Algorithm-1 replay memoized on the *ordered* behaviour
+        fingerprints.
+
+        Unlike :meth:`predict_exec_canonical` this never reorders — it
+        returns exactly what :meth:`predict_multithread_exec` would, so the
+        stage predictions composed from it stay bit-identical to uncached
+        evaluation.  Repacking re-simulates the same process groups under
+        every wrap-count cap; this memo collapses those replays to one.
+        """
+        if self.cache is None:
+            return self.predict_multithread_exec(behaviors)
+        key = ("exec-ordered", self._calibration_token(),
+               tuple(b.fingerprint() for b in behaviors))
+        value, _hit = self.cache.get_or_compute(
+            key, lambda: self.predict_multithread_exec(behaviors))
+        return value
+
     def predict_process(self, behaviors: Sequence[FunctionBehavior], *,
                         fork_position: int, trace=None,
                         names: Optional[Sequence[str]] = None,
@@ -318,6 +496,8 @@ class LatencyPredictor:
         """
         cal = self.cal
         if fork_position <= 0:
+            if trace is None:
+                return self._exec_ordered(behaviors)
             return self.predict_multithread_exec(behaviors, trace=trace,
                                                  names=names, t0=t0)
         wait = (fork_position - 1) * cal.fork_block_ms
@@ -330,9 +510,12 @@ class LatencyPredictor:
             trace.record(ent, "startup", t0 + wait,
                          t0 + wait + cal.process_startup_ms,
                          op="proc.startup")
-        exec_ms = self.predict_multithread_exec(
-            behaviors, trace=trace, names=names,
-            t0=t0 + wait + cal.process_startup_ms)
+        if trace is None:
+            exec_ms = self._exec_ordered(behaviors)
+        else:
+            exec_ms = self.predict_multithread_exec(
+                behaviors, trace=trace, names=names,
+                t0=t0 + wait + cal.process_startup_ms)
         return wait + cal.process_startup_ms + exec_ms
 
     def _ipc_ms(self, assignment: StageAssignment,
@@ -380,7 +563,7 @@ class LatencyPredictor:
             # the group so divergence can still match singleton groups.
             task_names.append("+".join(proc.functions))
             group = behaviors_of(proc.functions)
-            exec_ms = self.predict_multithread_exec(group)
+            exec_ms = self._exec_ordered(group)
             io_ms = min(b.io_ms for b in group) if len(group) == 1 else 0.0
             # preserve the group's IO share so blocked time frees cores
             cpu_ms = max(exec_ms - io_ms, 0.0)
@@ -505,6 +688,31 @@ class LatencyPredictor:
     def predict_stage(self, plan: DeploymentPlan, workflow: Workflow,
                       stage_index: int, *, trace=None,
                       t0: float = 0.0) -> float:
+        """One stage's latency; memoized per stage fingerprint.
+
+        Untraced predictions are served from the stage-level cache (stage
+        latency is independent of ``t0`` — offsets only shift trace spans),
+        so re-evaluating a plan after a single-stage edit — a KL swap, a
+        repack, a cpuset shrink — re-simulates only the touched stage.
+        """
+        if trace is None and self.cache is not None:
+            value, _hit = self._predict_stage_cached(plan, workflow,
+                                                     stage_index)
+            return value
+        return self._predict_stage_full(plan, workflow, stage_index,
+                                        trace=trace, t0=t0)
+
+    def _predict_stage_cached(self, plan: DeploymentPlan, workflow: Workflow,
+                              stage_index: int) -> tuple[float, bool]:
+        key = ("stage", self._calibration_token(),
+               plan.stage_fingerprint(stage_index, workflow))
+        return self.cache.get_or_compute(
+            key,
+            lambda: self._predict_stage_full(plan, workflow, stage_index))
+
+    def _predict_stage_full(self, plan: DeploymentPlan, workflow: Workflow,
+                            stage_index: int, *, trace=None,
+                            t0: float = 0.0) -> float:
         parts = plan.stage_wraps(stage_index)
         if not parts:
             raise DeploymentError(f"no wrap covers stage {stage_index}")
@@ -540,7 +748,23 @@ class LatencyPredictor:
         The trace carries *raw* predicted times — ``conservatism`` scales
         only the returned total, so traced timelines stay comparable with
         the runtime's mechanism for mechanism.
+
+        Untraced totals compose per-stage cached results: only stages whose
+        fingerprint has never been seen are simulated, and a total that
+        reused at least one cached stage counts as a *delta* evaluation
+        (``pgp.evals.delta``).  The summation order matches the uncached
+        loop exactly, so cached totals are bit-identical.
         """
+        if trace is None and self.cache is not None:
+            total = 0.0
+            any_cached = False
+            for i in range(len(workflow.stages)):
+                value, hit = self._predict_stage_cached(plan, workflow, i)
+                any_cached = any_cached or hit
+                total += value
+            if any_cached:
+                self.cache.metrics.inc("pgp.evals.delta")
+            return total * self.conservatism
         total = 0.0
         for i in range(len(workflow.stages)):
             total += self.predict_stage(plan, workflow, i, trace=trace,

@@ -44,6 +44,22 @@ class ProcessAssignment:
     def __len__(self) -> int:
         return len(self.functions)
 
+    def fingerprint(self, behaviors: Optional[Dict[str, tuple]] = None
+                    ) -> tuple:
+        """Canonical hashable identity of this process group.
+
+        Structural by default (mode + function names, in order).  With
+        ``behaviors`` — a function-name → behaviour-fingerprint map — names
+        are replaced by behaviour fingerprints, producing the
+        *prediction-relevant* form: two groups whose functions behave
+        identically fingerprint equal even under renames, which is what lets
+        the stage-level prediction cache key on it.
+        """
+        if behaviors is None:
+            return (self.mode.value, self.functions)
+        return (self.mode.value,
+                tuple(behaviors[f] for f in self.functions))
+
 
 @dataclass(frozen=True)
 class StageAssignment:
@@ -74,6 +90,13 @@ class StageAssignment:
     @property
     def thread_groups(self) -> list[ProcessAssignment]:
         return [p for p in self.processes if p.mode is ExecMode.THREAD]
+
+    def fingerprint(self, behaviors: Optional[Dict[str, tuple]] = None
+                    ) -> tuple:
+        """Canonical hashable identity: stage index + process fingerprints
+        in plan order (order matters — fork positions follow it)."""
+        return (self.stage_index,
+                tuple(p.fingerprint(behaviors) for p in self.processes))
 
 
 @dataclass(frozen=True)
@@ -113,6 +136,15 @@ class Wrap:
             uses_orchestrator = 1 if sa.thread_groups else 0
             peak = max(peak, forked + uses_orchestrator)
         return peak
+
+    def fingerprint(self, behaviors: Optional[Dict[str, tuple]] = None
+                    ) -> tuple:
+        """Canonical hashable identity of the wrap's assignment structure.
+
+        The wrap *name* is deliberately excluded: predictions never depend
+        on it, so renamed-but-identical wraps share cache entries.
+        """
+        return tuple(sa.fingerprint(behaviors) for sa in self.stages)
 
 
 @dataclass(frozen=True)
@@ -166,6 +198,44 @@ class DeploymentPlan:
 
     def processes_in_stage(self, stage_index: int) -> int:
         return sum(len(sa.processes) for _, sa in self.stage_wraps(stage_index))
+
+    # -- fingerprints (prediction-cache keys) -------------------------------
+    def stage_fingerprint(self, stage_index: int,
+                          workflow: Workflow) -> tuple:
+        """Everything stage ``stage_index``'s predicted latency depends on.
+
+        Per participating wrap, in plan order (wrap 1 is special — sibling
+        wraps pay invocation + RPC shifts): the wrap's allocated cores and
+        its stage assignment with function names resolved to behaviour
+        fingerprints.  ``pool_workers`` is included because it both selects
+        the pool prediction path and bounds pool concurrency.  Calibration
+        is *not* part of this fingerprint — the cache adds its own
+        calibration id (see :class:`repro.core.predictor.PredictionCache`).
+        """
+        if not 0 <= stage_index < len(workflow.stages):
+            raise DeploymentError(
+                f"workflow {workflow.name!r} has no stage {stage_index}")
+        behaviors = {fn.name: fn.behavior.fingerprint()
+                     for fn in workflow.stages[stage_index]}
+        return (self.pool_workers,
+                tuple((self.cores_for(wrap), sa.fingerprint(behaviors))
+                      for wrap, sa in self.stage_wraps(stage_index)))
+
+    def fingerprint(self, workflow: Optional[Workflow] = None) -> tuple:
+        """Canonical hashable identity of the whole deployment shape.
+
+        Structural without ``workflow`` (wrap fingerprints + cores +
+        pool_workers); prediction-relevant with it (behaviour fingerprints
+        substituted for names).  Predicted latency / SLO annotations are
+        excluded — they describe the plan, they don't change it.
+        """
+        behaviors = None
+        if workflow is not None:
+            behaviors = {fn.name: fn.behavior.fingerprint()
+                         for fn in workflow.functions}
+        return (self.pool_workers,
+                tuple((self.cores_for(wrap), wrap.fingerprint(behaviors))
+                      for wrap in self.wraps))
 
     # -- validation ------------------------------------------------------------
     def validate(self, workflow: Workflow) -> None:

@@ -11,7 +11,7 @@ from typing import Callable, Dict, Optional
 
 from repro.calibration import RuntimeCalibration
 from repro.core.pgp import PGPOptions, PGPScheduler
-from repro.core.predictor import LatencyPredictor
+from repro.core.predictor import LatencyPredictor, PredictionCache
 from repro.core.profiler import Profiler
 from repro.core.slo import SloPolicy
 from repro.errors import DeploymentError
@@ -25,6 +25,12 @@ from repro.workflow.model import Workflow
 
 #: conservatism PGP plans with everywhere in the evaluation
 _CONSERVATISM = 1.15
+
+#: one process-wide cache behind every registry-built Chiron predictor:
+#: figure sweeps and the cluster's load/saturation loops rebuild platforms
+#: for the same workflows over and over, and content-addressed keys (which
+#: include the calibration id) make sharing safe across variants.
+_SHARED_CACHE = PredictionCache()
 
 
 def default_slo_ms(workflow: Workflow,
@@ -41,7 +47,8 @@ def _chiron(workflow: Workflow, slo_ms: float,
     profiler = Profiler()
     profiles = profiler.profile_workflow(workflow)
     profiled = Profiler.profiled_workflow(workflow, profiles)
-    predictor = LatencyPredictor(cal, conservatism=_CONSERVATISM)
+    predictor = LatencyPredictor(cal, conservatism=_CONSERVATISM,
+                                 cache=_SHARED_CACHE)
     scheduler = PGPScheduler(predictor, options=options)
     if pool:
         plan = scheduler.schedule_pool(profiled, slo_ms)

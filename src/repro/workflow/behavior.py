@@ -52,7 +52,7 @@ class FunctionBehavior:
     to its successors (drives interaction-overhead modelling, Figure 4).
     """
 
-    __slots__ = ("_segments", "data_out_mb", "memory_mb")
+    __slots__ = ("_segments", "data_out_mb", "memory_mb", "_fp")
 
     def __init__(self, segments: Iterable[Segment], *,
                  data_out_mb: float = 0.01, memory_mb: float = 0.0) -> None:
@@ -64,6 +64,7 @@ class FunctionBehavior:
         self._segments = segs
         self.data_out_mb = float(data_out_mb)
         self.memory_mb = float(memory_mb)
+        self._fp: Optional[tuple] = None
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -120,6 +121,23 @@ class FunctionBehavior:
     def __repr__(self) -> str:
         parts = ",".join(f"{s.kind.value}:{s.duration_ms:g}" for s in self._segments)
         return f"FunctionBehavior({parts})"
+
+    def fingerprint(self) -> tuple:
+        """Canonical hashable identity of this behaviour.
+
+        A nested tuple of primitives (segment kinds/durations plus the data
+        and memory footprints), so equal behaviours — however constructed —
+        produce equal fingerprints.  Keys the stage-level prediction cache
+        (see :class:`repro.core.predictor.PredictionCache`); computed once
+        and memoized, since fingerprinting sits on PGP's hot path.
+        """
+        fp = self._fp
+        if fp is None:
+            fp = (tuple((s.kind.value, s.duration_ms)
+                        for s in self._segments),
+                  self.data_out_mb, self.memory_mb)
+            self._fp = fp
+        return fp
 
     # -- transforms -----------------------------------------------------------
     def scaled(self, cpu_factor: float = 1.0, io_factor: float = 1.0

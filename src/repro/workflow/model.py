@@ -84,13 +84,13 @@ class Workflow:
             raise WorkflowError("workflow name must be non-empty")
         if not self.stages:
             raise WorkflowError(f"workflow {name!r} has no stages")
-        seen: set[str] = set()
+        self._by_name: dict[str, FunctionSpec] = {}
         for stage in self.stages:
             for fn in stage:
-                if fn.name in seen:
+                if fn.name in self._by_name:
                     raise WorkflowError(
                         f"function name {fn.name!r} appears in multiple stages")
-                seen.add(fn.name)
+                self._by_name[fn.name] = fn
 
     # -- inspection -----------------------------------------------------------
     @property
@@ -108,11 +108,12 @@ class Workflow:
         return max(stage.parallelism for stage in self.stages)
 
     def function(self, name: str) -> FunctionSpec:
-        for stage in self.stages:
-            for fn in stage:
-                if fn.name == name:
-                    return fn
-        raise WorkflowError(f"no function named {name!r} in workflow {self.name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkflowError(
+                f"no function named {name!r} in workflow {self.name!r}"
+            ) from None
 
     def stage_of(self, function_name: str) -> Stage:
         for stage in self.stages:

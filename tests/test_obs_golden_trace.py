@@ -25,11 +25,13 @@ def canonical(tracer):
 
     Spans are sorted by (start, entity, name) so recording-order churn that
     does not change the timeline does not invalidate goldens; timestamps are
-    rounded to 1 ns to absorb float formatting noise.  ``fault_schema`` and
-    ``overload_schema`` pin the typed fault/retry and overload event/counter
-    vocabularies: adding a mechanism invalidates the golden loudly instead
-    of slipping in unreviewed.
+    rounded to 1 ns to absorb float formatting noise.  ``fault_schema``,
+    ``overload_schema`` and ``pgp_schema`` pin the typed fault/retry and
+    overload event/counter vocabularies plus the prediction-engine counter
+    names: adding a mechanism invalidates the golden loudly instead of
+    slipping in unreviewed.
     """
+    from repro.core.predictor import PGP_COUNTERS
     from repro.faults import FAULT_EVENT_TYPES
     from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
 
@@ -43,7 +45,8 @@ def canonical(tracer):
     return {"spans": spans, "events": events,
             "fault_schema": sorted(FAULT_EVENT_TYPES),
             "overload_schema": sorted(OVERLOAD_EVENT_TYPES
-                                      + OVERLOAD_COUNTERS)}
+                                      + OVERLOAD_COUNTERS),
+            "pgp_schema": sorted(PGP_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -81,7 +84,8 @@ class TestGoldenFailureMessages:
         with pytest.raises(AssertionError, match="--update-goldens"):
             golden("finra5_faastlane_native", {"spans": [], "events": [],
                                                "fault_schema": [],
-                                               "overload_schema": []})
+                                               "overload_schema": [],
+                                               "pgp_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):

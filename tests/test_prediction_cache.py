@@ -1,0 +1,194 @@
+"""The incremental prediction engine: bit-identity, counters, invalidation.
+
+The contract under test: with the content-addressed
+:class:`~repro.core.predictor.PredictionCache` attached, PGP produces the
+*exact* plans and predictions full evaluation would — same deployment
+fingerprints, ``==``-equal floats, no tolerance — while re-simulating only
+stages and thread groups whose fingerprints are new.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import RuntimeCalibration
+from repro.core.pgp import PGPOptions, PGPScheduler
+from repro.core.predictor import (
+    PGP_COUNTERS,
+    LatencyPredictor,
+    PredictionCache,
+)
+from repro.errors import DeploymentError
+from repro.workflow import FunctionBehavior, WorkflowBuilder, random_workflow
+
+CAL = RuntimeCalibration.native()
+
+
+def scheduler(cache, **kw):
+    opts = PGPOptions(**kw.pop("options", {}))
+    predictor = LatencyPredictor(CAL, conservatism=1.0, cache=cache)
+    return PGPScheduler(predictor, options=opts)
+
+
+def fanout_workflow(n=12, cpu_ms=8.0):
+    return (WorkflowBuilder("fan")
+            .parallel("fan", [(f"f-{i}", FunctionBehavior.cpu(cpu_ms))
+                              for i in range(n)])
+            .sequential("tail", ("tail", FunctionBehavior.cpu(3.0)))
+            .build())
+
+
+# ---------------------------------------------------------------------------
+# bit-identity: cached scheduling == full evaluation
+# ---------------------------------------------------------------------------
+@settings(deadline=None, max_examples=15)
+@given(st.integers(min_value=0, max_value=80),
+       st.sampled_from([30.0, 75.0, 150.0, 600.0]))
+def test_property_cached_equals_full_eval(seed, slo):
+    wf = random_workflow(seed, max_stages=4, max_parallelism=6,
+                         max_segment_ms=10.0)
+    cold = scheduler(cache=False)
+    warm = scheduler(cache=PredictionCache(verify=True))
+    # two sweeps through the warm scheduler: the second is fully cache-hot
+    plan_cold = cold.schedule(wf, slo)
+    plan_warm1 = warm.schedule(wf, slo)
+    plan_warm2 = warm.schedule(wf, slo)
+    for plan in (plan_warm1, plan_warm2):
+        assert plan.fingerprint(wf) == plan_cold.fingerprint(wf)
+        assert plan.predicted_latency_ms == plan_cold.predicted_latency_ms
+    assert warm.predictor.cache.hits > 0
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(min_value=0, max_value=40))
+def test_property_slo_sweep_shares_warmth(seed):
+    """One scheduler across a whole SLO sweep stays bit-identical while
+    paying strictly fewer full evaluations than cold evaluation."""
+    wf = random_workflow(seed, max_stages=3, max_parallelism=6,
+                         max_segment_ms=10.0)
+    slos = [0.8 * wf.critical_path_ms, 1.2 * wf.critical_path_ms,
+            2.0 * wf.critical_path_ms, 4.0 * wf.critical_path_ms]
+    cold = scheduler(cache=PredictionCache(enabled=False))
+    warm = scheduler(cache=PredictionCache(verify=True))
+    for slo in slos:
+        pc = cold.schedule(wf, slo)
+        pw = warm.schedule(wf, slo)
+        assert pw.fingerprint(wf) == pc.fingerprint(wf)
+        assert pw.predicted_latency_ms == pc.predicted_latency_ms
+    assert warm.predictor.cache.full_evals <= cold.predictor.cache.full_evals
+
+
+def test_kl_enabled_run_counts_delta_evals():
+    wf = fanout_workflow(n=14)
+    sched = scheduler(cache=PredictionCache())
+    for factor in (1.3, 1.6, 2.5):
+        sched.schedule(wf, factor * wf.critical_path_ms)
+    cache = sched.predictor.cache
+    assert cache.delta_evals > 0
+    assert cache.hits > 0
+    counters = cache.metrics.counters()
+    assert counters["pgp.kl.swaps.evaluated"] > 0
+
+
+def test_trim_cores_reuses_untouched_stages():
+    wf = fanout_workflow(n=10)
+    sched = scheduler(cache=PredictionCache())
+    plan = sched.schedule(wf, 2.0 * wf.critical_path_ms)
+    before = sched.predictor.cache.delta_evals
+    trimmed = sched.trim_cores(wf, plan, 2.0 * wf.critical_path_ms)
+    # every trim candidate touches one wrap -> the tail stage (and any
+    # unchanged wraps) come from cache, so trims count as delta evals
+    assert sched.predictor.cache.delta_evals > before
+    assert trimmed.total_cores <= plan.total_cores
+
+
+# ---------------------------------------------------------------------------
+# cache mechanics
+# ---------------------------------------------------------------------------
+def test_counter_vocabulary_is_pinned():
+    cache = PredictionCache()
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=8)
+    sched.schedule(wf, 1.5 * wf.critical_path_ms)
+    cache.invalidate()
+    for name in cache.metrics.counters():
+        assert name in PGP_COUNTERS, f"unpinned counter {name!r}"
+
+
+def test_disabled_cache_counts_but_stores_nothing():
+    cache = PredictionCache(enabled=False)
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=8)
+    sched.schedule(wf, 1.5 * wf.critical_path_ms)
+    assert cache.full_evals > 0
+    assert cache.hits == 0
+    assert len(cache) == 0
+
+
+def test_invalidate_resets_entries_not_counters():
+    cache = PredictionCache()
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=8)
+    sched.schedule(wf, 1.5 * wf.critical_path_ms)
+    assert len(cache) > 0
+    full_before = cache.full_evals
+    cache.invalidate()
+    assert len(cache) == 0
+    assert cache.full_evals == full_before
+    assert cache.metrics.counters()["pgp.cache.invalidations"] == 1
+
+
+def test_capacity_bounds_entries():
+    cache = PredictionCache(capacity=4)
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=10)
+    sched.schedule(wf, 1.5 * wf.critical_path_ms)
+    assert len(cache) <= 4
+    with pytest.raises(DeploymentError):
+        PredictionCache(capacity=0)
+
+
+def test_shared_cache_across_predictors():
+    """Two predictors over one cache share entries; different calibrations
+    can never alias because the calibration id is in every key."""
+    cache = PredictionCache()
+    wf = fanout_workflow(n=8)
+    slo = 1.5 * wf.critical_path_ms
+    plan_a = scheduler(cache=cache).schedule(wf, slo)
+    hits_after_first = cache.hits
+    plan_b = scheduler(cache=cache).schedule(wf, slo)
+    assert cache.hits > hits_after_first
+    assert plan_b.predicted_latency_ms == plan_a.predicted_latency_ms
+
+    mpk = PGPScheduler(LatencyPredictor(RuntimeCalibration.mpk(),
+                                        conservatism=1.0, cache=cache))
+    plan_mpk = mpk.schedule(wf, slo)
+    # MPK's isolation overheads must not be served from native entries
+    assert plan_mpk.predicted_latency_ms != plan_a.predicted_latency_ms
+
+
+def test_verify_mode_catches_divergence():
+    """The bit-identity guard: a poisoned entry raises on its next hit."""
+    cache = PredictionCache(verify=True)
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=6)
+    sched.schedule(wf, 2.0 * wf.critical_path_ms)
+    key = next(iter(cache._entries))
+    cache._entries[key] += 1.0  # simulate a missing-input aliasing bug
+    with pytest.raises(DeploymentError, match="divergence"):
+        sched.schedule(wf, 2.0 * wf.critical_path_ms)
+
+
+def test_traced_predictions_bypass_cache():
+    from repro.simcore.monitor import TraceRecorder
+
+    cache = PredictionCache()
+    sched = scheduler(cache=cache)
+    wf = fanout_workflow(n=6)
+    plan = sched.schedule(wf, 2.0 * wf.critical_path_ms)
+    hits_before = cache.hits
+
+    trace = TraceRecorder()
+    traced = sched.predictor.predict_workflow(wf, plan, trace=trace)
+    assert cache.hits == hits_before  # no cache involvement while tracing
+    untraced = sched.predictor.predict_workflow(wf, plan)
+    assert traced == untraced
