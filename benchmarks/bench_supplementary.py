@@ -4,7 +4,7 @@ from conftest import run_once
 
 
 def test_coldstart_cascade(benchmark, rows_by):
-    result = run_once(benchmark, "coldstart", quick=False)
+    result = run_once(benchmark, "coldstart-cascade", quick=False)
     by = rows_by(result, "workload", "system")
     # FINRA (2 stages): one-to-one pays 2 boot waves, shared sandboxes 1
     assert (by[("finra-5", "openfaas")]["penalty_ms"]

@@ -40,6 +40,18 @@ THREAD_STARTUP_MS = 0.3
 #: cold start") but the constant drives the cold-start code path and tests.
 SANDBOX_COLD_START_MS = 167.0
 
+#: Restoring a checkpointed sandbox image (CRIU / Firecracker-snapshot
+#: style) costs this fraction of the full container cold start: the
+#: interpreter and libraries are already materialized in the image, so only
+#: page-in and reconnect work remains (REAP/Catalyzer report 10-20x faster
+#: than cold boot; we sit mid-range at ~20 ms for the 167 ms Python boot).
+SNAPSHOT_RESTORE_FRACTION = 0.12
+
+#: One-time cost of *creating* the snapshot image after the first cold boot
+#: of a (platform, workflow) deployment: checkpointing the warm interpreter
+#: to disk.  Charged once per image, off the steady-state path.
+SNAPSHOT_CREATE_MS = 55.0
+
 #: CPython's default GIL switch interval (``sys.getswitchinterval`` = 5 ms).
 GIL_SWITCH_INTERVAL_MS = 5.0
 
@@ -190,6 +202,8 @@ class RuntimeCalibration:
     fork_block_ms: float = PROCESS_FORK_BLOCK_MS
     thread_startup_ms: float = THREAD_STARTUP_MS
     sandbox_cold_start_ms: float = SANDBOX_COLD_START_MS
+    snapshot_restore_fraction: float = SNAPSHOT_RESTORE_FRACTION
+    snapshot_create_ms: float = SNAPSHOT_CREATE_MS
     gil_switch_interval_ms: float = GIL_SWITCH_INTERVAL_MS
     pool_dispatch_ms: float = POOL_DISPATCH_MS
     t_rpc_ms: float = T_RPC_MS

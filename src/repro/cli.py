@@ -306,6 +306,46 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_coldstart(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.coldstart import summary_flags, sweep
+
+    app = _normalize_workload(args.app)
+    duration_ms = args.duration_s * 1000.0
+    rows = sweep(app, seed=args.seed, duration_ms=duration_ms,
+                 service_samples=args.service_samples)
+    flags = summary_flags(rows)
+    print(f"coldstart sweep: {app}, {args.duration_s:g} s traces, "
+          f"idle-memory budget {rows[0]['budget_mb']:.1f} MB for every arm")
+    header = (f"  {'trace':>8s} {'platform':>10s} {'arm':>10s} "
+              f"{'p50_ms':>8s} {'p99_ms':>8s} {'warm%':>6s} "
+              f"{'cold':>5s} {'snap':>5s} {'pool':>5s} {'warm':>5s} "
+              f"{'evict':>5s} {'idle_mb':>8s}")
+    print(header)
+    for row in rows:
+        print(f"  {row['trace']:>8s} {row['platform']:>10s} "
+              f"{row['arm']:>10s} {row['p50_ms']:8.1f} "
+              f"{row['p99_ms']:8.1f} {row['warm_hit_rate']:6.1%} "
+              f"{row['cold']:5d} {row['snapshot']:5d} {row['pool']:5d} "
+              f"{row['warm']:5d} {row['evictions']:5d} "
+              f"{row['mean_idle_mb']:8.1f}")
+    print(f"\n[diurnal p99: hybrid {flags.get('hybrid_p99_ms', 0):.1f} ms "
+          f"vs always-cold {flags.get('ttl0_p99_ms', 0):.1f} ms; "
+          f"hybrid beats ttl0: {flags.get('hybrid_beats_ttl0_p99')}; "
+          f"chiron tops warm-hit at equal memory: "
+          f"{flags.get('chiron_tops_warm_hit')}]")
+    if args.out:
+        report = {"experiment": "coldstart", "app": app,
+                  "seed": args.seed, "duration_ms": duration_ms,
+                  "summary": flags, "rows": rows}
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.apps import workload
     from repro.core import ChironManager
@@ -459,6 +499,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_over.add_argument("--timeout-ms", type=float, default=None,
                         help="per-attempt timeout for faulted sampling")
     p_over.set_defaults(func=_cmd_overload)
+
+    p_cold = sub.add_parser(
+        "coldstart", help="sweep keep-alive policy x traffic burstiness "
+                          "through the sandbox lifecycle manager (writes "
+                          "BENCH_coldstart.json)")
+    p_cold.add_argument("app", nargs="?", default="finra-5",
+                        help="workload name (default finra-5)")
+    p_cold.add_argument("--duration-s", type=float, default=600.0,
+                        help="arrival-trace length in seconds (default 600)")
+    p_cold.add_argument("--service-samples", type=int, default=12,
+                        help="jittered warm-latency samples per platform "
+                             "(default 12)")
+    p_cold.add_argument("--seed", type=int, default=11,
+                        help="arrival/jitter seed (default 11)")
+    p_cold.add_argument("--out", metavar="FILE",
+                        default="BENCH_coldstart.json",
+                        help="JSON report path (default BENCH_coldstart."
+                             "json; '' to skip)")
+    p_cold.set_defaults(func=_cmd_coldstart)
 
     p_demo = sub.add_parser("demo",
                             help="execute a plan with real threads/processes")

@@ -19,6 +19,7 @@ The paper's Figure 16 derives maximum throughput from a capacity argument
 from repro.cluster.autoscale import (
     AutoscaleResult,
     AutoscalerConfig,
+    LifecycleConfig,
     run_autoscaled,
 )
 from repro.cluster.deployment import ClusterDeployment, place_on_node
@@ -36,6 +37,7 @@ __all__ = [
     "AutoscaleResult",
     "AutoscalerConfig",
     "ClusterDeployment",
+    "LifecycleConfig",
     "LoadResult",
     "burst_arrivals",
     "constant_arrivals",

@@ -25,8 +25,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.calibration import RuntimeCalibration
 from repro.errors import CapacityError
+from repro.lifecycle.policy import KeepAlivePolicy
+from repro.lifecycle.pool import PrewarmPool
+from repro.lifecycle.state import SandboxRecord, SandboxState
 from repro.metrics.stats import LatencySummary, summarize_latencies
 from repro.overload.admission import (AdmissionController, AdmissionOutcome,
                                       AdmissionPolicy)
@@ -44,16 +46,45 @@ class AutoscalerConfig:
     min_replicas: int = 1
     max_replicas: int = 8
     evaluation_interval_ms: float = 1000.0
-    #: delay before a scaled-up replica serves (container cold start)
-    provision_delay_ms: float = RuntimeCalibration().sandbox_cold_start_ms
+    #: delay before a scaled-up replica serves.  ``None`` (the default)
+    #: resolves to the *platform's* calibrated cold start at simulation
+    #: time — a field default would freeze one calibration's value at
+    #: import and silently ignore per-platform calibrations.  Set a float
+    #: to override explicitly.
+    provision_delay_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.target_inflight_per_replica <= 0
                 or self.min_replicas < 1
                 or self.max_replicas < self.min_replicas
                 or self.evaluation_interval_ms <= 0
-                or self.provision_delay_ms < 0):
+                or (self.provision_delay_ms is not None
+                    and self.provision_delay_ms < 0)):
             raise CapacityError(f"invalid autoscaler config {self}")
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Lifecycle knobs for an autoscaled replay.
+
+    ``policy`` decides how long a scaled-down replica stays idle-but-warm
+    (revivable for free) instead of being torn down on the spot;
+    ``prewarm_target`` sizes a pool the autoscaler drains before paying any
+    boot; ``snapshots`` prices later boots as snapshot restores once the
+    first cold boot has paid the one-time image-creation charge;
+    ``pool_brownout_factor`` is how hard brownout entry shrinks the pool
+    (restored on recovery).
+    """
+
+    policy: KeepAlivePolicy
+    prewarm_target: int = 0
+    snapshots: bool = True
+    pool_brownout_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if (self.prewarm_target < 0
+                or not 0.0 <= self.pool_brownout_factor <= 1.0):
+            raise CapacityError(f"invalid lifecycle config {self}")
 
 
 @dataclass
@@ -81,6 +112,16 @@ class AutoscaleResult:
     #: completed requests whose sojourn met the deadline (None = no deadline)
     met_deadline: Optional[int] = None
     deadline_ms: Optional[float] = None
+    #: (time_ms, tier) for every provision boot ("warm"/"pool"/"snapshot"/
+    #: "cold"); empty when lifecycle is off
+    boot_timeline: list[tuple[float, str]] = field(default_factory=list)
+    #: provision boots by tier; empty when lifecycle is off
+    boots: dict = field(default_factory=dict)
+    #: idle replicas torn down (keep-alive expiry or zero-TTL policy)
+    reclaimed: int = 0
+    #: fraction of provision boots served warm (idle revive or pool draw);
+    #: ``None`` when lifecycle is off
+    warm_hit_rate: Optional[float] = None
 
     @property
     def replica_seconds(self) -> float:
@@ -114,16 +155,29 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
                    service_pool: int = 20,
                    admission: Optional[AdmissionPolicy] = None,
                    deadline_ms: Optional[float] = None,
-                   brownout: Optional[BrownoutConfig] = None
+                   brownout: Optional[BrownoutConfig] = None,
+                   lifecycle: Optional[LifecycleConfig] = None
                    ) -> AutoscaleResult:
     """Replay an arrival trace against an autoscaled replica set.
 
     With every overload knob left at ``None`` the replay is bit-identical
     to the pre-overload control plane (no extra RNG draws or events).
+
+    ``lifecycle`` replaces instant scale-down teardown with idle decay
+    (scaled-down replicas stay revivable for the keep-alive policy's
+    window), lets provisioning draw from a prewarm pool or restore from a
+    snapshot before paying a cold boot, and records every provision boot's
+    tier in ``AutoscaleResult.boot_timeline``.  ``None`` keeps the legacy
+    provision path untouched.
     """
     config = config or AutoscalerConfig()
     if not arrivals:
         raise CapacityError("empty arrival trace")
+    # satellite of the lifecycle work: the provision delay resolves from the
+    # *platform's* calibration unless explicitly overridden
+    provision_delay = (config.provision_delay_ms
+                       if config.provision_delay_ms is not None
+                       else platform.cal.sandbox_cold_start_ms)
     # per-request service times from the request-level simulator
     samples = [platform.run(workflow, seed=seed + i,
                             jitter_sigma=jitter_sigma).latency_ms
@@ -147,6 +201,63 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
     #: brownout level (0 = nominal); service draws stretch while degraded
     level = [0]
 
+    # -- lifecycle state (all dormant when ``lifecycle`` is None) -------------
+    lc_key = (platform.name, workflow.name)
+    lc_pool: Optional[PrewarmPool] = None
+    if lifecycle is not None and lifecycle.prewarm_target > 0:
+        lc_pool = PrewarmPool()
+        lc_pool.configure(lc_key, target=lifecycle.prewarm_target,
+                          respawn_ms=provision_delay,
+                          memory_mb=platform.memory_mb(workflow))
+    lc_idle: list[SandboxRecord] = []     # scaled-down replicas kept warm
+    lc_has_snapshot = [False]
+    lc_boots: dict[str, int] = {}
+    boot_timeline: list[tuple[float, str]] = []
+    lc_reclaimed = [0]
+    lc_last_arrival: list[Optional[float]] = [None]
+    wanted = [config.min_replicas]        # replicas the controller wants
+    provisioning = [0]                    # replica boots in flight
+
+    def lc_sweep(now: float) -> None:
+        """Tear down idle replicas whose keep-alive window closed."""
+        for rec in lc_idle:
+            if rec.expired_at(now):
+                rec.to_reclaimed(rec.idle_expires_ms)
+                lc_reclaimed[0] += 1
+        lc_idle[:] = [r for r in lc_idle
+                      if r.state is not SandboxState.RECLAIMED]
+
+    def lc_acquire(now: float) -> tuple[str, float]:
+        """Cheapest boot tier for one new replica and its delay."""
+        lc_sweep(now)
+        for rec in lc_idle:
+            if rec.idle_at(now):
+                lc_idle.remove(rec)
+                return "warm", 0.0
+        if lc_pool is not None and lc_pool.draw(lc_key, now):
+            return "pool", 0.0
+        if lifecycle.snapshots and lc_has_snapshot[0]:
+            return ("snapshot",
+                    provision_delay * platform.cal.snapshot_restore_fraction)
+        if lifecycle.snapshots:
+            lc_has_snapshot[0] = True
+            return "cold", provision_delay + platform.cal.snapshot_create_ms
+        return "cold", provision_delay
+
+    def lc_park(now: float, count: int) -> None:
+        """Scale-down epilogue: keep ``count`` replicas revivable (or tear
+        them down on the spot when the keep-alive window is zero)."""
+        keepalive = lifecycle.policy.keepalive_ms(lc_key)
+        for _ in range(count):
+            if keepalive > 0:
+                rec = SandboxRecord(key=lc_key, name="replica",
+                                    memory_mb=platform.memory_mb(workflow),
+                                    state=SandboxState.WARM, since_ms=now)
+                rec.to_idle(now, now + keepalive)
+                lc_idle.append(rec)
+            else:
+                lc_reclaimed[0] += 1
+
     def finish_one():
         remaining[0] -= 1
         if remaining[0] == 0:
@@ -154,6 +265,12 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
 
     def request(env):
         arrived = env.now
+        if lifecycle is not None:
+            # arrivals feed the keep-alive policy's inter-arrival histogram
+            if lc_last_arrival[0] is not None:
+                lifecycle.policy.observe(lc_key,
+                                         arrived - lc_last_arrival[0])
+            lc_last_arrival[0] = arrived
         if controller_adm is not None:
             if controller_adm.admit() is not AdmissionOutcome.ADMITTED:
                 finish_one()  # shed/rejected arrivals still count down
@@ -185,10 +302,29 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
             env.process(request(env))
 
     def provision(env, new_capacity):
-        yield env.timeout(config.provision_delay_ms)
+        yield env.timeout(provision_delay)
         # only grow if nobody decided a smaller size meanwhile
         if new_capacity > servers.capacity:
             servers.set_capacity(new_capacity)
+
+    def provision_replica(env):
+        """Boot ONE replica through the lifecycle tiers (lifecycle mode)."""
+        tier, delay = lc_acquire(env.now)
+        lc_boots[tier] = lc_boots.get(tier, 0) + 1
+        boot_timeline.append((env.now, tier))
+        try:
+            if delay > 0:
+                yield env.timeout(delay)
+            else:
+                yield env.timeout(0.0)
+            if servers.capacity < wanted[0]:
+                servers.set_capacity(servers.capacity + 1)
+            else:
+                # the controller shrank its mind mid-boot: the replica is
+                # up but unneeded, so it parks idle like a scale-down
+                lc_park(env.now, 1)
+        finally:
+            provisioning[0] -= 1
 
     def effective_max() -> int:
         if level[0] > 0:
@@ -217,6 +353,11 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
                             servers.set_capacity(effective_max())
                             timeline.append((env.now, servers.capacity))
                             brownout_timeline.append((env.now, 1))
+                            if lifecycle is not None and lc_pool is not None:
+                                # warm slots are the most discretionary
+                                # memory on the node: shrink the pool
+                                lc_pool.shrink(
+                                    lifecycle.pool_brownout_factor)
                     else:
                         hot = 0
                 else:
@@ -228,6 +369,8 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
                             servers.set_capacity(config.max_replicas)
                             timeline.append((env.now, servers.capacity))
                             brownout_timeline.append((env.now, 0))
+                            if lifecycle is not None and lc_pool is not None:
+                                lc_pool.restore()
                     else:
                         calm = 0
                 if level[0] > 0:
@@ -236,7 +379,19 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
                                   / config.target_inflight_per_replica))
             desired = max(config.min_replicas,
                           min(config.max_replicas, desired))
-            if desired > servers.capacity:
+            if lifecycle is not None:
+                wanted[0] = desired
+                deficit = desired - servers.capacity - provisioning[0]
+                if deficit > 0:
+                    for _ in range(deficit):
+                        provisioning[0] += 1
+                        env.process(provision_replica(env))
+                    timeline.append((env.now, desired))
+                elif desired < servers.capacity:
+                    lc_park(env.now, servers.capacity - desired)
+                    servers.set_capacity(desired)
+                    timeline.append((env.now, desired))
+            elif desired > servers.capacity:
                 env.process(provision(env, desired))
                 timeline.append((env.now, desired))
             elif desired < servers.capacity:
@@ -252,6 +407,11 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
     area = sum((t1 - t0) * r for (t0, r), (t1, _r) in zip(points, points[1:]))
     met = (sum(1 for s in sojourns if s <= deadline_ms)
            if deadline_ms is not None else None)
+    warm_hit: Optional[float] = None
+    if lifecycle is not None:
+        total_boots = sum(lc_boots.values())
+        hits = lc_boots.get("warm", 0) + lc_boots.get("pool", 0)
+        warm_hit = hits / total_boots if total_boots else 0.0
     return AutoscaleResult(
         completed=len(sojourns), duration_ms=duration,
         sojourn=summarize_latencies(sojourns, allow_empty=True),
@@ -261,4 +421,6 @@ def run_autoscaled(platform: Platform, workflow: Workflow, *,
         brownout_timeline=brownout_timeline,
         shed=controller_adm.shed if controller_adm is not None else 0,
         rejected=controller_adm.rejected if controller_adm is not None else 0,
-        expired=expired[0], met_deadline=met, deadline_ms=deadline_ms)
+        expired=expired[0], met_deadline=met, deadline_ms=deadline_ms,
+        boot_timeline=boot_timeline, boots=dict(sorted(lc_boots.items())),
+        reclaimed=lc_reclaimed[0], warm_hit_rate=warm_hit)

@@ -47,6 +47,16 @@ class ClusterDeployment:
 
     def scale_max(self) -> "ClusterDeployment":
         """Place instances until the cluster refuses another one."""
+        footprints = self.platform.footprints(self.workflow)
+        cores = self.platform.per_sandbox_cores(self.workflow)
+        if not footprints or (sum(cores) <= 0 and all(
+                sandbox_memory_mb(fp, self.platform.cal) <= 0
+                for fp in footprints)):
+            # a zero-footprint instance would place forever: the cluster
+            # never refuses something that costs nothing
+            raise CapacityError(
+                f"{self.platform.name}/{self.workflow.name}: cannot "
+                f"scale_max a deployment with no CPU or memory footprint")
         while True:
             try:
                 self.instances.append(self._place_one(self.count))

@@ -44,6 +44,11 @@ class Deployment:
     fault_plan: Optional["FaultPlan"] = None
     #: fault-adjusted tail estimate for ``plan`` (None when fault-free)
     fault_adjusted_p99_ms: Optional[float] = None
+    #: boot tier the deployment was planned against (None = warm-only SLO)
+    boot_tier: Optional[str] = None
+    #: predicted first-invocation latency including the boot-tier penalty
+    #: (None when no boot tier was planned for)
+    first_invocation_ms: Optional[float] = None
 
     @property
     def predicted_latency_ms(self) -> Optional[float]:
@@ -77,7 +82,8 @@ class ChironManager:
     def deploy(self, workflow: Workflow, slo_ms: float, *,
                generate_code: bool = True, tracer=None,
                fault_plan: Optional[FaultPlan] = None,
-               retry: Optional[RetryPolicy] = None) -> Deployment:
+               retry: Optional[RetryPolicy] = None,
+               boot_tier=None) -> Deployment:
         """Run the full pipeline for one workflow.
 
         ``tracer`` (a :class:`repro.obs.Tracer`) records each pipeline phase
@@ -88,6 +94,13 @@ class ChironManager:
         fault-adjusted p99 estimate of PGP's plan exceeds the SLO, the
         manager gracefully degrades to smaller wraps (smaller blast radius
         at the cost of more sandboxes) until the estimate fits.
+
+        ``boot_tier`` (a :class:`repro.lifecycle.BootTier`) makes the SLO
+        cover the *first* invocation: PGP re-plans against the SLO minus
+        the plan's boot-wave penalty, iterating because tighter warm
+        budgets can change the wrap structure and thus the penalty itself.
+        The returned deployment records the tier and the predicted
+        first-invocation latency.
         """
         if tracer is None:
             from repro.obs.tracer import NULL_TRACER
@@ -99,6 +112,12 @@ class ChironManager:
         with tracer.span("manager.schedule", entity="manager",
                          slo_ms=slo_ms):
             plan = self.scheduler.schedule(profiled, slo_ms)
+        first_invocation_ms = None
+        if boot_tier is not None:
+            with tracer.span("manager.boot_budget", entity="manager",
+                             tier=getattr(boot_tier, "value", boot_tier)):
+                plan, first_invocation_ms = self._plan_with_boot_budget(
+                    profiled, plan, slo_ms, boot_tier)
         adjusted_p99 = None
         if fault_plan is not None and not fault_plan.is_null:
             # local import: repro.faults.__init__ pulls in reliability, which
@@ -121,7 +140,39 @@ class ChironManager:
                           profiles=profiles, plan=plan,
                           orchestrator_sources=sources,
                           fault_plan=fault_plan,
-                          fault_adjusted_p99_ms=adjusted_p99)
+                          fault_adjusted_p99_ms=adjusted_p99,
+                          boot_tier=(getattr(boot_tier, "value", boot_tier)
+                                     if boot_tier is not None else None),
+                          first_invocation_ms=first_invocation_ms)
+
+    def _plan_with_boot_budget(self, profiled: Workflow,
+                               plan: DeploymentPlan, slo_ms: float,
+                               boot_tier) -> tuple[DeploymentPlan, float]:
+        """Re-schedule so warm latency + boot penalty fits the SLO.
+
+        At most three iterations: the penalty depends on the plan's boot
+        waves, and a tighter warm budget can merge or split wraps, but the
+        wave count moves monotonically toward a fixed point in practice —
+        if the budget itself would go non-positive, the boot penalty alone
+        exceeds the SLO and the last plan is returned as best effort.
+        """
+        predictor = self.predictor
+        best_first = predictor.predict_first_invocation(profiled, plan,
+                                                        tier=boot_tier)
+        for _ in range(3):
+            if best_first <= slo_ms:
+                break
+            penalty = predictor.boot_penalty_ms(plan, profiled, boot_tier)
+            warm_budget = slo_ms - penalty
+            if warm_budget <= 0:
+                break
+            replanned = self.scheduler.schedule(profiled, warm_budget)
+            first = predictor.predict_first_invocation(profiled, replanned,
+                                                       tier=boot_tier)
+            if first >= best_first:
+                break
+            plan, best_first = replanned, first
+        return plan, best_first
 
     def plan(self, workflow: Workflow, slo_ms: float, *,
              fault_plan: Optional[FaultPlan] = None,

@@ -770,3 +770,49 @@ class LatencyPredictor:
             total += self.predict_stage(plan, workflow, i, trace=trace,
                                         t0=total)
         return total * self.conservatism
+
+    # ------------------------------------------------------------------
+    # Cold-start-aware first-invocation prediction
+    # ------------------------------------------------------------------
+    def boot_waves(self, plan: DeploymentPlan, workflow: Workflow) -> int:
+        """How many boot latencies a first invocation serializes.
+
+        Chiron wraps boot lazily: a wrap starts its sandbox when its first
+        stage begins, and sibling wraps of one stage boot *concurrently* —
+        so the request pays one boot cost per distinct first-stage wave,
+        not one per sandbox.
+        """
+        seen: set[str] = set()
+        waves = 0
+        for i in range(len(workflow.stages)):
+            fresh = [wrap for wrap, _sa in plan.stage_wraps(i)
+                     if wrap.name not in seen]
+            if fresh:
+                waves += 1
+                seen.update(wrap.name for wrap in fresh)
+        return waves
+
+    def boot_penalty_ms(self, plan: DeploymentPlan, workflow: Workflow,
+                        tier=None, *,
+                        creating_snapshot: bool = False) -> float:
+        """Added first-invocation latency when sandboxes boot via ``tier``
+        (a :class:`repro.lifecycle.BootTier`; default cold).  Zero for
+        warm/pool tiers — the waves cost nothing."""
+        from repro.lifecycle.policy import BootTier, boot_cost_ms
+
+        tier = BootTier.COLD if tier is None else tier
+        per_wave = boot_cost_ms(tier, self.cal,
+                                creating_snapshot=creating_snapshot)
+        if per_wave <= 0.0:
+            return 0.0
+        return self.boot_waves(plan, workflow) * per_wave
+
+    def predict_first_invocation(self, workflow: Workflow,
+                                 plan: DeploymentPlan, *, tier=None,
+                                 creating_snapshot: bool = False) -> float:
+        """Eq. (1) plus the boot-tier penalty: what the *first* request of
+        a fresh deployment experiences, so PGP can plan against an SLO
+        that includes cold start."""
+        return (self.predict_workflow(workflow, plan)
+                + self.boot_penalty_ms(plan, workflow, tier,
+                                       creating_snapshot=creating_snapshot))

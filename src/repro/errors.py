@@ -54,6 +54,11 @@ class RetryExhausted(FaultError):
     """A recovery driver gave up: every allowed attempt of a unit failed."""
 
 
+class LifecycleError(ReproError):
+    """A sandbox lifecycle state machine was driven through an invalid
+    transition (e.g. reviving a reclaimed sandbox) or misconfigured."""
+
+
 class OverloadError(ReproError):
     """The overload control plane refused, shed, or cancelled work."""
 

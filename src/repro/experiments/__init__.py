@@ -20,6 +20,7 @@ from repro.experiments.common import (
 # importing the modules registers their experiments
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablations,
+    coldstart,
     fault_blast_radius,
     fig03_scheduling,
     fig04_transfer,

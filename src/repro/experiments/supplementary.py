@@ -1,6 +1,6 @@
 """Supplementary experiments beyond the paper's figures.
 
-* ``coldstart`` — cold vs warm first-request latency per deployment model:
+* ``coldstart-cascade`` — cold vs warm first-request latency per model:
   the one-to-one model pays one container boot per function sandbox, while
   many-to-one and m-to-n amortize boots over wraps (§1's motivation; the
   paper evaluates warm-only, this quantifies what pre-warming hides);
@@ -27,11 +27,11 @@ from repro.platforms import (
 )
 
 
-@register("coldstart")
+@register("coldstart-cascade")
 def run_coldstart(quick: bool = False) -> ExperimentResult:
     cal = RuntimeCalibration.native()
     result = ExperimentResult(
-        experiment="coldstart",
+        experiment="coldstart-cascade",
         title="Supplementary: cold vs warm first-request latency",
         columns=["workload", "system", "warm_ms", "cold_ms", "penalty_ms",
                  "sandboxes"],

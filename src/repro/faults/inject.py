@@ -91,6 +91,26 @@ class FaultInjector:
             return None
         return float(self.rng.random()) * max(expected_ms, 0.0)
 
+    def draw_reclaim(self, entity: str, n_functions: int,
+                     expected_ms: float) -> Optional[float]:
+        """Mid-flight reclaim offset for one attempt of a unit, or ``None``.
+
+        The lifecycle memory-pressure reclaimer takes the serving sandbox at
+        a policy-driven instant, uniform over the attempt's expected
+        runtime.  Drawn per unit attempt (the sandbox exists once, however
+        many functions it bundles); units without a sandbox
+        (``n_functions == 0``) never draw.  Recording is deferred to when
+        the reclaim timer actually wins the race.
+        """
+        if self._scheduled_hit("sandbox.reclaim", entity):
+            return 0.5 * max(expected_ms, 0.0)
+        rate = self.plan.sandbox_reclaim_rate
+        if rate <= 0.0 or n_functions <= 0:
+            return None
+        if self.rng.random() >= rate:
+            return None
+        return float(self.rng.random()) * max(expected_ms, 0.0)
+
     def straggler_scale(self, entity: str) -> float:
         """Slowdown multiplier for one function execution (usually 1.0)."""
         if self._scheduled_hit("straggler", entity):

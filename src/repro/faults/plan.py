@@ -18,6 +18,7 @@ from repro.errors import SimulationError
 #: every mechanism an injector can fire (rates and one-shots both use these)
 MECHANISMS = (
     "sandbox.crash",    # a function takes its whole sandbox down
+    "sandbox.reclaim",  # the lifecycle reclaimer takes a serving sandbox
     "fork.fail",        # a fork syscall fails after paying its block time
     "rpc.drop",         # a gateway/dispatcher invocation never answers
     "storage.read",     # an object-store get errors after the base latency
@@ -58,6 +59,11 @@ class FaultPlan:
     * ``sandbox_crash_rate`` — per function execution; a hit kills the whole
       sandbox, so the co-location degree of the deployment model (1-to-1,
       wraps, many-to-1) sets the blast radius;
+    * ``sandbox_reclaim_rate`` — per unit attempt; the lifecycle
+      memory-pressure reclaimer takes the serving sandbox mid-flight.  A
+      recoverable condition, not a failing dependency: the replacement
+      boots through the lifecycle tiers and the sandbox.boot breaker is
+      never fed (excluded from :meth:`uniform` for the same reason);
     * ``fork_failure_rate`` — per fork syscall;
     * ``rpc_drop_rate`` — per gateway/ASF invocation (the caller burns
       ``rpc_timeout_ms`` waiting before giving up);
@@ -70,6 +76,7 @@ class FaultPlan:
 
     seed: int = 0
     sandbox_crash_rate: float = 0.0
+    sandbox_reclaim_rate: float = 0.0
     fork_failure_rate: float = 0.0
     rpc_drop_rate: float = 0.0
     storage_error_rate: float = 0.0
@@ -85,9 +92,10 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise SimulationError(f"fault seed must be >= 0, got {self.seed}")
-        for name in ("sandbox_crash_rate", "fork_failure_rate",
-                     "rpc_drop_rate", "storage_error_rate",
-                     "pool_worker_crash_rate", "straggler_rate"):
+        for name in ("sandbox_crash_rate", "sandbox_reclaim_rate",
+                     "fork_failure_rate", "rpc_drop_rate",
+                     "storage_error_rate", "pool_worker_crash_rate",
+                     "straggler_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise SimulationError(f"{name} must be in [0, 1], got {rate}")
@@ -102,6 +110,7 @@ class FaultPlan:
     # -- derived views --------------------------------------------------------
     _RATE_OF = {
         "sandbox.crash": "sandbox_crash_rate",
+        "sandbox.reclaim": "sandbox_reclaim_rate",
         "fork.fail": "fork_failure_rate",
         "rpc.drop": "rpc_drop_rate",
         "storage.read": "storage_error_rate",

@@ -48,7 +48,9 @@ def run_unit(env: Environment,
         start = env.now
         mechanism: Optional[str] = None
         crash_at = faults.draw_crash(entity, n_functions, expected_ms)
-        if crash_at is None and policy.attempt_timeout_ms is None:
+        reclaim_at = faults.draw_reclaim(entity, n_functions, expected_ms)
+        if (crash_at is None and reclaim_at is None
+                and policy.attempt_timeout_ms is None):
             # Nothing to race against: drive the attempt inline so its event
             # schedule is identical to an un-instrumented run.
             try:
@@ -70,6 +72,10 @@ def run_unit(env: Environment,
             crash_timer = env.timeout(crash_at) if crash_at is not None else None
             if crash_timer is not None:
                 racers.append(crash_timer)
+            reclaim_timer = (env.timeout(reclaim_at)
+                             if reclaim_at is not None else None)
+            if reclaim_timer is not None:
+                racers.append(reclaim_timer)
             deadline = (env.timeout(policy.attempt_timeout_ms)
                         if policy.attempt_timeout_ms is not None else None)
             if deadline is not None:
@@ -89,6 +95,11 @@ def run_unit(env: Environment,
                     # the crash timer won the race: the drawn crash is real
                     mechanism = "sandbox.crash"
                     faults.record_injected("sandbox.crash", entity)
+                elif reclaim_timer is not None and reclaim_timer.processed:
+                    # the reclaimer took the serving sandbox mid-flight; a
+                    # recoverable condition, so the breaker is not fed below
+                    mechanism = "sandbox.reclaim"
+                    faults.record_injected("sandbox.reclaim", entity)
                 else:
                     mechanism = "attempt.timeout"
                 # the abandoned body keeps running on the dead sandbox; its

@@ -1,0 +1,78 @@
+"""Sandbox lifecycle management: boot tiers, keep-alive, prewarm pools.
+
+The subsystem owns every sandbox's state machine (provisioning → warm →
+idle → reclaimed) and decides, per boot, which tier serves it:
+
+* :mod:`repro.lifecycle.policy` — :class:`BootTier` + boot-cost model, and
+  the keep-alive policies (:class:`FixedTTLPolicy`, the hybrid
+  usage-histogram :class:`HistogramPolicy`);
+* :mod:`repro.lifecycle.state` — :class:`SandboxRecord` state machine and
+  the coldest-first memory-pressure reclaimer;
+* :mod:`repro.lifecycle.pool` — :class:`PrewarmPool`, per-platform pools
+  of pre-booted sandboxes with async respawn and brownout shrink;
+* :mod:`repro.lifecycle.manager` — :class:`LifecycleManager` (lives across
+  requests) and :class:`LifecycleSession` (installed as ``env.lifecycle``,
+  consulted by ``Sandbox.boot``);
+* :mod:`repro.lifecycle.replay` — :func:`replay_keepalive`, the arrival
+  trace replay driving the ``coldstart`` experiment.
+
+Disabled (no manager installed) the subsystem costs one ``None`` attribute
+load per boot — runs are bit-identical to builds without this package.
+"""
+
+from repro.lifecycle.manager import LifecycleManager, LifecycleSession
+from repro.lifecycle.policy import (BootTier, FixedTTLPolicy,
+                                    HistogramPolicy, KeepAlivePolicy,
+                                    boot_cost_ms)
+from repro.lifecycle.pool import PrewarmPool
+from repro.lifecycle.replay import (ReplayResult, replay_keepalive,
+                                    sample_service_latencies)
+from repro.lifecycle.state import (SandboxRecord, SandboxState,
+                                   coldest_first, reclaim_coldest)
+
+#: typed event names the lifecycle subsystem adds to traces (pinned by the
+#: golden-trace schema, mirroring ``repro.faults.FAULT_EVENT_TYPES``);
+#: ``sandbox.reclaim`` is the mid-flight reclaim fault the injector raises
+LIFECYCLE_EVENT_TYPES = (
+    "lifecycle.boot",
+    "lifecycle.idle",
+    "lifecycle.reclaim",
+    "lifecycle.evict",
+    "lifecycle.prewarm.hit",
+    "lifecycle.snapshot.created",
+    "sandbox.reclaim",
+)
+
+#: every counter the lifecycle subsystem increments (also schema-pinned)
+LIFECYCLE_COUNTERS = (
+    "lifecycle.boots.cold",
+    "lifecycle.boots.snapshot",
+    "lifecycle.boots.pool",
+    "lifecycle.boots.warm",
+    "lifecycle.boot_ms",
+    "lifecycle.snapshot.created",
+    "lifecycle.reclaimed",
+    "lifecycle.evicted",
+    "lifecycle.keepalive.expired",
+    "lifecycle.prewarm.spawned",
+)
+
+__all__ = [
+    "BootTier",
+    "FixedTTLPolicy",
+    "HistogramPolicy",
+    "KeepAlivePolicy",
+    "LIFECYCLE_COUNTERS",
+    "LIFECYCLE_EVENT_TYPES",
+    "LifecycleManager",
+    "LifecycleSession",
+    "PrewarmPool",
+    "ReplayResult",
+    "SandboxRecord",
+    "SandboxState",
+    "boot_cost_ms",
+    "coldest_first",
+    "reclaim_coldest",
+    "replay_keepalive",
+    "sample_service_latencies",
+]

@@ -1,0 +1,310 @@
+"""The lifecycle manager: one object owning every sandbox's state machine.
+
+A :class:`LifecycleManager` lives across requests (typically one per
+experiment arm or autoscaled deployment).  Each arrival calls
+:meth:`LifecycleManager.request`, which observes the inter-arrival gap for
+the keep-alive policy, sweeps expired keep-alives, and hands back a
+:class:`LifecycleSession` — the per-request view that platforms install as
+``env.lifecycle``.  Sandbox boots then route through
+:meth:`LifecycleSession.acquire`, which answers the cheapest available
+tier::
+
+    idle (same name) ▶ idle (same key) ▶ prewarm pool ▶ snapshot ▶ cold
+
+When the request completes, :meth:`LifecycleSession.finish` parks every
+acquired sandbox as idle for the policy's keep-alive window (a zero window
+reclaims immediately — the always-cold strawman) and the memory-pressure
+reclaimer trims the idle set back under the configured budget,
+coldest-first.
+
+The whole subsystem follows the ``env.faults`` zero-overhead contract: with
+no manager installed, ``env.lifecycle`` stays ``None`` and every run is
+bit-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import LifecycleError
+from repro.lifecycle.policy import (BootTier, KeepAlivePolicy, LifecycleKey,
+                                    boot_cost_ms)
+from repro.lifecycle.pool import PrewarmPool
+from repro.lifecycle.state import (SandboxRecord, SandboxState,
+                                   reclaim_coldest)
+from repro.simcore.monitor import TraceRecorder
+
+
+class LifecycleManager:
+    """Owns sandbox records, the keep-alive policy and the prewarm pools."""
+
+    def __init__(self, policy: KeepAlivePolicy, *, snapshots: bool = True,
+                 pool: Optional[PrewarmPool] = None,
+                 memory_budget_mb: Optional[float] = None,
+                 default_memory_mb: float = 0.0) -> None:
+        if memory_budget_mb is not None and memory_budget_mb < 0:
+            raise LifecycleError(
+                f"memory budget must be >= 0, got {memory_budget_mb}")
+        self.policy = policy
+        self.snapshots = snapshots
+        self.pool = pool
+        self.memory_budget_mb = memory_budget_mb
+        self.default_memory_mb = default_memory_mb
+        self._records: Dict[LifecycleKey, List[SandboxRecord]] = {}
+        self._snapshot_keys: Set[LifecycleKey] = set()
+        self._last_arrival: Dict[LifecycleKey, float] = {}
+        self.counts: Dict[str, float] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+    def _bump(self, counter: str, amount: float = 1.0) -> None:
+        self.counts[counter] = self.counts.get(counter, 0.0) + amount
+
+    # -- pools -----------------------------------------------------------------
+    def configure_pool(self, key: LifecycleKey, *, target: int,
+                       respawn_ms: float, memory_mb: float = 0.0) -> None:
+        """Provision a prewarm pool for ``key`` (deploy-time boots)."""
+        if self.pool is None:
+            self.pool = PrewarmPool()
+        self.pool.configure(key, target=target, respawn_ms=respawn_ms,
+                            memory_mb=memory_mb)
+        self._bump("lifecycle.prewarm.spawned", target)
+
+    def shrink_pools(self, factor: float) -> None:
+        """Brownout lever: cap every prewarm pool at ``factor`` of target."""
+        if self.pool is not None:
+            self.pool.shrink(factor)
+
+    def restore_pools(self) -> None:
+        if self.pool is not None:
+            self.pool.restore()
+
+    # -- the request entry point ----------------------------------------------
+    def request(self, key: LifecycleKey, at_ms: float,
+                trace: Optional[TraceRecorder] = None) -> "LifecycleSession":
+        """One arrival for ``key``: feed the policy, sweep expiries, and
+        return the per-request session to install as ``env.lifecycle``."""
+        last = self._last_arrival.get(key)
+        if last is not None:
+            gap = at_ms - last
+            if gap < 0:
+                raise LifecycleError(
+                    f"arrivals for {key!r} went backwards "
+                    f"({at_ms} after {last})")
+            self.policy.observe(key, gap)
+        self._last_arrival[key] = at_ms
+        self._sweep(at_ms, trace)
+        return LifecycleSession(self, key, at_ms, trace)
+
+    def _sweep(self, now_ms: float, trace: Optional[TraceRecorder]) -> None:
+        """Reclaim every idle sandbox whose keep-alive window has closed."""
+        for records in self._records.values():
+            for rec in records:
+                if rec.expired_at(now_ms):
+                    rec.to_reclaimed(rec.idle_expires_ms)
+                    self._bump("lifecycle.keepalive.expired")
+                    self._bump("lifecycle.reclaimed")
+                    if trace is not None and trace.detail:
+                        trace.event("lifecycle.reclaim", entity=rec.name,
+                                    ts_ms=rec.idle_expires_ms,
+                                    reason="keepalive")
+                        trace.metrics.inc("lifecycle.reclaimed")
+
+    def _enforce_budget(self, now_ms: float,
+                        trace: Optional[TraceRecorder]) -> None:
+        """Trim the idle set back under the memory budget, coldest-first.
+
+        The budget caps *idle retention* only: boots are always allowed, so
+        pressure never blocks a request — it just shortens how long finished
+        sandboxes stay revivable.
+        """
+        if self.memory_budget_mb is None:
+            return
+        everything = [r for recs in self._records.values() for r in recs]
+        evicted = reclaim_coldest(everything, needed_mb=0.0, now_ms=now_ms,
+                                  budget_mb=self.memory_budget_mb)
+        for rec in evicted:
+            self._bump("lifecycle.evicted")
+            self._bump("lifecycle.reclaimed")
+            if trace is not None and trace.detail:
+                trace.event("lifecycle.evict", entity=rec.name,
+                            ts_ms=now_ms, reason="memory")
+                trace.metrics.inc("lifecycle.evicted")
+                trace.metrics.inc("lifecycle.reclaimed")
+
+    # -- queries ---------------------------------------------------------------
+    def idle_memory_mb(self, now_ms: float) -> float:
+        """Footprint of every sandbox currently kept alive (idle)."""
+        return sum(r.memory_mb
+                   for recs in self._records.values() for r in recs
+                   if r.idle_at(now_ms))
+
+    def records(self, key: LifecycleKey) -> List[SandboxRecord]:
+        return list(self._records.get(key, ()))
+
+    def has_snapshot(self, key: LifecycleKey) -> bool:
+        return key in self._snapshot_keys
+
+    def warm_hit_rate(self) -> float:
+        """Fraction of boots served without paying any start latency."""
+        warm = (self.counts.get("lifecycle.boots.warm", 0.0)
+                + self.counts.get("lifecycle.boots.pool", 0.0))
+        total = warm + self.counts.get("lifecycle.boots.cold", 0.0) \
+            + self.counts.get("lifecycle.boots.snapshot", 0.0)
+        return warm / total if total else 0.0
+
+    def summary(self) -> dict:
+        """JSON-friendly ledger across every request this manager served."""
+        out = dict(sorted(self.counts.items()))
+        out["warm_hit_rate"] = self.warm_hit_rate()
+        out["policy"] = self.policy.name
+        if self.pool is not None:
+            out["pools"] = self.pool.stats()
+        return out
+
+
+class LifecycleSession:
+    """One request's view of the lifecycle manager (``env.lifecycle``).
+
+    Platforms create it via :meth:`LifecycleManager.request` and install it
+    on the simulation environment; :meth:`repro.runtime.sandbox.Sandbox.boot`
+    consults it for the boot tier and latency.  ``finish`` must be called
+    exactly once when the request's outcome is known.
+    """
+
+    def __init__(self, manager: LifecycleManager, key: LifecycleKey,
+                 at_ms: float, trace: Optional[TraceRecorder]) -> None:
+        self.manager = manager
+        self.key = key
+        self.at_ms = at_ms
+        self.trace = trace
+        self.acquired: List[SandboxRecord] = []
+        self.boots: Dict[str, int] = {}
+        self.boot_ms = 0.0
+        self._finished = False
+
+    # -- the boot path ---------------------------------------------------------
+    def acquire(self, name: str, cal: RuntimeCalibration,
+                memory_mb: Optional[float] = None
+                ) -> Tuple[BootTier, float]:
+        """Serve one sandbox boot from the cheapest available tier.
+
+        Returns the tier and the boot latency the caller must simulate
+        (the session does no waiting itself).
+        """
+        if self._finished:
+            raise LifecycleError(
+                f"session for {self.key!r} already finished")
+        mgr = self.manager
+        now = self.at_ms
+        mem = mgr.default_memory_mb if memory_mb is None else memory_mb
+        records = mgr._records.setdefault(self.key, [])
+
+        rec = self._revive(records, name, now)
+        if rec is not None:
+            tier, cost, creating = BootTier.WARM, 0.0, False
+        elif mgr.pool is not None and mgr.pool.draw(self.key, now):
+            tier, cost, creating = BootTier.POOL, 0.0, False
+            rec = self._new_record(records, name, mem)
+            if self.trace is not None and self.trace.detail:
+                self.trace.event("lifecycle.prewarm.hit", entity=name,
+                                 ts_ms=now)
+        elif mgr.snapshots and self.key in mgr._snapshot_keys:
+            tier = BootTier.SNAPSHOT
+            cost, creating = boot_cost_ms(tier, cal), False
+            rec = self._new_record(records, name, mem)
+        else:
+            tier = BootTier.COLD
+            creating = mgr.snapshots and self.key not in mgr._snapshot_keys
+            cost = boot_cost_ms(tier, cal, creating_snapshot=creating)
+            rec = self._new_record(records, name, mem)
+            if creating:
+                mgr._snapshot_keys.add(self.key)
+                mgr._bump("lifecycle.snapshot.created")
+                if self.trace is not None and self.trace.detail:
+                    self.trace.event("lifecycle.snapshot.created",
+                                     entity=name, ts_ms=now)
+                    self.trace.metrics.inc("lifecycle.snapshot.created")
+
+        rec.to_warm(now + cost, tier)
+        self.acquired.append(rec)
+        self.boots[tier.value] = self.boots.get(tier.value, 0) + 1
+        self.boot_ms += cost
+        mgr._bump(f"lifecycle.boots.{tier.value}")
+        mgr._bump("lifecycle.boot_ms", cost)
+        if self.trace is not None and self.trace.detail:
+            self.trace.event("lifecycle.boot", entity=name, ts_ms=now,
+                             tier=tier.value, cost_ms=cost)
+            self.trace.metrics.inc(f"lifecycle.boots.{tier.value}")
+            self.trace.metrics.inc("lifecycle.boot_ms", cost)
+        return tier, cost
+
+    def _revive(self, records: List[SandboxRecord], name: str,
+                now: float) -> Optional[SandboxRecord]:
+        """Cheapest tier: an idle sandbox of this key, same name first."""
+        match = None
+        for rec in records:
+            if rec.idle_at(now):
+                if rec.name == name:
+                    return rec
+                if match is None:
+                    match = rec
+        return match
+
+    def _new_record(self, records: List[SandboxRecord], name: str,
+                    mem: float) -> SandboxRecord:
+        rec = SandboxRecord(key=self.key, name=name, memory_mb=mem,
+                            state=SandboxState.PROVISIONING,
+                            since_ms=self.at_ms)
+        records.append(rec)
+        return rec
+
+    # -- the request epilogue --------------------------------------------------
+    def finish(self, at_ms: float) -> None:
+        """Park every acquired sandbox as idle (or reclaim it outright when
+        the policy's keep-alive window is zero) and enforce the budget."""
+        if self._finished:
+            return
+        self._finished = True
+        mgr = self.manager
+        keepalive = mgr.policy.keepalive_ms(self.key)
+        for rec in self.acquired:
+            if rec.state is not SandboxState.WARM:
+                continue  # a fault reclaimed it mid-flight
+            if keepalive <= 0:
+                rec.to_reclaimed(at_ms)
+                mgr._bump("lifecycle.reclaimed")
+                if self.trace is not None and self.trace.detail:
+                    self.trace.event("lifecycle.reclaim", entity=rec.name,
+                                     ts_ms=at_ms, reason="ttl0")
+                    self.trace.metrics.inc("lifecycle.reclaimed")
+            else:
+                rec.to_idle(at_ms, at_ms + keepalive)
+                if self.trace is not None and self.trace.detail:
+                    self.trace.event("lifecycle.idle", entity=rec.name,
+                                     ts_ms=at_ms,
+                                     expires_ms=at_ms + keepalive)
+        mgr._enforce_budget(at_ms, self.trace)
+
+    def reclaim_in_flight(self, name: str, at_ms: float) -> None:
+        """The fault injector took a serving sandbox (``sandbox.reclaim``).
+
+        The record leaves WARM for RECLAIMED so ``finish`` will not park it
+        idle; the recovery driver then boots a replacement through
+        :meth:`acquire` like any other boot.
+        """
+        for rec in reversed(self.acquired):
+            if rec.name == name and rec.state is SandboxState.WARM:
+                rec.to_reclaimed(at_ms)
+                self.manager._bump("lifecycle.reclaimed")
+                if self.trace is not None and self.trace.detail:
+                    self.trace.event("lifecycle.reclaim", entity=name,
+                                     ts_ms=at_ms, reason="fault")
+                    self.trace.metrics.inc("lifecycle.reclaimed")
+                return
+
+    def summary(self) -> dict:
+        """Per-request ledger attached to ``RequestResult.lifecycle``."""
+        return {"boots": dict(sorted(self.boots.items())),
+                "boot_ms": self.boot_ms,
+                "policy": self.manager.policy.name}

@@ -1,0 +1,217 @@
+"""Boot tiers and keep-alive policies.
+
+The warm/cold boundary is where serverless latency is won: a sandbox boot
+can be served from three tiers —
+
+* **cold** — the full container start (``sandbox_cold_start_ms``);
+* **snapshot** — restoring a checkpointed image, a calibrated fraction of
+  the cold cost, available once a first cold boot has paid the one-time
+  snapshot-creation charge;
+* **warm** — reviving an idle-but-kept-alive sandbox, effectively free
+  (``pool`` is the same tier served from a *prewarm pool* sized ahead of
+  demand rather than from this workload's own idle set).
+
+How long a sandbox stays revivable is the keep-alive policy's call.
+:class:`FixedTTLPolicy` is the industry default (a flat idle window;
+``ttl_ms=0`` is the always-cold strawman).  :class:`HistogramPolicy` is the
+hybrid usage-histogram policy: it tracks inter-arrival gaps per
+(platform, workflow) key and picks the keep-alive window from a high
+percentile of the observed gaps — short windows for chatty workloads, long
+ones for sparse-but-regular ones, a conservative cap when arrivals are so
+irregular the histogram has no signal.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import enum
+import math
+from typing import Dict, Hashable, Optional
+
+from repro.calibration import RuntimeCalibration
+from repro.errors import LifecycleError
+
+#: keys are opaque to policies; platforms use (platform_name, workflow_name)
+LifecycleKey = Hashable
+
+
+class BootTier(str, enum.Enum):
+    """How a sandbox boot was served, cheapest tier last."""
+
+    COLD = "cold"
+    SNAPSHOT = "snapshot"
+    POOL = "pool"
+    WARM = "warm"
+
+
+def boot_cost_ms(tier: BootTier, cal: RuntimeCalibration, *,
+                 creating_snapshot: bool = False) -> float:
+    """Boot latency of ``tier`` under ``cal``.
+
+    ``creating_snapshot`` adds the one-time image-creation charge to a cold
+    boot (the first cold boot of a key when snapshotting is enabled).
+    """
+    if tier is BootTier.COLD:
+        cost = cal.sandbox_cold_start_ms
+        if creating_snapshot:
+            cost += cal.snapshot_create_ms
+        return cost
+    if tier is BootTier.SNAPSHOT:
+        return cal.sandbox_cold_start_ms * cal.snapshot_restore_fraction
+    return 0.0  # WARM / POOL: the sandbox is already up
+
+
+class KeepAlivePolicy(abc.ABC):
+    """Decides how long an idle sandbox stays revivable."""
+
+    #: short identifier used in experiment tables / JSON reports
+    name: str = "abstract"
+
+    def observe(self, key: LifecycleKey, gap_ms: float) -> None:
+        """Record one inter-arrival gap for ``key`` (default: stateless)."""
+
+    @abc.abstractmethod
+    def keepalive_ms(self, key: LifecycleKey) -> float:
+        """Idle window before a warm sandbox of ``key`` is reclaimed."""
+
+    def prewarm_ms(self, key: LifecycleKey) -> float:
+        """How far ahead of the next expected arrival to prewarm (0 = no
+        prediction; prewarm pools then rely on their static target size)."""
+        return 0.0
+
+
+class FixedTTLPolicy(KeepAlivePolicy):
+    """A flat keep-alive window; ``ttl_ms=0`` models always-cold."""
+
+    def __init__(self, ttl_ms: float) -> None:
+        if ttl_ms < 0 or not math.isfinite(ttl_ms):
+            raise LifecycleError(f"keep-alive TTL must be finite and >= 0, "
+                                 f"got {ttl_ms}")
+        self.ttl_ms = float(ttl_ms)
+        self.name = f"ttl-{ttl_ms:g}ms"
+
+    def keepalive_ms(self, key: LifecycleKey) -> float:
+        return self.ttl_ms
+
+
+class _GapHistogram:
+    """Fixed-boundary histogram of inter-arrival gaps for one key."""
+
+    __slots__ = ("counts", "over", "total")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.over = 0      # gaps beyond the tracked range
+        self.total = 0
+
+    def add(self, bucket: Optional[int]) -> None:
+        self.total += 1
+        if bucket is None:
+            self.over += 1
+        else:
+            self.counts[bucket] += 1
+
+    def percentile_bucket(self, q: float) -> Optional[int]:
+        """Index of the bucket holding the ``q`` quantile (None = above the
+        tracked range)."""
+        target = q * self.total
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= target - 1e-12:
+                return i
+        return None
+
+
+class HistogramPolicy(KeepAlivePolicy):
+    """The hybrid usage-histogram keep-alive policy.
+
+    Per key, inter-arrival gaps land in ``bucket_ms``-wide buckets up to
+    ``max_track_ms``.  The keep-alive window is ``margin`` times the
+    ``keepalive_quantile`` of the observed gaps — long enough that almost
+    every observed gap would have been survived warm.  Until
+    ``min_observations`` gaps have been seen the policy answers
+    ``default_ttl_ms``; when more than ``oob_threshold`` of the gaps fall
+    beyond the tracked range the pattern has no usable periodicity and the
+    policy caps out at ``max_track_ms`` (keep warm as long as we are
+    willing to track).  ``prewarm_ms`` answers the low quantile: the
+    earliest a next arrival plausibly lands, which prewarm pools use as
+    their lead time.
+    """
+
+    def __init__(self, *, bucket_ms: float = 1000.0,
+                 max_track_ms: float = 120_000.0,
+                 keepalive_quantile: float = 0.99,
+                 prewarm_quantile: float = 0.05,
+                 margin: float = 1.2,
+                 min_observations: int = 8,
+                 default_ttl_ms: float = 60_000.0,
+                 oob_threshold: float = 0.5) -> None:
+        if bucket_ms <= 0 or max_track_ms <= bucket_ms:
+            raise LifecycleError(
+                f"need 0 < bucket_ms < max_track_ms, got "
+                f"{bucket_ms}/{max_track_ms}")
+        if not 0.0 < prewarm_quantile < keepalive_quantile <= 1.0:
+            raise LifecycleError(
+                f"need 0 < prewarm_quantile < keepalive_quantile <= 1, got "
+                f"{prewarm_quantile}/{keepalive_quantile}")
+        if margin < 1.0 or min_observations < 1:
+            raise LifecycleError(
+                f"need margin >= 1 and min_observations >= 1, got "
+                f"{margin}/{min_observations}")
+        if not 0.0 < oob_threshold <= 1.0 or default_ttl_ms < 0:
+            raise LifecycleError(
+                f"need 0 < oob_threshold <= 1 and default_ttl_ms >= 0, got "
+                f"{oob_threshold}/{default_ttl_ms}")
+        self.bucket_ms = float(bucket_ms)
+        self.max_track_ms = float(max_track_ms)
+        self.keepalive_quantile = keepalive_quantile
+        self.prewarm_quantile = prewarm_quantile
+        self.margin = margin
+        self.min_observations = min_observations
+        self.default_ttl_ms = float(default_ttl_ms)
+        self.oob_threshold = oob_threshold
+        self.n_buckets = int(math.ceil(self.max_track_ms / self.bucket_ms))
+        self._bounds = [self.bucket_ms * (i + 1)
+                        for i in range(self.n_buckets)]
+        self._histograms: Dict[LifecycleKey, _GapHistogram] = {}
+        self.name = "hybrid"
+
+    def observe(self, key: LifecycleKey, gap_ms: float) -> None:
+        if gap_ms < 0:
+            raise LifecycleError(f"negative inter-arrival gap {gap_ms}")
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = _GapHistogram(self.n_buckets)
+        if gap_ms >= self.max_track_ms:
+            hist.add(None)
+        else:
+            hist.add(bisect.bisect_left(self._bounds, gap_ms))
+
+    def observations(self, key: LifecycleKey) -> int:
+        hist = self._histograms.get(key)
+        return hist.total if hist is not None else 0
+
+    def keepalive_ms(self, key: LifecycleKey) -> float:
+        hist = self._histograms.get(key)
+        if hist is None or hist.total < self.min_observations:
+            return self.default_ttl_ms
+        if hist.over / hist.total > self.oob_threshold:
+            return self.max_track_ms  # no periodicity signal: cap out
+        bucket = hist.percentile_bucket(self.keepalive_quantile)
+        if bucket is None:
+            return self.max_track_ms
+        # upper edge of the quantile bucket, stretched by the margin
+        return min(self._bounds[bucket] * self.margin, self.max_track_ms)
+
+    def prewarm_ms(self, key: LifecycleKey) -> float:
+        hist = self._histograms.get(key)
+        if hist is None or hist.total < self.min_observations:
+            return 0.0
+        bucket = hist.percentile_bucket(self.prewarm_quantile)
+        if bucket is None:
+            return 0.0
+        # lower edge of the quantile bucket: arrivals almost never come
+        # sooner, so prewarming then wastes the least warm time
+        return self._bounds[bucket] - self.bucket_ms

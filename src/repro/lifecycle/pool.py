@@ -1,0 +1,124 @@
+"""Prewarm pools: sandboxes booted ahead of demand, sized per platform.
+
+A pool holds fully-booted sandboxes for a (platform, workflow) key so a
+scale-up (or a burst's first request) draws warm capacity instead of paying
+a boot.  Every draw triggers an asynchronous respawn — the replacement
+becomes drawable ``respawn_ms`` later — so the pool converges back to its
+target between bursts.  Sizing is per key: Chiron's small-footprint wraps
+make a warm slot cheap, which is exactly why the m-to-n model can afford
+deeper pools than SAND/Faastlane monoliths at equal memory.
+
+Brownout integration: under sustained overload the control plane *shrinks*
+pool targets (warm slots are the most discretionary memory on the node) and
+restores them on recovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import LifecycleError
+from repro.lifecycle.policy import LifecycleKey
+
+
+@dataclass
+class _PoolState:
+    target: int
+    respawn_ms: float
+    memory_mb: float
+    ready: int = 0
+    #: times at which in-flight respawns become drawable
+    respawning: List[float] = field(default_factory=list)
+    spawned: int = 0
+    draws: int = 0
+
+
+class PrewarmPool:
+    """Per-key pools of ready-to-serve sandboxes."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[LifecycleKey, _PoolState] = {}
+        self._shrink_factor = 1.0
+
+    def configure(self, key: LifecycleKey, *, target: int,
+                  respawn_ms: float, memory_mb: float = 0.0) -> None:
+        """Set ``key``'s pool size; the pool starts full (the initial boots
+        were paid at deploy time, recorded in ``spawned``)."""
+        if target < 0 or respawn_ms < 0 or memory_mb < 0:
+            raise LifecycleError(
+                f"pool target/respawn/memory must be >= 0, got "
+                f"{target}/{respawn_ms}/{memory_mb}")
+        state = _PoolState(target=target, respawn_ms=respawn_ms,
+                           memory_mb=memory_mb, ready=target, spawned=target)
+        self._pools[key] = state
+
+    def _effective_target(self, state: _PoolState) -> int:
+        return int(state.target * self._shrink_factor)
+
+    def _settle(self, state: _PoolState, now_ms: float) -> None:
+        target = self._effective_target(state)
+        while state.respawning and state.respawning[0] <= now_ms:
+            heapq.heappop(state.respawning)
+            if state.ready < target:
+                state.ready += 1
+                state.spawned += 1
+            # a respawn landing above the (possibly shrunk) target is dropped
+        if state.ready > target:  # brownout shrank the pool underneath us
+            state.ready = target
+        # converge back toward the target: slots lost to a brownout cap (or
+        # respawns dropped while shrunk) are re-spawned once there is headroom
+        deficit = target - state.ready - len(state.respawning)
+        for _ in range(deficit):
+            heapq.heappush(state.respawning, now_ms + state.respawn_ms)
+
+    def draw(self, key: LifecycleKey, now_ms: float) -> bool:
+        """Take one warm sandbox if available; schedules the respawn."""
+        state = self._pools.get(key)
+        if state is None:
+            return False
+        self._settle(state, now_ms)
+        if state.ready <= 0:
+            return False
+        state.ready -= 1
+        state.draws += 1
+        heapq.heappush(state.respawning, now_ms + state.respawn_ms)
+        return True
+
+    def available(self, key: LifecycleKey, now_ms: float) -> int:
+        state = self._pools.get(key)
+        if state is None:
+            return 0
+        self._settle(state, now_ms)
+        return state.ready
+
+    def shrink(self, factor: float) -> None:
+        """Brownout lever: cap every pool at ``factor`` of its target."""
+        if not 0.0 <= factor <= 1.0:
+            raise LifecycleError(f"pool shrink factor must be in [0, 1], "
+                                 f"got {factor}")
+        self._shrink_factor = factor
+
+    def restore(self) -> None:
+        """Recovery: pools refill to their full targets via respawns."""
+        self._shrink_factor = 1.0
+
+    @property
+    def shrink_factor(self) -> float:
+        return self._shrink_factor
+
+    def memory_mb(self, now_ms: float) -> float:
+        """Resident footprint of every ready pool slot right now."""
+        total = 0.0
+        for state in self._pools.values():
+            self._settle(state, now_ms)
+            total += state.ready * state.memory_mb
+        return total
+
+    def stats(self) -> dict:
+        return {
+            str(key): {"target": s.target, "ready": s.ready,
+                       "draws": s.draws, "spawned": s.spawned}
+            for key, s in self._pools.items()
+        }

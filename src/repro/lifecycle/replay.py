@@ -1,0 +1,151 @@
+"""Trace replay through the lifecycle manager: the cold-start experiment's
+inner loop.
+
+Running a full discrete-event simulation per arrival would make a
+thousand-arrival sweep take minutes, yet the only thing that varies between
+arrivals of the same workload is (a) the boot tier the lifecycle manager
+answers and (b) seeded execution jitter.  So the replay samples a small pool
+of jittered end-to-end service latencies from real platform simulations
+once, then drives the arrival trace through a :class:`LifecycleManager`
+alone: each request's latency is ``boot_cost + service_sample``, and
+keep-alive / eviction / snapshot dynamics evolve exactly as they would
+under the kernel because the manager *is* the same object the kernel path
+installs as ``env.lifecycle``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import LifecycleError
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.policy import KeepAlivePolicy
+from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.platforms.base import Platform
+from repro.workflow.model import Workflow
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one (platform, policy, trace) replay arm."""
+
+    platform: str
+    workflow: str
+    policy: str
+    arrivals: int
+    latency: LatencySummary
+    #: boots by tier value ("cold"/"snapshot"/"pool"/"warm")
+    boots: dict = field(default_factory=dict)
+    warm_hit_rate: float = 0.0
+    evictions: int = 0
+    expirations: int = 0
+    snapshots_created: int = 0
+    #: time-averaged idle (kept-warm) footprint over the trace, MB
+    mean_idle_mb: float = 0.0
+    per_instance_mb: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def row(self) -> dict:
+        """Flat JSON/table row used by the coldstart experiment."""
+        return {
+            "platform": self.platform,
+            "policy": self.policy,
+            "arrivals": self.arrivals,
+            "p50_ms": self.latency.p50_ms,
+            "p99_ms": self.latency.p99_ms,
+            "mean_ms": self.latency.mean_ms,
+            "warm_hit_rate": self.warm_hit_rate,
+            "cold": self.boots.get("cold", 0),
+            "snapshot": self.boots.get("snapshot", 0),
+            "pool": self.boots.get("pool", 0),
+            "warm": self.boots.get("warm", 0),
+            "evictions": self.evictions,
+            "mean_idle_mb": self.mean_idle_mb,
+        }
+
+
+def sample_service_latencies(platform: Platform, workflow: Workflow, *,
+                             samples: int = 16, jitter_sigma: float = 0.08,
+                             base_seed: int = 4000) -> List[float]:
+    """Warm end-to-end latencies from ``samples`` jittered simulations."""
+    if samples < 1:
+        raise LifecycleError(f"need at least one service sample, "
+                             f"got {samples}")
+    return [platform.run(workflow, seed=base_seed + i,
+                         jitter_sigma=jitter_sigma).latency_ms
+            for i in range(samples)]
+
+
+def replay_keepalive(platform: Platform, workflow: Workflow, *,
+                     arrivals_ms: Sequence[float],
+                     policy: KeepAlivePolicy,
+                     snapshots: bool = True,
+                     memory_budget_mb: Optional[float] = None,
+                     prewarm_target: int = 0,
+                     service_samples: int = 16,
+                     jitter_sigma: float = 0.08,
+                     base_seed: int = 4000,
+                     service_pool: Optional[Sequence[float]] = None
+                     ) -> ReplayResult:
+    """Replay an arrival trace for one (platform, policy) arm.
+
+    ``arrivals_ms`` must be sorted ascending.  ``memory_budget_mb`` caps the
+    idle (kept-warm) footprint — the equal-cluster-memory knob of the
+    coldstart experiment.  ``prewarm_target`` provisions a pool of that many
+    ready sandboxes whose respawn time is the platform's cold boot.
+    ``service_pool`` short-circuits the platform simulations when the caller
+    already sampled warm latencies (e.g. to share them across policy arms).
+    """
+    if len(arrivals_ms) == 0:
+        raise LifecycleError("cannot replay an empty arrival trace")
+    services = (list(service_pool) if service_pool is not None
+                else sample_service_latencies(
+                    platform, workflow, samples=service_samples,
+                    jitter_sigma=jitter_sigma, base_seed=base_seed))
+    per_instance = platform.memory_mb(workflow)
+    manager = LifecycleManager(policy, snapshots=snapshots,
+                               memory_budget_mb=memory_budget_mb,
+                               default_memory_mb=per_instance)
+    key = (platform.name, workflow.name)
+    if prewarm_target > 0:
+        manager.configure_pool(key, target=prewarm_target,
+                               respawn_ms=platform.cal.sandbox_cold_start_ms,
+                               memory_mb=per_instance)
+
+    latencies: List[float] = []
+    idle_mb_ms = 0.0
+    prev_ms: Optional[float] = None
+    for i, at_ms in enumerate(arrivals_ms):
+        if prev_ms is not None:
+            if at_ms < prev_ms:
+                raise LifecycleError(
+                    f"arrival trace not sorted: {at_ms} after {prev_ms}")
+            idle_mb_ms += manager.idle_memory_mb(prev_ms) * (at_ms - prev_ms)
+        session = manager.request(key, at_ms)
+        _tier, boot_ms = session.acquire(f"{workflow.name}-replay",
+                                         platform.cal)
+        latency = boot_ms + services[i % len(services)]
+        session.finish(at_ms + latency)
+        latencies.append(latency)
+        prev_ms = at_ms
+
+    span_ms = arrivals_ms[-1] - arrivals_ms[0]
+    counts = manager.counts
+    boots = {tier: int(counts.get(f"lifecycle.boots.{tier}", 0))
+             for tier in ("cold", "snapshot", "pool", "warm")}
+    return ReplayResult(
+        platform=platform.name,
+        workflow=workflow.name,
+        policy=policy.name,
+        arrivals=len(arrivals_ms),
+        latency=summarize_latencies(latencies),
+        boots=boots,
+        warm_hit_rate=manager.warm_hit_rate(),
+        evictions=int(counts.get("lifecycle.evicted", 0)),
+        expirations=int(counts.get("lifecycle.keepalive.expired", 0)),
+        snapshots_created=int(counts.get("lifecycle.snapshot.created", 0)),
+        mean_idle_mb=(idle_mb_ms / span_ms if span_ms > 0 else 0.0),
+        per_instance_mb=per_instance,
+        latencies_ms=latencies,
+    )

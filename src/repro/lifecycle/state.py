@@ -1,0 +1,144 @@
+"""The per-sandbox lifecycle state machine.
+
+Every sandbox the lifecycle subsystem manages moves through::
+
+    PROVISIONING ──boot──▶ WARM ──request done──▶ IDLE
+                            ▲                      │
+                            └──────revive──────────┤
+                 (keep-alive expiry / eviction /   ▼
+                  mid-flight reclaim)          RECLAIMED
+
+``WARM`` means *serving or reserved* (memory and cpuset held, a request in
+flight); ``IDLE`` means *kept alive* — the sandbox holds memory but no CPU
+and can be revived for free until its keep-alive window closes.  A record
+whose ``idle_since_ms`` lies in the future is a sandbox that will go idle
+when its in-flight request completes (the manager marks the transition as
+soon as the outcome is known, which keeps the replay single-pass).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.errors import LifecycleError
+from repro.lifecycle.policy import BootTier, LifecycleKey
+
+
+class SandboxState(enum.Enum):
+    PROVISIONING = "provisioning"
+    WARM = "warm"
+    IDLE = "idle"
+    RECLAIMED = "reclaimed"
+
+
+_VALID = {
+    SandboxState.PROVISIONING: (SandboxState.WARM, SandboxState.RECLAIMED),
+    SandboxState.WARM: (SandboxState.IDLE, SandboxState.RECLAIMED),
+    SandboxState.IDLE: (SandboxState.WARM, SandboxState.RECLAIMED),
+    SandboxState.RECLAIMED: (),
+}
+
+_record_ids = itertools.count()
+
+
+@dataclass
+class SandboxRecord:
+    """One managed sandbox's identity, footprint and lifecycle position."""
+
+    key: LifecycleKey
+    name: str
+    memory_mb: float
+    state: SandboxState = SandboxState.PROVISIONING
+    #: when the current state was entered (ms on the manager's clock); for
+    #: IDLE this may lie in the future (in-flight request, outcome known)
+    since_ms: float = 0.0
+    #: IDLE only: revivable until this instant
+    idle_expires_ms: float = 0.0
+    #: boots served over this record's lifetime, by tier value
+    boots: dict = field(default_factory=dict)
+    serial: int = field(default_factory=lambda: next(_record_ids))
+
+    def _move(self, to: SandboxState, now_ms: float) -> None:
+        if to not in _VALID[self.state]:
+            raise LifecycleError(
+                f"sandbox {self.name!r}: invalid lifecycle transition "
+                f"{self.state.value} -> {to.value}")
+        self.state = to
+        self.since_ms = now_ms
+
+    # -- transitions ----------------------------------------------------------
+    def to_warm(self, now_ms: float, tier: BootTier) -> None:
+        """Provisioning finished, or an idle sandbox was revived."""
+        self._move(SandboxState.WARM, now_ms)
+        self.boots[tier.value] = self.boots.get(tier.value, 0) + 1
+
+    def to_idle(self, idle_at_ms: float, expires_ms: float) -> None:
+        """The in-flight request completed; keep warm until ``expires_ms``."""
+        if expires_ms < idle_at_ms:
+            raise LifecycleError(
+                f"sandbox {self.name!r}: keep-alive expires before it "
+                f"starts ({expires_ms} < {idle_at_ms})")
+        self._move(SandboxState.IDLE, idle_at_ms)
+        self.idle_expires_ms = expires_ms
+
+    def to_reclaimed(self, now_ms: float) -> None:
+        """Keep-alive expired, memory pressure evicted it, or the reclaimer
+        took it mid-flight (the recoverable ``sandbox.reclaim`` fault)."""
+        self._move(SandboxState.RECLAIMED, now_ms)
+
+    # -- queries --------------------------------------------------------------
+    def idle_at(self, now_ms: float) -> bool:
+        """Truly idle (not pending-idle) and still within keep-alive."""
+        return (self.state is SandboxState.IDLE
+                and self.since_ms <= now_ms
+                and self.idle_expires_ms >= now_ms)
+
+    def expired_at(self, now_ms: float) -> bool:
+        return (self.state is SandboxState.IDLE
+                and self.idle_expires_ms < now_ms)
+
+
+def coldest_first(records: Iterable[SandboxRecord],
+                  now_ms: float) -> List[SandboxRecord]:
+    """Idle records ordered longest-idle first — the eviction order the
+    memory-pressure reclaimer walks.  Ties break on the record serial so
+    eviction is deterministic."""
+    idle = [r for r in records if r.idle_at(now_ms)]
+    return sorted(idle, key=lambda r: (r.since_ms, r.serial))
+
+
+def reclaim_coldest(records: Iterable[SandboxRecord], *, needed_mb: float,
+                    now_ms: float,
+                    budget_mb: Optional[float] = None
+                    ) -> List[SandboxRecord]:
+    """Evict idle sandboxes, coldest-first, until ``needed_mb`` fits.
+
+    With ``budget_mb`` given, fit means the total idle footprint (after
+    evictions) plus ``needed_mb`` stays within the budget; without it, evict
+    until ``needed_mb`` has been freed.  Returns the evicted records (their
+    state already moved to RECLAIMED); callers release the actual
+    allocations.
+    """
+    if needed_mb < 0:
+        raise LifecycleError(f"cannot reclaim a negative footprint "
+                             f"({needed_mb} MB)")
+    order = coldest_first(records, now_ms)
+    evicted: List[SandboxRecord] = []
+    if budget_mb is not None:
+        idle_mb = sum(r.memory_mb for r in order)
+        while order and idle_mb + needed_mb > budget_mb + 1e-9:
+            victim = order.pop(0)
+            victim.to_reclaimed(now_ms)
+            idle_mb -= victim.memory_mb
+            evicted.append(victim)
+        return evicted
+    freed = 0.0
+    while order and freed < needed_mb - 1e-9:
+        victim = order.pop(0)
+        victim.to_reclaimed(now_ms)
+        freed += victim.memory_mb
+        evicted.append(victim)
+    return evicted

@@ -60,6 +60,9 @@ class RequestResult:
     #: circuit-breaker ledger (``BreakerBoard.summary()``); ``None`` when no
     #: breaker policy was installed
     overload: Optional[dict] = None
+    #: lifecycle ledger (``LifecycleSession.summary()``: boot tiers, boot
+    #: latency); ``None`` when no lifecycle manager governed the request
+    lifecycle: Optional[dict] = None
 
     @property
     def function_latencies(self) -> Dict[str, float]:
@@ -88,7 +91,8 @@ class Platform(abc.ABC):
             tracer: Optional[TraceRecorder] = None,
             faults=None, retry=None, fault_seed: int = 0,
             deadline_ms: Optional[float] = None,
-            overload=None) -> RequestResult:
+            overload=None, lifecycle=None,
+            arrival_ms: float = 0.0) -> RequestResult:
         """Execute one request and return its result.
 
         A fresh deterministic simulation is built per request; ``seed``
@@ -112,6 +116,15 @@ class Platform(abc.ABC):
         around sandbox boot and RPC dispatch.  Leaving both at their
         defaults keeps the runtime uninstrumented — bit-identical to a run
         without the overload plane.
+
+        ``lifecycle`` (a :class:`repro.lifecycle.LifecycleManager`) routes
+        sandbox boots through the lifecycle subsystem: ``arrival_ms`` is the
+        request's position on the manager's arrival clock (feeding the
+        keep-alive policy's inter-arrival histogram), and boots are served
+        from the cheapest tier — idle keep-alive hit, prewarm pool,
+        snapshot restore, cold.  ``None`` (the default) keeps cold boots on
+        the flat calibrated cost, bit-identical to builds without the
+        subsystem.
         """
         wf = jittered(workflow, seed, jitter_sigma)
         env = Environment()
@@ -139,6 +152,16 @@ class Platform(abc.ABC):
 
             board = BreakerBoard(env, overload, trace=trace)
             env.overload = board
+        session = None
+        if lifecycle is not None:
+            session = lifecycle.request((self.name, wf.name), arrival_ms,
+                                        trace=trace)
+            if session.manager.default_memory_mb == 0.0:
+                session.manager.default_memory_mb = self.memory_mb(workflow)
+            env.lifecycle = session
+            # the session owns the warm/cold decision: always take the boot
+            # path and let acquire() price it (a warm hit costs zero)
+            cold = True
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),
@@ -151,6 +174,12 @@ class Platform(abc.ABC):
             result.deadline = budget.summary()
         if board is not None:
             result.overload = board.summary()
+        if session is not None:
+            # the simulation clock is per-request; the manager's keep-alive
+            # clock is the arrival timeline, so completion lands at
+            # arrival + latency
+            session.finish(arrival_ms + env.now)
+            result.lifecycle = session.summary()
         if trace.detail:
             trace.metrics.inc("kernel.events", env.events_processed)
             trace.metrics.inc("requests")

@@ -60,14 +60,20 @@ class ChironPlatform(Platform):
                                            cold)
 
         def on_restart(mechanism):
-            if mechanism == "sandbox.crash":
+            if mechanism in ("sandbox.crash", "sandbox.reclaim"):
                 old = sandboxes[wrap.name]
-                old.crash()
+                if mechanism == "sandbox.reclaim":
+                    old.reclaim()
+                else:
+                    old.crash()
                 fresh = Sandbox(env, name=old.name, cal=self.cal,
                                 trace=trace, cores=self.plan.cores_for(wrap))
                 if self.plan.pool_workers > 0:
                     fresh.init_pool(self.plan.pool_workers)
-                if env.faults.policy.reboot_cold:
+                # a reclaimed sandbox always re-boots: the lifecycle tier
+                # (snapshot/pool/cold) decides what that boot costs
+                if (mechanism == "sandbox.reclaim"
+                        or env.faults.policy.reboot_cold):
                     yield from fresh.boot(cold=True)
                 else:
                     fresh.booted = True

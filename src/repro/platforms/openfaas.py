@@ -67,12 +67,18 @@ class OpenFaaSPlatform(Platform):
                                           fn, trace, result, cold)
 
         def on_restart(mechanism):
-            if mechanism == "sandbox.crash":
+            if mechanism in ("sandbox.crash", "sandbox.reclaim"):
                 old = sandboxes[fn.name]
-                old.crash()
+                if mechanism == "sandbox.reclaim":
+                    old.reclaim()
+                else:
+                    old.crash()
                 fresh = Sandbox(env, name=old.name, cores=1, cal=self.cal,
                                 trace=trace)
-                if env.faults.policy.reboot_cold:
+                # a reclaimed sandbox always re-boots: the lifecycle tier
+                # (snapshot/pool/cold) decides what that boot costs
+                if (mechanism == "sandbox.reclaim"
+                        or env.faults.policy.reboot_cold):
                     yield from fresh.boot(cold=True)
                 else:
                     fresh.booted = True

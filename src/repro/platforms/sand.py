@@ -36,7 +36,11 @@ class SANDPlatform(Platform):
                                           state["force_cold"])
 
         def on_restart(mechanism):
-            if mechanism == "sandbox.crash" and env.faults.policy.reboot_cold:
+            # a reclaimed sandbox always re-boots (the lifecycle tier prices
+            # the boot); a crashed one re-boots cold only if the policy says
+            if mechanism == "sandbox.reclaim" or (
+                    mechanism == "sandbox.crash"
+                    and env.faults.policy.reboot_cold):
                 state["force_cold"] = True
 
         yield from run_unit(env, make_attempt, entity=self.name,

@@ -42,7 +42,15 @@ class Sandbox:
         self.crashed = False
 
     def boot(self, cold: bool = False) -> Generator[Event, None, None]:
-        """Bring the sandbox up; a cold boot pays the container start cost."""
+        """Bring the sandbox up; a cold boot pays the container start cost.
+
+        With a lifecycle session installed (``env.lifecycle``), the session
+        decides the boot *tier* — an idle/pool hit is free, a snapshot
+        restore pays a calibrated fraction of the cold cost, and only a true
+        cold boot pays the full container start (plus the one-time
+        snapshot-creation charge).  Without one, a cold boot is the flat
+        calibrated cost, bit-identical to builds without the subsystem.
+        """
         if cold and not self.booted:
             breakers = self.env.overload
             if breakers is not None:
@@ -50,10 +58,18 @@ class Sandbox:
                 # retries) fast-fails here instead of paying the cold start
                 breakers.check("sandbox.boot", self.name)
             t0 = self.env.now
-            yield self.env.timeout(self.cal.sandbox_cold_start_ms)
-            if self.trace is not None:
-                self.trace.record(self.name, "startup", t0, self.env.now,
-                                  op="sandbox.boot")
+            lifecycle = self.env.lifecycle
+            if lifecycle is not None:
+                tier, cost_ms = lifecycle.acquire(self.name, self.cal)
+                yield self.env.timeout(cost_ms)
+                if self.trace is not None:
+                    self.trace.record(self.name, "startup", t0, self.env.now,
+                                      op="sandbox.boot", tier=tier.value)
+            else:
+                yield self.env.timeout(self.cal.sandbox_cold_start_ms)
+                if self.trace is not None:
+                    self.trace.record(self.name, "startup", t0, self.env.now,
+                                      op="sandbox.boot")
         else:
             yield self.env.timeout(0.0)
         self.booted = True
@@ -64,6 +80,22 @@ class Sandbox:
         self.booted = False
         if self.trace is not None and self.trace.detail:
             self.trace.event("sandbox.crash", entity=self.name)
+
+    def reclaim(self) -> None:
+        """The lifecycle reclaimer took the sandbox mid-flight.
+
+        Indistinguishable from a crash to the work inside (processes and
+        threads are gone, a replacement must boot), but recovery drivers
+        treat it as recoverable without feeding circuit breakers — it is
+        policy-driven, not a failing dependency.
+        """
+        self.crashed = True
+        self.booted = False
+        lifecycle = self.env.lifecycle
+        if lifecycle is not None:
+            lifecycle.reclaim_in_flight(self.name, self.env.now)
+        if self.trace is not None and self.trace.detail:
+            self.trace.event("sandbox.reclaim", entity=self.name)
 
     def init_pool(self, workers: int) -> ProcessPool:
         """Pre-fork a worker pool at deploy time (the -P variants)."""

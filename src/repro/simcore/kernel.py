@@ -49,6 +49,11 @@ class Environment:
         #: breakers around sandbox boot and RPC dispatch); ``None`` disables
         #: every breaker hook with one attribute load.
         self.overload = None
+        #: the request's :class:`repro.lifecycle.LifecycleSession`, installed
+        #: by ``Platform.run`` when a lifecycle manager governs sandbox boot
+        #: tiers (cold / snapshot-restore / warm); ``None`` keeps cold boots
+        #: on the flat calibrated cost with a single attribute load.
+        self.lifecycle = None
 
     @property
     def now(self) -> float:

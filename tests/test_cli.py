@@ -147,3 +147,32 @@ class TestRunAllFailureReport:
         text = _format_failures([("fig04", RuntimeError("x"))])
         assert "not a bug" not in text
         assert "experiment errors" in text
+
+
+class TestColdstartCommand:
+    def test_smoke_prints_table_and_flags(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        assert main(["coldstart", "finra5", "--duration-s", "40",
+                     "--service-samples", "2", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "warm%" in out and "hybrid" in out and "ttl0" in out
+        assert "hybrid beats ttl0" in out
+
+        import json
+        report = json.loads(out_file.read_text())
+        assert report["experiment"] == "coldstart"
+        assert report["app"] == "finra-5"
+        assert len(report["rows"]) == 36  # 3 platforms x 3 traces x 4 arms
+        assert set(report["summary"]) >= {"hybrid_beats_ttl0_p99",
+                                          "chiron_tops_warm_hit"}
+
+    def test_out_empty_skips_report(self, capsys):
+        assert main(["coldstart", "finra-5", "--duration-s", "20",
+                     "--service-samples", "2", "--out", ""]) == 0
+        out = capsys.readouterr().out
+        assert "report written" not in out
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert main(["coldstart", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("chiron-repro: error:")

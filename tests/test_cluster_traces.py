@@ -1,0 +1,119 @@
+"""Dedicated coverage for :mod:`repro.cluster.traces`.
+
+The generators feed the autoscaler and the coldstart lifecycle sweep, so
+their contract — sorted output, determinism under a fixed seed, rate-bound
+enforcement, and a diurnal shape that actually peaks — is pinned here
+independently of the consumers (see also tests/test_traces_autoscale.py
+for consumer-side behaviour).
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.traces import (
+    burst_arrivals,
+    constant_arrivals,
+    diurnal_arrivals,
+    interarrival_stats,
+    nonhomogeneous_poisson,
+)
+from repro.errors import ReproError
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = diurnal_arrivals(0.5, 5.0, period_ms=60_000.0,
+                             duration_ms=120_000.0, seed=42)
+        b = diurnal_arrivals(0.5, 5.0, period_ms=60_000.0,
+                             duration_ms=120_000.0, seed=42)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = constant_arrivals(2.0, 60_000.0, seed=1)
+        b = constant_arrivals(2.0, 60_000.0, seed=2)
+        assert a != b
+
+    def test_burst_trace_deterministic(self):
+        kw = dict(burst_every_ms=30_000.0, burst_len_ms=3_000.0,
+                  duration_ms=90_000.0, seed=7)
+        assert burst_arrivals(0.2, 8.0, **kw) == burst_arrivals(0.2, 8.0,
+                                                                **kw)
+
+
+class TestSortedOutput:
+    @pytest.mark.parametrize("arrivals", [
+        constant_arrivals(3.0, 60_000.0, seed=3),
+        diurnal_arrivals(0.5, 6.0, period_ms=20_000.0,
+                         duration_ms=80_000.0, seed=3),
+        burst_arrivals(0.3, 9.0, burst_every_ms=20_000.0,
+                       burst_len_ms=2_000.0, duration_ms=80_000.0, seed=3),
+    ], ids=["constant", "diurnal", "burst"])
+    def test_strictly_increasing_within_duration(self, arrivals):
+        assert len(arrivals) > 10
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[0] >= 0.0
+        assert arrivals[-1] < 80_001.0
+
+
+class TestRateBounds:
+    def test_rate_above_peak_rejected(self):
+        with pytest.raises(ReproError, match="outside"):
+            nonhomogeneous_poisson(lambda t: 5.0, peak_rps=1.0,
+                                   duration_ms=60_000.0, seed=0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ReproError, match="outside"):
+            nonhomogeneous_poisson(lambda t: -0.5, peak_rps=1.0,
+                                   duration_ms=60_000.0, seed=0)
+
+    def test_nonpositive_peak_or_duration_rejected(self):
+        with pytest.raises(ReproError):
+            nonhomogeneous_poisson(lambda t: 1.0, peak_rps=0.0,
+                                   duration_ms=1_000.0)
+        with pytest.raises(ReproError):
+            nonhomogeneous_poisson(lambda t: 1.0, peak_rps=1.0,
+                                   duration_ms=0.0)
+
+    def test_diurnal_base_above_peak_rejected(self):
+        with pytest.raises(ReproError):
+            diurnal_arrivals(5.0, 1.0, period_ms=10_000.0,
+                             duration_ms=10_000.0)
+
+    def test_burst_shape_rejected(self):
+        with pytest.raises(ReproError):
+            burst_arrivals(2.0, 1.0, burst_every_ms=10_000.0,
+                           burst_len_ms=1_000.0, duration_ms=10_000.0)
+        with pytest.raises(ReproError):
+            burst_arrivals(0.5, 2.0, burst_every_ms=1_000.0,
+                           burst_len_ms=2_000.0, duration_ms=10_000.0)
+
+
+class TestDiurnalShape:
+    def test_peak_windows_denser_than_trough(self):
+        period = 100_000.0
+        arrivals = diurnal_arrivals(0.5, 8.0, period_ms=period,
+                                    duration_ms=4 * period, seed=13)
+        # the sinusoid peaks at period/4 and bottoms out at 3*period/4:
+        # count arrivals in the half-period around each extreme
+        peak = trough = 0
+        for t in arrivals:
+            phase = math.sin(2 * math.pi * t / period)
+            if phase > 0.5:
+                peak += 1
+            elif phase < -0.5:
+                trough += 1
+        assert peak > 2 * trough
+
+    def test_burstier_traces_have_higher_cv(self):
+        dur = 300_000.0
+        _, cv_const = interarrival_stats(constant_arrivals(2.0, dur, seed=5))
+        _, cv_burst = interarrival_stats(
+            burst_arrivals(0.2, 10.0, burst_every_ms=30_000.0,
+                           burst_len_ms=3_000.0, duration_ms=dur, seed=5))
+        assert cv_const == pytest.approx(1.0, abs=0.15)  # Poisson: CV ~ 1
+        assert cv_burst > 1.5
+
+    def test_interarrival_stats_rejects_short_traces(self):
+        with pytest.raises(ReproError):
+            interarrival_stats([1.0])

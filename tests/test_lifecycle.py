@@ -1,0 +1,715 @@
+"""Tests for :mod:`repro.lifecycle` — boot tiers, keep-alive policies, the
+sandbox state machine, prewarm pools, trace replay, and the wiring into
+platforms, faults, the autoscaler and the predictor."""
+
+import pytest
+
+from repro.apps import finra
+from repro.calibration import RuntimeCalibration
+from repro.errors import CapacityError, LifecycleError
+from repro.lifecycle import (
+    BootTier,
+    FixedTTLPolicy,
+    HistogramPolicy,
+    LifecycleManager,
+    PrewarmPool,
+    SandboxRecord,
+    SandboxState,
+    boot_cost_ms,
+    coldest_first,
+    reclaim_coldest,
+    replay_keepalive,
+)
+from repro.platforms import build_platform
+
+CAL = RuntimeCalibration.native()
+WF = finra(5)
+KEY = ("plat", "wf")
+
+
+# ---------------------------------------------------------------------------
+# boot tiers
+# ---------------------------------------------------------------------------
+
+class TestBootTiers:
+    def test_cold_pays_full_container_start(self):
+        assert boot_cost_ms(BootTier.COLD, CAL) == CAL.sandbox_cold_start_ms
+
+    def test_first_cold_boot_pays_snapshot_creation(self):
+        assert boot_cost_ms(BootTier.COLD, CAL, creating_snapshot=True) == \
+            CAL.sandbox_cold_start_ms + CAL.snapshot_create_ms
+
+    def test_snapshot_restore_is_calibrated_fraction(self):
+        restore = boot_cost_ms(BootTier.SNAPSHOT, CAL)
+        assert restore == pytest.approx(
+            CAL.sandbox_cold_start_ms * CAL.snapshot_restore_fraction)
+        assert restore < boot_cost_ms(BootTier.COLD, CAL)
+
+    @pytest.mark.parametrize("tier", [BootTier.WARM, BootTier.POOL])
+    def test_warm_tiers_are_free(self, tier):
+        assert boot_cost_ms(tier, CAL) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# keep-alive policies
+# ---------------------------------------------------------------------------
+
+class TestFixedTTLPolicy:
+    def test_flat_window(self):
+        assert FixedTTLPolicy(60_000.0).keepalive_ms(KEY) == 60_000.0
+        assert FixedTTLPolicy(0.0).keepalive_ms(KEY) == 0.0
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(LifecycleError):
+            FixedTTLPolicy(-1.0)
+        with pytest.raises(LifecycleError):
+            FixedTTLPolicy(float("inf"))
+
+
+class TestHistogramPolicy:
+    def test_defaults_until_enough_observations(self):
+        p = HistogramPolicy(min_observations=8, default_ttl_ms=60_000.0)
+        for _ in range(7):
+            p.observe(KEY, 900.0)
+        assert p.keepalive_ms(KEY) == 60_000.0
+
+    def test_learns_keepalive_from_gap_percentile(self):
+        p = HistogramPolicy(bucket_ms=1000.0, margin=1.2)
+        for _ in range(20):
+            p.observe(KEY, 900.0)
+        # all gaps in the first bucket: keepalive = 1000 ms edge x margin
+        assert p.keepalive_ms(KEY) == pytest.approx(1200.0)
+
+    def test_irregular_arrivals_cap_at_max_track(self):
+        p = HistogramPolicy(max_track_ms=120_000.0, min_observations=4)
+        for _ in range(10):
+            p.observe(KEY, 500_000.0)  # all beyond the tracked range
+        assert p.keepalive_ms(KEY) == 120_000.0
+
+    def test_prewarm_lead_time_from_low_quantile(self):
+        p = HistogramPolicy(bucket_ms=1000.0)
+        for _ in range(20):
+            p.observe(KEY, 4_500.0)
+        # lower edge of the 5th-bucket quantile: 4000 ms
+        assert p.prewarm_ms(KEY) == pytest.approx(4000.0)
+
+    def test_keys_are_independent(self):
+        p = HistogramPolicy(min_observations=1)
+        p.observe(("a",), 900.0)
+        assert p.observations(("a",)) == 1
+        assert p.observations(("b",)) == 0
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(LifecycleError):
+            HistogramPolicy().observe(KEY, -1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(LifecycleError):
+            HistogramPolicy(bucket_ms=0.0)
+        with pytest.raises(LifecycleError):
+            HistogramPolicy(bucket_ms=2000.0, max_track_ms=1000.0)
+        with pytest.raises(LifecycleError):
+            HistogramPolicy(prewarm_quantile=0.9, keepalive_quantile=0.5)
+        with pytest.raises(LifecycleError):
+            HistogramPolicy(margin=0.5)
+
+
+# ---------------------------------------------------------------------------
+# the sandbox state machine
+# ---------------------------------------------------------------------------
+
+def _record(mem=100.0):
+    return SandboxRecord(key=KEY, name="sb", memory_mb=mem,
+                         state=SandboxState.PROVISIONING, since_ms=0.0)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        rec = _record()
+        rec.to_warm(10.0, BootTier.COLD)
+        assert rec.state is SandboxState.WARM
+        rec.to_idle(50.0, 150.0)
+        assert rec.idle_at(100.0)
+        rec.to_warm(100.0, BootTier.WARM)  # revive
+        rec.to_idle(120.0, 220.0)
+        rec.to_reclaimed(220.0)
+        assert rec.state is SandboxState.RECLAIMED
+        assert rec.boots == {"cold": 1, "warm": 1}
+
+    def test_invalid_transitions_raise(self):
+        rec = _record()
+        with pytest.raises(LifecycleError, match="invalid"):
+            rec.to_idle(0.0, 10.0)  # provisioning cannot go idle
+        rec.to_warm(0.0, BootTier.COLD)
+        rec.to_reclaimed(1.0)
+        with pytest.raises(LifecycleError, match="invalid"):
+            rec.to_warm(2.0, BootTier.WARM)  # reclaimed is terminal
+
+    def test_keepalive_window_must_be_forward(self):
+        rec = _record()
+        rec.to_warm(0.0, BootTier.COLD)
+        with pytest.raises(LifecycleError, match="expires before"):
+            rec.to_idle(100.0, 50.0)
+
+    def test_pending_idle_not_revivable_until_reached(self):
+        """since_ms in the future models an in-flight request whose outcome
+        is already recorded — the sandbox is not revivable before then."""
+        rec = _record()
+        rec.to_warm(0.0, BootTier.COLD)
+        rec.to_idle(500.0, 1_500.0)
+        assert not rec.idle_at(100.0)
+        assert rec.idle_at(500.0)
+        assert not rec.idle_at(1_501.0)
+        assert rec.expired_at(1_501.0)
+
+    def test_coldest_first_orders_by_idle_entry(self):
+        recs = []
+        for t in (300.0, 100.0, 200.0):
+            r = _record()
+            r.to_warm(0.0, BootTier.COLD)
+            r.to_idle(t, 10_000.0)
+            recs.append(r)
+        assert [r.since_ms for r in coldest_first(recs, 400.0)] == \
+            [100.0, 200.0, 300.0]
+
+    def test_reclaim_coldest_frees_needed(self):
+        recs = []
+        for t in (100.0, 200.0, 300.0):
+            r = _record(mem=50.0)
+            r.to_warm(0.0, BootTier.COLD)
+            r.to_idle(t, 10_000.0)
+            recs.append(r)
+        evicted = reclaim_coldest(recs, needed_mb=80.0, now_ms=400.0)
+        # the two longest-idle records go (idle since 100 and 200)
+        assert [r.serial for r in evicted] == [recs[0].serial,
+                                               recs[1].serial]
+        assert all(r.state is SandboxState.RECLAIMED for r in evicted)
+
+    def test_reclaim_coldest_respects_budget(self):
+        recs = []
+        for t in (100.0, 200.0, 300.0):
+            r = _record(mem=50.0)
+            r.to_warm(0.0, BootTier.COLD)
+            r.to_idle(t, 10_000.0)
+            recs.append(r)
+        # 150 MB idle, budget 100: evict the single coldest
+        evicted = reclaim_coldest(recs, needed_mb=0.0, now_ms=400.0,
+                                  budget_mb=100.0)
+        assert [r.serial for r in evicted] == [recs[0].serial]
+
+    def test_negative_need_rejected(self):
+        with pytest.raises(LifecycleError):
+            reclaim_coldest([], needed_mb=-1.0, now_ms=0.0)
+
+
+# ---------------------------------------------------------------------------
+# prewarm pools
+# ---------------------------------------------------------------------------
+
+class TestPrewarmPool:
+    def test_starts_full_and_respawns(self):
+        pool = PrewarmPool()
+        pool.configure(KEY, target=2, respawn_ms=100.0)
+        assert pool.available(KEY, 0.0) == 2
+        assert pool.draw(KEY, 0.0) and pool.draw(KEY, 0.0)
+        assert not pool.draw(KEY, 50.0)      # empty, respawns due at 100
+        assert pool.available(KEY, 100.0) == 2
+        assert pool.draw(KEY, 100.0)
+
+    def test_brownout_shrink_and_restore(self):
+        pool = PrewarmPool()
+        pool.configure(KEY, target=4, respawn_ms=100.0)
+        pool.shrink(0.5)
+        assert pool.available(KEY, 0.0) == 2
+        assert pool.draw(KEY, 0.0) and pool.draw(KEY, 0.0)
+        assert not pool.draw(KEY, 0.0)
+        pool.restore()
+        # the draw respawns landed; shrink-dropped slots respawn one
+        # respawn_ms after the pool is next touched post-restore
+        assert pool.available(KEY, 200.0) == 2
+        assert pool.available(KEY, 300.0) == 4
+
+    def test_memory_accounting(self):
+        pool = PrewarmPool()
+        pool.configure(KEY, target=3, respawn_ms=100.0, memory_mb=40.0)
+        assert pool.memory_mb(0.0) == pytest.approx(120.0)
+        pool.draw(KEY, 0.0)
+        assert pool.memory_mb(0.0) == pytest.approx(80.0)
+
+    def test_unknown_key_never_hits(self):
+        assert not PrewarmPool().draw(("nope",), 0.0)
+
+    def test_validation(self):
+        pool = PrewarmPool()
+        with pytest.raises(LifecycleError):
+            pool.configure(KEY, target=-1, respawn_ms=10.0)
+        with pytest.raises(LifecycleError):
+            pool.shrink(1.5)
+
+
+# ---------------------------------------------------------------------------
+# the lifecycle manager
+# ---------------------------------------------------------------------------
+
+class TestLifecycleManager:
+    def test_cold_then_warm_revive(self):
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=False)
+        s1 = mgr.request(KEY, 0.0)
+        tier, cost = s1.acquire("sb", CAL)
+        assert tier is BootTier.COLD
+        assert cost == CAL.sandbox_cold_start_ms
+        s1.finish(200.0)
+        s2 = mgr.request(KEY, 1_000.0)
+        tier, cost = s2.acquire("sb", CAL)
+        assert tier is BootTier.WARM and cost == 0.0
+        assert mgr.warm_hit_rate() == pytest.approx(0.5)
+
+    def test_expired_keepalive_falls_back_to_snapshot(self):
+        mgr = LifecycleManager(FixedTTLPolicy(5_000.0), snapshots=True)
+        s1 = mgr.request(KEY, 0.0)
+        _tier, cost = s1.acquire("sb", CAL)
+        # first cold boot pays the one-time snapshot-creation charge
+        assert cost == CAL.sandbox_cold_start_ms + CAL.snapshot_create_ms
+        s1.finish(100.0)
+        s2 = mgr.request(KEY, 20_000.0)  # idle window closed at 5 100
+        tier, cost = s2.acquire("sb", CAL)
+        assert tier is BootTier.SNAPSHOT
+        assert cost == pytest.approx(CAL.sandbox_cold_start_ms
+                                     * CAL.snapshot_restore_fraction)
+        assert mgr.counts["lifecycle.keepalive.expired"] == 1
+
+    def test_zero_ttl_reclaims_on_finish(self):
+        mgr = LifecycleManager(FixedTTLPolicy(0.0), snapshots=False)
+        s1 = mgr.request(KEY, 0.0)
+        s1.acquire("sb", CAL)
+        s1.finish(100.0)
+        assert mgr.idle_memory_mb(100.0) == 0.0
+        s2 = mgr.request(KEY, 200.0)
+        tier, _cost = s2.acquire("sb", CAL)
+        assert tier is BootTier.COLD
+        assert mgr.warm_hit_rate() == 0.0
+
+    def test_memory_budget_evicts_coldest(self):
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=False,
+                               memory_budget_mb=100.0,
+                               default_memory_mb=60.0)
+        # two overlapping requests -> two sandboxes; 120 MB idle > 100
+        s1 = mgr.request(KEY, 0.0)
+        s1.acquire("a", CAL)
+        s2 = mgr.request(KEY, 10.0)
+        s2.acquire("b", CAL)
+        s1.finish(300.0)
+        s2.finish(400.0)
+        assert mgr.counts["lifecycle.evicted"] == 1
+        assert mgr.idle_memory_mb(500.0) == pytest.approx(60.0)
+
+    def test_pool_draw_between_tiers(self):
+        mgr = LifecycleManager(FixedTTLPolicy(0.0), snapshots=False)
+        mgr.configure_pool(KEY, target=1, respawn_ms=1e9)
+        s1 = mgr.request(KEY, 0.0)
+        tier, cost = s1.acquire("sb", CAL)
+        assert tier is BootTier.POOL and cost == 0.0
+        s1.finish(100.0)
+        s2 = mgr.request(KEY, 200.0)  # pool empty, nothing idle (ttl 0)
+        tier, _cost = s2.acquire("sb", CAL)
+        assert tier is BootTier.COLD
+
+    def test_backwards_arrivals_rejected(self):
+        mgr = LifecycleManager(FixedTTLPolicy(0.0))
+        mgr.request(KEY, 100.0)
+        with pytest.raises(LifecycleError, match="backwards"):
+            mgr.request(KEY, 50.0)
+
+    def test_acquire_after_finish_rejected(self):
+        mgr = LifecycleManager(FixedTTLPolicy(0.0))
+        s = mgr.request(KEY, 0.0)
+        s.finish(10.0)
+        with pytest.raises(LifecycleError, match="finished"):
+            s.acquire("sb", CAL)
+
+    def test_arrivals_feed_the_policy(self):
+        policy = HistogramPolicy(min_observations=1)
+        mgr = LifecycleManager(policy)
+        for t in (0.0, 900.0, 1_800.0):
+            mgr.request(KEY, t).finish(t + 1.0)
+        assert policy.observations(KEY) == 2
+
+    def test_session_summary_ledger(self):
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=False)
+        s = mgr.request(KEY, 0.0)
+        s.acquire("a", CAL)
+        s.acquire("b", CAL)
+        s.finish(100.0)
+        assert s.summary() == {
+            "boots": {"cold": 2},
+            "boot_ms": 2 * CAL.sandbox_cold_start_ms,
+            "policy": "ttl-60000ms"}
+
+
+# ---------------------------------------------------------------------------
+# trace replay (the coldstart experiment's inner loop)
+# ---------------------------------------------------------------------------
+
+ARRIVALS = [float(t) for t in range(0, 30_000, 400)]
+
+
+class TestReplay:
+    def _replay(self, platform_name="chiron", **kw):
+        plat = build_platform(platform_name, WF)
+        kw.setdefault("service_pool", [100.0])
+        kw.setdefault("arrivals_ms", ARRIVALS)
+        return replay_keepalive(plat, WF, **kw)
+
+    def test_deterministic(self):
+        a = self._replay(policy=FixedTTLPolicy(1_000.0), service_pool=None,
+                         service_samples=3)
+        b = self._replay(policy=FixedTTLPolicy(1_000.0), service_pool=None,
+                         service_samples=3)
+        assert a.latencies_ms == b.latencies_ms
+        assert a.boots == b.boots
+
+    def test_ttl0_is_always_cold(self):
+        r = self._replay(policy=FixedTTLPolicy(0.0), snapshots=False)
+        assert r.boots["cold"] == len(ARRIVALS)
+        assert r.warm_hit_rate == 0.0
+        assert r.latency.p50_ms == pytest.approx(
+            100.0 + CAL.sandbox_cold_start_ms)
+
+    def test_keepalive_revives_warm(self):
+        r = self._replay(policy=FixedTTLPolicy(60_000.0), snapshots=False)
+        assert r.boots["cold"] == 1
+        assert r.boots["warm"] == len(ARRIVALS) - 1
+        assert r.warm_hit_rate == pytest.approx(1 - 1 / len(ARRIVALS))
+
+    def test_hybrid_beats_ttl0_p99(self):
+        cold = self._replay(policy=FixedTTLPolicy(0.0), snapshots=False)
+        hybrid = self._replay(policy=HistogramPolicy())
+        assert hybrid.latency.p99_ms < cold.latency.p99_ms
+
+    def test_chiron_tops_warm_hit_at_equal_memory(self):
+        """The deployment-model story: at the same idle-memory budget the
+        smaller m-to-n instances stay revivable where monoliths cannot."""
+        chiron = build_platform("chiron", WF)
+        sand = build_platform("sand", WF)
+        budget = 1.05 * chiron.memory_mb(WF)  # one chiron slot, zero sand
+        assert sand.memory_mb(WF) > budget
+        kw = dict(arrivals_ms=ARRIVALS, policy=FixedTTLPolicy(60_000.0),
+                  memory_budget_mb=budget, service_pool=[100.0])
+        r_chiron = replay_keepalive(chiron, WF, **kw)
+        r_sand = replay_keepalive(sand, WF, **kw)
+        assert r_chiron.warm_hit_rate > r_sand.warm_hit_rate
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(LifecycleError, match="sorted"):
+            self._replay(policy=FixedTTLPolicy(0.0),
+                         arrivals_ms=[100.0, 50.0])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(LifecycleError, match="empty"):
+            self._replay(policy=FixedTTLPolicy(0.0), arrivals_ms=[])
+
+
+# ---------------------------------------------------------------------------
+# platform integration: env.lifecycle across requests
+# ---------------------------------------------------------------------------
+
+class TestPlatformIntegration:
+    def test_boot_tiers_shape_request_latency(self):
+        plat = build_platform("faastlane", WF)
+        base = plat.run(WF).latency_ms
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=True)
+        first = plat.run(WF, lifecycle=mgr, arrival_ms=0.0)
+        second = plat.run(WF, lifecycle=mgr, arrival_ms=5_000.0)
+        # first request pays cold + one-time snapshot creation, second
+        # revives the idle sandbox for free
+        assert first.latency_ms == pytest.approx(
+            base + CAL.sandbox_cold_start_ms + CAL.snapshot_create_ms)
+        assert second.latency_ms == pytest.approx(base)
+        assert first.lifecycle["boots"] == {"cold": 1}
+        assert second.lifecycle["boots"] == {"warm": 1}
+
+    def test_disabled_lifecycle_is_bit_identical(self):
+        plat = build_platform("chiron", WF)
+        assert plat.run(WF).latency_ms == plat.run(WF).latency_ms
+        assert plat.run(WF, seed=3).latency_ms == \
+            plat.run(WF, seed=3).latency_ms
+        r = plat.run(WF)
+        assert r.lifecycle is None
+
+    def test_ttl0_manager_reboots_every_request(self):
+        plat = build_platform("sand", WF)
+        mgr = LifecycleManager(FixedTTLPolicy(0.0), snapshots=False)
+        plat.run(WF, lifecycle=mgr, arrival_ms=0.0)
+        plat.run(WF, lifecycle=mgr, arrival_ms=1_000.0)
+        assert mgr.counts["lifecycle.boots.cold"] == 2
+        assert mgr.warm_hit_rate() == 0.0
+
+    def test_lifecycle_events_in_detail_trace(self):
+        from repro.obs import Tracer
+
+        plat = build_platform("faastlane", WF)
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=True)
+        tracer = Tracer()
+        plat.run(WF, lifecycle=mgr, arrival_ms=0.0, tracer=tracer)
+        names = {e.name for e in tracer.events}
+        assert {"lifecycle.boot", "lifecycle.snapshot.created",
+                "lifecycle.idle"} <= names
+        assert tracer.metrics.counter("lifecycle.boots.cold").value == 1
+
+
+# ---------------------------------------------------------------------------
+# the reclaim fault: recoverable, lifecycle-aware
+# ---------------------------------------------------------------------------
+
+class TestReclaimFault:
+    def _one_shot(self):
+        from repro.faults import FaultPlan, OneShotFault
+
+        return FaultPlan(scheduled=(OneShotFault("sandbox.reclaim"),))
+
+    def test_reclaim_is_recovered_and_ledgered(self):
+        plat = build_platform("openfaas", WF)
+        base = plat.run(WF).latency_ms
+        r = plat.run(WF, faults=self._one_shot())
+        assert r.faults["injected"] == {"sandbox.reclaim": 1}
+        assert r.latency_ms > base  # the replacement re-boots cold
+
+    def test_reclaim_rate_validated_and_excluded_from_uniform(self):
+        from repro.errors import SimulationError
+        from repro.faults import FaultPlan
+
+        with pytest.raises(SimulationError, match="sandbox_reclaim_rate"):
+            FaultPlan(sandbox_reclaim_rate=2.0)
+        assert FaultPlan.uniform(0.1).sandbox_reclaim_rate == 0.0
+
+    def test_zero_rate_keeps_fault_runs_bit_identical(self):
+        from repro.faults import FaultPlan
+
+        plat = build_platform("chiron", WF)
+        armed = FaultPlan(seed=5, sandbox_crash_rate=0.08)
+        with_reclaim = FaultPlan(seed=5, sandbox_crash_rate=0.08,
+                                 sandbox_reclaim_rate=0.0)
+        a = plat.run(WF, faults=armed, fault_seed=3)
+        b = plat.run(WF, faults=with_reclaim, fault_seed=3)
+        assert a.latency_ms == b.latency_ms
+        assert a.faults["injected"] == b.faults["injected"]
+
+    def test_reclaim_updates_lifecycle_ledger(self):
+        plat = build_platform("openfaas", WF)
+        mgr = LifecycleManager(FixedTTLPolicy(60_000.0), snapshots=False)
+        r = plat.run(WF, faults=self._one_shot(), lifecycle=mgr,
+                     arrival_ms=0.0)
+        assert r.faults["injected"] == {"sandbox.reclaim": 1}
+        assert mgr.counts["lifecycle.reclaimed"] >= 1
+        # the replacement boot also routed through the manager
+        assert mgr.counts["lifecycle.boots.cold"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# autoscaler integration
+# ---------------------------------------------------------------------------
+
+class TestAutoscaleLifecycle:
+    # two dense bursts (inflight ~4 at ~100 ms service) with a quiet gap:
+    # the first forces scale-up, the gap forces scale-down, the second
+    # shows whether torn-down capacity was kept revivable
+    BURSTS = ([float(t) for t in range(0, 4_000, 25)]           # burst 1
+              + [float(t) for t in range(30_000, 34_000, 25)])  # burst 2
+
+    def _run(self, lifecycle=None, **kw):
+        from repro.cluster import AutoscalerConfig, run_autoscaled
+
+        plat = build_platform("faastlane", WF)
+        kw.setdefault("config", AutoscalerConfig(max_replicas=4))
+        return run_autoscaled(plat, WF, arrivals=self.BURSTS, seed=2,
+                              lifecycle=lifecycle, **kw)
+
+    def test_provision_delay_resolves_from_platform_calibration(self):
+        """Satellite: the default is read from the live calibration at
+        simulation time, not frozen at import."""
+        from repro.cluster import AutoscalerConfig
+
+        plat = build_platform("faastlane", WF)
+        default = self._run()
+        explicit = self._run(config=AutoscalerConfig(
+            max_replicas=4,
+            provision_delay_ms=plat.cal.sandbox_cold_start_ms))
+        assert default.sojourn.p99_ms == explicit.sojourn.p99_ms
+        assert default.replica_timeline == explicit.replica_timeline
+
+    def test_second_burst_draws_from_idle_replicas(self):
+        from repro.cluster import LifecycleConfig
+
+        off = self._run()
+        on = self._run(lifecycle=LifecycleConfig(
+            policy=FixedTTLPolicy(60_000.0)))
+        assert on.boots  # the provision path recorded its tiers
+        assert on.boots.get("warm", 0) > 0  # burst 2 revived burst 1's idles
+        assert on.warm_hit_rate > 0.0
+        assert [t for _ms, t in on.boot_timeline].count("warm") == \
+            on.boots["warm"]
+        # lifecycle off: no boot bookkeeping at all (zero-overhead slot)
+        assert off.boots == {} and off.warm_hit_rate is None
+
+    def test_zero_ttl_tears_down_instead_of_parking(self):
+        from repro.cluster import LifecycleConfig
+
+        r = self._run(lifecycle=LifecycleConfig(policy=FixedTTLPolicy(0.0),
+                                                snapshots=False))
+        assert r.boots.get("warm", 0) == 0
+        assert r.reclaimed > 0
+
+    def test_prewarm_pool_absorbs_first_burst(self):
+        from repro.cluster import LifecycleConfig
+
+        no_pool = self._run(lifecycle=LifecycleConfig(
+            policy=FixedTTLPolicy(0.0), snapshots=False))
+        pooled = self._run(lifecycle=LifecycleConfig(
+            policy=FixedTTLPolicy(0.0), snapshots=False, prewarm_target=3))
+        assert pooled.boots.get("pool", 0) > 0
+        assert pooled.sojourn.p99_ms <= no_pool.sojourn.p99_ms
+
+    def test_lifecycle_config_validation(self):
+        from repro.cluster import LifecycleConfig
+
+        with pytest.raises(CapacityError):
+            LifecycleConfig(policy=FixedTTLPolicy(0.0), prewarm_target=-1)
+        with pytest.raises(CapacityError):
+            LifecycleConfig(policy=FixedTTLPolicy(0.0),
+                            pool_brownout_factor=2.0)
+
+
+# ---------------------------------------------------------------------------
+# cold-start-aware prediction and deployment
+# ---------------------------------------------------------------------------
+
+class TestBootAwarePrediction:
+    def test_boot_penalty_follows_tier_and_waves(self):
+        from repro.core import ChironManager
+
+        mgr = ChironManager()
+        dep = mgr.deploy(WF, slo_ms=2_000.0, generate_code=False)
+        waves = mgr.predictor.boot_waves(dep.plan, dep.profiled_workflow)
+        assert waves >= 1
+        cold = mgr.predictor.boot_penalty_ms(dep.plan,
+                                             dep.profiled_workflow,
+                                             BootTier.COLD)
+        snap = mgr.predictor.boot_penalty_ms(dep.plan,
+                                             dep.profiled_workflow,
+                                             BootTier.SNAPSHOT)
+        warm = mgr.predictor.boot_penalty_ms(dep.plan,
+                                             dep.profiled_workflow,
+                                             BootTier.WARM)
+        assert cold == pytest.approx(waves * CAL.sandbox_cold_start_ms)
+        assert snap == pytest.approx(
+            waves * CAL.sandbox_cold_start_ms * CAL.snapshot_restore_fraction)
+        assert warm == 0.0
+
+    def test_first_invocation_adds_penalty(self):
+        from repro.core import ChironManager
+
+        mgr = ChironManager()
+        dep = mgr.deploy(WF, slo_ms=2_000.0, generate_code=False)
+        warm_pred = mgr.predictor.predict_workflow(dep.profiled_workflow,
+                                                   dep.plan)
+        first = mgr.predictor.predict_first_invocation(
+            dep.profiled_workflow, dep.plan, tier=BootTier.COLD)
+        assert first == pytest.approx(
+            warm_pred + mgr.predictor.boot_penalty_ms(
+                dep.plan, dep.profiled_workflow, BootTier.COLD))
+
+    def test_deploy_with_boot_tier_meets_slo_including_cold_start(self):
+        from repro.core import ChironManager
+
+        mgr = ChironManager()
+        dep = mgr.deploy(WF, slo_ms=2_000.0, generate_code=False,
+                         boot_tier=BootTier.COLD)
+        assert dep.boot_tier == "cold"
+        assert dep.first_invocation_ms is not None
+        assert dep.first_invocation_ms <= 2_000.0
+        assert dep.first_invocation_ms > dep.plan.predicted_latency_ms
+
+    def test_warm_only_deploy_records_no_tier(self):
+        from repro.core import ChironManager
+
+        dep = ChironManager().deploy(WF, slo_ms=2_000.0,
+                                     generate_code=False)
+        assert dep.boot_tier is None and dep.first_invocation_ms is None
+
+
+# ---------------------------------------------------------------------------
+# satellite: scale_max zero-footprint guard
+# ---------------------------------------------------------------------------
+
+class TestScaleMaxGuard:
+    def test_zero_footprint_raises_instead_of_looping(self):
+        """Satellite: a deployment that costs nothing would place forever —
+        scale_max must refuse it instead of spinning."""
+        import dataclasses
+
+        from repro.cluster import ClusterDeployment
+        from repro.runtime.machine import Cluster
+        from repro.runtime.memory import SandboxFootprint
+
+        free_cal = dataclasses.replace(
+            CAL, sandbox_overhead_memory_mb=0.0, runtime_base_memory_mb=0.0,
+            function_unique_memory_mb=0.0, process_cow_memory_mb=0.0,
+            thread_memory_mb=0.0, pool_worker_memory_mb=0.0)
+
+        class _FreePlatform:
+            name = "free"
+            cal = free_cal
+
+            def footprints(self, wf):
+                return [SandboxFootprint(functions=1)]
+
+            def per_sandbox_cores(self, wf):
+                return [0.0]
+
+        with pytest.raises(CapacityError, match="footprint"):
+            ClusterDeployment(_FreePlatform(), WF,
+                              Cluster(nodes=1)).scale_max()
+
+    def test_empty_footprints_also_refused(self):
+        from repro.cluster import ClusterDeployment
+        from repro.runtime.machine import Cluster
+
+        class _EmptyPlatform:
+            name = "empty"
+            cal = CAL
+
+            def footprints(self, wf):
+                return []
+
+            def per_sandbox_cores(self, wf):
+                return []
+
+        with pytest.raises(CapacityError, match="footprint"):
+            ClusterDeployment(_EmptyPlatform(), WF,
+                              Cluster(nodes=1)).scale_max()
+
+
+# ---------------------------------------------------------------------------
+# the coldstart experiment's acceptance flags (reduced grid for speed)
+# ---------------------------------------------------------------------------
+
+class TestColdstartExperiment:
+    def test_acceptance_flags_on_reduced_grid(self):
+        from repro.experiments.coldstart import summary_flags, sweep
+
+        rows = sweep("finra-5", platforms=("chiron", "sand"),
+                     traces=("diurnal",), arms=("ttl0", "hybrid"),
+                     duration_ms=60_000.0, service_samples=3)
+        flags = summary_flags(rows)
+        assert flags["hybrid_beats_ttl0_p99"] is True
+        assert flags["chiron_tops_warm_hit"] is True
+        # every arm ran under the same idle-memory budget
+        assert len({row["budget_mb"] for row in rows}) == 1
+
+    def test_registered_under_coldstart_id(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.coldstart import run
+
+        assert get_experiment("coldstart") is run
+        # the old supplementary cascade table kept its own id
+        assert get_experiment("coldstart-cascade") is not run

@@ -26,13 +26,15 @@ def canonical(tracer):
     Spans are sorted by (start, entity, name) so recording-order churn that
     does not change the timeline does not invalidate goldens; timestamps are
     rounded to 1 ns to absorb float formatting noise.  ``fault_schema``,
-    ``overload_schema`` and ``pgp_schema`` pin the typed fault/retry and
-    overload event/counter vocabularies plus the prediction-engine counter
-    names: adding a mechanism invalidates the golden loudly instead of
-    slipping in unreviewed.
+    ``overload_schema``, ``lifecycle_schema`` and ``pgp_schema`` pin the
+    typed fault/retry, overload and sandbox-lifecycle event/counter
+    vocabularies plus the prediction-engine counter names: adding a
+    mechanism invalidates the golden loudly instead of slipping in
+    unreviewed.
     """
     from repro.core.predictor import PGP_COUNTERS
     from repro.faults import FAULT_EVENT_TYPES
+    from repro.lifecycle import LIFECYCLE_COUNTERS, LIFECYCLE_EVENT_TYPES
     from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
 
     spans = sorted(
@@ -46,6 +48,8 @@ def canonical(tracer):
             "fault_schema": sorted(FAULT_EVENT_TYPES),
             "overload_schema": sorted(OVERLOAD_EVENT_TYPES
                                       + OVERLOAD_COUNTERS),
+            "lifecycle_schema": sorted(LIFECYCLE_EVENT_TYPES
+                                       + LIFECYCLE_COUNTERS),
             "pgp_schema": sorted(PGP_COUNTERS)}
 
 
@@ -85,6 +89,7 @@ class TestGoldenFailureMessages:
             golden("finra5_faastlane_native", {"spans": [], "events": [],
                                                "fault_schema": [],
                                                "overload_schema": [],
+                                               "lifecycle_schema": [],
                                                "pgp_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):

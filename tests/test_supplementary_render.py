@@ -10,7 +10,7 @@ from repro.experiments.render import bar_chart
 
 class TestColdStart:
     def test_one_to_one_pays_cascading_boots(self):
-        res = run_experiment("coldstart", quick=True)
+        res = run_experiment("coldstart-cascade", quick=True)
         by = {row["system"]: row for row in res.rows}
         # FINRA has 2 stages: one-to-one pays 2 boot waves, shared pays 1
         assert by["openfaas"]["penalty_ms"] == pytest.approx(334.0, rel=0.05)
@@ -18,7 +18,7 @@ class TestColdStart:
             assert by[shared]["penalty_ms"] == pytest.approx(167.0, rel=0.05)
 
     def test_sandbox_counts_reported(self):
-        res = run_experiment("coldstart", quick=True)
+        res = run_experiment("coldstart-cascade", quick=True)
         by = {row["system"]: row for row in res.rows}
         assert by["openfaas"]["sandboxes"] == 6
         assert by["faastlane"]["sandboxes"] == 1
