@@ -32,6 +32,13 @@ from repro.apps.catalog import ALL_WORKLOADS, workload
 from repro.calibration import RuntimeCalibration
 from repro.core.pgp import PGPOptions, PGPScheduler
 from repro.core.predictor import LatencyPredictor, PredictionCache
+from repro.core.search import (
+    MOVE_KINDS,
+    SearchOptions,
+    cost_at_budget,
+    plan_cost,
+    refine_plan,
+)
 from repro.errors import DeploymentError
 
 #: SLO tightness as multiples of the workflow's critical path (1.0 would be
@@ -170,3 +177,185 @@ def write_report(report: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# anytime plan search: quality vs. budget, KL vs. SA vs. portfolio
+# ---------------------------------------------------------------------------
+
+#: move-evaluation budgets the anytime curve is read at (largest = the SA
+#: run; smaller points are read off the same run's best-cost timeline)
+DEFAULT_SEARCH_BUDGETS = (50, 200, 800)
+QUICK_SEARCH_BUDGETS = (25, 100)
+
+
+def search_bench_workload(name: str, *,
+                          slo_factors: Sequence[float] = DEFAULT_SLO_FACTORS,
+                          budgets: Sequence[int] = DEFAULT_SEARCH_BUDGETS,
+                          seed: int = 0, restarts: int = 2,
+                          verify_budget: int = 120) -> dict:
+    """Search-quality benchmark for one workload.
+
+    One predictor (one shared :class:`PredictionCache`) serves KL, SA and
+    the portfolio across the whole SLO sweep — the very setting the search
+    was built for.  Per SLO factor the report records the greedy KL plan
+    cost, SA's anytime best-cost at each budget (read off one max-budget
+    run's timeline), and the portfolio winner; per workload it adds a
+    delta-cost bit-identity pass (``verify_deltas=True``) and a determinism
+    probe (same seed + budget twice, plans and move traces must match).
+    """
+    budgets = sorted(budgets)
+    wf = workload(name)
+    cal = RuntimeCalibration.native()
+    predictor = LatencyPredictor(cal, conservatism=_CONSERVATISM)
+    scheduler = PGPScheduler(predictor)
+    slos = [round(f * wf.critical_path_ms, 6) for f in slo_factors]
+
+    rows = []
+    t0 = time.perf_counter()
+    for factor, slo in zip(slo_factors, slos):
+        kl_plan = scheduler.schedule(wf, slo)
+        kl_cost = plan_cost(kl_plan.predicted_latency_ms,
+                            kl_plan.total_cores, slo)
+        sa = refine_plan(wf, kl_plan, slo, predictor,
+                         SearchOptions(budget=budgets[-1], seed=seed,
+                                       restarts=restarts))
+        pf = refine_plan(wf, kl_plan, slo, predictor,
+                         SearchOptions(method="portfolio",
+                                       budget=budgets[-1],
+                                       seed=seed, restarts=restarts))
+        rows.append({
+            "slo_factor": factor,
+            "slo_ms": slo,
+            "kl": {"cost": kl_cost, "cores": kl_plan.total_cores,
+                   "predicted_ms": kl_plan.predicted_latency_ms,
+                   "feasible": kl_plan.predicted_latency_ms <= slo},
+            "sa": {"cost": sa.cost, "cores": sa.plan.total_cores,
+                   "predicted_ms": sa.plan.predicted_latency_ms,
+                   "feasible": sa.feasible,
+                   "evaluations": sa.evaluations,
+                   "cost_by_budget": {str(b): cost_at_budget(sa.timeline, b)
+                                      for b in budgets}},
+            "portfolio": {"cost": pf.cost, "cores": pf.plan.total_cores,
+                          "predicted_ms": pf.plan.predicted_latency_ms,
+                          "feasible": pf.feasible, "winner": pf.winner,
+                          "budget_per_arm": budgets[-1],
+                          "arms": pf.arms},
+        })
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+
+    # delta-cost bit-identity: every evaluated move's delta-costed total
+    # must equal a cache-disabled full re-evaluation (raises on divergence)
+    tight_slo = slos[0]
+    verify_seed_plan = scheduler.schedule(wf, tight_slo)
+    verify = refine_plan(wf, verify_seed_plan, tight_slo, predictor,
+                         SearchOptions(budget=verify_budget, seed=seed + 1,
+                                       verify_deltas=True))
+
+    # determinism: identical options twice => identical plan + move trace
+    det_opts = SearchOptions(budget=min(60, budgets[-1]), seed=seed + 2)
+    d1 = refine_plan(wf, verify_seed_plan, tight_slo, predictor, det_opts)
+    d2 = refine_plan(wf, verify_seed_plan, tight_slo, predictor, det_opts)
+    deterministic = (d1.plan.fingerprint(wf) == d2.plan.fingerprint(wf)
+                     and d1.moves == d2.moves
+                     and d1.timeline == d2.timeline)
+
+    return {
+        "workload": name,
+        "stages": len(wf.stages),
+        "functions": wf.num_functions,
+        "critical_path_ms": wf.critical_path_ms,
+        "seed": seed,
+        "budgets": list(budgets),
+        "wall_ms": wall_ms,
+        "slos": rows,
+        "delta_verified": verify.delta_verified,
+        "deterministic": deterministic,
+        "counters": {k: v
+                     for k, v in predictor.cache.metrics.counters().items()
+                     if k.startswith(("pgp.", "search."))},
+    }
+
+
+def run_search_bench(workloads: Optional[Sequence[str]] = None, *,
+                     slo_factors: Sequence[float] = DEFAULT_SLO_FACTORS,
+                     budgets: Sequence[int] = DEFAULT_SEARCH_BUDGETS,
+                     seed: int = 0, restarts: int = 2) -> dict:
+    """Search benchmark across workloads with the acceptance summary.
+
+    The summary the CI smoke gates on: SA and the portfolio must never be
+    worse than greedy KL (anytime best-so-far and the KL arm make both
+    structural guarantees — this checks them end to end), the strict-win
+    list at the tightest SLO factor, all-move-kind delta verification, and
+    per-workload determinism.
+    """
+    budgets = tuple(budgets)
+    if (not budgets or any(b < 1 for b in budgets)
+            or list(budgets) != sorted(set(budgets))):
+        raise DeploymentError(
+            f"budgets must be strictly increasing positive move counts, "
+            f"got {list(budgets)} (budget 0 is just the KL seed — the "
+            f"strict-win and determinism gates would be vacuous)")
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    unknown = [n for n in names if n not in ALL_WORKLOADS]
+    if unknown:
+        raise DeploymentError(
+            f"unknown workloads {unknown}; known: {sorted(ALL_WORKLOADS)}")
+    results = [search_bench_workload(n, slo_factors=slo_factors,
+                                     budgets=budgets, seed=seed,
+                                     restarts=restarts)
+               for n in names]
+
+    eps = 1e-9
+    sa_never_worse = all(r["slos"][i]["sa"]["cost"]
+                         <= r["slos"][i]["kl"]["cost"] + eps
+                         for r in results for i in range(len(r["slos"])))
+    pf_never_worse = all(r["slos"][i]["portfolio"]["cost"]
+                         <= r["slos"][i]["kl"]["cost"] + eps
+                         for r in results for i in range(len(r["slos"])))
+    strict_wins = sorted(
+        r["workload"] for r in results
+        if r["slos"][0]["kl"]["cost"]
+        - min(r["slos"][0]["sa"]["cost"],
+              r["slos"][0]["portfolio"]["cost"]) > eps)
+    verified = {kind: sum(r["delta_verified"][kind] for r in results)
+                for kind in MOVE_KINDS}
+    return {
+        "benchmark": "plan-search",
+        "slo_factors": list(slo_factors),
+        "budgets": sorted(budgets),
+        "seed": seed,
+        "restarts": restarts,
+        "workloads": results,
+        "summary": {
+            "sa_never_worse_than_kl": sa_never_worse,
+            "portfolio_never_worse_than_kl": pf_never_worse,
+            "strict_wins_at_tightest_slo": strict_wins,
+            "delta_verified_by_kind": verified,
+            "delta_verify_all_kinds": all(v > 0 for v in verified.values()),
+            "deterministic": all(r["deterministic"] for r in results),
+        },
+    }
+
+
+def format_search_table(report: dict) -> str:
+    """Human-readable summary of a :func:`run_search_bench` report."""
+    rows = [f"{'workload':<16} {'slo':>5} {'kl cost':>10} {'sa cost':>10} "
+            f"{'pf cost':>10} {'winner':>10} {'feas kl>sa':>10}"]
+    for r in report["workloads"]:
+        for row in r["slos"]:
+            feas = (f"{'y' if row['kl']['feasible'] else 'n'}>"
+                    f"{'y' if row['sa']['feasible'] else 'n'}")
+            rows.append(
+                f"{r['workload']:<16} {row['slo_factor']:>5.2f} "
+                f"{row['kl']['cost']:>10.3f} {row['sa']['cost']:>10.3f} "
+                f"{row['portfolio']['cost']:>10.3f} "
+                f"{row['portfolio']['winner']:>10} {feas:>10}")
+    s = report["summary"]
+    rows.append(
+        f"sa<=kl: {s['sa_never_worse_than_kl']}, "
+        f"portfolio<=kl: {s['portfolio_never_worse_than_kl']}, "
+        f"strict wins @tightest: {s['strict_wins_at_tightest_slo']}, "
+        f"delta-verified all kinds: {s['delta_verify_all_kinds']}, "
+        f"deterministic: {s['deterministic']}")
+    return "\n".join(rows)

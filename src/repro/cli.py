@@ -370,16 +370,37 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
+        DEFAULT_SEARCH_BUDGETS,
         DEFAULT_SLO_FACTORS,
+        QUICK_SEARCH_BUDGETS,
         QUICK_WORKLOADS,
+        format_search_table,
         format_table,
         run_bench,
+        run_search_bench,
         write_report,
     )
 
     workloads = args.workloads
     if workloads is None and args.quick:
         workloads = list(QUICK_WORKLOADS)
+    if args.search:
+        budgets = args.budgets
+        if budgets is None:
+            budgets = (QUICK_SEARCH_BUDGETS if args.quick
+                       else DEFAULT_SEARCH_BUDGETS)
+        report = run_search_bench(
+            workloads,
+            slo_factors=args.slo_factors or DEFAULT_SLO_FACTORS,
+            budgets=budgets, seed=args.seed, restarts=args.restarts)
+        out = args.out
+        if out == "BENCH_pgp.json":  # the cache-bench default; redirect
+            out = "BENCH_search.json"
+        print(format_search_table(report))
+        if out:
+            write_report(report, out)
+            print(f"report written to {out}")
+        return 0
     report = run_bench(workloads,
                        slo_factors=args.slo_factors or DEFAULT_SLO_FACTORS,
                        check=args.check)
@@ -542,8 +563,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="verify mode: recompute every cache hit and "
                               "fail on any divergence")
     p_bench.add_argument("--out", metavar="FILE", default="BENCH_pgp.json",
-                         help="JSON report path (default BENCH_pgp.json; "
+                         help="JSON report path (default BENCH_pgp.json, "
+                              "or BENCH_search.json with --search; "
                               "'' to skip)")
+    p_bench.add_argument("--search", action="store_true",
+                         help="benchmark the anytime plan search instead: "
+                              "KL vs. SA vs. portfolio plan cost across "
+                              "the catalog x SLO factors (writes "
+                              "BENCH_search.json)")
+    p_bench.add_argument("--budgets", type=int, nargs="+", metavar="N",
+                         default=None,
+                         help="[--search] move-evaluation budgets for the "
+                              "anytime curve (default: 50 200 800, or "
+                              "25 100 with --quick)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="[--search] rng seed (default 0)")
+    p_bench.add_argument("--restarts", type=int, default=2,
+                         help="[--search] portfolio random-restart arms "
+                              "(default 2)")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -14,6 +14,9 @@ This package is the paper's contribution proper:
   Algorithm 2 with its Kernighan-Lin swap pass (§3.4);
 * :class:`OrchestratorGenerator` — emits the per-wrap orchestrator code the
   platform deploys as a "new function" (§3.1 step 4, §5);
+* :mod:`repro.core.search` — the anytime plan search (simulated annealing +
+  parallel portfolio) that refines PGP's greedy plan through the prediction
+  cache (ROADMAP item 2);
 * :class:`ChironManager` — the end-to-end pipeline gluing all of the above.
 """
 
@@ -24,6 +27,15 @@ from repro.core.manager import ChironManager
 from repro.core.pgp import PGPOptions, PGPScheduler
 from repro.core.predictor import PGP_COUNTERS, LatencyPredictor, PredictionCache
 from repro.core.profiler import FunctionProfile, Profiler, StraceLog
+from repro.core.search import (
+    SEARCH_COUNTERS,
+    SEARCH_EVENT_TYPES,
+    MoveRecord,
+    SearchOptions,
+    SearchResult,
+    plan_cost,
+    refine_plan,
+)
 from repro.core.serialize import plan_from_json, plan_to_json
 from repro.core.slo import SloPolicy
 from repro.core.wrap import (
@@ -50,10 +62,17 @@ __all__ = [
     "PredictionCache",
     "ProcessAssignment",
     "Profiler",
+    "MoveRecord",
+    "SEARCH_COUNTERS",
+    "SEARCH_EVENT_TYPES",
+    "SearchOptions",
+    "SearchResult",
     "SloPolicy",
     "StageAssignment",
     "StraceLog",
     "Wrap",
+    "plan_cost",
     "plan_from_json",
     "plan_to_json",
+    "refine_plan",
 ]

@@ -49,6 +49,9 @@ class Deployment:
     #: predicted first-invocation latency including the boot-tier penalty
     #: (None when no boot tier was planned for)
     first_invocation_ms: Optional[float] = None
+    #: :class:`repro.core.search.SearchResult` of the anytime plan search
+    #: that refined the KL seed (None when search was disabled)
+    search_result: Optional[object] = None
 
     @property
     def predicted_latency_ms(self) -> Optional[float]:
@@ -61,7 +64,8 @@ class ChironManager:
     def __init__(self, *, cal: Optional[RuntimeCalibration] = None,
                  profiler: Optional[Profiler] = None,
                  options: Optional[PGPOptions] = None,
-                 conservatism: float = DEFAULT_CONSERVATISM) -> None:
+                 conservatism: float = DEFAULT_CONSERVATISM,
+                 search=None) -> None:
         self.cal = cal or RuntimeCalibration.native()
         self.profiler = profiler or Profiler()
         # One predictor (and thus one PredictionCache) for the manager's
@@ -71,6 +75,9 @@ class ChironManager:
                                           conservatism=conservatism)
         self.scheduler = PGPScheduler(self.predictor, options=options)
         self.generator = OrchestratorGenerator()
+        #: default anytime-search setting for every deploy: None/"none",
+        #: "sa", "portfolio" or a :class:`repro.core.search.SearchOptions`
+        self.search = search
 
     @property
     def prediction_cache(self):
@@ -83,7 +90,7 @@ class ChironManager:
                generate_code: bool = True, tracer=None,
                fault_plan: Optional[FaultPlan] = None,
                retry: Optional[RetryPolicy] = None,
-               boot_tier=None) -> Deployment:
+               boot_tier=None, search=None) -> Deployment:
         """Run the full pipeline for one workflow.
 
         ``tracer`` (a :class:`repro.obs.Tracer`) records each pipeline phase
@@ -101,23 +108,41 @@ class ChironManager:
         budgets can change the wrap structure and thus the penalty itself.
         The returned deployment records the tier and the predicted
         first-invocation latency.
+
+        ``search`` enables the anytime plan search
+        (:mod:`repro.core.search`) on top of PGP's greedy KL plan:
+        ``"sa"``, ``"portfolio"`` or a
+        :class:`repro.core.search.SearchOptions`.  ``None`` inherits the
+        manager-wide default (``self.search``); pass ``"none"`` to disable
+        for this deploy only.  The search outcome lands in
+        :attr:`Deployment.search_result`.
         """
         if tracer is None:
             from repro.obs.tracer import NULL_TRACER
             tracer = NULL_TRACER
+        if search is None:
+            search = self.search
         with tracer.span("manager.profile", entity="manager",
                          functions=workflow.num_functions):
             profiles = self.profiler.profile_workflow(workflow)
             profiled = Profiler.profiled_workflow(workflow, profiles)
         with tracer.span("manager.schedule", entity="manager",
-                         slo_ms=slo_ms):
-            plan = self.scheduler.schedule(profiled, slo_ms)
+                         slo_ms=slo_ms) as handle:
+            plan = self.scheduler.schedule(profiled, slo_ms,
+                                           search=search, tracer=tracer)
+            search_result = self.scheduler.last_search
+            if search_result is not None:
+                handle.tags.update(
+                    search=search_result.method,
+                    search_cost=search_result.cost,
+                    search_seed_cost=search_result.seed_cost,
+                    search_evals=search_result.evaluations)
         first_invocation_ms = None
         if boot_tier is not None:
             with tracer.span("manager.boot_budget", entity="manager",
                              tier=getattr(boot_tier, "value", boot_tier)):
                 plan, first_invocation_ms = self._plan_with_boot_budget(
-                    profiled, plan, slo_ms, boot_tier)
+                    profiled, plan, slo_ms, boot_tier, search=search)
         adjusted_p99 = None
         if fault_plan is not None and not fault_plan.is_null:
             # local import: repro.faults.__init__ pulls in reliability, which
@@ -143,11 +168,13 @@ class ChironManager:
                           fault_adjusted_p99_ms=adjusted_p99,
                           boot_tier=(getattr(boot_tier, "value", boot_tier)
                                      if boot_tier is not None else None),
-                          first_invocation_ms=first_invocation_ms)
+                          first_invocation_ms=first_invocation_ms,
+                          search_result=search_result)
 
     def _plan_with_boot_budget(self, profiled: Workflow,
                                plan: DeploymentPlan, slo_ms: float,
-                               boot_tier) -> tuple[DeploymentPlan, float]:
+                               boot_tier,
+                               search=None) -> tuple[DeploymentPlan, float]:
         """Re-schedule so warm latency + boot penalty fits the SLO.
 
         At most three iterations: the penalty depends on the plan's boot
@@ -166,7 +193,8 @@ class ChironManager:
             warm_budget = slo_ms - penalty
             if warm_budget <= 0:
                 break
-            replanned = self.scheduler.schedule(profiled, warm_budget)
+            replanned = self.scheduler.schedule(profiled, warm_budget,
+                                                search=search)
             first = predictor.predict_first_invocation(profiled, replanned,
                                                        tier=boot_tier)
             if first >= best_first:

@@ -57,6 +57,33 @@ class PGPOptions:
     max_threads_per_process: Optional[int] = None
 
 
+def conflicted_functions(workflow: Workflow) -> set[str]:
+    """Functions pinned to dedicated sandboxes (§3.4 end).
+
+    Conflicts form a graph; pinning a greedy vertex cover (repeatedly
+    pin the highest-degree endpoint) leaves the rest mutually
+    compatible while isolating as few functions as possible — e.g. one
+    ``python2`` function among ``python3`` peers is pinned alone rather
+    than pinning the whole stage.  Module-level because the plan search
+    (:mod:`repro.core.search`) relies on the same pinning to keep every
+    move conflict-free by construction.
+    """
+    fns = workflow.functions
+    edges = {(a.name, b.name)
+             for a, b in itertools.combinations(fns, 2)
+             if a.conflicts_with(b)}
+    pinned: set[str] = set()
+    while edges:
+        degree: dict[str, int] = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        victim = max(sorted(degree), key=lambda n: degree[n])
+        pinned.add(victim)
+        edges = {(a, b) for a, b in edges if victim not in (a, b)}
+    return pinned
+
+
 class PGPScheduler:
     """Runs Algorithm 2 against a :class:`LatencyPredictor`."""
 
@@ -65,11 +92,15 @@ class PGPScheduler:
         self.predictor = predictor or LatencyPredictor(
             RuntimeCalibration.native(), conservatism=1.05)
         self.options = options or PGPOptions()
+        #: :class:`repro.core.search.SearchResult` of the most recent
+        #: ``schedule(search=...)`` call, ``None`` for plain KL runs.
+        self.last_search = None
 
     # ------------------------------------------------------------------
     # public entry
     # ------------------------------------------------------------------
-    def schedule(self, workflow: Workflow, slo_ms: float) -> DeploymentPlan:
+    def schedule(self, workflow: Workflow, slo_ms: float, *,
+                 search=None, tracer=None) -> DeploymentPlan:
         """Produce a deployment plan meeting ``slo_ms`` with minimal CPUs.
 
         All prediction state lives in the predictor's content-addressed
@@ -77,10 +108,31 @@ class PGPScheduler:
         across ``schedule()`` calls: an SLO sweep over one workflow, or
         re-planning after partial drift, re-simulates only stages and
         thread groups whose fingerprints actually changed.
+
+        ``search`` enables anytime refinement of the greedy KL plan:
+        ``"sa"``/``"portfolio"`` or a :class:`repro.core.search.SearchOptions`
+        anneal from the KL seed — the seed's per-stage predictions are
+        served back from the shared cache, never recomputed — and the
+        refined plan is returned (details in :attr:`last_search`).
         """
+        self.last_search = None
+        plan = self._schedule_kl(workflow, slo_ms)
+        from repro.core.search import SearchOptions, refine_plan
+
+        opts = SearchOptions.coerce(search)
+        if opts is None:
+            return plan
+        result = refine_plan(workflow, plan, slo_ms, self.predictor, opts,
+                             tracer=tracer)
+        self.last_search = result
+        return result.plan
+
+    def _schedule_kl(self, workflow: Workflow,
+                     slo_ms: float) -> DeploymentPlan:
+        """Algorithm 2 proper: minimal-n scan + KL swaps + wrap repacking."""
         if slo_ms <= 0:
             raise SchedulingError(f"SLO must be > 0, got {slo_ms}")
-        conflicted = self._conflicted_functions(workflow)
+        conflicted = conflicted_functions(workflow)
         max_n = max(
             (len([f for f in st if f.name not in conflicted])
              for st in workflow.stages),
@@ -233,30 +285,9 @@ class PGPScheduler:
     # ------------------------------------------------------------------
     # conflicts (§3.4 end)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _conflicted_functions(workflow: Workflow) -> set[str]:
-        """Functions pinned to dedicated sandboxes.
-
-        Conflicts form a graph; pinning a greedy vertex cover (repeatedly
-        pin the highest-degree endpoint) leaves the rest mutually
-        compatible while isolating as few functions as possible — e.g. one
-        ``python2`` function among ``python3`` peers is pinned alone rather
-        than pinning the whole stage.
-        """
-        fns = workflow.functions
-        edges = {(a.name, b.name)
-                 for a, b in itertools.combinations(fns, 2)
-                 if a.conflicts_with(b)}
-        pinned: set[str] = set()
-        while edges:
-            degree: dict[str, int] = {}
-            for a, b in edges:
-                degree[a] = degree.get(a, 0) + 1
-                degree[b] = degree.get(b, 0) + 1
-            victim = max(sorted(degree), key=lambda n: degree[n])
-            pinned.add(victim)
-            edges = {(a, b) for a, b in edges if victim not in (a, b)}
-        return pinned
+    #: kept as a static alias; the implementation moved to module level so
+    #: the plan search shares the exact pinning.
+    _conflicted_functions = staticmethod(conflicted_functions)
 
     # ------------------------------------------------------------------
     # partitioning (lines 8-11)

@@ -23,6 +23,7 @@ with bounded concurrency.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Union
@@ -86,6 +87,15 @@ class PredictionCache:
         self.verify = verify
         self.metrics = registry if registry is not None else Registry()
         self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+        #: guards the whole lookup-compute-insert sequence — portfolio
+        #: search arms share one cache across threads.  Holding the lock
+        #: across ``compute`` keeps hit/miss/full-eval counters exact and
+        #: schedule-independent (each key is computed exactly once), and
+        #: costs nothing in practice: predictions are pure CPU-bound
+        #: Python, so the GIL serializes concurrent computes anyway.
+        #: Reentrant because stage computes recurse into group-level
+        #: ``get_or_compute`` calls (stage -> group only, never cycles).
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,8 +123,13 @@ class PredictionCache:
         A miss runs ``compute`` (one full Algorithm-1/Eq.-(2)-(4)
         evaluation, counted as ``pgp.evals.full``) and stores the result.
         """
+        if not self.enabled:
+            value = compute()
+            self.metrics.inc("pgp.cache.miss")
+            self.metrics.inc("pgp.evals.full")
+            return value, False
         entries = self._entries
-        if self.enabled:
+        with self._lock:
             value = entries.get(key)
             if value is not None:
                 entries.move_to_end(key)
@@ -127,14 +142,13 @@ class PredictionCache:
                             f"!= recomputed {fresh!r} for key kind "
                             f"{key[0]!r} — cache keys are missing an input")
                 return value, True
-        value = compute()
-        self.metrics.inc("pgp.cache.miss")
-        self.metrics.inc("pgp.evals.full")
-        if self.enabled:
+            value = compute()
+            self.metrics.inc("pgp.cache.miss")
+            self.metrics.inc("pgp.evals.full")
             entries[key] = value
             if len(entries) > self.capacity:
                 entries.popitem(last=False)
-        return value, False
+            return value, False
 
     def invalidate(self) -> None:
         """Drop every entry (memory bound / explicit reset).

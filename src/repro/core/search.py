@@ -1,0 +1,873 @@
+"""Anytime plan search: simulated annealing + portfolio over the prediction
+cache (ROADMAP item 2).
+
+The paper's Algorithm 2 stops at greedy Kernighan-Lin refinement because it
+was designed for *expensive* plan evaluation.  The content-addressed
+:class:`~repro.core.predictor.PredictionCache` changed that economy: a plan
+that differs from an already-evaluated one in a single stage costs one stage
+re-simulation (``pgp.evals.delta``), not a full Algorithm-1 replay of the
+workflow.  This module spends that budget on a real search:
+
+* :func:`anneal` — simulated annealing over deployment plans with a typed
+  move set (**swap** a function between process groups, **split** a wrap or a
+  group, **merge** two wraps or two groups, **flip** a group between forked
+  process and orchestrator thread, **retrim** a wrap's cpuset).  Every move
+  touches a known set of stages, so candidate costs are *delta-costed*: only
+  the touched stages are re-predicted (through the shared per-stage cache)
+  and the workflow total is re-summed in stage order — bit-identical to a
+  from-scratch :meth:`~repro.core.predictor.LatencyPredictor.predict_workflow`
+  of the mutated plan, which ``verify_deltas=True`` enforces eagerly.
+
+* **Anytime semantics** — the search keeps a *best-so-far* plan that is
+  always structurally valid and annotated with its (SLO-checked) predicted
+  latency.  Quality is monotone in budget: with a fixed per-move cooling
+  factor the trajectory of a long run is a strict prefix-extension of a
+  short run with the same seed, so ``best_cost(budget=b)`` is non-increasing
+  in ``b`` and a deadline can cut the run at any point.
+
+* :func:`portfolio` — races the greedy-KL seed, SA from that seed, and SA
+  from random restarts in a thread pool sharing one prediction cache, and
+  keeps the winner (ties go to the earlier arm, so the portfolio is *never*
+  worse than plain KL).
+
+Determinism: all randomness flows from ``random.Random(options.seed)``; the
+same seed and budget reproduce the identical move trace and plan bit for
+bit.  Search cost is scored by :func:`plan_cost` — total allocated cores
+with a sub-core latency tie-break, plus a large penalty when the prediction
+misses the SLO — so "better" means *fewer CPUs for a feasible plan* first
+and lower latency second, matching PGP's objective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.predictor import LatencyPredictor
+from repro.core.wrap import (
+    DeploymentPlan,
+    ExecMode,
+    ProcessAssignment,
+    StageAssignment,
+    Wrap,
+)
+from repro.errors import DeploymentError, SchedulingError
+from repro.workflow.model import Workflow
+
+#: the typed move set (§move design above); order is part of the rng stream
+MOVE_KINDS = ("swap", "split", "merge", "flip", "retrim")
+
+#: every counter the plan search increments (pinned by the golden-trace
+#: schema, mirroring ``repro.core.predictor.PGP_COUNTERS``)
+SEARCH_COUNTERS = (
+    "search.moves.proposed",
+    "search.moves.accepted",
+    "search.moves.rejected",
+    "search.moves.pruned",
+    "search.moves.invalid",
+    "search.best.updates",
+    "search.restarts",
+    "search.portfolio.arms",
+)
+
+#: every typed event the plan search can emit (also schema-pinned)
+SEARCH_EVENT_TYPES = (
+    "search.start",
+    "search.best",
+    "search.done",
+    "search.portfolio.winner",
+)
+
+
+def plan_cost(predicted_ms: float, total_cores: int, slo_ms: float, *,
+              latency_weight: float = 0.999,
+              infeasible_penalty: float = 1000.0) -> float:
+    """Scalar search objective: cores first, latency as a sub-core tie-break.
+
+    Feasible plans score ``cores + latency_weight * predicted/slo`` — the
+    latency term stays below one core, so the search never trades a whole
+    CPU for a latency nicety.  Infeasible plans score
+    ``cores + infeasible_penalty * predicted/slo``: far above any feasible
+    plan (the penalty dwarfs realistic core counts) yet still *graded*, so
+    annealing in best-effort territory keeps a gradient toward the SLO.
+    """
+    if slo_ms <= 0:
+        raise SchedulingError(f"SLO must be > 0, got {slo_ms}")
+    frac = predicted_ms / slo_ms
+    if predicted_ms <= slo_ms:
+        return total_cores + latency_weight * frac
+    return total_cores + infeasible_penalty * frac
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Knobs of the anytime plan search (all defaults deterministic)."""
+
+    #: "sa" anneals from the KL seed; "portfolio" additionally races the
+    #: seed itself and random restarts and keeps the winner.
+    method: str = "sa"
+    #: move-evaluation budget; 0 degrades gracefully to the seed plan.
+    budget: int = 1500
+    #: optional wall-clock deadline (ms) — the anytime cut; determinism
+    #: holds only for runs the budget terminates, not the deadline.
+    deadline_ms: Optional[float] = None
+    #: seeds the move/accept rng; same seed + budget => identical trace.
+    seed: int = 0
+    #: random-restart arms raced by the portfolio.
+    restarts: int = 2
+    #: portfolio thread-pool width (None: one thread per arm, capped at 4).
+    threads: Optional[int] = None
+    #: initial temperature (None: 6% of the seed cost, floor 0.5).
+    t0: Optional[float] = None
+    #: fixed per-move geometric cooling — budget-independent, so longer
+    #: runs extend shorter ones move for move (the anytime guarantee).
+    cooling: float = 0.995
+    #: temperature floor (hill-climbing regime).
+    t_floor: float = 1e-4
+    #: after this many evaluations without a new best, teleport the walk
+    #: back to the best-so-far plan (cooling continues).  Depends only on
+    #: trajectory history, so budget-prefix consistency is preserved.
+    stall: int = 150
+    latency_weight: float = 0.999
+    infeasible_penalty: float = 1000.0
+    #: recompute every delta-costed candidate with a cache-disabled
+    #: predictor and raise on the slightest disagreement (bit-identity).
+    verify_deltas: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method not in ("sa", "portfolio"):
+            raise SchedulingError(f"unknown search method {self.method!r}; "
+                                  f"expected 'sa' or 'portfolio'")
+        if self.budget < 0:
+            raise SchedulingError(f"budget must be >= 0, got {self.budget}")
+        if not 0.0 < self.cooling <= 1.0:
+            raise SchedulingError(f"cooling must be in (0, 1], "
+                                  f"got {self.cooling}")
+        if self.restarts < 0:
+            raise SchedulingError(f"restarts must be >= 0, "
+                                  f"got {self.restarts}")
+
+    @staticmethod
+    def coerce(value: Union[None, str, "SearchOptions"]
+               ) -> Optional["SearchOptions"]:
+        """Normalize the ``search=`` option: None/"none"/"kl" disable the
+        search, "sa"/"portfolio" pick a method with defaults, and a
+        :class:`SearchOptions` passes through."""
+        if value is None or isinstance(value, SearchOptions):
+            return value
+        if isinstance(value, str):
+            if value in ("none", "kl", ""):
+                return None
+            if value in ("sa", "portfolio"):
+                return SearchOptions(method=value)
+        raise SchedulingError(
+            f"unknown search= option {value!r}; expected None, 'none', "
+            f"'kl', 'sa', 'portfolio' or a SearchOptions")
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One evaluated move of the annealing trace (deterministic per seed)."""
+
+    index: int            # 1-based evaluation number
+    kind: str             # one of MOVE_KINDS
+    detail: tuple         # move-specific identifying data
+    temperature: float
+    delta: float          # candidate cost - current cost
+    accepted: bool
+    cost: float           # current cost after the accept/reject decision
+    best_cost: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run (or the portfolio winner)."""
+
+    plan: DeploymentPlan          # best-so-far, validated + SLO-annotated
+    cost: float
+    seed_cost: float
+    feasible: bool
+    method: str                   # "sa", "kl", "portfolio", "restart-N"
+    evaluations: int
+    accepted: int
+    moves: List[MoveRecord] = field(default_factory=list)
+    #: (evaluations-done, best-cost) pairs; non-increasing in cost
+    timeline: List[Tuple[int, float]] = field(default_factory=list)
+    #: portfolio only: winning arm name and per-arm final costs
+    winner: Optional[str] = None
+    arms: Optional[Dict[str, float]] = None
+    #: verify_deltas only: per-move-kind count of bit-verified delta costs
+    delta_verified: Optional[Dict[str, int]] = None
+
+
+# ---------------------------------------------------------------------------
+# mutable plan state
+# ---------------------------------------------------------------------------
+class _Group:
+    """One process group of a wrap-stage, mutable for move application."""
+
+    __slots__ = ("functions", "mode")
+
+    def __init__(self, functions: Sequence[str], mode: ExecMode) -> None:
+        self.functions = list(functions)
+        self.mode = mode
+
+
+class _MWrap:
+    """Mutable wrap: ``stages`` maps stage index -> ordered group list."""
+
+    __slots__ = ("name", "stages", "cores", "frozen")
+
+    def __init__(self, name: str, stages: Dict[int, List[_Group]],
+                 cores: int, frozen: bool) -> None:
+        self.name = name
+        self.stages = stages
+        self.cores = cores
+        self.frozen = frozen
+
+    @property
+    def n_groups(self) -> int:
+        return sum(len(gs) for gs in self.stages.values())
+
+    def needed_cores(self) -> int:
+        """Mirror of :attr:`repro.core.wrap.Wrap.max_concurrent_processes`."""
+        peak = 1
+        for groups in self.stages.values():
+            forked = sum(1 for g in groups if g.mode is ExecMode.PROCESS)
+            threads = 1 if any(g.mode is ExecMode.THREAD for g in groups) \
+                else 0
+            peak = max(peak, forked + threads)
+        return peak
+
+
+#: sentinel returned by a proposer for a provably-no-gain candidate
+_PRUNED = object()
+
+
+class _PlanState:
+    """A deployment plan decomposed for in-place move application.
+
+    Wrap order is preserved exactly through decompose -> rebuild (sibling
+    order decides invocation/RPC shifts, so it is part of every stage
+    fingerprint).  Wraps containing conflicted functions are *frozen*: the
+    remaining functions are mutually sandbox-compatible (PGP pins a vertex
+    cover), so no move can ever create a conflict.
+    """
+
+    def __init__(self, workflow: Workflow, plan: DeploymentPlan,
+                 slo_ms: float, predictor: LatencyPredictor,
+                 conflicted: Set[str]) -> None:
+        self.workflow = workflow
+        self.predictor = predictor
+        self.slo_ms = slo_ms
+        self.n_stages = len(workflow.stages)
+        self.pool_workers = plan.pool_workers
+        self.wraps: List[_MWrap] = []
+        # continue fresh-wrap numbering past any wrap-saN already in the
+        # plan (the stall teleport re-decomposes a plan that has them)
+        self._fresh = 0
+        for wrap in plan.wraps:
+            if wrap.name.startswith("wrap-sa"):
+                suffix = wrap.name[7:]
+                if suffix.isdigit():
+                    self._fresh = max(self._fresh, int(suffix))
+        for wrap in plan.wraps:
+            frozen = any(name in conflicted for name in wrap.function_names)
+            stages = {
+                sa.stage_index: [_Group(p.functions, p.mode)
+                                 for p in sa.processes]
+                for sa in wrap.stages}
+            self.wraps.append(_MWrap(wrap.name, stages,
+                                     plan.cores_for(wrap), frozen))
+        #: per-stage predicted latency; refreshed move by move
+        self.stage_values: List[float] = [0.0] * self.n_stages
+        #: behaviour fingerprint per function (swap-prune test)
+        self._bfp = {f.name: f.behavior.fingerprint()
+                     for f in workflow.functions}
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def mutable(self) -> List[int]:
+        return [i for i, w in enumerate(self.wraps) if not w.frozen]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(w.cores for w in self.wraps)
+
+    def total_ms(self) -> float:
+        """Sum the per-stage values exactly like ``predict_workflow`` does
+        (left to right, then the conservatism factor) — bit-identical."""
+        total = 0.0
+        for value in self.stage_values:
+            total += value
+        return total * self.predictor.conservatism
+
+    def to_plan(self, predicted: Optional[float] = None) -> DeploymentPlan:
+        wraps = []
+        cores: Dict[str, int] = {}
+        for mw in self.wraps:
+            stages = tuple(
+                StageAssignment(stage_index=i, processes=tuple(
+                    ProcessAssignment(functions=tuple(g.functions),
+                                      mode=g.mode)
+                    for g in groups))
+                for i, groups in sorted(mw.stages.items()))
+            wraps.append(Wrap(name=mw.name, stages=stages))
+            cores[mw.name] = mw.cores
+        return DeploymentPlan(workflow_name=self.workflow.name,
+                              wraps=tuple(wraps), cores=cores,
+                              pool_workers=self.pool_workers,
+                              predicted_latency_ms=predicted,
+                              slo_ms=self.slo_ms)
+
+    def refresh_stages(self, plan: DeploymentPlan,
+                       stages: Sequence[int]) -> None:
+        for i in stages:
+            self.stage_values[i] = self.predictor.predict_stage(
+                plan, self.workflow, i)
+
+    def refresh_all(self) -> DeploymentPlan:
+        plan = self.to_plan()
+        self.refresh_stages(plan, range(self.n_stages))
+        return plan
+
+    # -- move proposal ---------------------------------------------------------
+    def propose(self, kind: str, rng: random.Random):
+        """One candidate move of ``kind``: ``None`` if structurally
+        impossible, :data:`_PRUNED` if provably cost-neutral, else
+        ``(detail, affected_stages, undo)`` with the move already applied."""
+        return getattr(self, f"_propose_{kind}")(rng)
+
+    def _stage_groups(self, i: int) -> List[Tuple[int, int]]:
+        """(wrap index, group index) pairs of stage ``i``, mutable only."""
+        out = []
+        for wi in self.mutable:
+            for gi in range(len(self.wraps[wi].stages.get(i, ()))):
+                out.append((wi, gi))
+        return out
+
+    def _propose_swap(self, rng: random.Random):
+        """Exchange two functions of one stage — across groups (the classic
+        KL-style move) or *within* a group (a transposition of the GIL
+        replay order, which Algorithm 1 is sensitive to and the KL seed
+        never explores)."""
+        slots_by_stage: List[List[Tuple[int, int, int]]] = []
+        stages = []
+        for i in range(self.n_stages):
+            slots = [(wi, gi, fi)
+                     for wi, gi in self._stage_groups(i)
+                     for fi in range(
+                         len(self.wraps[wi].stages[i][gi].functions))]
+            if len(slots) >= 2:
+                stages.append(i)
+                slots_by_stage.append(slots)
+        if not stages:
+            return None
+        pick = rng.randrange(len(stages))
+        i, slots = stages[pick], slots_by_stage[pick]
+        a = rng.randrange(len(slots))
+        b = rng.randrange(len(slots) - 1)
+        if b >= a:
+            b += 1
+        wa, ga, xi = slots[a]
+        wb, gb, yi = slots[b]
+        grp_a = self.wraps[wa].stages[i][ga]
+        grp_b = self.wraps[wb].stages[i][gb]
+        x, y = grp_a.functions[xi], grp_b.functions[yi]
+        if self._bfp[x] == self._bfp[y]:
+            # equal-behaviour swap: every touched stage fingerprint is
+            # unchanged, the candidate cannot move the cost
+            return _PRUNED
+        grp_a.functions[xi], grp_b.functions[yi] = y, x
+
+        def undo() -> None:
+            grp_a.functions[xi], grp_b.functions[yi] = x, y
+
+        return (i, "swap", x, y), {i}, undo
+
+    def _propose_split(self, rng: random.Random):
+        if rng.random() < 0.5:
+            move = self._propose_wrap_split(rng)
+            return move if move is not None else self._propose_group_split(rng)
+        move = self._propose_group_split(rng)
+        return move if move is not None else self._propose_wrap_split(rng)
+
+    def _propose_wrap_split(self, rng: random.Random):
+        """Relocate one process group into a fresh single-group wrap."""
+        donors = [wi for wi in self.mutable if self.wraps[wi].n_groups >= 2]
+        if not donors:
+            return None
+        wi = donors[rng.randrange(len(donors))]
+        mw = self.wraps[wi]
+        slots = [(i, gi) for i, gs in sorted(mw.stages.items())
+                 for gi in range(len(gs))]
+        i, gi = slots[rng.randrange(len(slots))]
+        group = mw.stages[i].pop(gi)
+        emptied = not mw.stages[i]
+        if emptied:
+            del mw.stages[i]
+        old_mode = group.mode
+        group.mode = ExecMode.THREAD  # it orchestrates its new sandbox
+        self._fresh += 1
+        fresh = _MWrap(f"wrap-sa{self._fresh}", {i: [group]}, cores=1,
+                       frozen=False)
+        self.wraps.append(fresh)
+
+        def undo() -> None:
+            self.wraps.remove(fresh)
+            group.mode = old_mode
+            if emptied:
+                mw.stages[i] = [group]
+            else:
+                mw.stages[i].insert(gi, group)
+
+        return (i, "wrap-split", mw.name, tuple(group.functions)), {i}, undo
+
+    def _propose_group_split(self, rng: random.Random):
+        """Divide a multi-function group into two groups of its wrap."""
+        slots = [(wi, i, gi)
+                 for wi in self.mutable
+                 for i, gs in sorted(self.wraps[wi].stages.items())
+                 for gi, g in enumerate(gs) if len(g.functions) >= 2]
+        if not slots:
+            return None
+        wi, i, gi = slots[rng.randrange(len(slots))]
+        group = self.wraps[wi].stages[i][gi]
+        cut = rng.randrange(1, len(group.functions))
+        tail = group.functions[cut:]
+        del group.functions[cut:]
+        new = _Group(tail, ExecMode.PROCESS)
+        self.wraps[wi].stages[i].insert(gi + 1, new)
+
+        def undo() -> None:
+            self.wraps[wi].stages[i].remove(new)
+            group.functions.extend(tail)
+
+        return (i, "group-split", self.wraps[wi].name, tuple(tail)), {i}, undo
+
+    def _propose_merge(self, rng: random.Random):
+        if rng.random() < 0.5:
+            move = self._propose_wrap_merge(rng)
+            return move if move is not None else self._propose_group_merge(rng)
+        move = self._propose_group_merge(rng)
+        return move if move is not None else self._propose_wrap_merge(rng)
+
+    def _propose_wrap_merge(self, rng: random.Random):
+        """Fold one mutable wrap's stage shares into another, drop it."""
+        mutable = self.mutable
+        if len(mutable) < 2:
+            return None
+        ai = mutable[rng.randrange(len(mutable))]
+        others = [wi for wi in mutable if wi != ai]
+        bi = others[rng.randrange(len(others))]
+        a, b = self.wraps[ai], self.wraps[bi]
+        b_index = self.wraps.index(b)
+        appended: List[Tuple[int, int]] = []
+        for i, groups in sorted(b.stages.items()):
+            dst = a.stages.setdefault(i, [])
+            appended.append((i, len(groups)))
+            dst.extend(groups)
+        old_cores = a.cores
+        a.cores = max(a.cores, b.cores)
+        self.wraps.remove(b)
+        affected = set(a.stages)  # a's cores changed: every stage of a ∪ b
+
+        def undo() -> None:
+            self.wraps.insert(b_index, b)
+            a.cores = old_cores
+            for i, count in appended:
+                del a.stages[i][-count:]
+                if not a.stages[i]:
+                    del a.stages[i]
+
+        return (-1, "wrap-merge", a.name, b.name), affected, undo
+
+    def _propose_group_merge(self, rng: random.Random):
+        """Concatenate two sibling groups of one wrap-stage.
+
+        Any ordered pair, not just adjacent ones: split at ``k`` followed by
+        a reversed merge rotates a thread group, so compositions of split +
+        merge reach every intra-group execution order — which matters,
+        because GIL replay is order-sensitive and the KL seed never explores
+        orderings.
+        """
+        slots = [(wi, i)
+                 for wi in self.mutable
+                 for i, gs in sorted(self.wraps[wi].stages.items())
+                 if len(gs) >= 2]
+        if not slots:
+            return None
+        wi, i = slots[rng.randrange(len(slots))]
+        groups = self.wraps[wi].stages[i]
+        ki = rng.randrange(len(groups))
+        di = rng.randrange(len(groups) - 1)
+        if di >= ki:
+            di += 1
+        keep, gone = groups[ki], groups[di]
+        tail_len = len(gone.functions)
+        keep.functions.extend(gone.functions)
+        groups.remove(gone)
+
+        def undo() -> None:
+            del keep.functions[-tail_len:]
+            groups.insert(di, gone)
+
+        return (i, "group-merge", self.wraps[wi].name,
+                tuple(gone.functions)), {i}, undo
+
+    def _propose_flip(self, rng: random.Random):
+        slots = [(wi, i, gi)
+                 for wi in self.mutable
+                 for i, gs in sorted(self.wraps[wi].stages.items())
+                 for gi in range(len(gs))]
+        if not slots:
+            return None
+        wi, i, gi = slots[rng.randrange(len(slots))]
+        group = self.wraps[wi].stages[i][gi]
+        old = group.mode
+        group.mode = (ExecMode.PROCESS if old is ExecMode.THREAD
+                      else ExecMode.THREAD)
+
+        def undo() -> None:
+            group.mode = old
+
+        return (i, "flip", self.wraps[wi].name, old.value), {i}, undo
+
+    def _propose_retrim(self, rng: random.Random):
+        mutable = self.mutable
+        if not mutable:
+            return None
+        wi = mutable[rng.randrange(len(mutable))]
+        mw = self.wraps[wi]
+        delta = -1 if rng.random() < 0.5 else 1
+        new = mw.cores + delta
+        if new < 1 or new > mw.needed_cores():
+            return None  # out of the useful [1, peak-processes] band
+        mw.cores = new
+
+        def undo() -> None:
+            mw.cores = new - delta
+
+        return (-1, "retrim", mw.name, delta), set(mw.stages), undo
+
+
+# ---------------------------------------------------------------------------
+# seeds
+# ---------------------------------------------------------------------------
+def random_plan(workflow: Workflow, slo_ms: float, rng: random.Random, *,
+                conflicted: Optional[Set[str]] = None) -> DeploymentPlan:
+    """A structurally valid random deployment (a portfolio restart seed).
+
+    Conflicted functions get the same dedicated solo wraps PGP pins, so the
+    random shape never violates sandbox compatibility.
+    """
+    from repro.core.pgp import conflicted_functions
+
+    if conflicted is None:
+        conflicted = conflicted_functions(workflow)
+    width = max((len([f for f in st if f.name not in conflicted])
+                 for st in workflow.stages), default=0)
+    n_wraps = rng.randint(1, max(1, width))
+    buckets: List[Dict[int, List[ProcessAssignment]]] = [
+        {} for _ in range(n_wraps)]
+    for i, stage in enumerate(workflow.stages):
+        names = [f.name for f in stage if f.name not in conflicted]
+        if not names:
+            continue
+        rng.shuffle(names)
+        n_groups = rng.randint(1, len(names))
+        for j in range(n_groups):
+            part = names[j::n_groups]
+            if not part:
+                continue
+            mode = (ExecMode.THREAD if rng.random() < 0.5
+                    else ExecMode.PROCESS)
+            buckets[rng.randrange(n_wraps)].setdefault(i, []).append(
+                ProcessAssignment(functions=tuple(part), mode=mode))
+    wraps: List[Wrap] = []
+    for idx, stages in enumerate(buckets):
+        if not stages:
+            continue
+        wraps.append(Wrap(
+            name=f"wrap-r{idx + 1}",
+            stages=tuple(StageAssignment(stage_index=i, processes=tuple(ps))
+                         for i, ps in sorted(stages.items()))))
+    for name in sorted(conflicted):
+        stage_idx = next(i for i, st in enumerate(workflow.stages)
+                         if any(f.name == name for f in st))
+        wraps.append(Wrap(
+            name=f"wrap-solo-{name}",
+            stages=(StageAssignment(
+                stage_index=stage_idx,
+                processes=(ProcessAssignment(functions=(name,),
+                                             mode=ExecMode.THREAD),)),)))
+    cores = {w.name: w.max_concurrent_processes for w in wraps}
+    plan = DeploymentPlan(workflow_name=workflow.name, wraps=tuple(wraps),
+                          cores=cores, slo_ms=slo_ms)
+    plan.validate(workflow)
+    return plan
+
+
+def _reference_predictor(predictor: LatencyPredictor) -> LatencyPredictor:
+    """A cache-disabled twin: every prediction is a full replay."""
+    return LatencyPredictor(predictor.cal,
+                            conservatism=predictor.conservatism,
+                            gil_handoff=predictor.gil_handoff,
+                            cache=False)
+
+
+def _registry_for(predictor: LatencyPredictor, registry=None):
+    if registry is not None:
+        return registry
+    if predictor.cache is not None:
+        return predictor.cache.metrics
+    from repro.obs.metrics import Registry
+
+    return Registry()
+
+
+# ---------------------------------------------------------------------------
+# simulated annealing
+# ---------------------------------------------------------------------------
+def anneal(workflow: Workflow, seed_plan: DeploymentPlan, slo_ms: float,
+           predictor: LatencyPredictor, options: SearchOptions, *,
+           tracer=None, registry=None,
+           on_visit: Optional[Callable[[DeploymentPlan], None]] = None,
+           arm: str = "sa") -> SearchResult:
+    """Anneal ``seed_plan`` under ``options``; return the best-so-far result.
+
+    Counters land in ``registry`` (default: the prediction cache's metrics
+    registry, so ``search.*`` sits beside ``pgp.*``); ``on_visit`` sees every
+    *evaluated* candidate plan — the property-test hook.
+    """
+    from repro.core.pgp import conflicted_functions
+
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER
+        tracer = NULL_TRACER
+    registry = _registry_for(predictor, registry)
+    seed_plan.validate(workflow)
+    conflicted = conflicted_functions(workflow)
+    state = _PlanState(workflow, seed_plan, slo_ms, predictor, conflicted)
+    rng = random.Random(options.seed)
+    # Seed stage predictions come straight from the shared per-stage cache:
+    # PGP already evaluated this exact plan, so these are hits, not replays.
+    state.refresh_all()
+    seed_total = state.total_ms()
+    cost = plan_cost(seed_total, state.total_cores, slo_ms,
+                     latency_weight=options.latency_weight,
+                     infeasible_penalty=options.infeasible_penalty)
+    best_cost = seed_cost = cost
+    best_plan = dataclasses.replace(state.to_plan(),
+                                    predicted_latency_ms=seed_total)
+    timeline: List[Tuple[int, float]] = [(0, cost)]
+    temperature = (options.t0 if options.t0 is not None
+                   else max(0.5, 0.06 * abs(cost)))
+    tracer.event("search.start", entity="search", method=arm,
+                 budget=options.budget, seed=options.seed,
+                 seed_cost=seed_cost)
+    ref = _reference_predictor(predictor) if options.verify_deltas else None
+    verified: Optional[Dict[str, int]] = (
+        {k: 0 for k in MOVE_KINDS} if options.verify_deltas else None)
+    moves: List[MoveRecord] = []
+    evals = accepted_n = since_best = 0
+    started = time.perf_counter()
+
+    for _ in range(options.budget):
+        if (options.deadline_ms is not None
+                and (time.perf_counter() - started) * 1000.0
+                >= options.deadline_ms):
+            break
+        if options.stall > 0 and since_best >= options.stall:
+            # the walk wandered uphill and stayed there: teleport back to
+            # the incumbent (a restart in plan space, cooling untouched)
+            state = _PlanState(workflow, best_plan, slo_ms, predictor,
+                               conflicted)
+            state.refresh_all()
+            cost = best_cost
+            since_best = 0
+        move = None
+        for _attempt in range(24):
+            kind = MOVE_KINDS[rng.randrange(len(MOVE_KINDS))]
+            candidate = state.propose(kind, rng)
+            if candidate is None:
+                registry.inc("search.moves.invalid")
+                continue
+            if candidate is _PRUNED:
+                registry.inc("search.moves.proposed")
+                registry.inc("search.moves.pruned")
+                continue
+            move = (kind, candidate)
+            break
+        if move is None:
+            break  # the move set is exhausted for this shape
+        kind, (detail, affected, undo) = move
+        affected = sorted(affected)
+        old_values = [(i, state.stage_values[i]) for i in affected]
+        plan = state.to_plan()
+        state.refresh_stages(plan, affected)
+        new_total = state.total_ms()
+        new_cost = plan_cost(new_total, state.total_cores, slo_ms,
+                             latency_weight=options.latency_weight,
+                             infeasible_penalty=options.infeasible_penalty)
+        evals += 1
+        registry.inc("search.moves.proposed")
+        registry.observe("search.temperature", temperature)
+        if predictor.cache is not None:
+            # a delta evaluation: untouched stages were reused wholesale
+            predictor.cache.metrics.inc("pgp.evals.delta")
+        if on_visit is not None:
+            on_visit(plan)
+        if ref is not None:
+            full = ref.predict_workflow(workflow, plan)
+            if full != new_total:
+                raise DeploymentError(
+                    f"delta-cost divergence on {kind} move {detail!r}: "
+                    f"delta total {new_total!r} != full re-eval {full!r}")
+            verified[kind] += 1
+        delta = new_cost - cost
+        accept = (delta <= 0.0
+                  or rng.random() < math.exp(-delta
+                                             / max(temperature,
+                                                   options.t_floor)))
+        since_best += 1
+        if accept:
+            cost = new_cost
+            accepted_n += 1
+            registry.inc("search.moves.accepted")
+            if new_cost < best_cost - 1e-12:
+                best_cost = new_cost
+                best_plan = dataclasses.replace(
+                    plan, predicted_latency_ms=new_total)
+                best_plan.validate(workflow)
+                timeline.append((evals, best_cost))
+                since_best = 0
+                registry.inc("search.best.updates")
+                tracer.event("search.best", entity="search", cost=best_cost,
+                             evals=evals, temperature=temperature)
+        else:
+            undo()
+            for i, value in old_values:
+                state.stage_values[i] = value
+            registry.inc("search.moves.rejected")
+        moves.append(MoveRecord(index=evals, kind=kind, detail=detail,
+                                temperature=temperature, delta=delta,
+                                accepted=accept, cost=cost,
+                                best_cost=best_cost))
+        temperature = max(temperature * options.cooling, options.t_floor)
+
+    feasible = ((best_plan.predicted_latency_ms or float("inf")) <= slo_ms)
+    tracer.event("search.done", entity="search", method=arm, evals=evals,
+                 accepted=accepted_n, best_cost=best_cost, feasible=feasible)
+    return SearchResult(plan=best_plan, cost=best_cost, seed_cost=seed_cost,
+                        feasible=feasible, method=arm, evaluations=evals,
+                        accepted=accepted_n, moves=moves, timeline=timeline,
+                        delta_verified=verified)
+
+
+# ---------------------------------------------------------------------------
+# parallel portfolio
+# ---------------------------------------------------------------------------
+def portfolio(workflow: Workflow, seed_plan: DeploymentPlan, slo_ms: float,
+              predictor: LatencyPredictor, options: SearchOptions, *,
+              tracer=None, registry=None,
+              on_visit: Optional[Callable[[DeploymentPlan], None]] = None
+              ) -> SearchResult:
+    """Race KL (the seed), SA, and random restarts; keep the winner.
+
+    All arms share one prediction cache (its lock makes concurrent
+    ``get_or_compute`` safe), so a stage evaluated by any arm is free for
+    every other.  The winner is the lowest cost with ties broken by arm
+    order — KL first — so the portfolio can never lose to plain KL.
+    """
+    from repro.core.pgp import conflicted_functions
+
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER
+        tracer = NULL_TRACER
+    registry = _registry_for(predictor, registry)
+    conflicted = conflicted_functions(workflow)
+    sa_opts = dataclasses.replace(options, method="sa")
+
+    def run_kl() -> SearchResult:
+        return anneal(workflow, seed_plan, slo_ms, predictor,
+                      dataclasses.replace(sa_opts, budget=0),
+                      registry=registry, on_visit=on_visit, arm="kl")
+
+    def run_sa() -> SearchResult:
+        return anneal(workflow, seed_plan, slo_ms, predictor, sa_opts,
+                      registry=registry, on_visit=on_visit, arm="sa")
+
+    def run_restart(j: int) -> SearchResult:
+        registry.inc("search.restarts")
+        child_seed = options.seed * 10007 + 31 * (j + 1)
+        start = random_plan(workflow, slo_ms, random.Random(child_seed),
+                            conflicted=conflicted)
+        return anneal(workflow, start, slo_ms, predictor,
+                      dataclasses.replace(sa_opts, seed=child_seed + 1),
+                      registry=registry, on_visit=on_visit,
+                      arm=f"restart-{j}")
+
+    arms: List[Tuple[str, Callable[[], SearchResult]]] = [
+        ("kl", run_kl), ("sa", run_sa)]
+    for j in range(options.restarts):
+        arms.append((f"restart-{j}", lambda j=j: run_restart(j)))
+    registry.inc("search.portfolio.arms", len(arms))
+    # Arms run without the tracer (their counters still land in the shared
+    # registry) so the caller's event stream stays deterministic under
+    # thread interleaving; the portfolio emits its own start/done brackets.
+    tracer.event("search.start", entity="search", method="portfolio",
+                 budget=options.budget, seed=options.seed, arms=len(arms))
+    workers = options.threads or min(4, len(arms))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(lambda a: a[1](), arms))
+
+    winner_idx = min(range(len(results)),
+                     key=lambda i: (results[i].cost, i))
+    best = results[winner_idx]
+    arm_costs = {name: r.cost for (name, _), r in zip(arms, results)}
+    tracer.event("search.portfolio.winner", entity="search",
+                 arm=arms[winner_idx][0], cost=best.cost)
+    tracer.event("search.done", entity="search", method="portfolio",
+                 evals=sum(r.evaluations for r in results),
+                 best_cost=best.cost, feasible=best.feasible)
+    return SearchResult(plan=best.plan, cost=best.cost,
+                        seed_cost=results[0].cost, feasible=best.feasible,
+                        method="portfolio", evaluations=sum(
+                            r.evaluations for r in results),
+                        accepted=sum(r.accepted for r in results),
+                        moves=best.moves, timeline=best.timeline,
+                        winner=arms[winner_idx][0], arms=arm_costs,
+                        delta_verified=best.delta_verified)
+
+
+def refine_plan(workflow: Workflow, plan: DeploymentPlan, slo_ms: float,
+                predictor: LatencyPredictor,
+                options: Union[str, SearchOptions], *, tracer=None,
+                on_visit: Optional[Callable[[DeploymentPlan], None]] = None
+                ) -> SearchResult:
+    """Entry point: anneal (or race a portfolio) from ``plan`` as seed."""
+    opts = SearchOptions.coerce(options)
+    if opts is None:
+        raise SchedulingError("refine_plan needs an enabled search option")
+    if opts.method == "portfolio":
+        return portfolio(workflow, plan, slo_ms, predictor, opts,
+                         tracer=tracer, on_visit=on_visit)
+    return anneal(workflow, plan, slo_ms, predictor, opts, tracer=tracer,
+                  on_visit=on_visit)
+
+
+def cost_at_budget(timeline: Sequence[Tuple[int, float]],
+                   budget: int) -> float:
+    """Best-so-far cost after ``budget`` evaluations (anytime read-off)."""
+    best = timeline[0][1]
+    for evals, cost in timeline:
+        if evals > budget:
+            break
+        best = cost
+    return best

@@ -38,6 +38,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig19_cost,
     overhead_components,
     overload_goodput,
+    search_budget,
     supplementary,
     tab01_isolation,
 )

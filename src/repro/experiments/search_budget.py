@@ -1,0 +1,64 @@
+"""Search-budget experiment: anytime plan quality vs. move-eval budget.
+
+Not a paper figure — this quantifies ROADMAP item 2: with the prediction
+cache making stage evaluations cheap, how much plan quality does each unit
+of search budget buy on top of the paper's greedy KL scheduler, and when
+does the parallel portfolio (KL + SA + random restarts) pay for itself?
+
+One row per (workload, SLO factor, budget): the greedy KL plan cost, SA's
+best-so-far cost after that budget (read off a single max-budget run's
+timeline — the anytime guarantee makes the prefix exact), and the portfolio
+winner's cost at the same per-arm budget.  Costs come from
+:func:`repro.core.search.plan_cost` — total cores, sub-core latency
+tie-break, heavy SLO-miss penalty — so "lower" means "fewer CPUs, then
+faster", and a drop below the penalty band means the search repaired an
+SLO violation greedy KL could not.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    DEFAULT_SEARCH_BUDGETS,
+    QUICK_SEARCH_BUDGETS,
+    QUICK_WORKLOADS,
+    run_search_bench,
+)
+from repro.experiments.common import ExperimentResult, register
+
+#: factors spanning infeasible-for-greedy (1.2) to comfortably packed (3.0)
+SLO_FACTORS = (1.2, 2.0, 3.0)
+
+
+@register("search_budget")
+def run(quick: bool = False) -> ExperimentResult:
+    budgets = QUICK_SEARCH_BUDGETS if quick else DEFAULT_SEARCH_BUDGETS
+    workloads = (("social-network", "finra-5") if quick
+                 else list(QUICK_WORKLOADS) + ["finra-50"])
+    report = run_search_bench(workloads, slo_factors=SLO_FACTORS,
+                              budgets=budgets)
+
+    result = ExperimentResult(
+        experiment="search_budget",
+        title="Anytime plan search: cost vs. budget (KL / SA / portfolio)",
+        columns=["workload", "slo_factor", "budget", "kl_cost", "sa_cost",
+                 "portfolio_cost", "winner", "sa_gain_pct"],
+        notes="cost = cores + latency tie-break (+1000x SLO-miss penalty); "
+              "sa_gain_pct vs. greedy KL at the same SLO; portfolio cost "
+              "reported at its per-arm budget (the largest) for every row",
+    )
+    for wl in report["workloads"]:
+        for row in wl["slos"]:
+            kl = row["kl"]["cost"]
+            for budget in budgets:
+                sa = row["sa"]["cost_by_budget"][str(budget)]
+                result.add(
+                    workload=wl["workload"],
+                    slo_factor=row["slo_factor"],
+                    budget=budget,
+                    kl_cost=kl,
+                    sa_cost=sa,
+                    portfolio_cost=row["portfolio"]["cost"],
+                    winner=row["portfolio"]["winner"],
+                    sa_gain_pct=100.0 * (kl - sa) / kl if kl else 0.0,
+                )
+    return result

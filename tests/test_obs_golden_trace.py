@@ -26,13 +26,14 @@ def canonical(tracer):
     Spans are sorted by (start, entity, name) so recording-order churn that
     does not change the timeline does not invalidate goldens; timestamps are
     rounded to 1 ns to absorb float formatting noise.  ``fault_schema``,
-    ``overload_schema``, ``lifecycle_schema`` and ``pgp_schema`` pin the
-    typed fault/retry, overload and sandbox-lifecycle event/counter
-    vocabularies plus the prediction-engine counter names: adding a
-    mechanism invalidates the golden loudly instead of slipping in
-    unreviewed.
+    ``overload_schema``, ``lifecycle_schema``, ``pgp_schema`` and
+    ``search_schema`` pin the typed fault/retry, overload and
+    sandbox-lifecycle event/counter vocabularies plus the
+    prediction-engine and plan-search counter names: adding a mechanism
+    invalidates the golden loudly instead of slipping in unreviewed.
     """
     from repro.core.predictor import PGP_COUNTERS
+    from repro.core.search import SEARCH_COUNTERS, SEARCH_EVENT_TYPES
     from repro.faults import FAULT_EVENT_TYPES
     from repro.lifecycle import LIFECYCLE_COUNTERS, LIFECYCLE_EVENT_TYPES
     from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
@@ -50,7 +51,8 @@ def canonical(tracer):
                                       + OVERLOAD_COUNTERS),
             "lifecycle_schema": sorted(LIFECYCLE_EVENT_TYPES
                                        + LIFECYCLE_COUNTERS),
-            "pgp_schema": sorted(PGP_COUNTERS)}
+            "pgp_schema": sorted(PGP_COUNTERS),
+            "search_schema": sorted(SEARCH_EVENT_TYPES + SEARCH_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -90,7 +92,8 @@ class TestGoldenFailureMessages:
                                                "fault_schema": [],
                                                "overload_schema": [],
                                                "lifecycle_schema": [],
-                                               "pgp_schema": []})
+                                               "pgp_schema": [],
+                                               "search_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):

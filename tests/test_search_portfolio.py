@@ -1,0 +1,173 @@
+"""Portfolio and regression tests for the anytime plan search.
+
+Three layers of guarantees:
+
+* the portfolio never loses to plain KL (the KL arm + first-wins
+  tie-break), checked across the full app catalog at the paper's SLO
+  factors, and zero-budget SA degrades to exactly the KL seed plan;
+* the shared prediction cache is actually doing the work — an SA run over
+  an already-scheduled workflow must reuse the seed's per-stage entries
+  (no new full evals on the seed re-read) and must count one delta eval
+  per move; a cache regression (silent full re-evals) fails here, not just
+  in a benchmark;
+* the manager/scheduler wiring: ``search=`` flows through ``deploy``,
+  tags the schedule span, and lands the result on the deployment.
+"""
+
+import pytest
+
+from repro.apps.catalog import workload
+from repro.bench import DEFAULT_SLO_FACTORS, DEFAULT_WORKLOADS
+from repro.calibration import RuntimeCalibration
+from repro.core.manager import ChironManager
+from repro.core.pgp import PGPScheduler
+from repro.core.predictor import LatencyPredictor
+from repro.core.search import SearchOptions, plan_cost, refine_plan
+from repro.obs.tracer import Tracer
+
+CAL = RuntimeCalibration.native()
+
+
+def fresh(name, factor):
+    wf = workload(name)
+    predictor = LatencyPredictor(CAL, conservatism=1.05)
+    slo = factor * wf.critical_path_ms
+    plan = PGPScheduler(predictor).schedule(wf, slo)
+    return wf, plan, slo, predictor
+
+
+class TestPortfolioNeverWorse:
+    @pytest.mark.parametrize("name", DEFAULT_WORKLOADS)
+    def test_full_catalog_at_paper_slo_factors(self, name):
+        wf = workload(name)
+        predictor = LatencyPredictor(CAL, conservatism=1.05)
+        scheduler = PGPScheduler(predictor)
+        # small budgets: the guarantee is structural (KL arm + tie-break),
+        # not a statistical one, so it must hold at any budget
+        budget = 80 if wf.num_functions <= 20 else 30
+        for factor in DEFAULT_SLO_FACTORS:
+            slo = factor * wf.critical_path_ms
+            kl_plan = scheduler.schedule(wf, slo)
+            kl_cost = plan_cost(kl_plan.predicted_latency_ms,
+                                kl_plan.total_cores, slo)
+            res = refine_plan(
+                wf, kl_plan, slo, predictor,
+                SearchOptions(method="portfolio", budget=budget, seed=11,
+                              restarts=1))
+            assert res.cost <= kl_cost + 1e-9, (
+                f"{name} f={factor}: portfolio {res.cost} > KL {kl_cost}")
+            assert res.arms["kl"] == pytest.approx(kl_cost), (
+                "the KL arm must score exactly the seed plan")
+            res.plan.validate(wf)
+
+    def test_zero_budget_portfolio_returns_kl_seed(self):
+        wf, plan, slo, predictor = fresh("social-network", 1.5)
+        res = refine_plan(wf, plan, slo, predictor,
+                          SearchOptions(method="portfolio", budget=0,
+                                        restarts=2, seed=0))
+        assert res.winner == "kl"
+        assert res.plan.fingerprint(wf) == plan.fingerprint(wf)
+
+    def test_zero_budget_sa_degrades_to_kl_seed(self):
+        wf, plan, slo, predictor = fresh("movie-review", 1.2)
+        res = refine_plan(wf, plan, slo, predictor,
+                          SearchOptions(budget=0, seed=3))
+        assert res.evaluations == 0
+        assert res.plan.fingerprint(wf) == plan.fingerprint(wf)
+        assert res.plan.predicted_latency_ms == plan.predicted_latency_ms
+        assert res.cost == res.seed_cost
+
+
+class TestCacheCounters:
+    """A silent cache regression must fail these, not just a benchmark."""
+
+    def test_seed_plan_predictions_come_from_cache(self):
+        # ISSUE 6 satellite: when SA runs after KL, the seed plan's stage
+        # values must be cache hits, not recomputations
+        wf, plan, slo, predictor = fresh("social-network", 1.5)
+        metrics = predictor.cache.metrics
+        full_before = metrics.counter("pgp.evals.full").value
+        hits_before = metrics.counter("pgp.cache.hit").value
+        res = refine_plan(wf, plan, slo, predictor,
+                          SearchOptions(budget=0, seed=0))
+        assert res.evaluations == 0
+        assert metrics.counter("pgp.evals.full").value == full_before, (
+            "zero-budget search recomputed the KL seed's stage predictions")
+        assert (metrics.counter("pgp.cache.hit").value
+                >= hits_before + len(wf.stages))
+
+    def test_repeat_refine_is_all_hits(self):
+        wf, plan, slo, predictor = fresh("slapp", 1.2)
+        opts = SearchOptions(budget=150, seed=7)
+        refine_plan(wf, plan, slo, predictor, opts)
+        metrics = predictor.cache.metrics
+        full_before = metrics.counter("pgp.evals.full").value
+        res = refine_plan(wf, plan, slo, predictor, opts)  # identical walk
+        assert metrics.counter("pgp.evals.full").value == full_before, (
+            "replaying an identical search re-simulated cached stages")
+        assert res.evaluations > 0
+
+    def test_each_move_eval_counts_one_delta(self):
+        wf, plan, slo, predictor = fresh("finra-5", 1.2)
+        metrics = predictor.cache.metrics
+        delta_before = metrics.counter("pgp.evals.delta").value
+        res = refine_plan(wf, plan, slo, predictor,
+                          SearchOptions(budget=120, seed=5))
+        gained = metrics.counter("pgp.evals.delta").value - delta_before
+        assert gained >= res.evaluations, (
+            f"{res.evaluations} move evals but only {gained} delta evals — "
+            f"moves are being full-evaluated")
+
+    def test_search_counters_accumulate(self):
+        wf, plan, slo, predictor = fresh("movie-review", 1.5)
+        res = refine_plan(wf, plan, slo, predictor,
+                          SearchOptions(budget=100, seed=2))
+        counters = predictor.cache.metrics.counters()
+        assert counters["search.moves.proposed"] >= res.evaluations
+        assert counters["search.moves.accepted"] == res.accepted
+        assert (counters["search.moves.accepted"]
+                + counters["search.moves.rejected"] == res.evaluations)
+        assert counters["search.best.updates"] == len(res.timeline) - 1
+
+
+class TestManagerWiring:
+    def test_deploy_with_sa_search(self):
+        wf = workload("finra-5")
+        manager = ChironManager(conservatism=1.05)
+        tracer = Tracer()
+        slo = 1.2 * wf.critical_path_ms
+        dep = manager.deploy(wf, slo, generate_code=False, tracer=tracer,
+                             search=SearchOptions(budget=200, seed=1))
+        assert dep.search_result is not None
+        assert dep.search_result.method == "sa"
+        assert dep.plan.fingerprint() == \
+            dep.search_result.plan.fingerprint()
+        assert dep.search_result.cost <= dep.search_result.seed_cost + 1e-9
+        names = {e.name for e in tracer.events}
+        assert "search.start" in names and "search.done" in names
+        spans = [s for s in tracer.spans(entity="manager")
+                 if s.tags.get("op") == "manager.schedule"]
+        assert spans and spans[0].tags["search"] == "sa"
+
+    def test_manager_default_search_and_per_deploy_override(self):
+        wf = workload("social-network")
+        manager = ChironManager(conservatism=1.05,
+                                search=SearchOptions(budget=60, seed=4))
+        slo = 2.0 * wf.critical_path_ms
+        dep = manager.deploy(wf, slo, generate_code=False)
+        assert dep.search_result is not None
+        off = manager.deploy(wf, slo, generate_code=False, search="none")
+        assert off.search_result is None
+
+    def test_scheduler_search_kwarg_matches_refine(self):
+        wf, plan, slo, predictor = fresh("slapp", 1.5)
+        scheduler = PGPScheduler(predictor)
+        opts = SearchOptions(budget=150, seed=9)
+        via_kwarg = scheduler.schedule(wf, slo, search=opts)
+        assert scheduler.last_search is not None
+        direct = refine_plan(wf, plan, slo, predictor, opts)
+        assert via_kwarg.fingerprint(wf) == direct.plan.fingerprint(wf)
+        assert scheduler.last_search.cost == direct.cost
+        # a plain schedule() resets the marker
+        scheduler.schedule(wf, slo)
+        assert scheduler.last_search is None
