@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI gate over the committed ``BENCH_*.json`` benchmark trajectory.
+
+The repo commits one benchmark report per subsystem (prediction-cache,
+plan search, cold starts, drift recovery).  This script re-validates the
+*quality* invariants of every committed report — plan quality, divergence
+attribution, determinism, closed-loop recovery — and, when given a
+freshly generated smoke report (``--fresh-drift``), fails if any
+acceptance flag that held in the committed trajectory regressed in the
+fresh run.
+
+It never gates on wall time: CI boxes are too noisy for latency
+assertions, and every pinned quantity here is a simulated-milliseconds or
+count invariant that is bit-deterministic for a given seed.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/check_trajectory.py \
+        [--fresh-drift BENCH_drift_quick.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import load_report  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+
+FAILURES: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        FAILURES.append(message)
+
+
+def check_pgp(path: str) -> None:
+    report = load_report(path)
+    s = report["summary"]
+    check(s["identical"], f"{path}: cached plans diverged from full eval")
+    check(s["min_full_eval_ratio"] >= 3.0,
+          f"{path}: full-eval reduction only "
+          f"{s['min_full_eval_ratio']:.1f}x (< 3.0x)")
+
+
+def check_search(path: str) -> None:
+    report = load_report(path)
+    s = report["summary"]
+    check(s["sa_never_worse_than_kl"], f"{path}: SA lost to greedy KL")
+    check(s["portfolio_never_worse_than_kl"],
+          f"{path}: portfolio lost to greedy KL")
+    check(s["delta_verify_all_kinds"],
+          f"{path}: delta-cost mismatch {s['delta_verified_by_kind']}")
+    check(s["deterministic"], f"{path}: seeded search runs diverged")
+
+
+def check_coldstart(path: str) -> None:
+    report = load_report(path)
+    s = report["summary"]
+    check(s["hybrid_beats_ttl0_p99"],
+          f"{path}: hybrid keep-alive lost to always-cold")
+    hits = s["warm_hit_rate"]
+    check(all(v > 0.0 for v in hits.values()),
+          f"{path}: no warm hits: {hits}")
+
+
+def check_drift(path: str) -> dict:
+    """Validate one drift report's closed-loop quality; return its flags."""
+    report = load_report(path)
+    flags = report["summary"]
+    for name, value in sorted(flags.items()):
+        check(bool(value), f"{path}: acceptance flag {name} is {value}")
+    slo = report["slo_ms"]
+    probation = report["config"]["probation"]
+    for scenario in report["scenarios"]:
+        closed = scenario["arms"]["closed-loop"]
+        opened = scenario["arms"]["open-loop"]
+        name = scenario["name"]
+        if name in ("drift-recovery", "bad-replan"):
+            check(closed["violations"] < opened["violations"],
+                  f"{path}/{name}: closed loop did not reduce violations "
+                  f"({closed['violations']} vs {opened['violations']})")
+            check(closed["p99_final_ms"] <= slo,
+                  f"{path}/{name}: closed loop ends over the SLO "
+                  f"({closed['p99_final_ms']} > {slo})")
+        if name == "bad-replan":
+            check(closed["rollbacks"] >= 1,
+                  f"{path}/{name}: bad replan was never rolled back")
+            check(closed["rollback_elapsed"] is not None
+                  and closed["rollback_elapsed"] <= probation,
+                  f"{path}/{name}: rollback took "
+                  f"{closed['rollback_elapsed']} observations "
+                  f"(budget {probation})")
+        if name == "fault-storm":
+            check(closed["promotions"] == 0,
+                  f"{path}/{name}: the plane replanned during a fault "
+                  f"storm ({closed['promotions']} promotions)")
+            check(closed["deferred"] >= 1,
+                  f"{path}/{name}: the storm never deferred a replan")
+    return flags
+
+
+def check_fresh_against_committed(fresh_flags: dict,
+                                  committed_flags: dict) -> None:
+    """A flag that held in the committed trajectory must still hold."""
+    for name, committed in sorted(committed_flags.items()):
+        if not committed:
+            continue
+        fresh = fresh_flags.get(name)
+        check(bool(fresh),
+              f"fresh drift smoke regressed acceptance flag {name}: "
+              f"committed={committed}, fresh={fresh}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root holding the BENCH_*.json files")
+    parser.add_argument("--fresh-drift", metavar="FILE", default=None,
+                        help="freshly generated drift smoke report to "
+                             "compare against the committed trajectory")
+    args = parser.parse_args(argv)
+
+    def path(name: str) -> str:
+        return os.path.join(args.root, name)
+
+    committed_drift_flags = {}
+    try:
+        check_pgp(path("BENCH_pgp.json"))
+        check_search(path("BENCH_search.json"))
+        check_coldstart(path("BENCH_coldstart.json"))
+        committed_drift_flags = check_drift(path("BENCH_drift.json"))
+        if args.fresh_drift is not None:
+            fresh_flags = check_drift(args.fresh_drift)
+            check_fresh_against_committed(fresh_flags,
+                                          committed_drift_flags)
+    except (ReproError, KeyError) as exc:
+        FAILURES.append(f"trajectory report unreadable: {exc}")
+
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark trajectory OK: plan quality, divergence attribution "
+          "and closed-loop recovery all hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

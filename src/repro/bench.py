@@ -179,6 +179,24 @@ def write_report(report: dict, path: str) -> None:
         fh.write("\n")
 
 
+def load_report(path: str) -> dict:
+    """Read back a committed ``BENCH_*.json`` (the CI trajectory gate's
+    input); raises :class:`~repro.errors.ReproError` on a missing or
+    malformed file so callers get the CLI's one-liner, not a traceback."""
+    from repro.errors import ReproError
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(f"no benchmark report at {path!r}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed benchmark report {path!r}: "
+                         f"{exc}") from None
+    if not isinstance(report, dict):
+        raise ReproError(f"benchmark report {path!r} is not a JSON object")
+    return report
+
+
 # ---------------------------------------------------------------------------
 # anytime plan search: quality vs. budget, KL vs. SA vs. portfolio
 # ---------------------------------------------------------------------------

@@ -411,6 +411,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.bench import write_report
+    from repro.experiments.drift_recovery import (SCENARIOS,
+                                                  format_drift_table, sweep)
+
+    scenarios = tuple(args.scenarios) if args.scenarios else SCENARIOS
+    report = sweep(seed=args.seed, quick=args.quick, scenarios=scenarios)
+    print(format_drift_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    flags = report["summary"]
+    failed = sorted(k for k, v in flags.items() if not v)
+    if failed:
+        print(f"FAILED acceptance flags: {', '.join(failed)}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chiron-repro",
@@ -582,6 +601,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="[--search] portfolio random-restart arms "
                               "(default 2)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_drift = sub.add_parser(
+        "drift", help="self-healing re-deployment under calibration drift: "
+                      "closed loop (detect/canary/promote/rollback) vs. "
+                      "open loop (writes BENCH_drift.json)")
+    p_drift.add_argument("--scenario", dest="scenarios", action="append",
+                         choices=["drift-recovery", "bad-replan",
+                                  "fault-storm"],
+                         help="run only this scenario (repeatable; "
+                              "default: all three)")
+    p_drift.add_argument("--quick", action="store_true",
+                         help="shorter serving runs (the CI smoke set)")
+    p_drift.add_argument("--seed", type=int, default=7,
+                         help="scenario seed (default 7)")
+    p_drift.add_argument("--out", metavar="FILE", default="BENCH_drift.json",
+                         help="JSON report path (default BENCH_drift.json; "
+                              "'' to skip)")
+    p_drift.set_defaults(func=_cmd_drift)
     return parser
 
 

@@ -21,6 +21,17 @@ This package is the paper's contribution proper:
 """
 
 from repro.core.adaptive import AdaptiveDeployer
+from repro.core.controlplane import (
+    CONTROLPLANE_COUNTERS,
+    CONTROLPLANE_EVENT_TYPES,
+    ControlAction,
+    ControlPlaneConfig,
+    DriftDetector,
+    DriftSignal,
+    PlanLedger,
+    RedeploymentControlPlane,
+    breaker_brownout_hold,
+)
 from repro.core.dynamic import DynamicChironManager, DynamicChironPlatform
 from repro.core.generator import OrchestratorGenerator
 from repro.core.manager import ChironManager
@@ -48,8 +59,17 @@ from repro.core.wrap import (
 
 __all__ = [
     "AdaptiveDeployer",
+    "CONTROLPLANE_COUNTERS",
+    "CONTROLPLANE_EVENT_TYPES",
     "ChironManager",
+    "ControlAction",
+    "ControlPlaneConfig",
     "DeploymentPlan",
+    "DriftDetector",
+    "DriftSignal",
+    "PlanLedger",
+    "RedeploymentControlPlane",
+    "breaker_brownout_hold",
     "DynamicChironManager",
     "DynamicChironPlatform",
     "ExecMode",

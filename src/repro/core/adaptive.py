@@ -28,6 +28,7 @@ from typing import Deque, Optional
 from repro.core.manager import ChironManager, Deployment
 from repro.errors import SchedulingError
 from repro.metrics.stats import percentile
+from repro.obs.metrics import Registry
 from repro.workflow.model import Workflow
 
 
@@ -43,27 +44,49 @@ class AdaptationEvent:
 
 
 class AdaptiveDeployer:
-    """Wraps a :class:`ChironManager` with a drift-triggered refresh loop."""
+    """Wraps a :class:`ChironManager` with a drift-triggered refresh loop.
+
+    ``hysteresis`` is the number of *consecutive* breaching evaluations
+    required before a refresh fires (1 = the historical trigger-on-first-
+    breach behaviour): an alternating heavy/light workload whose windows
+    flip between breach and health never accumulates a streak, so it never
+    thrashes the scheduler.  ``registry`` (a
+    :class:`repro.obs.metrics.Registry`) receives the ``adaptation.*``
+    counters; a private registry is created when none is given.
+
+    For the guarded version of this loop — divergence-driven detection,
+    canary replans, rollback — see
+    :class:`repro.core.controlplane.RedeploymentControlPlane`.
+    """
 
     def __init__(self, manager: Optional[ChironManager] = None, *,
                  window: int = 20,
                  pressure_fraction: float = 0.95,
                  slack_fraction: float = 0.45,
-                 cooldown: int = 10) -> None:
+                 cooldown: int = 10,
+                 hysteresis: int = 1,
+                 registry: Optional[Registry] = None) -> None:
         if window < 2 or cooldown < 0:
             raise SchedulingError("window must be >= 2, cooldown >= 0")
         if not 0 < slack_fraction < pressure_fraction <= 1.5:
             raise SchedulingError("need 0 < slack < pressure <= 1.5")
+        if hysteresis < 1:
+            raise SchedulingError("hysteresis must be >= 1")
         self.manager = manager or ChironManager()
         self.window = window
         self.pressure_fraction = pressure_fraction
         self.slack_fraction = slack_fraction
         self.cooldown = cooldown
+        self.hysteresis = hysteresis
+        self.metrics = registry if registry is not None else Registry()
         self._latencies: Deque[float] = deque(maxlen=window)
         self._since_refresh = 0
         self._requests_seen = 0
+        self._breach_streak = 0
         self.deployment: Optional[Deployment] = None
         self.events: list[AdaptationEvent] = []
+        #: refreshes that failed scheduling and kept the incumbent plan
+        self.refresh_failures = 0
 
     # -- lifecycle ------------------------------------------------------------
     def deploy(self, workflow: Workflow, slo_ms: float) -> Deployment:
@@ -104,15 +127,43 @@ class AdaptiveDeployer:
         elif mean < self.slack_fraction * slo:
             reason = "over-provisioned"
         if reason is None:
+            self._breach_streak = 0
             return None
+        self._breach_streak += 1
+        if self._breach_streak < self.hysteresis:
+            return None
+        return self.refresh(reason, p90, current_workflow=current_workflow)
+
+    def refresh(self, reason: str, p90_ms: float,
+                current_workflow: Optional[Workflow] = None
+                ) -> Optional[AdaptationEvent]:
+        """Re-profile and re-plan; the incumbent survives a failed refresh.
+
+        A drifted workload can be genuinely unschedulable (PGP cannot meet
+        the SLO at any partitioning) — that must degrade the *adaptation*,
+        not crash the serving loop, so a :class:`SchedulingError` keeps the
+        incumbent deployment, counts ``adaptation.refresh_failed``, and
+        re-enters the cooldown before the next attempt.
+        """
+        if self.deployment is None:
+            raise SchedulingError("refresh() before deploy()")
         workflow = current_workflow or self.deployment.workflow
         old_cores = self.deployment.plan.total_cores
-        self.deployment = self.manager.deploy(workflow, slo)
+        slo = self.slo_ms
+        self._latencies.clear()
+        self._since_refresh = 0
+        self._breach_streak = 0
+        try:
+            refreshed = self.manager.deploy(workflow, slo)
+        except SchedulingError:
+            self.refresh_failures += 1
+            self.metrics.inc("adaptation.refresh_failed")
+            return None
+        self.deployment = refreshed
+        self.metrics.inc("adaptation.refreshes")
         event = AdaptationEvent(request_index=self._requests_seen,
-                                reason=reason, p90_ms=p90,
+                                reason=reason, p90_ms=p90_ms,
                                 old_cores=old_cores,
                                 new_cores=self.deployment.plan.total_cores)
         self.events.append(event)
-        self._latencies.clear()
-        self._since_refresh = 0
         return event

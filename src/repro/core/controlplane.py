@@ -1,0 +1,703 @@
+"""Self-healing re-deployment control plane (closes ROADMAP item 5).
+
+§3.4's adaptation story — "the Profiler and PGP are re-run periodically to
+update wraps" — is dangerous when taken literally: a replan triggered by a
+noisy window, computed from stale calibration, or applied during a fault
+storm makes the deployment *worse*, and a blind loop has no way back.  This
+module turns the passive window trigger of :mod:`repro.core.adaptive` into a
+guarded closed loop:
+
+1. **detect** — a typed :class:`DriftDetector` consumes the serving loop's
+   latencies plus :class:`repro.obs.DivergenceReport` streams.  The
+   ``model_error_ms`` / ``fault_induced_ms`` split matters: injected faults
+   are *expected* divergence, so a fault storm classifies as ``fault-storm``
+   (replans deferred — the retry/breaker machinery owns it) instead of
+   masquerading as predictor drift.  Hysteresis, cooldown and flap
+   suppression keep one noisy window from triggering anything.
+2. **recalibrate** — only the drifted behaviours change: the refresh
+   re-profiles the current workflow and fingerprint-diffs it against the
+   live deployment; untouched stages fingerprint identically and are served
+   from the manager's shared :class:`~repro.core.predictor.PredictionCache`.
+3. **canary** — every candidate plan is shadow-evaluated in-sim: the recent
+   request window is replayed (same seeds) against candidate and incumbent,
+   and the candidate is promoted only if its p99 clears a guard margin
+   (or rescues a blown SLO, or reclaims cores with headroom to spare).
+4. **verify / roll back** — a promoted plan starts on *probation*: SLO
+   violations and renewed divergence count as strikes, and past the budget
+   the plane rolls back to the last-known-good deployment kept in a bounded
+   :class:`PlanLedger`.  Repeated promote/rollback flips freeze the plane —
+   the incumbent is pinned until the detector stops flapping.
+
+Everything is deterministic (canary seeds derive from a replan counter) and
+observable: ``controlplane.*`` events/counters are pinned in the
+golden-trace schema.  See ``docs/controlplane.md`` for the state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.core.manager import ChironManager, Deployment
+from repro.errors import SchedulingError
+from repro.metrics.stats import percentile
+from repro.obs.metrics import Registry
+from repro.workflow.model import Workflow
+
+#: typed events the control plane emits (pinned by the golden-trace schema)
+CONTROLPLANE_EVENT_TYPES = (
+    "controlplane.drift",
+    "controlplane.deferred",
+    "controlplane.recalibrated",
+    "controlplane.canary",
+    "controlplane.promoted",
+    "controlplane.rejected",
+    "controlplane.verified",
+    "controlplane.rollback",
+    "controlplane.frozen",
+    "controlplane.unfrozen",
+    "controlplane.refresh_failed",
+)
+
+#: counters the control plane increments (also schema-pinned);
+#: ``adaptation.refresh_failed`` is shared with the simpler
+#: :class:`repro.core.adaptive.AdaptiveDeployer` refresh loop
+CONTROLPLANE_COUNTERS = (
+    "controlplane.drift.detected",
+    "controlplane.deferred",
+    "controlplane.recalibrations",
+    "controlplane.behaviours.drifted",
+    "controlplane.canary.runs",
+    "controlplane.promotions",
+    "controlplane.rejections",
+    "controlplane.verified",
+    "controlplane.rollbacks",
+    "controlplane.freezes",
+    "controlplane.refresh_failed",
+    "adaptation.refresh_failed",
+    "adaptation.refreshes",
+)
+
+
+# ---------------------------------------------------------------------------
+# drift detection
+# ---------------------------------------------------------------------------
+
+class DriftState(enum.Enum):
+    STEADY = "steady"
+    DRIFTED = "drifted"
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One observation fed to the detector.
+
+    ``predicted_ms`` / ``model_error_ms`` / ``fault_induced_ms`` come from
+    the most recent :class:`repro.obs.DivergenceReport` (zeros when the
+    serving loop has none yet) — the detector never recomputes divergence,
+    it consumes the stream.
+    """
+
+    latency_ms: float
+    predicted_ms: float = 0.0
+    model_error_ms: float = 0.0
+    fault_induced_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """A tripped detector: why, and how bad the window looked."""
+
+    reason: str             # "slo-pressure" | "model-error" |
+    #                         "over-provisioned" | "fault-storm"
+    index: int              # observation index at the trip
+    p99_ms: float
+    mean_ms: float
+    model_error_rel: float  # windowed positive model error / predicted
+    fault_share: float      # fault-induced share of the windowed excess
+
+
+class DriftDetector:
+    """Windowed drift detection with hysteresis, cooldown and flap history.
+
+    A *breach* is a window whose p99 presses the SLO, whose positive model
+    error exceeds ``error_fraction`` of the predicted time, or whose mean
+    sits below the over-provisioning slack.  Only ``hysteresis`` consecutive
+    breaches *for the same reason* trip the detector, and each trip opens a
+    ``cooldown`` during which nothing trips again.  When the windowed excess
+    is mostly fault-induced the trip reason is ``fault-storm`` — the caller
+    is expected to defer, not replan.
+
+    The control plane reports every plan change back via :meth:`note_flip`;
+    :attr:`is_flapping` turns true once ``flap_limit`` flips land within
+    ``flap_window`` observations.
+    """
+
+    def __init__(self, *, window: int = 24,
+                 pressure_fraction: float = 0.95,
+                 slack_fraction: float = 0.35,
+                 error_fraction: float = 0.35,
+                 fault_share_threshold: float = 0.5,
+                 hysteresis: int = 3, cooldown: int = 24,
+                 flap_limit: int = 3, flap_window: int = 240) -> None:
+        if window < 2:
+            raise SchedulingError(f"window must be >= 2, got {window}")
+        if not 0 < slack_fraction < pressure_fraction <= 1.5:
+            raise SchedulingError("need 0 < slack < pressure <= 1.5")
+        if hysteresis < 1 or cooldown < 0:
+            raise SchedulingError("hysteresis must be >= 1, cooldown >= 0")
+        if error_fraction <= 0 or not 0 < fault_share_threshold <= 1:
+            raise SchedulingError("error_fraction must be > 0, "
+                                  "fault_share_threshold in (0, 1]")
+        if flap_limit < 1 or flap_window < 1:
+            raise SchedulingError("flap_limit and flap_window must be >= 1")
+        self.window = window
+        self.pressure_fraction = pressure_fraction
+        self.slack_fraction = slack_fraction
+        self.error_fraction = error_fraction
+        self.fault_share_threshold = fault_share_threshold
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self.flap_limit = flap_limit
+        self.flap_window = flap_window
+        self.state = DriftState.STEADY
+        self._signals: Deque[DriftSignal] = deque(maxlen=window)
+        self._index = 0
+        self._streak = 0
+        self._streak_reason: Optional[str] = None
+        self._cooldown_left = 0
+        self._flips: Deque[int] = deque(maxlen=max(flap_limit * 4, 16))
+
+    # -- the stream -----------------------------------------------------------
+    def observe(self, signal: DriftSignal,
+                slo_ms: float) -> Optional[DriftDecision]:
+        """Feed one observation; return a decision only on a trip."""
+        self._index += 1
+        self._signals.append(signal)
+        if len(self._signals) < self.window:
+            return None
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        window = list(self._signals)
+        latencies = [s.latency_ms for s in window]
+        p99 = percentile(latencies, 99)
+        mean = sum(latencies) / len(latencies)
+        model_err = sum(max(s.model_error_ms, 0.0) for s in window)
+        fault_ms = sum(max(s.fault_induced_ms, 0.0) for s in window)
+        predicted = sum(s.predicted_ms for s in window)
+        err_rel = model_err / predicted if predicted > 0 else 0.0
+        excess = model_err + fault_ms
+        fault_share = fault_ms / excess if excess > 0 else 0.0
+
+        reason: Optional[str] = None
+        pressure = p99 > self.pressure_fraction * slo_ms
+        diverging = err_rel > self.error_fraction
+        if pressure or diverging:
+            if fault_ms > 0 and fault_share >= self.fault_share_threshold:
+                reason = "fault-storm"
+            elif pressure:
+                reason = "slo-pressure"
+            else:
+                reason = "model-error"
+        elif mean < self.slack_fraction * slo_ms:
+            reason = "over-provisioned"
+        if reason is None:
+            self._streak = 0
+            self._streak_reason = None
+            self.state = DriftState.STEADY
+            return None
+
+        if reason == self._streak_reason:
+            self._streak += 1
+        else:
+            self._streak = 1
+            self._streak_reason = reason
+        if self._streak < self.hysteresis:
+            return None
+        # trip: open the cooldown so one drifted phase yields one decision
+        self.state = DriftState.DRIFTED
+        self._streak = 0
+        self._streak_reason = None
+        self._cooldown_left = self.cooldown
+        return DriftDecision(reason=reason, index=self._index, p99_ms=p99,
+                             mean_ms=mean, model_error_rel=err_rel,
+                             fault_share=fault_share)
+
+    # -- feedback from the control plane --------------------------------------
+    def note_flip(self) -> None:
+        """Record one applied plan change (promotion or rollback)."""
+        self._flips.append(self._index)
+
+    @property
+    def is_flapping(self) -> bool:
+        recent = [f for f in self._flips
+                  if f > self._index - self.flap_window]
+        return len(recent) >= self.flap_limit
+
+    def suppress(self, observations: int) -> None:
+        """Extend the cooldown (e.g. after a deferred or failed replan)."""
+        self._cooldown_left = max(self._cooldown_left, observations)
+
+    def reset_window(self) -> None:
+        """Drop buffered signals — they measured a plan that is now gone."""
+        self._signals.clear()
+        self._streak = 0
+        self._streak_reason = None
+        self.state = DriftState.STEADY
+
+    def clear_flips(self) -> None:
+        self._flips.clear()
+
+
+# ---------------------------------------------------------------------------
+# plan history
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanRecord:
+    """One ledger entry: a deployment and how its promotion ended."""
+
+    deployment: Deployment
+    observation: int
+    status: str              # "good" | "probation" | "rolled-back"
+    note: str = ""
+
+
+class PlanLedger:
+    """Bounded history of applied deployments; rollback target supplier."""
+
+    def __init__(self, maxlen: int = 8) -> None:
+        if maxlen < 2:
+            raise SchedulingError(f"ledger depth must be >= 2, got {maxlen}")
+        self._records: Deque[PlanRecord] = deque(maxlen=maxlen)
+
+    def push(self, record: PlanRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> list[PlanRecord]:
+        return list(self._records)
+
+    @property
+    def current(self) -> Optional[PlanRecord]:
+        return self._records[-1] if self._records else None
+
+    @property
+    def last_good(self) -> Optional[PlanRecord]:
+        for record in reversed(self._records):
+            if record.status == "good":
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+# ---------------------------------------------------------------------------
+# canary / shadow evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CanaryResult:
+    """Outcome of replaying the recent window against both plans in-sim."""
+
+    candidate_p99_ms: float
+    incumbent_p99_ms: float
+    slo_ms: float
+    improvement: float       # (incumbent - candidate) / incumbent
+    candidate_cores: int
+    incumbent_cores: int
+    replays: int
+    verdict: str             # "promote" | "reject"
+    rule: str                # guard rule that decided
+
+
+# ---------------------------------------------------------------------------
+# the control plane
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Every knob of the closed loop, validated up front."""
+
+    window: int = 24
+    pressure_fraction: float = 0.95
+    slack_fraction: float = 0.35
+    error_fraction: float = 0.35
+    fault_share_threshold: float = 0.5
+    hysteresis: int = 3
+    cooldown: int = 24
+    flap_limit: int = 3
+    flap_window: int = 240
+    freeze_for: int = 120
+    #: candidate must beat the incumbent's shadow p99 by this fraction
+    guard_margin: float = 0.10
+    #: a core-reclaiming candidate must keep p99 under this fraction of SLO
+    promote_headroom: float = 0.85
+    canary_replays: int = 8
+    #: post-promotion verification length (observations)
+    probation: int = 24
+    #: strikes (SLO violations or renewed divergence) tolerated on probation
+    rollback_budget: int = 6
+    ledger_depth: int = 8
+    #: forwarded to :meth:`ChironManager.deploy` — ``"sa"``/``"portfolio"``/
+    #: :class:`repro.core.search.SearchOptions` to spend the PR 6 search
+    #: budget on every candidate plan
+    search: object = None
+    generate_code: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.guard_margin < 1:
+            raise SchedulingError("guard_margin must be in (0, 1)")
+        if not 0 < self.promote_headroom <= 1:
+            raise SchedulingError("promote_headroom must be in (0, 1]")
+        if self.canary_replays < 1:
+            raise SchedulingError("canary_replays must be >= 1")
+        if self.probation < 1 or self.rollback_budget < 0:
+            raise SchedulingError("probation must be >= 1, "
+                                  "rollback_budget >= 0")
+        if self.freeze_for < 1:
+            raise SchedulingError("freeze_for must be >= 1")
+
+    def detector(self) -> DriftDetector:
+        return DriftDetector(
+            window=self.window, pressure_fraction=self.pressure_fraction,
+            slack_fraction=self.slack_fraction,
+            error_fraction=self.error_fraction,
+            fault_share_threshold=self.fault_share_threshold,
+            hysteresis=self.hysteresis, cooldown=self.cooldown,
+            flap_limit=self.flap_limit, flap_window=self.flap_window)
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One audited decision of the plane (the ``actions`` log)."""
+
+    observation: int
+    kind: str    # "promoted" | "rejected" | "rolled-back" | "deferred" |
+    #              "frozen" | "refresh-failed"
+    reason: str
+    detail: dict = field(default_factory=dict)
+
+
+class RedeploymentControlPlane:
+    """Divergence-driven recalibration with canary replans and rollback.
+
+    The serving loop owns execution; the plane owns the deployment.  Per
+    request the loop calls :meth:`observe` with the measured latency, the
+    freshest :class:`~repro.obs.DivergenceReport` (optional) and a snapshot
+    of the *currently observed* workflow behaviours (optional — defaults to
+    the deployed ones, i.e. no recalibration data).  ``hold`` is a zero-arg
+    callable returning a deferral reason while replans must wait — see
+    :func:`breaker_brownout_hold` for the standard breaker/brownout gate.
+    """
+
+    def __init__(self, manager: Optional[ChironManager] = None, *,
+                 config: Optional[ControlPlaneConfig] = None,
+                 tracer=None,
+                 hold: Optional[Callable[[], Optional[str]]] = None) -> None:
+        self.manager = manager or ChironManager()
+        self.config = config or ControlPlaneConfig()
+        self.tracer = tracer
+        self.metrics: Registry = (tracer.metrics if tracer is not None
+                                  else Registry())
+        self.hold = hold
+        self.detector = self.config.detector()
+        self.ledger = PlanLedger(self.config.ledger_depth)
+        self.deployment: Optional[Deployment] = None
+        self.state = "steady"    # "steady" | "probation" | "frozen"
+        self.actions: list[ControlAction] = []
+        self._observations = 0
+        self._replans = 0
+        self._frozen_until = 0
+        self._probation_left = 0
+        self._probation_strikes = 0
+        self._promoted_at: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def deploy(self, workflow: Workflow, slo_ms: float) -> Deployment:
+        """Initial deployment; seeds the ledger's last-known-good."""
+        self.deployment = self.manager.deploy(
+            workflow, slo_ms, generate_code=self.config.generate_code,
+            search=self.config.search)
+        self.ledger.push(PlanRecord(self.deployment, self._observations,
+                                    "good", "initial deploy"))
+        self.detector.reset_window()
+        self.state = "steady"
+        return self.deployment
+
+    @property
+    def slo_ms(self) -> float:
+        if self.deployment is None or self.deployment.plan.slo_ms is None:
+            raise SchedulingError("no active deployment with an SLO")
+        return self.deployment.plan.slo_ms
+
+    @property
+    def last_known_good(self) -> Optional[Deployment]:
+        record = self.ledger.last_good
+        return record.deployment if record is not None else None
+
+    # -- observability helpers -------------------------------------------------
+    def _emit(self, name: str, counter: Optional[str] = None,
+              **tags: object) -> None:
+        if counter is not None:
+            self.metrics.inc(counter)
+        if self.tracer is not None:
+            self.tracer.event(name, entity="controlplane", **tags)
+
+    def _act(self, kind: str, reason: str, **detail: object) -> ControlAction:
+        action = ControlAction(observation=self._observations, kind=kind,
+                               reason=reason, detail=detail)
+        self.actions.append(action)
+        return action
+
+    # -- the loop --------------------------------------------------------------
+    def observe(self, latency_ms: float, *,
+                report=None,
+                current_workflow: Optional[Workflow] = None
+                ) -> Optional[ControlAction]:
+        """Feed one measured request latency (plus divergence context).
+
+        Returns the :class:`ControlAction` taken this observation, if any.
+        """
+        if self.deployment is None:
+            raise SchedulingError("observe() before deploy()")
+        self._observations += 1
+        slo = self.slo_ms
+        signal = self._signal(latency_ms, report)
+
+        if self.state == "probation":
+            action = self._verify(latency_ms, signal, slo)
+            if action is not None:
+                return action
+        if self.state == "frozen":
+            if self._observations < self._frozen_until:
+                return None
+            self.state = "steady"
+            self.detector.clear_flips()
+            self.detector.reset_window()
+            self._emit("controlplane.unfrozen")
+            # fall through: this observation feeds the fresh window
+
+        decision = self.detector.observe(signal, slo)
+        if decision is None:
+            return None
+        self._emit("controlplane.drift", "controlplane.drift.detected",
+                   reason=decision.reason,
+                   p99_ms=round(decision.p99_ms, 3),
+                   model_error_rel=round(decision.model_error_rel, 4),
+                   fault_share=round(decision.fault_share, 4))
+
+        if decision.reason == "fault-storm":
+            return self._defer(decision.reason)
+        held = self.hold() if self.hold is not None else None
+        if held is not None:
+            return self._defer(held)
+        if self.detector.is_flapping:
+            return self._freeze(decision.reason)
+        return self._replan(decision, current_workflow)
+
+    # -- internals -------------------------------------------------------------
+    def _signal(self, latency_ms: float, report) -> DriftSignal:
+        if report is None:
+            return DriftSignal(latency_ms=latency_ms)
+        return DriftSignal(
+            latency_ms=latency_ms,
+            predicted_ms=max(report.predicted_total_ms, 0.0),
+            model_error_ms=report.model_error_ms,
+            fault_induced_ms=report.fault_induced_ms)
+
+    def _defer(self, reason: str) -> ControlAction:
+        self.detector.suppress(self.config.cooldown)
+        self._emit("controlplane.deferred", "controlplane.deferred",
+                   reason=reason)
+        return self._act("deferred", reason)
+
+    def _freeze(self, reason: str) -> ControlAction:
+        self.state = "frozen"
+        self._frozen_until = self._observations + self.config.freeze_for
+        self._emit("controlplane.frozen", "controlplane.freezes",
+                   reason=reason, until=self._frozen_until)
+        return self._act("frozen", reason, until=self._frozen_until)
+
+    def _verify(self, latency_ms: float, signal: DriftSignal,
+                slo: float) -> Optional[ControlAction]:
+        """Post-promotion continuous verification: strikes against a budget."""
+        strike = latency_ms > slo
+        if not strike and signal.predicted_ms > 0:
+            rel = max(signal.model_error_ms, 0.0) / signal.predicted_ms
+            strike = rel > self.config.error_fraction
+        if strike:
+            self._probation_strikes += 1
+        if self._probation_strikes > self.config.rollback_budget:
+            return self._rollback()
+        self._probation_left -= 1
+        if self._probation_left <= 0:
+            record = self.ledger.current
+            if record is not None and record.status == "probation":
+                record.status = "good"
+            self.state = "steady"
+            self._emit("controlplane.verified", "controlplane.verified",
+                       strikes=self._probation_strikes)
+        return None
+
+    def _rollback(self) -> ControlAction:
+        record = self.ledger.current
+        if record is not None and record.status == "probation":
+            record.status = "rolled-back"
+        good = self.ledger.last_good
+        if good is None:
+            raise SchedulingError("rollback with no known-good deployment")
+        self.deployment = good.deployment
+        self.state = "steady"
+        self.detector.note_flip()
+        self.detector.reset_window()
+        self.detector.suppress(self.config.cooldown)
+        elapsed = (self._observations - self._promoted_at
+                   if self._promoted_at is not None else 0)
+        self._emit("controlplane.rollback", "controlplane.rollbacks",
+                   strikes=self._probation_strikes,
+                   probation_elapsed=elapsed)
+        return self._act("rolled-back", "probation-budget",
+                         strikes=self._probation_strikes,
+                         probation_elapsed=elapsed)
+
+    def _recalibrate(self, decision: DriftDecision,
+                     workflow: Workflow) -> Optional[Deployment]:
+        """Refresh through the manager; ``None`` keeps the incumbent."""
+        cache = self.manager.prediction_cache
+        hits_before = cache.hits if cache is not None else 0
+        try:
+            candidate = self.manager.refresh(
+                self.deployment, self.slo_ms, workflow=workflow,
+                search=self.config.search,
+                generate_code=self.config.generate_code)
+        except SchedulingError as exc:
+            self._emit("controlplane.refresh_failed",
+                       "controlplane.refresh_failed", error=str(exc))
+            self.detector.suppress(self.config.cooldown)
+            self._act("refresh-failed", decision.reason, error=str(exc))
+            return None
+        old = {f.name: f.behavior.fingerprint()
+               for f in self.deployment.profiled_workflow.functions}
+        drifted = [f.name for f in candidate.profiled_workflow.functions
+                   if old.get(f.name) != f.behavior.fingerprint()]
+        hits_after = cache.hits if cache is not None else 0
+        self.metrics.inc("controlplane.behaviours.drifted", len(drifted))
+        self._emit("controlplane.recalibrated",
+                   "controlplane.recalibrations",
+                   drifted=len(drifted),
+                   cache_hits=hits_after - hits_before)
+        return candidate
+
+    def _replan(self, decision: DriftDecision,
+                current_workflow: Optional[Workflow]) -> ControlAction:
+        workflow = current_workflow or self.deployment.workflow
+        incumbent = self.deployment
+        candidate = self._recalibrate(decision, workflow)
+        if candidate is None:
+            return self.actions[-1]
+        profiled = candidate.profiled_workflow
+        if (candidate.plan.fingerprint(profiled)
+                == incumbent.plan.fingerprint(profiled)):
+            self._emit("controlplane.rejected", "controlplane.rejections",
+                       rule="no-change", reason=decision.reason)
+            return self._act("rejected", decision.reason, rule="no-change")
+        canary = self._canary(candidate, incumbent, decision)
+        self._emit("controlplane.canary", "controlplane.canary.runs",
+                   candidate_p99_ms=round(canary.candidate_p99_ms, 3),
+                   incumbent_p99_ms=round(canary.incumbent_p99_ms, 3),
+                   verdict=canary.verdict, rule=canary.rule)
+        if canary.verdict != "promote":
+            self._emit("controlplane.rejected", "controlplane.rejections",
+                       rule=canary.rule, reason=decision.reason)
+            return self._act("rejected", decision.reason, rule=canary.rule,
+                             canary=canary)
+        self.deployment = candidate
+        self.ledger.push(PlanRecord(candidate, self._observations,
+                                    "probation", decision.reason))
+        self.state = "probation"
+        self._probation_left = self.config.probation
+        self._probation_strikes = 0
+        self._promoted_at = self._observations
+        self.detector.note_flip()
+        self.detector.reset_window()
+        self.metrics.inc("adaptation.refreshes")
+        self._emit("controlplane.promoted", "controlplane.promotions",
+                   reason=decision.reason, rule=canary.rule,
+                   cores=candidate.plan.total_cores,
+                   old_cores=incumbent.plan.total_cores)
+        return self._act("promoted", decision.reason, rule=canary.rule,
+                         canary=canary)
+
+    def _canary(self, candidate: Deployment, incumbent: Deployment,
+                decision: DriftDecision) -> CanaryResult:
+        """Shadow-replay the recent window against both plans in-sim.
+
+        Both replays use the candidate's freshly profiled behaviours (the
+        best available estimate of current reality) and identical seeds, so
+        the comparison isolates the *plan* difference.  Seeds derive from
+        the replan counter — runs are deterministic, never wall-clock.
+        """
+        from repro.platforms.chiron import ChironPlatform
+
+        self._replans += 1
+        cfg = self.config
+        slo = self.slo_ms
+        workflow = candidate.profiled_workflow
+        seeds = [1_000_000 + self._replans * 10_000 + i
+                 for i in range(cfg.canary_replays)]
+        cand_platform = ChironPlatform(candidate.plan, self.manager.cal,
+                                       name="chiron-canary")
+        inc_platform = ChironPlatform(incumbent.plan, self.manager.cal,
+                                      name="chiron-shadow")
+        cand = [cand_platform.run(workflow, seed=s).latency_ms
+                for s in seeds]
+        inc = [inc_platform.run(workflow, seed=s).latency_ms for s in seeds]
+        cand_p99 = percentile(cand, 99)
+        inc_p99 = percentile(inc, 99)
+        improvement = ((inc_p99 - cand_p99) / inc_p99
+                       if inc_p99 > 0 else 0.0)
+        cand_cores = candidate.plan.total_cores
+        inc_cores = incumbent.plan.total_cores
+        if inc_p99 > slo >= cand_p99:
+            verdict, rule = "promote", "slo-rescue"
+        elif improvement >= cfg.guard_margin and cand_p99 <= slo:
+            verdict, rule = "promote", "guard-margin"
+        elif (cand_cores < inc_cores
+              and cand_p99 <= cfg.promote_headroom * slo):
+            verdict, rule = "promote", "scale-down"
+        else:
+            verdict, rule = "reject", "guard-margin"
+        return CanaryResult(
+            candidate_p99_ms=cand_p99, incumbent_p99_ms=inc_p99,
+            slo_ms=slo, improvement=improvement,
+            candidate_cores=cand_cores, incumbent_cores=inc_cores,
+            replays=cfg.canary_replays, verdict=verdict, rule=rule)
+
+
+def breaker_brownout_hold(board=None,
+                          brownout_active: Optional[Callable[[], bool]]
+                          = None) -> Callable[[], Optional[str]]:
+    """Standard deferral gate: hold replans while the overload plane is hot.
+
+    ``board`` is a :class:`repro.overload.BreakerBoard` (any open breaker
+    defers — a replan mid-outage would canary against garbage) and
+    ``brownout_active`` a zero-arg truth function (a replan would fight the
+    autoscaler's deliberate degradation).
+    """
+    def hold() -> Optional[str]:
+        if board is not None:
+            from repro.overload.breaker import BreakerState
+
+            for scope, breaker in getattr(board, "_breakers", {}).items():
+                if breaker.state is BreakerState.OPEN:
+                    return f"breaker-open:{scope}"
+        if brownout_active is not None and brownout_active():
+            return "brownout"
+        return None
+
+    return hold

@@ -60,6 +60,31 @@ class DynamicChironManager:
         return DynamicDeployment(workflow=workflow, plans=plans,
                                  slo_ms=slo_ms)
 
+    def refresh(self, deployment: DynamicDeployment,
+                slo_ms: Optional[float] = None, *,
+                workflow: Optional[DynamicWorkflow] = None
+                ) -> DynamicDeployment:
+        """Re-plan every branch variant against drifted behaviours.
+
+        The §3.4 periodic update for dynamic DAGs: ``workflow`` carries the
+        currently observed behaviours (defaults to the deployed ones).
+        Branch variants share the stages before and after the switch, and
+        the underlying :class:`ChironManager` keeps one prediction cache
+        across deploys — so a refresh where only one branch's functions
+        drifted pays full Algorithm-1 cost only for that branch's changed
+        stages.  Raises :class:`~repro.errors.DeploymentError` when the
+        drifted workflow's branch set no longer matches the deployment
+        (the union-of-wraps routing would dangle).
+        """
+        wf = workflow if workflow is not None else deployment.workflow
+        target = slo_ms if slo_ms is not None else deployment.slo_ms
+        if set(wf.variants()) != set(deployment.workflow.variants()):
+            raise DeploymentError(
+                "refresh cannot add or remove branches: deployed "
+                f"{sorted(deployment.workflow.variants())}, got "
+                f"{sorted(wf.variants())}")
+        return self.deploy(wf, target)
+
 
 class DynamicChironPlatform:
     """Routes requests to the branch decided at the switch.

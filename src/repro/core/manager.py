@@ -230,9 +230,25 @@ class ChironManager:
         return degrade_plan(plan, max_processes_per_wrap=cap)
 
     def refresh(self, deployment: Deployment,
-                slo_ms: Optional[float] = None) -> Deployment:
-        """Periodic re-profiling and re-scheduling (workload drift, §3.4)."""
+                slo_ms: Optional[float] = None, *,
+                workflow: Optional[Workflow] = None,
+                search=None, generate_code: bool = True) -> Deployment:
+        """Periodic re-profiling and re-scheduling (workload drift, §3.4).
+
+        ``workflow`` carries the *currently observed* behaviours (drifted
+        functions re-measured on the live system); it defaults to the
+        originally deployed workflow, i.e. a blind refresh.  Because the
+        manager's predictor (and its prediction cache) is shared across
+        deploys, stages whose behaviours did not drift fingerprint
+        identically and are re-planned from cache — the cost of a refresh
+        scales with how much of the workflow actually changed.  A refresh
+        of a fault-hardened deployment stays hardened: the original
+        ``fault_plan`` carries over.
+        """
         target = slo_ms if slo_ms is not None else deployment.plan.slo_ms
         if target is None:
             raise ValueError("deployment has no SLO to refresh against")
-        return self.deploy(deployment.workflow, target)
+        wf = workflow if workflow is not None else deployment.workflow
+        return self.deploy(wf, target, search=search,
+                           generate_code=generate_code,
+                           fault_plan=deployment.fault_plan)

@@ -21,6 +21,7 @@ from repro.experiments.common import (
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablations,
     coldstart,
+    drift_recovery,
     fault_blast_radius,
     fig03_scheduling,
     fig04_transfer,

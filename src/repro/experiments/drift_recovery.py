@@ -1,0 +1,328 @@
+"""Self-healing under calibration drift: closed loop vs. open loop.
+
+Three adversarial scenarios drive the re-deployment control plane
+(:mod:`repro.core.controlplane`) through its whole state machine:
+
+* ``drift-recovery`` — mid-run the workload's functions get 4x heavier
+  (calibration drift: the deployed plan was built for the light
+  behaviours).  The **closed loop** detects the divergence, recalibrates,
+  canaries a new plan and promotes it — windowed p99 returns under the
+  SLO.  The **open-loop** baseline keeps the stale plan and stays in
+  violation for the rest of the run.
+* ``bad-replan`` — same drift, but the first recalibration is fed a
+  *stale* behaviour snapshot (understated ~2.5x).  The canary — which can
+  only judge against the behaviours it was given — promotes an
+  under-provisioned plan; post-promotion verification counts SLO/divergence
+  strikes and rolls back to the last-known-good deployment within the
+  probation budget.  The next (honest) recalibration then recovers.
+* ``fault-storm`` — no drift at all, but injected sandbox crashes inflate
+  tail latency.  The divergence split (``fault_induced_ms`` vs
+  ``model_error_ms``) classifies the window as a fault storm and the plane
+  *defers*: zero replans, because retries — not wrap repartitioning — own
+  transient faults.
+
+Everything is seeded: arrival jitter, fault injection and canary replays
+all derive from the scenario seed, so two runs produce bit-identical
+latency series (asserted in the report's ``deterministic`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controlplane import (ControlPlaneConfig,
+                                     RedeploymentControlPlane)
+from repro.core.manager import ChironManager
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult, register
+from repro.metrics.stats import percentile
+from repro.obs import compare
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+SCENARIOS = ("drift-recovery", "bad-replan", "fault-storm")
+ARMS = ("open-loop", "closed-loop")
+
+#: the SLO every scenario serves against (ms) — generous for the light
+#: behaviours, feasible (with enough cores) for the heavy ones
+SLO_MS = 80.0
+#: behaviour scale factors: reality before/after drift, and the stale
+#: snapshot the bad-replan adversary feeds the first recalibration
+LIGHT_SCALE, HEAVY_SCALE, STALE_SCALE = 1.0, 4.0, 1.6
+
+
+def drift_workflow(scale: float, *, n: int = 10):
+    """Prep stage + n-wide CPU fan-out; ``scale`` multiplies the fan-out."""
+    return (WorkflowBuilder("drift-wf")
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 2.0), ("io", 3.0))))
+            .parallel("fan", [(f"f-{i}", FunctionBehavior.cpu(5.0 * scale))
+                              for i in range(n)])
+            .build())
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One adversarial serving run."""
+
+    name: str
+    requests: int
+    #: request index where reality switches light -> heavy (None = never)
+    drift_at: Optional[int]
+    #: feed the recalibration a stale (understated) snapshot until the
+    #: first rollback has happened
+    stale_snapshot: bool = False
+    #: per-function sandbox crash rate from ``drift_at`` on (fault storm)
+    fault_rate: float = 0.0
+
+
+def make_scenario(name: str, *, quick: bool = False) -> Scenario:
+    scale = 0.5 if quick else 1.0
+    if name == "drift-recovery":
+        return Scenario(name, requests=int(220 * scale) + 80, drift_at=60)
+    if name == "bad-replan":
+        return Scenario(name, requests=int(240 * scale) + 100, drift_at=60,
+                        stale_snapshot=True)
+    if name == "fault-storm":
+        return Scenario(name, requests=int(160 * scale) + 60, drift_at=50,
+                        fault_rate=0.08)
+    raise ReproError(f"unknown scenario {name!r}; "
+                     f"expected one of {SCENARIOS}")
+
+
+def control_config() -> ControlPlaneConfig:
+    """The loop's knobs, sized to the scenarios' request budgets."""
+    return ControlPlaneConfig(
+        window=16, hysteresis=2, cooldown=10,
+        error_fraction=0.35, guard_margin=0.05,
+        canary_replays=6, probation=16, rollback_budget=5,
+        flap_limit=3, flap_window=400, freeze_for=60)
+
+
+def _serve(scenario: Scenario, *, seed: int, closed: bool,
+           report_every: int = 4) -> dict:
+    """One arm of one scenario: the serving loop, instrumented.
+
+    The loop owns execution (one simulated request per index, seeded
+    jitter); the control plane owns the deployment.  The open-loop arm
+    simply never calls the plane — the initial plan serves forever.
+    """
+    from repro.faults import FaultPlan, RetryExhausted, preset
+    from repro.platforms.chiron import ChironPlatform
+
+    # a request whose retries exhaust is answered by the gateway timeout —
+    # a deterministic worst-case latency, and of course an SLO violation
+    timeout_ms = 3.0 * SLO_MS
+
+    light = drift_workflow(LIGHT_SCALE)
+    heavy = drift_workflow(HEAVY_SCALE)
+    stale = drift_workflow(STALE_SCALE)
+    manager = ChironManager()
+    plane = RedeploymentControlPlane(manager, config=control_config())
+    plane.deploy(light, SLO_MS)
+
+    fault_plan = (FaultPlan(seed=seed, sandbox_crash_rate=scenario.fault_rate)
+                  if scenario.fault_rate > 0 else None)
+    retry = preset("eager") if fault_plan is not None else None
+
+    latencies: list[float] = []
+    report = None
+    rolled_back = False
+    for r in range(scenario.requests):
+        drifted = scenario.drift_at is not None and r >= scenario.drift_at
+        reality = heavy if (drifted and scenario.fault_rate == 0) else light
+        faults = fault_plan if drifted else None
+        plan = plane.deployment.plan
+        platform = ChironPlatform(plan, manager.cal)
+        try:
+            latency = platform.run(reality, seed=seed * 100_000 + r,
+                                   faults=faults, retry=retry,
+                                   fault_seed=r).latency_ms
+        except RetryExhausted:
+            latency = timeout_ms
+        latencies.append(latency)
+        if not closed:
+            continue
+        if r % report_every == 0:
+            try:
+                report = compare(plane.deployment.profiled_workflow, plan,
+                                 cal=manager.cal,
+                                 predictor=manager.predictor,
+                                 runtime_workflow=reality, faults=faults,
+                                 retry=retry, fault_seed=r)
+            except RetryExhausted:
+                pass    # keep the previous report; the storm rages on
+        rolled_back = rolled_back or any(a.kind == "rolled-back"
+                                         for a in plane.actions)
+        snapshot = (stale if (scenario.stale_snapshot and not rolled_back)
+                    else reality)
+        plane.observe(latency, report=report, current_workflow=snapshot)
+
+    return _summarize(scenario, plane, latencies, closed=closed)
+
+
+def _windowed_p99(latencies: list[float], window: int = 16) -> list[float]:
+    return [percentile(latencies[i - window:i], 99)
+            for i in range(window, len(latencies) + 1)]
+
+
+def _summarize(scenario: Scenario, plane: RedeploymentControlPlane,
+               latencies: list[float], *, closed: bool) -> dict:
+    window = plane.config.window
+    timeline = _windowed_p99(latencies, window)
+    violations = sum(1 for l in latencies if l > SLO_MS)
+    # recovery = the first request index after the drift from which the
+    # windowed p99 stays under the SLO for the rest of the run
+    recovered_at: Optional[int] = None
+    if scenario.drift_at is not None and timeline:
+        start = max(scenario.drift_at, 0)
+        for i in range(len(timeline) - 1, -1, -1):
+            if timeline[i] > SLO_MS:
+                break
+            recovered_at = i + window
+        if recovered_at is not None and recovered_at < start:
+            recovered_at = start
+        if recovered_at is not None and timeline[-1] > SLO_MS:
+            recovered_at = None
+    counters = plane.metrics.counters()
+    kinds = [a.kind for a in plane.actions]
+    rollback_elapsed = next(
+        (a.detail.get("probation_elapsed") for a in plane.actions
+         if a.kind == "rolled-back"), None)
+    return {
+        "scenario": scenario.name,
+        "arm": "closed-loop" if closed else "open-loop",
+        "requests": len(latencies),
+        "latencies": [round(l, 4) for l in latencies],
+        "p99_initial_ms": round(timeline[0], 2) if timeline else None,
+        "p99_peak_ms": round(max(timeline), 2) if timeline else None,
+        "p99_final_ms": round(timeline[-1], 2) if timeline else None,
+        "violations": violations,
+        "recovered_at": recovered_at,
+        "promotions": int(counters.get("controlplane.promotions", 0)),
+        "rejections": int(counters.get("controlplane.rejections", 0)),
+        "rollbacks": int(counters.get("controlplane.rollbacks", 0)),
+        "deferred": int(counters.get("controlplane.deferred", 0)),
+        "recalibrations": int(counters.get("controlplane.recalibrations",
+                                           0)),
+        "rollback_elapsed": rollback_elapsed,
+        "final_cores": plane.deployment.plan.total_cores,
+        "actions": kinds,
+    }
+
+
+def run_scenario(name: str, *, seed: int = 7,
+                 quick: bool = False) -> dict:
+    """Both arms of one scenario plus its acceptance flags."""
+    scenario = make_scenario(name, quick=quick)
+    arms = {"open-loop": _serve(scenario, seed=seed, closed=False),
+            "closed-loop": _serve(scenario, seed=seed, closed=True)}
+    return {"name": name, "drift_at": scenario.drift_at,
+            "arms": arms, "flags": scenario_flags(name, arms)}
+
+
+def scenario_flags(name: str, arms: dict) -> dict:
+    closed, opened = arms["closed-loop"], arms["open-loop"]
+    flags: dict = {}
+    if name == "drift-recovery":
+        flags["closed_loop_recovers"] = (
+            closed["recovered_at"] is not None
+            and closed["p99_final_ms"] is not None
+            and closed["p99_final_ms"] <= SLO_MS)
+        flags["open_loop_stays_violating"] = (
+            opened["p99_final_ms"] is not None
+            and opened["p99_final_ms"] > SLO_MS)
+        flags["fewer_violations_closed"] = (
+            closed["violations"] < opened["violations"])
+    elif name == "bad-replan":
+        flags["rollback_happened"] = closed["rollbacks"] >= 1
+        flags["rollback_within_budget"] = (
+            closed["rollback_elapsed"] is not None
+            and closed["rollback_elapsed"]
+            <= control_config().probation)
+        flags["recovers_after_rollback"] = (
+            closed["recovered_at"] is not None
+            and closed["p99_final_ms"] is not None
+            and closed["p99_final_ms"] <= SLO_MS)
+    elif name == "fault-storm":
+        flags["fault_storm_defers"] = closed["deferred"] >= 1
+        flags["no_replan_on_faults"] = closed["promotions"] == 0
+    return flags
+
+
+def sweep(*, seed: int = 7, quick: bool = False,
+          scenarios=SCENARIOS) -> dict:
+    """The full report (the BENCH_drift.json payload)."""
+    results = [run_scenario(name, seed=seed, quick=quick)
+               for name in scenarios]
+    summary: dict = {}
+    for res in results:
+        summary.update(res["flags"])
+    if "drift-recovery" in scenarios:
+        rerun = _serve(make_scenario("drift-recovery", quick=quick),
+                       seed=seed, closed=True)
+        first = next(r for r in results
+                     if r["name"] == "drift-recovery")
+        summary["deterministic"] = (
+            rerun["latencies"]
+            == first["arms"]["closed-loop"]["latencies"])
+    cfg = control_config()
+    return {"experiment": "drift-recovery", "seed": seed,
+            "slo_ms": SLO_MS, "quick": quick,
+            "config": {"window": cfg.window, "hysteresis": cfg.hysteresis,
+                       "cooldown": cfg.cooldown,
+                       "guard_margin": cfg.guard_margin,
+                       "probation": cfg.probation,
+                       "rollback_budget": cfg.rollback_budget,
+                       "canary_replays": cfg.canary_replays},
+            "scenarios": results, "summary": summary}
+
+
+def format_drift_table(report: dict) -> str:
+    """Human-readable summary of a :func:`sweep` report (the CLI output)."""
+    rows = [f"{'scenario':<16} {'arm':<12} {'p99 peak':>9} {'p99 final':>10} "
+            f"{'viol':>5} {'promo':>5} {'rollb':>5} {'defer':>5} "
+            f"{'recovered@':>10}"]
+    for res in report["scenarios"]:
+        for arm in ARMS:
+            row = res["arms"][arm]
+            rec = row["recovered_at"]
+            rows.append(
+                f"{res['name']:<16} {arm:<12} "
+                f"{row['p99_peak_ms']:>9.1f} {row['p99_final_ms']:>10.1f} "
+                f"{row['violations']:>5d} {row['promotions']:>5d} "
+                f"{row['rollbacks']:>5d} {row['deferred']:>5d} "
+                f"{('-' if rec is None else str(rec)):>10}")
+    flags = report["summary"]
+    rows.append("flags: " + ", ".join(f"{k}={v}"
+                                      for k, v in sorted(flags.items())))
+    return "\n".join(rows)
+
+
+@register("drift-recovery")
+def run(quick: bool = False) -> ExperimentResult:
+    """Closed-loop re-deployment vs. open loop under calibration drift."""
+    report = sweep(quick=quick)
+    flags = report["summary"]
+    result = ExperimentResult(
+        experiment="drift-recovery",
+        title="Self-healing re-deployment: drift detection, canary "
+              "promotion, rollback (SLO 80 ms)",
+        columns=("scenario", "arm", "p99_peak_ms", "p99_final_ms",
+                 "violations", "promotions", "rollbacks", "deferred",
+                 "recovered_at", "final_cores"),
+        notes=", ".join(f"{k}={v}" for k, v in sorted(flags.items())),
+    )
+    for res in report["scenarios"]:
+        for arm in ARMS:
+            row = res["arms"][arm]
+            result.add(scenario=res["name"], arm=arm,
+                       p99_peak_ms=row["p99_peak_ms"],
+                       p99_final_ms=row["p99_final_ms"],
+                       violations=row["violations"],
+                       promotions=row["promotions"],
+                       rollbacks=row["rollbacks"],
+                       deferred=row["deferred"],
+                       recovered_at=row["recovered_at"],
+                       final_cores=row["final_cores"])
+    return result

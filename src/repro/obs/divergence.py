@@ -104,6 +104,26 @@ class DivergenceReport:
         return self.total_delta_ms - self.fault_induced_ms
 
     @property
+    def rel(self) -> Optional[float]:
+        """Total delta as a fraction of the prediction.
+
+        ``None`` when the prediction is zero (an empty or all-zero-cost
+        workflow) — the gap has no meaningful scale, and callers must not
+        divide by it.
+        """
+        if not self.predicted_total_ms:
+            return None
+        return self.total_delta_ms / self.predicted_total_ms
+
+    @property
+    def model_error_rel(self) -> Optional[float]:
+        """Residual model error as a fraction of the prediction (guarded
+        like :attr:`rel`) — the drift-detector's input signal."""
+        if not self.predicted_total_ms:
+            return None
+        return self.model_error_ms / self.predicted_total_ms
+
+    @property
     def worst_function(self) -> Optional[FunctionDelta]:
         with_delta = [f for f in self.functions if f.delta_ms is not None]
         if not with_delta:
@@ -123,8 +143,7 @@ class DivergenceReport:
         return None
 
     def to_text(self) -> str:
-        rel = (self.total_delta_ms / self.predicted_total_ms * 100.0
-               if self.predicted_total_ms else float("inf"))
+        rel = (self.rel * 100.0 if self.rel is not None else float("nan"))
         lines = [
             f"divergence report: {self.workflow}",
             f"  predicted {self.predicted_total_ms:9.3f} ms"
@@ -209,7 +228,8 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
             predictor: Optional[LatencyPredictor] = None,
             platform=None, cold: bool = False,
             tracer=None, faults=None, retry=None,
-            fault_seed: int = 0) -> DivergenceReport:
+            fault_seed: int = 0,
+            runtime_workflow: Optional[Workflow] = None) -> DivergenceReport:
     """Predict and execute ``plan``, then decompose the latency gap.
 
     ``predictor`` and ``platform`` default to a shared calibration; pass a
@@ -222,16 +242,29 @@ def compare(workflow: Workflow, plan: DeploymentPlan, *,
     side only; the report then attributes the injected slice of the latency
     gap separately (``fault_induced_ms`` vs ``model_error_ms``), so injected
     faults do not masquerade as predictor drift.
+
+    ``runtime_workflow`` splits belief from reality: the predictor scores
+    ``workflow`` (the behaviours the plan was built against) while the
+    runtime executes ``runtime_workflow`` (the behaviours the system shows
+    *now*).  Both must share the same function names/stage shape.  The
+    resulting ``model_error_ms`` measures calibration drift — the signal
+    the re-deployment control plane triggers on.
     """
     cal = cal or RuntimeCalibration.native()
     predictor = predictor or LatencyPredictor(cal)
     if platform is None:
         from repro.platforms.chiron import ChironPlatform
         platform = ChironPlatform(plan, cal)
+    executed = runtime_workflow if runtime_workflow is not None else workflow
+    if {f.name for f in executed.functions} != \
+            {f.name for f in workflow.functions}:
+        raise ValueError(
+            "runtime_workflow must keep the predicted workflow's function "
+            "names — only behaviours may drift")
 
     pred_trace = TraceRecorder()
     predicted = predictor.predict_workflow(workflow, plan, trace=pred_trace)
-    result = platform.run(workflow, cold=cold, tracer=tracer, faults=faults,
+    result = platform.run(executed, cold=cold, tracer=tracer, faults=faults,
                           retry=retry, fault_seed=fault_seed)
     run_trace = result.trace
 

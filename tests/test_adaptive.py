@@ -97,3 +97,92 @@ class TestAdaptation:
         event = deployer.events[0]
         assert event.p90_ms > 80.0
         assert event.request_index >= 3
+
+
+class TestRefreshFailure:
+    def test_scheduling_error_keeps_the_incumbent(self, monkeypatch):
+        """An unschedulable drifted workload must degrade the adaptation,
+        not crash the serving loop."""
+        deployer = AdaptiveDeployer(window=3, cooldown=0)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        incumbent = deployer.deployment
+
+        def boom(*args, **kwargs):
+            raise SchedulingError("cannot meet SLO at any partitioning")
+
+        monkeypatch.setattr(deployer.manager, "deploy", boom)
+        event = None
+        for _ in range(5):
+            event = deployer.observe(200.0, current_workflow=fanout(50.0))
+        assert event is None
+        assert deployer.deployment is incumbent
+        assert deployer.events == []
+        assert deployer.refresh_failures >= 1
+        counters = deployer.metrics.counters()
+        assert counters["adaptation.refresh_failed"] >= 1
+        assert "adaptation.refreshes" not in counters
+
+    def test_failed_refresh_reenters_cooldown(self, monkeypatch):
+        deployer = AdaptiveDeployer(window=2, cooldown=6)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        monkeypatch.setattr(
+            deployer.manager, "deploy",
+            lambda *a, **k: (_ for _ in ()).throw(SchedulingError("no")))
+        # burn the post-deploy cooldown, then trip one failing refresh
+        while deployer.refresh_failures == 0:
+            deployer.observe(200.0)
+        observed_at_failure = deployer._requests_seen
+        # the failure cleared the window and restarted the cooldown: the
+        # next attempt cannot land inside it
+        for _ in range(deployer.cooldown):
+            deployer.observe(200.0)
+            assert deployer.refresh_failures == 1
+        while deployer.refresh_failures == 1:
+            deployer.observe(200.0)
+        assert (deployer._requests_seen - observed_at_failure
+                > deployer.cooldown)
+
+
+class TestFlapSuppression:
+    """Deterministic hysteresis behaviour on a flapping latency feed."""
+
+    # one 200 ms blip every 3 requests; the all-clean windows in between
+    # reset the breach streak, so windowed p90 flips breach/health forever
+    FLAPPY_FEED = [200.0, 60.0, 60.0] * 10
+
+    def test_hysteresis_suppresses_a_flapping_feed(self):
+        deployer = AdaptiveDeployer(window=2, cooldown=0, hysteresis=3)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        for latency in self.FLAPPY_FEED:
+            assert deployer.observe(latency) is None
+        assert deployer.events == []
+
+    def test_hysteresis_one_control_does_refresh(self):
+        """The same feed with the historical trigger-on-first-breach
+        behaviour refreshes — proving the feed genuinely breaches."""
+        deployer = AdaptiveDeployer(window=2, cooldown=0, hysteresis=1)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        events = [deployer.observe(l) for l in self.FLAPPY_FEED]
+        assert any(e is not None for e in events)
+
+    def test_sustained_breach_still_fires_through_hysteresis(self):
+        deployer = AdaptiveDeployer(window=2, cooldown=0, hysteresis=3)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        event = None
+        for _ in range(2 + 3):      # fill the window, then 3-streak
+            event = deployer.observe(200.0)
+            if event is not None:
+                break
+        assert event is not None and event.reason == "slo-pressure"
+
+    def test_cooldown_after_refresh_is_deterministic(self):
+        deployer = AdaptiveDeployer(window=2, cooldown=10, hysteresis=1)
+        deployer.deploy(fanout(5.0), slo_ms=80.0)
+        fired_at = []
+        for i in range(40):
+            if deployer.observe(200.0) is not None:
+                fired_at.append(i)
+        assert len(fired_at) >= 2
+        # consecutive refreshes are separated by cooldown + window refill
+        gaps = [b - a for a, b in zip(fired_at, fired_at[1:])]
+        assert all(gap > deployer.cooldown for gap in gaps)

@@ -176,3 +176,55 @@ class TestColdstartCommand:
         assert main(["coldstart", "bogus"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("chiron-repro: error:")
+
+
+class TestDriftCommand:
+    def test_smoke_single_scenario_writes_report(self, capsys, tmp_path):
+        out_file = tmp_path / "drift.json"
+        assert main(["drift", "--quick", "--scenario", "drift-recovery",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop" in out and "open-loop" in out
+        assert "flags:" in out
+
+        import json
+        report = json.loads(out_file.read_text())
+        assert report["experiment"] == "drift-recovery"
+        assert report["quick"] is True
+        assert [s["name"] for s in report["scenarios"]] == ["drift-recovery"]
+        assert report["summary"]["closed_loop_recovers"] is True
+        assert report["summary"]["open_loop_stays_violating"] is True
+        assert report["summary"]["deterministic"] is True
+
+    def test_out_empty_skips_report(self, capsys):
+        assert main(["drift", "--quick", "--scenario", "fault-storm",
+                     "--out", ""]) == 0
+        out = capsys.readouterr().out
+        assert "report written" not in out
+
+
+class TestBenchReportRoundTrip:
+    def test_load_report_round_trips(self, tmp_path):
+        from repro.bench import load_report, write_report
+        path = tmp_path / "BENCH_x.json"
+        write_report({"experiment": "x", "summary": {"ok": True}},
+                     str(path))
+        assert load_report(str(path))["summary"]["ok"] is True
+
+    def test_load_report_missing_file_raises_repro_error(self, tmp_path):
+        from repro.bench import load_report
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="no benchmark report"):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_load_report_malformed_raises_repro_error(self, tmp_path):
+        from repro.bench import load_report
+        from repro.errors import ReproError
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_report(str(bad))
+        lst = tmp_path / "list.json"
+        lst.write_text("[1, 2]")
+        with pytest.raises(ReproError, match="not a JSON object"):
+            load_report(str(lst))

@@ -1,0 +1,400 @@
+"""Tests for the self-healing re-deployment control plane."""
+
+import pytest
+
+from repro.core.controlplane import (
+    ControlPlaneConfig,
+    DriftDetector,
+    DriftSignal,
+    PlanLedger,
+    PlanRecord,
+    RedeploymentControlPlane,
+    breaker_brownout_hold,
+)
+from repro.core.manager import ChironManager
+from repro.errors import SchedulingError
+from repro.obs import compare
+from repro.platforms import ChironPlatform
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+SLO = 80.0
+
+
+def fanout(cpu_ms, n=10, name="cp-wf"):
+    return (WorkflowBuilder(name)
+            .sequential("prep", ("prep", FunctionBehavior.of(
+                ("cpu", 2.0), ("io", 3.0))))
+            .parallel("fan", [(f"f-{i}", FunctionBehavior.cpu(cpu_ms))
+                              for i in range(n)])
+            .build())
+
+
+def breach(latency_ms=200.0):
+    return DriftSignal(latency_ms=latency_ms)
+
+
+# ---------------------------------------------------------------------------
+# DriftDetector
+# ---------------------------------------------------------------------------
+
+class TestDriftDetector:
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            DriftDetector(window=1)
+        with pytest.raises(SchedulingError):
+            DriftDetector(pressure_fraction=0.3, slack_fraction=0.5)
+        with pytest.raises(SchedulingError):
+            DriftDetector(hysteresis=0)
+        with pytest.raises(SchedulingError):
+            DriftDetector(error_fraction=0.0)
+        with pytest.raises(SchedulingError):
+            DriftDetector(fault_share_threshold=1.5)
+        with pytest.raises(SchedulingError):
+            DriftDetector(flap_limit=0)
+
+    def test_no_decision_until_window_fills(self):
+        det = DriftDetector(window=4, hysteresis=1, cooldown=0)
+        for _ in range(3):
+            assert det.observe(breach(), 100.0) is None  # window not full
+        assert det.observe(breach(), 100.0) is not None
+
+    def test_hysteresis_requires_consecutive_breaches(self):
+        det = DriftDetector(window=4, hysteresis=2, cooldown=0)
+        decisions = [det.observe(breach(), 100.0) for _ in range(5)]
+        # window fills at obs 4 (streak 1); obs 5 makes the streak 2
+        assert decisions[:4] == [None] * 4
+        assert decisions[4] is not None
+        assert decisions[4].reason == "slo-pressure"
+        assert decisions[4].p99_ms == pytest.approx(200.0)
+
+    def test_cooldown_suppresses_retrips(self):
+        det = DriftDetector(window=2, hysteresis=1, cooldown=5)
+        first = [det.observe(breach(), 100.0) for _ in range(2)]
+        assert first[-1] is not None
+        # every one of the next `cooldown` breaching windows is swallowed
+        assert all(det.observe(breach(), 100.0) is None for _ in range(5))
+        assert det.observe(breach(), 100.0) is not None
+
+    def test_clean_window_resets_the_streak(self):
+        det = DriftDetector(window=2, hysteresis=3, cooldown=0)
+        # periodic blips: one breach in every 3 observations never makes a
+        # 3-streak because the all-clean window in between resets it
+        feed = [200.0, 60.0, 60.0] * 6
+        assert all(det.observe(breach(l), 100.0) is None for l in feed)
+
+    def test_model_error_reason_without_pressure(self):
+        det = DriftDetector(window=2, hysteresis=1, cooldown=0,
+                            error_fraction=0.35)
+        sig = DriftSignal(latency_ms=50.0, predicted_ms=50.0,
+                          model_error_ms=30.0)
+        det.observe(sig, 100.0)
+        decision = det.observe(sig, 100.0)
+        assert decision is not None and decision.reason == "model-error"
+        assert decision.model_error_rel == pytest.approx(0.6)
+
+    def test_fault_storm_reason_when_faults_dominate(self):
+        det = DriftDetector(window=2, hysteresis=1, cooldown=0)
+        sig = DriftSignal(latency_ms=200.0, predicted_ms=60.0,
+                          model_error_ms=10.0, fault_induced_ms=90.0)
+        det.observe(sig, 100.0)
+        decision = det.observe(sig, 100.0)
+        assert decision is not None and decision.reason == "fault-storm"
+        assert decision.fault_share == pytest.approx(0.9)
+
+    def test_over_provisioned_reason(self):
+        det = DriftDetector(window=2, hysteresis=1, cooldown=0,
+                            slack_fraction=0.35)
+        det.observe(breach(20.0), 100.0)
+        decision = det.observe(breach(20.0), 100.0)
+        assert decision is not None
+        assert decision.reason == "over-provisioned"
+
+    def test_flap_tracking(self):
+        det = DriftDetector(window=2, flap_limit=3, flap_window=50)
+        assert not det.is_flapping
+        for _ in range(3):
+            det.note_flip()
+        assert det.is_flapping
+        det.clear_flips()
+        assert not det.is_flapping
+
+    def test_flips_age_out_of_the_flap_window(self):
+        det = DriftDetector(window=2, hysteresis=1, cooldown=0,
+                            flap_limit=2, flap_window=5)
+        det.note_flip()
+        det.note_flip()
+        assert det.is_flapping
+        for _ in range(10):     # advance the observation index past the
+            det.observe(breach(60.0), 100.0)  # flap window
+        assert not det.is_flapping
+
+
+# ---------------------------------------------------------------------------
+# PlanLedger
+# ---------------------------------------------------------------------------
+
+class TestPlanLedger:
+    def test_depth_validated(self):
+        with pytest.raises(SchedulingError):
+            PlanLedger(maxlen=1)
+
+    def test_last_good_skips_rolled_back(self):
+        ledger = PlanLedger(maxlen=4)
+        assert ledger.current is None and ledger.last_good is None
+        ledger.push(PlanRecord("d1", 0, "good"))
+        ledger.push(PlanRecord("d2", 5, "probation"))
+        assert ledger.current.deployment == "d2"
+        assert ledger.last_good.deployment == "d1"
+        ledger.current.status = "rolled-back"
+        assert ledger.last_good.deployment == "d1"
+
+    def test_bounded_history_evicts_oldest(self):
+        ledger = PlanLedger(maxlen=2)
+        for i in range(4):
+            ledger.push(PlanRecord(f"d{i}", i, "good"))
+        assert len(ledger) == 2
+        assert [r.deployment for r in ledger.records] == ["d2", "d3"]
+
+
+# ---------------------------------------------------------------------------
+# ControlPlaneConfig
+# ---------------------------------------------------------------------------
+
+class TestConfig:
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(SchedulingError):
+            ControlPlaneConfig(guard_margin=0.0)
+        with pytest.raises(SchedulingError):
+            ControlPlaneConfig(promote_headroom=1.2)
+        with pytest.raises(SchedulingError):
+            ControlPlaneConfig(canary_replays=0)
+        with pytest.raises(SchedulingError):
+            ControlPlaneConfig(probation=0)
+        with pytest.raises(SchedulingError):
+            ControlPlaneConfig(freeze_for=0)
+
+    def test_detector_factory_forwards_knobs(self):
+        cfg = ControlPlaneConfig(window=7, hysteresis=4, cooldown=11)
+        det = cfg.detector()
+        assert (det.window, det.hysteresis, det.cooldown) == (7, 4, 11)
+
+
+# ---------------------------------------------------------------------------
+# the control plane itself
+# ---------------------------------------------------------------------------
+
+def make_plane(**overrides):
+    defaults = dict(window=4, hysteresis=2, cooldown=4, probation=6,
+                    rollback_budget=2, canary_replays=4, guard_margin=0.05,
+                    flap_limit=3, flap_window=100, freeze_for=10)
+    defaults.update(overrides)
+    manager = ChironManager()
+    return RedeploymentControlPlane(manager,
+                                    config=ControlPlaneConfig(**defaults))
+
+
+class TestControlPlane:
+    def test_observe_before_deploy_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_plane().observe(10.0)
+
+    def test_drift_promotes_a_recalibrated_plan(self):
+        """Heavier behaviours blow the SLO; the plane recalibrates,
+        canaries and promotes a bigger plan, then verifies it."""
+        plane = make_plane()
+        light, heavy = fanout(5.0), fanout(20.0)
+        plane.deploy(light, SLO)
+        old_cores = plane.deployment.plan.total_cores
+        manager = plane.manager
+
+        promoted = None
+        report = None
+        for r in range(60):
+            platform = ChironPlatform(plane.deployment.plan, manager.cal)
+            latency = platform.run(heavy, seed=1_000 + r).latency_ms
+            if r % 4 == 0:
+                report = compare(plane.deployment.profiled_workflow,
+                                 plane.deployment.plan, cal=manager.cal,
+                                 predictor=manager.predictor,
+                                 runtime_workflow=heavy)
+            action = plane.observe(latency, report=report,
+                                   current_workflow=heavy)
+            if action is not None and action.kind == "promoted":
+                promoted = action
+                break
+        assert promoted is not None
+        assert plane.state == "probation"
+        assert plane.deployment.plan.total_cores > old_cores
+        assert len(plane.ledger) == 2
+        assert plane.ledger.current.status == "probation"
+        canary = promoted.detail["canary"]
+        assert canary.verdict == "promote"
+        assert canary.candidate_p99_ms <= SLO
+
+        # probation: the new plan actually serves the heavy workload
+        platform = ChironPlatform(plane.deployment.plan, manager.cal)
+        for r in range(plane.config.probation):
+            latency = platform.run(heavy, seed=5_000 + r).latency_ms
+            assert latency <= SLO
+            plane.observe(latency, current_workflow=heavy)
+        assert plane.state == "steady"
+        assert plane.ledger.current.status == "good"
+        counters = plane.metrics.counters()
+        assert counters["controlplane.promotions"] == 1
+        assert counters["controlplane.verified"] == 1
+
+    def test_probation_strikes_roll_back_to_last_known_good(self):
+        plane = make_plane(rollback_budget=2, probation=10)
+        light, heavy = fanout(5.0), fanout(20.0)
+        initial = plane.deploy(light, SLO)
+        manager = plane.manager
+
+        # drive an honest promotion first
+        report = None
+        for r in range(60):
+            platform = ChironPlatform(plane.deployment.plan, manager.cal)
+            latency = platform.run(heavy, seed=1_000 + r).latency_ms
+            if r % 4 == 0:
+                report = compare(plane.deployment.profiled_workflow,
+                                 plane.deployment.plan, cal=manager.cal,
+                                 predictor=manager.predictor,
+                                 runtime_workflow=heavy)
+            action = plane.observe(latency, report=report,
+                                   current_workflow=heavy)
+            if action is not None and action.kind == "promoted":
+                break
+        assert plane.state == "probation"
+
+        # the promoted plan turns out terrible: every request violates
+        rolled = None
+        for _ in range(plane.config.rollback_budget + 1):
+            rolled = plane.observe(400.0)
+        assert rolled is not None and rolled.kind == "rolled-back"
+        assert rolled.detail["probation_elapsed"] <= plane.config.probation
+        assert plane.state == "steady"
+        assert plane.deployment is initial
+        assert plane.ledger.records[-1].status == "rolled-back"
+        assert plane.metrics.counters()["controlplane.rollbacks"] == 1
+
+    def test_no_change_recalibration_is_rejected(self):
+        """Noisy latency with undrifted behaviours replans to the identical
+        plan — the plane must reject it, not churn the deployment."""
+        plane = make_plane()
+        light = fanout(5.0)
+        deployed = plane.deploy(light, SLO)
+        action = None
+        for _ in range(20):
+            action = plane.observe(200.0)
+            if action is not None:
+                break
+        assert action is not None and action.kind == "rejected"
+        assert action.detail["rule"] == "no-change"
+        assert plane.deployment is deployed
+        assert len(plane.ledger) == 1
+        assert plane.metrics.counters()["controlplane.rejections"] == 1
+
+    def test_fault_storm_defers_instead_of_replanning(self):
+        from repro.obs.divergence import DivergenceReport
+
+        plane = make_plane()
+        plane.deploy(fanout(5.0), SLO)
+        stormy = DivergenceReport(
+            workflow="cp-wf", predicted_total_ms=60.0,
+            measured_total_ms=200.0,
+            fault_summary={"wasted_wall_ms": 120.0, "injected": {},
+                           "retries": 3, "exhausted": 0,
+                           "rerun_work_ms": 80.0})
+        action = None
+        for _ in range(20):
+            action = plane.observe(200.0, report=stormy)
+            if action is not None:
+                break
+        assert action is not None and action.kind == "deferred"
+        assert action.reason == "fault-storm"
+        assert plane.metrics.counters()["controlplane.deferred"] == 1
+        assert "controlplane.recalibrations" not in plane.metrics.counters()
+
+    def test_hold_defers_replans(self):
+        plane_holds = {"reason": "breaker-open:sandbox.boot"}
+        plane = RedeploymentControlPlane(
+            ChironManager(),
+            config=ControlPlaneConfig(window=4, hysteresis=2, cooldown=4),
+            hold=lambda: plane_holds["reason"])
+        plane.deploy(fanout(5.0), SLO)
+        action = None
+        for _ in range(20):
+            action = plane.observe(200.0)
+            if action is not None:
+                break
+        assert action is not None and action.kind == "deferred"
+        assert action.reason == "breaker-open:sandbox.boot"
+
+    def test_failed_refresh_keeps_the_incumbent(self, monkeypatch):
+        plane = make_plane()
+        deployed = plane.deploy(fanout(5.0), SLO)
+
+        def boom(*args, **kwargs):
+            raise SchedulingError("cannot meet SLO at any partitioning")
+
+        monkeypatch.setattr(plane.manager, "refresh", boom)
+        action = None
+        for _ in range(20):
+            action = plane.observe(200.0)
+            if action is not None:
+                break
+        assert action is not None and action.kind == "refresh-failed"
+        assert plane.deployment is deployed
+        counters = plane.metrics.counters()
+        assert counters["controlplane.refresh_failed"] == 1
+        assert "controlplane.promotions" not in counters
+
+    def test_flapping_freezes_the_plane(self):
+        plane = make_plane(freeze_for=8)
+        plane.deploy(fanout(5.0), SLO)
+        for _ in range(plane.config.flap_limit):
+            plane.detector.note_flip()
+
+        action = None
+        for _ in range(20):
+            action = plane.observe(200.0)
+            if action is not None:
+                break
+        assert action is not None and action.kind == "frozen"
+        assert plane.state == "frozen"
+        # while frozen, even violating latencies provoke nothing
+        frozen_at = action.detail["until"]
+        while plane._observations < frozen_at - 1:
+            assert plane.observe(300.0) is None
+        # after the freeze the plane thaws, clears flip history, and a
+        # fresh drifted window can trip again
+        for _ in range(20):
+            action = plane.observe(300.0)
+            if action is not None:
+                break
+        assert plane.state != "frozen"
+        assert action is not None and action.kind != "frozen"
+        assert plane.metrics.counters()["controlplane.freezes"] == 1
+
+
+class TestBreakerBrownoutHold:
+    def test_open_breaker_holds(self):
+        from types import SimpleNamespace
+
+        from repro.overload.breaker import BreakerState
+
+        breaker = SimpleNamespace(state=BreakerState.OPEN)
+        board = SimpleNamespace(_breakers={"sandbox.boot": breaker})
+        hold = breaker_brownout_hold(board)
+        assert hold() == "breaker-open:sandbox.boot"
+        breaker.state = BreakerState.CLOSED
+        assert hold() is None
+
+    def test_brownout_holds(self):
+        active = {"on": True}
+        hold = breaker_brownout_hold(None, lambda: active["on"])
+        assert hold() == "brownout"
+        active["on"] = False
+        assert hold() is None
+
+    def test_no_inputs_never_holds(self):
+        assert breaker_brownout_hold()() is None

@@ -149,3 +149,40 @@ class TestDynamicDeployment:
         # the split path is the heavier chain
         assert (sum(latencies["split"]) / len(latencies["split"])
                 > sum(latencies["simple"]) / len(latencies["simple"]))
+
+
+class TestDynamicRefresh:
+    def test_refresh_replans_drifted_branches(self):
+        manager = DynamicChironManager()
+        deployment = manager.deploy(simple_dynamic(), slo_ms=100.0)
+        light_cores = deployment.plans["light"].total_cores
+
+        drifted = DynamicWorkflow(
+            "dyn",
+            prefix=(_stage("in", ("ingest", 2.0)),),
+            branches=(
+                Branch("heavy", (_stage("h", ("h-0", 45.0),
+                                        ("h-1", 45.0)),)),
+                Branch("light", (_stage("l", ("l-0", 1.0),),)),
+            ),
+            suffix=(_stage("out", ("respond", 1.0)),))
+        refreshed = manager.refresh(deployment, workflow=drifted)
+        assert set(refreshed.plans) == {"heavy", "light"}
+        # the heavy branch got heavier -> at least as many cores; the
+        # untouched light branch re-plans identically
+        assert (refreshed.plans["heavy"].total_cores
+                >= deployment.plans["heavy"].total_cores)
+        assert refreshed.plans["light"].total_cores == light_cores
+        assert refreshed.worst_predicted_ms <= 100.0
+
+    def test_refresh_rejects_branch_set_changes(self):
+        manager = DynamicChironManager()
+        deployment = manager.deploy(simple_dynamic(), slo_ms=100.0)
+        missing_branch = DynamicWorkflow(
+            "dyn",
+            prefix=(_stage("in", ("ingest", 2.0)),),
+            branches=(Branch("heavy", (_stage("h", ("h-0", 20.0),
+                                              ("h-1", 20.0)),)),),
+            suffix=(_stage("out", ("respond", 1.0)),))
+        with pytest.raises(DeploymentError, match="branches"):
+            manager.refresh(deployment, workflow=missing_branch)

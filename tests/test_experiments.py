@@ -10,7 +10,7 @@ EXPECTED_IDS = {
     "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig12", "fig13",
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab01",
     "overhead", "ablation-kl", "ablation-search", "ablation-packing",
-    "ablation-handoff", "ablation-longest-first",
+    "ablation-handoff", "ablation-longest-first", "drift-recovery",
 }
 
 

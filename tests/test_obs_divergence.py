@@ -106,3 +106,69 @@ class TestDetailTracer:
                          tracer=Tracer())
         worst = report.worst_mechanism
         assert worst is not None and worst.op == "sandbox.boot"
+
+
+class TestEdgeCases:
+    """Degenerate reports must stay well-formed — no ZeroDivisionError."""
+
+    def _empty_report(self, fault_summary=None):
+        from repro.obs.divergence import DivergenceReport
+        return DivergenceReport(workflow="empty", predicted_total_ms=0.0,
+                                measured_total_ms=5.0,
+                                fault_summary=fault_summary)
+
+    def test_zero_prediction_rel_is_none(self):
+        report = self._empty_report()
+        assert report.rel is None
+        assert report.model_error_rel is None
+        assert report.total_delta_ms == pytest.approx(5.0)
+
+    def test_zero_prediction_renders_text(self):
+        text = self._empty_report().to_text()
+        assert "nan" in text
+        assert "divergence report: empty" in text
+
+    def test_fault_only_report_is_well_formed(self):
+        """All measured latency is fault-induced: model error can go
+        negative (the run beat the prediction net of faults), rel stays
+        None, and the text report still renders."""
+        report = self._empty_report(fault_summary={
+            "wasted_wall_ms": 5.0, "injected": {"sandbox.crash": 1},
+            "retries": 1, "exhausted": 0, "rerun_work_ms": 3.0})
+        assert report.fault_induced_ms == pytest.approx(5.0)
+        assert report.model_error_ms == pytest.approx(0.0)
+        assert report.model_error_rel is None
+        assert "fault attribution" in report.to_text()
+
+    def test_worst_function_none_without_rows(self):
+        report = self._empty_report()
+        assert report.worst_function is None
+        assert report.worst_mechanism is None
+
+
+class TestRuntimeWorkflowSplit:
+    """compare(runtime_workflow=...) separates belief from reality."""
+
+    def test_drifted_reality_shows_model_error(self):
+        belief = parallel_workflow(cpu_ms=8.0)
+        reality = parallel_workflow(cpu_ms=32.0)
+        plan = best_latency_plan(belief)
+        report = compare(belief, plan, cal=CAL, runtime_workflow=reality)
+        assert report.measured_total_ms > report.predicted_total_ms
+        assert report.model_error_ms > 0
+        assert report.model_error_rel > 0.3
+
+    def test_undrifted_reality_stays_tight(self):
+        belief = parallel_workflow()
+        plan = best_latency_plan(belief)
+        report = compare(belief, plan, cal=CAL, runtime_workflow=belief)
+        assert abs(report.rel) < 0.25
+
+    def test_function_rename_rejected(self):
+        belief = parallel_workflow()
+        renamed = (WorkflowBuilder("div-wf")
+                   .sequential("prep", ("other", FunctionBehavior.cpu(2.0)))
+                   .build())
+        with pytest.raises(ValueError, match="function"):
+            compare(belief, best_latency_plan(belief),
+                    cal=CAL, runtime_workflow=renamed)

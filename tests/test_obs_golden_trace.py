@@ -32,6 +32,8 @@ def canonical(tracer):
     prediction-engine and plan-search counter names: adding a mechanism
     invalidates the golden loudly instead of slipping in unreviewed.
     """
+    from repro.core.controlplane import (CONTROLPLANE_COUNTERS,
+                                         CONTROLPLANE_EVENT_TYPES)
     from repro.core.predictor import PGP_COUNTERS
     from repro.core.search import SEARCH_COUNTERS, SEARCH_EVENT_TYPES
     from repro.faults import FAULT_EVENT_TYPES
@@ -52,7 +54,9 @@ def canonical(tracer):
             "lifecycle_schema": sorted(LIFECYCLE_EVENT_TYPES
                                        + LIFECYCLE_COUNTERS),
             "pgp_schema": sorted(PGP_COUNTERS),
-            "search_schema": sorted(SEARCH_EVENT_TYPES + SEARCH_COUNTERS)}
+            "search_schema": sorted(SEARCH_EVENT_TYPES + SEARCH_COUNTERS),
+            "controlplane_schema": sorted(CONTROLPLANE_EVENT_TYPES
+                                          + CONTROLPLANE_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -93,7 +97,8 @@ class TestGoldenFailureMessages:
                                                "overload_schema": [],
                                                "lifecycle_schema": [],
                                                "pgp_schema": [],
-                                               "search_schema": []})
+                                               "search_schema": [],
+                                               "controlplane_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):
