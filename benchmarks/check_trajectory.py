@@ -2,12 +2,13 @@
 """CI gate over the committed ``BENCH_*.json`` benchmark trajectory.
 
 The repo commits one benchmark report per subsystem (prediction-cache,
-plan search, cold starts, drift recovery).  This script re-validates the
-*quality* invariants of every committed report — plan quality, divergence
-attribution, determinism, closed-loop recovery — and, when given a
-freshly generated smoke report (``--fresh-drift``), fails if any
-acceptance flag that held in the committed trajectory regressed in the
-fresh run.
+plan search, cold starts, drift recovery, chaos/HA).  This script
+re-validates the *quality* invariants of every committed report — plan
+quality, divergence attribution, determinism, closed-loop recovery,
+fault recovery under machine-scale chaos — and, when given a freshly
+generated smoke report (``--fresh-drift`` / ``--fresh-chaos``), fails if
+any acceptance flag that held in the committed trajectory regressed in
+the fresh run.
 
 It never gates on wall time: CI boxes are too noisy for latency
 assertions, and every pinned quantity here is a simulated-milliseconds or
@@ -16,7 +17,8 @@ count invariant that is bit-deterministic for a given seed.
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/check_trajectory.py \
-        [--fresh-drift BENCH_drift_quick.json]
+        [--fresh-drift BENCH_drift_quick.json] \
+        [--fresh-chaos BENCH_chaos_quick.json]
 """
 
 from __future__ import annotations
@@ -104,15 +106,63 @@ def check_drift(path: str) -> dict:
     return flags
 
 
+def check_chaos(path: str) -> dict:
+    """Validate one chaos report's HA quality; return its flags.
+
+    Every quantity gated here is simulated (availability fractions,
+    simulated-ms recovery windows, counters) — never wall time.
+    """
+    report = load_report(path)
+    flags = report["summary"]
+    for name, value in sorted(flags.items()):
+        check(bool(value), f"{path}: acceptance flag {name} is {value}")
+    window = report["params"]["recovery_window_ms"]
+    for scenario in report["schedules"]:
+        rows = scenario["rows"]
+        name = scenario["name"]
+        ckpt, none = rows["checkpoint"], rows["none"]
+        check(ckpt["failed"] == 0,
+              f"{path}/{name}: checkpointed HA lost "
+              f"{ckpt['failed']} requests")
+        check(none["failed"] > 0,
+              f"{path}/{name}: the no-recovery baseline lost nothing — "
+              f"the schedule is not exercising the fault")
+        check(ckpt["availability"] > none["availability"],
+              f"{path}/{name}: checkpointed availability "
+              f"{ckpt['availability']} did not beat no-recovery "
+              f"{none['availability']}")
+        if name in ("machine-kill", "zone-outage"):
+            check(ckpt["recovered_within_window"]
+                  and (ckpt["recovery_ms"] or 0.0) <= window,
+                  f"{path}/{name}: checkpointed HA recovery "
+                  f"{ckpt['recovery_ms']} ms exceeds the {window} ms window")
+            check(not none["recovered_within_window"],
+                  f"{path}/{name}: the no-recovery baseline recovered "
+                  f"inside the window — the fault is too mild to gate on")
+        if name == "zone-outage":
+            retry = rows["retry"]
+            check(retry["fault_availability"]
+                  <= ckpt["fault_availability"] - 0.2,
+                  f"{path}/{name}: naive retry did not collapse "
+                  f"({retry['fault_availability']} vs checkpointed "
+                  f"{ckpt['fault_availability']})")
+        if name == "machine-kill":
+            check("z0/r0/m0" in ckpt["quarantined"],
+                  f"{path}/{name}: the crash-looping machine was never "
+                  f"quarantined")
+    return flags
+
+
 def check_fresh_against_committed(fresh_flags: dict,
-                                  committed_flags: dict) -> None:
+                                  committed_flags: dict,
+                                  label: str = "drift") -> None:
     """A flag that held in the committed trajectory must still hold."""
     for name, committed in sorted(committed_flags.items()):
         if not committed:
             continue
         fresh = fresh_flags.get(name)
         check(bool(fresh),
-              f"fresh drift smoke regressed acceptance flag {name}: "
+              f"fresh {label} smoke regressed acceptance flag {name}: "
               f"committed={committed}, fresh={fresh}")
 
 
@@ -122,6 +172,9 @@ def main(argv=None) -> int:
                         help="repo root holding the BENCH_*.json files")
     parser.add_argument("--fresh-drift", metavar="FILE", default=None,
                         help="freshly generated drift smoke report to "
+                             "compare against the committed trajectory")
+    parser.add_argument("--fresh-chaos", metavar="FILE", default=None,
+                        help="freshly generated chaos smoke report to "
                              "compare against the committed trajectory")
     args = parser.parse_args(argv)
 
@@ -138,6 +191,12 @@ def main(argv=None) -> int:
             fresh_flags = check_drift(args.fresh_drift)
             check_fresh_against_committed(fresh_flags,
                                           committed_drift_flags)
+        committed_chaos_flags = check_chaos(path("BENCH_chaos.json"))
+        if args.fresh_chaos is not None:
+            fresh_chaos = check_chaos(args.fresh_chaos)
+            check_fresh_against_committed(fresh_chaos,
+                                          committed_chaos_flags,
+                                          label="chaos")
     except (ReproError, KeyError) as exc:
         FAILURES.append(f"trajectory report unreadable: {exc}")
 
@@ -145,8 +204,8 @@ def main(argv=None) -> int:
         for failure in FAILURES:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("benchmark trajectory OK: plan quality, divergence attribution "
-          "and closed-loop recovery all hold")
+    print("benchmark trajectory OK: plan quality, divergence attribution, "
+          "closed-loop recovery and chaos HA quality all hold")
     return 0
 
 

@@ -430,6 +430,25 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.bench import write_report
+    from repro.experiments.chaos import (SCHEDULES, format_chaos_table,
+                                         sweep)
+
+    schedules = tuple(args.schedules) if args.schedules else SCHEDULES
+    report = sweep(seed=args.seed, quick=args.quick, schedules=schedules)
+    print(format_chaos_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    flags = report["summary"]
+    failed = sorted(k for k, v in flags.items() if not v)
+    if failed:
+        print(f"FAILED acceptance flags: {', '.join(failed)}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="chiron-repro",
@@ -619,6 +638,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON report path (default BENCH_drift.json; "
                               "'' to skip)")
     p_drift.set_defaults(func=_cmd_drift)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="machine-scale chaos schedules (kill/outage/"
+                      "partition) vs. workflow HA modes: availability, "
+                      "p99 and goodput recovery (writes BENCH_chaos.json)")
+    p_chaos.add_argument("--schedule", dest="schedules", action="append",
+                         choices=["machine-kill", "zone-outage",
+                                  "partition"],
+                         help="run only this fault schedule (repeatable; "
+                              "default: all three)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="shorter serving horizon (the CI smoke set)")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="chaos seed (default 7)")
+    p_chaos.add_argument("--out", metavar="FILE", default="BENCH_chaos.json",
+                         help="JSON report path (default BENCH_chaos.json; "
+                              "'' to skip)")
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -28,12 +28,16 @@ from repro.core.controlplane import (
     ControlPlaneConfig,
     DriftDetector,
     DriftSignal,
+    MachineHealthConfig,
+    MachineHealthMonitor,
     PlanLedger,
     RedeploymentControlPlane,
     breaker_brownout_hold,
 )
 from repro.core.dynamic import DynamicChironManager, DynamicChironPlatform
 from repro.core.generator import OrchestratorGenerator
+from repro.core.ha import (HA_COUNTERS, HA_EVENT_TYPES, HA_MODES, HAPolicy,
+                           HASession, ha_adjusted_p99_ms)
 from repro.core.manager import ChironManager
 from repro.core.pgp import PGPOptions, PGPScheduler
 from repro.core.predictor import PGP_COUNTERS, LatencyPredictor, PredictionCache
@@ -58,6 +62,14 @@ from repro.core.wrap import (
 )
 
 __all__ = [
+    "MachineHealthConfig",
+    "MachineHealthMonitor",
+    "HA_COUNTERS",
+    "HA_EVENT_TYPES",
+    "HA_MODES",
+    "HAPolicy",
+    "HASession",
+    "ha_adjusted_p99_ms",
     "AdaptiveDeployer",
     "CONTROLPLANE_COUNTERS",
     "CONTROLPLANE_EVENT_TYPES",

@@ -59,6 +59,9 @@ CONTROLPLANE_EVENT_TYPES = (
     "controlplane.frozen",
     "controlplane.unfrozen",
     "controlplane.refresh_failed",
+    "controlplane.quarantine",
+    "controlplane.drain",
+    "controlplane.replaced",
 )
 
 #: counters the control plane increments (also schema-pinned);
@@ -76,6 +79,10 @@ CONTROLPLANE_COUNTERS = (
     "controlplane.rollbacks",
     "controlplane.freezes",
     "controlplane.refresh_failed",
+    "controlplane.infra.crashes",
+    "controlplane.quarantines",
+    "controlplane.drains",
+    "controlplane.replacements",
     "adaptation.refresh_failed",
     "adaptation.refreshes",
 )
@@ -297,6 +304,113 @@ class PlanLedger:
 
 
 # ---------------------------------------------------------------------------
+# machine health: quarantine crash-loopers, drain suspect domains
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MachineHealthConfig:
+    """When a machine stops being trusted with placements.
+
+    ``fault_charge_ms`` is the per-machine latency mass one infrastructure
+    crash is charged into the drift detector's ``fault_induced_ms`` stream —
+    crash-looping domains therefore classify as ``fault-storm`` (replans
+    deferred) exactly like intra-sandbox fault storms do.
+    """
+
+    crash_threshold: int = 2
+    crash_window_ms: float = 120_000.0
+    domain_drain_threshold: int = 2
+    fault_charge_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.crash_threshold < 1 or self.domain_drain_threshold < 1:
+            raise SchedulingError("health thresholds must be >= 1")
+        if self.crash_window_ms <= 0 or self.fault_charge_ms < 0:
+            raise SchedulingError("crash window must be > 0, charge >= 0")
+
+
+class MachineHealthMonitor:
+    """Tracks per-machine crash history over a failure-domain topology.
+
+    A machine that crashes ``crash_threshold`` times within
+    ``crash_window_ms`` is *quarantined* (no new placements until an
+    operator :meth:`release`\\ s it); once ``domain_drain_threshold``
+    machines of one rack are quarantined, the whole rack is *drained* —
+    correlated crash-looping means the domain itself is suspect.
+    """
+
+    def __init__(self, topology, config: Optional[MachineHealthConfig] = None
+                 ) -> None:
+        self.topology = topology
+        self.config = config or MachineHealthConfig()
+        self._crashes: dict[str, list[float]] = {}
+        self.quarantined: set[str] = set()
+        self.drained_racks: set[str] = set()
+
+    def observe(self, event) -> list[tuple[str, str]]:
+        """Feed one :class:`~repro.faults.domains.ChaosEvent`.
+
+        Returns the actions newly taken, as ``("quarantine", machine)`` /
+        ``("drain", rack)`` pairs, for the control plane to emit.
+        """
+        if event.mechanism not in ("machine.crash", "domain.outage"):
+            return []
+        actions: list[tuple[str, str]] = []
+        for name in self.topology.members(event.target):
+            actions.extend(self._record_crash(name, event.at_ms))
+        return actions
+
+    def _record_crash(self, name: str, at_ms: float
+                      ) -> list[tuple[str, str]]:
+        cfg = self.config
+        log = self._crashes.setdefault(name, [])
+        log.append(at_ms)
+        log[:] = [t for t in log if t > at_ms - cfg.crash_window_ms]
+        actions: list[tuple[str, str]] = []
+        if len(log) >= cfg.crash_threshold and name not in self.quarantined:
+            self.quarantined.add(name)
+            actions.append(("quarantine", name))
+            rack = self.topology.machine(name).rack
+            in_rack = {m.name for m in self.topology.machines
+                       if m.rack == rack}
+            if (rack not in self.drained_racks
+                    and len(self.quarantined & in_rack)
+                    >= cfg.domain_drain_threshold):
+                self.drained_racks.add(rack)
+                actions.append(("drain", rack))
+        return actions
+
+    def release(self, name: str) -> None:
+        """Operator action: trust the machine (and possibly its rack) again."""
+        self.quarantined.discard(name)
+        self._crashes.pop(name, None)
+        rack = self.topology.machine(name).rack
+        in_rack = {m.name for m in self.topology.machines if m.rack == rack}
+        if (len(self.quarantined & in_rack)
+                < self.config.domain_drain_threshold):
+            self.drained_racks.discard(rack)
+
+    def schedulable(self, name: str) -> bool:
+        """Live, not quarantined, and not inside a drained rack."""
+        machine = self.topology.machine(name)
+        return (machine.alive and name not in self.quarantined
+                and machine.rack not in self.drained_racks)
+
+    def candidates(self) -> list:
+        """Machines placements may currently target."""
+        return [m for m in self.topology.machines
+                if self.schedulable(m.name)]
+
+    def summary(self) -> dict:
+        return {
+            "quarantined": sorted(self.quarantined),
+            "drained_racks": sorted(self.drained_racks),
+            "schedulable": len(self.candidates()),
+            "machines": len(self.topology.machines),
+        }
+
+
+# ---------------------------------------------------------------------------
 # canary / shadow evaluation
 # ---------------------------------------------------------------------------
 
@@ -416,6 +530,12 @@ class RedeploymentControlPlane:
         self._probation_left = 0
         self._probation_strikes = 0
         self._promoted_at: Optional[int] = None
+        #: machine-health monitor, attached via :meth:`attach_fleet`
+        self.health: Optional[MachineHealthMonitor] = None
+        #: infrastructure fault charges not yet folded into DriftSignals —
+        #: one entry per crashed machine, drained one per observation so a
+        #: burst of crashes stays visible across the detector window
+        self._infra_charges: Deque[float] = deque()
 
     # -- lifecycle ------------------------------------------------------------
     def deploy(self, workflow: Workflow, slo_ms: float) -> Deployment:
@@ -500,15 +620,88 @@ class RedeploymentControlPlane:
             return self._freeze(decision.reason)
         return self._replan(decision, current_workflow)
 
+    # -- machine-scale integration ---------------------------------------------
+    def attach_fleet(self, fleet, *,
+                     health: Optional[MachineHealthConfig] = None
+                     ) -> MachineHealthMonitor:
+        """Subscribe to a :class:`~repro.faults.domains.FleetState`.
+
+        Machine crashes and domain outages then (a) charge fault mass into
+        the drift detector's ``fault_induced_ms`` stream, so crash-looping
+        domains classify as ``fault-storm`` and defer replans, and (b) feed
+        the :class:`MachineHealthMonitor`, which quarantines crash-loopers
+        and drains suspect racks out of the placement candidate set.
+        """
+        self.health = MachineHealthMonitor(fleet.topology, health)
+        fleet.subscribe(self._observe_infra)
+        return self.health
+
+    def _observe_infra(self, event) -> None:
+        if self.health is None:
+            return
+        if event.mechanism in ("machine.crash", "domain.outage"):
+            affected = len(self.health.topology.members(event.target))
+            charge = self.health.config.fault_charge_ms
+            self._infra_charges.extend([charge] * affected)
+            self.metrics.inc("controlplane.infra.crashes", affected)
+        for kind, target in self.health.observe(event):
+            if kind == "quarantine":
+                self._emit("controlplane.quarantine",
+                           "controlplane.quarantines", machine=target,
+                           at_ms=event.at_ms)
+                self._act("quarantine", "crash-loop", machine=target)
+            else:
+                self._emit("controlplane.drain", "controlplane.drains",
+                           rack=target, at_ms=event.at_ms)
+                self._act("drain", "correlated-crash-loop", rack=target)
+
+    def replace_displaced(self, *, reason: str = "machine-failure",
+                          current_workflow: Optional[Workflow] = None
+                          ) -> ControlAction:
+        """Emergency re-placement after machine death.
+
+        Wraps displaced by a crashed/quarantined machine are re-planned
+        through :meth:`ChironManager.refresh` and re-deployed immediately —
+        no canary: the incumbent's sandboxes are gone, so there is nothing
+        to shadow against and nothing to keep serving meanwhile.
+        """
+        if self.deployment is None:
+            raise SchedulingError("replace_displaced() before deploy()")
+        workflow = current_workflow or self.deployment.workflow
+        try:
+            candidate = self.manager.refresh(
+                self.deployment, self.slo_ms, workflow=workflow,
+                search=self.config.search,
+                generate_code=self.config.generate_code)
+        except SchedulingError as exc:
+            self._emit("controlplane.refresh_failed",
+                       "controlplane.refresh_failed", error=str(exc))
+            return self._act("refresh-failed", reason, error=str(exc))
+        self.deployment = candidate
+        self.ledger.push(PlanRecord(candidate, self._observations, "good",
+                                    f"re-placement: {reason}"))
+        self.detector.reset_window()
+        self.metrics.inc("adaptation.refreshes")
+        self._emit("controlplane.replaced", "controlplane.replacements",
+                   reason=reason, cores=candidate.plan.total_cores)
+        return self._act("replaced", reason)
+
     # -- internals -------------------------------------------------------------
     def _signal(self, latency_ms: float, report) -> DriftSignal:
+        # infrastructure crashes observed since the last request fold into
+        # the signal stream's fault mass — a machine-kill storm then trips
+        # the detector as "fault-storm", deferring replans exactly like an
+        # intra-sandbox fault storm would
+        infra_ms = (self._infra_charges.popleft()
+                    if self._infra_charges else 0.0)
         if report is None:
-            return DriftSignal(latency_ms=latency_ms)
+            return DriftSignal(latency_ms=latency_ms,
+                               fault_induced_ms=infra_ms)
         return DriftSignal(
             latency_ms=latency_ms,
             predicted_ms=max(report.predicted_total_ms, 0.0),
             model_error_ms=report.model_error_ms,
-            fault_induced_ms=report.fault_induced_ms)
+            fault_induced_ms=report.fault_induced_ms + infra_ms)
 
     def _defer(self, reason: str) -> ControlAction:
         self.detector.suppress(self.config.cooldown)

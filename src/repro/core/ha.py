@@ -1,0 +1,253 @@
+"""Workflow high availability: stage checkpoints, replay, hot standbys.
+
+Chiron's m-to-n wraps concentrate a whole workflow into a handful of
+sandboxes on a handful of machines, so one ``machine.crash`` can take the
+entire request with it.  This module is the recovery side of the
+machine-scale failure model (:mod:`repro.faults.domains`):
+
+* :class:`HAPolicy` — how a workflow survives machine death: ``retry``
+  (re-offer the whole request, no state), ``checkpoint`` (persist a
+  per-stage completion manifest through :mod:`repro.runtime.storage` and
+  replay only the incomplete stages), or ``standby`` (checkpoints plus a
+  hot standby for every wrap, priced honestly as doubled memory and a
+  lifecycle boot tier for the failover);
+* :class:`HASession` — the per-request ledger installed as ``env.ha`` by
+  ``Platform.run``; the platform commits a checkpoint after every stage
+  barrier (paying the real storage put, through the same fault hooks as any
+  other storage op) and asks it where to resume on replay;
+* :func:`ha_adjusted_p99_ms` — the predictor-backed fault-adjusted tail:
+  Eq. (1)'s latency plus checkpoint overhead plus, when machine kills are
+  frequent enough to surface at p99, the re-boot + replay cost of the
+  chosen HA mode.
+
+Everything is priced, nothing is free: checkpoints burn storage latency on
+every stage, standbys burn memory, and replay burns the boot tier of
+whatever machine picks the work up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.calibration import (MINIO_BANDWIDTH_MB_PER_MS,
+                               MINIO_BASE_LATENCY_MS, RuntimeCalibration)
+from repro.errors import FaultError, SimulationError
+from repro.lifecycle.policy import BootTier, boot_cost_ms
+from repro.simcore import Environment, Event
+
+#: recognised HA modes, weakest first
+HA_MODES = ("none", "retry", "checkpoint", "standby")
+
+#: typed events the HA layer adds to traces (golden-trace schema)
+HA_EVENT_TYPES = ("ha.checkpoint", "ha.checkpoint.lost", "ha.restore",
+                  "ha.failover")
+
+#: counters the HA layer increments (also schema-pinned)
+HA_COUNTERS = ("ha.checkpoints", "ha.checkpoints.lost", "ha.restores",
+               "ha.replayed_stages", "ha.failovers")
+
+
+@dataclass(frozen=True)
+class HAPolicy:
+    """How a workflow request survives machine-scale failure.
+
+    ``checkpoint_mb`` is the per-stage completion manifest (stage index,
+    wrap outputs' object keys) persisted through the object store —
+    intermediate *data* already lives there under 1-to-1 deployment, so the
+    manifest is small but never free.  ``standby_tier`` is the lifecycle
+    tier a hot standby serves its failover boot from (WARM = the standby
+    sandbox is resident; SNAPSHOT = only its image is).
+    """
+
+    mode: str = "checkpoint"
+    checkpoint_mb: float = 0.25
+    standby_tier: BootTier = BootTier.WARM
+
+    def __post_init__(self) -> None:
+        if self.mode not in HA_MODES:
+            raise SimulationError(
+                f"unknown HA mode {self.mode!r}; expected one of {HA_MODES}")
+        if self.checkpoint_mb < 0:
+            raise SimulationError(
+                f"checkpoint_mb must be >= 0, got {self.checkpoint_mb}")
+
+    # -- derived views ---------------------------------------------------------
+    @property
+    def checkpointed(self) -> bool:
+        """True when stage completion is persisted (checkpoint/standby)."""
+        return self.mode in ("checkpoint", "standby")
+
+    def checkpoint_op_ms(self) -> float:
+        """Closed-form cost of one checkpoint put/get (MinIO profile)."""
+        if not self.checkpointed:
+            return 0.0
+        return MINIO_BASE_LATENCY_MS + self.checkpoint_mb / MINIO_BANDWIDTH_MB_PER_MS
+
+    def reboot_ms(self, cal: RuntimeCalibration) -> float:
+        """Boot cost a displaced wrap pays on its replacement machine.
+
+        Standbys failover at their standby tier; everything else re-boots
+        cold — the replacement machine has nothing warm for this workflow.
+        """
+        tier = self.standby_tier if self.mode == "standby" else BootTier.COLD
+        return boot_cost_ms(tier, cal)
+
+    def standby_memory_mb(self, deployed_mb: float) -> float:
+        """Extra resident memory the mode holds: a hot standby duplicates
+        every wrap's sandbox, anything else costs nothing extra."""
+        return deployed_mb if self.mode == "standby" else 0.0
+
+
+class HASession:
+    """Per-request HA ledger, installed as ``env.ha``.
+
+    The platform calls :meth:`restore` before its stage loop (returns the
+    first stage still to run) and :meth:`commit_stage` after each stage
+    barrier.  Checkpoint persistence rides the real
+    :class:`~repro.runtime.storage.StorageService` path, so it consumes
+    simulated time *and* is itself subject to storage faults — a lost
+    checkpoint silently degrades to replaying one extra stage, exactly like
+    the real thing.
+    """
+
+    def __init__(self, env: Environment, policy: HAPolicy, *,
+                 storage=None, trace=None, resume_from: int = 0) -> None:
+        from repro.obs.metrics import Registry
+        from repro.runtime.storage import StorageService
+
+        if resume_from < 0:
+            raise SimulationError(
+                f"resume_from must be >= 0, got {resume_from}")
+        self.env = env
+        self.policy = policy
+        self.trace = trace
+        self.metrics = (trace.metrics if trace is not None
+                        and hasattr(trace, "metrics") else Registry())
+        self.storage = (storage if storage is not None
+                        else StorageService.minio(env, trace))
+        #: stage to resume from (0 = fresh request; k = stages < k replayed
+        #: from checkpoints, set by the serving loop after a machine death)
+        self.resume_from = resume_from
+        #: highest stage index whose checkpoint was durably committed
+        self.committed_stage = resume_from - 1
+        self.checkpoints = 0
+        self.checkpoints_lost = 0
+        self.restores = 0
+        self.checkpoint_ms = 0.0
+        self.restore_ms = 0.0
+
+    def _emit(self, name: str, counter: str, **tags: object) -> None:
+        self.metrics.inc(counter)
+        if self.trace is not None:
+            self.trace.event(name, entity="ha", **tags)
+
+    # -- platform hooks --------------------------------------------------------
+    def restore(self) -> Generator[Event, None, int]:
+        """Read the completion manifest; returns the first stage to run.
+
+        Fresh requests (``resume_from == 0``) skip the read entirely.  A
+        failed manifest read falls back to replaying the whole workflow —
+        losing the manifest must never lose the request.
+        """
+        if self.resume_from <= 0 or not self.policy.checkpointed:
+            return max(self.resume_from, 0) if self.policy.checkpointed else 0
+        t0 = self.env.now
+        try:
+            yield from self.storage.get(self.policy.checkpoint_mb,
+                                        entity="ha-manifest")
+        except FaultError:
+            self.resume_from = 0
+            self.committed_stage = -1
+            return 0
+        self.restores += 1
+        self.restore_ms += self.env.now - t0
+        self._emit("ha.restore", "ha.restores", stage=self.resume_from,
+                   at_ms=self.env.now)
+        return self.resume_from
+
+    def commit_stage(self, stage_index: int) -> Generator[Event, None, None]:
+        """Persist stage completion; called after each stage barrier."""
+        if not self.policy.checkpointed:
+            return
+        t0 = self.env.now
+        try:
+            yield from self.storage.put(self.policy.checkpoint_mb,
+                                        entity=f"ha-ckpt-s{stage_index}")
+        except FaultError:
+            # the stage still completed; a later crash just replays it
+            self.checkpoints_lost += 1
+            self._emit("ha.checkpoint.lost", "ha.checkpoints.lost",
+                       stage=stage_index, at_ms=self.env.now)
+            return
+        self.committed_stage = stage_index
+        self.checkpoints += 1
+        self.checkpoint_ms += self.env.now - t0
+        self._emit("ha.checkpoint", "ha.checkpoints", stage=stage_index,
+                   at_ms=self.env.now)
+
+    # -- ledger ----------------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "mode": self.policy.mode,
+            "resume_from": self.resume_from,
+            "committed_stage": self.committed_stage,
+            "checkpoints": self.checkpoints,
+            "checkpoints_lost": self.checkpoints_lost,
+            "restores": self.restores,
+            "checkpoint_ms": round(self.checkpoint_ms, 6),
+            "restore_ms": round(self.restore_ms, 6),
+        }
+
+
+# ---------------------------------------------------------------------------
+# fault-adjusted tail prediction
+# ---------------------------------------------------------------------------
+
+#: tail percentile the adjustment targets (p99 -> 1% residual mass), matching
+#: repro.faults.reliability
+_TAIL_RESIDUAL = 0.01
+
+
+def ha_adjusted_p99_ms(predictor, workflow, plan, policy: HAPolicy, *,
+                       kill_rate_per_min: float) -> float:
+    """Machine-fault-adjusted p99 estimate for ``plan`` under ``policy``.
+
+    The base is Eq. (1)'s per-stage predictions plus the policy's per-stage
+    checkpoint overhead (checkpoints are paid on *every* request, faulted or
+    not).  When the probability of >= 1 machine kill during the request
+    clears the 1% tail mass, the p99 additionally pays one recovery:
+
+    * ``none`` — the request is lost; the p99 is unbounded (``inf``);
+    * ``retry`` — re-boot (cold) + replay of the whole workflow;
+    * ``checkpoint`` — re-boot (cold) + manifest read + replay of the one
+      interrupted stage (worst case: the longest stage);
+    * ``standby`` — failover boot at the standby tier + manifest read +
+      replay of the longest stage.
+
+    This is the HA analogue of
+    :func:`repro.faults.reliability.adjusted_p99_ms` (which prices
+    intra-sandbox faults); the two compose by addition since their fault
+    sources are independent.
+    """
+    if kill_rate_per_min < 0:
+        raise SimulationError(
+            f"kill rate must be >= 0, got {kill_rate_per_min}")
+    stage_ms = [predictor.predict_stage(plan, workflow, i)
+                for i in range(len(workflow.stages))]
+    ckpt_ms = policy.checkpoint_op_ms()
+    base = sum(stage_ms) + ckpt_ms * len(stage_ms)
+    if kill_rate_per_min == 0.0:
+        return base
+    p_kill = 1.0 - math.exp(-kill_rate_per_min * base / 60_000.0)
+    if p_kill < _TAIL_RESIDUAL:
+        return base
+    if policy.mode == "none":
+        return math.inf
+    reboot = policy.reboot_ms(predictor.cal)
+    if policy.mode == "retry":
+        replay = sum(stage_ms) + ckpt_ms * len(stage_ms)
+    else:
+        replay = max(stage_ms) + ckpt_ms * 2  # manifest read + re-commit
+    return base + reboot + replay

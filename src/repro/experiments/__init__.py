@@ -20,6 +20,7 @@ from repro.experiments.common import (
 # importing the modules registers their experiments
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablations,
+    chaos,
     coldstart,
     drift_recovery,
     fault_blast_radius,

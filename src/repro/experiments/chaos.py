@@ -1,0 +1,718 @@
+"""Chaos experiment: machine-scale failure domains vs. workflow HA modes.
+
+A small fleet (2 zones x 2 racks x 1 machine, every machine serving warm
+replicas of one Chiron deployment) is driven through three seeded fault
+schedules from :mod:`repro.faults.domains`:
+
+* ``machine-kill`` — one replica machine dies for the fault window, then
+  crash-loops once more shortly after recovering (which trips the control
+  plane's quarantine: two crashes inside the health window);
+* ``zone-outage`` — ``domain.outage`` takes every machine of zone ``z0``,
+  halving fleet capacity for the window;
+* ``partition`` — ``net.partition`` isolates zone ``z0``: its machines stay
+  warm but are unreachable until the heal.
+
+Against each schedule, four HA arms serve the same deterministic arrival
+stream (request *i* replays stage-end profile ``i % K`` pre-sampled from
+real :class:`~repro.platforms.chiron.ChironPlatform` runs — with the
+:class:`~repro.core.ha.HAPolicy` installed for the checkpointed arms, so
+their profiles honestly include per-stage checkpoint cost):
+
+* ``none`` — static routing, no recovery: requests on a dead/unreachable
+  machine are lost;
+* ``retry`` — naive whole-workflow retry: displaced requests restart from
+  stage 0, and a client re-offers the full workflow once on deadline
+  timeout (fire-and-forget — the classic load-amplification footgun);
+* ``checkpoint`` — displaced requests resume from the last durably
+  committed stage (manifest read + cold re-boot on the new machine);
+* ``standby`` — checkpoints plus a hot standby on the opposite zone's
+  same-rack machine: failover skips the cold boot entirely, priced as
+  doubled resident memory.
+
+The headline result (gated by ``benchmarks/check_trajectory.py``):
+checkpointed replay restores >= 80% of pre-fault goodput within the stated
+recovery window on machine-kill *and* zone-outage, the no-recovery baseline
+does not, and naive retry's timeout duplicates congestively collapse the
+surviving half-fleet under zone outage.  Everything — arrivals, profiles,
+chaos schedules, placement — is seeded and tie-broken deterministically,
+so a fixed seed yields a bit-identical ``BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controlplane import MachineHealthMonitor
+from repro.core.ha import HAPolicy, ha_adjusted_p99_ms
+from repro.core.manager import ChironManager
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult, register
+from repro.faults.domains import ChaosPlan, ChaosSchedule, Topology
+from repro.lifecycle.policy import BootTier, boot_cost_ms
+from repro.metrics.stats import percentile
+from repro.platforms.chiron import ChironPlatform
+from repro.workflow import FunctionBehavior, WorkflowBuilder
+
+SCHEDULES = ("machine-kill", "zone-outage", "partition")
+ARMS = ("none", "retry", "checkpoint", "standby")
+
+#: goodput fraction the recovery bar demands (acceptance criterion)
+RECOVERY_FRACTION = 0.8
+
+
+@dataclass(frozen=True)
+class ChaosParams:
+    """Knobs of the serving simulation (all times in ms)."""
+
+    horizon_ms: float = 120_000.0
+    fault_at_ms: float = 40_000.0
+    fault_ms: float = 30_000.0
+    slots_per_machine: int = 4
+    deadline_ms: float = 3_000.0
+    #: the *stated* bounded recovery window the flags are judged against
+    recovery_window_ms: float = 10_000.0
+    baseline_from_ms: float = 10_000.0
+    profile_samples: int = 5
+    slo_ms: float = 2_500.0
+    #: sized so the surviving half-fleet runs hot (~95%) during a zone
+    #: outage while the healthy fleet stays comfortable (~48%)
+    target_outage_inflight: float = 7.6
+
+
+def make_params(*, quick: bool = False) -> ChaosParams:
+    if quick:
+        # the retry arm's congestive collapse needs a fault window long
+        # enough for its timeout-duplicate waves to compound, so quick mode
+        # trims the horizon and profile depth but not the outage itself
+        return ChaosParams(horizon_ms=90_000.0, fault_at_ms=25_000.0,
+                           fault_ms=25_000.0, profile_samples=3)
+    return ChaosParams()
+
+
+def chaos_workflow():
+    """Four ~0.5 s stages: long enough that per-stage checkpoints beat
+    whole-workflow replay, short enough to serve hundreds of requests."""
+    return (WorkflowBuilder("chaos-wf")
+            .sequential("ingest", ("ingest", FunctionBehavior.of(
+                ("cpu", 120.0), ("io", 380.0))))
+            .parallel("fan", [(f"fan-{i}", FunctionBehavior.cpu(420.0))
+                              for i in range(4)])
+            .sequential("fuse", ("fuse", FunctionBehavior.of(
+                ("cpu", 300.0), ("io", 160.0))))
+            .sequential("publish", ("publish", FunctionBehavior.of(
+                ("cpu", 90.0), ("io", 330.0))))
+            .build())
+
+
+def make_topology(params: ChaosParams) -> Topology:
+    """Fresh per serving run: chaos mutates the Machine objects."""
+    return Topology.grid(zones=2, racks_per_zone=2, machines_per_rack=1)
+
+
+def make_plan(schedule_name: str, params: ChaosParams,
+              seed: int) -> ChaosPlan:
+    f, d = params.fault_at_ms, params.fault_ms
+    plan = ChaosPlan(seed=seed, duration_ms=params.horizon_ms)
+    if schedule_name == "machine-kill":
+        # the second, short kill makes the machine a crash-looper: two
+        # crashes inside the health window => quarantine
+        return (plan.kill("z0/r0/m0", f, d)
+                    .kill("z0/r0/m0", f + d + 3_000.0, 5_000.0))
+    if schedule_name == "zone-outage":
+        return plan.outage("zone:z0", f, d)
+    if schedule_name == "partition":
+        return plan.partition("zone:z0", f, d)
+    raise ReproError(f"unknown chaos schedule {schedule_name!r}; "
+                     f"expected one of {SCHEDULES}")
+
+
+def arm_policy(arm: str) -> HAPolicy:
+    return HAPolicy(mode=arm)
+
+
+# ---------------------------------------------------------------------------
+# the fleet serving simulation
+# ---------------------------------------------------------------------------
+
+class _Request:
+    __slots__ = ("rid", "arrival_ms", "profile_idx", "completed_ms",
+                 "failed", "retried")
+
+    def __init__(self, rid: int, arrival_ms: float, profile_idx: int) -> None:
+        self.rid = rid
+        self.arrival_ms = arrival_ms
+        self.profile_idx = profile_idx
+        self.completed_ms: Optional[float] = None
+        self.failed = False
+        self.retried = False
+
+
+class _Attempt:
+    __slots__ = ("req", "node", "rel_ends", "base", "start_ms", "live")
+
+    def __init__(self, req: _Request, node: "_Node",
+                 rel_ends: List[float], base: int) -> None:
+        self.req = req
+        self.node = node
+        self.rel_ends = rel_ends
+        #: stages already durably completed before this attempt
+        self.base = base
+        self.start_ms: Optional[float] = None
+        self.live = True
+
+
+class _Node:
+    __slots__ = ("name", "slots", "free", "queue", "running", "warm",
+                 "reachable")
+
+    def __init__(self, name: str, slots: int) -> None:
+        self.name = name
+        self.slots = slots
+        self.free = slots
+        self.queue: deque = deque()
+        # insertion-ordered (a set would displace victims in id() order —
+        # memory-address dependent, i.e. not reproducible across processes)
+        self.running: Dict = {}
+        self.warm = True          # replicas start warm (steady state)
+        self.reachable = True
+
+
+class _FleetServe:
+    """One (schedule, arm) cell: deterministic discrete-event serving.
+
+    Requests arrive on a fixed period; each holds one slot on one machine
+    for its profiled duration.  Chaos events displace running and queued
+    work; what happens next is the arm's HA mode.  All tie-breaks are by
+    (time, insertion order) so a fixed input is bit-reproducible.
+    """
+
+    def __init__(self, arm: str, topology: Topology,
+                 schedule: ChaosSchedule, profiles: List[Tuple[float, ...]],
+                 params: ChaosParams, *, service_ms: float,
+                 period_ms: float, boot_ms: float, manifest_ms: float,
+                 health: Optional[MachineHealthMonitor] = None) -> None:
+        from repro.faults.domains import FleetState
+
+        self.arm = arm
+        self.topology = topology
+        self.params = params
+        self.profiles = profiles
+        self.n_stages = len(profiles[0])
+        self.service_ms = service_ms
+        self.period_ms = period_ms
+        #: goodput bins hold exactly 4 arrivals each (one per machine under
+        #: static routing), so a dead machine is a clean 25% goodput loss
+        #: per bin — no beat-frequency noise against the recovery bar
+        self.bin_ms = 4.0 * period_ms
+        self.boot_ms = boot_ms
+        self.manifest_ms = manifest_ms
+        self.health = health
+        self.checkpointed = arm in ("checkpoint", "standby")
+        self.fleet = FleetState(schedule, on_event=self._on_chaos)
+        names = list(topology.machine_names)
+        self.node_order = names
+        self.nodes = {n: _Node(n, params.slots_per_machine) for n in names}
+        #: standby arm: hot standby on the opposite zone's same-rack twin
+        self.standby_of: Dict[str, str] = {}
+        if arm == "standby":
+            for name in names:
+                zone, rest = name.split("/", 1)
+                twin = f"z{1 - int(zone[1:])}/{rest}"
+                if twin in self.nodes:
+                    self.standby_of[name] = twin
+        self.requests: List[_Request] = []
+        self.displaced = 0
+        self.reboots = 0
+        self.failovers = 0
+        self.resumes = 0
+        self.client_retries = 0
+        self.failed = 0
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    # -- event plumbing --------------------------------------------------------
+    def _push(self, t: float, kind: str, payload=None) -> None:
+        heapq.heappush(self._heap, (t, self._seq, kind, payload))
+        self._seq += 1
+
+    def run(self) -> dict:
+        p = self.params
+        # chaos markers first: at equal timestamps faults apply before
+        # arrivals/finishes (conservative and deterministic)
+        for ev in self.fleet.schedule.events:
+            self._push(ev.at_ms, "chaos")
+            if ev.duration_ms > 0 and ev.mechanism in ("machine.crash",
+                                                       "domain.outage"):
+                self._push(ev.at_ms + ev.duration_ms, "chaos")
+            if ev.mechanism == "net.partition":
+                self._push(ev.at_ms + ev.duration_ms, "heal", ev.target)
+        t, rid = 0.0, 0
+        while t + p.deadline_ms <= p.horizon_ms:
+            self._push(t, "arrive", rid)
+            rid += 1
+            t += self.period_ms
+        while self._heap:
+            t, _seq, kind, payload = heapq.heappop(self._heap)
+            if t > p.horizon_ms:
+                break
+            if kind == "chaos":
+                self.fleet.advance(t)
+            elif kind == "heal":
+                for name in self.topology.members(payload):
+                    self.nodes[name].reachable = True
+            elif kind == "arrive":
+                self._arrive(payload, t)
+            elif kind == "finish":
+                self._finish(payload, t)
+            elif kind == "deadline":
+                self._deadline(payload, t)
+        return self._metrics()
+
+    # -- chaos -----------------------------------------------------------------
+    def _on_chaos(self, ev) -> None:
+        if ev.mechanism in ("machine.crash", "domain.outage"):
+            if self.health is not None:
+                self.health.observe(ev)
+            victims: List[_Attempt] = []
+            for name in self.topology.members(ev.target):
+                victims.extend(self._clear_node(self.nodes[name], hard=True))
+            self._displace(victims, ev.at_ms)
+        elif ev.mechanism == "net.partition":
+            victims = []
+            for name in self.topology.members(ev.target):
+                node = self.nodes[name]
+                node.reachable = False
+                # soft displacement: the sandbox stays warm, but the client
+                # cannot reach it until the heal
+                victims.extend(self._clear_node(node, hard=False))
+            self._displace(victims, ev.at_ms)
+        # machine.recover needs no action here: FleetState flipped the
+        # Machine back alive; the node re-enters placement cold
+
+    def _clear_node(self, node: _Node, *, hard: bool) -> List[_Attempt]:
+        victims = list(node.running) + list(node.queue)
+        node.running.clear()
+        node.queue.clear()
+        node.free = node.slots
+        if hard:
+            node.warm = False
+        return victims
+
+    def _displace(self, victims: List[_Attempt], t: float) -> None:
+        for att in victims:
+            att.live = False
+            self.displaced += 1
+            req = att.req
+            if req.completed_ms is not None or req.failed:
+                continue
+            if self.arm == "none":
+                req.failed = True
+                self.failed += 1
+                continue
+            done = 0
+            if self.checkpointed:
+                done = att.base
+                if att.start_ms is not None:
+                    done += sum(1 for e in att.rel_ends
+                                if att.start_ms + e <= t)
+            preferred = self.standby_of.get(att.node.name)
+            self._reoffer(req, t, done, replay=True, preferred=preferred)
+
+    # -- request lifecycle -----------------------------------------------------
+    def _arrive(self, rid: int, t: float) -> None:
+        req = _Request(rid, t, rid % len(self.profiles))
+        self.requests.append(req)
+        self._push(t + self.params.deadline_ms, "deadline", req)
+        if self.arm == "none":
+            node = self.nodes[self.node_order[rid % len(self.node_order)]]
+            if not node.reachable or not self.topology.machine(node.name).alive:
+                req.failed = True
+                self.failed += 1
+                return
+            self._assign(node, _Attempt(req, node,
+                                        list(self.profiles[req.profile_idx]),
+                                        0), t)
+            return
+        self._reoffer(req, t, 0, replay=False)
+
+    def _ok(self, node: _Node) -> bool:
+        if not node.reachable or not self.topology.machine(node.name).alive:
+            return False
+        return self.health is None or self.health.schedulable(node.name)
+
+    def _place(self) -> Optional[_Node]:
+        best: Optional[_Node] = None
+        best_key: tuple = (math.inf,)
+        for idx, name in enumerate(self.node_order):
+            node = self.nodes[name]
+            if not self._ok(node):
+                continue
+            if node.free > 0:
+                wait = 0.0
+            else:
+                wait = (len(node.queue) + 1) / node.slots * self.service_ms
+            cost = wait + (0.0 if node.warm else self.boot_ms)
+            # tie-break on current load, then name order: free machines
+            # round-robin instead of piling onto the first one
+            key = (cost, len(node.running) + len(node.queue), idx)
+            if key < best_key:
+                best, best_key = node, key
+        return best
+
+    def _reoffer(self, req: _Request, t: float, done: int, *,
+                 replay: bool, preferred: Optional[str] = None) -> None:
+        if req.completed_ms is not None or req.failed:
+            return
+        done = min(done, self.n_stages - 1)
+        node = None
+        if preferred is not None and self._ok(self.nodes[preferred]):
+            node = self.nodes[preferred]
+            self.failovers += 1
+        if node is None:
+            node = self._place()
+        if node is None:
+            req.failed = True
+            self.failed += 1
+            return
+        ends = self.profiles[req.profile_idx]
+        overhead = self.manifest_ms if (replay and self.checkpointed) else 0.0
+        base_off = ends[done - 1] if done > 0 else 0.0
+        rel = [ends[j] - base_off + overhead
+               for j in range(done, self.n_stages)]
+        if replay and done > 0:
+            self.resumes += 1
+        self._assign(node, _Attempt(req, node, rel, done), t)
+
+    def _assign(self, node: _Node, att: _Attempt, t: float) -> None:
+        if node.free > 0:
+            node.free -= 1
+            self._start(node, att, t)
+        else:
+            node.queue.append(att)
+
+    def _start(self, node: _Node, att: _Attempt, t: float) -> None:
+        att.start_ms = t
+        if not node.warm:
+            # first placement on a cold machine pays the boot wave
+            node.warm = True
+            self.reboots += 1
+            att.rel_ends = [e + self.boot_ms for e in att.rel_ends]
+        node.running[att] = None
+        self._push(t + att.rel_ends[-1], "finish", att)
+
+    def _finish(self, att: _Attempt, t: float) -> None:
+        if not att.live:
+            return          # stale event: the attempt was displaced
+        att.live = False
+        node = att.node
+        node.running.pop(att, None)
+        node.free += 1
+        while node.queue and node.free > 0:
+            node.free -= 1
+            self._start(node, node.queue.popleft(), t)
+        req = att.req
+        if req.completed_ms is not None or req.failed:
+            return          # a duplicate already answered (retry arm)
+        if self.arm == "none" and not node.reachable:
+            req.failed = True       # response lost behind the partition
+            self.failed += 1
+            return
+        req.completed_ms = t
+
+    def _deadline(self, req: _Request, t: float) -> None:
+        if req.completed_ms is not None or req.failed:
+            return
+        if self.arm == "retry" and not req.retried:
+            # naive client: fire-and-forget whole-workflow duplicate
+            req.retried = True
+            self.client_retries += 1
+            self._reoffer(req, t, 0, replay=False)
+
+    # -- metrics ---------------------------------------------------------------
+    def _metrics(self) -> dict:
+        p = self.params
+        n_bins = int(p.horizon_ms // self.bin_ms)
+        bins = [0] * n_bins
+        good = 0
+        fault_end = p.fault_at_ms + p.fault_ms
+        in_window = [r for r in self.requests
+                     if p.fault_at_ms <= r.arrival_ms < fault_end]
+        good_window = 0
+        latencies = []
+        for r in self.requests:
+            if r.completed_ms is None:
+                continue
+            lat = r.completed_ms - r.arrival_ms
+            latencies.append(lat)
+            if lat <= p.deadline_ms:
+                good += 1
+                if p.fault_at_ms <= r.arrival_ms < fault_end:
+                    good_window += 1
+                b = int(r.completed_ms // self.bin_ms)
+                if b < n_bins:
+                    bins[b] += 1
+        pre, recovery_ms, recovered = self._recovery(bins)
+        row = {
+            "requests": len(self.requests),
+            "availability": round(good / len(self.requests), 4),
+            "fault_availability": round(good_window / len(in_window), 4)
+                                  if in_window else None,
+            "p99_ms": round(percentile(latencies, 99), 2)
+                      if latencies else None,
+            "pre_fault_goodput_per_s": round(pre, 3),
+            "recovery_ms": recovery_ms,
+            "recovered_within_window": recovered,
+            "displaced": self.displaced,
+            "reboots": self.reboots,
+            "failovers": self.failovers,
+            "resumes": self.resumes,
+            "client_retries": self.client_retries,
+            "failed": self.failed,
+            "chaos": {"crashes": self.fleet.crashes,
+                      "recoveries": self.fleet.recoveries,
+                      "outages": self.fleet.outages,
+                      "partitions": self.fleet.partitions},
+            "quarantined": (sorted(self.health.quarantined)
+                            if self.health is not None else []),
+            "goodput_bins": bins,
+        }
+        return row
+
+    def _recovery(self, bins: List[int]) -> tuple:
+        """(pre-fault goodput, ms to re-reach 80% of it, within window?).
+
+        Recovery = the first trailing-3-bin moving average at or above
+        ``RECOVERY_FRACTION`` of the pre-fault baseline *after* the first
+        post-fault dip below it; no dip at all means recovery 0 (the arm
+        never visibly degraded, e.g. hot standby on a single kill).
+        """
+        p = self.params
+        b0 = int(p.baseline_from_ms // self.bin_ms)
+        b1 = int(p.fault_at_ms // self.bin_ms)
+        # stop scanning before arrivals dry up near the horizon, where
+        # goodput falls off for the boring reason that offers stopped
+        b_end = min(len(bins),
+                    int((p.horizon_ms - p.deadline_ms - self.service_ms)
+                        // self.bin_ms))
+        base = bins[b0:b1]
+        pre = sum(base) / len(base) if base else 0.0
+        thr = RECOVERY_FRACTION * pre
+
+        def trailing(i: int) -> float:
+            lo = max(0, i - 2)
+            return sum(bins[lo:i + 1]) / (i + 1 - lo)
+
+        dip = next((i for i in range(b1, b_end) if trailing(i) < thr), None)
+        if dip is None:
+            return pre, 0.0, True
+
+        def sustained(i: int) -> bool:
+            # a real recovery holds the bar for ~8 s of bins — a collapsing
+            # arm oscillates across it in deadline-period waves while its
+            # queues build, and a crash-looping machine's brief up-window
+            # is not a recovery either
+            return all(trailing(j) >= thr
+                       for j in range(i, min(i + 8, b_end)))
+
+        rec = next((i for i in range(dip, b_end) if sustained(i)), None)
+        if rec is None:
+            return pre, None, False
+        recovery_ms = (rec + 1) * self.bin_ms - p.fault_at_ms
+        return pre, recovery_ms, recovery_ms <= p.recovery_window_ms
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+def _stage_profiles(plan, cal, workflow, policy: Optional[HAPolicy],
+                    seed: int, params: ChaosParams) -> List[Tuple[float, ...]]:
+    """K seeded ChironPlatform runs -> relative stage-end profiles."""
+    platform = ChironPlatform(plan, cal)
+    profiles = []
+    for i in range(params.profile_samples):
+        res = platform.run(workflow, seed=seed * 9973 + i, ha=policy)
+        profiles.append(tuple(round(float(e), 6)
+                              for e in res.stage_ends_ms))
+    return profiles
+
+
+def _run_cell(schedule_name: str, arm: str, params: ChaosParams, seed: int,
+              profiles: List[Tuple[float, ...]], *, service_ms: float,
+              period_ms: float, boot_ms: float, manifest_ms: float) -> dict:
+    topology = make_topology(params)
+    schedule = make_plan(schedule_name, params, seed).compile(topology)
+    health = (MachineHealthMonitor(topology) if arm != "none" else None)
+    sim = _FleetServe(arm, topology, schedule, profiles, params,
+                      service_ms=service_ms, period_ms=period_ms,
+                      boot_ms=boot_ms, manifest_ms=manifest_ms,
+                      health=health)
+    return sim.run()
+
+
+def sweep(*, seed: int = 7, quick: bool = False,
+          schedules=SCHEDULES) -> dict:
+    """The full report (the BENCH_chaos.json payload)."""
+    for name in schedules:
+        if name not in SCHEDULES:
+            raise ReproError(f"unknown chaos schedule {name!r}; "
+                             f"expected one of {SCHEDULES}")
+    params = make_params(quick=quick)
+    wf = chaos_workflow()
+    manager = ChironManager()
+    deployment = manager.deploy(wf, params.slo_ms)
+    plan, cal = deployment.plan, manager.cal
+    plain = _stage_profiles(plan, cal, wf, None, seed, params)
+    ckpt = _stage_profiles(plan, cal, wf, HAPolicy(mode="checkpoint"),
+                           seed, params)
+    profiles = {"none": plain, "retry": plain,
+                "checkpoint": ckpt, "standby": ckpt}
+    service = {a: sum(p[-1] for p in profs) / len(profs)
+               for a, profs in profiles.items()}
+    # one shared arrival period: the comparison is apples-to-apples load
+    period_ms = max(50.0, round(service["none"]
+                                / params.target_outage_inflight))
+    boot_ms = boot_cost_ms(BootTier.COLD, cal)
+    manifest_ms = HAPolicy(mode="checkpoint").checkpoint_op_ms()
+    deployed_mb = ChironPlatform(plan, cal).memory_mb(wf)
+
+    arms_meta = {}
+    for arm in ARMS:
+        policy = arm_policy(arm)
+        predicted = ha_adjusted_p99_ms(manager.predictor, wf, plan, policy,
+                                       kill_rate_per_min=1.0)
+        arms_meta[arm] = {
+            "service_ms": round(service[arm], 3),
+            "extra_memory_mb": round(policy.standby_memory_mb(deployed_mb), 1),
+            "predicted_fault_p99_ms": (round(predicted, 2)
+                                       if math.isfinite(predicted) else None),
+        }
+
+    results = []
+    rows: Dict[tuple, dict] = {}
+    for name in schedules:
+        sched_rows = {}
+        for arm in ARMS:
+            row = _run_cell(name, arm, params, seed, profiles[arm],
+                            service_ms=service[arm], period_ms=period_ms,
+                            boot_ms=boot_ms, manifest_ms=manifest_ms)
+            sched_rows[arm] = row
+            rows[(name, arm)] = row
+        results.append({"name": name, "fault_at_ms": params.fault_at_ms,
+                        "fault_ms": params.fault_ms, "rows": sched_rows})
+
+    summary: dict = {}
+    if "machine-kill" in schedules:
+        mk = {a: rows[("machine-kill", a)] for a in ARMS}
+        summary["checkpoint_recovers_machine_kill"] = (
+            mk["checkpoint"]["recovered_within_window"])
+        summary["no_recovery_fails_machine_kill"] = (
+            not mk["none"]["recovered_within_window"])
+        summary["standby_failover_no_reboot"] = (
+            mk["standby"]["failovers"] >= 1
+            and (mk["standby"]["recovery_ms"] or 0.0)
+            <= (mk["checkpoint"]["recovery_ms"] or 0.0))
+        summary["crash_loop_quarantined"] = (
+            "z0/r0/m0" in mk["checkpoint"]["quarantined"])
+    if "zone-outage" in schedules:
+        zo = {a: rows[("zone-outage", a)] for a in ARMS}
+        summary["checkpoint_recovers_zone_outage"] = (
+            zo["checkpoint"]["recovered_within_window"])
+        summary["no_recovery_fails_zone_outage"] = (
+            not zo["none"]["recovered_within_window"])
+        summary["retry_collapses_zone_outage"] = (
+            not zo["retry"]["recovered_within_window"]
+            and zo["retry"]["fault_availability"] is not None
+            and zo["checkpoint"]["fault_availability"] is not None
+            and zo["retry"]["fault_availability"]
+            <= zo["checkpoint"]["fault_availability"] - 0.2)
+    if "partition" in schedules:
+        summary["checkpoint_recovers_partition"] = (
+            rows[("partition", "checkpoint")]["recovered_within_window"])
+    summary["checkpoint_overhead_priced"] = (
+        service["checkpoint"] > service["none"])
+    if "machine-kill" in schedules:
+        rerun = _run_cell("machine-kill", "checkpoint", params, seed,
+                          profiles["checkpoint"],
+                          service_ms=service["checkpoint"],
+                          period_ms=period_ms, boot_ms=boot_ms,
+                          manifest_ms=manifest_ms)
+        summary["deterministic"] = rerun == rows[("machine-kill",
+                                                  "checkpoint")]
+
+    return {"experiment": "chaos", "seed": seed, "quick": quick,
+            "params": {"horizon_ms": params.horizon_ms,
+                       "fault_at_ms": params.fault_at_ms,
+                       "fault_ms": params.fault_ms,
+                       "slots_per_machine": params.slots_per_machine,
+                       "deadline_ms": params.deadline_ms,
+                       "recovery_window_ms": params.recovery_window_ms,
+                       "recovery_fraction": RECOVERY_FRACTION,
+                       "period_ms": period_ms,
+                       "bin_ms": 4.0 * period_ms,
+                       "boot_ms": round(boot_ms, 3),
+                       "manifest_ms": round(manifest_ms, 3),
+                       "machines": 4},
+            "arms": arms_meta, "schedules": results, "summary": summary}
+
+
+def format_chaos_table(report: dict) -> str:
+    """Human-readable summary of a :func:`sweep` report (the CLI output)."""
+    rows = [f"{'schedule':<14} {'arm':<11} {'avail':>6} {'f-avail':>7} "
+            f"{'p99 ms':>8} {'recovery':>9} {'ok':>3} {'displ':>5} "
+            f"{'boots':>5} {'fails':>5}"]
+    for sched in report["schedules"]:
+        for arm in ARMS:
+            if arm not in sched["rows"]:
+                continue
+            row = sched["rows"][arm]
+            rec = row["recovery_ms"]
+            rows.append(
+                f"{sched['name']:<14} {arm:<11} "
+                f"{row['availability']:>6.3f} "
+                f"{(row['fault_availability'] or 0.0):>7.3f} "
+                f"{(row['p99_ms'] or 0.0):>8.1f} "
+                f"{('never' if rec is None else f'{rec / 1000:.1f}s'):>9} "
+                f"{('y' if row['recovered_within_window'] else 'n'):>3} "
+                f"{row['displaced']:>5d} {row['reboots']:>5d} "
+                f"{row['failed']:>5d}")
+    flags = report["summary"]
+    rows.append("flags: " + ", ".join(f"{k}={v}"
+                                      for k, v in sorted(flags.items())))
+    return "\n".join(rows)
+
+
+@register("chaos")
+def run(quick: bool = False) -> ExperimentResult:
+    """Machine-scale chaos schedules vs. the four workflow HA modes."""
+    report = sweep(quick=quick)
+    flags = report["summary"]
+    result = ExperimentResult(
+        experiment="chaos",
+        title="Machine-scale chaos: availability and goodput recovery "
+              "under kill / outage / partition, by HA mode",
+        columns=("schedule", "arm", "availability", "fault_availability",
+                 "p99_ms", "recovery_ms", "recovered", "displaced",
+                 "reboots", "failovers", "failed"),
+        notes=", ".join(f"{k}={v}" for k, v in sorted(flags.items())),
+    )
+    for sched in report["schedules"]:
+        for arm in ARMS:
+            row = sched["rows"].get(arm)
+            if row is None:
+                continue
+            result.add(schedule=sched["name"], arm=arm,
+                       availability=row["availability"],
+                       fault_availability=row["fault_availability"],
+                       p99_ms=row["p99_ms"],
+                       recovery_ms=row["recovery_ms"],
+                       recovered=row["recovered_within_window"],
+                       displaced=row["displaced"],
+                       reboots=row["reboots"],
+                       failovers=row["failovers"],
+                       failed=row["failed"])
+    return result

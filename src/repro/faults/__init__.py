@@ -12,12 +12,22 @@ The subsystem has four pieces:
   driver platforms wrap around their chosen unit of re-execution
   (function, wrap, or whole workflow);
 * :mod:`repro.faults.reliability` — the analytic tail model behind the
-  manager's graceful degradation to smaller wraps.
+  manager's graceful degradation to smaller wraps;
+* :mod:`repro.faults.registry` — the extensible mechanism registry
+  (namespaced ``machine.*``/``net.*`` mechanisms register themselves);
+* :mod:`repro.faults.domains` — machine-scale failure domains: topology,
+  seeded :class:`ChaosPlan` schedules, and live :class:`FleetState`.
 """
 
 from repro.errors import FaultError, RetryExhausted
+from repro.faults.domains import (CHAOS_COUNTERS, CHAOS_EVENT_TYPES,
+                                  ChaosEvent, ChaosPlan, ChaosSchedule,
+                                  FleetState, Topology)
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import MECHANISMS, FaultPlan, OneShotFault
+from repro.faults.registry import (MechanismSpec, is_registered,
+                                   mechanism_names, mechanism_spec,
+                                   register_mechanism)
 from repro.faults.recovery import run_unit
 from repro.faults.reliability import (adjusted_p99_ms, degrade_until_slo,
                                       split_largest_wrap, unit_failure_prob)
@@ -28,15 +38,27 @@ FAULT_EVENT_TYPES = ("fault.injected", "retry.attempt", "retry.exhausted",
                      "sandbox.crash")
 
 __all__ = [
+    "CHAOS_COUNTERS",
+    "CHAOS_EVENT_TYPES",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosSchedule",
     "FAULT_EVENT_TYPES",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
+    "FleetState",
     "MECHANISMS",
+    "MechanismSpec",
     "OneShotFault",
     "PRESETS",
     "RetryExhausted",
     "RetryPolicy",
+    "Topology",
+    "is_registered",
+    "mechanism_names",
+    "mechanism_spec",
+    "register_mechanism",
     "adjusted_p99_ms",
     "degrade_until_slo",
     "preset",

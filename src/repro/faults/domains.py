@@ -1,0 +1,516 @@
+"""Machine-scale failure domains: topology, chaos plans, fleet liveness.
+
+PR 2's fault layer only speaks *intra-sandbox* events (a crash takes one
+sandbox, a drop loses one RPC).  Chiron's m-to-n wraps concentrate many
+functions into few sandboxes on few machines, so the robustness question the
+paper never asks is machine-scale: what happens when a whole node, rack or
+zone goes dark, or the network tears along a domain boundary?  This module
+supplies that failure model:
+
+* :class:`Topology` — machines grouped into racks inside zones, built on
+  :class:`repro.runtime.machine.Machine` (which carries the liveness and
+  domain fields);
+* four namespaced mechanisms — ``machine.crash``, ``machine.recover``,
+  ``domain.outage`` (correlated: every machine of a rack/zone), and
+  ``net.partition`` (cross-domain RPC/storage paths cut for a window) —
+  registered through the :mod:`repro.faults.registry` API;
+* :class:`ChaosPlan` — declarative what/when, either explicitly scheduled
+  (:class:`ChaosEvent`) or drawn from seeded per-machine crash rates with
+  the same (plan, seed) ⇒ bit-identical-schedule contract as
+  :class:`~repro.faults.plan.FaultPlan`;
+* :class:`ChaosSchedule` — the compiled, sorted event list with interval
+  queries (``down_intervals``, ``cut_intervals``) the HA replay math needs;
+* :class:`FleetState` — applies a schedule to live machines as simulated
+  time advances, emitting ``chaos.*`` counters and typed trace events.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration import NODE_CORES, NODE_MEMORY_MB
+from repro.errors import SimulationError
+from repro.faults.registry import register_mechanism
+from repro.runtime.machine import Machine
+
+#: the machine-scale mechanisms (schedule-driven; ``net.partition`` also has
+#: a per-opportunity rate on FaultPlan for packet-level flakiness)
+register_mechanism("machine.crash",
+                   doc="a worker machine dies; everything on it is lost")
+register_mechanism("machine.recover",
+                   doc="a dead machine rejoins the fleet, empty")
+register_mechanism("domain.outage",
+                   doc="correlated failure of every machine in a rack/zone")
+register_mechanism("net.partition", rate_attr="net_partition_rate",
+                   doc="cross-machine RPC/storage paths cut for a window")
+
+#: typed events the chaos layer adds to traces (golden-trace schema)
+CHAOS_EVENT_TYPES = ("machine.crash", "machine.recover", "domain.outage",
+                     "net.partition", "net.heal")
+
+#: counters the chaos layer increments (also schema-pinned)
+CHAOS_COUNTERS = ("chaos.machine.crashes", "chaos.machine.recoveries",
+                  "chaos.domain.outages", "chaos.net.partitions",
+                  "chaos.machines.down")
+
+Interval = Tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# topology
+# ---------------------------------------------------------------------------
+
+class Topology:
+    """Machines grouped into racks inside zones.
+
+    Domains are addressed as ``"zone:<name>"`` or ``"rack:<name>"``; a bare
+    machine name addresses the single machine.  Zone names default to
+    ``z0, z1, ...``, racks to ``z0/r0, ...`` and machines to ``z0/r0/m0``
+    so every name is globally unique and self-describing.
+    """
+
+    def __init__(self, machines: Sequence[Machine]) -> None:
+        if not machines:
+            raise SimulationError("topology needs at least one machine")
+        self._machines: Dict[str, Machine] = {}
+        for m in machines:
+            if m.name in self._machines:
+                raise SimulationError(f"duplicate machine name {m.name!r}")
+            self._machines[m.name] = m
+
+    @classmethod
+    def grid(cls, *, zones: int = 2, racks_per_zone: int = 2,
+             machines_per_rack: int = 2, cores: float = NODE_CORES,
+             memory_mb: float = NODE_MEMORY_MB) -> "Topology":
+        """A regular zones × racks × machines grid."""
+        if zones < 1 or racks_per_zone < 1 or machines_per_rack < 1:
+            raise SimulationError("grid dimensions must be >= 1")
+        machines = []
+        for z in range(zones):
+            zone = f"z{z}"
+            for r in range(racks_per_zone):
+                rack = f"{zone}/r{r}"
+                for k in range(machines_per_rack):
+                    machines.append(Machine(f"{rack}/m{k}", cores=cores,
+                                            memory_mb=memory_mb,
+                                            zone=zone, rack=rack))
+        return cls(machines)
+
+    @property
+    def machines(self) -> list[Machine]:
+        return list(self._machines.values())
+
+    @property
+    def machine_names(self) -> tuple[str, ...]:
+        return tuple(self._machines)
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown machine {name!r}; known: "
+                f"{sorted(self._machines)}") from None
+
+    @property
+    def zones(self) -> tuple[str, ...]:
+        return tuple(sorted({m.zone for m in self._machines.values()}))
+
+    @property
+    def racks(self) -> tuple[str, ...]:
+        return tuple(sorted({m.rack for m in self._machines.values()}))
+
+    def members(self, target: str) -> tuple[str, ...]:
+        """Machine names addressed by ``target``.
+
+        ``"zone:z0"`` / ``"rack:z0/r1"`` expand to domain membership; a bare
+        machine name resolves to itself.  Unknown targets raise, listing
+        what exists.
+        """
+        if target.startswith("zone:"):
+            zone = target[len("zone:"):]
+            names = tuple(n for n, m in self._machines.items()
+                          if m.zone == zone)
+            if not names:
+                raise SimulationError(f"unknown zone {zone!r}; "
+                                      f"known: {list(self.zones)}")
+            return names
+        if target.startswith("rack:"):
+            rack = target[len("rack:"):]
+            names = tuple(n for n, m in self._machines.items()
+                          if m.rack == rack)
+            if not names:
+                raise SimulationError(f"unknown rack {rack!r}; "
+                                      f"known: {list(self.racks)}")
+            return names
+        return (self.machine(target).name,)
+
+    def alive(self, name: str) -> bool:
+        return self.machine(name).alive
+
+
+# ---------------------------------------------------------------------------
+# chaos plans and compiled schedules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One machine-scale fault at an exact simulated instant.
+
+    ``mechanism`` is one of the four registered machine-scale mechanisms.
+    ``target`` is a machine name or ``zone:``/``rack:`` domain.
+    ``duration_ms`` bounds the window for ``machine.crash``,
+    ``domain.outage`` and ``net.partition`` (0 for ``machine.recover``,
+    which is instantaneous; a crash with duration 0 never auto-recovers).
+    """
+
+    at_ms: float
+    mechanism: str
+    target: str
+    duration_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ("machine.crash", "machine.recover",
+                                  "domain.outage", "net.partition"):
+            raise SimulationError(
+                f"chaos events only speak machine-scale mechanisms, "
+                f"got {self.mechanism!r}")
+        if self.at_ms < 0 or self.duration_ms < 0:
+            raise SimulationError("chaos event times must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded, declarative machine-scale fault configuration.
+
+    ``scheduled`` events are taken verbatim; stochastic crashes are drawn
+    per machine from ``machine_crash_rate_per_min`` (exponential
+    inter-arrival, downtime ``machine_downtime_ms``) using an RNG stream
+    seeded from ``(seed, machine index)`` — the same (plan, topology)
+    always compiles to the same schedule, bit for bit.
+    """
+
+    seed: int = 0
+    duration_ms: float = 60_000.0
+    scheduled: tuple[ChaosEvent, ...] = field(default_factory=tuple)
+    machine_crash_rate_per_min: float = 0.0
+    machine_downtime_ms: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise SimulationError(f"chaos seed must be >= 0, got {self.seed}")
+        if self.duration_ms <= 0:
+            raise SimulationError("chaos duration must be > 0")
+        if self.machine_crash_rate_per_min < 0:
+            raise SimulationError("machine crash rate must be >= 0")
+        if self.machine_downtime_ms <= 0:
+            raise SimulationError("machine downtime must be > 0")
+        object.__setattr__(self, "scheduled", tuple(self.scheduled))
+
+    # -- construction helpers -------------------------------------------------
+    def with_event(self, event: ChaosEvent) -> "ChaosPlan":
+        return replace(self, scheduled=self.scheduled + (event,))
+
+    def kill(self, machine: str, at_ms: float,
+             down_ms: float) -> "ChaosPlan":
+        return self.with_event(ChaosEvent(at_ms, "machine.crash", machine,
+                                          down_ms))
+
+    def outage(self, domain: str, at_ms: float,
+               down_ms: float) -> "ChaosPlan":
+        return self.with_event(ChaosEvent(at_ms, "domain.outage", domain,
+                                          down_ms))
+
+    def partition(self, domain: str, at_ms: float,
+                  down_ms: float) -> "ChaosPlan":
+        return self.with_event(ChaosEvent(at_ms, "net.partition", domain,
+                                          down_ms))
+
+    @property
+    def is_null(self) -> bool:
+        return not self.scheduled and self.machine_crash_rate_per_min == 0.0
+
+    def compile(self, topology: Topology) -> "ChaosSchedule":
+        """Expand the plan into a deterministic, sorted event schedule."""
+        events: List[ChaosEvent] = list(self.scheduled)
+        if self.machine_crash_rate_per_min > 0.0:
+            mean_gap_ms = 60_000.0 / self.machine_crash_rate_per_min
+            for idx, name in enumerate(topology.machine_names):
+                rng = np.random.default_rng((self.seed, idx))
+                t = float(rng.exponential(mean_gap_ms))
+                while t < self.duration_ms:
+                    events.append(ChaosEvent(round(t, 6), "machine.crash",
+                                             name, self.machine_downtime_ms))
+                    t += self.machine_downtime_ms
+                    t += float(rng.exponential(mean_gap_ms))
+        events.sort(key=lambda e: (e.at_ms, e.mechanism, e.target))
+        return ChaosSchedule(self, topology, tuple(events))
+
+
+def _merge(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort and coalesce overlapping windows."""
+    merged: List[Interval] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+class ChaosSchedule:
+    """A compiled chaos plan: sorted events plus interval queries.
+
+    The interval views are what the HA replay math consumes: *when is this
+    machine dark* and *when is the path between these two machines cut*.
+    A crash with ``duration_ms == 0`` (no auto-recovery) is open-ended
+    until a later explicit ``machine.recover`` or the schedule horizon.
+    """
+
+    def __init__(self, plan: ChaosPlan, topology: Topology,
+                 events: tuple[ChaosEvent, ...]) -> None:
+        self.plan = plan
+        self.topology = topology
+        self.events = events
+        self._down: Dict[str, tuple[Interval, ...]] = {}
+        self._partitions: List[Tuple[Interval, frozenset]] = []
+        self._build()
+
+    def _build(self) -> None:
+        horizon = self.plan.duration_ms
+        raw: Dict[str, List[Interval]] = {n: []
+                                          for n in self.topology.machine_names}
+        open_since: Dict[str, float] = {}
+        for ev in self.events:
+            if ev.mechanism in ("machine.crash", "domain.outage"):
+                for name in self.topology.members(ev.target):
+                    if ev.duration_ms > 0:
+                        raw[name].append((ev.at_ms,
+                                          ev.at_ms + ev.duration_ms))
+                    else:
+                        open_since.setdefault(name, ev.at_ms)
+            elif ev.mechanism == "machine.recover":
+                for name in self.topology.members(ev.target):
+                    start = open_since.pop(name, None)
+                    if start is not None:
+                        raw[name].append((start, ev.at_ms))
+            elif ev.mechanism == "net.partition":
+                window = (ev.at_ms, ev.at_ms + (ev.duration_ms or horizon))
+                side = frozenset(self.topology.members(ev.target))
+                self._partitions.append((window, side))
+        for name, start in open_since.items():
+            raw[name].append((start, horizon))
+        self._down = {name: _merge(iv) for name, iv in raw.items()}
+
+    # -- machine liveness ------------------------------------------------------
+    def down_intervals(self, machine: str) -> tuple[Interval, ...]:
+        return self._down.get(machine, ())
+
+    def is_down(self, machine: str, t_ms: float) -> bool:
+        return any(s <= t_ms < e for s, e in self.down_intervals(machine))
+
+    def down_during(self, machine: str, start_ms: float,
+                    end_ms: float) -> Optional[Interval]:
+        """The first outage window overlapping [start, end), or ``None``."""
+        for s, e in self.down_intervals(machine):
+            if s < end_ms and e > start_ms:
+                return (s, e)
+        return None
+
+    def next_up(self, machine: str, t_ms: float) -> float:
+        """Earliest instant >= t at which ``machine`` is alive."""
+        t = t_ms
+        for s, e in self.down_intervals(machine):
+            if s <= t < e:
+                t = e
+        return t
+
+    # -- network paths ---------------------------------------------------------
+    def cut_intervals(self, a: str, b: str) -> tuple[Interval, ...]:
+        """Windows during which the a<->b path is partitioned.
+
+        A partition isolates a domain: the path is cut iff exactly one of
+        the two machines is inside the partitioned side.  Same-machine
+        paths are never cut.
+        """
+        if a == b:
+            return ()
+        cuts = [window for window, side in self._partitions
+                if (a in side) != (b in side)]
+        return _merge(cuts)
+
+    def path_cut_during(self, a: str, b: str, start_ms: float,
+                        end_ms: float) -> Optional[Interval]:
+        for s, e in self.cut_intervals(a, b):
+            if s < end_ms and e > start_ms:
+                return (s, e)
+        return None
+
+    def path_restored_at(self, a: str, b: str, t_ms: float) -> float:
+        t = t_ms
+        for s, e in self.cut_intervals(a, b):
+            if s <= t < e:
+                t = e
+        return t
+
+    # -- whole-fleet views -----------------------------------------------------
+    def interruptions(self, machines: Sequence[str], start_ms: float,
+                      end_ms: float, *, origin: Optional[str] = None
+                      ) -> Optional[tuple[float, str, str]]:
+        """Earliest failure hitting any of ``machines`` in [start, end).
+
+        Returns ``(at_ms, kind, machine)`` where kind is ``"down"`` (the
+        machine is dark) or ``"cut"`` (the path from ``origin`` to the
+        machine is partitioned), or ``None`` when the window is clean.
+        A machine already dark / cut at ``start_ms`` interrupts at
+        ``start_ms``.
+        """
+        best: Optional[tuple[float, str, str]] = None
+        for name in machines:
+            window = self.down_during(name, start_ms, end_ms)
+            if window is not None:
+                hit = (max(window[0], start_ms), "down", name)
+                if best is None or hit < best:
+                    best = hit
+            if origin is not None and origin != name:
+                cut = self.path_cut_during(origin, name, start_ms, end_ms)
+                if cut is not None:
+                    hit = (max(cut[0], start_ms), "cut", name)
+                    if best is None or hit < best:
+                        best = hit
+        return best
+
+
+# ---------------------------------------------------------------------------
+# live fleet state
+# ---------------------------------------------------------------------------
+
+class FleetState:
+    """Applies a compiled schedule to the topology's live machines.
+
+    :meth:`advance` replays every event up to the given instant onto the
+    :class:`~repro.runtime.machine.Machine` objects (``fail``/``recover``),
+    keeps the set of active partitions, emits ``chaos.*`` counters and
+    typed trace events, and invokes ``on_event`` callbacks — the hook the
+    control plane's machine-health monitor subscribes to.
+    """
+
+    def __init__(self, schedule: ChaosSchedule, *, trace=None,
+                 on_event: Optional[Callable[[ChaosEvent], None]] = None
+                 ) -> None:
+        from repro.obs.metrics import Registry
+
+        self.schedule = schedule
+        self.topology = schedule.topology
+        self.trace = trace
+        self.metrics = (trace.metrics if trace is not None
+                        and hasattr(trace, "metrics") else Registry())
+        self._callbacks: List[Callable[[ChaosEvent], None]] = []
+        if on_event is not None:
+            self._callbacks.append(on_event)
+        self.now = 0.0
+        self._cursor = 0
+        # local copy: auto-recoveries are spliced in as crashes apply, and
+        # one schedule may drive several independent fleet replays
+        self._pending = list(schedule.events)
+        self._times = [e.at_ms for e in self._pending]
+        #: currently partitioned sides (window end, member set)
+        self._active_partitions: List[Tuple[float, frozenset]] = []
+        self.crashes = 0
+        self.recoveries = 0
+        self.outages = 0
+        self.partitions = 0
+
+    def subscribe(self, callback: Callable[[ChaosEvent], None]) -> None:
+        self._callbacks.append(callback)
+
+    def _emit(self, name: str, counter: str, **tags: object) -> None:
+        self.metrics.inc(counter)
+        if self.trace is not None:
+            self.trace.event(name, entity="fleet", **tags)
+
+    def advance(self, to_ms: float) -> list[ChaosEvent]:
+        """Apply every event with ``at_ms <= to_ms``; returns those applied."""
+        if to_ms < self.now:
+            raise SimulationError(
+                f"fleet time cannot run backwards ({to_ms} < {self.now})")
+        self.now = to_ms
+        applied: List[ChaosEvent] = []
+        # one event at a time: applying a windowed crash splices its
+        # recovery into the pending tail, which may itself fall <= to_ms
+        while (self._cursor < len(self._times)
+               and self._times[self._cursor] <= to_ms):
+            ev = self._pending[self._cursor]
+            self._cursor += 1
+            self._apply(ev)
+            applied.append(ev)
+            for callback in self._callbacks:
+                callback(ev)
+        self._active_partitions = [(until, side) for until, side
+                                   in self._active_partitions
+                                   if until > to_ms]
+        return applied
+
+    def _apply(self, ev: ChaosEvent) -> None:
+        members = self.topology.members(ev.target)
+        if ev.mechanism == "machine.crash":
+            for name in members:
+                self.topology.machine(name).fail(ev.at_ms)
+            self.crashes += 1
+            self._emit("machine.crash", "chaos.machine.crashes",
+                       target=ev.target, at_ms=ev.at_ms)
+            if ev.duration_ms > 0:
+                self._schedule_recovery(ev)
+        elif ev.mechanism == "domain.outage":
+            for name in members:
+                self.topology.machine(name).fail(ev.at_ms)
+            self.outages += 1
+            self._emit("domain.outage", "chaos.domain.outages",
+                       target=ev.target, at_ms=ev.at_ms,
+                       machines=len(members))
+            if ev.duration_ms > 0:
+                self._schedule_recovery(ev)
+        elif ev.mechanism == "machine.recover":
+            for name in members:
+                self.topology.machine(name).recover(ev.at_ms)
+            self.recoveries += 1
+            self._emit("machine.recover", "chaos.machine.recoveries",
+                       target=ev.target, at_ms=ev.at_ms)
+        elif ev.mechanism == "net.partition":
+            until = ev.at_ms + (ev.duration_ms
+                                or self.schedule.plan.duration_ms)
+            self._active_partitions.append((until, frozenset(members)))
+            self.partitions += 1
+            self._emit("net.partition", "chaos.net.partitions",
+                       target=ev.target, at_ms=ev.at_ms,
+                       until_ms=until)
+
+    def _schedule_recovery(self, ev: ChaosEvent) -> None:
+        """Windowed crashes/outages recover when time passes their end."""
+        recover = ChaosEvent(ev.at_ms + ev.duration_ms, "machine.recover",
+                             ev.target)
+        # splice into the pending tail, keeping times sorted
+        at = max(bisect.bisect_right(self._times, recover.at_ms),
+                 self._cursor)
+        self._pending.insert(at, recover)
+        self._times.insert(at, recover.at_ms)
+
+    # -- queries ---------------------------------------------------------------
+    def up(self, machine: str) -> bool:
+        return self.topology.machine(machine).alive
+
+    def reachable(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        for _until, side in self._active_partitions:
+            if (a in side) != (b in side):
+                return False
+        return True
+
+    @property
+    def machines_down(self) -> int:
+        return sum(1 for m in self.topology.machines if not m.alive)

@@ -14,8 +14,13 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import SimulationError
+from repro.faults.registry import (mechanism_spec, rate_attrs,
+                                   register_mechanism)
 
-#: every mechanism an injector can fire (rates and one-shots both use these)
+#: the builtin intra-sandbox mechanisms (kept as a tuple for callers that
+#: enumerate the PR 2 vocabulary; the authoritative set is the registry —
+#: ``machine.*``/``net.*`` mechanisms register themselves from
+#: :mod:`repro.faults.domains`)
 MECHANISMS = (
     "sandbox.crash",    # a function takes its whole sandbox down
     "sandbox.reclaim",  # the lifecycle reclaimer takes a serving sandbox
@@ -26,6 +31,24 @@ MECHANISMS = (
     "pool.worker",      # a pre-forked pool worker dies and is respawned
     "straggler",        # a function runs ``straggler_factor`` times slower
 )
+
+register_mechanism("sandbox.crash", rate_attr="sandbox_crash_rate",
+                   doc="a function takes its whole sandbox down")
+register_mechanism("sandbox.reclaim", rate_attr="sandbox_reclaim_rate",
+                   doc="the lifecycle reclaimer takes a serving sandbox",
+                   recoverable=True)
+register_mechanism("fork.fail", rate_attr="fork_failure_rate",
+                   doc="a fork syscall fails after paying its block time")
+register_mechanism("rpc.drop", rate_attr="rpc_drop_rate",
+                   doc="a gateway/dispatcher invocation never answers")
+register_mechanism("storage.read", rate_attr="storage_error_rate",
+                   doc="an object-store get errors after the base latency")
+register_mechanism("storage.write", rate_attr="storage_error_rate",
+                   doc="an object-store put errors after the base latency")
+register_mechanism("pool.worker", rate_attr="pool_worker_crash_rate",
+                   doc="a pre-forked pool worker dies and is respawned")
+register_mechanism("straggler", rate_attr="straggler_rate",
+                   doc="a function runs straggler_factor times slower")
 
 
 @dataclass(frozen=True)
@@ -41,10 +64,7 @@ class OneShotFault:
     entity: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.mechanism not in MECHANISMS:
-            raise SimulationError(
-                f"unknown fault mechanism {self.mechanism!r}; "
-                f"expected one of {MECHANISMS}")
+        mechanism_spec(self.mechanism)  # raises listing valid names
         if self.occurrence < 1:
             raise SimulationError(
                 f"one-shot occurrence must be >= 1, got {self.occurrence}")
@@ -71,7 +91,13 @@ class FaultPlan:
     * ``pool_worker_crash_rate`` — per pool task (the pool self-heals by
       respawning the worker, costing one interpreter startup);
     * ``straggler_rate`` — per function execution (the function runs
-      ``straggler_factor`` times slower; no error is raised).
+      ``straggler_factor`` times slower; no error is raised);
+    * ``net_partition_rate`` — per cross-sandbox RPC or storage operation;
+      a hit means the network path is cut (the caller burns
+      ``rpc_timeout_ms`` on RPC, the base latency on storage).  Windowed
+      machine-scale partitions are driven by
+      :class:`repro.faults.domains.ChaosPlan` instead; this per-opportunity
+      rate models residual packet-level flakiness inside one request.
     """
 
     seed: int = 0
@@ -82,6 +108,7 @@ class FaultPlan:
     storage_error_rate: float = 0.0
     pool_worker_crash_rate: float = 0.0
     straggler_rate: float = 0.0
+    net_partition_rate: float = 0.0
     #: execution-time multiplier a straggler suffers
     straggler_factor: float = 4.0
     #: time a caller waits on a dropped RPC before raising
@@ -92,10 +119,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise SimulationError(f"fault seed must be >= 0, got {self.seed}")
-        for name in ("sandbox_crash_rate", "sandbox_reclaim_rate",
-                     "fork_failure_rate", "rpc_drop_rate",
-                     "storage_error_rate", "pool_worker_crash_rate",
-                     "straggler_rate"):
+        for name in self._rate_fields():
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise SimulationError(f"{name} must be in [0, 1], got {rate}")
@@ -108,24 +132,23 @@ class FaultPlan:
         object.__setattr__(self, "scheduled", tuple(self.scheduled))
 
     # -- derived views --------------------------------------------------------
-    _RATE_OF = {
-        "sandbox.crash": "sandbox_crash_rate",
-        "sandbox.reclaim": "sandbox_reclaim_rate",
-        "fork.fail": "fork_failure_rate",
-        "rpc.drop": "rpc_drop_rate",
-        "storage.read": "storage_error_rate",
-        "storage.write": "storage_error_rate",
-        "pool.worker": "pool_worker_crash_rate",
-        "straggler": "straggler_rate",
-    }
+    @classmethod
+    def _rate_fields(cls) -> tuple[str, ...]:
+        """Registered rate attributes this plan actually carries."""
+        return tuple(a for a in rate_attrs() if hasattr(cls, a))
 
     def rate_for(self, mechanism: str) -> float:
-        """The plan's probability for one opportunity of ``mechanism``."""
-        try:
-            return getattr(self, self._RATE_OF[mechanism])
-        except KeyError:
-            raise SimulationError(
-                f"unknown fault mechanism {mechanism!r}") from None
+        """The plan's probability for one opportunity of ``mechanism``.
+
+        Schedule-only mechanisms (``machine.*`` chaos events and any other
+        registration without a ``rate_attr``) are never rate-drawn inside a
+        per-request injector and report 0.0; unknown names raise, listing
+        every registered mechanism.
+        """
+        spec = mechanism_spec(mechanism)
+        if spec.rate_attr is None:
+            return 0.0
+        return getattr(self, spec.rate_attr, 0.0)
 
     @property
     def is_null(self) -> bool:
@@ -134,7 +157,7 @@ class FaultPlan:
         with no plan at all)."""
         return (not self.scheduled
                 and all(getattr(self, attr) == 0.0
-                        for attr in set(self._RATE_OF.values())))
+                        for attr in self._rate_fields()))
 
     # -- construction helpers -------------------------------------------------
     @classmethod

@@ -1,0 +1,100 @@
+"""The fault-mechanism registry: what *can* be injected, extensibly.
+
+PR 2 froze the injectable vocabulary into a module-level ``MECHANISMS``
+tuple; every new failure mode (lifecycle reclaims, machine crashes, network
+partitions) then meant editing :mod:`repro.faults.plan` itself.  This module
+replaces that closed list with a registration API: a subsystem that
+introduces a namespaced mechanism (``machine.*``, ``net.*``...) registers it
+at import time, and plan validation, rate lookup and one-shot scheduling all
+consult the registry.
+
+A :class:`MechanismSpec` ties the mechanism name to the
+:class:`~repro.faults.plan.FaultPlan` attribute carrying its per-opportunity
+rate (``rate_attr``).  Mechanisms without a rate attribute — cluster-scale
+events like ``machine.crash`` that are driven by a
+:class:`~repro.faults.domains.ChaosPlan` schedule rather than per-request
+draws — are still valid targets for :class:`~repro.faults.plan.OneShotFault`
+and simply rate 0.0 inside a per-request injector.
+
+Unknown mechanisms keep failing loudly, with the error message listing every
+registered name, exactly as the frozen tuple did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """One registered fault mechanism.
+
+    ``rate_attr`` names the :class:`~repro.faults.plan.FaultPlan` field
+    holding the mechanism's per-opportunity probability; ``None`` means the
+    mechanism is schedule-only (one-shots / chaos schedules, never a rate
+    draw).  ``recoverable`` marks mechanisms whose hit is policy-driven
+    rather than a failing dependency (they must not feed circuit breakers).
+    """
+
+    name: str
+    rate_attr: Optional[str] = None
+    doc: str = ""
+    recoverable: bool = False
+
+
+_REGISTRY: Dict[str, MechanismSpec] = {}
+
+
+def register_mechanism(name: str, *, rate_attr: Optional[str] = None,
+                       doc: str = "", recoverable: bool = False
+                       ) -> MechanismSpec:
+    """Register ``name`` as an injectable mechanism; returns its spec.
+
+    Registration is idempotent for an identical spec (modules may be
+    re-imported); re-registering a name with a *different* spec is an error —
+    two subsystems fighting over one mechanism name is always a bug.
+    """
+    if (not name or name != name.strip() or name.lower() != name
+            or any(c.isspace() for c in name)):
+        raise SimulationError(
+            f"mechanism name must be a lowercase dotted identifier, "
+            f"got {name!r}")
+    spec = MechanismSpec(name=name, rate_attr=rate_attr, doc=doc,
+                         recoverable=recoverable)
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing != spec:
+            raise SimulationError(
+                f"fault mechanism {name!r} already registered with a "
+                f"different spec ({existing} vs {spec})")
+        return existing
+    _REGISTRY[name] = spec
+    return spec
+
+
+def mechanism_names() -> tuple[str, ...]:
+    """Every registered mechanism name, sorted (the valid-names message)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def mechanism_spec(name: str) -> MechanismSpec:
+    """The spec for ``name``; raises listing valid names when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown fault mechanism {name!r}; "
+            f"expected one of {mechanism_names()}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def rate_attrs() -> tuple[str, ...]:
+    """Every distinct FaultPlan rate attribute, sorted (``is_null`` scan)."""
+    return tuple(sorted({s.rate_attr for s in _REGISTRY.values()
+                         if s.rate_attr is not None}))

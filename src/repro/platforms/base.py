@@ -63,6 +63,9 @@ class RequestResult:
     #: lifecycle ledger (``LifecycleSession.summary()``: boot tiers, boot
     #: latency); ``None`` when no lifecycle manager governed the request
     lifecycle: Optional[dict] = None
+    #: HA ledger (``HASession.summary()``: checkpoints, restores, resume
+    #: stage); ``None`` when no HA policy governed the request
+    ha: Optional[dict] = None
 
     @property
     def function_latencies(self) -> Dict[str, float]:
@@ -92,7 +95,8 @@ class Platform(abc.ABC):
             faults=None, retry=None, fault_seed: int = 0,
             deadline_ms: Optional[float] = None,
             overload=None, lifecycle=None,
-            arrival_ms: float = 0.0) -> RequestResult:
+            arrival_ms: float = 0.0,
+            ha=None, ha_resume_stage: int = 0) -> RequestResult:
         """Execute one request and return its result.
 
         A fresh deterministic simulation is built per request; ``seed``
@@ -125,6 +129,14 @@ class Platform(abc.ABC):
         snapshot restore, cold.  ``None`` (the default) keeps cold boots on
         the flat calibrated cost, bit-identical to builds without the
         subsystem.
+
+        ``ha`` (a :class:`repro.core.ha.HAPolicy`) arms per-stage completion
+        checkpoints: the platform persists a manifest through the object
+        store after every stage barrier, and ``ha_resume_stage`` (set by the
+        serving loop when replaying a request after a machine death) makes
+        the stage loop start from the last durably committed stage instead
+        of stage 0.  ``None`` keeps stage boundaries checkpoint-free —
+        bit-identical to builds without the HA layer.
         """
         wf = jittered(workflow, seed, jitter_sigma)
         env = Environment()
@@ -162,6 +174,13 @@ class Platform(abc.ABC):
             # the session owns the warm/cold decision: always take the boot
             # path and let acquire() price it (a warm hit costs zero)
             cold = True
+        ha_session = None
+        if ha is not None and getattr(ha, "mode", "none") != "none":
+            from repro.core.ha import HASession
+
+            ha_session = HASession(env, ha, trace=trace,
+                                   resume_from=ha_resume_stage)
+            env.ha = ha_session
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),
@@ -180,6 +199,8 @@ class Platform(abc.ABC):
             # arrival + latency
             session.finish(arrival_ms + env.now)
             result.lifecycle = session.summary()
+        if ha_session is not None:
+            result.ha = ha_session.summary()
         if trace.detail:
             trace.metrics.inc("kernel.events", env.events_processed)
             trace.metrics.inc("requests")

@@ -167,7 +167,13 @@ class ChironPlatform(Platform):
         if self.plan.pool_workers > 0:
             for sb in sandboxes.values():
                 sb.init_pool(self.plan.pool_workers)
-        for stage_idx in range(len(workflow.stages)):
+        ha = env.ha
+        start_stage = 0
+        if ha is not None:
+            # replay-from-last-stage: a replayed request resumes at the
+            # first stage the completion manifest does not cover
+            start_stage = yield from ha.restore()
+        for stage_idx in range(start_stage, len(workflow.stages)):
             check_deadline(env, entity="request", completed_stages=stage_idx)
             parts = self.plan.stage_wraps(stage_idx)
             if not parts:
@@ -183,6 +189,8 @@ class ChironPlatform(Platform):
             yield env.all_of(events)
             if handle is not None:
                 trace.end(handle)
+            if ha is not None:
+                yield from ha.commit_stage(stage_idx)
             result.stage_ends_ms.append(env.now)
 
     # -- accounting ------------------------------------------------------------

@@ -1,4 +1,14 @@
-"""Worker nodes and clusters (Table 2's testbed)."""
+"""Worker nodes and clusters (Table 2's testbed).
+
+Machines carry the liveness and failure-domain topology fields the chaos
+layer (:mod:`repro.faults.domains`) and the future fleet placement layer
+need: every machine belongs to a rack inside a zone, can :meth:`~Machine.fail`
+and :meth:`~Machine.recover` deterministically, and keeps a crash count for
+the control plane's quarantine heuristics.  Allocation accounting is
+hardened against double release and float drift: freeing more than was
+allocated raises a :class:`~repro.errors.CapacityError` naming the machine,
+and residual drift below an epsilon is clamped to exactly zero.
+"""
 
 from __future__ import annotations
 
@@ -8,27 +18,45 @@ from typing import Optional
 from repro.calibration import CLUSTER_NODES, NODE_CORES, NODE_MEMORY_MB
 from repro.errors import CapacityError
 
+#: float-drift tolerance for allocation accounting (fractions of a core/MB)
+_EPS = 1e-9
+
 
 @dataclass
 class Allocation:
-    """A granted (cores, memory) reservation on a machine."""
+    """A granted (cores, memory) reservation on a machine.
+
+    ``epoch`` snapshots the machine's boot epoch at grant time: a
+    reservation made before a crash died with the machine, so releasing it
+    after recovery is a no-op instead of corrupting the fresh accounting.
+    """
 
     machine: "Machine"
     cores: float
     memory_mb: float
     released: bool = False
+    epoch: int = 0
 
     def release(self) -> None:
+        """Return the reservation; releasing twice is a safe no-op."""
         if not self.released:
-            self.machine._free(self)
+            if self.epoch == self.machine.epoch:
+                self.machine._free(self)
             self.released = True
 
 
 class Machine:
-    """One worker node with finite cores and memory."""
+    """One worker node with finite cores and memory.
+
+    ``zone``/``rack`` place the machine in the failure-domain topology
+    (empty strings for standalone machines); ``alive`` is flipped by the
+    chaos layer's ``machine.crash``/``machine.recover``/``domain.outage``
+    mechanisms and honoured by :meth:`Cluster.place`.
+    """
 
     def __init__(self, name: str = "node-0", *, cores: float = NODE_CORES,
-                 memory_mb: float = NODE_MEMORY_MB) -> None:
+                 memory_mb: float = NODE_MEMORY_MB,
+                 zone: str = "", rack: str = "") -> None:
         if cores <= 0 or memory_mb <= 0:
             raise CapacityError("machine needs positive cores and memory")
         self.name = name
@@ -36,7 +64,40 @@ class Machine:
         self.memory_mb = float(memory_mb)
         self.cores_used = 0.0
         self.memory_used_mb = 0.0
+        # -- failure-domain topology / liveness -------------------------------
+        self.zone = zone
+        self.rack = rack
+        self.alive = True
+        #: simulated instant of the last :meth:`fail` (None = never failed)
+        self.failed_at: Optional[float] = None
+        #: total injected failures (feeds crash-loop quarantine heuristics)
+        self.crash_count = 0
+        #: boot epoch, bumped on every recovery; allocations from an older
+        #: epoch died with the crash and must not free fresh capacity
+        self.epoch = 0
 
+    # -- liveness --------------------------------------------------------------
+    def fail(self, at_ms: float = 0.0) -> None:
+        """The machine goes dark (crash or domain outage); idempotent."""
+        if self.alive:
+            self.alive = False
+            self.failed_at = float(at_ms)
+            self.crash_count += 1
+
+    def recover(self, at_ms: float = 0.0) -> None:
+        """The machine comes back empty: everything it ran was lost."""
+        if not self.alive:
+            self.alive = True
+            self.epoch += 1
+            self.cores_used = 0.0
+            self.memory_used_mb = 0.0
+
+    @property
+    def domain_key(self) -> tuple[str, str]:
+        """(zone, rack) — the machine's failure-domain coordinates."""
+        return (self.zone, self.rack)
+
+    # -- capacity accounting ---------------------------------------------------
     @property
     def cores_free(self) -> float:
         return self.cores - self.cores_used
@@ -46,32 +107,62 @@ class Machine:
         return self.memory_mb - self.memory_used_mb
 
     def can_fit(self, cores: float, memory_mb: float) -> bool:
-        return (self.cores_free >= cores - 1e-9
-                and self.memory_free_mb >= memory_mb - 1e-9)
+        return (self.alive
+                and self.cores_free >= cores - _EPS
+                and self.memory_free_mb >= memory_mb - _EPS)
 
     def allocate(self, cores: float, memory_mb: float) -> Allocation:
         """Reserve resources; raises :class:`CapacityError` when full."""
         if cores < 0 or memory_mb < 0:
             raise CapacityError("negative resource request")
+        if not self.alive:
+            raise CapacityError(f"{self.name} is down")
         if not self.can_fit(cores, memory_mb):
             raise CapacityError(
                 f"{self.name}: need {cores} cores/{memory_mb:.0f} MB, have "
                 f"{self.cores_free:g} cores/{self.memory_free_mb:.0f} MB free")
         self.cores_used += cores
         self.memory_used_mb += memory_mb
-        return Allocation(self, cores, memory_mb)
+        self._assert_invariants()
+        return Allocation(self, cores, memory_mb, epoch=self.epoch)
 
     def _free(self, allocation: Allocation) -> None:
+        if (allocation.cores > self.cores_used + _EPS
+                or allocation.memory_mb > self.memory_used_mb + _EPS):
+            raise CapacityError(
+                f"{self.name}: freeing {allocation.cores:g} cores/"
+                f"{allocation.memory_mb:.0f} MB but only "
+                f"{self.cores_used:g} cores/{self.memory_used_mb:.0f} MB "
+                f"are allocated")
         self.cores_used -= allocation.cores
         self.memory_used_mb -= allocation.memory_mb
+        # clamp float drift so long allocate/release sequences cannot leak
+        # phantom capacity in either direction
+        if abs(self.cores_used) <= _EPS:
+            self.cores_used = 0.0
+        if abs(self.memory_used_mb) <= _EPS:
+            self.memory_used_mb = 0.0
+        self._assert_invariants()
+
+    def _assert_invariants(self) -> None:
+        if not (-_EPS <= self.cores_used <= self.cores + _EPS):
+            raise CapacityError(
+                f"{self.name}: core accounting out of range "
+                f"({self.cores_used:g} of {self.cores:g})")
+        if not (-_EPS <= self.memory_used_mb <= self.memory_mb + _EPS):
+            raise CapacityError(
+                f"{self.name}: memory accounting out of range "
+                f"({self.memory_used_mb:.0f} of {self.memory_mb:.0f} MB)")
 
     def __repr__(self) -> str:
+        status = "" if self.alive else " DOWN"
         return (f"Machine({self.name!r}, {self.cores_used:g}/{self.cores:g} "
-                f"cores, {self.memory_used_mb:.0f}/{self.memory_mb:.0f} MB)")
+                f"cores, {self.memory_used_mb:.0f}/{self.memory_mb:.0f} MB"
+                f"{status})")
 
 
 class Cluster:
-    """A fleet of machines with first-fit placement."""
+    """A fleet of machines with first-fit placement over live nodes."""
 
     def __init__(self, nodes: int = CLUSTER_NODES, *,
                  cores_per_node: float = NODE_CORES,
@@ -83,17 +174,21 @@ class Cluster:
                          for i in range(nodes)]
 
     def place(self, cores: float, memory_mb: float) -> Allocation:
-        """First-fit placement across nodes."""
+        """First-fit placement across live nodes (dead machines skipped)."""
         for machine in self.machines:
             if machine.can_fit(cores, memory_mb):
                 return machine.allocate(cores, memory_mb)
         raise CapacityError(
-            f"no node can fit {cores} cores / {memory_mb:.0f} MB")
+            f"no live node can fit {cores} cores / {memory_mb:.0f} MB")
+
+    @property
+    def live_machines(self) -> list[Machine]:
+        return [m for m in self.machines if m.alive]
 
     @property
     def total_cores_free(self) -> float:
-        return sum(m.cores_free for m in self.machines)
+        return sum(m.cores_free for m in self.machines if m.alive)
 
     @property
     def total_memory_free_mb(self) -> float:
-        return sum(m.memory_free_mb for m in self.machines)
+        return sum(m.memory_free_mb for m in self.machines if m.alive)

@@ -63,6 +63,17 @@ class Gateway:
                 breakers.record_failure("rpc", entity)
             raise FaultError(f"gateway dropped invocation for {entity}",
                              "rpc.drop")
+        if faults is not None and faults.fires("net.partition", entity):
+            # the path is cut: same timeout burn, distinct mechanism so
+            # breakers and the control plane can tell partition storms apart
+            yield self.env.timeout(faults.plan.rpc_timeout_ms)
+            if self.trace is not None:
+                self.trace.record(entity, "fault", t0, self.env.now,
+                                  op="fault.net.partition")
+            if breakers is not None:
+                breakers.record_failure("rpc", entity)
+            raise FaultError(f"network partition cut invocation for {entity}",
+                             "net.partition")
         self._inflight += 1
         self.invocations += 1
         service = (self.cal.gateway_service_base_ms

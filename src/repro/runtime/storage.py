@@ -63,6 +63,16 @@ class StorageService:
                                       store=self.name, op=f"fault.{mechanism}")
                 raise FaultError(
                     f"{self.name} {op} failed for {entity}", mechanism)
+            if faults.fires("net.partition", entity):
+                # the path to the store is cut: burn the base latency, fail
+                yield self.env.timeout(self.base_latency_ms)
+                if self.trace is not None:
+                    self.trace.record(entity, "fault", t0, self.env.now,
+                                      store=self.name,
+                                      op="fault.net.partition")
+                raise FaultError(
+                    f"network partition cut {self.name} {op} for {entity}",
+                    "net.partition")
         self.operations += 1
         self.bytes_moved_mb += size_mb
         yield self.env.timeout(self.op_latency_ms(size_mb))

@@ -54,6 +54,11 @@ class Environment:
         #: tiers (cold / snapshot-restore / warm); ``None`` keeps cold boots
         #: on the flat calibrated cost with a single attribute load.
         self.lifecycle = None
+        #: the request's :class:`repro.core.ha.HASession` (per-stage
+        #: completion checkpoints + replay-from-last-stage), installed by
+        #: ``Platform.run`` when an HA policy governs the request; ``None``
+        #: keeps stage boundaries checkpoint-free with one attribute load.
+        self.ha = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,190 @@
+"""The chaos experiment and workflow HA layer (PR 8)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.ha import (HA_MODES, HAPolicy, ha_adjusted_p99_ms)
+from repro.core.manager import ChironManager
+from repro.errors import ReproError, SimulationError
+from repro.experiments.chaos import (ARMS, SCHEDULES, chaos_workflow,
+                                     format_chaos_table, make_params,
+                                     make_plan, sweep)
+from repro.experiments.common import get_experiment
+from repro.lifecycle.policy import BootTier, boot_cost_ms
+from repro.platforms.chiron import ChironPlatform
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    wf = chaos_workflow()
+    manager = ChironManager()
+    dep = manager.deploy(wf, 2_500.0)
+    return wf, manager, dep
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return sweep(seed=7, quick=True, schedules=("machine-kill",))
+
+
+# ---------------------------------------------------------------------------
+# HA policy pricing
+# ---------------------------------------------------------------------------
+
+def test_ha_policy_modes_and_validation():
+    assert HA_MODES == ("none", "retry", "checkpoint", "standby")
+    with pytest.raises(SimulationError, match="unknown HA mode"):
+        HAPolicy(mode="prayer")
+    with pytest.raises(SimulationError):
+        HAPolicy(checkpoint_mb=-1)
+    assert not HAPolicy(mode="retry").checkpointed
+    assert HAPolicy(mode="standby").checkpointed
+
+
+def test_ha_policy_prices_every_mode(deployment):
+    _, manager, _ = deployment
+    cal = manager.cal
+    retry, ckpt, standby = (HAPolicy(mode=m)
+                            for m in ("retry", "checkpoint", "standby"))
+    # checkpoints cost a storage op per stage; retry writes nothing
+    assert retry.checkpoint_op_ms() == 0.0
+    assert ckpt.checkpoint_op_ms() > 0.0
+    # a hot standby boots at its tier, everything else re-boots cold
+    assert standby.reboot_ms(cal) == boot_cost_ms(BootTier.WARM, cal)
+    assert ckpt.reboot_ms(cal) == boot_cost_ms(BootTier.COLD, cal)
+    assert standby.reboot_ms(cal) < ckpt.reboot_ms(cal)
+    # and the standby holds doubled resident memory
+    assert standby.standby_memory_mb(1024.0) == 1024.0
+    assert ckpt.standby_memory_mb(1024.0) == 0.0
+
+
+def test_ha_adjusted_p99_orders_the_modes(deployment):
+    wf, manager, dep = deployment
+    pred, plan = manager.predictor, dep.plan
+    tails = {m: ha_adjusted_p99_ms(pred, wf, plan, HAPolicy(mode=m),
+                                   kill_rate_per_min=1.0)
+             for m in HA_MODES}
+    # no recovery => the tail is unbounded once kills clear the 1% mass
+    assert math.isinf(tails["none"])
+    # replaying one stage beats replaying the workflow
+    assert tails["checkpoint"] < tails["retry"]
+    # failover at the warm tier beats a cold re-boot
+    assert tails["standby"] < tails["checkpoint"]
+    # with no kills, only the per-stage checkpoint overhead remains
+    calm = ha_adjusted_p99_ms(pred, wf, plan, HAPolicy(mode="checkpoint"),
+                              kill_rate_per_min=0.0)
+    base = ha_adjusted_p99_ms(pred, wf, plan, HAPolicy(mode="retry"),
+                              kill_rate_per_min=0.0)
+    n_stages = len(wf.stages)
+    expected = HAPolicy(mode="checkpoint").checkpoint_op_ms() * n_stages
+    assert calm == pytest.approx(base + expected)
+    with pytest.raises(SimulationError):
+        ha_adjusted_p99_ms(pred, wf, plan, HAPolicy(),
+                           kill_rate_per_min=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume through the real platform
+# ---------------------------------------------------------------------------
+
+def test_platform_commits_checkpoint_per_stage(deployment):
+    wf, manager, dep = deployment
+    platform = ChironPlatform(dep.plan, manager.cal)
+    plain = platform.run(wf, seed=42)
+    res = platform.run(wf, seed=42, ha=HAPolicy(mode="checkpoint"))
+    assert plain.ha is None
+    assert res.ha["checkpoints"] == len(wf.stages)
+    assert res.ha["committed_stage"] == len(wf.stages) - 1
+    assert res.ha["restores"] == 0
+    # checkpoints consume simulated time on every stage barrier
+    assert res.latency_ms > plain.latency_ms
+    assert res.ha["checkpoint_ms"] > 0.0
+
+
+def test_platform_replays_from_last_committed_stage(deployment):
+    wf, manager, dep = deployment
+    platform = ChironPlatform(dep.plan, manager.cal)
+    policy = HAPolicy(mode="checkpoint")
+    full = platform.run(wf, seed=42, ha=policy)
+    resumed = platform.run(wf, seed=42, ha=policy, ha_resume_stage=2)
+    # only the incomplete stages run: the manifest read replaces stages 0-1
+    assert len(resumed.stage_ends_ms) == len(wf.stages) - 2
+    assert resumed.ha["restores"] == 1
+    assert resumed.ha["resume_from"] == 2
+    assert resumed.ha["checkpoints"] == len(wf.stages) - 2
+    assert resumed.latency_ms < full.latency_ms
+    with pytest.raises(SimulationError, match="resume_from"):
+        platform.run(wf, seed=42, ha=policy, ha_resume_stage=-1)
+
+
+def test_ha_none_mode_is_bit_identical_to_uninstrumented(deployment):
+    wf, manager, dep = deployment
+    platform = ChironPlatform(dep.plan, manager.cal)
+    plain = platform.run(wf, seed=9)
+    nul = platform.run(wf, seed=9, ha=HAPolicy(mode="none"))
+    assert nul.latency_ms == plain.latency_ms
+    assert nul.ha is None
+
+
+# ---------------------------------------------------------------------------
+# the chaos sweep
+# ---------------------------------------------------------------------------
+
+def test_make_plan_rejects_unknown_schedule():
+    with pytest.raises(ReproError, match="unknown chaos schedule"):
+        make_plan("meteor-strike", make_params(quick=True), seed=7)
+    with pytest.raises(ReproError, match="unknown chaos schedule"):
+        sweep(quick=True, schedules=("meteor-strike",))
+
+
+def test_sweep_is_deterministic_across_runs(quick_report):
+    again = sweep(seed=7, quick=True, schedules=("machine-kill",))
+    assert again == quick_report
+    # and the payload is pure JSON (round-trips losslessly)
+    assert json.loads(json.dumps(quick_report, sort_keys=True)) == quick_report
+
+
+def test_sweep_seed_changes_the_report(quick_report):
+    other = sweep(seed=8, quick=True, schedules=("machine-kill",))
+    assert other != quick_report
+
+
+def test_quick_machine_kill_flags(quick_report):
+    rows = quick_report["schedules"][0]["rows"]
+    assert set(rows) == set(ARMS)
+    summary = quick_report["summary"]
+    assert summary["checkpoint_recovers_machine_kill"]
+    assert summary["no_recovery_fails_machine_kill"]
+    assert summary["standby_failover_no_reboot"]
+    assert summary["crash_loop_quarantined"]
+    assert summary["checkpoint_overhead_priced"]
+    assert summary["deterministic"]
+    # the no-recovery arm loses requests; the checkpointed arms do not
+    assert rows["none"]["failed"] > 0
+    assert rows["checkpoint"]["failed"] == 0
+    assert rows["checkpoint"]["availability"] > rows["none"]["availability"]
+    # standby fails over without paying any cold re-boot
+    assert rows["standby"]["failovers"] >= 1
+    assert rows["standby"]["reboots"] == 0
+
+
+def test_sweep_prices_arms_honestly(quick_report):
+    arms = quick_report["arms"]
+    assert set(arms) == set(ARMS)
+    # checkpointed service time includes the per-stage manifest puts
+    assert arms["checkpoint"]["service_ms"] > arms["none"]["service_ms"]
+    # only the hot standby holds extra resident memory
+    assert arms["standby"]["extra_memory_mb"] > 0.0
+    assert arms["checkpoint"]["extra_memory_mb"] == 0.0
+    # 'none' has no bounded fault-adjusted tail; the HA modes do
+    assert arms["none"]["predicted_fault_p99_ms"] is None
+    assert arms["checkpoint"]["predicted_fault_p99_ms"] is not None
+
+
+def test_chaos_experiment_registered(quick_report):
+    assert get_experiment("chaos") is not None
+    table = format_chaos_table(quick_report)
+    assert "machine-kill" in table and "checkpoint" in table
+    assert SCHEDULES == ("machine-kill", "zone-outage", "partition")

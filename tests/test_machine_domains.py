@@ -1,0 +1,379 @@
+"""Machine allocation invariants and the failure-domain layer (PR 8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CapacityError, SimulationError
+from repro.faults.domains import (ChaosEvent, ChaosPlan, FleetState,
+                                  Topology)
+from repro.faults.registry import (is_registered, mechanism_names,
+                                   mechanism_spec, register_mechanism)
+from repro.runtime.machine import Cluster, Machine
+
+
+# ---------------------------------------------------------------------------
+# Machine allocation accounting
+# ---------------------------------------------------------------------------
+
+def test_allocate_release_roundtrip():
+    m = Machine("m", cores=4, memory_mb=1024)
+    a = m.allocate(2, 512)
+    assert m.cores_used == 2 and m.memory_used_mb == 512
+    a.release()
+    assert m.cores_used == 0.0 and m.memory_used_mb == 0.0
+
+
+def test_double_release_is_safe_noop():
+    m = Machine("m", cores=4, memory_mb=1024)
+    a = m.allocate(2, 512)
+    b = m.allocate(1, 256)
+    a.release()
+    a.release()  # must not free b's share
+    assert m.cores_used == 1 and m.memory_used_mb == 256
+    b.release()
+    assert m.cores_used == 0.0
+
+
+def test_overfree_raises_naming_machine():
+    from repro.runtime.machine import Allocation
+
+    m = Machine("worker-7", cores=4, memory_mb=1024)
+    m.allocate(1, 128)
+    rogue = Allocation(m, 3.0, 999.0, epoch=m.epoch)
+    with pytest.raises(CapacityError, match="worker-7"):
+        rogue.release()
+
+
+def test_allocate_when_full_raises_naming_machine():
+    m = Machine("worker-3", cores=2, memory_mb=512)
+    m.allocate(2, 512)
+    with pytest.raises(CapacityError, match="worker-3"):
+        m.allocate(1, 1)
+
+
+def test_allocate_on_dead_machine_raises():
+    m = Machine("m", cores=2, memory_mb=512)
+    m.fail(at_ms=10.0)
+    with pytest.raises(CapacityError, match="down"):
+        m.allocate(1, 1)
+    assert m.failed_at == 10.0 and m.crash_count == 1
+
+
+def test_negative_request_rejected():
+    m = Machine("m")
+    with pytest.raises(CapacityError):
+        m.allocate(-1, 10)
+    with pytest.raises(CapacityError):
+        m.allocate(1, -10)
+
+
+def test_float_drift_clamped_to_zero():
+    m = Machine("m", cores=1, memory_mb=100)
+    allocs = [m.allocate(0.1, 10.0) for _ in range(10)]
+    for a in allocs:
+        a.release()
+    # 10 x 0.1 does not sum to 1.0 in floats; the clamp erases the residue
+    assert m.cores_used == 0.0 and m.memory_used_mb == 0.0
+
+
+def test_stale_epoch_release_is_noop_after_recovery():
+    m = Machine("m", cores=4, memory_mb=1024)
+    old = m.allocate(2, 512)
+    m.fail(at_ms=5.0)
+    m.recover(at_ms=6.0)
+    fresh = m.allocate(3, 700)
+    old.release()  # died with the crash; must not free fresh capacity
+    assert m.cores_used == 3 and m.memory_used_mb == 700
+    fresh.release()
+    assert m.cores_used == 0.0
+
+
+def test_fail_recover_idempotent():
+    m = Machine("m")
+    m.fail(1.0)
+    m.fail(2.0)  # already dead: no double count
+    assert m.crash_count == 1 and m.failed_at == 1.0
+    m.recover(3.0)
+    m.recover(4.0)
+    assert m.epoch == 1 and m.alive
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "release", "fail",
+                                           "recover"]),
+                          st.floats(0.0, 2.0),
+                          st.floats(0.0, 300.0)),
+                max_size=40))
+def test_machine_invariants_under_random_ops(ops):
+    """No allocate/release/fail/recover sequence breaks the accounting."""
+    m = Machine("prop", cores=4, memory_mb=1024)
+    live = []
+    for kind, cores, mem in ops:
+        if kind == "alloc":
+            try:
+                live.append(m.allocate(cores, mem))
+            except CapacityError:
+                pass
+        elif kind == "release" and live:
+            # deterministic pick keyed off the op's floats
+            live.pop(int(cores * 7 + mem) % len(live)).release()
+        elif kind == "fail":
+            m.fail()
+        elif kind == "recover":
+            m.recover()
+        assert 0.0 <= m.cores_used <= m.cores + 1e-9
+        assert 0.0 <= m.memory_used_mb <= m.memory_mb + 1e-9
+    for a in live:
+        a.release()  # stale-epoch ones are no-ops, fresh ones free
+        a.release()  # and double release never corrupts
+    if m.alive:
+        assert 0.0 <= m.cores_used <= m.cores + 1e-9
+
+
+def test_cluster_place_skips_dead_machines():
+    c = Cluster(nodes=2, cores_per_node=2, memory_per_node_mb=512)
+    c.machines[0].fail()
+    a = c.place(1, 100)
+    assert a.machine is c.machines[1]
+    assert c.live_machines == [c.machines[1]]
+    c.machines[1].allocate(1, 412)
+    with pytest.raises(CapacityError, match="no live node"):
+        c.place(1, 200)
+
+
+# ---------------------------------------------------------------------------
+# topology
+# ---------------------------------------------------------------------------
+
+def test_grid_topology_names_and_members():
+    topo = Topology.grid(zones=2, racks_per_zone=2, machines_per_rack=2)
+    assert len(topo.machines) == 8
+    assert topo.zones == ("z0", "z1")
+    assert "z0/r1" in topo.racks
+    assert topo.members("zone:z1") == ("z1/r0/m0", "z1/r0/m1",
+                                       "z1/r1/m0", "z1/r1/m1")
+    assert topo.members("rack:z0/r0") == ("z0/r0/m0", "z0/r0/m1")
+    assert topo.members("z0/r1/m0") == ("z0/r1/m0",)
+
+
+def test_topology_unknown_targets_raise_listing_known():
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=1)
+    with pytest.raises(SimulationError, match="unknown zone"):
+        topo.members("zone:z9")
+    with pytest.raises(SimulationError, match="unknown rack"):
+        topo.members("rack:z0/r9")
+    with pytest.raises(SimulationError, match="unknown machine"):
+        topo.members("nope")
+    with pytest.raises(SimulationError, match="duplicate"):
+        Topology([Machine("a"), Machine("a")])
+
+
+# ---------------------------------------------------------------------------
+# chaos plans: determinism and interval math
+# ---------------------------------------------------------------------------
+
+def _stochastic_plan(seed):
+    return ChaosPlan(seed=seed, duration_ms=120_000.0,
+                     machine_crash_rate_per_min=2.0,
+                     machine_downtime_ms=4_000.0)
+
+
+def test_same_plan_same_seed_identical_schedule():
+    events_a = _stochastic_plan(11).compile(
+        Topology.grid(zones=2, racks_per_zone=2, machines_per_rack=2)).events
+    events_b = _stochastic_plan(11).compile(
+        Topology.grid(zones=2, racks_per_zone=2, machines_per_rack=2)).events
+    assert events_a == events_b
+    assert len(events_a) > 0
+
+
+def test_different_seed_different_schedule():
+    topo = lambda: Topology.grid(zones=2, racks_per_zone=2,  # noqa: E731
+                                 machines_per_rack=2)
+    assert (_stochastic_plan(11).compile(topo()).events
+            != _stochastic_plan(12).compile(topo()).events)
+
+
+def test_plan_builders_are_pure():
+    base = ChaosPlan(seed=3, duration_ms=1_000.0)
+    killed = base.kill("z0/r0/m0", 100.0, 50.0)
+    assert base.is_null and base.scheduled == ()
+    assert not killed.is_null and len(killed.scheduled) == 1
+
+
+def test_plan_validation():
+    with pytest.raises(SimulationError):
+        ChaosPlan(seed=-1)
+    with pytest.raises(SimulationError):
+        ChaosPlan(duration_ms=0)
+    with pytest.raises(SimulationError):
+        ChaosPlan(machine_crash_rate_per_min=-0.1)
+    with pytest.raises(SimulationError):
+        ChaosEvent(10.0, "sandbox.crash", "m")  # not machine-scale
+
+
+def test_schedule_down_and_cut_intervals():
+    topo = Topology.grid(zones=2, racks_per_zone=1, machines_per_rack=1)
+    plan = (ChaosPlan(seed=0, duration_ms=10_000.0)
+            .kill("z0/r0/m0", 1_000.0, 2_000.0)
+            .partition("zone:z1", 4_000.0, 1_000.0))
+    sched = plan.compile(topo)
+    assert sched.down_intervals("z0/r0/m0") == ((1_000.0, 3_000.0),)
+    assert sched.is_down("z0/r0/m0", 1_500.0)
+    assert not sched.is_down("z0/r0/m0", 3_000.0)
+    assert sched.next_up("z0/r0/m0", 2_000.0) == 3_000.0
+    # the partition cuts exactly the cross-zone path, not same-machine
+    assert sched.cut_intervals("z0/r0/m0", "z1/r0/m0") == ((4_000.0,
+                                                            5_000.0),)
+    assert sched.cut_intervals("z1/r0/m0", "z1/r0/m0") == ()
+    hit = sched.interruptions(["z0/r0/m0"], 0.0, 10_000.0)
+    assert hit == (1_000.0, "down", "z0/r0/m0")
+
+
+def test_open_ended_crash_runs_to_recover_or_horizon():
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=2)
+    plan = (ChaosPlan(seed=0, duration_ms=10_000.0)
+            .with_event(ChaosEvent(1_000.0, "machine.crash", "z0/r0/m0"))
+            .with_event(ChaosEvent(6_000.0, "machine.recover", "z0/r0/m0"))
+            .with_event(ChaosEvent(2_000.0, "machine.crash", "z0/r0/m1")))
+    sched = plan.compile(topo)
+    assert sched.down_intervals("z0/r0/m0") == ((1_000.0, 6_000.0),)
+    assert sched.down_intervals("z0/r0/m1") == ((2_000.0, 10_000.0),)
+
+
+# ---------------------------------------------------------------------------
+# fleet state
+# ---------------------------------------------------------------------------
+
+def test_fleet_state_applies_events_and_counts():
+    topo = Topology.grid(zones=2, racks_per_zone=1, machines_per_rack=1)
+    plan = (ChaosPlan(seed=0, duration_ms=20_000.0)
+            .kill("z0/r0/m0", 1_000.0, 2_000.0)
+            .partition("zone:z1", 5_000.0, 3_000.0))
+    fleet = FleetState(plan.compile(topo))
+    seen = []
+    fleet.subscribe(lambda ev: seen.append(ev.mechanism))
+
+    fleet.advance(1_500.0)
+    assert not fleet.up("z0/r0/m0") and fleet.machines_down == 1
+    # windowed crash splices its own recovery into the pending tail
+    fleet.advance(6_000.0)
+    assert fleet.up("z0/r0/m0") and fleet.machines_down == 0
+    assert not fleet.reachable("z0/r0/m0", "z1/r0/m0")
+    assert fleet.reachable("z1/r0/m0", "z1/r0/m0")
+    fleet.advance(9_000.0)
+    assert fleet.reachable("z0/r0/m0", "z1/r0/m0")
+    assert (fleet.crashes, fleet.recoveries, fleet.partitions) == (1, 1, 1)
+    assert seen == ["machine.crash", "machine.recover", "net.partition"]
+    with pytest.raises(SimulationError, match="backwards"):
+        fleet.advance(1_000.0)
+
+
+def test_fleet_metrics_counters():
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=1)
+    plan = ChaosPlan(seed=0, duration_ms=5_000.0).kill(
+        "z0/r0/m0", 100.0, 200.0)
+    fleet = FleetState(plan.compile(topo))
+    fleet.advance(5_000.0)
+    counters = fleet.metrics.counters()
+    assert counters["chaos.machine.crashes"] == 1
+    assert counters["chaos.machine.recoveries"] == 1
+
+
+def test_one_schedule_drives_independent_replays():
+    """FleetState must not mutate the compiled schedule's event list."""
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=1)
+    sched = ChaosPlan(seed=0, duration_ms=5_000.0).kill(
+        "z0/r0/m0", 100.0, 200.0).compile(topo)
+    before = sched.events
+    FleetState(sched).advance(5_000.0)
+    assert sched.events == before
+    topo.machine("z0/r0/m0").recover()
+    fleet2 = FleetState(sched)
+    fleet2.advance(5_000.0)
+    assert fleet2.crashes == 1 and fleet2.recoveries == 1
+
+
+# ---------------------------------------------------------------------------
+# machine health: quarantine and drain
+# ---------------------------------------------------------------------------
+
+def test_health_monitor_quarantines_crash_looper():
+    from repro.core.controlplane import MachineHealthMonitor
+
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=2)
+    mon = MachineHealthMonitor(topo)
+    assert mon.observe(ChaosEvent(1_000.0, "machine.crash",
+                                  "z0/r0/m0", 100.0)) == []
+    actions = mon.observe(ChaosEvent(30_000.0, "machine.crash",
+                                     "z0/r0/m0", 100.0))
+    assert ("quarantine", "z0/r0/m0") in actions
+    assert not mon.schedulable("z0/r0/m0")
+    topo.machine("z0/r0/m0").recover()
+    assert not mon.schedulable("z0/r0/m0")  # quarantine outlives recovery
+    mon.release("z0/r0/m0")
+    assert mon.schedulable("z0/r0/m0")
+
+
+def test_health_monitor_drains_rack_of_quarantined_machines():
+    from repro.core.controlplane import MachineHealthMonitor
+
+    topo = Topology.grid(zones=1, racks_per_zone=2, machines_per_rack=2)
+    mon = MachineHealthMonitor(topo)
+    # two crashes each for both machines of rack z0/r0
+    for name in ("z0/r0/m0", "z0/r0/m1"):
+        mon.observe(ChaosEvent(1_000.0, "machine.crash", name, 10.0))
+        actions = mon.observe(ChaosEvent(2_000.0, "machine.crash", name,
+                                         10.0))
+    assert ("drain", "z0/r0") in actions
+    assert mon.drained_racks == {"z0/r0"}
+    for m in topo.machines:
+        m.recover()
+    # the drained rack is untrusted even for machines never quarantined
+    assert not mon.schedulable("z0/r0/m0")
+    assert mon.schedulable("z0/r1/m0")
+    assert {m.name for m in mon.candidates()} == {"z0/r1/m0", "z0/r1/m1"}
+    mon.release("z0/r0/m0")
+    assert "z0/r0" not in mon.drained_racks
+
+
+def test_health_monitor_crash_window_expires():
+    from repro.core.controlplane import (MachineHealthConfig,
+                                         MachineHealthMonitor)
+
+    topo = Topology.grid(zones=1, racks_per_zone=1, machines_per_rack=1)
+    mon = MachineHealthMonitor(topo, MachineHealthConfig(
+        crash_threshold=2, crash_window_ms=10_000.0))
+    mon.observe(ChaosEvent(0.0, "machine.crash", "z0/r0/m0", 10.0))
+    # second crash far outside the window: not a crash loop
+    assert mon.observe(ChaosEvent(50_000.0, "machine.crash", "z0/r0/m0",
+                                  10.0)) == []
+    assert mon.quarantined == set()
+
+
+# ---------------------------------------------------------------------------
+# mechanism registry
+# ---------------------------------------------------------------------------
+
+def test_machine_mechanisms_registered():
+    for name in ("machine.crash", "machine.recover", "domain.outage",
+                 "net.partition"):
+        assert is_registered(name)
+        assert mechanism_spec(name).name == name
+    assert mechanism_spec("net.partition").rate_attr == "net_partition_rate"
+
+
+def test_unknown_mechanism_raises_listing_names():
+    with pytest.raises(SimulationError, match="machine.crash"):
+        mechanism_spec("volcano.eruption")
+
+
+def test_registry_idempotent_but_conflict_raises():
+    spec = mechanism_spec("machine.crash")
+    again = register_mechanism("machine.crash", doc=spec.doc)
+    assert again is spec
+    with pytest.raises(SimulationError, match="different spec"):
+        register_mechanism("machine.crash", doc="something else entirely")
+    with pytest.raises(SimulationError, match="lowercase"):
+        register_mechanism("Machine.Crash")
+    assert "machine.crash" in mechanism_names()

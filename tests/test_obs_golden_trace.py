@@ -34,9 +34,11 @@ def canonical(tracer):
     """
     from repro.core.controlplane import (CONTROLPLANE_COUNTERS,
                                          CONTROLPLANE_EVENT_TYPES)
+    from repro.core.ha import HA_COUNTERS, HA_EVENT_TYPES
     from repro.core.predictor import PGP_COUNTERS
     from repro.core.search import SEARCH_COUNTERS, SEARCH_EVENT_TYPES
-    from repro.faults import FAULT_EVENT_TYPES
+    from repro.faults import (CHAOS_COUNTERS, CHAOS_EVENT_TYPES,
+                              FAULT_EVENT_TYPES)
     from repro.lifecycle import LIFECYCLE_COUNTERS, LIFECYCLE_EVENT_TYPES
     from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
 
@@ -56,7 +58,9 @@ def canonical(tracer):
             "pgp_schema": sorted(PGP_COUNTERS),
             "search_schema": sorted(SEARCH_EVENT_TYPES + SEARCH_COUNTERS),
             "controlplane_schema": sorted(CONTROLPLANE_EVENT_TYPES
-                                          + CONTROLPLANE_COUNTERS)}
+                                          + CONTROLPLANE_COUNTERS),
+            "chaos_schema": sorted(CHAOS_EVENT_TYPES + CHAOS_COUNTERS),
+            "ha_schema": sorted(HA_EVENT_TYPES + HA_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -98,7 +102,9 @@ class TestGoldenFailureMessages:
                                                "lifecycle_schema": [],
                                                "pgp_schema": [],
                                                "search_schema": [],
-                                               "controlplane_schema": []})
+                                               "controlplane_schema": [],
+                                               "chaos_schema": [],
+                                               "ha_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):
