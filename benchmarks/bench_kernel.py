@@ -1,0 +1,64 @@
+"""Benchmark the simulation kernel: old heap vs calendar queue vs numpy.
+
+Times a burst-heavy pure-kernel microbench on both schedulers and runs the
+fleet-scale scenario (Poisson stream against parallel servers) three ways —
+DES on the pre-change heap kernel, DES on the calendar queue, and the
+vectorized numpy pipeline — asserting every quality field (completion
+count, simulated duration, sojourn statistics) is bit-identical across all
+three.  Wall-clock numbers are recorded for trend reading; the assertions
+here gate on correctness and on the *recorded* report only, never on a CI
+box's fresh timings.
+
+Runnable both under pytest (``pytest benchmarks/bench_kernel.py``) and as a
+script (``python benchmarks/bench_kernel.py``), which prints the table and
+writes ``BENCH_kernel.json``.
+"""
+
+from repro.bench import write_report
+from repro.kernelbench import (
+    SPEEDUP_BAR,
+    format_kernel_table,
+    run_kernel_bench,
+)
+
+
+def test_kernel_bench_quick(benchmark):
+    """CI smoke: quick sizes, identity verified, event counts pinned."""
+    report = benchmark.pedantic(
+        lambda: run_kernel_bench(quick=True, check=True),
+        rounds=1, iterations=1)
+    micro = report["microbench"]
+    assert micro["heap"]["events"] == micro["calendar"]["events"] > 0
+    fleet = report["fleet"]
+    assert fleet["identical"] == {"des_calendar": True, "vectorized": True}
+    rows = fleet["rows"]
+    # both DES kernels dispatch the same event stream; numpy dispatches none
+    assert (rows["des_heap"]["events_processed"]
+            == rows["des_calendar"]["events_processed"] > 0)
+    assert rows["vectorized"]["events_processed"] == 0
+    assert rows["des_heap"]["completed"] == fleet["scenario"]["requests"]
+    print("\n" + format_kernel_table(report))
+
+
+def test_kernel_bench_quality_fields_bit_identical():
+    """The three pipelines agree on every quality field, field by field."""
+    report = run_kernel_bench(quick=True, check=True)
+    rows = report["fleet"]["rows"]
+    base = rows["des_heap"]
+    for name in ("des_calendar", "vectorized"):
+        for field, value in base.items():
+            if field in ("wall_s", "requests_per_wall_s",
+                         "events_processed"):
+                continue
+            assert rows[name][field] == value, (
+                f"{name}.{field}: {rows[name][field]!r} != {value!r}")
+
+
+if __name__ == "__main__":
+    report = run_kernel_bench(check=True)
+    print(format_kernel_table(report))
+    speedup = report["fleet"]["speedup"]["vectorized_vs_heap"]
+    assert report["fleet"]["meets_10x"], (
+        f"vectorized speedup {speedup:.1f}x below the {SPEEDUP_BAR:.0f}x bar")
+    write_report(report, "BENCH_kernel.json")
+    print("report written to BENCH_kernel.json")

@@ -2,7 +2,7 @@
 """CI gate over the committed ``BENCH_*.json`` benchmark trajectory.
 
 The repo commits one benchmark report per subsystem (prediction-cache,
-plan search, cold starts, drift recovery, chaos/HA).  This script
+simulation kernel, plan search, cold starts, drift recovery, chaos/HA).  This script
 re-validates the *quality* invariants of every committed report — plan
 quality, divergence attribution, determinism, closed-loop recovery,
 fault recovery under machine-scale chaos — and, when given a freshly
@@ -47,6 +47,35 @@ def check_pgp(path: str) -> None:
     check(s["min_full_eval_ratio"] >= 3.0,
           f"{path}: full-eval reduction only "
           f"{s['min_full_eval_ratio']:.1f}x (< 3.0x)")
+
+
+def check_kernel(path: str) -> None:
+    """Gate the committed kernel report on correctness + recorded speedup.
+
+    The speedup gated here is the one *recorded in the committed report*
+    (produced by a full-size ``bench --kernel`` run at commit time) — a
+    fresh CI run's wall clock is never consulted.
+    """
+    report = load_report(path)
+    micro = report["microbench"]
+    check(micro["heap"]["events"] == micro["calendar"]["events"] > 0,
+          f"{path}: microbench event counts diverged "
+          f"({micro['heap']['events']} vs {micro['calendar']['events']})")
+    fleet = report["fleet"]
+    for name, same in sorted(fleet["identical"].items()):
+        check(bool(same),
+              f"{path}: fleet pipeline {name} diverged from heap DES")
+    rows = fleet["rows"]
+    check(rows["des_heap"]["events_processed"]
+          == rows["des_calendar"]["events_processed"] > 0,
+          f"{path}: DES kernels dispatched different event counts")
+    check(rows["vectorized"]["events_processed"] == 0,
+          f"{path}: the vectorized pipeline should dispatch no events")
+    check(rows["des_heap"]["completed"] == fleet["scenario"]["requests"],
+          f"{path}: fleet run did not complete every request")
+    check(fleet["meets_10x"],
+          f"{path}: recorded vectorized speedup "
+          f"{fleet['speedup']['vectorized_vs_heap']:.1f}x below 10x")
 
 
 def check_search(path: str) -> None:
@@ -184,6 +213,7 @@ def main(argv=None) -> int:
     committed_drift_flags = {}
     try:
         check_pgp(path("BENCH_pgp.json"))
+        check_kernel(path("BENCH_kernel.json"))
         check_search(path("BENCH_search.json"))
         check_coldstart(path("BENCH_coldstart.json"))
         committed_drift_flags = check_drift(path("BENCH_drift.json"))
@@ -204,8 +234,9 @@ def main(argv=None) -> int:
         for failure in FAILURES:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("benchmark trajectory OK: plan quality, divergence attribution, "
-          "closed-loop recovery and chaos HA quality all hold")
+    print("benchmark trajectory OK: plan quality, kernel identity, "
+          "divergence attribution, closed-loop recovery and chaos HA "
+          "quality all hold")
     return 0
 
 

@@ -381,6 +381,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    if args.kernel:
+        from repro.kernelbench import format_kernel_table, run_kernel_bench
+
+        report = run_kernel_bench(quick=args.quick, check=args.check,
+                                  seed=args.seed)
+        out = args.out
+        if out == "BENCH_pgp.json":  # the cache-bench default; redirect
+            out = "BENCH_kernel.json"
+        print(format_kernel_table(report))
+        if out:
+            write_report(report, out)
+            print(f"report written to {out}")
+        return 0
     workloads = args.workloads
     if workloads is None and args.quick:
         workloads = list(QUICK_WORKLOADS)
@@ -604,6 +617,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON report path (default BENCH_pgp.json, "
                               "or BENCH_search.json with --search; "
                               "'' to skip)")
+    p_bench.add_argument("--kernel", action="store_true",
+                         help="benchmark the simulation kernel instead: "
+                              "events/sec on heap vs calendar schedulers "
+                              "plus fleet-scale request throughput, with "
+                              "bit-identity checks (writes "
+                              "BENCH_kernel.json)")
     p_bench.add_argument("--search", action="store_true",
                          help="benchmark the anytime plan search instead: "
                               "KL vs. SA vs. portfolio plan cost across "

@@ -23,6 +23,14 @@ from repro.cluster.autoscale import (
     run_autoscaled,
 )
 from repro.cluster.deployment import ClusterDeployment, place_on_node
+from repro.cluster.fleetsim import (
+    FleetResult,
+    FleetScenario,
+    default_scenario,
+    simulate_des,
+    simulate_vectorized,
+    verify_identity,
+)
 from repro.cluster.loadgen import LoadResult, run_closed_loop, run_open_loop
 from repro.cluster.saturation import find_saturation_rps
 from repro.cluster.traces import (
@@ -37,9 +45,15 @@ __all__ = [
     "AutoscaleResult",
     "AutoscalerConfig",
     "ClusterDeployment",
+    "FleetResult",
+    "FleetScenario",
     "LifecycleConfig",
     "LoadResult",
     "burst_arrivals",
+    "default_scenario",
+    "simulate_des",
+    "simulate_vectorized",
+    "verify_identity",
     "constant_arrivals",
     "diurnal_arrivals",
     "find_saturation_rps",

@@ -1,0 +1,203 @@
+"""Fleet-scale FIFO queueing simulation: DES driver + vectorized twin.
+
+The kernel benchmark's workload: a Poisson request stream against ``c``
+parallel servers with service times drawn from a calibrated pool.  Two
+independent implementations compute it:
+
+* :func:`simulate_des` drives the discrete-event kernel — one process per
+  request, a FIFO :class:`~repro.simcore.Resource`, real timeout events.
+  Runs on either scheduler (``queue="heap"`` / ``queue="calendar"``), so it
+  is the old-vs-new kernel comparison vehicle.
+* :func:`simulate_vectorized` replays the same system as three numpy
+  passes — cumulative-sum arrivals, a c-server heap recursion for start
+  times, and vectorized sojourn reductions.
+
+Both consume the *same* RNG draws (:func:`scenario_draws`) and perform the
+same float operations in the same order, so their results are bit-identical
+— not approximately equal — for every scenario (``verify_identity`` checks,
+and tests pin it).  The float-op argument:
+
+* arrival times: the DES accumulates ``env.now + gap`` sequentially;
+  ``np.cumsum`` performs the identical running sum.
+* start times: a FIFO grant happens either at arrival (server free) or at
+  the earliest completion among busy servers — exactly
+  ``max(arrival, heappop(free))`` with the same operand bits.
+* completions: the DES schedules ``grant + service`` through one timeout;
+  the recursion computes the same sum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.errors import CapacityError, ReproError
+from repro.metrics.stats import LatencySummary, summarize_latencies
+from repro.simcore import Environment, Resource
+
+#: default service-time pool (ms): FINRA-like request latencies spanning a
+#: short-cache hit to a heavy fan-out request (values are representative,
+#: the benchmark only needs a fixed non-degenerate distribution)
+DEFAULT_SERVICE_POOL_MS = (42.0, 55.0, 61.5, 78.25, 90.0, 104.5,
+                           131.0, 156.5, 188.25, 240.0)
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One fleet-scale load-test configuration."""
+
+    servers: int
+    rps: float
+    requests: int
+    seed: int = 0
+    service_pool_ms: tuple[float, ...] = DEFAULT_SERVICE_POOL_MS
+
+    def __post_init__(self) -> None:
+        if self.servers < 1 or self.rps <= 0 or self.requests < 1:
+            raise CapacityError(
+                "servers, rps and requests must be positive")
+        if not self.service_pool_ms:
+            raise CapacityError("service pool must be non-empty")
+
+
+def default_scenario(*, requests: int = 20_000, servers: int = 12,
+                     rps: float = 95.0, seed: int = 0) -> FleetScenario:
+    """The benchmark's fleet-scale scenario: ~80% utilized, deep bursts."""
+    return FleetScenario(servers=servers, rps=rps, requests=requests,
+                         seed=seed)
+
+
+def scenario_draws(scenario: FleetScenario
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """The scenario's (interarrival gaps, service times), both in ms.
+
+    One batched draw per stream; batched ``Generator`` draws consume the
+    bit-stream exactly like scalar draws, so the DES and the vectorized
+    simulator can share these arrays without changing either's results.
+    """
+    gaps = np.random.default_rng(scenario.seed + 1).exponential(
+        1000.0 / scenario.rps, size=scenario.requests)
+    services = np.random.default_rng(scenario.seed).choice(
+        np.asarray(scenario.service_pool_ms, dtype=float),
+        size=scenario.requests)
+    return gaps, services
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet simulation (both implementations emit this)."""
+
+    completed: int
+    duration_ms: float
+    sojourn: LatencySummary
+    service: LatencySummary
+    #: events the kernel dispatched; 0 for the vectorized simulator, which
+    #: has no events at all
+    events_processed: int = 0
+
+    def quality_fields(self) -> dict:
+        """The comparison surface: everything except event accounting."""
+        return {
+            "completed": self.completed,
+            "duration_ms": self.duration_ms,
+            "sojourn_mean_ms": self.sojourn.mean_ms,
+            "sojourn_p50_ms": self.sojourn.p50_ms,
+            "sojourn_p90_ms": self.sojourn.p90_ms,
+            "sojourn_p99_ms": self.sojourn.p99_ms,
+            "sojourn_max_ms": self.sojourn.max_ms,
+            "service_mean_ms": self.service.mean_ms,
+        }
+
+
+def verify_identity(a: FleetResult, b: FleetResult, *,
+                    what: str = "fleet results") -> None:
+    """Raise :class:`ReproError` unless quality fields are bit-identical."""
+    fa, fb = a.quality_fields(), b.quality_fields()
+    diffs = [f"{k}: {fa[k]!r} != {fb[k]!r}"
+             for k in fa if fa[k] != fb[k]]
+    if diffs:
+        raise ReproError(
+            f"{what} diverged on {len(diffs)} field(s): " + "; ".join(diffs))
+
+
+def simulate_des(scenario: FleetScenario, *,
+                 queue: Optional[str] = None) -> FleetResult:
+    """Drive the scenario through the discrete-event kernel.
+
+    ``queue`` selects the scheduler ("calendar" default, "heap" legacy) —
+    the benchmark's old-vs-new axis.
+    """
+    gaps, services = scenario_draws(scenario)
+    env = Environment(queue=queue)
+    servers = Resource(env, capacity=scenario.servers)
+    # indexed by request, not appended in completion order: reductions like
+    # np.mean are evaluation-order sensitive in the last bit, so both
+    # simulators must reduce the same permutation
+    sojourns = np.empty(scenario.requests, dtype=float)
+    done = 0
+
+    def request(env: Environment, index: int
+                ) -> Generator[object, None, None]:
+        nonlocal done
+        arrived = env.now
+        with servers.request() as slot:
+            yield slot
+            yield env.timeout(float(services[index]))
+        sojourns[index] = env.now - arrived
+        done += 1
+
+    def arrivals(env: Environment) -> Generator[object, None, None]:
+        process = env.process
+        timeout = env.timeout
+        for i in range(scenario.requests):
+            yield timeout(float(gaps[i]))
+            process(request(env, i))
+
+    env.process(arrivals(env))
+    env.run()
+    if done != scenario.requests:
+        raise ReproError(f"DES completed {done}/{scenario.requests} requests")
+    return FleetResult(
+        completed=done,
+        duration_ms=env.now,
+        sojourn=summarize_latencies(sojourns),
+        service=summarize_latencies(services),
+        events_processed=env.events_processed)
+
+
+def simulate_vectorized(scenario: FleetScenario) -> FleetResult:
+    """Replay the scenario as numpy passes — no events, same answer.
+
+    FIFO + work-conserving servers admit a direct recursion: request ``i``
+    starts at ``max(arrival[i], earliest free server)``.  Arrival and
+    completion arithmetic reuses the exact float operations of the DES (see
+    module doc), making the output bit-identical, which
+    :func:`verify_identity` (and the test suite) asserts.
+    """
+    gaps, services = scenario_draws(scenario)
+    arrivals = np.cumsum(gaps)
+    n = scenario.requests
+    completions = np.empty(n, dtype=float)
+    # Busy-server completion heap.  Seeding with -inf (idle forever-free
+    # servers) keeps the recursion branch-free: max(arrival, -inf) ==
+    # arrival bit-exactly.
+    free = [float("-inf")] * scenario.servers
+    heappush, heappop = heapq.heappush, heapq.heappop
+    for i in range(n):
+        earliest = heappop(free)
+        arrival = arrivals[i]
+        start = arrival if arrival >= earliest else earliest
+        done = start + services[i]
+        completions[i] = done
+        heappush(free, done)
+    sojourns = completions - arrivals
+    return FleetResult(
+        completed=n,
+        # the DES clock ends at the last dispatched event's timestamp
+        duration_ms=float(completions.max()),
+        sojourn=summarize_latencies(sojourns),
+        service=summarize_latencies(services),
+        events_processed=0)

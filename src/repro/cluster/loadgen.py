@@ -77,6 +77,13 @@ class LoadResult:
         return self.sojourn.mean_ms / max(self.service.mean_ms, 1e-9)
 
 
+#: block size for vectorized service sampling: :meth:`_ServiceSampler.sample`
+#: serves from a buffer refilled ``_SAMPLE_BLOCK`` draws at a time.  A batched
+#: ``Generator.choice(pool, size=n)`` consumes the bit-stream exactly like
+#: ``n`` scalar draws (pinned by tests), so buffering changes no result.
+_SAMPLE_BLOCK = 256
+
+
 class _ServiceSampler:
     """Pre-samples per-request service latencies from the request simulator."""
 
@@ -114,9 +121,18 @@ class _ServiceSampler:
                     pass
                 draw += 1
         self._rng = np.random.default_rng(seed)
+        self._pool = np.asarray(self._samples, dtype=float)
+        self._buf: Optional[np.ndarray] = None
+        self._cursor = 0
 
     def sample(self) -> float:
-        return float(self._rng.choice(self._samples))
+        buf = self._buf
+        if buf is None or self._cursor >= buf.shape[0]:
+            buf = self._buf = self._rng.choice(self._pool, size=_SAMPLE_BLOCK)
+            self._cursor = 0
+        value = buf[self._cursor]
+        self._cursor += 1
+        return float(value)
 
     @property
     def samples(self) -> list[float]:
@@ -164,7 +180,7 @@ def _summarize(offered_rps: float, env: Environment, sojourns: list[float],
                controller: Optional[AdmissionController],
                counters: _Counters,
                deadline_ms: Optional[float]) -> LoadResult:
-    met = (sum(1 for s in sojourns if s <= deadline_ms)
+    met = (int(np.count_nonzero(np.asarray(sojourns) <= deadline_ms))
            if deadline_ms is not None else None)
     return LoadResult(
         offered_rps=offered_rps, completed=len(sojourns),
@@ -217,9 +233,15 @@ def run_open_loop(platform: Platform, workflow: Workflow, *,
 
     def arrivals(env):
         rng = np.random.default_rng(seed + 1)
-        for _ in range(requests):
-            yield env.timeout(float(rng.exponential(1000.0 / rps)))
-            env.process(body(env))
+        # one vectorized draw for the whole test; ``exponential(scale,
+        # size=n)`` consumes the bit-stream exactly like n scalar draws,
+        # so arrival times are unchanged from the per-request version
+        gaps = rng.exponential(1000.0 / rps, size=requests)
+        timeout = env.timeout
+        process = env.process
+        for gap in gaps:
+            yield timeout(float(gap))
+            process(body(env))
 
     env.process(arrivals(env))
     env.run()

@@ -1,0 +1,189 @@
+"""Kernel benchmark: raw event throughput + fleet-scale request throughput.
+
+Two sections, both written to ``BENCH_kernel.json``:
+
+* **microbench** — a pure-kernel workload (hundreds of processes sleeping
+  on colliding timeout ladders, heavy same-timestamp bursts) timed on the
+  legacy binary-heap scheduler and the calendar queue.  Headline:
+  events/second.
+* **fleet** — the :mod:`repro.cluster.fleetsim` scenario (Poisson stream
+  against parallel servers) computed three ways: DES on the heap scheduler
+  (the pre-change kernel), DES on the calendar queue, and the vectorized
+  numpy pipeline.  Headline: simulated requests per wall-second, plus the
+  bit-identity of every quality field across all three.
+
+CI gates on *correctness only* (the ``check`` flag re-verifies quality-field
+bit-identity); wall-clock numbers are recorded for trend reading but a
+fresh run's timings are never asserted against — machine noise is not a
+regression.  The committed report's *recorded* speedup is separately gated
+by ``benchmarks/check_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Generator, Optional
+
+from repro.cluster.fleetsim import (
+    FleetResult,
+    FleetScenario,
+    default_scenario,
+    simulate_des,
+    simulate_vectorized,
+    verify_identity,
+)
+from repro.simcore import Environment
+
+#: fleet scenario sizes (requests) for the full and --quick runs
+DEFAULT_REQUESTS = 20_000
+QUICK_REQUESTS = 4_000
+
+#: microbench shape: processes x timeout rounds.  Delays are drawn from a
+#: small set of classes so many processes collide on shared timestamps —
+#: the burst-heavy profile platform stage barriers produce.
+MICRO_PROCESSES = 300
+MICRO_ROUNDS = 60
+QUICK_MICRO_PROCESSES = 100
+QUICK_MICRO_ROUNDS = 30
+
+#: the acceptance bar for the committed report: vectorized fleet throughput
+#: must be >= this multiple of the pre-change (heap DES) kernel's
+SPEEDUP_BAR = 10.0
+
+
+def _micro_worker(env: Environment, k: int, rounds: int
+                  ) -> Generator[object, None, None]:
+    delay = 0.5 + (k % 7) * 0.25
+    for _ in range(rounds):
+        yield env.timeout(delay)
+
+
+def _run_micro(queue: str, *, processes: int, rounds: int) -> dict:
+    env = Environment(queue=queue)
+    for k in range(processes):
+        env.process(_micro_worker(env, k, rounds))
+    t0 = time.perf_counter()
+    env.run()
+    wall_s = time.perf_counter() - t0
+    return {
+        "events": env.events_processed,
+        "wall_s": wall_s,
+        "events_per_sec": env.events_processed / wall_s,
+    }
+
+
+def _fleet_row(result: FleetResult, wall_s: float) -> dict:
+    row = {
+        "wall_s": wall_s,
+        "requests_per_wall_s": result.completed / wall_s,
+        "events_processed": result.events_processed,
+    }
+    row.update(result.quality_fields())
+    return row
+
+
+def run_kernel_bench(*, requests: Optional[int] = None, quick: bool = False,
+                     check: bool = False, seed: int = 0) -> dict:
+    """Run both sections; returns the JSON-ready report.
+
+    ``check`` re-raises on any quality-field divergence between the three
+    fleet implementations (they are verified and recorded regardless).
+    """
+    if requests is None:
+        requests = QUICK_REQUESTS if quick else DEFAULT_REQUESTS
+    processes = QUICK_MICRO_PROCESSES if quick else MICRO_PROCESSES
+    rounds = QUICK_MICRO_ROUNDS if quick else MICRO_ROUNDS
+
+    micro = {
+        "heap": _run_micro("heap", processes=processes, rounds=rounds),
+        "calendar": _run_micro("calendar", processes=processes,
+                               rounds=rounds),
+    }
+    if micro["heap"]["events"] != micro["calendar"]["events"]:
+        raise AssertionError(
+            f"microbench event counts diverged: "
+            f"{micro['heap']['events']} != {micro['calendar']['events']}")
+    micro["calendar_speedup"] = (micro["calendar"]["events_per_sec"]
+                                 / micro["heap"]["events_per_sec"])
+
+    scenario = default_scenario(requests=requests, seed=seed)
+    t0 = time.perf_counter()
+    heap = simulate_des(scenario, queue="heap")
+    t1 = time.perf_counter()
+    calendar = simulate_des(scenario, queue="calendar")
+    t2 = time.perf_counter()
+    vectorized = simulate_vectorized(scenario)
+    t3 = time.perf_counter()
+
+    identical = {}
+    for name, result in (("des_calendar", calendar),
+                         ("vectorized", vectorized)):
+        try:
+            verify_identity(heap, result, what=f"des_heap vs {name}")
+            identical[name] = True
+        except Exception:
+            identical[name] = False
+            if check:
+                raise
+    rows = {
+        "des_heap": _fleet_row(heap, t1 - t0),
+        "des_calendar": _fleet_row(calendar, t2 - t1),
+        "vectorized": _fleet_row(vectorized, t3 - t2),
+    }
+    base = rows["des_heap"]["requests_per_wall_s"]
+    speedup = {
+        "des_calendar_vs_heap": rows["des_calendar"]["requests_per_wall_s"]
+        / base,
+        "vectorized_vs_heap": rows["vectorized"]["requests_per_wall_s"]
+        / base,
+    }
+    return {
+        "bench": "kernel",
+        "microbench": micro,
+        "fleet": {
+            "scenario": {
+                "servers": scenario.servers,
+                "rps": scenario.rps,
+                "requests": scenario.requests,
+                "seed": scenario.seed,
+            },
+            "rows": rows,
+            "identical": identical,
+            "speedup": speedup,
+            "meets_10x": speedup["vectorized_vs_heap"] >= SPEEDUP_BAR,
+        },
+    }
+
+
+def format_kernel_table(report: dict) -> str:
+    micro = report["microbench"]
+    fleet = report["fleet"]
+    lines = [
+        "kernel microbench (same-timestamp burst ladder)",
+        f"  {'scheduler':<10} {'events':>9} {'wall s':>8} {'events/s':>12}",
+    ]
+    for name in ("heap", "calendar"):
+        row = micro[name]
+        lines.append(f"  {name:<10} {row['events']:>9} "
+                     f"{row['wall_s']:>8.3f} {row['events_per_sec']:>12.0f}")
+    lines.append(f"  calendar speedup: {micro['calendar_speedup']:.2f}x")
+    sc = fleet["scenario"]
+    lines.append("")
+    lines.append(f"fleet scenario: {sc['requests']} requests @ "
+                 f"{sc['rps']} rps on {sc['servers']} servers "
+                 f"(seed {sc['seed']})")
+    lines.append(f"  {'pipeline':<14} {'wall s':>8} {'req/wall-s':>12} "
+                 f"{'events':>9} {'identical':>9}")
+    for name in ("des_heap", "des_calendar", "vectorized"):
+        row = fleet["rows"][name]
+        ident = ("baseline" if name == "des_heap"
+                 else "yes" if fleet["identical"][name] else "NO")
+        lines.append(f"  {name:<14} {row['wall_s']:>8.3f} "
+                     f"{row['requests_per_wall_s']:>12.0f} "
+                     f"{row['events_processed']:>9} {ident:>9}")
+    lines.append(f"  speedup vs pre-change kernel: "
+                 f"calendar {fleet['speedup']['des_calendar_vs_heap']:.2f}x, "
+                 f"vectorized {fleet['speedup']['vectorized_vs_heap']:.1f}x "
+                 f"(bar {SPEEDUP_BAR:.0f}x: "
+                 f"{'met' if fleet['meets_10x'] else 'NOT met'})")
+    return "\n".join(lines)

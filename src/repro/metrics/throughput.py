@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.calibration import NODE_CORES, NODE_MEMORY_MB
 from repro.errors import CapacityError
 from repro.platforms.base import Platform
@@ -81,7 +83,21 @@ def simulate_closed_loop(platform: Platform, workflow: Workflow, *,
     """
     if requests < 1:
         raise CapacityError("requests must be >= 1")
-    total_ms = 0.0
-    for r in range(requests):
-        total_ms += platform.run(workflow, seed=7000 + r).latency_ms
-    return requests * 1000.0 / total_ms
+    return requests * 1000.0 / float(
+        latency_samples(platform, workflow, requests=requests).sum())
+
+
+def latency_samples(platform: Platform, workflow: Workflow, *,
+                    requests: int, base_seed: int = 7000) -> np.ndarray:
+    """Latency vector of ``requests`` seeded runs.
+
+    Metrics pipelines consume this as one contiguous array — percentiles,
+    sums and deadline counts reduce vectorized instead of walking Python
+    lists.
+    """
+    if requests < 1:
+        raise CapacityError("requests must be >= 1")
+    return np.fromiter(
+        (platform.run(workflow, seed=base_seed + r).latency_ms
+         for r in range(requests)),
+        dtype=float, count=requests)

@@ -32,7 +32,8 @@ class ASFPlatform(Platform):
                         sandbox: Sandbox, fn: FunctionSpec, index: int,
                         trace: TraceRecorder, result: RequestResult,
                         cold: bool = False):
-        check_deadline(env, entity=fn.name)
+        if env.slots_armed:
+            check_deadline(env, entity=fn.name)
         start = env.now
         yield from dispatcher.dispatch(index, entity=fn.name)
         if cold and not sandbox.booted:
@@ -83,7 +84,9 @@ class ASFPlatform(Platform):
                                       cal=self.cal, trace=trace)
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
-            check_deadline(env, entity="request", completed_stages=stage_idx)
+            if env.slots_armed:
+                check_deadline(env, entity="request",
+                               completed_stages=stage_idx)
             events = [env.process(self._run_branch(
                 env, dispatcher, sandboxes, fn, i, trace, result,
                 cold)) for i, fn in enumerate(stage)]

@@ -181,6 +181,7 @@ class Platform(abc.ABC):
             ha_session = HASession(env, ha, trace=trace,
                                    resume_from=ha_resume_stage)
             env.ha = ha_session
+        env.arm_slots()
         result = RequestResult(platform=self.name, workflow=wf.name,
                                latency_ms=float("nan"), trace=trace)
         done = env.process(self._execute(env, wf, trace, result, cold),

@@ -92,8 +92,9 @@ class ChironPlatform(Platform):
                            trace: TraceRecorder, result: RequestResult,
                            cold: bool = False):
         """One wrap's share of one stage (Eq. 3 mechanics)."""
-        check_deadline(env, entity=sandbox.name,
-                       completed_stages=sa.stage_index)
+        if env.slots_armed:
+            check_deadline(env, entity=sandbox.name,
+                           completed_stages=sa.stage_index)
         if cold and not sandbox.booted:
             # lazy wrap boot: sibling wraps of a stage boot concurrently, so
             # an m-to-n deployment pays ~one cold start per stage *wave*
@@ -167,14 +168,16 @@ class ChironPlatform(Platform):
         if self.plan.pool_workers > 0:
             for sb in sandboxes.values():
                 sb.init_pool(self.plan.pool_workers)
-        ha = env.ha
+        ha = env.ha if env.slots_armed else None
         start_stage = 0
         if ha is not None:
             # replay-from-last-stage: a replayed request resumes at the
             # first stage the completion manifest does not cover
             start_stage = yield from ha.restore()
         for stage_idx in range(start_stage, len(workflow.stages)):
-            check_deadline(env, entity="request", completed_stages=stage_idx)
+            if env.slots_armed:
+                check_deadline(env, entity="request",
+                               completed_stages=stage_idx)
             parts = self.plan.stage_wraps(stage_idx)
             if not parts:
                 raise DeploymentError(f"plan covers no wrap for stage "

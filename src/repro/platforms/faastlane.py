@@ -145,7 +145,9 @@ class FaastlanePlatform(Platform):
         if self.variant == "P":
             sandbox.init_pool(workflow.max_parallelism)
         for stage_idx, stage in enumerate(workflow.stages):
-            check_deadline(env, entity=self.name, completed_stages=stage_idx)
+            if env.slots_armed:
+                check_deadline(env, entity=self.name,
+                               completed_stages=stage_idx)
             if self.variant == "P":
                 yield from self._run_stage_in_pool(env, sandbox, stage, trace,
                                                    result)
@@ -183,7 +185,9 @@ class FaastlanePlatform(Platform):
                 env, sandboxes[k], stage_idx, chunk, trace, result)
 
         for stage_idx, stage in enumerate(workflow.stages):
-            check_deadline(env, entity=self.name, completed_stages=stage_idx)
+            if env.slots_armed:
+                check_deadline(env, entity=self.name,
+                               completed_stages=stage_idx)
             if len(stage) == 1:
                 yield from self._run_stage_as_threads(
                     env, sandboxes[0], stage, trace, result, self._thread_cal)

@@ -39,7 +39,8 @@ class OpenFaaSPlatform(Platform):
                           trace: TraceRecorder, result: RequestResult,
                           cold: bool = False):
         """One gateway round trip + in-sandbox handler execution."""
-        check_deadline(env, entity=fn.name)
+        if env.slots_armed:
+            check_deadline(env, entity=fn.name)
         start = env.now
         yield from gateway.invoke(entity=fn.name)
         if cold and not sandbox.booted:
@@ -97,7 +98,9 @@ class OpenFaaSPlatform(Platform):
                                       cal=self.cal, trace=trace)
                      for fn in workflow.functions}
         for stage_idx, stage in enumerate(workflow.stages):
-            check_deadline(env, entity="request", completed_stages=stage_idx)
+            if env.slots_armed:
+                check_deadline(env, entity="request",
+                               completed_stages=stage_idx)
             events = [env.process(self._invoke_function(
                 env, gateway, sandboxes, fn, trace, result, cold))
                 for fn in stage]

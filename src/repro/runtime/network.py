@@ -47,33 +47,37 @@ class Gateway:
                ) -> Generator[Event, None, None]:
         """One function invocation through the gateway (caller blocks)."""
         t0 = self.env.now
-        breakers = self.env.overload
-        if breakers is not None:
-            # fast-fail BEFORE the fault draw: an open breaker skips the
-            # timeout burn entirely — that skipped wait is its whole point
-            breakers.check("rpc", entity)
-        faults = self.env.faults
-        if faults is not None and faults.fires("rpc.drop", entity):
-            # the request vanishes: the caller burns the RPC timeout waiting
-            yield self.env.timeout(faults.plan.rpc_timeout_ms)
-            if self.trace is not None:
-                self.trace.record(entity, "fault", t0, self.env.now,
-                                  op="fault.rpc.drop")
+        breakers = None
+        if self.env.slots_armed:  # one load skips both slot checks below
+            breakers = self.env.overload
             if breakers is not None:
-                breakers.record_failure("rpc", entity)
-            raise FaultError(f"gateway dropped invocation for {entity}",
-                             "rpc.drop")
-        if faults is not None and faults.fires("net.partition", entity):
-            # the path is cut: same timeout burn, distinct mechanism so
-            # breakers and the control plane can tell partition storms apart
-            yield self.env.timeout(faults.plan.rpc_timeout_ms)
-            if self.trace is not None:
-                self.trace.record(entity, "fault", t0, self.env.now,
-                                  op="fault.net.partition")
-            if breakers is not None:
-                breakers.record_failure("rpc", entity)
-            raise FaultError(f"network partition cut invocation for {entity}",
-                             "net.partition")
+                # fast-fail BEFORE the fault draw: an open breaker skips the
+                # timeout burn entirely — that skipped wait is its whole point
+                breakers.check("rpc", entity)
+            faults = self.env.faults
+            if faults is not None and faults.fires("rpc.drop", entity):
+                # request vanishes: the caller burns the RPC timeout waiting
+                yield self.env.timeout(faults.plan.rpc_timeout_ms)
+                if self.trace is not None:
+                    self.trace.record(entity, "fault", t0, self.env.now,
+                                      op="fault.rpc.drop")
+                if breakers is not None:
+                    breakers.record_failure("rpc", entity)
+                raise FaultError(f"gateway dropped invocation for {entity}",
+                                 "rpc.drop")
+            if faults is not None and faults.fires("net.partition", entity):
+                # the path is cut: same timeout burn, distinct mechanism so
+                # breakers and the control plane can tell partition storms
+                # apart
+                yield self.env.timeout(faults.plan.rpc_timeout_ms)
+                if self.trace is not None:
+                    self.trace.record(entity, "fault", t0, self.env.now,
+                                      op="fault.net.partition")
+                if breakers is not None:
+                    breakers.record_failure("rpc", entity)
+                raise FaultError(
+                    f"network partition cut invocation for {entity}",
+                    "net.partition")
         self._inflight += 1
         self.invocations += 1
         service = (self.cal.gateway_service_base_ms
@@ -126,18 +130,21 @@ class ASFDispatcher:
         The caller must later call :meth:`complete` to free the window slot.
         """
         t0 = self.env.now
-        breakers = self.env.overload
-        if breakers is not None:
-            breakers.check("rpc", entity)
-        faults = self.env.faults
-        if faults is not None and faults.fires("rpc.drop", entity):
-            yield self.env.timeout(faults.plan.rpc_timeout_ms)
-            if self.trace is not None:
-                self.trace.record(entity, "fault", t0, self.env.now,
-                                  op="fault.rpc.drop")
+        breakers = None
+        if self.env.slots_armed:
+            breakers = self.env.overload
             if breakers is not None:
-                breakers.record_failure("rpc", entity)
-            raise FaultError(f"ASF dropped dispatch for {entity}", "rpc.drop")
+                breakers.check("rpc", entity)
+            faults = self.env.faults
+            if faults is not None and faults.fires("rpc.drop", entity):
+                yield self.env.timeout(faults.plan.rpc_timeout_ms)
+                if self.trace is not None:
+                    self.trace.record(entity, "fault", t0, self.env.now,
+                                      op="fault.rpc.drop")
+                if breakers is not None:
+                    breakers.record_failure("rpc", entity)
+                raise FaultError(f"ASF dropped dispatch for {entity}",
+                                 "rpc.drop")
         self.transitions += 1
         if index > 0:
             yield self.env.timeout(self.issue_gap_ms * index)

@@ -48,7 +48,7 @@ class ProcessPool:
     def _run_task(self, fn: FunctionSpec) -> Generator[Event, None, None]:
         with self._slots.request() as slot:
             yield slot
-            faults = self.env.faults
+            faults = self.env.faults if self.env.slots_armed else None
             if faults is not None and faults.fires(
                     "pool.worker", f"{self.name}/{fn.name}"):
                 # the worker died; the pool self-heals by re-forking it
@@ -83,7 +83,7 @@ class ProcessPool:
             ordered.sort(key=lambda f: f.behavior.solo_ms, reverse=True)
         events = []
         for dispatched, fn in enumerate(ordered):
-            if self.env.deadline is not None:
+            if self.env.slots_armed and self.env.deadline is not None:
                 # a doomed request stops feeding the pool mid-stage; already
                 # submitted tasks run out, the rest are cancelled
                 from repro.overload.deadline import check_deadline

@@ -52,13 +52,15 @@ class Sandbox:
         calibrated cost, bit-identical to builds without the subsystem.
         """
         if cold and not self.booted:
-            breakers = self.env.overload
-            if breakers is not None:
-                # an open sandbox.boot breaker (consecutive crash/timeout
-                # retries) fast-fails here instead of paying the cold start
-                breakers.check("sandbox.boot", self.name)
+            lifecycle = None
+            if self.env.slots_armed:  # one load covers both slots below
+                breakers = self.env.overload
+                if breakers is not None:
+                    # an open sandbox.boot breaker (consecutive crash/timeout
+                    # retries) fast-fails instead of paying the cold start
+                    breakers.check("sandbox.boot", self.name)
+                lifecycle = self.env.lifecycle
             t0 = self.env.now
-            lifecycle = self.env.lifecycle
             if lifecycle is not None:
                 tier, cost_ms = lifecycle.acquire(self.name, self.cal)
                 yield self.env.timeout(cost_ms)

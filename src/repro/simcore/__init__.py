@@ -12,6 +12,7 @@ scheduling (a monotonically increasing sequence number breaks ties), so a
 given simulation always produces byte-identical traces.
 """
 
+from repro.simcore.calendar import CalendarQueue, HeapQueue
 from repro.simcore.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.simcore.kernel import Environment
 from repro.simcore.process import Process
@@ -20,8 +21,10 @@ from repro.simcore.resources import PriorityResource, Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Environment",
     "Event",
+    "HeapQueue",
     "Interrupt",
     "PriorityResource",
     "Process",

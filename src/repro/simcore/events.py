@@ -13,6 +13,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _PENDING = object()
 
 
+def _defuse_loser(event: "Event") -> None:
+    """Callback left on a condition's losing events after it detaches.
+
+    A fired :class:`Condition` no longer cares about its remaining
+    constituents, but a loser that *fails* later must still be marked
+    handled (the condition historically defused it) or the kernel would
+    re-raise an error nobody is waiting on.  This module-level function
+    carries no reference to the condition, so the condition — and
+    everything it closes over — stays collectable.
+    """
+    if event._ok is False:
+        event._defused = True
+
+
 class Event:
     """A one-shot occurrence processes can wait on.
 
@@ -57,7 +71,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -66,7 +80,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to be raised in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -90,10 +104,13 @@ class Event:
     # -- kernel hook --------------------------------------------------------
     def _process(self) -> None:
         """Run callbacks.  Called exactly once by the kernel."""
-        callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        if len(callbacks) == 1:  # dominant shape: exactly one waiter
+            callbacks[0](self)
+        else:
+            for callback in callbacks:
+                callback(self)
         if self._ok is False and not self._defused:
             raise self._value
 
@@ -109,15 +126,29 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay)
 
     # Timeouts are triggered at construction; succeed/fail are invalid.
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout events cannot be re-triggered")
+
+    def _process(self) -> None:
+        """Timeout dispatch: always-ok, so no failure re-raise check; the
+        single-waiter shape (one process sleeping on it) skips the
+        callback-list loop entirely."""
+        callbacks = self.callbacks
+        self.callbacks = None
+        if len(callbacks) == 1:
+            callbacks[0](self)
+        else:
+            for callback in callbacks:
+                callback(self)
 
 
 class Interrupt(Exception):
@@ -136,7 +167,15 @@ class Interrupt(Exception):
 
 
 class Condition(Event):
-    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events.
+
+    Once the condition fires it *detaches* from every constituent that has
+    not fired yet: the ``_check`` callback (whose closure keeps the whole
+    condition alive) is removed from their callback lists and replaced
+    with the module-level :func:`_defuse_loser`, so losing events in long
+    fleet runs do not pin dead conditions — or the processes waiting on
+    them — in memory until the loser finally fires.
+    """
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[list[Event], int], bool]) -> None:
@@ -154,24 +193,50 @@ class Condition(Event):
             self.succeed({})
             return
         for event in self._events:
-            if event.processed:
+            if self.triggered:
+                # decided while wiring: never subscribe late constituents,
+                # but keep the historical defusing contract for losers
+                if event.callbacks is not None:
+                    event.callbacks.append(_defuse_loser)
+                elif event.triggered and not event.ok:
+                    event.defuse()
+                continue
+            if event.callbacks is None:  # already processed
                 self._check(event)
             else:
-                assert event.callbacks is not None
                 event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # late loser that was already queued for processing when the
+            # condition fired (detach could not intercept it)
             if event.triggered and not event.ok:
                 event.defuse()
             return
         if not event.ok:
             event.defuse()
             self.fail(event.value)
+            self._detach()
             return
         self._fired.append(event)
         if self._evaluate(self._events, len(self._fired)):
             self.succeed({ev: ev.value for ev in self._fired})
+            self._detach()
+
+    def _detach(self) -> None:
+        """Unsubscribe from events that have not fired; drop references."""
+        check = self._check
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass  # already fired (or never subscribed)
+                else:
+                    callbacks.append(_defuse_loser)
+        self._events = []
+        self._fired = []
 
 
 class AllOf(Condition):

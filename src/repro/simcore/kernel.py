@@ -2,16 +2,23 @@
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.simcore.calendar import CalendarQueue, HeapQueue
 from repro.simcore.events import AllOf, AnyOf, Event, Timeout
 from repro.simcore.process import Process
 
+#: queue implementation used when ``Environment(queue=None)`` — flip to
+#: ``"heap"`` to A/B the legacy binary-heap scheduler (the golden-trace
+#: tests do exactly that to pin bit-identity across schedulers).
+DEFAULT_QUEUE = "calendar"
+
+_KEEP = object()
+
 
 class Environment:
-    """Owner of the simulation clock and the pending-event heap.
+    """Owner of the simulation clock and the pending-event calendar.
 
     Typical use::
 
@@ -24,13 +31,28 @@ class Environment:
         proc = env.process(worker(env))
         env.run()
         assert env.now == 3.0 and proc.value == "done"
+
+    Events scheduled for the same timestamp fire in FIFO order of
+    scheduling (a monotonically increasing sequence number breaks ties),
+    making runs fully deterministic regardless of the queue implementation
+    (``queue="calendar"``, the default, or ``queue="heap"`` for the legacy
+    binary heap — both dispatch byte-identical sequences).
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, *,
+                 queue: Optional[str] = None) -> None:
         self._now = float(initial_time)
-        #: heap of (time, sequence, event); sequence preserves FIFO order for
-        #: simultaneous events, making runs fully deterministic.
-        self._queue: list[tuple[float, int, Event]] = []
+        kind = queue if queue is not None else DEFAULT_QUEUE
+        if kind == "calendar":
+            self._q = CalendarQueue(self._now)
+        elif kind == "heap":
+            self._q = HeapQueue(self._now)
+        else:
+            raise SimulationError(
+                f"unknown queue implementation {kind!r} "
+                f"(expected 'calendar' or 'heap')")
+        #: which scheduler this environment runs on ("calendar" | "heap")
+        self.queue_kind = kind
         self._seq = 0
         self.active_process: Optional[Process] = None
         #: events dispatched by :meth:`step` — a run-size vital the tracer
@@ -59,11 +81,49 @@ class Environment:
         #: ``Platform.run`` when an HA policy governs the request; ``None``
         #: keeps stage boundaries checkpoint-free with one attribute load.
         self.ha = None
+        #: slot-free fast-path flag: ``False`` means *no* per-request slot
+        #: (faults/deadline/overload/lifecycle/ha) is installed, so hook
+        #: points that would otherwise test several slots can skip them all
+        #: with one attribute load.  Recomputed by :meth:`arm_slots` /
+        #: :meth:`install` — precomputed once per request, not re-derived
+        #: per hook.
+        self.slots_armed = False
 
     @property
     def now(self) -> float:
         """Current simulation time (same unit as all delays; we use ms)."""
         return self._now
+
+    # -- per-request slots ---------------------------------------------------
+    def install(self, *, faults: Any = _KEEP, deadline: Any = _KEEP,
+                overload: Any = _KEEP, lifecycle: Any = _KEEP,
+                ha: Any = _KEEP) -> bool:
+        """Install per-request slot handlers and re-arm the fast path.
+
+        Assigning the slot attributes directly also works for code that
+        only reads a single slot; hook points on the batched fast path
+        additionally gate on :attr:`slots_armed`, so installers must call
+        :meth:`arm_slots` (or use this method) after direct assignment.
+        """
+        if faults is not _KEEP:
+            self.faults = faults
+        if deadline is not _KEEP:
+            self.deadline = deadline
+        if overload is not _KEEP:
+            self.overload = overload
+        if lifecycle is not _KEEP:
+            self.lifecycle = lifecycle
+        if ha is not _KEEP:
+            self.ha = ha
+        return self.arm_slots()
+
+    def arm_slots(self) -> bool:
+        """Recompute :attr:`slots_armed` from the five slot attributes."""
+        self.slots_armed = not (
+            self.faults is None and self.deadline is None
+            and self.overload is None and self.lifecycle is None
+            and self.ha is None)
+        return self.slots_armed
 
     # -- event construction helpers ---------------------------------------
     def event(self) -> Event:
@@ -87,28 +147,91 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+        now = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._q.push_now(now, seq, event)
+            return
+        when = now + delay
+        if when == now:  # delay underflowed on a large clock: still "now"
+            self._q.push_now(now, seq, event)
+        elif when < now:
+            raise SimulationError(
+                f"event scheduled in the past ({when} < {now})")
+        else:
+            self._q.push(when, seq, event)
 
     def _enqueue_triggered(self, event: Event) -> None:
         """Queue an event that was just succeeded/failed for processing."""
-        self._schedule(event, 0.0)
+        seq = self._seq
+        self._seq = seq + 1
+        self._q.push_now(self._now, seq, event)
 
     # -- run loop -----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._q.peek()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        q = self._q
+        if not q._size:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - heap guarantees order
-            raise SimulationError("event scheduled in the past")
+        when, _seq, event = q.pop()
         self._now = when
         self.events_processed += 1
         event._process()
+
+    def run_batch(self) -> int:
+        """Dispatch *every* event at the next timestamp; returns the count.
+
+        The batched counterpart of :meth:`step`: one scheduler call pops
+        the whole same-time burst, the clock advances once, and dispatch
+        runs without re-entering the queue per event.  Returns 0 when the
+        queue is empty.
+        """
+        q = self._q
+        if not q._size:
+            return 0
+        batch = q.pop_batch()
+        self._dispatch_batch(batch)
+        return len(batch)
+
+    def _dispatch_batch(self, batch: list) -> None:
+        """Advance the clock to ``batch`` and process its events in order.
+
+        On an exception the not-yet-dispatched remainder is requeued, so a
+        caller that catches the error (fault recovery does) can keep
+        running the same environment without losing events.
+        """
+        self._now = batch[0][0]
+        processed = self.events_processed
+        i = 0
+        try:
+            for entry in batch:
+                i += 1
+                processed += 1
+                entry[2]._process()
+        except BaseException:
+            if i < len(batch):
+                self._q.requeue_front(batch[i:])
+            raise
+        finally:
+            self.events_processed = processed
+
+    def _drain(self) -> None:
+        """Untimed run-to-exhaustion: no stop-event or deadline re-checks.
+
+        The hot path for ``run()`` with no ``until`` — the scheduler hands
+        over whole same-timestamp batches and the loop carries no
+        per-event condition tests.
+        """
+        q = self._q
+        pop_batch = q.pop_batch
+        dispatch = self._dispatch_batch
+        while q._size:
+            dispatch(pop_batch())
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -116,29 +239,50 @@ class Environment:
         ``until`` may be a simulation time (run up to that instant) or an
         :class:`Event` (run until it is processed; its value is returned).
         """
-        stop_event: Optional[Event] = None
-        deadline = float("inf")
+        if until is None:
+            self._drain()
+            return None
+
+        q = self._q
         if isinstance(until, Event):
-            stop_event = until
-        elif until is not None:
-            deadline = float(until)
-            if deadline < self._now:
-                raise SimulationError(
-                    f"run(until={deadline}) is in the past (now={self._now})")
-
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                return stop_event.value
-            if self.peek() > deadline:
-                self._now = deadline
-                return None
-            self.step()
-
-        if stop_event is not None:
-            if stop_event.processed:
-                return stop_event.value
+            stop = until
+            pop = q.pop
+            processed = self.events_processed
+            try:
+                while q._size:
+                    if stop.callbacks is None:  # processed
+                        return stop.value
+                    when, _seq, event = pop()
+                    self._now = when
+                    processed += 1
+                    event._process()
+            finally:
+                self.events_processed = processed
+            if stop.callbacks is None:
+                return stop.value
             raise SimulationError(
                 "run(until=event): queue drained before the event fired")
-        if deadline != float("inf"):
-            self._now = deadline
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline}) is in the past (now={self._now})")
+        if deadline == float("inf"):
+            self._drain()
+            return None
+        pop = q.pop
+        peek = q.peek
+        processed = self.events_processed
+        try:
+            while q._size:
+                if peek() > deadline:
+                    self._now = deadline
+                    return None
+                when, _seq, event = pop()
+                self._now = when
+                processed += 1
+                event._process()
+        finally:
+            self.events_processed = processed
+        self._now = deadline
         return None

@@ -11,6 +11,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.kernel import Environment
 
 
+class _Wake(Event):
+    """A pre-triggered resume carrier for a :class:`Process`.
+
+    Used for the bootstrap turn-over and for interrupt delivery: both are
+    known at construction to have exactly one consumer (the process), so
+    dispatch jumps straight into ``Process._resume`` instead of walking the
+    generic callback-list machinery.
+    """
+
+    def __init__(self, env: "Environment", process: "Process",
+                 ok: bool, value: Any, defused: bool = False) -> None:
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = ok
+        self._defused = defused
+        self._process_target = process
+        env._schedule(self, 0.0)
+
+    def _process(self) -> None:
+        self.callbacks = None
+        self._process_target._resume(self)
+
+
 class Process(Event):
     """A running coroutine.  Also an event that fires when it returns.
 
@@ -25,15 +49,14 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process() needs a generator, got {generator!r}")
         self._generator = generator
+        #: bound generator methods, resolved once instead of per resume
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on (None when runnable)
         self._target: Optional[Event] = None
         # Bootstrap: resume the generator as soon as the kernel turns over.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init, 0.0)
+        _Wake(env, self, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -54,32 +77,29 @@ class Process(Event):
             except ValueError:  # pragma: no cover - already detached
                 pass
         self._target = None
-        wake = Event(self.env)
-        wake._ok = False
-        wake._value = Interrupt(cause)
-        wake._defused = True
-        wake.callbacks.append(self._resume)
-        self.env._schedule(wake, 0.0)
+        _Wake(self.env, self, False, Interrupt(cause), defused=True)
 
     # -- kernel callback ----------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env.active_process = self
+        env = self.env
+        env.active_process = self
+        send = self._send
         try:
             while True:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
-                    event.defuse()
-                    target = self._generator.throw(event._value)
+                    event._defused = True
+                    target = self._throw(event._value)
                 if not isinstance(target, Event):
                     raise SimulationError(
                         f"process {self.name!r} yielded non-event {target!r}")
-                if target.processed:
+                callbacks = target.callbacks
+                if callbacks is None:
                     # Already fired: loop and feed its value straight back in.
                     event = target
                     continue
-                assert target.callbacks is not None
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = target
                 return
         except StopIteration as stop:
@@ -96,4 +116,4 @@ class Process(Event):
             self._target = None
             self.fail(exc)
         finally:
-            self.env.active_process = None
+            env.active_process = None

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import SimulationError
@@ -48,7 +49,12 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._holders: set[Request] = set()
-        self._waiting: list[tuple[float, int, Request]] = []
+        #: pending (priority, seq, request) entries.  All-default-priority
+        #: resources (the overwhelmingly common shape: server pools, slots)
+        #: stay on a plain FIFO deque — O(1) C-speed append/popleft, no
+        #: heap sifts; the first nonzero priority converts to a heap.
+        self._waiting: deque[tuple[float, int, Request]] | list = deque()
+        self._heap_mode = False
         self._seq = 0
 
     @property
@@ -81,22 +87,45 @@ class Resource:
         if request in self._holders:
             self._holders.remove(request)
             self._grant_waiters()
-        else:
+        elif self._heap_mode:
             # Cancel a still-queued request (no-op if unknown/duplicated).
             self._waiting = [w for w in self._waiting if w[2] is not request]
             heapq.heapify(self._waiting)
+        else:
+            self._waiting = deque(
+                w for w in self._waiting if w[2] is not request)
 
     # -- internal -----------------------------------------------------------
     def _enqueue(self, request: Request) -> None:
-        heapq.heappush(self._waiting, (request.priority, self._seq, request))
+        priority = request.priority
+        if priority and not self._heap_mode:
+            # first prioritized waiter: promote the FIFO deque to a heap
+            # (a seq-sorted all-zero-priority deque already satisfies the
+            # heap invariant, but heapify is cheap and explicit)
+            self._waiting = list(self._waiting)
+            heapq.heapify(self._waiting)
+            self._heap_mode = True
+        entry = (priority, self._seq, request)
+        if self._heap_mode:
+            heapq.heappush(self._waiting, entry)
+        else:
+            self._waiting.append(entry)
         self._seq += 1
         self._grant_waiters()
 
     def _grant_waiters(self) -> None:
-        while self._waiting and len(self._holders) < self.capacity:
-            _, _, request = heapq.heappop(self._waiting)
-            self._holders.add(request)
-            request.succeed()
+        waiting = self._waiting
+        holders = self._holders
+        if self._heap_mode:
+            while waiting and len(holders) < self.capacity:
+                _, _, request = heapq.heappop(waiting)
+                holders.add(request)
+                request.succeed()
+        else:
+            while waiting and len(holders) < self.capacity:
+                _, _, request = waiting.popleft()
+                holders.add(request)
+                request.succeed()
 
 
 class PriorityResource(Resource):

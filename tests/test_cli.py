@@ -178,6 +178,25 @@ class TestColdstartCommand:
         assert err.startswith("chiron-repro: error:")
 
 
+class TestKernelBenchCommand:
+    def test_smoke_writes_report_and_table(self, capsys, tmp_path):
+        out_file = tmp_path / "kernel.json"
+        assert main(["bench", "--kernel", "--quick", "--check",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel microbench" in out and "fleet scenario" in out
+        assert "speedup vs pre-change kernel" in out
+
+        import json
+        report = json.loads(out_file.read_text())
+        assert report["bench"] == "kernel"
+        assert report["fleet"]["identical"] == {"des_calendar": True,
+                                                "vectorized": True}
+        rows = report["fleet"]["rows"]
+        assert (rows["des_heap"]["events_processed"]
+                == rows["des_calendar"]["events_processed"] > 0)
+
+
 class TestDriftCommand:
     def test_smoke_single_scenario_writes_report(self, capsys, tmp_path):
         out_file = tmp_path / "drift.json"

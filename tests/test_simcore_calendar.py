@@ -1,0 +1,356 @@
+"""Calendar-queue scheduler: equivalence, leak, and fast-path regressions.
+
+The calendar queue must be *indistinguishable* from the legacy binary heap:
+``(time, seq)`` is a total order, so any correct scheduler dispatches the
+exact same sequence.  Property tests drive both implementations with the
+same random operation streams (same-timestamp bursts, zero-delay pushes,
+mid-batch requeues, inf timestamps) and assert equality at every step; an
+end-to-end pin runs FINRA-5 under both kernels and compares full traces.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.simcore.kernel as kernel_mod
+from repro.cluster.fleetsim import (
+    FleetScenario,
+    default_scenario,
+    scenario_draws,
+    simulate_des,
+    simulate_vectorized,
+    verify_identity,
+)
+from repro.errors import CapacityError, SimulationError
+from repro.simcore import CalendarQueue, Environment, HeapQueue
+
+#: tie-heavy delay menu: repeats force same-timestamp collisions, the wide
+#: values force bucket-ladder jumps, inf exercises the far bucket
+DELAYS = (0.0625, 0.25, 0.25, 1.0, 7.5, 64.0, 1000.0, float("inf"))
+
+
+# -- queue-level equivalence -------------------------------------------------
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_queue_ops_match_heap_reference(data):
+    hq, cq = HeapQueue(), CalendarQueue()
+    now, seq = 0.0, 0
+    for _ in range(data.draw(st.integers(1, 120), label="ops")):
+        choices = ["push", "push", "push_now", "peek"]
+        if hq._size:
+            choices += ["pop", "pop", "pop_batch"]
+        op = data.draw(st.sampled_from(choices), label="op")
+        if op == "push":
+            t = now + data.draw(st.sampled_from(DELAYS), label="delay")
+            if t == now:  # _schedule's routing: t == now goes to the lane
+                hq.push_now(t, seq, seq)
+                cq.push_now(t, seq, seq)
+            else:
+                hq.push(t, seq, seq)
+                cq.push(t, seq, seq)
+            seq += 1
+        elif op == "push_now":
+            hq.push_now(now, seq, seq)
+            cq.push_now(now, seq, seq)
+            seq += 1
+        elif op == "peek":
+            assert hq.peek() == cq.peek()
+        elif op == "pop":
+            a, b = hq.pop(), cq.pop()
+            assert a == b
+            now = a[0]
+        else:
+            a, b = hq.pop_batch(), cq.pop_batch()
+            assert a == b
+            now = a[0][0]
+            if len(a) > 1 and data.draw(st.booleans(), label="requeue"):
+                # exception-path contract: the undispatched remainder goes
+                # back to the front in order
+                k = len(a) // 2
+                hq.requeue_front(a[k:])
+                cq.requeue_front(b[k:])
+        assert hq._size == cq._size
+    while hq._size:
+        assert hq.pop() == cq.pop()
+    assert cq._size == 0 and cq.peek() == float("inf")
+
+
+def test_calendar_adaptive_widening_keeps_order():
+    """Sparse singleton buckets trigger widening; order must not change."""
+    hq, cq = HeapQueue(), CalendarQueue()
+    seq = 0
+    # hundreds of events spaced far beyond the initial width: every
+    # activation is a singleton, so the width multiplies repeatedly
+    for i in range(400):
+        t = i * 37.5
+        hq.push(t, seq, seq)
+        cq.push(t, seq, seq)
+        seq += 1
+    out_h = [hq.pop() for _ in range(400)]
+    out_c = [cq.pop() for _ in range(400)]
+    assert out_h == out_c
+    assert cq._width > 1.0  # the adaptation actually fired
+
+
+# -- environment-level equivalence -------------------------------------------
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(1, 6))
+    return [
+        draw(st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["timeout", "burst", "anyof", "allof", "failer"]),
+                st.sampled_from([0.0, 0.25, 0.25, 0.5, 1.0, 3.75, 64.0]),
+                st.integers(1, 3)),
+            min_size=1, max_size=5))
+        for _ in range(n)
+    ]
+
+
+def _run_workload(procs, queue):
+    env = Environment(queue=queue)
+    log = []
+
+    def body(env, steps, label):
+        for kind, delay, k in steps:
+            if kind == "timeout":
+                yield env.timeout(delay)
+            elif kind == "burst":
+                # k timeouts at the SAME timestamp: the batch fast path
+                yield env.all_of([env.timeout(delay) for _ in range(k)])
+            elif kind == "anyof":
+                yield env.any_of(
+                    [env.timeout(delay * (j + 1)) for j in range(k)])
+            elif kind == "allof":
+                yield env.all_of(
+                    [env.timeout(delay * (j + 1)) for j in range(k)])
+            else:  # failer: a child process fails, the parent absorbs it
+
+                def doomed(env, d=delay):
+                    yield env.timeout(d)
+                    raise RuntimeError("boom")
+
+                try:
+                    yield env.process(doomed(env))
+                except RuntimeError:
+                    pass
+            log.append((env.now, label, kind))
+
+    for i, steps in enumerate(procs):
+        env.process(body(env, steps, i))
+    env.run()
+    return log, env.events_processed, env.now
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_random_workloads_dispatch_identically(procs):
+    assert _run_workload(procs, "heap") == _run_workload(procs, "calendar")
+
+
+def test_unknown_queue_kind_rejected():
+    with pytest.raises(SimulationError):
+        Environment(queue="splay")
+
+
+def test_past_scheduling_rejected_at_push():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env._schedule(env.event(), -5.0)
+
+
+# -- run()/drain fast-path regressions ---------------------------------------
+def _ladder(env, n=40):
+    def worker(env, k):
+        for _ in range(6):
+            yield env.timeout(0.5 + (k % 5) * 0.25)
+
+    for k in range(n):
+        env.process(worker(env, k))
+
+
+def test_drain_fast_path_event_count_unchanged():
+    """run() (batched drain) counts exactly what per-event stepping did."""
+    counts = {}
+    for queue in ("heap", "calendar"):
+        env = Environment(queue=queue)
+        _ladder(env)
+        env.run()
+        counts[queue] = (env.events_processed, env.now)
+    stepped = Environment(queue="calendar")
+    _ladder(stepped)
+    n = 0
+    while stepped.peek() != float("inf"):
+        stepped.step()
+        n += 1
+    assert counts["heap"] == counts["calendar"]
+    assert counts["calendar"] == (n, stepped.now)
+    assert n == stepped.events_processed
+
+
+def test_run_until_time_and_event_match_heap():
+    for until in (1.6, 2.0, float("inf")):
+        results = []
+        for queue in ("heap", "calendar"):
+            env = Environment(queue=queue)
+            _ladder(env)
+            env.run(until=until)
+            results.append((env.now, env.events_processed))
+        assert results[0] == results[1]
+        if until != float("inf"):
+            assert results[0][0] == until  # clock lands on the deadline
+
+
+def test_run_until_event_stops_at_same_point():
+    results = []
+    for queue in ("heap", "calendar"):
+        env = Environment(queue=queue)
+        _ladder(env)
+
+        def waiter(env):
+            yield env.timeout(1.25)
+            return "stopped"
+
+        stop = env.process(waiter(env))
+        value = env.run(until=stop)
+        results.append((value, env.now, env.events_processed))
+    assert results[0] == results[1]
+
+
+def test_run_batch_dispatches_whole_timestamp():
+    env = Environment(queue="calendar")
+    fired = []
+    for i in range(5):
+        t = env.timeout(1.0, value=i)
+        t.callbacks.append(lambda ev: fired.append(ev._value))
+    env.timeout(2.0)
+    assert env.run_batch() == 5  # the whole same-time burst in one call
+    assert fired == [0, 1, 2, 3, 4]
+    assert env.now == 1.0
+    assert env.run_batch() == 1
+    assert env.run_batch() == 0
+
+
+# -- condition detach / loser leak --------------------------------------------
+def test_anyof_detaches_and_loser_is_collectable():
+    env = Environment()
+    winner = env.timeout(1.0)
+    loser = env.event()  # never fires on its own
+    cond = env.any_of([winner, loser])
+    ref = weakref.ref(cond)
+    env.run()
+    assert cond.ok and winner in cond.value
+    # the condition's _check must be gone from the loser's callback list
+    assert all(getattr(cb, "__self__", None) is not cond
+               for cb in loser.callbacks)
+    del cond
+    gc.collect()
+    assert ref() is None, "loser kept the fired condition alive"
+    # historical contract: a loser failing AFTER the condition fired is
+    # still defused — nobody is waiting, the kernel must not re-raise
+    loser.fail(RuntimeError("late failure"))
+    env.run()
+
+
+def test_allof_failure_detaches_pending_constituents():
+    env = Environment()
+
+    def doomed(env):
+        yield env.timeout(0.5)
+        raise RuntimeError("boom")
+
+    slow = env.timeout(100.0)
+    cond = env.all_of([env.process(doomed(env)), slow])
+    cond.defuse()  # nobody waits on it; absorb the expected failure
+    env.run(until=2.0)
+    assert cond.triggered and not cond.ok
+    assert all(getattr(cb, "__self__", None) is not cond
+               for cb in slow.callbacks)
+    env.run()  # drain the slow timeout; no re-raise
+
+
+def test_anyof_winner_value_and_interrupt_still_work():
+    env = Environment()
+    out = {}
+
+    def waiter(env):
+        t1 = env.timeout(5.0, value="slow")
+        t2 = env.timeout(1.0, value="fast")
+        got = yield env.any_of([t1, t2])
+        out["value"] = list(got.values())
+
+    env.process(waiter(env))
+    env.run()
+    assert out["value"] == ["fast"]
+
+
+# -- vectorization contracts ---------------------------------------------------
+def test_numpy_batched_draws_match_scalar_stream():
+    """The loadgen/fleetsim vectorization rests on these three identities."""
+    pool = [3.0, 7.5, 11.0, 42.0]
+    a, b = np.random.default_rng(9), np.random.default_rng(9)
+    assert [float(a.choice(pool)) for _ in range(200)] == \
+        [float(x) for x in b.choice(np.asarray(pool), size=200)]
+    a, b = np.random.default_rng(11), np.random.default_rng(11)
+    assert [float(a.exponential(12.5)) for _ in range(200)] == \
+        [float(x) for x in b.exponential(12.5, size=200)]
+    gaps = np.random.default_rng(13).exponential(5.0, size=500)
+    acc, seq_sums = 0.0, []
+    for g in gaps:
+        acc = acc + float(g)
+        seq_sums.append(acc)
+    assert seq_sums == [float(x) for x in np.cumsum(gaps)]
+
+
+def test_fleetsim_three_ways_bit_identical():
+    sc = FleetScenario(servers=3, rps=40.0, requests=1500, seed=5)
+    heap = simulate_des(sc, queue="heap")
+    cal = simulate_des(sc, queue="calendar")
+    vec = simulate_vectorized(sc)
+    verify_identity(heap, cal, what="heap vs calendar DES")
+    verify_identity(heap, vec, what="DES vs vectorized")
+    assert heap.events_processed == cal.events_processed > 0
+    assert vec.events_processed == 0
+
+
+def test_fleetsim_saturated_regime_bit_identical():
+    # servers deliberately undersized: deep queues, every request waits
+    sc = FleetScenario(servers=2, rps=60.0, requests=800, seed=2)
+    verify_identity(simulate_des(sc, queue="heap"),
+                    simulate_vectorized(sc), what="saturated")
+
+
+def test_fleetsim_validation():
+    with pytest.raises(CapacityError):
+        FleetScenario(servers=0, rps=10.0, requests=5)
+    with pytest.raises(CapacityError):
+        FleetScenario(servers=1, rps=10.0, requests=5, service_pool_ms=())
+    gaps, services = scenario_draws(default_scenario(requests=64))
+    assert gaps.shape == services.shape == (64,)
+
+
+# -- end-to-end kernel pinning -------------------------------------------------
+def test_finra5_bit_identical_across_kernels(monkeypatch):
+    """The golden-trace workload produces the same request under both
+    schedulers — latency, event count, and full span timeline."""
+    from repro.apps import finra
+    from repro.calibration import RuntimeCalibration
+    from repro.obs import Tracer
+    from repro.platforms import FaastlanePlatform
+
+    def run(queue_kind):
+        monkeypatch.setattr(kernel_mod, "DEFAULT_QUEUE", queue_kind)
+        tracer = Tracer()
+        result = FaastlanePlatform(RuntimeCalibration.native()).run(
+            finra(5), seed=123, tracer=tracer)
+        spans = sorted(
+            (s.entity, str(s.tags.get("op", s.kind)), s.start_ms, s.end_ms)
+            for s in tracer)
+        return result.latency_ms, spans
+
+    assert run("heap") == run("calendar")
