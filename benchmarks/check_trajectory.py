@@ -2,13 +2,14 @@
 """CI gate over the committed ``BENCH_*.json`` benchmark trajectory.
 
 The repo commits one benchmark report per subsystem (prediction-cache,
-simulation kernel, plan search, cold starts, drift recovery, chaos/HA).  This script
-re-validates the *quality* invariants of every committed report — plan
-quality, divergence attribution, determinism, closed-loop recovery,
-fault recovery under machine-scale chaos — and, when given a freshly
-generated smoke report (``--fresh-drift`` / ``--fresh-chaos``), fails if
-any acceptance flag that held in the committed trajectory regressed in
-the fresh run.
+simulation kernel, plan search, cold starts, drift recovery, chaos/HA,
+fleet placement).  This script re-validates the *quality* invariants of
+every committed report — plan quality, divergence attribution,
+determinism, closed-loop recovery, fault recovery under machine-scale
+chaos, fleet placement dominance — and, when given a freshly generated
+smoke report (``--fresh-drift`` / ``--fresh-chaos`` /
+``--fresh-fleet``), fails if any acceptance flag that held in the
+committed trajectory regressed in the fresh run.
 
 It never gates on wall time: CI boxes are too noisy for latency
 assertions, and every pinned quantity here is a simulated-milliseconds or
@@ -182,6 +183,38 @@ def check_chaos(path: str) -> dict:
     return flags
 
 
+def check_fleet(path: str) -> dict:
+    """Validate the committed fleet placement report; return its flags.
+
+    Gates quality and determinism only: placement cost ordering, packing
+    fraction, p99/goodput dominance and the bit-reproducibility of the
+    annealed arm.  Per-arm ``wall_s`` and ``compile_s`` are trend data and
+    are never consulted.
+    """
+    report = load_report(path)
+    flags = report["summary"]
+    for name, value in sorted(flags.items()):
+        check(bool(value), f"{path}: acceptance flag {name} is {value}")
+    check(report["spec"]["total_requests"] >= 1_000_000 or report["quick"],
+          f"{path}: full fleet bench ran only "
+          f"{report['spec']['total_requests']} requests (< 1M)")
+    arms = report["arms"]
+    annealed, ff = arms["annealed"], arms["first-fit"]
+    check(annealed["run"]["sojourn_p99_ms"]
+          < ff["run"]["sojourn_p99_ms"],
+          f"{path}: annealed p99 did not beat first-fit")
+    check(annealed["placement"]["packing_fraction"]
+          > ff["placement"]["packing_fraction"],
+          f"{path}: annealed packing did not beat first-fit")
+    for name, arm in sorted(arms.items()):
+        check(arm["run"]["completed"] == report["spec"]["total_requests"],
+              f"{path}/{name}: run did not complete every request")
+    det = report["determinism"]
+    check(det["identical_assignment"] and det["identical_run_fields"],
+          f"{path}: annealed replay diverged: {det}")
+    return flags
+
+
 def check_fresh_against_committed(fresh_flags: dict,
                                   committed_flags: dict,
                                   label: str = "drift") -> None:
@@ -205,6 +238,9 @@ def main(argv=None) -> int:
     parser.add_argument("--fresh-chaos", metavar="FILE", default=None,
                         help="freshly generated chaos smoke report to "
                              "compare against the committed trajectory")
+    parser.add_argument("--fresh-fleet", metavar="FILE", default=None,
+                        help="freshly generated fleet smoke report to "
+                             "compare against the committed trajectory")
     args = parser.parse_args(argv)
 
     def path(name: str) -> str:
@@ -227,6 +263,12 @@ def main(argv=None) -> int:
             check_fresh_against_committed(fresh_chaos,
                                           committed_chaos_flags,
                                           label="chaos")
+        committed_fleet_flags = check_fleet(path("BENCH_fleet.json"))
+        if args.fresh_fleet is not None:
+            fresh_fleet = check_fleet(args.fresh_fleet)
+            check_fresh_against_committed(fresh_fleet,
+                                          committed_fleet_flags,
+                                          label="fleet")
     except (ReproError, KeyError) as exc:
         FAILURES.append(f"trajectory report unreadable: {exc}")
 
@@ -235,8 +277,8 @@ def main(argv=None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("benchmark trajectory OK: plan quality, kernel identity, "
-          "divergence attribution, closed-loop recovery and chaos HA "
-          "quality all hold")
+          "divergence attribution, closed-loop recovery, chaos HA "
+          "quality and fleet placement quality all hold")
     return 0
 
 

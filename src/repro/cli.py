@@ -394,6 +394,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             write_report(report, out)
             print(f"report written to {out}")
         return 0
+    if args.fleet:
+        from repro.fleet.bench import format_fleet_table, run_fleet_bench
+
+        report = run_fleet_bench(quick=args.quick, seed=args.seed)
+        out = args.out
+        if out == "BENCH_pgp.json":  # the cache-bench default; redirect
+            out = "BENCH_fleet.json"
+        print(format_fleet_table(report))
+        if out:
+            write_report(report, out)
+            print(f"report written to {out}")
+        failed = sorted(k for k, v in report["summary"].items() if not v)
+        if failed:
+            print(f"FAILED acceptance flags: {', '.join(failed)}")
+            return 1
+        return 0
     workloads = args.workloads
     if workloads is None and args.quick:
         workloads = list(QUICK_WORKLOADS)
@@ -440,6 +456,87 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     if failed:
         print(f"FAILED acceptance flags: {', '.join(failed)}")
         return 1
+    return 0
+
+
+def _parse_fault(text: str) -> tuple:
+    """Parse a ``TARGET:AT_MS:DOWN_MS`` fault argument (target may be a
+    machine name like ``z0/r1/m2`` or a domain like ``zone:z1``)."""
+    from repro.errors import SimulationError
+
+    parts = text.rsplit(":", 2)
+    if len(parts) != 3:
+        raise SimulationError(
+            f"bad fault spec {text!r} (expected TARGET:AT_MS:DOWN_MS)")
+    try:
+        return parts[0], float(parts[1]), float(parts[2])
+    except ValueError:
+        raise SimulationError(
+            f"bad fault spec {text!r} (AT_MS and DOWN_MS must be numbers)")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.bench import write_report
+    from repro.core.search import SearchOptions
+    from repro.faults.domains import ChaosPlan
+    from repro.fleet import (PLACEMENT_METHODS, FleetPlacer, compile_fleet,
+                             run_fleet, synth_fleet)
+
+    spec = synth_fleet(tenants=args.tenants,
+                       workloads_per_tenant=args.workloads,
+                       requests_per_stream=args.requests,
+                       rps=args.rps, seed=args.seed)
+    fleet = compile_fleet(spec)
+    print(f"fleet: {len(spec.streams)} streams / "
+          f"{spec.total_requests:,} requests, {len(fleet.units)} wrap "
+          f"units / {fleet.demand_cores():.0f} cores on "
+          f"{len(fleet.machines)} machines in {spec.zones} zones")
+    chaos = None
+    if args.kill or args.outage:
+        plan = ChaosPlan(seed=args.seed)
+        for text in args.kill or []:
+            target, at_ms, down_ms = _parse_fault(text)
+            plan = plan.kill(target, at_ms, down_ms)
+        for text in args.outage or []:
+            target, at_ms, down_ms = _parse_fault(text)
+            plan = plan.outage(target, at_ms, down_ms)
+        chaos = plan.compile(fleet.topology)
+        print(f"chaos: {len(chaos.events)} scheduled event(s)")
+    methods = (list(PLACEMENT_METHODS) if args.method == "all"
+               else [args.method])
+    placer = FleetPlacer(fleet)
+    print(f"  {'method':>10s} {'cost':>11s} {'mach':>5s} {'pack':>6s} "
+          f"{'p99_ms':>10s} {'goodput':>8s} {'fair':>6s} {'disrupt':>8s} "
+          f"{'sv':>3s}")
+    rows = {}
+    for method in methods:
+        placement = placer.place(
+            method, seed=args.seed,
+            options=SearchOptions(budget=args.budget, seed=args.seed))
+        placement.validate(fleet)
+        report = run_fleet(fleet, placement, chaos=chaos)
+        print(f"  {method:>10s} {placement.cost:11.1f} "
+              f"{placement.machines_used(fleet):5d} "
+              f"{placement.packing_fraction(fleet):6.3f} "
+              f"{report.sojourn.p99_ms:10.2f} "
+              f"{report.goodput_fraction:8.3f} "
+              f"{report.fairness_jain:6.3f} {report.disrupted:8d} "
+              f"{placement.spread_violations(fleet):3d}")
+        rows[method] = {
+            "cost": placement.cost,
+            "breakdown": dict(placement.breakdown),
+            "machines_used": placement.machines_used(fleet),
+            "packing_fraction": placement.packing_fraction(fleet),
+            "spread_violations": placement.spread_violations(fleet),
+            "run": {**report.quality_fields(), **report.fleet_fields()},
+        }
+    if args.out:
+        write_report({"experiment": "fleet", "seed": args.seed,
+                      "tenants": args.tenants,
+                      "workloads_per_tenant": args.workloads,
+                      "requests_per_stream": args.requests,
+                      "rps": args.rps, "rows": rows}, args.out)
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -623,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "plus fleet-scale request throughput, with "
                               "bit-identity checks (writes "
                               "BENCH_kernel.json)")
+    p_bench.add_argument("--fleet", action="store_true",
+                         help="benchmark multi-tenant fleet placement "
+                              "instead: random vs first-fit vs annealed "
+                              "on p99/goodput/packing over a >=1M-request "
+                              "run, with a bit-reproducibility check "
+                              "(writes BENCH_fleet.json)")
     p_bench.add_argument("--search", action="store_true",
                          help="benchmark the anytime plan search instead: "
                               "KL vs. SA vs. portfolio plan cost across "
@@ -675,6 +778,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON report path (default BENCH_chaos.json; "
                               "'' to skip)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="compile a multi-tenant fleet from the app catalog, "
+                      "place it (random/first-fit/greedy/anneal) and "
+                      "execute it deterministically on the vectorized "
+                      "fast path")
+    p_fleet.add_argument("--tenants", type=int, default=6,
+                         help="tenant count (default 6)")
+    p_fleet.add_argument("--workloads", type=int, default=3,
+                         help="workflows per tenant (default 3; the last "
+                              "round is the wide app)")
+    p_fleet.add_argument("--requests", type=int, default=2_000,
+                         help="requests per stream (default 2000)")
+    p_fleet.add_argument("--rps", type=float, default=40.0,
+                         help="mean per-stream arrival rate (default 40)")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="fleet/placement seed (default 0)")
+    p_fleet.add_argument("--method", default="all",
+                         choices=["all", "random", "first-fit", "greedy",
+                                  "anneal"],
+                         help="placement method(s) to run (default all)")
+    p_fleet.add_argument("--budget", type=int, default=6_000,
+                         help="annealing move budget (default 6000)")
+    p_fleet.add_argument("--kill", action="append", metavar="M:AT:DOWN",
+                         help="chaos: kill machine M at AT ms for DOWN ms "
+                              "(repeatable, e.g. z0/r0/m0:5000:20000)")
+    p_fleet.add_argument("--outage", action="append", metavar="D:AT:DOWN",
+                         help="chaos: outage of domain D (e.g. zone:z1) "
+                              "at AT ms for DOWN ms (repeatable)")
+    p_fleet.add_argument("--out", metavar="FILE", default=None,
+                         help="optional JSON report path")
+    p_fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

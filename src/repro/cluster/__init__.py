@@ -27,6 +27,7 @@ from repro.cluster.fleetsim import (
     FleetResult,
     FleetScenario,
     default_scenario,
+    fifo_completion_times,
     simulate_des,
     simulate_vectorized,
     verify_identity,
@@ -51,6 +52,7 @@ __all__ = [
     "LoadResult",
     "burst_arrivals",
     "default_scenario",
+    "fifo_completion_times",
     "simulate_des",
     "simulate_vectorized",
     "verify_identity",

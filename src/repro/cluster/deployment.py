@@ -74,10 +74,11 @@ class ClusterDeployment:
                 f"{len(footprints)} sandboxes")
         instance = DeploymentInstance(index=index)
         try:
+            owner = f"{self.platform.name}/{self.workflow.name}"
             for fp, core in zip(footprints, cores):
                 memory = sandbox_memory_mb(fp, cal)
                 instance.allocations.append(
-                    self.cluster.place(core, memory))
+                    self.cluster.place(core, memory, owner=owner))
         except CapacityError:
             instance.release()
             raise
@@ -95,6 +96,4 @@ def place_on_node(platform: Platform, workflow: Workflow,
 
 
 def _single(node: Machine) -> Cluster:
-    cluster = Cluster(nodes=1)
-    cluster.machines = [node]
-    return cluster
+    return Cluster.of([node])

@@ -168,6 +168,36 @@ def simulate_des(scenario: FleetScenario, *,
         events_processed=env.events_processed)
 
 
+def fifo_completion_times(arrivals: np.ndarray, services: np.ndarray,
+                          servers: int,
+                          out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Completion times of a ``servers``-wide FIFO queue, bit-exact vs DES.
+
+    The c-server recursion both :func:`simulate_vectorized` and the fleet
+    runner's per-machine fast path share: request ``i`` starts at
+    ``max(arrival[i], earliest free server)`` and completes ``service[i]``
+    later, with the identical float operations the event kernel performs.
+    ``arrivals`` must be non-decreasing (FIFO admission order).
+    """
+    if servers < 1:
+        raise CapacityError("FIFO recursion needs at least one server")
+    n = len(arrivals)
+    completions = np.empty(n, dtype=float) if out is None else out
+    # Busy-server completion heap.  Seeding with -inf (idle forever-free
+    # servers) keeps the recursion branch-free: max(arrival, -inf) ==
+    # arrival bit-exactly.
+    free = [float("-inf")] * servers
+    heappush, heappop = heapq.heappush, heapq.heappop
+    for i in range(n):
+        earliest = heappop(free)
+        arrival = arrivals[i]
+        start = arrival if arrival >= earliest else earliest
+        done = start + services[i]
+        completions[i] = done
+        heappush(free, done)
+    return completions
+
+
 def simulate_vectorized(scenario: FleetScenario) -> FleetResult:
     """Replay the scenario as numpy passes — no events, same answer.
 
@@ -180,19 +210,7 @@ def simulate_vectorized(scenario: FleetScenario) -> FleetResult:
     gaps, services = scenario_draws(scenario)
     arrivals = np.cumsum(gaps)
     n = scenario.requests
-    completions = np.empty(n, dtype=float)
-    # Busy-server completion heap.  Seeding with -inf (idle forever-free
-    # servers) keeps the recursion branch-free: max(arrival, -inf) ==
-    # arrival bit-exactly.
-    free = [float("-inf")] * scenario.servers
-    heappush, heappop = heapq.heappush, heapq.heappop
-    for i in range(n):
-        earliest = heappop(free)
-        arrival = arrivals[i]
-        start = arrival if arrival >= earliest else earliest
-        done = start + services[i]
-        completions[i] = done
-        heappush(free, done)
+    completions = fifo_completion_times(arrivals, services, scenario.servers)
     sojourns = completions - arrivals
     return FleetResult(
         completed=n,

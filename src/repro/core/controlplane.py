@@ -401,12 +401,28 @@ class MachineHealthMonitor:
         return [m for m in self.topology.machines
                 if self.schedulable(m.name)]
 
+    def displaced_by_owner(self) -> dict[str, int]:
+        """Reservations lost to machine failures, attributed per owner.
+
+        Counts every :class:`~repro.runtime.machine.Allocation` that died
+        with a crashed machine, keyed by its ``owner`` label (tenant or
+        workflow); untagged reservations land under ``"unattributed"`` so
+        the totals still add up.
+        """
+        counts: dict[str, int] = {}
+        for machine in self.topology.machines:
+            for allocation in machine.displaced:
+                owner = allocation.owner or "unattributed"
+                counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
     def summary(self) -> dict:
         return {
             "quarantined": sorted(self.quarantined),
             "drained_racks": sorted(self.drained_racks),
             "schedulable": len(self.candidates()),
             "machines": len(self.topology.machines),
+            "displaced_by_owner": self.displaced_by_owner(),
         }
 
 
@@ -682,9 +698,12 @@ class RedeploymentControlPlane:
                                     f"re-placement: {reason}"))
         self.detector.reset_window()
         self.metrics.inc("adaptation.refreshes")
+        displaced = (self.health.displaced_by_owner()
+                     if self.health is not None else {})
         self._emit("controlplane.replaced", "controlplane.replacements",
-                   reason=reason, cores=candidate.plan.total_cores)
-        return self._act("replaced", reason)
+                   reason=reason, cores=candidate.plan.total_cores,
+                   displaced_by_owner=displaced)
+        return self._act("replaced", reason, displaced_by_owner=displaced)
 
     # -- internals -------------------------------------------------------------
     def _signal(self, latency_ms: float, report) -> DriftSignal:

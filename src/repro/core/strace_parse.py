@@ -120,9 +120,12 @@ def format_strace(log: StraceLog, *, base_ts: float = 1690000000.0,
     the way real logs contain them, exercising the parser's filtering.
     """
     lines: list[str] = [
-        # real logs open with execve at the process start: anchors t=0
+        # real logs open with execve at the process start: anchors t=0.
+        # Zero duration, so the anchor never extends the traced span past
+        # the workload's own records (a sub-0.2ms behaviour would otherwise
+        # gain phantom CPU time and reconstruct with deflated block periods).
         f"{base_ts:.6f} execve(\"/usr/bin/python3\", [...], 0x7ffd) = 0 "
-        f"<0.000200>",
+        f"<0.000000>",
     ]
     cursor = 0.0
     for i, rec in enumerate(log.records):

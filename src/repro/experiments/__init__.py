@@ -38,6 +38,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig17_cpu,
     fig18_java,
     fig19_cost,
+    fleet_placement,
     overhead_components,
     overload_goodput,
     search_budget,

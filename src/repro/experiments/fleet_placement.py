@@ -1,0 +1,63 @@
+"""Fleet placement experiment: global+annealed vs local baselines.
+
+A compact version of the fleet bench (see :mod:`repro.fleet.bench`) in
+the experiment-table format: one multi-tenant fleet from the app catalog,
+placed four ways (random, plain first-fit, greedy FFD with home zones,
+greedy + annealing) and executed deterministically with
+:func:`repro.fleet.runner.run_fleet`.  The table reads like the paper's
+performance-first argument scaled from one deployment to a fleet: local
+order-driven placement (what per-request autoscalers do) either sprawls
+or overloads; the global phase packs, and the detailed annealing phase
+fixes load balance and co-location at the same time.
+
+``chiron-repro run fleet-placement`` prints the table;
+``chiron-repro bench --fleet`` runs the bigger gated variant.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import SearchOptions
+from repro.experiments.common import ExperimentResult, register
+from repro.fleet.bench import BENCH_ANNEAL_BUDGET, BENCH_RPS
+from repro.fleet.placement import PLACEMENT_METHODS, FleetPlacer
+from repro.fleet.runner import run_fleet
+from repro.fleet.spec import compile_fleet, synth_fleet
+
+COLUMNS = ("method", "cost", "machines", "packing_fraction",
+           "p99_ms", "goodput_fraction", "fairness_jain",
+           "cross_zone_traffic", "spread_violations")
+
+
+@register("fleet-placement")
+def run(quick: bool = False) -> ExperimentResult:
+    requests = 500 if quick else 5_000
+    spec = synth_fleet(tenants=6, workloads_per_tenant=3,
+                       requests_per_stream=requests,
+                       rps=BENCH_RPS, seed=0)
+    fleet = compile_fleet(spec)
+    placer = FleetPlacer(fleet)
+    budget = 2_000 if quick else BENCH_ANNEAL_BUDGET
+    result = ExperimentResult(
+        experiment="fleet-placement",
+        title="Multi-tenant fleet: wrap-to-machine placement quality",
+        columns=COLUMNS,
+        notes=f"{len(spec.streams)} streams / {spec.total_requests:,} "
+              f"requests, {len(fleet.units)} wrap units / "
+              f"{fleet.demand_cores():.0f} cores on "
+              f"{len(fleet.machines)} machines; anneal budget {budget}; "
+              "deterministic for the fixed seed")
+    for method in PLACEMENT_METHODS:
+        plan = placer.place(method, seed=1,
+                            options=SearchOptions(budget=budget, seed=0))
+        plan.validate(fleet)
+        report = run_fleet(fleet, plan)
+        result.add(method=method,
+                   cost=round(plan.cost, 1),
+                   machines=plan.machines_used(fleet),
+                   packing_fraction=round(plan.packing_fraction(fleet), 3),
+                   p99_ms=round(report.sojourn.p99_ms, 2),
+                   goodput_fraction=round(report.goodput_fraction, 3),
+                   fairness_jain=round(report.fairness_jain, 3),
+                   cross_zone_traffic=report.cross_zone_traffic,
+                   spread_violations=plan.spread_violations(fleet))
+    return result

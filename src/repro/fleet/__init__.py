@@ -1,0 +1,76 @@
+"""Multi-tenant fleet simulation with global wrap-to-machine placement.
+
+The fleet layer (ROADMAP item 1) connects the placement, chaos and kernel
+work: many tenants, each with several workflows from the app catalog and
+independent arrival traces, share one cluster of machines.  Placement is
+the headline optimization — :class:`FleetPlacer` runs a global
+bin-packing phase through the same
+:func:`repro.runtime.machine.choose_machine` hook the autoscaler uses,
+then anneals migrate/swap/respread moves against a cost model that
+charges cross-machine RPC, rewards co-locating chatty wraps, and
+penalizes noisy-neighbor contention and broken zone spread.
+:func:`run_fleet` executes the placed fleet deterministically on the
+vectorized fast path (:func:`repro.cluster.fleetsim.fifo_completion_times`),
+chaos-schedule compatible, with per-tenant goodput/fairness accounting.
+
+See ``docs/fleet.md`` for the placement model, cost terms and CLI usage.
+"""
+
+from repro.fleet.placement import (
+    PLACEMENT_METHODS,
+    CostParams,
+    FleetPlacer,
+    PlacementPlan,
+    placement_cost,
+)
+from repro.fleet.runner import FleetRunReport, TenantReport, run_fleet
+from repro.fleet.spec import (
+    Edge,
+    Fleet,
+    FleetSpec,
+    StreamSpec,
+    WrapUnit,
+    compile_fleet,
+    fleet_from_scenario,
+    synth_fleet,
+)
+
+#: every ``fleet.*`` event the subsystem emits (pinned in golden traces)
+FLEET_EVENT_TYPES = (
+    "fleet.place.start",
+    "fleet.place.done",
+    "fleet.run.start",
+    "fleet.run.done",
+)
+
+#: every ``fleet.*`` counter the subsystem increments (pinned in goldens)
+FLEET_COUNTERS = (
+    "fleet.place.units",
+    "fleet.place.moves.proposed",
+    "fleet.place.moves.accepted",
+    "fleet.run.requests",
+    "fleet.run.jobs",
+    "fleet.run.disrupted",
+    "fleet.run.machines_used",
+)
+
+__all__ = [
+    "PLACEMENT_METHODS",
+    "FLEET_COUNTERS",
+    "FLEET_EVENT_TYPES",
+    "CostParams",
+    "Edge",
+    "Fleet",
+    "FleetPlacer",
+    "FleetRunReport",
+    "FleetSpec",
+    "PlacementPlan",
+    "StreamSpec",
+    "TenantReport",
+    "WrapUnit",
+    "compile_fleet",
+    "fleet_from_scenario",
+    "placement_cost",
+    "run_fleet",
+    "synth_fleet",
+]

@@ -1,0 +1,207 @@
+"""Fleet placement benchmark: random vs first-fit vs annealed.
+
+Compiles one multi-tenant synthetic fleet from the app catalog, places it
+three ways — uniform random, plain in-order first-fit (what a
+``Cluster``-style local placer does) and the global+annealed
+:class:`~repro.fleet.placement.FleetPlacer` pipeline — then executes every
+placement deterministically with :func:`~repro.fleet.runner.run_fleet`
+and compares fleet-level quality: p99 sojourn, goodput, packing fraction,
+cross-zone traffic, fairness.
+
+The acceptance surface (``summary`` flags, gated by
+``benchmarks/check_trajectory.py`` and the CI smoke job) is quality and
+determinism only — wall-clock numbers are recorded per arm for trend
+reading but never asserted on.  The determinism pass recompiles the spec
+from scratch (fresh manager, fresh prediction path) and replays the
+annealed arm, requiring bit-identical assignment and run statistics.
+
+The full-size run streams >=1M requests (18 streams x 60k) through the
+vectorized fast path; ``quick=True`` keeps the same fleet shape at 1k
+requests per stream for CI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.search import SearchOptions
+from repro.errors import SimulationError
+from repro.fleet.placement import FleetPlacer, PlacementPlan
+from repro.fleet.runner import FleetRunReport, run_fleet
+from repro.fleet.spec import compile_fleet, synth_fleet
+
+#: fleet shape shared by quick and full runs (18 streams, 6 tenants)
+BENCH_TENANTS = 6
+BENCH_WORKLOADS_PER_TENANT = 3
+#: full-size request count per stream: 18 x 60_000 = 1.08M requests
+BENCH_REQUESTS_FULL = 60_000
+BENCH_REQUESTS_QUICK = 1_000
+BENCH_RPS = 40.0
+BENCH_ANNEAL_BUDGET = 6_000
+
+#: the three bench arms, in the order they are placed and reported
+BENCH_ARMS = ("random", "first-fit", "annealed")
+
+
+def _bench_spec(*, quick: bool, seed: int):
+    requests = BENCH_REQUESTS_QUICK if quick else BENCH_REQUESTS_FULL
+    return synth_fleet(tenants=BENCH_TENANTS,
+                       workloads_per_tenant=BENCH_WORKLOADS_PER_TENANT,
+                       requests_per_stream=requests,
+                       rps=BENCH_RPS, seed=seed)
+
+
+def _arm_row(plan: PlacementPlan, report: FleetRunReport, fleet,
+             wall_s: float) -> dict:
+    row = {
+        "placement": {
+            "method": plan.method,
+            "cost": plan.cost,
+            "breakdown": dict(plan.breakdown),
+            "seed_cost": plan.seed_cost,
+            "moves_proposed": plan.moves_proposed,
+            "moves_accepted": plan.moves_accepted,
+            "machines_used": plan.machines_used(fleet),
+            "packing_fraction": plan.packing_fraction(fleet),
+            "spread_violations": plan.spread_violations(fleet),
+        },
+        "run": {**report.quality_fields(), **report.fleet_fields()},
+        "wall_s": wall_s,            # trend reading only; never gated on
+    }
+    return row
+
+
+def _place(placer: FleetPlacer, arm: str, seed: int) -> PlacementPlan:
+    if arm == "random":
+        return placer.random_place(seed=seed + 1)
+    if arm == "first-fit":
+        return placer.first_fit()
+    if arm == "annealed":
+        return placer.anneal(
+            SearchOptions(budget=BENCH_ANNEAL_BUDGET, seed=seed))
+    raise SimulationError(f"unknown bench arm {arm!r}")  # pragma: no cover
+
+
+def run_fleet_bench(*, quick: bool = False, check: bool = False,
+                    seed: int = 0, registry=None, tracer=None) -> dict:
+    """Run the three-arm fleet placement bench; returns the JSON report."""
+    spec = _bench_spec(quick=quick, seed=seed)
+    t0 = time.perf_counter()
+    fleet = compile_fleet(spec)
+    compile_s = time.perf_counter() - t0
+
+    placer = FleetPlacer(fleet, registry=registry, tracer=tracer)
+    arms: dict = {}
+    for arm in BENCH_ARMS:
+        t0 = time.perf_counter()
+        plan = _place(placer, arm, seed)
+        plan.validate(fleet)
+        report = run_fleet(fleet, plan, registry=registry, tracer=tracer)
+        arms[arm] = _arm_row(plan, report, fleet,
+                             time.perf_counter() - t0)
+        if arm == "annealed":
+            annealed_plan, annealed_report = plan, report
+
+    # -- determinism: recompile from scratch and replay the annealed arm --
+    fleet2 = compile_fleet(_bench_spec(quick=quick, seed=seed))
+    plan2 = _place(FleetPlacer(fleet2), "annealed", seed)
+    report2 = run_fleet(fleet2, plan2)
+    same_assignment = plan2.assignment == annealed_plan.assignment
+    fields1 = {**annealed_report.quality_fields(),
+               **annealed_report.fleet_fields()}
+    fields2 = {**report2.quality_fields(), **report2.fleet_fields()}
+    deterministic = same_assignment and fields1 == fields2
+
+    a = arms["annealed"]
+    ff = arms["first-fit"]
+    rnd = arms["random"]
+    summary = {
+        "annealed_beats_random_p99":
+            a["run"]["sojourn_p99_ms"] < rnd["run"]["sojourn_p99_ms"],
+        "annealed_beats_first_fit_p99":
+            a["run"]["sojourn_p99_ms"] < ff["run"]["sojourn_p99_ms"],
+        "annealed_beats_random_packing":
+            a["placement"]["packing_fraction"]
+            > rnd["placement"]["packing_fraction"],
+        "annealed_beats_first_fit_packing":
+            a["placement"]["packing_fraction"]
+            > ff["placement"]["packing_fraction"],
+        "annealed_beats_random_goodput":
+            a["run"]["goodput_fraction"] > rnd["run"]["goodput_fraction"],
+        "annealed_beats_first_fit_goodput":
+            a["run"]["goodput_fraction"] > ff["run"]["goodput_fraction"],
+        "anneal_not_worse_than_seed":
+            a["placement"]["seed_cost"] is not None
+            and a["placement"]["cost"] <= a["placement"]["seed_cost"],
+        "no_spread_violations_annealed":
+            a["placement"]["spread_violations"] == 0,
+        "deterministic": deterministic,
+    }
+    report = {
+        "bench": "fleet",
+        "quick": quick,
+        "seed": seed,
+        "spec": {
+            "tenants": BENCH_TENANTS,
+            "workloads_per_tenant": BENCH_WORKLOADS_PER_TENANT,
+            "streams": len(spec.streams),
+            "requests_per_stream": spec.streams[0].requests,
+            "total_requests": spec.total_requests,
+            "rps": BENCH_RPS,
+            "zones": spec.zones,
+            "racks_per_zone": spec.racks_per_zone,
+            "machines_per_rack": spec.machines_per_rack,
+            "cores_per_machine": spec.cores_per_machine,
+            "units": len(fleet.units),
+            "edges": len(fleet.edges),
+            "demand_cores": fleet.demand_cores(),
+            "machines": len(fleet.machines),
+            "anneal_budget": BENCH_ANNEAL_BUDGET,
+        },
+        "compile_s": compile_s,      # trend reading only
+        "arms": arms,
+        "determinism": {
+            "identical_assignment": same_assignment,
+            "identical_run_fields": fields1 == fields2,
+        },
+        "summary": summary,
+    }
+    if check:
+        failed = sorted(k for k, v in summary.items() if not v)
+        if failed:
+            raise SimulationError(
+                f"fleet bench acceptance failed: {', '.join(failed)}")
+    return report
+
+
+def format_fleet_table(report: dict) -> str:
+    """Human-readable summary of one fleet bench report."""
+    spec = report["spec"]
+    lines = [
+        f"fleet bench: {spec['tenants']} tenants x "
+        f"{spec['workloads_per_tenant']} workloads, "
+        f"{spec['total_requests']:,} requests over {spec['streams']} "
+        f"streams, {spec['units']} wrap units / "
+        f"{spec['demand_cores']:.0f} cores on {spec['machines']} machines "
+        f"({spec['zones']} zones)",
+        f"  {'arm':>10s} {'cost':>11s} {'mach':>5s} {'pack':>6s} "
+        f"{'p99_ms':>10s} {'goodput':>8s} {'fair':>6s} "
+        f"{'xzone':>9s} {'sv':>3s}",
+    ]
+    for arm in BENCH_ARMS:
+        row = report["arms"][arm]
+        p, r = row["placement"], row["run"]
+        lines.append(
+            f"  {arm:>10s} {p['cost']:11.1f} {p['machines_used']:5d} "
+            f"{p['packing_fraction']:6.3f} {r['sojourn_p99_ms']:10.2f} "
+            f"{r['goodput_fraction']:8.3f} {r['fairness_jain']:6.3f} "
+            f"{r['cross_zone_traffic']:9.0f} "
+            f"{p['spread_violations']:3d}")
+    flags = report["summary"]
+    ok = sorted(k for k, v in flags.items() if v)
+    bad = sorted(k for k, v in flags.items() if not v)
+    lines.append(f"  flags ok: {', '.join(ok) or '-'}")
+    if bad:
+        lines.append(f"  flags FAILED: {', '.join(bad)}")
+    return "\n".join(lines)

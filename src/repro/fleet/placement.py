@@ -1,0 +1,598 @@
+"""Global-then-detailed wrap-to-machine placement (the CGRA idiom).
+
+The placement problem: assign every :class:`~repro.fleet.spec.WrapUnit`
+to a machine of the fleet topology under core+memory capacity, minimizing
+a cost with four terms:
+
+* **RPC** — every coupling edge is charged per message by network
+  distance: ``local_hop_ms`` on the same machine (IPC), ``remote_hop_ms``
+  across machines in one zone, and ``cross_zone_factor`` times that across
+  zones.  Co-locating chatty wraps is rewarded by construction.
+* **Contention** — noisy neighbours: per machine, the sum of load
+  products over co-resident unit pairs from *different* tenants (same
+  tenant's own interference is its own problem; the fleet cost protects
+  tenants from each other).
+* **Consolidation** — a fixed cost per machine used, so the placer packs
+  instead of sprawling (the packing-fraction metric in the bench).
+* **Spread** — a soft-but-enormous penalty when a multi-stream tenant has
+  every unit in one zone: one zone outage must not take a whole tenant
+  down (spread constraints over :mod:`repro.faults.domains` topology).
+
+:class:`FleetPlacer` runs a **global phase** — first-fit-decreasing
+bin-packing through :func:`repro.runtime.machine.choose_machine` (the same
+placement decision point the autoscaler uses), with per-tenant home zones
+rotated so spread holds by construction — then a **detailed phase** that
+anneals migrate / swap / re-spread moves, mirroring the SA engine of
+:mod:`repro.core.search` (geometric cooling, stall teleport, anytime
+best-so-far) and consuming its :class:`~repro.core.search.SearchOptions`.
+The annealed plan is *never worse than its greedy seed*: best-so-far
+starts at the seed and a final from-scratch recost guards the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.calibration import RuntimeCalibration
+from repro.core.search import SearchOptions
+from repro.errors import CapacityError, SchedulingError
+from repro.fleet.spec import Fleet
+from repro.runtime.machine import Machine, choose_machine
+
+#: placement methods understood by :meth:`FleetPlacer.place`
+PLACEMENT_METHODS = ("random", "first-fit", "greedy", "anneal")
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Weights of the placement cost model (all in cost-units per second
+    of simulated traffic, except the structural penalties)."""
+
+    local_hop_ms: float = 1.1        # same-machine dispatch (IPC)
+    remote_hop_ms: float = 12.0      # cross-machine dispatch (RPC)
+    cross_zone_factor: float = 2.5   # inter-zone networks are slower
+    #: scales the RPC term into the same range as the structural terms so
+    #: the annealer trades co-location against packing instead of being
+    #: dominated by raw message volume
+    rpc_weight: float = 0.1
+    noisy_weight: float = 2.0        # cross-tenant load-product weight
+    machine_cost: float = 400.0      # per machine used (consolidation)
+    #: queueing stability: offered load (in erlangs, *including* the
+    #: remote-dispatch service inflation) above this fraction of a
+    #: machine's cores is charged quadratically — an overloaded machine
+    #: grows its queue without bound over the run horizon
+    utilization_cap: float = 0.85
+    overload_weight: float = 1000.0
+    spread_penalty: float = 1e6      # per missing zone of a spread tenant
+
+    @classmethod
+    def from_calibration(cls, cal: Optional[RuntimeCalibration]
+                         ) -> "CostParams":
+        if cal is None:
+            return cls()
+        return cls(local_hop_ms=cal.t_ipc_ms, remote_hop_ms=cal.t_rpc_ms)
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """A complete unit→machine assignment plus its audited cost."""
+
+    assignment: tuple[int, ...]      # unit uid → machine index
+    method: str
+    cost: float
+    breakdown: Dict[str, float]
+    seed_cost: Optional[float] = None
+    moves_proposed: int = 0
+    moves_accepted: int = 0
+
+    def machines_used(self, fleet: Fleet) -> int:
+        return len(set(self.assignment))
+
+    def packing_fraction(self, fleet: Fleet) -> float:
+        """Placed core demand over the capacity of the machines it uses."""
+        machines = fleet.machines
+        used = set(self.assignment)
+        capacity = sum(machines[i].cores for i in used)
+        return fleet.demand_cores() / capacity if capacity else 0.0
+
+    def by_machine(self, fleet: Fleet) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {}
+        for unit, mi in zip(fleet.units, self.assignment):
+            out.setdefault(fleet.machines[mi].name, []).append(unit.key)
+        return out
+
+    def spread_violations(self, fleet: Fleet) -> int:
+        return _spread_violations(fleet, self.assignment)
+
+    def validate(self, fleet: Fleet) -> None:
+        """Raise :class:`CapacityError` on over-commit or a dead target."""
+        machines = fleet.machines
+        if len(self.assignment) != len(fleet.units):
+            raise CapacityError(
+                f"assignment covers {len(self.assignment)} of "
+                f"{len(fleet.units)} units")
+        shadows = [Machine(m.name, cores=m.cores, memory_mb=m.memory_mb,
+                           zone=m.zone, rack=m.rack) for m in machines]
+        for unit, mi in zip(fleet.units, self.assignment):
+            if not machines[mi].alive:
+                raise CapacityError(
+                    f"unit {unit.key} placed on dead {machines[mi].name}")
+            # raises CapacityError on over-commit via machine accounting
+            shadows[mi].allocate(unit.cores, unit.memory_mb, owner=unit.key)
+
+
+def _spread_violations(fleet: Fleet, assignment: Sequence[int]) -> int:
+    """Missing zones per tenant: multi-stream tenants must span >= 2."""
+    machines = fleet.machines
+    zones_available = len({m.zone for m in machines})
+    tenant_streams: Dict[str, set] = {}
+    tenant_zones: Dict[str, set] = {}
+    for unit, mi in zip(fleet.units, assignment):
+        tenant_streams.setdefault(unit.tenant, set()).add(unit.stream)
+        tenant_zones.setdefault(unit.tenant, set()).add(machines[mi].zone)
+    violations = 0
+    for tenant, streams in tenant_streams.items():
+        required = min(2, len(streams), zones_available)
+        violations += max(0, required - len(tenant_zones[tenant]))
+    return violations
+
+
+def remote_penalties(fleet: Fleet, assignment: Sequence[int],
+                     params: CostParams) -> List[float]:
+    """Per-unit remote-dispatch cost (ms added to every one of its jobs).
+
+    Each cross-machine edge charges half its weight to each endpoint at
+    the hop cost of the network distance between them — remote dispatch
+    adjusts the predictor's IPC/network terms.  :func:`run_fleet` inflates
+    job service times with exactly these numbers, so the placement cost
+    model and the runtime agree on what co-location buys.
+    """
+    machines = fleet.machines
+    pen = [0.0] * len(fleet.units)
+    for edge in fleet.edges:
+        ma, mb = assignment[edge.a], assignment[edge.b]
+        if ma == mb:
+            continue
+        if machines[ma].zone == machines[mb].zone:
+            hop = params.remote_hop_ms - params.local_hop_ms
+        else:
+            hop = (params.remote_hop_ms * params.cross_zone_factor
+                   - params.local_hop_ms)
+        pen[edge.a] += 0.5 * edge.weight * hop
+        pen[edge.b] += 0.5 * edge.weight * hop
+    return pen
+
+
+def placement_cost(fleet: Fleet, assignment: Sequence[int], *,
+                   params: Optional[CostParams] = None
+                   ) -> Tuple[float, Dict[str, float]]:
+    """Audit one assignment from scratch; returns (total, breakdown).
+
+    This is the single source of truth the annealer's accept decisions,
+    the bench rows and the property tests all share — the SA loop calls it
+    per candidate (fleets are hundreds of units, so a full recost is a few
+    thousand float ops; the delta it exposes is ``candidate - current``).
+    """
+    p = params or CostParams.from_calibration(fleet.cal)
+    machines = fleet.machines
+
+    rpc = 0.0
+    for edge in fleet.edges:
+        ma, mb = machines[assignment[edge.a]], machines[assignment[edge.b]]
+        if assignment[edge.a] == assignment[edge.b]:
+            hop = p.local_hop_ms
+        elif ma.zone == mb.zone:
+            hop = p.remote_hop_ms
+        else:
+            hop = p.remote_hop_ms * p.cross_zone_factor
+        rpc += edge.weight * fleet.spec.streams[edge.stream].rps * hop
+    rpc *= p.rpc_weight
+
+    # effective offered load per unit in erlangs: rps x (share x mean
+    # service + remote-dispatch inflation) — the same service times the
+    # runner executes, so stability here is stability there
+    pool_mean_s = fleet.pool_mean_ms() / 1000.0
+    pen = remote_penalties(fleet, assignment, p)
+    total_load: Dict[int, float] = {}
+    tenant_load: Dict[int, Dict[str, float]] = {}
+    for unit, mi in zip(fleet.units, assignment):
+        rps = fleet.spec.streams[unit.stream].rps
+        load = rps * (unit.share * pool_mean_s + pen[unit.uid] / 1000.0)
+        total_load[mi] = total_load.get(mi, 0.0) + load
+        per = tenant_load.setdefault(mi, {})
+        per[unit.tenant] = per.get(unit.tenant, 0.0) + load
+    contention = 0.0
+    overload = 0.0
+    for mi, s in total_load.items():
+        cross = s * s - sum(v * v for v in tenant_load[mi].values())
+        contention += 0.5 * cross
+        cap = p.utilization_cap * machines[mi].cores
+        if s > cap:
+            overload += (s - cap) ** 2
+    contention *= p.noisy_weight
+    overload *= p.overload_weight
+
+    consolidation = p.machine_cost * len(total_load)
+    spread = p.spread_penalty * _spread_violations(fleet, assignment)
+    breakdown = {"rpc": rpc, "contention": contention,
+                 "overload": overload, "consolidation": consolidation,
+                 "spread": spread,
+                 "machines_used": float(len(total_load))}
+    return (rpc + contention + overload + consolidation + spread,
+            breakdown)
+
+
+class _Shadow:
+    """Capacity bookkeeping over the live machines (indices preserved)."""
+
+    def __init__(self, fleet: Fleet) -> None:
+        self.machines = fleet.machines
+        self.live = [i for i, m in enumerate(self.machines) if m.alive]
+        self.cores_used = [0.0] * len(self.machines)
+        self.mem_used = [0.0] * len(self.machines)
+
+    def fits(self, mi: int, cores: float, mem: float) -> bool:
+        m = self.machines[mi]
+        return (m.alive
+                and self.cores_used[mi] + cores <= m.cores + 1e-9
+                and self.mem_used[mi] + mem <= m.memory_mb + 1e-9)
+
+    def add(self, mi: int, cores: float, mem: float) -> None:
+        self.cores_used[mi] += cores
+        self.mem_used[mi] += mem
+
+    def remove(self, mi: int, cores: float, mem: float) -> None:
+        self.cores_used[mi] -= cores
+        self.mem_used[mi] -= mem
+
+
+class FleetPlacer:
+    """Global bin-packing + detailed annealing over one compiled fleet."""
+
+    def __init__(self, fleet: Fleet, *,
+                 params: Optional[CostParams] = None,
+                 registry=None, tracer=None) -> None:
+        self.fleet = fleet
+        self.params = params or CostParams.from_calibration(fleet.cal)
+        self.registry = registry
+        self.tracer = tracer
+
+    # -- helpers ---------------------------------------------------------------
+    def _clones(self) -> List[Machine]:
+        """Fresh empty copies of the live machines, topology order."""
+        return [Machine(m.name, cores=m.cores, memory_mb=m.memory_mb,
+                        zone=m.zone, rack=m.rack)
+                for m in self.fleet.machines if m.alive]
+
+    def _finish(self, assignment: List[int], method: str,
+                seed_cost: Optional[float] = None, proposed: int = 0,
+                accepted: int = 0) -> PlacementPlan:
+        cost, breakdown = placement_cost(self.fleet, assignment,
+                                         params=self.params)
+        plan = PlacementPlan(assignment=tuple(assignment), method=method,
+                             cost=cost, breakdown=breakdown,
+                             seed_cost=seed_cost, moves_proposed=proposed,
+                             moves_accepted=accepted)
+        if self.registry is not None:
+            self.registry.inc("fleet.place.units", len(assignment))
+            self.registry.inc("fleet.place.moves.proposed", proposed)
+            self.registry.inc("fleet.place.moves.accepted", accepted)
+        if self.tracer is not None:
+            self.tracer.event("fleet.place.done", entity="fleet",
+                              method=method, cost=cost,
+                              machines=int(breakdown["machines_used"]))
+        return plan
+
+    def _index_of(self, clones: List[Machine],
+                  machine: Machine) -> int:
+        """Topology index of a clone (clones keep topology order)."""
+        name = machine.name
+        for i, m in enumerate(self.fleet.machines):
+            if m.name == name:
+                return i
+        raise SchedulingError(f"unknown machine {name}")  # pragma: no cover
+
+    # -- global phase ----------------------------------------------------------
+    def random_place(self, seed: int = 0) -> PlacementPlan:
+        """Uniform placement among fitting machines (the naive baseline)."""
+        rng = random.Random(seed)
+        clones = self._clones()
+        assignment = [0] * len(self.fleet.units)
+        for unit in self.fleet.units:
+            fits = [m for m in clones
+                    if m.can_fit(unit.cores, unit.memory_mb)]
+            if not fits:
+                raise CapacityError(f"no machine fits unit {unit.key}")
+            chosen = fits[rng.randrange(len(fits))]
+            chosen.allocate(unit.cores, unit.memory_mb, owner=unit.key)
+            assignment[unit.uid] = self._index_of(clones, chosen)
+        return self._finish(assignment, "random")
+
+    def first_fit(self) -> PlacementPlan:
+        """Plain first-fit in spec order — the :class:`Cluster` default."""
+        clones = self._clones()
+        assignment = [0] * len(self.fleet.units)
+        for unit in self.fleet.units:
+            chosen = choose_machine(clones, unit.cores, unit.memory_mb,
+                                    policy="first-fit")
+            if chosen is None:
+                raise CapacityError(f"no machine fits unit {unit.key}")
+            chosen.allocate(unit.cores, unit.memory_mb, owner=unit.key)
+            assignment[unit.uid] = self._index_of(clones, chosen)
+        return self._finish(assignment, "first-fit")
+
+    def greedy(self, policy: str = "best-fit") -> PlacementPlan:
+        """First-fit-decreasing bin-packing with per-tenant home zones.
+
+        Each tenant's streams round-robin over the zones (so spread holds
+        by construction when capacity allows), then units go largest-first
+        through :func:`choose_machine` restricted to the stream's home
+        zone, falling back to the whole fleet when the zone is full.
+        """
+        fleet = self.fleet
+        clones = self._clones()
+        zones = sorted({m.zone for m in clones})
+        home: Dict[int, str] = {}
+        counter: Dict[str, int] = {}
+        for si, stream in enumerate(fleet.spec.streams):
+            k = counter.get(stream.tenant, 0)
+            home[si] = zones[k % len(zones)]
+            counter[stream.tenant] = k + 1
+        order = sorted(fleet.units,
+                       key=lambda u: (-u.cores, -u.memory_mb, u.uid))
+        assignment = [0] * len(fleet.units)
+        for unit in order:
+            zone = home[unit.stream]
+            in_zone = [m for m in clones if m.zone == zone]
+            chosen = choose_machine(in_zone, unit.cores, unit.memory_mb,
+                                    policy=policy)
+            if chosen is None:
+                chosen = choose_machine(clones, unit.cores, unit.memory_mb,
+                                        policy=policy)
+            if chosen is None:
+                raise CapacityError(f"no machine fits unit {unit.key}")
+            chosen.allocate(unit.cores, unit.memory_mb, owner=unit.key)
+            assignment[unit.uid] = self._index_of(clones, chosen)
+        return self._finish(assignment, "greedy")
+
+    # -- detailed phase --------------------------------------------------------
+    def anneal(self, options: Optional[SearchOptions] = None,
+               policy: str = "best-fit") -> PlacementPlan:
+        """Greedy seed + simulated annealing over placement moves.
+
+        Mirrors :func:`repro.core.search.anneal`: geometric cooling with a
+        floor, stall teleport back to the best-so-far, accept-worse via the
+        Metropolis rule, and anytime best-so-far semantics.  Moves are
+        ``migrate`` (one unit to another machine), ``swap`` (two units
+        exchange machines) and ``respread`` (one stream's units jump to a
+        different zone together).  The returned plan is never worse than
+        the greedy seed: best-so-far starts there and the final comparison
+        uses from-scratch recosts of both.
+        """
+        opts = options or SearchOptions(budget=3000)
+        fleet = self.fleet
+        if self.tracer is not None:
+            self.tracer.event("fleet.place.start", entity="fleet",
+                              method="anneal", budget=opts.budget,
+                              seed=opts.seed)
+        seed_plan = self.greedy(policy=policy)
+        assignment = list(seed_plan.assignment)
+        shadow = _Shadow(fleet)
+        for unit, mi in zip(fleet.units, assignment):
+            shadow.add(mi, unit.cores, unit.memory_mb)
+        cost, _ = placement_cost(fleet, assignment, params=self.params)
+        best = list(assignment)
+        best_cost = cost
+        rng = random.Random(opts.seed)
+        t = opts.t0 if opts.t0 is not None else max(0.06 * cost, 0.5)
+        stall = 0
+        proposed = accepted = 0
+        streams = list(range(len(fleet.spec.streams)))
+        zones = sorted({m.zone for m in fleet.machines if m.alive})
+        for _ in range(opts.budget):
+            move = self._propose(rng, assignment, shadow, streams, zones)
+            proposed += 1
+            if move is None:
+                continue
+            self._apply(move, assignment, shadow)
+            candidate, _ = placement_cost(fleet, assignment,
+                                          params=self.params)
+            delta = candidate - cost
+            if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(t, opts.t_floor)):
+                accepted += 1
+                cost = candidate
+                if cost < best_cost:
+                    best_cost = cost
+                    best = list(assignment)
+                    stall = 0
+                else:
+                    stall += 1
+            else:
+                self._apply(self._inverse(move), assignment, shadow)
+                stall += 1
+            if stall >= opts.stall:
+                # teleport the walk back to the best-so-far plan
+                for unit, mi in zip(fleet.units, assignment):
+                    shadow.remove(mi, unit.cores, unit.memory_mb)
+                assignment = list(best)
+                for unit, mi in zip(fleet.units, assignment):
+                    shadow.add(mi, unit.cores, unit.memory_mb)
+                cost = best_cost
+                stall = 0
+            t = max(t * opts.cooling, opts.t_floor)
+        final_cost, _ = placement_cost(fleet, best, params=self.params)
+        if final_cost > seed_plan.cost:       # drift guard: seed wins ties
+            best = list(seed_plan.assignment)
+        return self._finish(best, "anneal", seed_cost=seed_plan.cost,
+                            proposed=proposed, accepted=accepted)
+
+    def place(self, method: str = "anneal", *,
+              options: Optional[SearchOptions] = None,
+              seed: int = 0, policy: str = "best-fit") -> PlacementPlan:
+        if method == "random":
+            return self.random_place(seed)
+        if method == "first-fit":
+            return self.first_fit()
+        if method == "greedy":
+            return self.greedy(policy=policy)
+        if method == "anneal":
+            return self.anneal(options, policy=policy)
+        raise SchedulingError(
+            f"unknown placement method {method!r} "
+            f"(expected one of {', '.join(PLACEMENT_METHODS)})")
+
+    # -- moves -----------------------------------------------------------------
+    def _propose(self, rng: random.Random, assignment: List[int],
+                 shadow: _Shadow, streams: List[int],
+                 zones: List[str]) -> Optional[list]:
+        """Draw one feasible move, or None when the draw is infeasible."""
+        fleet = self.fleet
+        kind = rng.random()
+        if kind < 0.45:                                  # migrate
+            u = fleet.units[rng.randrange(len(fleet.units))]
+            mi = shadow.live[rng.randrange(len(shadow.live))]
+            if mi == assignment[u.uid]:
+                return None
+            if not shadow.fits(mi, u.cores, u.memory_mb):
+                return None
+            return ["migrate", u.uid, assignment[u.uid], mi]
+        if kind < 0.65:                                  # drain
+            return self._propose_drain(rng, assignment, shadow)
+        if kind < 0.85:                                  # swap
+            a = fleet.units[rng.randrange(len(fleet.units))]
+            b = fleet.units[rng.randrange(len(fleet.units))]
+            ma, mb = assignment[a.uid], assignment[b.uid]
+            if a.uid == b.uid or ma == mb:
+                return None
+            shadow.remove(ma, a.cores, a.memory_mb)
+            shadow.remove(mb, b.cores, b.memory_mb)
+            ok = (shadow.fits(mb, a.cores, a.memory_mb)
+                  and shadow.fits(ma, b.cores, b.memory_mb))
+            shadow.add(ma, a.cores, a.memory_mb)
+            shadow.add(mb, b.cores, b.memory_mb)
+            if not ok:
+                return None
+            return ["swap", a.uid, b.uid, ma, mb]
+        # respread: one stream's units jump to a different zone together
+        si = streams[rng.randrange(len(streams))]
+        zone = zones[rng.randrange(len(zones))]
+        units = self.fleet.units_of_stream(si)
+        old = [assignment[u.uid] for u in units]
+        targets: List[int] = []
+        for u in units:
+            shadow.remove(assignment[u.uid], u.cores, u.memory_mb)
+        try:
+            for u in units:
+                fits = [mi for mi in shadow.live
+                        if self.fleet.machines[mi].zone == zone
+                        and shadow.fits(mi, u.cores, u.memory_mb)]
+                if not fits:
+                    return None
+                # tightest core fit within the zone (best-fit idiom)
+                mi = min(fits, key=lambda i:
+                         self.fleet.machines[i].cores
+                         - shadow.cores_used[i] - u.cores)
+                shadow.add(mi, u.cores, u.memory_mb)
+                targets.append(mi)
+        finally:
+            # propose() must leave the shadow untouched either way
+            for u, mi in zip(units, targets):
+                shadow.remove(mi, u.cores, u.memory_mb)
+            for u, mi in zip(units, old):
+                shadow.add(mi, u.cores, u.memory_mb)
+        if targets == old:
+            return None
+        return ["respread", [u.uid for u in units], old, targets]
+
+    def _propose_drain(self, rng: random.Random, assignment: List[int],
+                       shadow: _Shadow) -> Optional[list]:
+        """Vacate one lightly-loaded machine in a single move.
+
+        Single-unit migrations cannot consolidate past the cost barrier of
+        the intermediate states (the machine stays used until its last
+        unit leaves), so the annealer gets a dedicated move: pick one of
+        the three emptiest used machines and rehome *all* of its units to
+        other used machines, tightest core fit first.  Infeasible drains
+        (nothing else fits) propose nothing.
+        """
+        used = [mi for mi in shadow.live if shadow.cores_used[mi] > 0]
+        if len(used) < 2:
+            return None
+        emptiest = sorted(used, key=lambda i: (shadow.cores_used[i], i))
+        src = emptiest[rng.randrange(min(3, len(emptiest)))]
+        units = [u for u, mi in zip(self.fleet.units, assignment)
+                 if mi == src]
+        # biggest first, so the tight fits are attempted while room remains
+        units.sort(key=lambda u: (-u.cores, -u.memory_mb, u.uid))
+        streams_on: Dict[int, set] = {}
+        for u, mi in zip(self.fleet.units, assignment):
+            if mi != src:
+                streams_on.setdefault(mi, set()).add(u.stream)
+        old = [assignment[u.uid] for u in units]
+        targets: List[int] = []
+        for u in units:
+            shadow.remove(src, u.cores, u.memory_mb)
+        try:
+            for u in units:
+                fits = [mi for mi in used
+                        if mi != src and shadow.fits(mi, u.cores,
+                                                     u.memory_mb)]
+                if not fits:
+                    return None
+                # rehome next to stream peers when possible (the RPC term
+                # would veto a drain that scatters a chatty stream), then
+                # tightest core fit
+                mi = min(fits, key=lambda i: (
+                    u.stream not in streams_on.get(i, ()),
+                    self.fleet.machines[i].cores
+                    - shadow.cores_used[i] - u.cores))
+                shadow.add(mi, u.cores, u.memory_mb)
+                targets.append(mi)
+                streams_on.setdefault(mi, set()).add(u.stream)
+        finally:
+            # propose() must leave the shadow untouched either way
+            for u, mi in zip(units, targets):
+                shadow.remove(mi, u.cores, u.memory_mb)
+            for u in units:
+                shadow.add(src, u.cores, u.memory_mb)
+        return ["drain", [u.uid for u in units], old, targets]
+
+    def _apply(self, move: list, assignment: List[int],
+               shadow: _Shadow) -> None:
+        fleet = self.fleet
+        if move[0] == "migrate":
+            _, uid, src, dst = move
+            u = fleet.units[uid]
+            shadow.remove(src, u.cores, u.memory_mb)
+            shadow.add(dst, u.cores, u.memory_mb)
+            assignment[uid] = dst
+        elif move[0] == "swap":
+            _, a, b, ma, mb = move
+            ua, ub = fleet.units[a], fleet.units[b]
+            shadow.remove(ma, ua.cores, ua.memory_mb)
+            shadow.remove(mb, ub.cores, ub.memory_mb)
+            shadow.add(mb, ua.cores, ua.memory_mb)
+            shadow.add(ma, ub.cores, ub.memory_mb)
+            assignment[a], assignment[b] = mb, ma
+        else:                                            # respread
+            _, uids, old, new = move
+            for uid, src, dst in zip(uids, old, new):
+                u = fleet.units[uid]
+                shadow.remove(src, u.cores, u.memory_mb)
+                shadow.add(dst, u.cores, u.memory_mb)
+                assignment[uid] = dst
+
+    @staticmethod
+    def _inverse(move: list) -> list:
+        if move[0] == "migrate":
+            _, uid, src, dst = move
+            return ["migrate", uid, dst, src]
+        if move[0] == "swap":
+            _, a, b, ma, mb = move
+            return ["swap", a, b, mb, ma]
+        _, uids, old, new = move
+        return ["respread", uids, new, old]

@@ -1,0 +1,287 @@
+"""Deterministic execution of a placed fleet on the vectorized fast path.
+
+:func:`run_fleet` turns (compiled fleet, placement) into per-machine FIFO
+event streams and replays them with
+:func:`repro.cluster.fleetsim.fifo_completion_times` — the same c-server
+recursion the kernel benchmark proved bit-identical to the discrete-event
+kernel.  The execution model:
+
+* Every request of a stream spawns one *job per wrap unit* of its plan;
+  a unit's job costs ``share x service`` plus a fixed remote-dispatch
+  penalty per coupling edge whose other endpoint landed on a different
+  machine (half the edge weight each, charged by network distance from
+  the placement cost model).  Co-located placements therefore run
+  measurably faster — the placement objective and the runner agree.
+* Each machine serves the merged (stable-sorted) job stream of its
+  resident units through a FIFO queue with one server per core.
+* A chaos schedule shifts arrivals on dark machines to the machine's
+  ``next_up`` instant; a request delayed on any of its units counts as
+  *disrupted* and its sojourn includes the outage wait.
+* A request completes when its last job does; per-tenant accounting
+  (goodput within a deadline, p99, fair-share) falls out of the
+  stream → tenant mapping.
+
+Degenerate anchor: a single-tenant, single-machine fleet with one
+unit-share wrap (``fleet_from_scenario``) performs bit-identical float
+operations to ``simulate_des`` / ``simulate_vectorized`` — multiplying
+services by a share of exactly 1.0 and adding a penalty of exactly 0.0
+is skipped, the stable sort of an already-sorted stream is the identity,
+and ``max(completion, -inf)`` preserves bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.fleetsim import (
+    FleetScenario,
+    fifo_completion_times,
+    scenario_draws,
+)
+from repro.errors import SimulationError
+from repro.fleet.placement import (
+    CostParams,
+    PlacementPlan,
+    remote_penalties,
+)
+from repro.fleet.spec import Fleet
+from repro.metrics.stats import LatencySummary, summarize_latencies
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant accounting of one fleet run."""
+
+    requests: int
+    good: int                 # completed within the goodput deadline
+    disrupted: int
+    p99_ms: float
+    goodput_fraction: float
+    demand_cores: float
+    #: demand-normalized share of the fleet's goodput (quota accounting)
+    goodput_share: float
+
+
+@dataclass(frozen=True)
+class FleetRunReport:
+    """Outcome of one deterministic fleet execution."""
+
+    completed: int
+    jobs: int
+    duration_ms: float
+    sojourn: LatencySummary
+    service: LatencySummary
+    goodput_fraction: float
+    disrupted: int
+    machines_used: int
+    packing_fraction: float
+    cross_machine_traffic: float     # messages over machine boundaries
+    cross_zone_traffic: float        # messages over zone boundaries
+    fairness_jain: float
+    per_tenant: Dict[str, TenantReport] = field(default_factory=dict)
+
+    def quality_fields(self) -> dict:
+        """The bit-comparison surface, mirroring ``FleetResult``."""
+        return {
+            "completed": self.completed,
+            "duration_ms": self.duration_ms,
+            "sojourn_mean_ms": self.sojourn.mean_ms,
+            "sojourn_p50_ms": self.sojourn.p50_ms,
+            "sojourn_p90_ms": self.sojourn.p90_ms,
+            "sojourn_p99_ms": self.sojourn.p99_ms,
+            "sojourn_max_ms": self.sojourn.max_ms,
+            "service_mean_ms": self.service.mean_ms,
+        }
+
+    def fleet_fields(self) -> dict:
+        """Fleet-level quality metrics (all simulated, never wall time)."""
+        return {
+            "goodput_fraction": self.goodput_fraction,
+            "disrupted": self.disrupted,
+            "machines_used": self.machines_used,
+            "packing_fraction": self.packing_fraction,
+            "cross_machine_traffic": self.cross_machine_traffic,
+            "cross_zone_traffic": self.cross_zone_traffic,
+            "fairness_jain": self.fairness_jain,
+        }
+
+
+def _shift_arrivals(arrivals: np.ndarray, intervals
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Push arrivals inside outage windows to the recovery instant.
+
+    Returns (shifted, disrupted mask); the input array is not modified.
+    Windows are processed in order, so an arrival pushed into a later
+    window keeps sliding (matches ``ChaosSchedule.next_up``).
+    """
+    shifted = arrivals
+    disrupted = np.zeros(len(arrivals), dtype=bool)
+    for start, end in intervals:
+        mask = (shifted >= start) & (shifted < end)
+        if mask.any():
+            if shifted is arrivals:
+                shifted = arrivals.copy()
+            shifted[mask] = end
+            disrupted |= mask
+    return shifted, disrupted
+
+
+def run_fleet(fleet: Fleet, placement: PlacementPlan, *,
+              chaos=None, params: Optional[CostParams] = None,
+              registry=None, tracer=None) -> FleetRunReport:
+    """Execute the placed fleet; deterministic for fixed spec + placement."""
+    spec = fleet.spec
+    machines = fleet.machines
+    assignment = placement.assignment
+    if len(assignment) != len(fleet.units):
+        raise SimulationError("placement does not cover the fleet")
+    p = params or CostParams.from_calibration(fleet.cal)
+    if tracer is not None:
+        tracer.event("fleet.run.start", entity="fleet",
+                     streams=len(spec.streams), units=len(fleet.units),
+                     requests=spec.total_requests)
+
+    # -- per-stream draws (same RNG mapping as fleetsim.scenario_draws) ----
+    arrivals: List[np.ndarray] = []
+    services: List[np.ndarray] = []
+    for stream in spec.streams:
+        scen = FleetScenario(servers=1, rps=stream.rps,
+                             requests=stream.requests, seed=stream.seed,
+                             service_pool_ms=spec.service_pool_ms)
+        gaps, svc = scenario_draws(scen)
+        arrivals.append(np.cumsum(gaps))
+        services.append(svc)
+
+    penalties = remote_penalties(fleet, assignment, p)
+
+    # -- per-machine merged job streams ------------------------------------
+    units_by_machine: Dict[int, List[int]] = {}
+    for unit, mi in zip(fleet.units, assignment):
+        units_by_machine.setdefault(mi, []).append(unit.uid)
+
+    #: request completion time per stream (max over the stream's units)
+    req_done = [np.full(s.requests, -np.inf) for s in spec.streams]
+    disrupted_mask = [np.zeros(s.requests, dtype=bool)
+                      for s in spec.streams]
+    total_jobs = 0
+    duration_ms = 0.0
+    for mi in sorted(units_by_machine):
+        machine = machines[mi]
+        uids = sorted(units_by_machine[mi])
+        job_arr: List[np.ndarray] = []
+        job_svc: List[np.ndarray] = []
+        down = chaos.down_intervals(machine.name) if chaos is not None else ()
+        for uid in uids:
+            unit = fleet.units[uid]
+            arr = arrivals[unit.stream]
+            if down:
+                arr, mask = _shift_arrivals(arr, down)
+                disrupted_mask[unit.stream] |= mask
+            svc = services[unit.stream]
+            if unit.share != 1.0 or penalties[uid] != 0.0:
+                svc = svc * unit.share + penalties[uid]
+            job_arr.append(arr)
+            job_svc.append(svc)
+        arr = job_arr[0] if len(job_arr) == 1 else np.concatenate(job_arr)
+        svc = job_svc[0] if len(job_svc) == 1 else np.concatenate(job_svc)
+        order = np.argsort(arr, kind="stable")
+        completions = np.empty(len(arr), dtype=float)
+        completions[order] = fifo_completion_times(
+            arr[order], svc[order], max(1, int(machine.cores)))
+        total_jobs += len(arr)
+        duration_ms = max(duration_ms, float(completions.max()))
+        offset = 0
+        for uid in uids:
+            unit = fleet.units[uid]
+            n = spec.streams[unit.stream].requests
+            np.maximum(req_done[unit.stream],
+                       completions[offset:offset + n],
+                       out=req_done[unit.stream])
+            offset += n
+
+    # -- reductions (stream order, like fleetsim's request indexing) -------
+    sojourns = [done - arr for done, arr in zip(req_done, arrivals)]
+    all_sojourns = (sojourns[0] if len(sojourns) == 1
+                    else np.concatenate(sojourns))
+    all_services = (services[0] if len(services) == 1
+                    else np.concatenate(services))
+    pool_mean = fleet.pool_mean_ms()
+
+    completed = spec.total_requests
+    disrupted = int(sum(int(m.sum()) for m in disrupted_mask))
+    good_total = 0
+    tenant_rows: Dict[str, dict] = {}
+    for si, stream in enumerate(spec.streams):
+        deadline = stream.deadline_factor * pool_mean
+        good = int((sojourns[si] <= deadline).sum())
+        good_total += good
+        row = tenant_rows.setdefault(stream.tenant, {
+            "requests": 0, "good": 0, "disrupted": 0, "sojourns": [],
+            "demand": 0.0})
+        row["requests"] += stream.requests
+        row["good"] += good
+        row["disrupted"] += int(disrupted_mask[si].sum())
+        row["sojourns"].append(sojourns[si])
+    for unit in fleet.units:
+        tenant_rows[unit.tenant]["demand"] += unit.cores
+
+    fleet_good_share = float(good_total) if good_total else 1.0
+    per_tenant: Dict[str, TenantReport] = {}
+    fractions: List[float] = []
+    for tenant in spec.tenants:
+        row = tenant_rows[tenant]
+        merged = np.concatenate(row["sojourns"])
+        fraction = row["good"] / row["requests"]
+        fractions.append(fraction)
+        demand_share = row["demand"] / fleet.demand_cores()
+        per_tenant[tenant] = TenantReport(
+            requests=row["requests"], good=row["good"],
+            disrupted=row["disrupted"],
+            p99_ms=summarize_latencies(merged).p99_ms,
+            goodput_fraction=fraction,
+            demand_cores=row["demand"],
+            goodput_share=(row["good"] / fleet_good_share) / demand_share
+            if demand_share > 0 else 0.0)
+    n_t = len(fractions)
+    sum_f = sum(fractions)
+    sum_sq = sum(f * f for f in fractions)
+    fairness = (sum_f * sum_f / (n_t * sum_sq)) if sum_sq > 0 else 1.0
+
+    cross_machine = cross_zone = 0.0
+    for edge in fleet.edges:
+        ma, mb = assignment[edge.a], assignment[edge.b]
+        if ma == mb:
+            continue
+        messages = edge.weight * spec.streams[edge.stream].requests
+        cross_machine += messages
+        if machines[ma].zone != machines[mb].zone:
+            cross_zone += messages
+
+    report = FleetRunReport(
+        completed=completed,
+        jobs=total_jobs,
+        duration_ms=duration_ms,
+        sojourn=summarize_latencies(all_sojourns),
+        service=summarize_latencies(all_services),
+        goodput_fraction=good_total / completed,
+        disrupted=disrupted,
+        machines_used=len(units_by_machine),
+        packing_fraction=placement.packing_fraction(fleet),
+        cross_machine_traffic=cross_machine,
+        cross_zone_traffic=cross_zone,
+        fairness_jain=fairness,
+        per_tenant=per_tenant)
+    if registry is not None:
+        registry.inc("fleet.run.requests", completed)
+        registry.inc("fleet.run.jobs", total_jobs)
+        registry.inc("fleet.run.disrupted", disrupted)
+        registry.inc("fleet.run.machines_used", report.machines_used)
+    if tracer is not None:
+        tracer.event("fleet.run.done", entity="fleet",
+                     completed=completed, jobs=total_jobs,
+                     disrupted=disrupted,
+                     p99_ms=report.sojourn.p99_ms)
+    return report

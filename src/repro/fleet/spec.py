@@ -1,0 +1,324 @@
+"""Fleet specification and compilation: tenants → wrap demand units.
+
+A :class:`FleetSpec` describes *who* shares the cluster: a list of
+:class:`StreamSpec`\\ s — one independent Poisson arrival stream per
+(tenant, workflow) pair — plus the failure-domain topology shape
+(zones × racks × machines, from :mod:`repro.faults.domains`).
+
+:func:`compile_fleet` lowers the spec to the placement problem's inputs.
+Each stream's workflow (drawn from the app catalog) is planned once by a
+shared :class:`~repro.core.manager.ChironManager` — one manager, one
+:class:`~repro.core.predictor.PredictionCache`, so identical (workload,
+SLO) pairs across tenants cost a single PGP run — and every wrap of the
+plan becomes a :class:`WrapUnit` with a core/memory demand and a share of
+the stream's per-request service time.  Intra-stream RPC coupling is
+summarized as weighted :class:`Edge`\\ s (messages per request between two
+wraps): the placement cost model charges them by network distance.
+
+:func:`fleet_from_scenario` builds the degenerate single-tenant,
+single-machine fleet whose run is bit-identical to
+:mod:`repro.cluster.fleetsim`'s DES/closed-form results — the identity
+anchor that pins the fleet fast path to the event kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.catalog import workload
+from repro.calibration import NODE_CORES, NODE_MEMORY_MB, RuntimeCalibration
+from repro.cluster.fleetsim import DEFAULT_SERVICE_POOL_MS, FleetScenario
+from repro.core.wrap import DeploymentPlan
+from repro.errors import CapacityError, DeploymentError
+from repro.faults.domains import Topology
+from repro.runtime.memory import SandboxFootprint, sandbox_memory_mb
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One (tenant, workflow) arrival stream.
+
+    ``seed`` feeds the same RNG mapping as
+    :func:`repro.cluster.fleetsim.scenario_draws` (gaps from ``seed + 1``,
+    services from ``seed``), so a single-stream fleet consumes bit-identical
+    draws to a :class:`FleetScenario` with that seed.
+    """
+
+    tenant: str
+    workload: str
+    rps: float
+    requests: int
+    seed: int
+    slo_factor: float = 3.0
+    #: goodput deadline, as a multiple of the mean pool service time
+    deadline_factor: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant or not self.workload:
+            raise DeploymentError("stream needs a tenant and a workload")
+        if self.rps <= 0 or self.requests < 1:
+            raise DeploymentError("stream rps and requests must be positive")
+        if self.slo_factor <= 0 or self.deadline_factor <= 0:
+            raise DeploymentError("stream factors must be positive")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A multi-tenant fleet and the cluster it shares."""
+
+    streams: tuple[StreamSpec, ...]
+    zones: int = 3
+    racks_per_zone: int = 2
+    machines_per_rack: int = 2
+    cores_per_machine: float = 16.0
+    memory_per_machine_mb: float = NODE_MEMORY_MB
+    seed: int = 0
+    service_pool_ms: tuple[float, ...] = DEFAULT_SERVICE_POOL_MS
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise DeploymentError("fleet needs at least one stream")
+        if min(self.zones, self.racks_per_zone, self.machines_per_rack) < 1:
+            raise CapacityError("fleet topology dims must be >= 1")
+        if self.cores_per_machine <= 0 or self.memory_per_machine_mb <= 0:
+            raise CapacityError("machines need positive cores and memory")
+        if not self.service_pool_ms:
+            raise CapacityError("service pool must be non-empty")
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self.streams)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for s in self.streams:
+            if s.tenant not in seen:
+                seen.append(s.tenant)
+        return tuple(seen)
+
+    def topology(self) -> Topology:
+        return Topology.grid(zones=self.zones,
+                             racks_per_zone=self.racks_per_zone,
+                             machines_per_rack=self.machines_per_rack,
+                             cores=self.cores_per_machine,
+                             memory_mb=self.memory_per_machine_mb)
+
+
+@dataclass(frozen=True)
+class WrapUnit:
+    """One wrap's placement demand: the atom the placer moves around."""
+
+    uid: int          # dense index into Fleet.units
+    key: str          # "tenant/workload#stream/wrap" — the owner label
+    tenant: str
+    stream: int       # index into FleetSpec.streams
+    cores: float
+    memory_mb: float
+    #: the wrap's fraction of the stream's per-request service time
+    share: float
+
+
+@dataclass(frozen=True)
+class Edge:
+    """RPC coupling between two wraps of one stream (messages/request)."""
+
+    a: int
+    b: int
+    stream: int
+    weight: float
+
+
+@dataclass
+class Fleet:
+    """A compiled fleet: demand units + coupling over a topology."""
+
+    spec: FleetSpec
+    topology: Topology
+    units: tuple[WrapUnit, ...]
+    edges: tuple[Edge, ...]
+    #: stream index → the deployment plan its wraps came from
+    plans: Dict[int, DeploymentPlan] = field(default_factory=dict)
+    cal: Optional[RuntimeCalibration] = None
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise DeploymentError("fleet compiled to zero units")
+        for edge in self.edges:
+            if edge.a == edge.b:
+                raise DeploymentError(f"self-edge on unit {edge.a}")
+
+    @property
+    def machines(self) -> list:
+        return self.topology.machines
+
+    def units_of_stream(self, stream: int) -> list[WrapUnit]:
+        return [u for u in self.units if u.stream == stream]
+
+    def demand_cores(self) -> float:
+        return sum(u.cores for u in self.units)
+
+    def pool_mean_ms(self) -> float:
+        return float(np.mean(np.asarray(self.spec.service_pool_ms,
+                                        dtype=float)))
+
+
+def _wrap_memory_mb(plan: DeploymentPlan, wrap,
+                    cal: RuntimeCalibration) -> float:
+    """One wrap's resident memory (mirrors the Chiron platform footprint)."""
+    peak_forked = max((len(sa.forked_processes) for sa in wrap.stages),
+                      default=0)
+    peak_threads = max((sum(len(g.functions) for g in sa.thread_groups)
+                        for sa in wrap.stages), default=0)
+    fp = SandboxFootprint(functions=len(wrap.function_names),
+                          processes=1 + peak_forked,
+                          threads=peak_threads,
+                          pool_workers=plan.pool_workers)
+    return sandbox_memory_mb(fp, cal)
+
+
+def _stream_edges(plan: DeploymentPlan, uids: Sequence[int],
+                  stream: int, n_stages: int) -> list[Edge]:
+    """RPC coupling of one stream's wraps, in messages per request.
+
+    Two terms, both straight from the execution model: the orchestrator
+    (wrap 1) invokes every sibling wrap once per stage it participates in,
+    and consecutive stages hand data across every (producer, consumer) wrap
+    pair.  Weights accumulate on undirected (min, max) uid pairs.
+    """
+    weights: Dict[tuple[int, int], float] = {}
+    by_wrap = {w.name: uids[i] for i, w in enumerate(plan.wraps)}
+    orchestrator = uids[0]
+
+    def add(a: int, b: int, w: float) -> None:
+        if a == b:
+            return
+        key = (a, b) if a < b else (b, a)
+        weights[key] = weights.get(key, 0.0) + w
+
+    for idx in range(n_stages):
+        participants = [by_wrap[w.name] for w, _ in plan.stage_wraps(idx)]
+        for uid in participants:
+            add(orchestrator, uid, 1.0)
+        if idx + 1 < n_stages:
+            consumers = [by_wrap[w.name]
+                         for w, _ in plan.stage_wraps(idx + 1)]
+            for a in participants:
+                for b in consumers:
+                    add(a, b, 1.0)
+    return [Edge(a=a, b=b, stream=stream, weight=w)
+            for (a, b), w in sorted(weights.items())]
+
+
+def compile_fleet(spec: FleetSpec, *, manager=None) -> Fleet:
+    """Lower a spec to placement inputs via one shared manager.
+
+    Plans are cached per (workload, slo_factor): tenants running the same
+    app at the same SLO share one PGP run, and even distinct pairs reuse
+    stage predictions through the manager's shared
+    :class:`~repro.core.predictor.PredictionCache`.
+    """
+    if manager is None:
+        from repro.core.manager import ChironManager
+        manager = ChironManager()
+    plan_cache: Dict[tuple[str, float], DeploymentPlan] = {}
+    units: list[WrapUnit] = []
+    edges: list[Edge] = []
+    plans: Dict[int, DeploymentPlan] = {}
+    for si, stream in enumerate(spec.streams):
+        key = (stream.workload, stream.slo_factor)
+        if key not in plan_cache:
+            wf = workload(stream.workload)
+            slo = wf.critical_path_ms * stream.slo_factor
+            plan_cache[key] = manager.plan(wf, slo)
+        plan = plan_cache[key]
+        plans[si] = plan
+        total = plan.total_cores
+        uids: list[int] = []
+        for wrap in plan.wraps:
+            uid = len(units)
+            uids.append(uid)
+            cores = float(plan.cores_for(wrap))
+            units.append(WrapUnit(
+                uid=uid,
+                key=f"{stream.tenant}/{stream.workload}#{si}/{wrap.name}",
+                tenant=stream.tenant,
+                stream=si,
+                cores=cores,
+                memory_mb=_wrap_memory_mb(plan, wrap, manager.cal),
+                share=cores / total))
+        n_stages = len(workload(stream.workload).stages)
+        edges.extend(_stream_edges(plan, uids, si, n_stages))
+    return Fleet(spec=spec, topology=spec.topology(), units=tuple(units),
+                 edges=tuple(edges), plans=plans, cal=manager.cal)
+
+
+def fleet_from_scenario(scenario: FleetScenario, *,
+                        tenant: str = "t0") -> Fleet:
+    """The degenerate fleet: one tenant, one unit-share wrap, one machine.
+
+    The machine's core count equals the scenario's server count and the
+    single unit's service share is exactly 1.0 with no remote edges, so
+    :func:`repro.fleet.runner.run_fleet` performs bit-identical float
+    operations to :func:`repro.cluster.fleetsim.simulate_des` /
+    :func:`simulate_vectorized` on this fleet (the identity test pins it).
+    """
+    stream = StreamSpec(tenant=tenant, workload="degenerate",
+                        rps=scenario.rps, requests=scenario.requests,
+                        seed=scenario.seed)
+    spec = FleetSpec(streams=(stream,), zones=1, racks_per_zone=1,
+                     machines_per_rack=1,
+                     cores_per_machine=float(scenario.servers),
+                     memory_per_machine_mb=NODE_MEMORY_MB,
+                     seed=scenario.seed,
+                     service_pool_ms=scenario.service_pool_ms)
+    unit = WrapUnit(uid=0, key=f"{tenant}/degenerate#0/wrap-1",
+                    tenant=tenant, stream=0,
+                    cores=float(scenario.servers),
+                    memory_mb=512.0, share=1.0)
+    return Fleet(spec=spec, topology=spec.topology(), units=(unit,),
+                 edges=())
+
+
+def synth_fleet(*, tenants: int = 4, workloads_per_tenant: int = 3,
+                requests_per_stream: int = 2_000, rps: float = 48.0,
+                seed: int = 0, zones: int = 3, racks_per_zone: int = 2,
+                machines_per_rack: int = 5,
+                cores_per_machine: float = 10.0,
+                slo_factor: float = 1.2) -> FleetSpec:
+    """Deterministically synthesize a multi-tenant spec from the catalog.
+
+    Streams arrive in onboarding order — every tenant deploys its small
+    apps first and scales to the wide app (finra-50 plans to ~13 wraps /
+    32 cores at the default SLO, so a single stream never fits one machine
+    and placement must pick the cut) in the last round.  That order is the
+    realistic adversary of in-order first-fit placement: by the time the
+    big wraps arrive, the small ones already fragmented the fleet, which
+    is exactly the case for a global placement phase.  Per-stream rates
+    jitter around ``rps`` via the fleet seed, so two calls with the same
+    arguments build the identical spec.
+    """
+    if tenants < 1 or workloads_per_tenant < 1:
+        raise DeploymentError("need at least one tenant and workload each")
+    mix = ("slapp", "finra-5", "slapp-v", "finra-50")  # small → wide
+    rng = np.random.default_rng(seed)
+    streams: list[StreamSpec] = []
+    for w in range(workloads_per_tenant):
+        for t in range(tenants):
+            if w == workloads_per_tenant - 1:
+                name = mix[-1]                       # the wide app, last
+            else:
+                name = mix[(t + w) % (len(mix) - 1)]
+            jitter = float(rng.uniform(0.7, 1.3))
+            streams.append(StreamSpec(
+                tenant=f"tenant-{t}", workload=name,
+                rps=rps * jitter, requests=requests_per_stream,
+                seed=seed * 1_000_003 + len(streams),
+                slo_factor=slo_factor))
+    return FleetSpec(streams=tuple(streams), zones=zones,
+                     racks_per_zone=racks_per_zone,
+                     machines_per_rack=machines_per_rack,
+                     cores_per_machine=cores_per_machine, seed=seed)

@@ -12,14 +12,17 @@ and residual drift below an epsilon is clamped to exactly zero.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
 
 from repro.calibration import CLUSTER_NODES, NODE_CORES, NODE_MEMORY_MB
 from repro.errors import CapacityError
 
 #: float-drift tolerance for allocation accounting (fractions of a core/MB)
 _EPS = 1e-9
+
+#: the placement policies understood by :func:`choose_machine`
+PLACEMENT_POLICIES = ("first-fit", "best-fit", "spread")
 
 
 @dataclass
@@ -29,6 +32,8 @@ class Allocation:
     ``epoch`` snapshots the machine's boot epoch at grant time: a
     reservation made before a crash died with the machine, so releasing it
     after recovery is a no-op instead of corrupting the fresh accounting.
+    ``owner`` is an optional tenant/workflow label so displaced work can be
+    attributed per tenant when the machine fails.
     """
 
     machine: "Machine"
@@ -36,6 +41,7 @@ class Allocation:
     memory_mb: float
     released: bool = False
     epoch: int = 0
+    owner: Optional[str] = None
 
     def release(self) -> None:
         """Return the reservation; releasing twice is a safe no-op."""
@@ -75,6 +81,11 @@ class Machine:
         #: boot epoch, bumped on every recovery; allocations from an older
         #: epoch died with the crash and must not free fresh capacity
         self.epoch = 0
+        #: reservations currently holding capacity (for displaced attribution)
+        self._live: list[Allocation] = []
+        #: reservations that died with this machine, accumulated across every
+        #: :meth:`fail` — lets quarantine/drain attribute lost work per owner
+        self.displaced: list[Allocation] = []
 
     # -- liveness --------------------------------------------------------------
     def fail(self, at_ms: float = 0.0) -> None:
@@ -83,6 +94,8 @@ class Machine:
             self.alive = False
             self.failed_at = float(at_ms)
             self.crash_count += 1
+            self.displaced.extend(self._live)
+            self._live = []
 
     def recover(self, at_ms: float = 0.0) -> None:
         """The machine comes back empty: everything it ran was lost."""
@@ -111,7 +124,8 @@ class Machine:
                 and self.cores_free >= cores - _EPS
                 and self.memory_free_mb >= memory_mb - _EPS)
 
-    def allocate(self, cores: float, memory_mb: float) -> Allocation:
+    def allocate(self, cores: float, memory_mb: float, *,
+                 owner: Optional[str] = None) -> Allocation:
         """Reserve resources; raises :class:`CapacityError` when full."""
         if cores < 0 or memory_mb < 0:
             raise CapacityError("negative resource request")
@@ -124,9 +138,13 @@ class Machine:
         self.cores_used += cores
         self.memory_used_mb += memory_mb
         self._assert_invariants()
-        return Allocation(self, cores, memory_mb, epoch=self.epoch)
+        allocation = Allocation(self, cores, memory_mb, epoch=self.epoch,
+                                owner=owner)
+        self._live.append(allocation)
+        return allocation
 
     def _free(self, allocation: Allocation) -> None:
+        self._live = [a for a in self._live if a is not allocation]
         if (allocation.cores > self.cores_used + _EPS
                 or allocation.memory_mb > self.memory_used_mb + _EPS):
             raise CapacityError(
@@ -161,25 +179,83 @@ class Machine:
                 f"{status})")
 
 
+def choose_machine(machines: Sequence[Machine], cores: float,
+                   memory_mb: float, *,
+                   policy: str = "first-fit") -> Optional[Machine]:
+    """Pick the machine a (cores, memory) request lands on, or ``None``.
+
+    This is the *single* placement decision point: :meth:`Cluster.place`
+    (the autoscaler/ClusterDeployment path) and the fleet placer's global
+    phase both route through it, so the policies stay comparable.
+
+    - ``first-fit``: first live machine that fits, in list order.
+    - ``best-fit``: the tightest fit (least cores free, then least memory
+      free) — consolidates load onto few machines.
+    - ``spread``: the emptiest machine in the least-loaded zone —
+      dilutes noisy neighbours across failure domains.
+
+    Ties break by list order (``min`` keeps the first minimum), so every
+    policy is deterministic for a fixed machine ordering.
+    """
+    fits = [m for m in machines if m.can_fit(cores, memory_mb)]
+    if not fits:
+        return None
+    if policy == "first-fit":
+        return fits[0]
+    if policy == "best-fit":
+        return min(fits, key=lambda m: (m.cores_free, m.memory_free_mb))
+    if policy == "spread":
+        zone_used: dict[str, float] = {}
+        for m in machines:
+            if m.alive:
+                zone_used[m.zone] = zone_used.get(m.zone, 0.0) + m.cores_used
+        return min(fits, key=lambda m: (zone_used.get(m.zone, 0.0),
+                                        m.cores_used, -m.cores_free))
+    raise CapacityError(
+        f"unknown placement policy {policy!r} "
+        f"(expected one of {', '.join(PLACEMENT_POLICIES)})")
+
+
 class Cluster:
-    """A fleet of machines with first-fit placement over live nodes."""
+    """A fleet of machines with pluggable placement over live nodes."""
 
     def __init__(self, nodes: int = CLUSTER_NODES, *,
                  cores_per_node: float = NODE_CORES,
-                 memory_per_node_mb: float = NODE_MEMORY_MB) -> None:
-        if nodes < 1:
-            raise CapacityError("cluster needs at least one node")
-        self.machines = [Machine(f"node-{i}", cores=cores_per_node,
-                                 memory_mb=memory_per_node_mb)
-                         for i in range(nodes)]
+                 memory_per_node_mb: float = NODE_MEMORY_MB,
+                 machines: Optional[Iterable[Machine]] = None,
+                 policy: str = "first-fit") -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise CapacityError(
+                f"unknown placement policy {policy!r} "
+                f"(expected one of {', '.join(PLACEMENT_POLICIES)})")
+        if machines is not None:
+            self.machines = list(machines)
+            if not self.machines:
+                raise CapacityError("cluster needs at least one node")
+        else:
+            if nodes < 1:
+                raise CapacityError("cluster needs at least one node")
+            self.machines = [Machine(f"node-{i}", cores=cores_per_node,
+                                     memory_mb=memory_per_node_mb)
+                             for i in range(nodes)]
+        self.policy = policy
 
-    def place(self, cores: float, memory_mb: float) -> Allocation:
-        """First-fit placement across live nodes (dead machines skipped)."""
-        for machine in self.machines:
-            if machine.can_fit(cores, memory_mb):
-                return machine.allocate(cores, memory_mb)
-        raise CapacityError(
-            f"no live node can fit {cores} cores / {memory_mb:.0f} MB")
+    @classmethod
+    def of(cls, machines: Iterable[Machine], *,
+           policy: str = "first-fit") -> "Cluster":
+        """Wrap existing machines (e.g. a chaos topology) in a cluster."""
+        return cls(machines=machines, policy=policy)
+
+    def place(self, cores: float, memory_mb: float, *,
+              owner: Optional[str] = None,
+              policy: Optional[str] = None) -> Allocation:
+        """Place across live nodes under this cluster's policy."""
+        machine = choose_machine(self.machines, cores, memory_mb,
+                                 policy=policy or self.policy)
+        if machine is None:
+            raise CapacityError(
+                f"no live node can fit {cores} cores / {memory_mb:.0f} MB")
+        return machine.allocate(cores, memory_mb, owner=owner)
 
     @property
     def live_machines(self) -> list[Machine]:

@@ -1,0 +1,205 @@
+"""Placement layer: policy hook, cost model, annealing, owner labels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controlplane import MachineHealthMonitor
+from repro.core.search import SearchOptions
+from repro.errors import CapacityError, SchedulingError
+from repro.faults.domains import Topology
+from repro.fleet import (
+    CostParams,
+    FleetPlacer,
+    PlacementPlan,
+    compile_fleet,
+    placement_cost,
+    synth_fleet,
+)
+from repro.runtime.machine import (
+    PLACEMENT_POLICIES,
+    Cluster,
+    Machine,
+    choose_machine,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    spec = synth_fleet(tenants=2, workloads_per_tenant=2,
+                       requests_per_stream=50, rps=30.0, seed=3)
+    return compile_fleet(spec)
+
+
+@pytest.fixture(scope="module")
+def placer(fleet):
+    return FleetPlacer(fleet)
+
+
+# -- satellite 1: the pluggable placement-policy hook -----------------------
+
+def _machines():
+    return [Machine("z0/r0/m0", cores=4.0, zone="z0", rack="z0/r0"),
+            Machine("z0/r0/m1", cores=4.0, zone="z0", rack="z0/r0"),
+            Machine("z1/r0/m0", cores=4.0, zone="z1", rack="z1/r0")]
+
+
+def test_choose_machine_first_fit_takes_list_order():
+    machines = _machines()
+    assert choose_machine(machines, 2.0, 64.0) is machines[0]
+    machines[0].allocate(3.0, 64.0)
+    assert choose_machine(machines, 2.0, 64.0,
+                          policy="first-fit") is machines[1]
+
+
+def test_choose_machine_best_fit_takes_tightest():
+    machines = _machines()
+    machines[1].allocate(3.0, 64.0)   # 1 core free: tightest fit for 1
+    assert choose_machine(machines, 1.0, 64.0,
+                          policy="best-fit") is machines[1]
+
+
+def test_choose_machine_spread_balances_zones():
+    machines = _machines()
+    machines[0].allocate(2.0, 64.0)   # z0 loaded -> spread goes to z1
+    assert choose_machine(machines, 1.0, 64.0,
+                          policy="spread") is machines[2]
+
+
+def test_choose_machine_none_when_nothing_fits():
+    assert choose_machine(_machines(), 99.0, 64.0) is None
+
+
+def test_choose_machine_rejects_unknown_policy():
+    with pytest.raises(CapacityError):
+        choose_machine(_machines(), 1.0, 64.0, policy="round-robin")
+
+
+def test_cluster_routes_through_policy_hook():
+    cluster = Cluster.of(_machines(), policy="best-fit")
+    assert cluster.policy in PLACEMENT_POLICIES
+    cluster.machines[1].allocate(3.0, 64.0)
+    allocation = cluster.place(1.0, 64.0, owner="tenant-a/wf")
+    assert allocation.machine.name == "z0/r0/m1"
+    assert allocation.owner == "tenant-a/wf"
+    # per-call override beats the cluster default
+    allocation2 = cluster.place(1.0, 64.0, policy="first-fit")
+    assert allocation2.machine.name == "z0/r0/m0"
+
+
+# -- satellite 2: owner labels attribute displaced work ---------------------
+
+def test_displaced_allocations_keep_owner_labels():
+    topology = Topology.grid(zones=1, racks_per_zone=1,
+                             machines_per_rack=2, cores=4.0)
+    monitor = MachineHealthMonitor(topology)
+    machine = topology.machines[0]
+    machine.allocate(1.0, 32.0, owner="tenant-a/finra-5")
+    machine.allocate(1.0, 32.0, owner="tenant-a/finra-5")
+    machine.allocate(1.0, 32.0, owner="tenant-b/slapp")
+    machine.allocate(1.0, 32.0)
+    machine.fail()
+    assert monitor.displaced_by_owner() == {
+        "tenant-a/finra-5": 2, "tenant-b/slapp": 1, "unattributed": 1}
+    # freed-then-failed allocations are not displaced
+    other = topology.machines[1]
+    allocation = other.allocate(1.0, 32.0, owner="tenant-c/x")
+    allocation.release()
+    other.fail()
+    assert "tenant-c/x" not in monitor.displaced_by_owner()
+
+
+# -- placement plans over a compiled fleet ----------------------------------
+
+def test_every_method_validates_and_covers_the_fleet(fleet, placer):
+    for method in ("random", "first-fit", "greedy", "anneal"):
+        plan = placer.place(method,
+                            options=SearchOptions(budget=300, seed=0))
+        assert len(plan.assignment) == len(fleet.units)
+        plan.validate(fleet)         # raises on over-commit / dead target
+
+
+def test_plan_cost_matches_fresh_recost(fleet, placer):
+    plan = placer.greedy()
+    cost, breakdown = placement_cost(fleet, plan.assignment)
+    assert plan.cost == cost
+    assert plan.breakdown == breakdown
+
+
+def test_greedy_and_anneal_hold_zone_spread(fleet, placer):
+    assert placer.greedy().spread_violations(fleet) == 0
+    plan = placer.anneal(SearchOptions(budget=300, seed=0))
+    assert plan.spread_violations(fleet) == 0
+
+
+def test_anneal_never_worse_than_greedy_seed(fleet, placer):
+    seed_cost = placer.greedy().cost
+    for budget in (50, 400):
+        plan = placer.anneal(SearchOptions(budget=budget, seed=11))
+        assert plan.cost <= seed_cost
+        assert plan.seed_cost == seed_cost
+
+
+def test_anneal_bit_deterministic_for_fixed_seed(fleet, placer):
+    opts = SearchOptions(budget=400, seed=5)
+    a = placer.anneal(opts)
+    b = FleetPlacer(fleet).anneal(SearchOptions(budget=400, seed=5))
+    assert a.assignment == b.assignment
+    assert a.cost == b.cost
+    assert a.breakdown == b.breakdown
+
+
+def test_validate_rejects_overcommit_and_dead_targets(fleet):
+    stacked = PlacementPlan(assignment=(0,) * len(fleet.units),
+                            method="manual", cost=0.0, breakdown={})
+    with pytest.raises(CapacityError):
+        stacked.validate(fleet)
+    plan = FleetPlacer(fleet).greedy()
+    victim = fleet.machines[plan.assignment[0]]
+    victim.fail()
+    try:
+        with pytest.raises(CapacityError):
+            plan.validate(fleet)
+    finally:
+        victim.recover()
+
+
+def test_unknown_method_raises(placer):
+    with pytest.raises(SchedulingError):
+        placer.place("tetris")
+
+
+# -- hypothesis property tests (satellite 4) --------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_place_never_overcommits(fleet, seed):
+    plan = FleetPlacer(fleet).random_place(seed=seed)
+    plan.validate(fleet)             # core+memory accounting would raise
+    assert 0.0 < plan.packing_fraction(fleet) <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000),
+       budget=st.integers(min_value=10, max_value=200))
+def test_anneal_properties_hold_for_any_seed(fleet, seed, budget):
+    placer = FleetPlacer(fleet)
+    plan = placer.anneal(SearchOptions(budget=budget, seed=seed))
+    plan.validate(fleet)
+    assert plan.cost <= plan.seed_cost          # never worse than the seed
+    assert plan.spread_violations(fleet) == 0   # spread holds
+    again = placer.anneal(SearchOptions(budget=budget, seed=seed))
+    assert again.assignment == plan.assignment  # bit-deterministic
+
+
+@settings(max_examples=20, deadline=None)
+@given(cores=st.floats(min_value=0.5, max_value=5.0),
+       memory=st.floats(min_value=1.0, max_value=1024.0),
+       policy=st.sampled_from(PLACEMENT_POLICIES))
+def test_choose_machine_result_always_fits(cores, memory, policy):
+    machines = _machines()
+    machines[0].allocate(2.0, 100.0)
+    chosen = choose_machine(machines, cores, memory, policy=policy)
+    if chosen is not None:
+        assert chosen.can_fit(cores, memory)
+    else:
+        assert all(not m.can_fit(cores, memory) for m in machines)

@@ -1,0 +1,136 @@
+"""Fleet runner: degenerate identity, chaos, accounting, observability."""
+
+import pytest
+
+from repro.cluster.fleetsim import (
+    FleetScenario,
+    simulate_des,
+    simulate_vectorized,
+)
+from repro.core.search import SearchOptions
+from repro.errors import SimulationError
+from repro.faults.domains import ChaosPlan
+from repro.fleet import (
+    FLEET_COUNTERS,
+    FLEET_EVENT_TYPES,
+    FleetPlacer,
+    PlacementPlan,
+    compile_fleet,
+    fleet_from_scenario,
+    run_fleet,
+    synth_fleet,
+)
+from repro.obs.metrics import Registry
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    spec = synth_fleet(tenants=2, workloads_per_tenant=2,
+                       requests_per_stream=200, rps=30.0, seed=3)
+    return compile_fleet(spec)
+
+
+@pytest.fixture(scope="module")
+def placement(fleet):
+    plan = FleetPlacer(fleet).anneal(SearchOptions(budget=300, seed=0))
+    plan.validate(fleet)
+    return plan
+
+
+# -- satellite 3: the degenerate fleet is bit-identical to the kernel -------
+
+def test_single_unit_fleet_bit_identical_to_kernel_pipelines():
+    scenario = FleetScenario(servers=6, rps=50.0, requests=2_000, seed=3)
+    fleet = fleet_from_scenario(scenario)
+    placement = PlacementPlan(assignment=(0,), method="manual",
+                              cost=0.0, breakdown={})
+    report = run_fleet(fleet, placement)
+    des = simulate_des(scenario)
+    vec = simulate_vectorized(scenario)
+    assert des.quality_fields() == vec.quality_fields()
+    assert report.quality_fields() == vec.quality_fields()  # bit-exact
+
+
+def test_degenerate_fleet_has_no_remote_traffic():
+    fleet = fleet_from_scenario(
+        FleetScenario(servers=2, rps=20.0, requests=100, seed=1))
+    report = run_fleet(fleet, PlacementPlan(assignment=(0,),
+                                            method="manual", cost=0.0,
+                                            breakdown={}))
+    assert report.cross_machine_traffic == 0.0
+    assert report.cross_zone_traffic == 0.0
+    assert report.machines_used == 1
+    assert report.disrupted == 0
+
+
+# -- deterministic execution ------------------------------------------------
+
+def test_run_fleet_bit_deterministic(fleet, placement):
+    a = run_fleet(fleet, placement)
+    b = run_fleet(fleet, placement)
+    assert a.quality_fields() == b.quality_fields()
+    assert a.fleet_fields() == b.fleet_fields()
+    assert a.jobs == b.jobs
+
+
+def test_run_fleet_bit_deterministic_under_chaos(fleet, placement):
+    machine = fleet.machines[placement.assignment[0]]
+    chaos = (ChaosPlan(seed=1).kill(machine.name, 50.0, 2_000.0)
+             .compile(fleet.topology))
+    a = run_fleet(fleet, placement, chaos=chaos)
+    b = run_fleet(fleet, placement, chaos=chaos)
+    assert a.quality_fields() == b.quality_fields()
+    assert a.disrupted == b.disrupted > 0
+    # the outage only ever delays work: sojourns cannot improve
+    clean = run_fleet(fleet, placement)
+    assert a.sojourn.mean_ms >= clean.sojourn.mean_ms
+    assert a.goodput_fraction <= clean.goodput_fraction
+
+
+def test_chaos_outside_the_run_window_disrupts_nothing(fleet, placement):
+    machine = fleet.machines[placement.assignment[0]]
+    chaos = (ChaosPlan(seed=1).kill(machine.name, 1e12, 1_000.0)
+             .compile(fleet.topology))
+    report = run_fleet(fleet, placement, chaos=chaos)
+    assert report.disrupted == 0
+    assert (report.quality_fields()
+            == run_fleet(fleet, placement).quality_fields())
+
+
+# -- accounting -------------------------------------------------------------
+
+def test_per_tenant_accounting_sums_to_fleet_totals(fleet, placement):
+    report = run_fleet(fleet, placement)
+    assert report.completed == fleet.spec.total_requests
+    assert sum(t.requests for t in report.per_tenant.values()) \
+        == report.completed
+    assert sum(t.good for t in report.per_tenant.values()) \
+        == round(report.goodput_fraction * report.completed)
+    assert 0.0 < report.fairness_jain <= 1.0
+    assert 0.0 < report.packing_fraction <= 1.0
+    for tenant in report.per_tenant.values():
+        assert 0.0 <= tenant.goodput_fraction <= 1.0
+        assert tenant.demand_cores > 0.0
+
+
+def test_placement_must_cover_the_fleet(fleet):
+    with pytest.raises(SimulationError):
+        run_fleet(fleet, PlacementPlan(assignment=(0,), method="manual",
+                                       cost=0.0, breakdown={}))
+
+
+# -- satellite 6: the fleet.* observability surface -------------------------
+
+def test_fleet_counters_and_events_match_the_pinned_schema(fleet):
+    registry = Registry()
+    tracer = Tracer()
+    placer = FleetPlacer(fleet, registry=registry, tracer=tracer)
+    plan = placer.anneal(SearchOptions(budget=100, seed=0))
+    run_fleet(fleet, plan, registry=registry, tracer=tracer)
+    seen_counters = {name for name in registry.counters()
+                     if name.startswith("fleet.")}
+    assert seen_counters == set(FLEET_COUNTERS)
+    seen_events = {e.name for e in tracer.events
+                   if e.name.startswith("fleet.")}
+    assert seen_events == set(FLEET_EVENT_TYPES)

@@ -39,6 +39,7 @@ def canonical(tracer):
     from repro.core.search import SEARCH_COUNTERS, SEARCH_EVENT_TYPES
     from repro.faults import (CHAOS_COUNTERS, CHAOS_EVENT_TYPES,
                               FAULT_EVENT_TYPES)
+    from repro.fleet import FLEET_COUNTERS, FLEET_EVENT_TYPES
     from repro.lifecycle import LIFECYCLE_COUNTERS, LIFECYCLE_EVENT_TYPES
     from repro.overload import OVERLOAD_COUNTERS, OVERLOAD_EVENT_TYPES
 
@@ -60,7 +61,8 @@ def canonical(tracer):
             "controlplane_schema": sorted(CONTROLPLANE_EVENT_TYPES
                                           + CONTROLPLANE_COUNTERS),
             "chaos_schema": sorted(CHAOS_EVENT_TYPES + CHAOS_COUNTERS),
-            "ha_schema": sorted(HA_EVENT_TYPES + HA_COUNTERS)}
+            "ha_schema": sorted(HA_EVENT_TYPES + HA_COUNTERS),
+            "fleet_schema": sorted(FLEET_EVENT_TYPES + FLEET_COUNTERS)}
 
 
 @pytest.mark.parametrize("variant", ["native", "T"])
@@ -104,7 +106,8 @@ class TestGoldenFailureMessages:
                                                "search_schema": [],
                                                "controlplane_schema": [],
                                                "chaos_schema": [],
-                                               "ha_schema": []})
+                                               "ha_schema": [],
+                                               "fleet_schema": []})
 
     def test_missing_golden_mentions_update_flag(self, golden):
         with pytest.raises(AssertionError, match="--update-goldens"):
